@@ -1,0 +1,1 @@
+bench/ablations.ml: Cheffp_benchmarks Cheffp_core Cheffp_precision Cheffp_util Float Gc List Printf

@@ -1,0 +1,1 @@
+bench/bech.ml: Analyze Bechamel Benchmark Cheffp_ad Cheffp_benchmarks Cheffp_core Cheffp_fastapprox Cheffp_ir Cheffp_util Float Hashtbl Instance Lazy List Measure Printf Staged Test Time Toolkit

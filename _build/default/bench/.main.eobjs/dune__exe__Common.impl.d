@@ -1,0 +1,1 @@
+bench/common.ml: Cheffp_adapt Cheffp_core Cheffp_util Gc List Printf

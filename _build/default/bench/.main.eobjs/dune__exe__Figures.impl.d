@@ -1,0 +1,1 @@
+bench/figures.ml: Array Cheffp_adapt Cheffp_benchmarks Cheffp_core Cheffp_ir Common Float List Printf String

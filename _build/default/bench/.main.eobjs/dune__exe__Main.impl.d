@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Bech Figures Printf Sys Tables

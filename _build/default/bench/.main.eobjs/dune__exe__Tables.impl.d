@@ -1,0 +1,1 @@
+bench/tables.ml: Array Cheffp_ad Cheffp_benchmarks Cheffp_core Cheffp_fastapprox Cheffp_ir Cheffp_precision Cheffp_util Common Figures Float List Printf String

@@ -1,0 +1,94 @@
+(* Bechamel micro-benchmarks: one Test.make per paper table, measuring
+   the analysis kernel that regenerates it (small workloads so the OLS
+   fit converges quickly). *)
+
+open Bechamel
+open Toolkit
+module B = Cheffp_benchmarks
+module E = Cheffp_core.Estimate
+module Model = Cheffp_core.Model
+
+let table1_kernel () =
+  ignore
+    (Cheffp_core.Tuner.tune ~prog:B.Arclength.program
+       ~func:B.Arclength.func_name
+       ~args:(B.Arclength.args ~n:2_000)
+       ~threshold:1e-5 ())
+
+let table2_kernel =
+  let est =
+    lazy
+      (E.estimate_error ~model:(Model.adapt ())
+         ~options:{ E.default_options with E.per_variable = false }
+         ~prog:B.Simpsons.program ~func:B.Simpsons.func_name ())
+  in
+  fun () ->
+    ignore (E.run (Lazy.force est) (B.Simpsons.args ~a:0. ~b:Float.pi ~n:2_000))
+
+let table3_kernel =
+  let w = lazy (B.Kmeans.generate ~npoints:1_000 ()) in
+  let est =
+    lazy
+      (E.estimate_error ~model:(Model.adapt ()) ~prog:B.Kmeans.program
+         ~func:B.Kmeans.func_name ())
+  in
+  fun () -> ignore (E.run (Lazy.force est) (B.Kmeans.args (Lazy.force w)))
+
+let table4_kernel =
+  let w = lazy (B.Blackscholes.generate ~n:64 ()) in
+  let est =
+    lazy
+      (let config = B.Blackscholes.Fast_log_sqrt_exp in
+       let builtins = Cheffp_ir.Builtins.create () in
+       Cheffp_fastapprox.Fastapprox.register_builtins builtins;
+       let deriv = Cheffp_ad.Deriv.default () in
+       Cheffp_fastapprox.Fastapprox.register_derivatives deriv;
+       let model =
+         Model.approx_functions
+           ~pairs:(B.Blackscholes.approx_pairs config)
+           ~eval:B.Blackscholes.eval_exact
+           ~eval_approx:B.Blackscholes.eval_approx
+       in
+       E.estimate_error ~model ~deriv ~builtins
+         ~prog:(B.Blackscholes.program B.Blackscholes.Exact)
+         ~func:B.Blackscholes.price_func ())
+  in
+  fun () ->
+    let w = Lazy.force w in
+    let est = Lazy.force est in
+    for i = 0 to 7 do
+      ignore (E.run est (B.Blackscholes.price_args w i))
+    done
+
+let tests =
+  Test.make_grouped ~name:"tables"
+    [
+      Test.make ~name:"table1:tune-arclength" (Staged.stage table1_kernel);
+      Test.make ~name:"table2:analyze-simpsons" (Staged.stage table2_kernel);
+      Test.make ~name:"table3:analyze-kmeans" (Staged.stage table3_kernel);
+      Test.make ~name:"table4:approx-blackscholes" (Staged.stage table4_kernel);
+    ]
+
+let run () =
+  print_endline "\n== Bechamel micro-benchmarks (one per paper table) ==";
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let mean_ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ est ] -> est
+        | _ -> Float.nan
+      in
+      rows := (name, mean_ns) :: !rows)
+    results;
+  Cheffp_util.Table.print
+    ~header:[ "kernel"; "time per run" ]
+    (List.map
+       (fun (name, ns) -> [ name; Printf.sprintf "%.3f ms" (ns /. 1e6) ])
+       (List.sort compare !rows))

@@ -1,0 +1,107 @@
+(* Shared plumbing for the benchmark harness: one CHEF-FP runner, one
+   ADAPT runner, and formatting for the per-figure sweep tables. *)
+
+module E = Cheffp_core.Estimate
+module Model = Cheffp_core.Model
+module Adapt = Cheffp_adapt.Adapt
+module Meter = Cheffp_util.Meter
+module Table = Cheffp_util.Table
+
+(* The emulated memory budget for the ADAPT baseline: the paper's
+   machines had 128-188 GB and ADAPT exhausted them at the largest
+   workloads; we emulate a 1 GiB machine so the same out-of-memory
+   crossover appears at laptop-scale sweep points (see EXPERIMENTS.md). *)
+let adapt_budget = 1 lsl 30
+
+type point = {
+  size : int;
+  original_s : float;
+  chef_s : float;
+  chef_bytes : int;
+  adapt_s : float option;  (** None = out of memory *)
+  adapt_bytes : int;  (** bytes at completion or at failure *)
+}
+
+type sweep = { label : string; points : point list }
+
+let chef_figures_options = { E.default_options with E.per_variable = false }
+
+(* One figure point: time the plain program, the CHEF-FP analysis
+   (generation+compilation excluded, like the paper's compile step), and
+   the ADAPT analysis under the memory budget. *)
+let measure_point ~size ~original ~prog ~func ~args ~adapt_run ?(model = Model.adapt ())
+    () =
+  (* Return the heap to a clean state before each timed region so one
+     tool's garbage does not tax the next one's run. *)
+  Gc.compact ();
+  let _, original_s = Meter.time original in
+  let est = E.estimate_error ~model ~options:chef_figures_options ~prog ~func () in
+  Gc.compact ();
+  let report, chef_s = Meter.time (fun () -> E.run est args) in
+  Gc.compact ();
+  let adapt_result, adapt_raw_s =
+    Meter.time (fun () -> Adapt.analyze ~memory_budget:adapt_budget adapt_run)
+  in
+  let adapt_s, adapt_bytes =
+    match adapt_result with
+    | Ok r -> (Some adapt_raw_s, r.Adapt.tape_bytes)
+    | Error oom ->
+        (None, oom.Adapt.nodes_at_failure * Cheffp_adapt.Tape.bytes_per_node)
+  in
+  {
+    size;
+    original_s;
+    chef_s;
+    chef_bytes = report.E.analysis_bytes;
+    adapt_s;
+    adapt_bytes;
+  }
+
+let seconds s = Printf.sprintf "%.3f s" s
+
+let print_sweep ~title ~size_label sweep =
+  Printf.printf "\n== %s ==\n" title;
+  Table.print
+    ~header:
+      [
+        size_label;
+        "original time";
+        "CHEF-FP time";
+        "CHEF-FP mem";
+        "ADAPT time";
+        "ADAPT mem";
+      ]
+    (List.map
+       (fun p ->
+         [
+           string_of_int p.size;
+           seconds p.original_s;
+           seconds p.chef_s;
+           Meter.bytes_pp p.chef_bytes;
+           (match p.adapt_s with Some s -> seconds s | None -> "OOM");
+           Meter.bytes_pp p.adapt_bytes
+           ^ (match p.adapt_s with Some _ -> "" | None -> " (at failure)");
+         ])
+       sweep.points)
+
+(* Average improvement factors over the points where ADAPT completed
+   (the paper's Table II aggregates the same way). *)
+let improvements sweep =
+  let completed =
+    List.filter_map
+      (fun p ->
+        match p.adapt_s with
+        | Some s -> Some (s /. p.chef_s, float_of_int p.adapt_bytes /. float_of_int p.chef_bytes)
+        | None -> None)
+      sweep.points
+  in
+  match completed with
+  | [] -> None
+  | l ->
+      let n = float_of_int (List.length l) in
+      let ts = List.fold_left (fun acc (t, _) -> acc +. t) 0. l in
+      let ms = List.fold_left (fun acc (_, m) -> acc +. m) 0. l in
+      Some (ts /. n, ms /. n)
+
+let fe = Table.fe
+let ff = Table.ff

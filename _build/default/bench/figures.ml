@@ -1,0 +1,168 @@
+(* Figures 4-9 of the paper: analysis time + peak analysis memory of
+   CHEF-FP vs ADAPT vs the original program, swept over workload size,
+   plus the HPCCG per-iteration sensitivity heatmap. Workload sizes are
+   scaled to a 1-core / 1 GiB-emulated-budget machine; EXPERIMENTS.md
+   maps each sweep back to the paper's. *)
+
+open Common
+module B = Cheffp_benchmarks
+module Interp = Cheffp_ir.Interp
+
+let fig4 () =
+  let sizes = [ 10_000; 30_000; 100_000; 300_000; 1_000_000 ] in
+  let points =
+    List.map
+      (fun n ->
+        measure_point ~size:n
+          ~original:(fun () -> ignore (B.Arclength.reference ~n))
+          ~prog:B.Arclength.program ~func:B.Arclength.func_name
+          ~args:(B.Arclength.args ~n)
+          ~adapt_run:(fun tape ->
+            let module N = (val Cheffp_adapt.Adapt.num tape) in
+            let module A = B.Arclength.Native (N) in
+            A.run ~n)
+          ())
+      sizes
+  in
+  let sweep = { label = "Arc Length"; points } in
+  print_sweep ~title:"Figure 4: Arc Length (analysis time & memory vs iterations)"
+    ~size_label:"iterations" sweep;
+  sweep
+
+let fig5 () =
+  let a = 0.0 and b = Float.pi in
+  let sizes = [ 30_000; 100_000; 300_000; 1_000_000; 3_000_000 ] in
+  let points =
+    List.map
+      (fun n ->
+        measure_point ~size:n
+          ~original:(fun () -> ignore (B.Simpsons.reference ~a ~b ~n))
+          ~prog:B.Simpsons.program ~func:B.Simpsons.func_name
+          ~args:(B.Simpsons.args ~a ~b ~n)
+          ~adapt_run:(fun tape ->
+            let module N = (val Cheffp_adapt.Adapt.num tape) in
+            let module S = B.Simpsons.Native (N) in
+            S.run ~a ~b ~n)
+          ())
+      sizes
+  in
+  let sweep = { label = "Simpsons"; points } in
+  print_sweep ~title:"Figure 5: Simpsons (analysis time & memory vs iterations)"
+    ~size_label:"iterations" sweep;
+  sweep
+
+let fig6 () =
+  let sizes = [ 3_000; 10_000; 30_000; 100_000; 300_000 ] in
+  let points =
+    List.map
+      (fun npoints ->
+        let w = B.Kmeans.generate ~npoints () in
+        measure_point ~size:npoints
+          ~original:(fun () -> ignore (B.Kmeans.reference w))
+          ~prog:B.Kmeans.program ~func:B.Kmeans.func_name
+          ~args:(B.Kmeans.args w)
+          ~adapt_run:(fun tape ->
+            let module N = (val Cheffp_adapt.Adapt.num tape) in
+            let module K = B.Kmeans.Native (N) in
+            K.run w)
+          ())
+      sizes
+  in
+  let sweep = { label = "k-Means"; points } in
+  print_sweep ~title:"Figure 6: k-Means (analysis time & memory vs datapoints)"
+    ~size_label:"datapoints" sweep;
+  sweep
+
+let fig7 () =
+  (* Paper: 20x30xN domain to N=320 on 188 GB; scaled to 20x30xN with
+     N in 2..32 and 15 CG iterations for the 1 GiB budget. *)
+  let sizes = [ 2; 4; 8; 16; 32 ] in
+  let points =
+    List.map
+      (fun nz ->
+        let w = B.Hpccg.generate ~nx:20 ~ny:30 ~nz ~max_iter:15 () in
+        measure_point ~size:nz
+          ~original:(fun () -> ignore (B.Hpccg.reference w))
+          ~prog:B.Hpccg.program ~func:B.Hpccg.func_name ~args:(B.Hpccg.args w)
+          ~adapt_run:(fun tape ->
+            let module N = (val Cheffp_adapt.Adapt.num tape) in
+            let module H = B.Hpccg.Native (N) in
+            H.run w)
+          ())
+      sizes
+  in
+  let sweep = { label = "HPCCG"; points } in
+  print_sweep
+    ~title:"Figure 7: HPCCG (analysis time & memory vs z-dimension, 20x30xN)"
+    ~size_label:"nz" sweep;
+  sweep
+
+let fig8 () =
+  let sizes = [ 3_000; 10_000; 30_000; 100_000; 300_000 ] in
+  let prog = B.Blackscholes.program B.Blackscholes.Exact in
+  let points =
+    List.map
+      (fun n ->
+        let w = B.Blackscholes.generate ~n () in
+        measure_point ~size:n
+          ~original:(fun () -> ignore (B.Blackscholes.reference w))
+          ~prog ~func:B.Blackscholes.func_name ~args:(B.Blackscholes.args w)
+          ~adapt_run:(fun tape ->
+            let module N = (val Cheffp_adapt.Adapt.num tape) in
+            let module S = B.Blackscholes.Native (N) in
+            S.run w)
+          ())
+      sizes
+  in
+  let sweep = { label = "Black-Scholes"; points } in
+  print_sweep
+    ~title:"Figure 8: Black-Scholes (analysis time & memory vs options)"
+    ~size_label:"options" sweep;
+  sweep
+
+(* Fig. 9: normalized per-iteration sensitivity of r, p, x, Ap over the
+   HPCCG main loop, plus the cutoff the split-loop rewrite uses. *)
+let fig9 ?(nx = 20) ?(ny = 30) ?(nz = 10) ?(max_iter = 60) () =
+  let w = B.Hpccg.generate ~nx ~ny ~nz ~max_iter () in
+  let est =
+    Cheffp_core.Estimate.estimate_error
+      ~model:(Cheffp_core.Model.adapt ())
+      ~options:
+        {
+          Cheffp_core.Estimate.default_options with
+          track_iterations = `Loop "iter";
+        }
+      ~prog:B.Hpccg.program ~func:B.Hpccg.func_name ()
+  in
+  let report = Cheffp_core.Estimate.run est (B.Hpccg.args w) in
+  let wanted = [ "r"; "p"; "x"; "ap" ] in
+  let records =
+    List.filter
+      (fun (v, _) -> List.mem (String.lowercase_ascii v) wanted)
+      report.Cheffp_core.Estimate.per_iteration
+  in
+  let _, series = Cheffp_core.Sensitivity.normalized records in
+  (* Normalize each row to its own max for display, like the paper. *)
+  let series_rows =
+    List.map
+      (fun (name, a) ->
+        let m = Array.fold_left Float.max 0. a in
+        (name, if m > 0. then Array.map (fun v -> v /. m) a else a))
+      series
+  in
+  Printf.printf
+    "\n== Figure 9: HPCCG variable sensitivity heatmap (20x30x%d, %d iters) ==\n"
+    nz max_iter;
+  print_string (Cheffp_core.Sensitivity.heatmap ~cols:60 series_rows);
+  let cutoff =
+    Cheffp_core.Sensitivity.below_threshold_after series ~threshold:1e-10
+  in
+  Printf.printf
+    "globally-normalized sensitivity < 1e-10 for all variables from iteration %d\n"
+    cutoff;
+  cutoff
+
+let run_all () =
+  let sweeps = [ fig4 (); fig5 (); fig6 (); fig7 (); fig8 () ] in
+  ignore (fig9 ());
+  sweeps

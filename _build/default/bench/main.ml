@@ -1,0 +1,52 @@
+(* Benchmark harness entry point: regenerates every table and figure of
+   the paper's evaluation, plus the ablations DESIGN.md calls out and a
+   Bechamel micro-benchmark suite (one Test.make per table).
+
+   Usage:
+     dune exec bench/main.exe            # everything
+     dune exec bench/main.exe -- table1  # one experiment
+     ids: table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9
+          ablation-inline ablation-opt ablation-precision ablation-activity
+          bechamel all *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|fig9|\n\
+    \                 ablation-inline|ablation-opt|ablation-precision|\n\
+    \                 ablation-activity|ablation-search|bechamel|all]";
+  exit 1
+
+let all () =
+  Tables.table1 ();
+  Tables.table3 ();
+  Tables.table4 ();
+  Tables.suite ();
+  let sweeps = Figures.run_all () in
+  Tables.table2 ~sweeps ();
+  Ablations.run_all ();
+  Bech.run ()
+
+let () =
+  Printf.printf "CHEF-FP reproduction benchmark harness\n";
+  Printf.printf "(paper: Fast And Automatic Floating Point Error Analysis \
+                 With CHEF-FP, IPPS 2023)\n";
+  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
+  | "all" -> all ()
+  | "table1" -> Tables.table1 ()
+  | "table2" -> Tables.table2 ()
+  | "table3" -> Tables.table3 ()
+  | "table4" -> Tables.table4 ()
+  | "fig4" -> ignore (Figures.fig4 ())
+  | "fig5" -> ignore (Figures.fig5 ())
+  | "fig6" -> ignore (Figures.fig6 ())
+  | "fig7" -> ignore (Figures.fig7 ())
+  | "fig8" -> ignore (Figures.fig8 ())
+  | "fig9" -> ignore (Figures.fig9 ())
+  | "ablation-inline" -> Ablations.inline ()
+  | "ablation-opt" -> Ablations.opt ()
+  | "ablation-precision" -> Ablations.precision ()
+  | "ablation-activity" -> Ablations.activity ()
+  | "ablation-search" -> Ablations.search ()
+  | "suite" -> Tables.suite ()
+  | "bechamel" -> Bech.run ()
+  | _ -> usage ()

@@ -1,0 +1,317 @@
+(* cheffp: command-line front end to the CHEF-FP reproduction.
+
+   Subcommands:
+     check     parse, type-check and pretty-print a MiniFP file
+     run       execute a function (optionally under a mixed-precision
+               configuration, with modelled cost accounting)
+     gradient  generate and print the reverse-mode adjoint
+     analyze   run CHEF-FP error estimation and print the report
+     tune      greedy mixed-precision tuning against a threshold
+
+   Arguments are passed positionally and typed by the target function's
+   signature: scalars as literals, arrays as colon-separated lists
+   (e.g. 1.5:2.5:3.5). *)
+
+open Cmdliner
+open Cheffp_ir
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+module Cost = Cheffp_precision.Cost
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let builtins () =
+  let b = Builtins.create () in
+  Cheffp_fastapprox.Fastapprox.register_builtins b;
+  b
+
+let deriv () =
+  let d = Cheffp_ad.Deriv.default () in
+  Cheffp_fastapprox.Fastapprox.register_derivatives d;
+  d
+
+let load path =
+  let prog = Parser.parse_program (read_file path) in
+  Typecheck.check_program ~builtins:(builtins ()) prog;
+  prog
+
+(* Parse positional argument strings against the function signature. *)
+let parse_args func (raw : string list) =
+  let f p s =
+    match p.Ast.pty with
+    | Ast.Tscalar Ast.Sint -> Interp.Aint (int_of_string s)
+    | Ast.Tscalar (Ast.Sflt _) -> Interp.Aflt (float_of_string s)
+    | Ast.Tarr (Ast.Sflt _) ->
+        Interp.Afarr
+          (Array.of_list (List.map float_of_string (String.split_on_char ':' s)))
+    | Ast.Tarr Ast.Sint ->
+        Interp.Aiarr
+          (Array.of_list (List.map int_of_string (String.split_on_char ':' s)))
+  in
+  let params = List.filter (fun p -> p.Ast.pmode = Ast.In) func.Ast.params in
+  if List.length params <> List.length raw then
+    failwith
+      (Printf.sprintf "function %S expects %d arguments, got %d"
+         func.Ast.fname (List.length params) (List.length raw));
+  List.map2 f params raw
+
+let parse_config demote =
+  List.fold_left
+    (fun cfg spec ->
+      match String.split_on_char ':' spec with
+      | [ var; fmt ] -> (
+          match Fp.format_of_string fmt with
+          | Some f -> Config.demote cfg var f
+          | None -> failwith ("unknown format " ^ fmt))
+      | _ -> failwith ("bad demotion spec " ^ spec ^ " (expected var:fmt)"))
+    Config.double demote
+
+let model_of_string target = function
+  | "taylor" -> Cheffp_core.Model.taylor ~target ()
+  | "adapt" -> Cheffp_core.Model.adapt ~target ()
+  | "zero" -> Cheffp_core.Model.zero
+  | other -> failwith ("unknown model " ^ other ^ " (taylor|adapt|zero)")
+
+let wrap f = try f (); `Ok () with
+  | Failure m | Parser.Error m | Lexer.Error m | Typecheck.Error m
+  | Interp.Runtime_error m | Cheffp_core.Estimate.Error m
+  | Cheffp_ad.Reverse.Error m ->
+      `Error (false, m)
+  | Sys_error m -> `Error (false, m)
+
+(* ---------------- arguments ---------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"MiniFP source file.")
+
+let func_arg =
+  Arg.(required & opt (some string) None & info [ "f"; "func" ] ~docv:"NAME" ~doc:"Function to operate on.")
+
+let rest_args =
+  Arg.(value & pos_right 0 string [] & info [] ~docv:"ARGS" ~doc:"Positional function arguments (arrays as v1:v2:...).")
+
+let demote_arg =
+  Arg.(value & opt_all string [] & info [ "demote" ] ~docv:"VAR:FMT" ~doc:"Demote a variable (e.g. t:f32). Repeatable.")
+
+let model_arg =
+  Arg.(value & opt string "adapt" & info [ "model" ] ~docv:"MODEL" ~doc:"Error model: taylor, adapt or zero.")
+
+let target_arg =
+  Arg.(value & opt string "f32" & info [ "target" ] ~docv:"FMT" ~doc:"Demotion target format (f32 or f16).")
+
+let threshold_arg =
+  Arg.(required & opt (some float) None & info [ "threshold" ] ~docv:"T" ~doc:"Error threshold.")
+
+let target_of s =
+  match Fp.format_of_string s with
+  | Some f -> f
+  | None -> failwith ("unknown format " ^ s)
+
+(* ---------------- commands ---------------- *)
+
+let check_cmd =
+  let run file =
+    wrap (fun () ->
+        let prog = load file in
+        print_string (Pp.program_to_string prog);
+        Printf.printf "// %d function(s), OK\n" (List.length prog.Ast.funcs))
+  in
+  Cmd.v (Cmd.info "check" ~doc:"Parse, type-check and pretty-print a MiniFP file.")
+    Term.(ret (const run $ file_arg))
+
+let run_cmd =
+  let run file func demote fuel raw =
+    wrap (fun () ->
+        let prog = load file in
+        let f = Ast.func_exn prog func in
+        let args = parse_args f raw in
+        let config = parse_config demote in
+        let counter = Cost.Counter.create Cost.default in
+        let r =
+          Interp.run ~builtins:(builtins ()) ~config ~counter ~fuel ~prog
+            ~func args
+        in
+        (match r.Interp.ret with
+        | Some (Builtins.F x) -> Printf.printf "result: %.17g\n" x
+        | Some (Builtins.I n) -> Printf.printf "result: %d\n" n
+        | None -> print_endline "result: (void)");
+        List.iter
+          (fun (name, v) ->
+            match v with
+            | Builtins.F x -> Printf.printf "out %s = %.17g\n" name x
+            | Builtins.I n -> Printf.printf "out %s = %d\n" name n)
+          r.Interp.outs;
+        Printf.printf "modelled cost: %.1f units, %d implicit casts\n"
+          (Cost.Counter.total counter) (Cost.Counter.casts counter))
+  in
+  let fuel_arg =
+    Arg.(value & opt int (-1)
+         & info [ "fuel" ] ~docv:"N"
+             ~doc:"Abort after N executed statements (guard against runaway loops).")
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Execute a function, optionally under a mixed-precision configuration.")
+    Term.(ret (const run $ file_arg $ func_arg $ demote_arg $ fuel_arg $ rest_args))
+
+let gradient_cmd =
+  let run file func =
+    wrap (fun () ->
+        let prog = load file in
+        let g = Cheffp_ad.Reverse.differentiate ~deriv:(deriv ()) prog func in
+        print_endline (Pp.func_to_string g))
+  in
+  Cmd.v
+    (Cmd.info "gradient" ~doc:"Generate and print the reverse-mode adjoint source.")
+    Term.(ret (const run $ file_arg $ func_arg))
+
+let analyze_cmd =
+  let run file func model target show_code raw =
+    wrap (fun () ->
+        let prog = load file in
+        let f = Ast.func_exn prog func in
+        let target = target_of target in
+        let model = model_of_string target model in
+        let est =
+          Cheffp_core.Estimate.estimate_error ~model ~deriv:(deriv ())
+            ~builtins:(builtins ())
+            ~options:
+              {
+                Cheffp_core.Estimate.default_options with
+                track_ranges = true;
+              }
+            ~prog ~func ()
+        in
+        if show_code then begin
+          print_endline "// generated error-estimating adjoint:";
+          print_endline (Pp.func_to_string (Cheffp_core.Estimate.generated est))
+        end;
+        let args = parse_args f raw in
+        let r = Cheffp_core.Estimate.run est args in
+        Printf.printf "model: %s\n" model.Cheffp_core.Model.model_name;
+        print_string (Cheffp_core.Report.estimate r))
+  in
+  let show_code =
+    Arg.(value & flag & info [ "show-code" ] ~doc:"Print the generated adjoint.")
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Estimate the floating-point error of a function (CHEF-FP).")
+    Term.(
+      ret (const run $ file_arg $ func_arg $ model_arg $ target_arg $ show_code
+           $ rest_args))
+
+let tune_cmd =
+  let run file func threshold target emit raw =
+    wrap (fun () ->
+        let prog = load file in
+        let f = Ast.func_exn prog func in
+        let args = parse_args f raw in
+        let target = target_of target in
+        let o =
+          Cheffp_core.Tuner.tune ~target ~builtins:(builtins ()) ~prog ~func
+            ~args ~threshold ()
+        in
+        print_string (Cheffp_core.Report.tuning o);
+        if emit then begin
+          print_endline "\n// automatically rewritten mixed-precision source:";
+          print_endline
+            (Pp.func_to_string
+               (Cheffp_core.Rewrite.of_outcome prog ~func o))
+        end)
+  in
+  let emit_arg =
+    Arg.(value & flag
+         & info [ "emit" ]
+             ~doc:"Print the automatically rewritten mixed-precision source.")
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Greedy mixed-precision tuning against an error threshold.")
+    Term.(
+      ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
+           $ emit_arg $ rest_args))
+
+let search_cmd =
+  let run file func threshold target raw =
+    wrap (fun () ->
+        let prog = load file in
+        let f = Ast.func_exn prog func in
+        let args = parse_args f raw in
+        let target = target_of target in
+        let o =
+          Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~prog ~func
+            ~args ~threshold ()
+        in
+        print_string (Cheffp_core.Report.search o))
+  in
+  Cmd.v
+    (Cmd.info "search"
+       ~doc:"Precimonious-style search-based tuning baseline (compare with tune).")
+    Term.(
+      ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
+           $ rest_args))
+
+let sensitivity_cmd =
+  let run file func loop raw =
+    wrap (fun () ->
+        let prog = load file in
+        let f = Ast.func_exn prog func in
+        let args = parse_args f raw in
+        let track =
+          match loop with Some name -> `Loop name | None -> `Outermost
+        in
+        let est =
+          Cheffp_core.Estimate.estimate_error
+            ~model:(Cheffp_core.Model.adapt ())
+            ~deriv:(deriv ()) ~builtins:(builtins ())
+            ~options:
+              {
+                Cheffp_core.Estimate.default_options with
+                track_iterations = track;
+              }
+            ~prog ~func ()
+        in
+        let r = Cheffp_core.Estimate.run est args in
+        if r.Cheffp_core.Estimate.per_iteration = [] then
+          print_endline "(no per-iteration records: is there a loop?)"
+        else begin
+          let _, series =
+            Cheffp_core.Sensitivity.normalized
+              r.Cheffp_core.Estimate.per_iteration
+          in
+          let per_row =
+            List.map
+              (fun (name, a) ->
+                let m = Array.fold_left Float.max 0. a in
+                (name, if m > 0. then Array.map (fun v -> v /. m) a else a))
+              series
+          in
+          print_string (Cheffp_core.Sensitivity.heatmap per_row)
+        end)
+  in
+  let loop_arg =
+    Arg.(value & opt (some string) None
+         & info [ "loop" ]
+             ~docv:"VAR"
+             ~doc:"Track iterations of the named loop variable (default: the outermost loop).")
+  in
+  Cmd.v
+    (Cmd.info "sensitivity"
+       ~doc:"Per-iteration sensitivity heatmap of every variable (paper Fig. 9).")
+    Term.(ret (const run $ file_arg $ func_arg $ loop_arg $ rest_args))
+
+let () =
+  let info =
+    Cmd.info "cheffp" ~version:"1.0.0"
+      ~doc:"Automatic floating-point error analysis via source-transformation AD (CHEF-FP reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ check_cmd; run_cmd; gradient_cmd; analyze_cmd; tune_cmd;
+            search_cmd; sensitivity_cmd ]))

@@ -1,0 +1,1 @@
+examples/auto_rewrite.ml: Ast Cheffp_benchmarks Cheffp_core Cheffp_ir Float Interp Pp Printf String Typecheck

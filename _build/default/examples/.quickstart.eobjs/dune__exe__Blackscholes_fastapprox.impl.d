@@ -1,0 +1,1 @@
+examples/blackscholes_fastapprox.ml: Array Cheffp_ad Cheffp_benchmarks Cheffp_core Cheffp_fastapprox Cheffp_ir Float List Printf String

@@ -1,0 +1,1 @@
+examples/blackscholes_fastapprox.mli:

@@ -1,0 +1,1 @@
+examples/custom_model.ml: Cheffp_core Cheffp_ir Cheffp_precision Interp List Parser Printf

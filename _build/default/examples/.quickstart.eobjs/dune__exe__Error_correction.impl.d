@@ -1,0 +1,1 @@
+examples/error_correction.ml: Array Cheffp_core Cheffp_ir Cheffp_precision Cheffp_util Float Interp List Option Parser Printf Typecheck

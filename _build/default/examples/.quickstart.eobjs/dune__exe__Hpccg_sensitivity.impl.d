@@ -1,0 +1,1 @@
+examples/hpccg_sensitivity.ml: Array Cheffp_benchmarks Cheffp_core Cheffp_ir Cheffp_precision Float List Printf String

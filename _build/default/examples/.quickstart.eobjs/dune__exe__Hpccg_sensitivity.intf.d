@@ -1,0 +1,1 @@
+examples/hpccg_sensitivity.mli:

@@ -1,0 +1,1 @@
+examples/kmeans_app.ml: Array Cheffp_benchmarks Cheffp_precision Cheffp_util Printf

@@ -1,0 +1,1 @@
+examples/mixed_precision_tuning.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cheffp_core Cheffp_ir Interp List Parser Pp Printf Typecheck

@@ -1,0 +1,46 @@
+(* Approximate-function error analysis (paper SS IV-5, Algorithm 2).
+
+   Black-Scholes calls log, sqrt and exp; the FastApprox library offers
+   cheap approximate versions. A custom CHEF-FP error model maps the
+   input variable of each such call to the intrinsic it feeds and
+   charges |d/dx * (f(x) - fastf(x))| -- estimating the error of the
+   approximated program while only ever analyzing the exact one.
+
+     dune exec examples/blackscholes_fastapprox.exe *)
+
+module B = Cheffp_benchmarks.Blackscholes
+module E = Cheffp_core.Estimate
+
+let () =
+  let n = 10 in
+  let w = B.generate ~n () in
+  let config = B.Fast_log_sqrt_exp in
+  let pairs = B.approx_pairs config in
+  Printf.printf "Variables feeding approximated intrinsics: %s\n\n"
+    (String.concat ", " (List.map (fun (v, f) -> v ^ " -> " ^ f) pairs));
+  let builtins = Cheffp_ir.Builtins.create () in
+  Cheffp_fastapprox.Fastapprox.register_builtins builtins;
+  let deriv = Cheffp_ad.Deriv.default () in
+  Cheffp_fastapprox.Fastapprox.register_derivatives deriv;
+  let model =
+    Cheffp_core.Model.approx_functions ~pairs ~eval:B.eval_exact
+      ~eval_approx:B.eval_approx
+  in
+  let est =
+    E.estimate_error ~model ~deriv ~builtins ~prog:(B.program B.Exact)
+      ~func:B.price_func ()
+  in
+  let m_exact = B.mathset_of B.Exact and m_fast = B.mathset_of config in
+  Printf.printf "%-8s %-12s %-12s %-14s %-14s\n" "option" "exact" "approx"
+    "actual err" "estimated err";
+  for i = 0 to n - 1 do
+    let price m =
+      B.price_native m ~s:w.B.sptprice.(i) ~k:w.B.strike.(i) ~r:w.B.rate.(i)
+        ~v:w.B.volatility.(i) ~t:w.B.otime.(i) ~otype:w.B.otype.(i)
+    in
+    let report = E.run est (B.price_args w i) in
+    Printf.printf "%-8d %-12.6f %-12.6f %-14.3e %-14.3e\n" i (price m_exact)
+      (price m_fast)
+      (Float.abs (price m_fast -. price m_exact))
+      report.E.total_error
+  done

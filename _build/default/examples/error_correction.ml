@@ -1,0 +1,77 @@
+(* Signed error estimation and CENA-style correction.
+
+   With `Signed accumulation and the ADAPT model, CHEF-FP's per-variable
+   terms stop being bounds and become first-order *predictions* of the
+   error introduced by demoting each variable (Langlois' CENA idea). The
+   prediction is exact for variables whose stored values are computed
+   from unperturbed operands; a self-accumulating variable diverges from
+   the reference trajectory after its first rounding, so it is predicted
+   in order of magnitude only.
+
+     dune exec examples/error_correction.exe *)
+
+open Cheffp_ir
+module E = Cheffp_core.Estimate
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+
+let source =
+  {|
+// A dot-product-with-normalisation kernel.
+func kernel(xs: f64[], ys: f64[], n: int): f64 {
+  var dot: f64 = 0.0;
+  var nx: f64 = 0.0;
+  var t: f64;
+  for i in 0 .. n {
+    t = xs[i] * ys[i];
+    dot = dot + t;
+    nx = nx + xs[i] * xs[i];
+  }
+  return dot / sqrt(nx);
+}
+|}
+
+let () =
+  let prog = Parser.parse_program source in
+  Typecheck.check_program prog;
+  let rng = Cheffp_util.Rng.create 4242L in
+  let n = 64 in
+  let xs = Array.init n (fun _ -> Cheffp_util.Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+  let ys = Array.init n (fun _ -> Cheffp_util.Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+  let args = [ Interp.Afarr xs; Interp.Afarr ys; Interp.Aint n ] in
+
+  let est accumulation =
+    E.estimate_error
+      ~model:(Cheffp_core.Model.adapt ())
+      ~options:{ E.default_options with accumulation }
+      ~prog ~func:"kernel" ()
+  in
+  let signed = E.run (est `Signed) args in
+  let absolute = E.run (est `Absolute) args in
+  let reference = Interp.run_float ~prog ~func:"kernel" args in
+
+  Printf.printf "%-10s %-14s %-14s %-14s %s\n" "demote" "bound (abs)"
+    "prediction" "actual diff" "prediction quality";
+  List.iter
+    (fun v ->
+      let mixed =
+        Interp.run_float
+          ~config:(Config.demote Config.double v Fp.F32)
+          ~mode:Config.Extended ~prog ~func:"kernel" args
+      in
+      let actual = mixed -. reference in
+      let bound =
+        Option.value ~default:0. (List.assoc_opt v absolute.E.per_variable)
+      in
+      let pred =
+        -.Option.value ~default:0. (List.assoc_opt v signed.E.per_variable)
+      in
+      let quality =
+        if Float.abs actual < 1e-18 then "(no error)"
+        else if Float.abs (pred -. actual) < 0.01 *. Float.abs actual then
+          "exact (non-recurrent)"
+        else "order of magnitude (accumulator)"
+      in
+      Printf.printf "%-10s %-14.3e %+-14.3e %+-14.3e %s\n" v bound pred actual
+        quality)
+    [ "xs"; "ys"; "t"; "dot"; "nx" ]

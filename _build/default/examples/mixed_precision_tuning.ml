@@ -1,0 +1,37 @@
+(* Mixed-precision tuning end to end (paper SS III + Table I).
+
+   CHEF-FP estimates each variable's contribution to the total FP error;
+   the tuner greedily demotes the cheapest variables to binary32 while
+   the accumulated estimate respects the threshold, then validates the
+   configuration bit-accurately and reports the modelled speedup.
+
+     dune exec examples/mixed_precision_tuning.exe *)
+
+module B = Cheffp_benchmarks
+module Tuner = Cheffp_core.Tuner
+module Config = Cheffp_precision.Config
+
+let () =
+  let n = 50_000 in
+  let threshold = 1e-5 in
+  Printf.printf "Tuning Arc Length (n = %d) for threshold %.0e\n\n" n threshold;
+  let outcome =
+    Tuner.tune ~prog:B.Arclength.program ~func:B.Arclength.func_name
+      ~args:(B.Arclength.args ~n) ~threshold ()
+  in
+  print_endline "Estimated per-variable error contributions (ascending):";
+  List.iter
+    (fun (v, e) ->
+      Printf.printf "  %-4s %.3e%s\n" v e
+        (if List.mem v outcome.Tuner.demoted then "   -> demote to f32" else ""))
+    outcome.Tuner.contributions;
+  let ev = outcome.Tuner.evaluation in
+  Printf.printf "\nChosen configuration: %s\n"
+    (Config.to_string ev.Tuner.config);
+  Printf.printf "Estimated error of the configuration: %.3e\n"
+    outcome.Tuner.estimated_error;
+  Printf.printf "Actual error (bit-accurate execution): %.3e\n"
+    ev.Tuner.actual_error;
+  Printf.printf "Modelled speedup: %.2fx  (implicit casts charged: %d)\n"
+    ev.Tuner.modelled_speedup ev.Tuner.casts;
+  Printf.printf "Within threshold: %b\n" (ev.Tuner.actual_error <= threshold)

@@ -1,0 +1,1 @@
+lib/ad/activity.ml: Ast Cheffp_ir List Set String

@@ -1,0 +1,1 @@
+lib/ad/activity.mli: Ast Cheffp_ir

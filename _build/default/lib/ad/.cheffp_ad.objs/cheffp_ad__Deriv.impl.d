@@ -1,0 +1,1 @@
+lib/ad/deriv.ml: Ast Cheffp_ir Float Hashtbl Printf

@@ -1,0 +1,1 @@
+lib/ad/deriv.mli: Ast Cheffp_ir

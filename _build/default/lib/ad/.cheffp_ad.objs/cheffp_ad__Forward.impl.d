@@ -1,0 +1,1 @@
+lib/ad/forward.ml: Ast Cheffp_ir Cheffp_precision Deriv Format Hashtbl List Normalize Optimize Rename

@@ -1,0 +1,1 @@
+lib/ad/forward.mli: Ast Cheffp_ir Deriv

@@ -1,0 +1,1 @@
+lib/ad/reverse.ml: Activity Ast Cheffp_ir Cheffp_precision Deriv Format Hashtbl Inline List Normalize Optimize Rename

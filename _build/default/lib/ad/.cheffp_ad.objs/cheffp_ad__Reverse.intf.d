@@ -1,0 +1,1 @@
+lib/ad/reverse.mli: Ast Cheffp_ir Deriv

@@ -1,0 +1,76 @@
+open Cheffp_ir
+open Ast
+
+module Sset = Set.Make (String)
+
+type t = { varied_set : Sset.t; useful_set : Sset.t }
+
+let rec expr_vars acc = function
+  | Fconst _ | Iconst _ -> acc
+  | Var v -> Sset.add v acc
+  | Idx (a, i) -> expr_vars (Sset.add a acc) i
+  | Unop (_, e) -> expr_vars acc e
+  | Binop (_, a, b) -> expr_vars (expr_vars acc a) b
+  | Call (_, args) -> List.fold_left expr_vars acc args
+
+let lvalue_target = function Lvar v -> v | Lidx (a, _) -> a
+
+(* One monotone pass; returns the grown set. Statements are visited in
+   syntactic order for [varied] and reverse order for [useful]; the outer
+   fixpoint makes the visit order immaterial for correctness. *)
+let rec varied_pass set stmts =
+  List.fold_left
+    (fun set s ->
+      match s with
+      | Decl { init = Some e; name; _ } ->
+          if Sset.is_empty (Sset.inter (expr_vars Sset.empty e) set) then set
+          else Sset.add name set
+      | Decl _ -> set
+      | Assign (lv, e) ->
+          let sources = expr_vars Sset.empty e in
+          let sources =
+            match lv with
+            | Lidx (_, i) -> expr_vars sources i
+            | Lvar _ -> sources
+          in
+          if Sset.is_empty (Sset.inter sources set) then set
+          else Sset.add (lvalue_target lv) set
+      | If (_, a, b) -> varied_pass (varied_pass set a) b
+      | For { body; _ } | While (_, body) -> varied_pass set body
+      | Return _ | Call_stmt _ | Push _ | Pop _ -> set)
+    set stmts
+
+let rec useful_pass set stmts =
+  List.fold_left
+    (fun set s ->
+      match s with
+      | Assign (lv, e) ->
+          if Sset.mem (lvalue_target lv) set then
+            Sset.union set (expr_vars Sset.empty e)
+          else set
+      | Decl { init = Some e; name; _ } ->
+          if Sset.mem name set then Sset.union set (expr_vars Sset.empty e)
+          else set
+      | Decl _ -> set
+      | If (_, a, b) -> useful_pass (useful_pass set a) b
+      | For { body; _ } | While (_, body) -> useful_pass set body
+      | Return (Some e) -> Sset.union set (expr_vars Sset.empty e)
+      | Return None | Call_stmt _ | Push _ | Pop _ -> set)
+    set (List.rev stmts)
+
+let fixpoint pass init body =
+  let rec go set =
+    let set' = pass set body in
+    if Sset.equal set set' then set else go set'
+  in
+  go init
+
+let analyze ~func ~independents ~dependents =
+  {
+    varied_set = fixpoint varied_pass (Sset.of_list independents) func.body;
+    useful_set = fixpoint useful_pass (Sset.of_list dependents) func.body;
+  }
+
+let varied t v = Sset.mem v t.varied_set
+let useful t v = Sset.mem v t.useful_set
+let active t v = varied t v && useful t v

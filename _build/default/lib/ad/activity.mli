@@ -1,0 +1,26 @@
+(** Activity analysis (the paper's [isDiff]/[isLive] predicates).
+
+    A variable is {e varied} if it (transitively) depends on an
+    independent input, {e useful} if it (transitively) influences the
+    dependent output, and {e active} if both. Adjoint propagation (and
+    error estimation, whose models multiply by the adjoint) can be
+    skipped for inactive assignments without changing any result; this
+    is exposed as an optimisation toggle on {!Reverse.differentiate} and
+    verified by tests.
+
+    The analysis is a conservative fixpoint over the function body:
+    arrays are treated as single units and control-flow joins merge. *)
+
+open Cheffp_ir
+
+type t
+
+val analyze :
+  func:Ast.func -> independents:string list -> dependents:string list -> t
+(** [independents] are the input variable names that carry derivatives
+    (typically the float parameters); [dependents] the outputs (typically
+    the variables of the tail return expression). *)
+
+val varied : t -> string -> bool
+val useful : t -> string -> bool
+val active : t -> string -> bool

@@ -1,0 +1,92 @@
+open Cheffp_ir
+open Ast
+
+type rule = args:Ast.expr list -> seed:Ast.expr -> (Ast.expr * Ast.expr) list
+
+type t = (string, rule) Hashtbl.t
+
+let empty () : t = Hashtbl.create 32
+let register t name rule = Hashtbl.replace t name rule
+let find t name = Hashtbl.find_opt t name
+
+let alias t approx exact =
+  match find t exact with
+  | Some rule -> register t approx rule
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Deriv.alias: no rule registered for %S" exact)
+
+let arg1 name args =
+  match args with
+  | [ u ] -> u
+  | _ -> invalid_arg (Printf.sprintf "Deriv: %s expects 1 argument" name)
+
+let arg2 name args =
+  match args with
+  | [ u; v ] -> (u, v)
+  | _ -> invalid_arg (Printf.sprintf "Deriv: %s expects 2 arguments" name)
+
+let ( * ) a b = Binop (Mul, a, b)
+let ( / ) a b = Binop (Div, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+let ( + ) a b = Binop (Add, a, b)
+let neg e = Unop (Neg, e)
+let call f args = Call (f, args)
+
+let default () =
+  let t = empty () in
+  let reg1 name df =
+    register t name (fun ~args ~seed ->
+        let u = arg1 name args in
+        [ (u, df u seed) ])
+  in
+  reg1 "sin" (fun u s -> s * call "cos" [ u ]);
+  reg1 "cos" (fun u s -> neg (s * call "sin" [ u ]));
+  reg1 "tan" (fun u s -> s / (call "cos" [ u ] * call "cos" [ u ]));
+  reg1 "exp" (fun u s -> s * call "exp" [ u ]);
+  reg1 "log" (fun u s -> s / u);
+  reg1 "log2" (fun u s -> s / (u * Fconst (Float.log 2.)));
+  reg1 "log10" (fun u s -> s / (u * Fconst (Float.log 10.)));
+  reg1 "sqrt" (fun u s -> s / (Fconst 2. * call "sqrt" [ u ]));
+  reg1 "tanh" (fun u s ->
+      s * (Fconst 1. - (call "tanh" [ u ] * call "tanh" [ u ])));
+  reg1 "atan" (fun u s -> s / (Fconst 1. + (u * u)));
+  reg1 "fabs" (fun u s -> s * call "sign" [ u ]);
+  (* Piecewise-constant intrinsics: zero derivative almost everywhere. *)
+  register t "floor" (fun ~args:_ ~seed:_ -> []);
+  register t "ceil" (fun ~args:_ ~seed:_ -> []);
+  register t "sign" (fun ~args:_ ~seed:_ -> []);
+  register t "itof" (fun ~args:_ ~seed:_ -> []);
+  register t "ftoi" (fun ~args:_ ~seed:_ -> []);
+  (* Precision casts: derivative 1 almost everywhere. *)
+  reg1 "castf32" (fun _ s -> s);
+  reg1 "castf16" (fun _ s -> s);
+  register t "pow" (fun ~args ~seed ->
+      let u, v = arg2 "pow" args in
+      [
+        (u, seed * v * call "pow" [ u; v - Fconst 1. ]);
+        (v, seed * call "pow" [ u; v ] * call "log" [ u ]);
+      ]);
+  register t "fmin" (fun ~args ~seed ->
+      let u, v = arg2 "fmin" args in
+      let u_wins = Binop (Le, u, v) in
+      [
+        (u, call "select" [ u_wins; seed; Fconst 0. ]);
+        (v, call "select" [ u_wins; Fconst 0.; seed ]);
+      ]);
+  register t "fmax" (fun ~args ~seed ->
+      let u, v = arg2 "fmax" args in
+      let u_wins = Binop (Ge, u, v) in
+      [
+        (u, call "select" [ u_wins; seed; Fconst 0. ]);
+        (v, call "select" [ u_wins; Fconst 0.; seed ]);
+      ]);
+  register t "select" (fun ~args ~seed ->
+      match args with
+      | [ c; a; b ] ->
+          [
+            (a, call "select" [ c; seed; Fconst 0. ]);
+            (b, call "select" [ c; Fconst 0.; seed ]);
+          ]
+      | _ -> invalid_arg "Deriv: select expects 3 arguments");
+  t

@@ -1,0 +1,29 @@
+(** Derivative rules for MiniFP intrinsics.
+
+    A rule receives the call's argument expressions and a seed expression
+    [s] (the adjoint flowing into the call, or 1 for a raw partial) and
+    returns [(arg, s * d(call)/d(arg))] pairs — one per argument that
+    carries derivative information. Arguments with no entry (integers,
+    piecewise-constant intrinsics like [floor]) contribute nothing.
+
+    The registry is extensible: the FastApprox library registers rules for
+    its approximate intrinsics (the derivative of the exact counterpart,
+    the standard smooth surrogate). *)
+
+open Cheffp_ir
+
+type rule =
+  args:Ast.expr list -> seed:Ast.expr -> (Ast.expr * Ast.expr) list
+
+type t
+
+val default : unit -> t
+(** Rules for every default intrinsic of {!Cheffp_ir.Builtins.create}. *)
+
+val empty : unit -> t
+val register : t -> string -> rule -> unit
+val find : t -> string -> rule option
+
+val alias : t -> string -> string -> unit
+(** [alias t approx exact] gives [approx] the rule registered for
+    [exact]. @raise Invalid_argument if [exact] has no rule. *)

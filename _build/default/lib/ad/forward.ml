@@ -1,0 +1,189 @@
+open Cheffp_ir
+open Ast
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let fwd_name name ~wrt = name ^ "_fwd_" ^ wrt
+
+let f64s = Sflt Cheffp_precision.Fp.F64
+
+let simp = Optimize.fold_expr ~fast_math:true
+let ( *: ) a b = simp (Binop (Mul, a, b))
+let ( /: ) a b = simp (Binop (Div, a, b))
+let ( +: ) a b = simp (Binop (Add, a, b))
+let ( -: ) a b = simp (Binop (Sub, a, b))
+
+let differentiate ?deriv prog name ~wrt =
+  let deriv = match deriv with Some d -> d | None -> Deriv.default () in
+  let f = func_exn prog name in
+  (match f.ret with
+  | Some (Sflt _) -> ()
+  | Some Sint | None -> err "function %S must return a float" name);
+  (match
+     List.find_opt (fun p -> p.pname = wrt && p.pmode = In) f.params
+   with
+  | Some { pty = Tscalar (Sflt _); _ } -> ()
+  | Some _ -> err "parameter %S of %S is not a float scalar" wrt name
+  | None -> err "function %S has no parameter %S" name wrt);
+  let nf = Normalize.normalize_func prog f in
+  let local_decls = Normalize.locals nf in
+  let names = Rename.create () in
+  Rename.reserve_func names nf;
+  let fresh base = Rename.fresh names base in
+
+  let var_tys : (string, ty) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.replace var_tys p.pname p.pty) nf.params;
+  List.iter
+    (fun (n, dty) ->
+      Hashtbl.replace var_tys n
+        (match dty with Dscalar s -> Tscalar s | Darr (s, _) -> Tarr s))
+    local_decls;
+  let is_float v =
+    match Hashtbl.find_opt var_tys v with
+    | Some (Tscalar (Sflt _)) | Some (Tarr (Sflt _)) -> true
+    | _ -> false
+  in
+
+  let is_param v = List.exists (fun p -> p.pname = v) nf.params in
+  let tan_tbl : (string, string) Hashtbl.t = Hashtbl.create 32 in
+  Hashtbl.iter
+    (fun v ty ->
+      match ty with
+      | Tscalar (Sflt _) -> Hashtbl.replace tan_tbl v (fresh ("_t_" ^ v))
+      | Tarr (Sflt _) when not (is_param v) ->
+          (* Float array parameters carry zero tangents (the derivative is
+             with respect to a scalar), so they get no mirror. *)
+          Hashtbl.replace tan_tbl v (fresh ("_t_" ^ v))
+      | _ -> ())
+    var_tys;
+  let tan v =
+    match Hashtbl.find_opt tan_tbl v with
+    | Some t -> t
+    | None -> err "internal: no tangent for %S" v
+  in
+
+  let rec tangent e =
+    match e with
+    | Fconst _ | Iconst _ -> Fconst 0.
+    | Var x -> (
+        match Hashtbl.find_opt tan_tbl x with
+        | Some t -> Var t
+        | None -> Fconst 0.)
+    | Idx (a, i) -> (
+        match Hashtbl.find_opt tan_tbl a with
+        | Some t -> Idx (t, i)
+        | None -> Fconst 0.)
+    | Unop (Neg, u) -> simp (Unop (Neg, tangent u))
+    | Unop (Not, _) -> Fconst 0.
+    | Binop (Add, a, b) -> tangent a +: tangent b
+    | Binop (Sub, a, b) -> tangent a -: tangent b
+    | Binop (Mul, a, b) -> (tangent a *: b) +: (a *: tangent b)
+    | Binop (Div, a, b) -> (tangent a /: b) -: ((a *: tangent b) /: (b *: b))
+    | Binop ((Mod | Eq | Ne | Lt | Le | Gt | Ge | And | Or), _, _) -> Fconst 0.
+    | Call (cname, args) -> (
+        match Deriv.find deriv cname with
+        | Some rule ->
+            List.fold_left
+              (fun acc (arg, partial) -> acc +: (simp partial *: tangent arg))
+              (Fconst 0.)
+              (rule ~args ~seed:(Fconst 1.))
+        | None -> err "no derivative rule for intrinsic %S" cname)
+  in
+
+  let rec xform_stmt s =
+    match s with
+    | Assign ((Lvar v as lv), e) when is_float v ->
+        let tmp = fresh "_tt" in
+        [
+          Decl { name = tmp; dty = Dscalar f64s; init = Some (tangent e) };
+          Assign (lv, e);
+          Assign (Lvar (tan v), Var tmp);
+        ]
+    | Assign (Lidx (a, i), e) when is_float a ->
+        let tmp = fresh "_tt" in
+        [
+          Decl { name = tmp; dty = Dscalar f64s; init = Some (tangent e) };
+          Assign (Lidx (a, i), e);
+          Assign (Lidx (tan a, i), Var tmp);
+        ]
+    | Assign _ -> [ s ]
+    | If (c, a, b) -> [ If (c, xform_block a, xform_block b) ]
+    | For l -> [ For { l with body = xform_block l.body } ]
+    | While (c, body) -> [ While (c, xform_block body) ]
+    | Return (Some e) ->
+        let tmp = fresh "_tv" in
+        [
+          Decl { name = tmp; dty = Dscalar f64s; init = Some (tangent e) };
+          Return (Some (Var tmp));
+        ]
+    | Return None -> err "function %S must return a value" name
+    | Call_stmt _ -> [ s ]
+    | Decl _ -> [ s ]
+    | Push _ | Pop _ -> err "cannot differentiate generated code"
+  and xform_block stmts = List.concat_map xform_stmt stmts in
+
+  let tangent_decls =
+    List.filter_map
+      (fun p ->
+        match p.pty with
+        | Tscalar (Sflt _) ->
+            Some
+              (Decl
+                 {
+                   name = tan p.pname;
+                   dty = Dscalar f64s;
+                   init = Some (if p.pname = wrt then Fconst 1. else Fconst 0.);
+                 })
+        | _ -> None)
+      nf.params
+  in
+  (* Tangent mirrors for local declarations. *)
+  let local_tangent_decls =
+    List.filter_map
+      (fun (n, dty) ->
+        match dty with
+        | Dscalar (Sflt _) ->
+            Some (Decl { name = tan n; dty = Dscalar f64s; init = None })
+        | Darr (Sflt _, size) ->
+            Some (Decl { name = tan n; dty = Darr (f64s, size); init = None })
+        | _ -> None)
+      local_decls
+  in
+  (* Float array parameters: reject if the body writes them (their
+     tangent storage is unavailable); reads produce zero tangent. *)
+  let float_array_params =
+    List.filter_map
+      (fun p ->
+        match p.pty with Tarr (Sflt _) -> Some p.pname | _ -> None)
+      nf.params
+  in
+  let rec writes_array v = function
+    | Assign (Lidx (a, _), _) -> a = v
+    | If (_, x, y) -> List.exists (writes_array v) x || List.exists (writes_array v) y
+    | For { body; _ } | While (_, body) -> List.exists (writes_array v) body
+    | _ -> false
+  in
+  List.iter
+    (fun a ->
+      if List.exists (writes_array a) nf.body then
+        err
+          "forward mode: float array parameter %S is written in %S; use \
+           reverse mode"
+          a name)
+    float_array_params;
+
+  let nbody =
+    let rec drop k l = if k = 0 then l else drop (k - 1) (List.tl l) in
+    drop (List.length local_decls) nf.body
+  in
+  {
+    fname = fwd_name name ~wrt;
+    params = nf.params;
+    ret = Some f64s;
+    body =
+      List.map (fun (n, dty) -> Decl { name = n; dty; init = None }) local_decls
+      @ local_tangent_decls @ tangent_decls
+      @ xform_block nbody;
+  }

@@ -1,0 +1,18 @@
+(** Forward-mode (tangent) AD over MiniFP.
+
+    [differentiate prog name ~wrt:p] produces [name_fwd_p(params) : f64]
+    computing the directional derivative of [name] with respect to the
+    scalar float parameter [p]: every float variable gains a tangent that
+    is propagated alongside the original computation. Used in tests to
+    cross-validate the reverse mode and as a cheap option when only one
+    input direction is needed. *)
+
+open Cheffp_ir
+
+exception Error of string
+
+val differentiate :
+  ?deriv:Deriv.t -> Ast.program -> string -> wrt:string -> Ast.func
+
+val fwd_name : string -> wrt:string -> string
+(** Name of the generated function, [name ^ "_fwd_" ^ wrt]. *)

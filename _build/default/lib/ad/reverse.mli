@@ -1,0 +1,88 @@
+(** Reverse-mode (adjoint) source transformation over MiniFP — the Clad
+    substrate of this reproduction.
+
+    [differentiate prog name] builds a new function [name_grad] that
+    computes the gradient of [name] with respect to every float
+    parameter, following the store-all scheme of the paper's Fig. 2: the
+    forward sweep re-runs the original statements, pushing every
+    overwritten location (plus loop bounds, branch conditions, and while
+    trip counts) on a value stack; the backward sweep pops to restore
+    state while accumulating adjoints statement by statement.
+
+    The signature of the generated function is
+    [name_grad(<original params>, out _d_<p> : f64 ...,
+               out _d_<a> : f64[] ..., <extra hook params>) : void]
+    with one derivative output per float parameter, in parameter order
+    (paper Listing 1). Callers must zero the derivative outputs.
+
+    {b The hook seam.} CHEF-FP attaches to adjoint generation exactly
+    here: [hooks.on_assign] fires for every differentiated assignment
+    with the adjoint and assigned value captured in fresh temporaries,
+    and whatever statements it returns are spliced into the backward
+    sweep (the paper's [AssignError], rule S2). [prologue]/[epilogue]
+    bracket the body ([FinalizeEE], rule S1). *)
+
+open Cheffp_ir
+
+exception Error of string
+
+(** Facts about the function being differentiated, offered to hook
+    builders: normalized local declarations, parameter names, and the
+    adjoint-variable naming. *)
+type info = {
+  float_scalars : string list;
+      (** every differentiable scalar: float params, float locals, and
+          the synthetic return variable, in declaration order *)
+  float_arrays : string list;  (** float array params and locals *)
+  ret_var : string;  (** synthetic variable holding the return value *)
+  adjoint_of : string -> string;
+      (** name of the adjoint variable of a differentiable variable *)
+  fresh : string -> string;  (** generate a fresh variable name *)
+  lookup_ty : string -> Ast.ty option;
+}
+
+(** Context for one differentiated assignment, passed to [on_assign]. *)
+type hook_ctx = {
+  lhs : Ast.lvalue;  (** the assigned location, e.g. [x] or [a[i]] *)
+  lhs_base : string;  (** source-level variable name for attribution *)
+  rhs : Ast.expr;  (** the assigned expression *)
+  adjoint_var : string;
+      (** temp holding d(lhs) at this assignment, before redistribution *)
+  value_var : string;  (** temp holding the value the assignment produced *)
+  enclosing_loops : string list;
+      (** loop counters in scope, innermost first; during the backward
+          sweep each counter replays its forward values *)
+  info : info;
+}
+
+type hooks = {
+  extra_params : Ast.param list;
+  prologue : info -> Ast.stmt list;
+  on_assign : hook_ctx -> Ast.stmt list;
+  epilogue : info -> Ast.stmt list;
+}
+
+val no_hooks : hooks
+
+val differentiate :
+  ?deriv:Deriv.t ->
+  ?hooks:hooks ->
+  ?use_activity:bool ->
+  ?suffix:string ->
+  Ast.program ->
+  string ->
+  Ast.func
+(** Requirements on the target function: float return with the [return]
+    as the final statement (and nowhere else), parameters all [In], no
+    [push]/[pop] in the body. User calls are inlined first; intrinsic
+    calls need a {!Deriv} rule. [use_activity] (default [false]) skips
+    adjoint propagation for provably-inactive assignments; results are
+    unchanged (tested). [suffix] defaults to ["_grad"].
+    @raise Error when the function violates the requirements. *)
+
+val grad_name : ?suffix:string -> string -> string
+(** Name of the generated function: [name ^ suffix]. *)
+
+val derivative_params : Ast.func -> Ast.param list
+(** The derivative output parameters [differentiate] appends for a given
+    source function, in order (before any hook extras). *)

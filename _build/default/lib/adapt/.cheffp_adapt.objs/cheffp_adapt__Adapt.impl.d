@@ -1,0 +1,1 @@
+lib/adapt/adapt.ml: Cheffp_precision Cheffp_util Float Hashtbl List Num Stdlib Tape

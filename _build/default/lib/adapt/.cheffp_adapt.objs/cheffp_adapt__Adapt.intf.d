@@ -1,0 +1,1 @@
+lib/adapt/adapt.mli: Cheffp_precision Num Stdlib Tape

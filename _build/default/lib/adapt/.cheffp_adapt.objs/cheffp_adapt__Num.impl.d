@@ -1,0 +1,1 @@
+lib/adapt/num.ml: Float Stdlib

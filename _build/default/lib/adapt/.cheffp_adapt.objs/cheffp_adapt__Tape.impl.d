@@ -1,0 +1,1 @@
+lib/adapt/tape.ml: Array Cheffp_util Hashtbl List

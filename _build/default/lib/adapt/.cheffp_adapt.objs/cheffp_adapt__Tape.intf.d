@@ -1,0 +1,1 @@
+lib/adapt/tape.mli: Cheffp_util

@@ -1,0 +1,99 @@
+module Meter = Cheffp_util.Meter
+module Fp = Cheffp_precision.Fp
+
+type result = {
+  value : float;
+  total_error : float;
+  per_variable : (string * float) list;
+  gradients : (string * float) list;
+  nodes : int;
+  tape_bytes : int;
+}
+
+type oom = { budget : int; nodes_at_failure : int }
+
+let num tape : (module Num.NUM with type t = Tape.num) =
+  (module struct
+    type t = Tape.num
+
+    let of_float = Tape.const
+    let of_int n = Tape.const (float_of_int n)
+    let to_float (x : t) = x.Tape.v
+
+    let bin v a dlhs b drhs =
+      Tape.binary tape ~v ~lhs:a ~dlhs ~rhs:b ~drhs
+
+    let ( + ) (a : t) (b : t) = bin (a.Tape.v +. b.Tape.v) a 1. b 1.
+    let ( - ) (a : t) (b : t) = bin (a.Tape.v -. b.Tape.v) a 1. b (-1.)
+    let ( * ) (a : t) (b : t) = bin (a.Tape.v *. b.Tape.v) a b.Tape.v b a.Tape.v
+
+    let ( / ) (a : t) (b : t) =
+      bin (a.Tape.v /. b.Tape.v) a (1. /. b.Tape.v) b
+        (-.a.Tape.v /. (b.Tape.v *. b.Tape.v))
+
+    let un v a partial = Tape.unary tape ~v ~arg:a ~partial
+    let neg (a : t) = un (-.a.Tape.v) a (-1.)
+    let sqrt (a : t) =
+      let s = Stdlib.sqrt a.Tape.v in
+      un s a (1. /. (2. *. s))
+
+    let exp (a : t) =
+      let e = Stdlib.exp a.Tape.v in
+      un e a e
+
+    let log (a : t) = un (Stdlib.log a.Tape.v) a (1. /. a.Tape.v)
+    let sin (a : t) = un (Stdlib.sin a.Tape.v) a (Stdlib.cos a.Tape.v)
+    let cos (a : t) = un (Stdlib.cos a.Tape.v) a (-.Stdlib.sin a.Tape.v)
+
+    let pow (a : t) (b : t) =
+      let v = a.Tape.v ** b.Tape.v in
+      bin v a (b.Tape.v *. (a.Tape.v ** (b.Tape.v -. 1.))) b (v *. Stdlib.log a.Tape.v)
+
+    let fabs (a : t) =
+      un (Float.abs a.Tape.v) a
+        (if a.Tape.v > 0. then 1. else if a.Tape.v < 0. then -1. else 0.)
+
+    let ( < ) (a : t) (b : t) = a.Tape.v < b.Tape.v
+    let ( <= ) (a : t) (b : t) = a.Tape.v <= b.Tape.v
+    let ( > ) (a : t) (b : t) = a.Tape.v > b.Tape.v
+    let ( >= ) (a : t) (b : t) = a.Tape.v >= b.Tape.v
+    let register name x = Tape.register tape name x
+    let input name v = Tape.input tape ~name v
+  end)
+
+let analyze ?(target = Fp.F32) ?memory_budget f =
+  let meter = Meter.create () in
+  Meter.set_budget meter memory_budget;
+  let tape = Tape.create ~meter () in
+  match f tape with
+  | exception Meter.Out_of_memory_budget { budget; _ } ->
+      Stdlib.Error { budget; nodes_at_failure = Tape.length tape }
+  | out ->
+      Tape.backward tape out;
+      let per_var : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+      let total =
+        Tape.fold_registered tape ~init:0. ~f:(fun acc name ~adjoint ~value ->
+            let e = Float.abs (adjoint *. Fp.representation_error target value) in
+            (match Hashtbl.find_opt per_var name with
+            | Some r -> r := !r +. e
+            | None -> Hashtbl.replace per_var name (ref e));
+            acc +. e)
+      in
+      let per_variable =
+        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) per_var []
+        |> List.sort (fun (_, a) (_, b) -> compare b a)
+      in
+      let gradients =
+        List.rev
+          (Tape.fold_inputs tape ~init:[] ~f:(fun acc name ~adjoint ->
+               (name, adjoint) :: acc))
+      in
+      Stdlib.Ok
+        {
+          value = out.Tape.v;
+          total_error = total;
+          per_variable;
+          gradients;
+          nodes = Tape.length tape;
+          tape_bytes = Tape.bytes tape;
+        }

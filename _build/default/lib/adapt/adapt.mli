@@ -1,0 +1,38 @@
+(** The ADAPT baseline: tape-based AD plus floating-point error
+    estimation by post-processing the full tape (paper §VI, [5]).
+
+    Usage mirrors how ADAPT instruments a C++ program with CoDiPack
+    types: instantiate a benchmark functor with {!num} over a fresh
+    tape, run it, and {!analyze} performs the reverse sweep and applies
+    the ADAPT error model [sum |adjoint * (v - round_target v)|] over
+    every {e registered} assignment (Eq. 2 of the paper).
+
+    Contrast with CHEF-FP ({!Cheffp_core.Estimate}): here every
+    elementary operation is recorded at run time (O(ops) memory, no
+    cross-statement optimization of the analysis code), there the error
+    code is inlined into a generated, optimized, compiled adjoint. *)
+
+type result = {
+  value : float;
+  total_error : float;
+  per_variable : (string * float) list;  (** largest first *)
+  gradients : (string * float) list;  (** adjoints of named inputs *)
+  nodes : int;
+  tape_bytes : int;
+}
+
+type oom = { budget : int; nodes_at_failure : int }
+
+val num : Tape.t -> (module Num.NUM with type t = Tape.num)
+(** Overloaded-number instance recording onto [tape]. *)
+
+val analyze :
+  ?target:Cheffp_precision.Fp.format ->
+  ?memory_budget:int ->
+  (Tape.t -> Tape.num) ->
+  (result, oom) Stdlib.result
+(** [analyze f] runs [f] on a fresh tape (instantiate your functor with
+    {!num} inside), reverse-propagates from the returned output, and
+    evaluates the error model. [target] defaults to [F32].
+    [memory_budget] (bytes) emulates a machine limit: exceeding it
+    aborts the recording and reports [Error]. *)

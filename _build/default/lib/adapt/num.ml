@@ -1,0 +1,68 @@
+(** Numeric abstraction for the dual-implementation benchmarks.
+
+    Each paper benchmark is written once as a functor over [NUM] and then
+    instantiated with {!Float_num} (the plain program, for baseline
+    timing and mixed-precision ground truth) and with the ADAPT-style
+    taped number of {!Adapt} (the operator-overloading AD baseline the
+    paper compares against). [register] is where ADAPT's manual
+    annotation cost shows up: the tool only attributes errors to
+    variables the programmer explicitly names. *)
+
+module type NUM = sig
+  type t
+
+  val of_float : float -> t
+  val of_int : int -> t
+  val to_float : t -> float
+
+  val ( + ) : t -> t -> t
+  val ( - ) : t -> t -> t
+  val ( * ) : t -> t -> t
+  val ( / ) : t -> t -> t
+  val neg : t -> t
+  val sqrt : t -> t
+  val exp : t -> t
+  val log : t -> t
+  val sin : t -> t
+  val cos : t -> t
+  val pow : t -> t -> t
+  val fabs : t -> t
+
+  val ( < ) : t -> t -> bool
+  val ( <= ) : t -> t -> bool
+  val ( > ) : t -> t -> bool
+  val ( >= ) : t -> t -> bool
+
+  val register : string -> t -> t
+  (** Attribute the value to a named program variable for error
+      accounting (identity for plain floats). *)
+
+  val input : string -> float -> t
+  (** Introduce a named independent input. *)
+end
+
+module Float_num : NUM with type t = float = struct
+  type t = float
+
+  let of_float x = x
+  let of_int = float_of_int
+  let to_float x = x
+  let ( + ) = ( +. )
+  let ( - ) = ( -. )
+  let ( * ) = ( *. )
+  let ( / ) = ( /. )
+  let neg x = -.x
+  let sqrt = Stdlib.sqrt
+  let exp = Stdlib.exp
+  let log = Stdlib.log
+  let sin = Stdlib.sin
+  let cos = Stdlib.cos
+  let pow = ( ** )
+  let fabs = Float.abs
+  let ( < ) (a : float) b = a < b
+  let ( <= ) (a : float) b = a <= b
+  let ( > ) (a : float) b = a > b
+  let ( >= ) (a : float) b = a >= b
+  let register _ x = x
+  let input _ x = x
+end

@@ -1,0 +1,136 @@
+module Meter = Cheffp_util.Meter
+
+type num = { i : int; v : float }
+
+(* Structure-of-arrays node storage. *)
+type t = {
+  mutable values : float array;
+  mutable dlhs : float array;
+  mutable drhs : float array;
+  mutable adjoints : float array;
+  mutable lhs : int array;
+  mutable rhs : int array;
+  mutable var_id : int array;
+  mutable len : int;
+  names : (string, int) Hashtbl.t;
+  mutable name_list : string list;  (** reversed *)
+  meter : Meter.t option;
+}
+
+(* 4 floats + 3 boxed-word indices per node. *)
+let bytes_per_node = (4 * 8) + (3 * 8)
+
+let create ?meter () =
+  let cap = 1024 in
+  {
+    values = Array.make cap 0.;
+    dlhs = Array.make cap 0.;
+    drhs = Array.make cap 0.;
+    adjoints = Array.make cap 0.;
+    lhs = Array.make cap (-1);
+    rhs = Array.make cap (-1);
+    var_id = Array.make cap (-1);
+    len = 0;
+    names = Hashtbl.create 16;
+    name_list = [];
+    meter;
+  }
+
+let length t = t.len
+let bytes t = t.len * bytes_per_node
+
+let grow t =
+  let cap = Array.length t.values in
+  if t.len >= cap then begin
+    let ncap = cap * 2 in
+    let gf a = let b = Array.make ncap 0. in Array.blit a 0 b 0 t.len; b in
+    let gi a = let b = Array.make ncap (-1) in Array.blit a 0 b 0 t.len; b in
+    t.values <- gf t.values;
+    t.dlhs <- gf t.dlhs;
+    t.drhs <- gf t.drhs;
+    t.adjoints <- gf t.adjoints;
+    t.lhs <- gi t.lhs;
+    t.rhs <- gi t.rhs;
+    t.var_id <- gi t.var_id
+  end
+
+let push t ~v ~lhs ~dlhs ~rhs ~drhs ~var_id =
+  (match t.meter with Some m -> Meter.alloc m bytes_per_node | None -> ());
+  grow t;
+  let i = t.len in
+  t.values.(i) <- v;
+  t.dlhs.(i) <- dlhs;
+  t.drhs.(i) <- drhs;
+  t.lhs.(i) <- lhs;
+  t.rhs.(i) <- rhs;
+  t.var_id.(i) <- var_id;
+  t.len <- i + 1;
+  { i; v }
+
+let const v = { i = -1; v }
+
+let name_id t name =
+  match Hashtbl.find_opt t.names name with
+  | Some id -> id
+  | None ->
+      let id = Hashtbl.length t.names in
+      Hashtbl.replace t.names name id;
+      t.name_list <- name :: t.name_list;
+      id
+
+let input t ?name v =
+  let var_id = match name with Some n -> name_id t n | None -> -1 in
+  push t ~v ~lhs:(-1) ~dlhs:0. ~rhs:(-1) ~drhs:0. ~var_id
+
+let register t name x =
+  push t ~v:x.v ~lhs:x.i ~dlhs:1. ~rhs:(-1) ~drhs:0. ~var_id:(name_id t name)
+
+let unary t ~v ~arg ~partial =
+  push t ~v ~lhs:arg.i ~dlhs:partial ~rhs:(-1) ~drhs:0. ~var_id:(-1)
+
+let binary t ~v ~lhs ~dlhs ~rhs ~drhs =
+  push t ~v ~lhs:lhs.i ~dlhs ~rhs:rhs.i ~drhs ~var_id:(-1)
+
+let backward t out =
+  Array.fill t.adjoints 0 t.len 0.;
+  if out.i >= 0 then begin
+    t.adjoints.(out.i) <- 1.;
+    for k = t.len - 1 downto 0 do
+      let a = t.adjoints.(k) in
+      if a <> 0. then begin
+        let l = t.lhs.(k) in
+        if l >= 0 then t.adjoints.(l) <- t.adjoints.(l) +. (a *. t.dlhs.(k));
+        let r = t.rhs.(k) in
+        if r >= 0 then t.adjoints.(r) <- t.adjoints.(r) +. (a *. t.drhs.(k))
+      end
+    done
+  end
+
+let adjoint t x = if x.i >= 0 then t.adjoints.(x.i) else 0.
+let value t i = t.values.(i)
+
+let var_names t =
+  let n = Hashtbl.length t.names in
+  let a = Array.make n "" in
+  List.iteri (fun k name -> a.(n - 1 - k) <- name) t.name_list;
+  a
+
+let fold_inputs t ~init ~f =
+  let acc = ref init in
+  let names = var_names t in
+  for k = 0 to t.len - 1 do
+    let id = t.var_id.(k) in
+    if id >= 0 && t.lhs.(k) < 0 then
+      acc := f !acc names.(id) ~adjoint:t.adjoints.(k)
+  done;
+  !acc
+
+let fold_registered t ~init ~f =
+  let acc = ref init in
+  let names = var_names t in
+  for k = 0 to t.len - 1 do
+    let id = t.var_id.(k) in
+    if id >= 0 then
+      acc := f !acc names.(id) ~adjoint:t.adjoints.(k) ~value:t.values.(k)
+  done;
+  !acc

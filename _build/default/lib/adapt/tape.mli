@@ -1,0 +1,51 @@
+(** Run-time tape for the ADAPT-style operator-overloading baseline.
+
+    Every elementary operation appends one node carrying its value, its
+    predecessors, the local partials, an adjoint slot, and a variable
+    attribution — the classic tracing design (CoDiPack/ADOL-C style) the
+    paper's baseline is built on. The tape therefore grows with the
+    {e operation count} of the program, which is exactly why ADAPT runs
+    out of memory on the larger workloads of Figs. 4–8; the byte
+    accounting here feeds that comparison deterministically.
+
+    Layout is structure-of-arrays; {!bytes_per_node} reflects the payload
+    of one node (4 floats + 3 indices). *)
+
+type t
+
+type num = { i : int; v : float }
+(** The overloaded number: a tape index ([-1] for constants) and its
+    value. *)
+
+val create : ?meter:Cheffp_util.Meter.t -> unit -> t
+(** With a meter, every appended node reports {!bytes_per_node}; a meter
+    budget emulates the paper's out-of-memory failures. *)
+
+val bytes_per_node : int
+val length : t -> int
+val bytes : t -> int
+
+val const : float -> num
+val input : t -> ?name:string -> float -> num
+val register : t -> string -> num -> num
+(** Attribution node: names the value for the error-estimation pass. *)
+
+val unary : t -> v:float -> arg:num -> partial:float -> num
+val binary : t -> v:float -> lhs:num -> dlhs:float -> rhs:num -> drhs:float -> num
+
+val backward : t -> num -> unit
+(** Seed the adjoint of the given output with 1 and propagate to all
+    nodes. Resets previous adjoints. *)
+
+val adjoint : t -> num -> float
+val value : t -> int -> float
+
+val fold_registered : t -> init:'a -> f:('a -> string -> adjoint:float -> value:float -> 'a) -> 'a
+(** Iterate over attribution nodes (inputs included if named), oldest
+    first, after {!backward}. *)
+
+val fold_inputs : t -> init:'a -> f:('a -> string -> adjoint:float -> 'a) -> 'a
+(** Like {!fold_registered} but restricted to named input nodes — i.e.
+    the gradient components, after {!backward}. *)
+
+val var_names : t -> string array

@@ -1,0 +1,1 @@
+lib/benchmarks/arclength.ml: Cheffp_adapt Cheffp_ir Float Interp Parser Typecheck

@@ -1,0 +1,1 @@
+lib/benchmarks/blackscholes.ml: Array Ast Builtins Cheffp_adapt Cheffp_fastapprox Cheffp_ir Cheffp_util Float Interp Lazy List Normalize Parser Printf String Typecheck

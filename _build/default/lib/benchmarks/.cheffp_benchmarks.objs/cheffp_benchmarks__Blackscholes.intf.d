@@ -1,0 +1,1 @@
+lib/benchmarks/blackscholes.mli: Ast Cheffp_adapt Cheffp_ir Interp

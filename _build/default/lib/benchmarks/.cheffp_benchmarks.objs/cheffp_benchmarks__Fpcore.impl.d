@@ -1,0 +1,1 @@
+lib/benchmarks/fpcore.ml: Cheffp_ir Interp List Parser Typecheck

@@ -1,0 +1,1 @@
+lib/benchmarks/fpcore.mli: Ast Cheffp_ir Interp

@@ -1,0 +1,1 @@
+lib/benchmarks/hpccg.ml: Array Cheffp_adapt Cheffp_ir Cheffp_sparse Interp Parser Typecheck

@@ -1,0 +1,1 @@
+lib/benchmarks/hpccg.mli: Ast Cheffp_adapt Cheffp_ir Cheffp_sparse Interp

@@ -1,0 +1,1 @@
+lib/benchmarks/kmeans.ml: Array Cheffp_adapt Cheffp_ir Cheffp_precision Cheffp_util Float Interp Parser Typecheck

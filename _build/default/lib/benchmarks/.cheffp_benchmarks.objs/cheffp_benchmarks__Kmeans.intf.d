@@ -1,0 +1,1 @@
+lib/benchmarks/kmeans.mli: Ast Cheffp_adapt Cheffp_ir Cheffp_precision Interp

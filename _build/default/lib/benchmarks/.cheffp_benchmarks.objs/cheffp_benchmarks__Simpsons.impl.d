@@ -1,0 +1,1 @@
+lib/benchmarks/simpsons.ml: Cheffp_adapt Cheffp_ir Interp Parser Typecheck

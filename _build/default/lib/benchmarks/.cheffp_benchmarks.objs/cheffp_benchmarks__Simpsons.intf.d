@@ -1,0 +1,1 @@
+lib/benchmarks/simpsons.mli: Ast Cheffp_adapt Cheffp_ir Interp

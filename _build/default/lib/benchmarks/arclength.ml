@@ -1,0 +1,60 @@
+open Cheffp_ir
+
+let source =
+  {|
+// Arc length of g(x) = x + sum_{k=1..5} 2^-k sin(2^k x) over [0, pi].
+func arclength(n: int): f64 {
+  var h: f64 = 3.141592653589793 / itof(n);
+  var t1: f64 = 0.0;
+  var t2: f64 = 0.0;
+  var s1: f64 = 0.0;
+  var x: f64;
+  var fx: f64;
+  var p2: f64;
+  var d: f64;
+  for i in 1 .. n + 1 {
+    x = itof(i) * h;
+    fx = x;
+    p2 = 1.0;
+    for k in 1 .. 6 {
+      p2 = p2 * 2.0;
+      fx = fx + sin(p2 * x) / p2;
+    }
+    t2 = fx;
+    d = t2 - t1;
+    s1 = s1 + sqrt(h * h + d * d);
+    t1 = t2;
+  }
+  return s1;
+}
+|}
+
+let program = Parser.parse_program source
+let func_name = "arclength"
+let () = Typecheck.check_program program
+let args ~n = [ Interp.Aint n ]
+
+module Native (N : Cheffp_adapt.Num.NUM) = struct
+  let run ~n =
+    let h = N.(register "h" (of_float Float.pi / of_int n)) in
+    let t1 = ref (N.of_float 0.) in
+    let s1 = ref (N.of_float 0.) in
+    for i = 1 to n do
+      let x = N.(register "x" (of_int i * h)) in
+      let fx = ref x in
+      let p2 = ref (N.of_float 1.) in
+      for _k = 1 to 5 do
+        p2 := N.(register "p2" (!p2 * of_float 2.));
+        fx := N.(register "fx" (!fx + (sin (!p2 * x) / !p2)))
+      done;
+      let t2 = N.register "t2" !fx in
+      let d = N.(register "d" (t2 - !t1)) in
+      s1 := N.(register "s1" (!s1 + sqrt ((h * h) + (d * d))));
+      t1 := N.register "t1" t2
+    done;
+    !s1
+end
+
+module Ref = Native (Cheffp_adapt.Num.Float_num)
+
+let reference ~n = Ref.run ~n

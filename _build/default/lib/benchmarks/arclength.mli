@@ -1,0 +1,23 @@
+(** Arc Length benchmark (paper §IV-1).
+
+    Approximates the length of g(x) = x + sum_{k=1..5} 2^-k sin(2^k x)
+    over [0, pi] by summing straight-line segment lengths over [n]
+    sample points — the classic mixed-precision study function (Bailey).
+    The paper's Table I runs it with threshold 1e-5; Fig. 4 sweeps [n]. *)
+
+open Cheffp_ir
+
+val source : string
+(** MiniFP text of the benchmark (parsed in {!program}). *)
+
+val program : Ast.program
+val func_name : string
+
+val args : n:int -> Interp.arg list
+
+module Native (N : Cheffp_adapt.Num.NUM) : sig
+  val run : n:int -> N.t
+end
+
+val reference : n:int -> float
+(** Plain-float result for cross-checking. *)

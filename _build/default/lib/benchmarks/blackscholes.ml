@@ -1,0 +1,273 @@
+open Cheffp_ir
+module Rng = Cheffp_util.Rng
+module Fast = Cheffp_fastapprox.Fastapprox
+
+type workload = {
+  sptprice : float array;
+  strike : float array;
+  rate : float array;
+  volatility : float array;
+  otime : float array;
+  otype : int array;
+  n : int;
+}
+
+let generate ?(seed = 19730529L) ~n () =
+  let rng = Rng.create seed in
+  let sptprice = Array.init n (fun _ -> Rng.uniform rng ~lo:10. ~hi:100.) in
+  {
+    sptprice;
+    strike =
+      Array.init n (fun i -> sptprice.(i) *. Rng.uniform rng ~lo:0.6 ~hi:1.4);
+    rate = Array.init n (fun _ -> Rng.uniform rng ~lo:0.01 ~hi:0.1);
+    volatility = Array.init n (fun _ -> Rng.uniform rng ~lo:0.1 ~hi:0.6);
+    otime = Array.init n (fun _ -> Rng.uniform rng ~lo:0.1 ~hi:3.0);
+    otype = Array.init n (fun _ -> Rng.int rng 2);
+    n;
+  }
+
+type config = Exact | Fast_log_sqrt | Fast_log_sqrt_exp
+
+let config_name = function
+  | Exact -> "exact"
+  | Fast_log_sqrt -> "FastApprox w/o fast exp"
+  | Fast_log_sqrt_exp -> "FastApprox w/ fast exp"
+
+let fns = function
+  | Exact -> ("log", "sqrt", "exp")
+  | Fast_log_sqrt -> ("fastlog", "fastsqrt", "exp")
+  | Fast_log_sqrt_exp -> ("fastlog", "fastsqrt", "fastexp")
+
+let source config =
+  let log_fn, sqrt_fn, exp_fn = fns config in
+  Printf.sprintf
+    {|
+// PARSEC BlkSchlsEqEuroNoDiv with the CNDF polynomial approximation.
+func cndf(xi: f64): f64 {
+  var ax: f64 = xi;
+  if (xi < 0.0) {
+    ax = -xi;
+  }
+  var kc: f64 = 1.0 / (1.0 + 0.2316419 * ax);
+  var kpoly: f64 = kc * (0.319381530 + kc * (-0.356563782 + kc * (1.781477937
+                   + kc * (-1.821255978 + kc * 1.330274429))));
+  var garg: f64 = -(0.5 * ax * ax);
+  var w: f64 = 1.0 - 0.3989422804014327 * %s(garg) * kpoly;
+  if (xi < 0.0) {
+    w = 1.0 - w;
+  }
+  return w;
+}
+
+func bs_price(s: f64, k: f64, r: f64, v: f64, t: f64, otype: int): f64 {
+  var tt: f64 = t;
+  var sqrtt: f64 = %s(tt);
+  var lsk: f64 = s / k;
+  var d1: f64 = (%s(lsk) + (r + 0.5 * v * v) * t) / (v * sqrtt);
+  var d2: f64 = d1 - v * sqrtt;
+  var n1: f64 = cndf(d1);
+  var n2: f64 = cndf(d2);
+  var earg: f64 = -(r * t);
+  var fut: f64 = k * %s(earg);
+  var price: f64;
+  if (otype == 0) {
+    price = s * n1 - fut * n2;
+  } else {
+    price = fut * (1.0 - n2) - s * (1.0 - n1);
+  }
+  return price;
+}
+
+func blackscholes(sptprice: f64[], strike: f64[], rate: f64[],
+                  volatility: f64[], otime: f64[], otype: int[], n: int): f64 {
+  var total: f64 = 0.0;
+  var pr: f64;
+  for i in 0 .. n {
+    pr = bs_price(sptprice[i], strike[i], rate[i], volatility[i], otime[i],
+                  otype[i]);
+    total = total + pr;
+  }
+  return total;
+}
+|}
+    exp_fn sqrt_fn log_fn exp_fn
+
+let builtins_with_fast =
+  lazy
+    (let b = Builtins.create () in
+     Fast.register_builtins b;
+     b)
+
+let program config =
+  let p = Parser.parse_program (source config) in
+  Typecheck.check_program ~builtins:(Lazy.force builtins_with_fast) p;
+  p
+
+let func_name = "blackscholes"
+let price_func = "bs_price"
+
+let args w =
+  [
+    Interp.Afarr w.sptprice;
+    Interp.Afarr w.strike;
+    Interp.Afarr w.rate;
+    Interp.Afarr w.volatility;
+    Interp.Afarr w.otime;
+    Interp.Aiarr w.otype;
+    Interp.Aint w.n;
+  ]
+
+let price_args w i =
+  [
+    Interp.Aflt w.sptprice.(i);
+    Interp.Aflt w.strike.(i);
+    Interp.Aflt w.rate.(i);
+    Interp.Aflt w.volatility.(i);
+    Interp.Aflt w.otime.(i);
+    Interp.Aint w.otype.(i);
+  ]
+
+(* Variables of interest for Algorithm 2: inputs of the approximated
+   calls. Inlining may rename copies ([garg], [garg_1], ...), so the map
+   is derived from the normalized exact program. *)
+let approx_pairs config =
+  let base =
+    match config with
+    | Exact -> []
+    | Fast_log_sqrt -> [ ("lsk", "log"); ("tt", "sqrt") ]
+    | Fast_log_sqrt_exp ->
+        [ ("lsk", "log"); ("tt", "sqrt"); ("earg", "exp"); ("garg", "exp") ]
+  in
+  if base = [] then []
+  else begin
+    let prog = program Exact in
+    let nf = Normalize.normalize_func prog (Ast.func_exn prog price_func) in
+    let matches prefix name =
+      name = prefix
+      || String.length name > String.length prefix
+         && String.sub name 0 (String.length prefix + 1) = prefix ^ "_"
+    in
+    List.concat_map
+      (fun (prefix, intrinsic) ->
+        List.filter_map
+          (fun (name, _) ->
+            if matches prefix name then Some (name, intrinsic) else None)
+          (Normalize.locals nf))
+      base
+  end
+
+let eval_exact intrinsic v =
+  match intrinsic with
+  | "log" -> log v
+  | "sqrt" -> sqrt v
+  | "exp" -> exp v
+  | other -> invalid_arg ("Blackscholes.eval_exact: " ^ other)
+
+let eval_approx intrinsic v =
+  match intrinsic with
+  | "log" -> Fast.fastlog v
+  | "sqrt" -> Fast.fastsqrt v
+  | "exp" -> Fast.fastexp v
+  | other -> invalid_arg ("Blackscholes.eval_approx: " ^ other)
+
+type mathset = {
+  m_exp : float -> float;
+  m_log : float -> float;
+  m_sqrt : float -> float;
+}
+
+let mathset_of = function
+  | Exact -> { m_exp = exp; m_log = log; m_sqrt = sqrt }
+  | Fast_log_sqrt -> { m_exp = exp; m_log = Fast.fastlog; m_sqrt = Fast.fastsqrt }
+  | Fast_log_sqrt_exp ->
+      { m_exp = Fast.fastexp; m_log = Fast.fastlog; m_sqrt = Fast.fastsqrt }
+
+let cndf_native m xi =
+  let ax = Float.abs xi in
+  let kc = 1. /. (1. +. (0.2316419 *. ax)) in
+  let kpoly =
+    kc
+    *. (0.319381530
+       +. kc
+          *. (-0.356563782
+             +. kc
+                *. (1.781477937
+                   +. (kc *. (-1.821255978 +. (kc *. 1.330274429))))))
+  in
+  let w = 1. -. (0.3989422804014327 *. m.m_exp (-.(0.5 *. ax *. ax)) *. kpoly) in
+  if xi < 0. then 1. -. w else w
+
+let price_native m ~s ~k ~r ~v ~t ~otype =
+  let sqrtt = m.m_sqrt t in
+  let d1 = (m.m_log (s /. k) +. ((r +. (0.5 *. v *. v)) *. t)) /. (v *. sqrtt) in
+  let d2 = d1 -. (v *. sqrtt) in
+  let n1 = cndf_native m d1 in
+  let n2 = cndf_native m d2 in
+  let fut = k *. m.m_exp (-.(r *. t)) in
+  if otype = 0 then (s *. n1) -. (fut *. n2)
+  else (fut *. (1. -. n2)) -. (s *. (1. -. n1))
+
+module Native (N : Cheffp_adapt.Num.NUM) = struct
+  let cndf xi =
+    let negative = N.(xi < of_float 0.) in
+    let ax = N.fabs xi in
+    let kc =
+      N.(
+        register "kc" (of_float 1. / (of_float 1. + (of_float 0.2316419 * ax))))
+    in
+    let kpoly =
+      N.(
+        register "kpoly"
+          (kc
+          * (of_float 0.319381530
+            + kc
+              * (of_float (-0.356563782)
+                + kc
+                  * (of_float 1.781477937
+                    + (kc * (of_float (-1.821255978) + (kc * of_float 1.330274429))))))))
+    in
+    let garg = N.(register "garg" (neg (of_float 0.5 * ax * ax))) in
+    let w =
+      N.(
+        register "w"
+          (of_float 1. - (of_float 0.3989422804014327 * exp garg * kpoly)))
+    in
+    if negative then N.(of_float 1. - w) else w
+
+  let price ~s ~k ~r ~v ~t ~otype =
+    let tt = N.register "tt" t in
+    let sqrtt = N.(register "sqrtt" (sqrt tt)) in
+    let lsk = N.(register "lsk" (s / k)) in
+    let d1 =
+      N.(
+        register "d1"
+          ((log lsk + ((r + (of_float 0.5 * v * v)) * t)) / (v * sqrtt)))
+    in
+    let d2 = N.(register "d2" (d1 - (v * sqrtt))) in
+    let n1 = N.register "n1" (cndf d1) in
+    let n2 = N.register "n2" (cndf d2) in
+    let earg = N.(register "earg" (neg (r * t))) in
+    let fut = N.(register "fut" (k * exp earg)) in
+    if otype = 0 then N.((s * n1) - (fut * n2))
+    else N.((fut * (of_float 1. - n2)) - (s * (of_float 1. - n1)))
+
+  let run w =
+    let total = ref (N.of_float 0.) in
+    for i = 0 to w.n - 1 do
+      let pr =
+        price
+          ~s:(N.input "sptprice" w.sptprice.(i))
+          ~k:(N.input "strike" w.strike.(i))
+          ~r:(N.input "rate" w.rate.(i))
+          ~v:(N.input "volatility" w.volatility.(i))
+          ~t:(N.input "otime" w.otime.(i))
+          ~otype:w.otype.(i)
+      in
+      total := N.(register "total" (!total + pr))
+    done;
+    !total
+end
+
+module Ref = Native (Cheffp_adapt.Num.Float_num)
+
+let reference w = Ref.run w

@@ -1,0 +1,71 @@
+(** Black-Scholes benchmark (paper §IV-5, PARSEC): European option
+    pricing with the CNDF polynomial approximation. Used two ways:
+
+    - Fig. 8: analysis time/memory of CHEF-FP vs ADAPT on the option-sum
+      program, sweeping the number of options;
+    - Table IV: the FastApprox study — swap [log]/[sqrt] (and optionally
+      [exp]) for their FastApprox variants, estimate the approximation
+      error per option with the Algorithm-2 custom model, and compare
+      with the measured error.
+
+    The MiniFP version exercises the inliner: [blackscholes] calls
+    [bs_price], which calls [cndf] twice. *)
+
+open Cheffp_ir
+
+type workload = {
+  sptprice : float array;
+  strike : float array;
+  rate : float array;
+  volatility : float array;
+  otime : float array;
+  otype : int array;
+  n : int;
+}
+
+val generate : ?seed:int64 -> n:int -> unit -> workload
+
+type config = Exact | Fast_log_sqrt | Fast_log_sqrt_exp
+
+val config_name : config -> string
+
+val source : config -> string
+val program : config -> Ast.program
+val func_name : string
+(** The aggregate entry point, ["blackscholes"]. *)
+
+val price_func : string
+(** The per-option entry point, ["bs_price"]. *)
+
+val args : workload -> Interp.arg list
+val price_args : workload -> int -> Interp.arg list
+(** Arguments of [bs_price] for option [i]. *)
+
+val approx_pairs : config -> (string * string) list
+(** Variable-to-intrinsic map for {!Cheffp_core.Model.approx_functions}
+    (Algorithm 2), derived from the normalized program so renamed inline
+    copies are included. Empty for [Exact]. *)
+
+val eval_exact : string -> float -> float
+(** EVAL of Algorithm 2 for the intrinsics used here. *)
+
+val eval_approx : string -> float -> float
+
+(** Plain-float pricing with substitutable math, for measured errors. *)
+type mathset = {
+  m_exp : float -> float;
+  m_log : float -> float;
+  m_sqrt : float -> float;
+}
+
+val mathset_of : config -> mathset
+
+val price_native :
+  mathset -> s:float -> k:float -> r:float -> v:float -> t:float -> otype:int -> float
+
+module Native (N : Cheffp_adapt.Num.NUM) : sig
+  val run : workload -> N.t
+  (** Exact math; sums all option prices (for the ADAPT/tape baseline). *)
+end
+
+val reference : workload -> float

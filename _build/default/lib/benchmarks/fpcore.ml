@@ -1,0 +1,150 @@
+open Cheffp_ir
+
+type kernel = {
+  name : string;
+  func_name : string;
+  source : string;
+  args : Interp.arg list;
+  description : string;
+}
+
+let k name func_name description source args =
+  { name; func_name; source; args; description }
+
+let kernels =
+  [
+    k "doppler" "doppler" "Doppler frequency shift (FPBench doppler1)"
+      {|
+func doppler(u: f64, v: f64, t: f64): f64 {
+  var t1: f64 = 331.4 + 0.6 * t;
+  var r: f64 = (-t1 * v) / ((t1 + u) * (t1 + u));
+  return r;
+}
+|}
+      [ Interp.Aflt (-30.); Interp.Aflt 10_000.; Interp.Aflt 25. ];
+    k "jetengine" "jetengine" "Jet engine controller (FPBench jetEngine)"
+      {|
+func jetengine(x1: f64, x2: f64): f64 {
+  var t: f64 = 3.0 * x1 * x1 + 2.0 * x2 - x1;
+  var d: f64 = x1 * x1 + 1.0;
+  var s: f64 = t / d;
+  var s2: f64 = (3.0 * x1 * x1 - 2.0 * x2 - x1) / d;
+  var r: f64 = x1 + (2.0 * x1 * s * (s - 3.0) + x1 * x1 * (4.0 * s - 6.0)) * d
+               + 3.0 * x1 * x1 * s + x1 * x1 * x1 + x1 + 3.0 * s2;
+  return r;
+}
+|}
+      [ Interp.Aflt 2.1; Interp.Aflt 10.3 ];
+    k "turbine1" "turbine1" "Turbine blade model, first component"
+      {|
+func turbine1(v: f64, w: f64, r: f64): f64 {
+  var res: f64 = 3.0 + 2.0 / (r * r)
+                 - 0.125 * (3.0 - 2.0 * v) * (w * w * r * r) / (1.0 - v)
+                 - 4.5;
+  return res;
+}
+|}
+      [ Interp.Aflt (-3.5); Interp.Aflt 0.6; Interp.Aflt 5.7 ];
+    k "verhulst" "verhulst" "Verhulst population model"
+      {|
+func verhulst(x: f64): f64 {
+  var r: f64 = 4.0;
+  var kk: f64 = 1.11;
+  return (r * x) / (1.0 + x / kk);
+}
+|}
+      [ Interp.Aflt 0.19 ];
+    k "predatorprey" "predatorprey" "Predator-prey equilibrium term"
+      {|
+func predatorprey(x: f64): f64 {
+  var r: f64 = 4.0;
+  var kk: f64 = 1.11;
+  return (r * x * x) / (1.0 + (x / kk) * (x / kk));
+}
+|}
+      [ Interp.Aflt 0.23 ];
+    k "carbongas" "carbongas" "Van der Waals carbon gas state equation"
+      {|
+func carbongas(v: f64): f64 {
+  var p: f64 = 35000000.0;
+  var a: f64 = 0.401;
+  var b: f64 = 0.0000427;
+  var t: f64 = 300.0;
+  var n: f64 = 1000.0;
+  var kb: f64 = 0.000000000000000000000013806503;
+  return (p + a * (n / v) * (n / v)) * (v - n * b) - kb * n * t;
+}
+|}
+      [ Interp.Aflt 0.1 ];
+    k "rigidbody1" "rigidbody1" "Rigid body kinematics, first polynomial"
+      {|
+func rigidbody1(x1: f64, x2: f64, x3: f64): f64 {
+  return -(x1 * x2) - 2.0 * (x2 * x3) - x1 - x3;
+}
+|}
+      [ Interp.Aflt 7.1; Interp.Aflt (-5.5); Interp.Aflt 12.2 ];
+    k "rigidbody2" "rigidbody2" "Rigid body kinematics, second polynomial"
+      {|
+func rigidbody2(x1: f64, x2: f64, x3: f64): f64 {
+  return 2.0 * (x1 * x2 * x3) + (3.0 * x3 * x3)
+         - x2 * (x1 * x2 * x3) + (3.0 * x3 * x3) - x2;
+}
+|}
+      [ Interp.Aflt 7.1; Interp.Aflt (-5.5); Interp.Aflt 12.2 ];
+    k "sine" "sine_taylor" "Taylor expansion of sine"
+      {|
+func sine_taylor(x: f64): f64 {
+  return x - (x * x * x) / 6.0 + (x * x * x * x * x) / 120.0
+         - (x * x * x * x * x * x * x) / 5040.0;
+}
+|}
+      [ Interp.Aflt 1.26 ];
+    k "sqroot" "sqroot" "Taylor expansion of sqrt(1+x)"
+      {|
+func sqroot(x: f64): f64 {
+  return 1.0 + 0.5 * x - 0.125 * x * x + 0.0625 * x * x * x
+         - 0.0390625 * x * x * x * x;
+}
+|}
+      [ Interp.Aflt 0.77 ];
+    k "nmse331" "nmse331" "Numerical methods: 1/(x+1) - 1/x cancellation"
+      {|
+func nmse331(x: f64): f64 {
+  return 1.0 / (x + 1.0) - 1.0 / x;
+}
+|}
+      [ Interp.Aflt 177.5 ];
+    k "logistic_iter" "logistic_iter" "Iterated logistic map (loop kernel)"
+      {|
+func logistic_iter(x0: f64, n: int): f64 {
+  var x: f64 = x0;
+  for i in 0 .. n {
+    x = 3.75 * x * (1.0 - x);
+  }
+  return x;
+}
+|}
+      [ Interp.Aflt 0.31; Interp.Aint 15 ];
+    k "horner" "horner" "Horner evaluation of a degree-8 polynomial"
+      {|
+func horner(x: f64, coeffs: f64[], n: int): f64 {
+  var acc: f64 = 0.0;
+  for i in 0 .. n reversed {
+    acc = acc * x + coeffs[i];
+  }
+  return acc;
+}
+|}
+      [
+        Interp.Aflt 1.73;
+        Interp.Afarr [| 0.3; -1.2; 0.07; 2.5; -0.33; 1.01; -0.5; 0.125; 0.9 |];
+        Interp.Aint 9;
+      ];
+  ]
+
+let program kern =
+  let prog = Parser.parse_program kern.source in
+  Typecheck.check_program prog;
+  prog
+
+let find name = List.find_opt (fun kern -> kern.name = name) kernels

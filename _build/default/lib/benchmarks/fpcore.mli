@@ -1,0 +1,26 @@
+(** FPBench-style kernel suite.
+
+    Classic kernels from the floating-point-analysis literature (the
+    FPBench suite used by FPTaylor, Herbie, and the paper's related-work
+    tools: Doppler, Jet Engine, Turbine, Predator-Prey, Verhulst, Carbon
+    Gas, Rigid Body, ...), expressed in MiniFP with representative input
+    boxes. They broaden the evaluation beyond the paper's five HPC codes
+    and feed the [suite] benchmark (estimate-vs-actual across kernels)
+    and the corresponding regression tests. *)
+
+open Cheffp_ir
+
+type kernel = {
+  name : string;
+  func_name : string;
+  source : string;
+  args : Interp.arg list;  (** a representative point inside the input box *)
+  description : string;
+}
+
+val kernels : kernel list
+
+val program : kernel -> Ast.program
+(** Parsed and type-checked. *)
+
+val find : string -> kernel option

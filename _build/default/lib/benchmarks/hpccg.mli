@@ -1,0 +1,42 @@
+(** HPCCG benchmark (paper §IV-4, Mantevo): conjugate gradient on the
+    27-point-stencil "3D chimney" domain, single-threaded, fixed
+    iteration count. The analyzed function runs the full CG main loop
+    and returns the final residual norm; its per-iteration variable
+    sensitivities reproduce Fig. 9 and drive the split-loop
+    mixed-precision configuration of Table I. *)
+
+open Cheffp_ir
+
+type workload = {
+  matrix : Cheffp_sparse.Csr.t;
+  b : float array;
+  x0 : float array;
+  xexact : float array;
+  max_iter : int;
+}
+
+val generate : nx:int -> ny:int -> nz:int -> ?max_iter:int -> unit -> workload
+(** [max_iter] defaults to 150 (the HPCCG default). *)
+
+val source : string
+val program : Ast.program
+val func_name : string
+
+val args : workload -> Interp.arg list
+(** Fresh copies of the mutable vectors are made on each call. *)
+
+val source_split : string
+(** The split-loop mixed-precision rewrite the paper derives from the
+    Fig. 9 sensitivity profile: the first [cutoff] CG iterations run in
+    binary64, the remainder entirely in binary32-typed state. *)
+
+val program_split : Ast.program
+val split_func_name : string
+val split_args : workload -> cutoff:int -> Interp.arg list
+
+module Native (N : Cheffp_adapt.Num.NUM) : sig
+  val run : workload -> N.t
+  (** Returns the solution norm sqrt(x.x). *)
+end
+
+val reference : workload -> float

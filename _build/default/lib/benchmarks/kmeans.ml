@@ -1,0 +1,190 @@
+open Cheffp_ir
+module Rng = Cheffp_util.Rng
+module Fp = Cheffp_precision.Fp
+
+type workload = {
+  attributes : float array;
+  clusters : float array;
+  npoints : int;
+  nclusters : int;
+  nfeatures : int;
+}
+
+let generate ?(seed = 20230517L) ~npoints ?(nclusters = 5) ?(nfeatures = 4) ()
+    =
+  let rng = Rng.create seed in
+  (* Rodinia-style data: four decimal digits, stored as binary32 by the
+     file reader => exactly float-representable. *)
+  let attributes =
+    Array.init (npoints * nfeatures) (fun _ ->
+        let v = Float.of_int (Rng.int rng 100000) /. 10000. in
+        Fp.round Fp.F32 v)
+  in
+  (* Centres are means of random subsets: genuine doubles. *)
+  let clusters = Array.make (nclusters * nfeatures) 0. in
+  let members = 17 in
+  for c = 0 to nclusters - 1 do
+    for f = 0 to nfeatures - 1 do
+      let acc = ref 0. in
+      for _ = 1 to members do
+        let p = Rng.int rng npoints in
+        acc := !acc +. attributes.((p * nfeatures) + f)
+      done;
+      clusters.((c * nfeatures) + f) <- !acc /. float_of_int members
+    done
+  done;
+  { attributes; clusters; npoints; nclusters; nfeatures }
+
+let source =
+  {|
+// Total distance of every point to its nearest cluster centre
+// (the Rodinia k-means euclid_dist hotspot, aggregated).
+func kmeans_dist(attributes: f64[], clusters: f64[], npoints: int,
+                 nclusters: int, nfeatures: int): f64 {
+  var total: f64 = 0.0;
+  var best: f64;
+  var dist: f64;
+  var sum: f64;
+  var d: f64;
+  for p in 0 .. npoints {
+    best = 1.0e30;
+    for c in 0 .. nclusters {
+      sum = 0.0;
+      for f in 0 .. nfeatures {
+        d = attributes[p * nfeatures + f] - clusters[c * nfeatures + f];
+        sum = sum + d * d;
+      }
+      dist = sqrt(sum);
+      if (dist < best) {
+        best = dist;
+      }
+    }
+    total = total + best;
+  }
+  return total;
+}
+|}
+
+let program = Parser.parse_program source
+let func_name = "kmeans_dist"
+let () = Typecheck.check_program program
+
+let args w =
+  [
+    Interp.Afarr w.attributes;
+    Interp.Afarr w.clusters;
+    Interp.Aint w.npoints;
+    Interp.Aint w.nclusters;
+    Interp.Aint w.nfeatures;
+  ]
+
+module Native (N : Cheffp_adapt.Num.NUM) = struct
+  let run w =
+    let attributes =
+      Array.map (fun v -> N.input "attributes" v) w.attributes
+    in
+    let clusters = Array.map (fun v -> N.input "clusters" v) w.clusters in
+    let total = ref (N.of_float 0.) in
+    for p = 0 to w.npoints - 1 do
+      let best = ref (N.of_float 1.0e30) in
+      for c = 0 to w.nclusters - 1 do
+        let sum = ref (N.of_float 0.) in
+        for f = 0 to w.nfeatures - 1 do
+          let ai = (p * w.nfeatures) + f and ci = (c * w.nfeatures) + f in
+          let d = N.(register "d" (attributes.(ai) - clusters.(ci))) in
+          sum := N.(register "sum" (!sum + (d * d)))
+        done;
+        let dist = N.(register "dist" (sqrt !sum)) in
+        if N.(dist < !best) then best := dist
+      done;
+      total := N.(register "total" (!total + !best))
+    done;
+    !total
+end
+
+module Ref = Native (Cheffp_adapt.Num.Float_num)
+
+let reference w = Ref.run w
+
+(* Full Lloyd's algorithm, with a pluggable distance so the clustering
+   can run against exact arithmetic or against a precision-emulating
+   kernel: used to check mixed-precision kernel choices at application
+   level (the paper's k-Means row reports the whole-app outcome). *)
+
+type clustering = {
+  assignments : int array;
+  centroids : float array;  (* nclusters * nfeatures *)
+  iterations : int;
+  changed_last : int;
+}
+
+let default_distance w ~point ~centroid centroids attributes =
+  let acc = ref 0. in
+  for f = 0 to w.nfeatures - 1 do
+    let d =
+      attributes.((point * w.nfeatures) + f)
+      -. centroids.((centroid * w.nfeatures) + f)
+    in
+    acc := !acc +. (d *. d)
+  done;
+  sqrt !acc
+
+(* Distance computed with every store rounded to [fmt]: the bit-accurate
+   emulation of running the euclid kernel with demoted [clusters] and
+   [sum] (attributes are exactly representable by construction). *)
+let rounded_distance fmt w ~point ~centroid centroids attributes =
+  let round = Cheffp_precision.Fp.round fmt in
+  let acc = ref 0. in
+  for f = 0 to w.nfeatures - 1 do
+    let d =
+      attributes.((point * w.nfeatures) + f)
+      -. round centroids.((centroid * w.nfeatures) + f)
+    in
+    acc := round (!acc +. round (d *. d))
+  done;
+  sqrt !acc
+
+let cluster ?(max_iter = 20) ?distance w =
+  let distance =
+    match distance with Some d -> d | None -> default_distance w
+  in
+  let centroids = Array.copy w.clusters in
+  let assignments = Array.make w.npoints (-1) in
+  let sums = Array.make (w.nclusters * w.nfeatures) 0. in
+  let counts = Array.make w.nclusters 0 in
+  let changed = ref w.npoints in
+  let iter = ref 0 in
+  while !iter < max_iter && !changed > 0 do
+    changed := 0;
+    for p = 0 to w.npoints - 1 do
+      let best = ref 0 and bestd = ref infinity in
+      for c = 0 to w.nclusters - 1 do
+        let d = distance ~point:p ~centroid:c centroids w.attributes in
+        if d < !bestd then begin
+          bestd := d;
+          best := c
+        end
+      done;
+      if assignments.(p) <> !best then incr changed;
+      assignments.(p) <- !best
+    done;
+    Array.fill sums 0 (Array.length sums) 0.;
+    Array.fill counts 0 w.nclusters 0;
+    for p = 0 to w.npoints - 1 do
+      let c = assignments.(p) in
+      counts.(c) <- counts.(c) + 1;
+      for f = 0 to w.nfeatures - 1 do
+        sums.((c * w.nfeatures) + f) <-
+          sums.((c * w.nfeatures) + f) +. w.attributes.((p * w.nfeatures) + f)
+      done
+    done;
+    for c = 0 to w.nclusters - 1 do
+      if counts.(c) > 0 then
+        for f = 0 to w.nfeatures - 1 do
+          centroids.((c * w.nfeatures) + f) <-
+            sums.((c * w.nfeatures) + f) /. float_of_int counts.(c)
+        done
+    done;
+    incr iter
+  done;
+  { assignments; centroids; iterations = !iter; changed_last = !changed }

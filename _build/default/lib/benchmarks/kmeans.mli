@@ -1,0 +1,73 @@
+(** k-Means clustering benchmark (paper §IV-3, Rodinia).
+
+    The instrumented hotspot is the Euclidean-distance kernel; the
+    analyzed function accumulates each point's distance to its nearest
+    cluster centre, exposing the three variables of Table III:
+    [attributes] (the input data), [clusters] (the centres) and [sum]
+    (the per-pair accumulator).
+
+    The workload mimics Rodinia's: attribute values carry four decimal
+    digits and are stored as binary32 by the reader, so they are exactly
+    float-representable and their demotion error is zero (Table III row
+    1); cluster centres are computed means and are not. *)
+
+open Cheffp_ir
+
+type workload = {
+  attributes : float array;  (** npoints * nfeatures, row-major *)
+  clusters : float array;  (** nclusters * nfeatures *)
+  npoints : int;
+  nclusters : int;
+  nfeatures : int;
+}
+
+val generate :
+  ?seed:int64 -> npoints:int -> ?nclusters:int -> ?nfeatures:int -> unit -> workload
+
+val source : string
+val program : Ast.program
+val func_name : string
+val args : workload -> Interp.arg list
+
+module Native (N : Cheffp_adapt.Num.NUM) : sig
+  val run : workload -> N.t
+end
+
+val reference : workload -> float
+
+(** Full Lloyd's clustering (for app-level mixed-precision checks). *)
+
+type clustering = {
+  assignments : int array;
+  centroids : float array;
+  iterations : int;
+  changed_last : int;
+}
+
+val default_distance :
+  workload ->
+  point:int ->
+  centroid:int ->
+  float array ->
+  float array ->
+  float
+
+val rounded_distance :
+  Cheffp_precision.Fp.format ->
+  workload ->
+  point:int ->
+  centroid:int ->
+  float array ->
+  float array ->
+  float
+(** Distance with every store rounded to the format: the euclid kernel
+    with [clusters] and [sum] demoted. *)
+
+val cluster :
+  ?max_iter:int ->
+  ?distance:
+    (point:int -> centroid:int -> float array -> float array -> float) ->
+  workload ->
+  clustering
+(** Lloyd's iterations from the workload's initial centres until
+    assignments stabilise or [max_iter] (default 20). *)

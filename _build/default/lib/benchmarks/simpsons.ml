@@ -1,0 +1,42 @@
+open Cheffp_ir
+
+let source =
+  {|
+// Composite Simpson's rule for the integral of sin over [a, b].
+func simpsons(a: f64, b: f64, n: int): f64 {
+  var h: f64 = (b - a) / (2.0 * itof(n));
+  var s: f64 = sin(a) + sin(b);
+  var x: f64;
+  for i in 1 .. 2 * n {
+    x = a + itof(i) * h;
+    if (i % 2 == 1) {
+      s = s + 4.0 * sin(x);
+    } else {
+      s = s + 2.0 * sin(x);
+    }
+  }
+  return s * h / 3.0;
+}
+|}
+
+let program = Parser.parse_program source
+let func_name = "simpsons"
+let () = Typecheck.check_program program
+let args ~a ~b ~n = [ Interp.Aflt a; Interp.Aflt b; Interp.Aint n ]
+
+module Native (N : Cheffp_adapt.Num.NUM) = struct
+  let run ~a ~b ~n =
+    let a = N.input "a" a and b = N.input "b" b in
+    let h = N.(register "h" ((b - a) / (of_float 2. * of_int n))) in
+    let s = ref N.(register "s" (sin a + sin b)) in
+    for i = 1 to (2 * n) - 1 do
+      let x = N.(register "x" (a + (of_int i * h))) in
+      if i mod 2 = 1 then s := N.(register "s" (!s + (of_float 4. * sin x)))
+      else s := N.(register "s" (!s + (of_float 2. * sin x)))
+    done;
+    N.(!s * h / of_float 3.)
+end
+
+module Ref = Native (Cheffp_adapt.Num.Float_num)
+
+let reference ~a ~b ~n = Ref.run ~a ~b ~n

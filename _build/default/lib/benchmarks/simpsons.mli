@@ -1,0 +1,16 @@
+(** Simpsons benchmark (paper §IV-2): composite Simpson's rule for
+    int_a^b f(x) dx with f(x) = sin(x), 2n subintervals. Table I runs it
+    with threshold 1e-6; Fig. 5 sweeps [n]. *)
+
+open Cheffp_ir
+
+val source : string
+val program : Ast.program
+val func_name : string
+val args : a:float -> b:float -> n:int -> Interp.arg list
+
+module Native (N : Cheffp_adapt.Num.NUM) : sig
+  val run : a:float -> b:float -> n:int -> N.t
+end
+
+val reference : a:float -> b:float -> n:int -> float

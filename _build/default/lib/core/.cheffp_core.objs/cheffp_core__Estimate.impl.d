@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Array Ast Builtins Cheffp_ad Cheffp_ir Cheffp_precision Compile Float Format Hashtbl Interp List Model Optimize Pp Typecheck

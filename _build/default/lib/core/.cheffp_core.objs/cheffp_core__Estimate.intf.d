@@ -1,0 +1,1 @@
+lib/core/estimate.mli: Ast Builtins Cheffp_ad Cheffp_ir Interp Model

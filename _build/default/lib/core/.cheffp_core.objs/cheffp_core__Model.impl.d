@@ -1,0 +1,1 @@
+lib/core/model.ml: Array Ast Builtins Cheffp_ir Cheffp_precision Float Hashtbl List Printf

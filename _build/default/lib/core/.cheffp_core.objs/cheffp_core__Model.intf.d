@@ -1,0 +1,1 @@
+lib/core/model.mli: Ast Builtins Cheffp_ir Cheffp_precision

@@ -1,0 +1,1 @@
+lib/core/report.ml: Buffer Cheffp_precision Cheffp_util Estimate List Printf Search String Tuner

@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Ast Cheffp_ir Cheffp_precision Interp List Tuner

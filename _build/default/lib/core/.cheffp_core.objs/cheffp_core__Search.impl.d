@@ -1,0 +1,1 @@
+lib/core/search.ml: Array Ast Cheffp_ir Cheffp_precision Compile Float Interp List Tuner

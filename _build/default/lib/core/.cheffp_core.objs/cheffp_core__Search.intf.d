@@ -1,0 +1,1 @@
+lib/core/search.mli: Ast Builtins Cheffp_ir Cheffp_precision Interp Tuner

@@ -1,0 +1,1 @@
+lib/core/tuner.ml: Array Ast Cheffp_ir Cheffp_precision Compile Estimate Float Interp List Model Option

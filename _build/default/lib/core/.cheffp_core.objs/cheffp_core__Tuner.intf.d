@@ -1,0 +1,1 @@
+lib/core/tuner.mli: Ast Builtins Cheffp_ir Cheffp_precision Interp Model

@@ -1,0 +1,113 @@
+open Cheffp_ir
+open Ast
+module Fp = Cheffp_precision.Fp
+
+type t = {
+  model_name : string;
+  assign_error : adj:Ast.expr -> value:Ast.expr -> var:string -> Ast.expr;
+  input_error : adj:float -> value:float -> var:string -> float;
+  setup : Builtins.t -> unit;
+}
+
+let ( * ) a b = Binop (Mul, a, b)
+let ( - ) a b = Binop (Sub, a, b)
+
+let taylor ?(target = Fp.F32) () =
+  let eps = Fp.unit_roundoff target in
+  {
+    model_name = Printf.sprintf "taylor(%s)" (Fp.format_to_string target);
+    assign_error =
+      (fun ~adj ~value ~var:_ ->
+        Fconst eps * Call ("fabs", [ value ]) * Call ("fabs", [ adj ]));
+    input_error =
+      (fun ~adj ~value ~var:_ -> eps *. Float.abs value *. Float.abs adj);
+    setup = ignore;
+  }
+
+let adapt ?(target = Fp.F32) () =
+  let cast =
+    match target with
+    | Fp.F32 -> "castf32"
+    | Fp.F16 -> "castf16"
+    | Fp.F64 -> invalid_arg "Model.adapt: target must be narrower than F64"
+  in
+  {
+    model_name = Printf.sprintf "adapt(%s)" (Fp.format_to_string target);
+    assign_error =
+      (fun ~adj ~value ~var:_ -> adj * (value - Call (cast, [ value ])));
+    input_error =
+      (fun ~adj ~value ~var:_ -> adj *. Fp.representation_error target value);
+    setup = ignore;
+  }
+
+let zero =
+  {
+    model_name = "zero";
+    assign_error = (fun ~adj:_ ~value:_ ~var:_ -> Fconst 0.);
+    input_error = (fun ~adj:_ ~value:_ ~var:_ -> 0.);
+    setup = ignore;
+  }
+
+let external_ ~name f =
+  (* Variable names cross into generated code as dense integer ids; the
+     registered builtin maps them back. *)
+  let ids : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let names : (int, string) Hashtbl.t = Hashtbl.create 16 in
+  let next = ref 0 in
+  let id_of var =
+    match Hashtbl.find_opt ids var with
+    | Some id -> id
+    | None ->
+        let id = !next in
+        incr next;
+        Hashtbl.replace ids var id;
+        Hashtbl.replace names id var;
+        id
+  in
+  let builtin = "__errmodel_" ^ name in
+  {
+    model_name = "external:" ^ name;
+    assign_error =
+      (fun ~adj ~value ~var ->
+        Call (builtin, [ adj; value; Iconst (id_of var) ]));
+    input_error = (fun ~adj ~value ~var -> f ~adj ~value ~var);
+    setup =
+      (fun builtins ->
+        Builtins.register builtins builtin
+          {
+            Builtins.args = [ Builtins.Kflt; Builtins.Kflt; Builtins.Kint ];
+            ret = Builtins.Kflt;
+            cls = Cheffp_precision.Cost.Basic;
+            approx = false;
+          }
+          (fun a ->
+            let adj = Builtins.as_float a.(0)
+            and value = Builtins.as_float a.(1)
+            and id = Builtins.as_int a.(2) in
+            let var =
+              match Hashtbl.find_opt names id with
+              | Some v -> v
+              | None -> "<unknown>"
+            in
+            Builtins.F (f ~adj ~value ~var)));
+  }
+
+let approx_functions ~pairs ~eval ~eval_approx =
+  {
+    model_name = "approx-functions";
+    assign_error =
+      (fun ~adj ~value ~var ->
+        match List.assoc_opt var pairs with
+        | Some intrinsic ->
+            let exact = Call (intrinsic, [ value ]) in
+            let approx = Call ("fast" ^ intrinsic, [ value ]) in
+            adj * (exact - approx)
+        | None -> Fconst 0.);
+    input_error =
+      (fun ~adj ~value ~var ->
+        match List.assoc_opt var pairs with
+        | Some intrinsic ->
+            adj *. (eval intrinsic value -. eval_approx intrinsic value)
+        | None -> 0.);
+    setup = ignore;
+  }

@@ -1,0 +1,64 @@
+(** Error models (paper §III-D/E).
+
+    A model answers one question: given an assignment [x = e] whose
+    adjoint is [dx] and whose computed value is [v], what is this
+    assignment's contribution to the program's floating-point error?
+    The answer is an {e expression} built into the generated adjoint
+    (the paper's [AssignError]); its absolute value is accumulated.
+
+    Built-in models:
+    - {!taylor}: the default first-order model of Eq. (1),
+      [eps_m * |v| * |dx|], with [eps_m] the unit roundoff of the target
+      (demotion) format;
+    - {!adapt}: the ADAPT-FP model of Eq. (2), [dx * (v - (float)v)] —
+      the error each variable incurs if demoted to the target format;
+    - {!external_}: an arbitrary OCaml function called from generated
+      code, the analogue of the paper's [getErrorVal] (Listing 3);
+    - {!approx_functions}: Algorithm 2 — for variables known to feed an
+      approximate intrinsic, [dx * (f(v) - f_approx(v))]. *)
+
+open Cheffp_ir
+
+type t = {
+  model_name : string;
+  assign_error : adj:Ast.expr -> value:Ast.expr -> var:string -> Ast.expr;
+      (** may be signed; the estimation module accumulates [fabs] of it *)
+  input_error : adj:float -> value:float -> var:string -> float;
+      (** contribution of an {e input} (parameter) value: inputs are never
+          assigned inside the function, so their term of Eq. (2) is
+          evaluated at reporting time from the computed gradient. May be
+          signed; the estimation module takes the absolute value unless
+          it accumulates in [`Signed] mode *)
+  setup : Builtins.t -> unit;
+      (** registers any external functions the expressions call *)
+}
+
+val taylor : ?target:Cheffp_precision.Fp.format -> unit -> t
+(** Default model; [target] defaults to [F32]. *)
+
+val adapt : ?target:Cheffp_precision.Fp.format -> unit -> t
+(** [target] must be [F32] or [F16] (a demotion).
+    @raise Invalid_argument on [F64]. *)
+
+val zero : t
+(** Contributes nothing; useful to benchmark pure-gradient generation. *)
+
+val external_ :
+  name:string -> (adj:float -> value:float -> var:string -> float) -> t
+(** The generated code calls back into [f] for every assignment. One
+    model value services one analysis at a time (it owns the id table
+    that maps generated integer ids back to variable names). *)
+
+val approx_functions :
+  pairs:(string * string) list ->
+  eval:(string -> float -> float) ->
+  eval_approx:(string -> float -> float) ->
+  t
+(** [approx_functions ~pairs:[(var, intrinsic); ...] ~eval ~eval_approx]:
+    variables that are inputs of the named intrinsic, which has an
+    approximate variant registered under ["fast" ^ intrinsic] (e.g.
+    [("xu", "exp")] pairs [exp] with [fastexp]). Implements the paper's
+    Algorithm 2: the error assigned to such a variable is
+    [dx * (f(v) - fastf(v))]; other variables contribute zero.
+    [eval]/[eval_approx] are the OCaml-side EVAL/EVALAPPROX used for
+    input contributions. *)

@@ -1,0 +1,12 @@
+(** Human-readable rendering of analysis results (shared by the CLI and
+    the examples). *)
+
+val estimate : Estimate.report -> string
+(** Total error, gradients, per-variable attribution, observed ranges
+    when present, and the memory account — as an ASCII block. *)
+
+val tuning : Tuner.outcome -> string
+(** Contributions (annotated with demote/veto decisions), the chosen
+    configuration, and its validation. *)
+
+val search : Search.outcome -> string

@@ -1,0 +1,39 @@
+open Cheffp_ir
+open Ast
+module Config = Cheffp_precision.Config
+
+let retype_scalar config name = function
+  | Sint -> Sint
+  | Sflt _ as s -> Sflt (Interp.effective_format config s name)
+
+let apply_config config f =
+  let params =
+    List.map
+      (fun p ->
+        let pty =
+          match p.pty with
+          | Tscalar s -> Tscalar (retype_scalar config p.pname s)
+          | Tarr s -> Tarr (retype_scalar config p.pname s)
+        in
+        { p with pty })
+      f.params
+  in
+  let rec stmt = function
+    | Decl ({ name; dty; _ } as d) ->
+        let dty =
+          match dty with
+          | Dscalar s -> Dscalar (retype_scalar config name s)
+          | Darr (s, size) -> Darr (retype_scalar config name s, size)
+        in
+        Decl { d with dty }
+    | If (c, a, b) -> If (c, List.map stmt a, List.map stmt b)
+    | For l -> For { l with body = List.map stmt l.body }
+    | While (c, body) -> While (c, List.map stmt body)
+    | (Assign _ | Return _ | Call_stmt _ | Push _ | Pop _) as s -> s
+  in
+  { f with params; body = List.map stmt f.body }
+
+let of_outcome prog ~func (o : Tuner.outcome) =
+  let f = func_exn prog func in
+  let rewritten = apply_config o.Tuner.evaluation.Tuner.config f in
+  { rewritten with fname = func ^ "_mixed" }

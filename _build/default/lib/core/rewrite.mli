@@ -1,0 +1,25 @@
+(** Automatic mixed-precision source rewriting.
+
+    The paper lists this as a limitation: "Currently, we manually rewrite
+    the source code to implement the mixed precision configurations
+    suggested by CHEF-FP" (§V-B, pointing at Typeforge for the future).
+    Owning the AST makes it a transformation: {!apply_config} changes the
+    declared storage type of every configured variable — parameters and
+    locals, scalars and arrays — producing a standalone mixed-precision
+    program that needs no configuration to run.
+
+    The rewrite is exact by construction: executing the rewritten
+    function under the all-double configuration is bit-identical to
+    executing the original under [config] (declared narrow types and
+    configuration overrides use the same effective-format rule; tested). *)
+
+open Cheffp_ir
+
+val apply_config : Cheffp_precision.Config.t -> Ast.func -> Ast.func
+(** Retype every float variable to its effective format under [config].
+    Integers and the return type are untouched. *)
+
+val of_outcome :
+  Ast.program -> func:string -> Tuner.outcome -> Ast.func
+(** Convenience: rewrite the tuned function with the configuration the
+    tuner validated, renaming it [<name>_mixed]. *)

@@ -1,0 +1,52 @@
+open Cheffp_ir
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+module Cost = Cheffp_precision.Cost
+
+type outcome = {
+  demoted : string list;
+  executions : int;
+  evaluation : Tuner.evaluation;
+  threshold : float;
+}
+
+let copy_args args =
+  List.map
+    (function
+      | Interp.Afarr a -> Interp.Afarr (Array.copy a)
+      | Interp.Aiarr a -> Interp.Aiarr (Array.copy a)
+      | (Interp.Aint _ | Interp.Aflt _) as x -> x)
+    args
+
+let tune ?(target = Fp.F32) ?mode ?builtins ~prog ~func ~args ~threshold () =
+  let executions = ref 0 in
+  let run config =
+    incr executions;
+    let compiled = Compile.compile ?builtins ?mode ~config ~prog ~func () in
+    Compile.run_float compiled (copy_args args)
+  in
+  let reference = run Config.double in
+  let error_of vars =
+    let config = Config.demote_all Config.double vars target in
+    Float.abs (run config -. reference)
+  in
+  let candidates = Tuner.float_variables (Ast.func_exn prog func) in
+  let chosen =
+    if error_of candidates <= threshold then candidates
+    else begin
+      (* Individual probing, then greedy growth with validation. *)
+      let individual =
+        List.map (fun v -> (v, error_of [ v ])) candidates
+        |> List.filter (fun (_, e) -> e <= threshold)
+        |> List.sort (fun (_, a) (_, b) -> compare a b)
+      in
+      List.fold_left
+        (fun chosen (v, _) ->
+          let trial = chosen @ [ v ] in
+          if error_of trial <= threshold then trial else chosen)
+        [] individual
+    end
+  in
+  let config = Config.demote_all Config.double chosen target in
+  let evaluation = Tuner.evaluate ?builtins ?mode ~prog ~func ~args config in
+  { demoted = chosen; executions = !executions; evaluation; threshold }

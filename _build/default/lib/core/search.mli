@@ -1,0 +1,46 @@
+(** Search-based mixed-precision tuning baseline (Precimonious-style).
+
+    The paper's introduction motivates AD-based analysis by the cost of
+    search: "search-based approaches are very expensive as the state
+    space is significantly large" (§I, citing Precimonious and CRAFT).
+    This module implements such a baseline so the claim is measurable:
+    a delta-debugging-flavoured greedy search that explores variable
+    subsets and validates {e every} candidate configuration by actually
+    executing the program, counting executions as it goes.
+
+    The algorithm (a simplified Precimonious):
+    + run the reference (1 execution);
+    + try the all-demoted configuration — if it validates, done;
+    + measure each variable's individual demotion error (n executions);
+    + greedily grow the demotion set in ascending individual-error
+      order, validating each step by execution (up to n more);
+    + drop candidates that fail and continue.
+
+    Contrast with {!Tuner.tune}: one CHEF-FP analysis (a single
+    gradient-augmented execution) plus one validation run. The
+    [ablation-search] benchmark compares executions, configurations and
+    speedups on the paper's workloads. *)
+
+open Cheffp_ir
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+
+type outcome = {
+  demoted : string list;
+  executions : int;  (** program runs the search consumed *)
+  evaluation : Tuner.evaluation;
+  threshold : float;
+}
+
+val tune :
+  ?target:Fp.format ->
+  ?mode:Config.rounding_mode ->
+  ?builtins:Builtins.t ->
+  prog:Ast.program ->
+  func:string ->
+  args:Interp.arg list ->
+  threshold:float ->
+  unit ->
+  outcome
+(** The returned configuration always satisfies [threshold] (it is
+    validated by construction). *)

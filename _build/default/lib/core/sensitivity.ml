@@ -1,0 +1,100 @@
+let normalized records =
+  let n =
+    List.fold_left
+      (fun acc (_, l) ->
+        List.fold_left (fun acc (i, _) -> max acc (i + 1)) acc l)
+      0 records
+  in
+  let series =
+    List.map
+      (fun (name, l) ->
+        let a = Array.make n 0. in
+        List.iter (fun (i, v) -> if i >= 0 && i < n then a.(i) <- a.(i) +. v) l;
+        (name, a))
+      records
+  in
+  let global_max =
+    List.fold_left
+      (fun acc (_, a) -> Array.fold_left Float.max acc a)
+      0. series
+  in
+  let series =
+    if global_max > 0. then
+      List.map (fun (name, a) -> (name, Array.map (fun v -> v /. global_max) a)) series
+    else series
+  in
+  (n, series)
+
+let below_threshold_after series ~threshold =
+  let n = match series with (_, a) :: _ -> Array.length a | [] -> 0 in
+  let ok_from k =
+    List.for_all
+      (fun (_, a) ->
+        let rec go i = i >= n || (a.(i) < threshold && go (i + 1)) in
+        go k)
+      series
+  in
+  let rec find k = if k >= n then n else if ok_from k then k else find (k + 1) in
+  find 0
+
+let shades = " .:-=+*#%@"
+
+let heatmap ?(cols = 72) series =
+  let n = match series with (_, a) :: _ -> Array.length a | [] -> 0 in
+  if n = 0 then "(empty sensitivity profile)\n"
+  else begin
+    let cols = min cols n in
+    let bucket a c =
+      (* max over the iterations mapped to column c *)
+      let lo = c * n / cols and hi = max (((c + 1) * n / cols) - 1) (c * n / cols) in
+      let m = ref 0. in
+      for i = lo to min hi (n - 1) do
+        m := Float.max !m a.(i)
+      done;
+      !m
+    in
+    let name_w =
+      List.fold_left (fun acc (name, _) -> max acc (String.length name)) 0 series
+    in
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (name, a) ->
+        Buffer.add_string buf (Printf.sprintf "%*s |" name_w name);
+        for c = 0 to cols - 1 do
+          let v = bucket a c in
+          let idx =
+            min
+              (String.length shades - 1)
+              (int_of_float (v *. float_of_int (String.length shades - 1)))
+          in
+          Buffer.add_char buf shades.[idx]
+        done;
+        Buffer.add_string buf "|\n")
+      series;
+    Buffer.add_string buf
+      (Printf.sprintf "%*s  iterations 0..%d (bucketed into %d columns)\n"
+         name_w "" (n - 1) cols);
+    Buffer.contents buf
+  end
+
+let split_cutoff ~records ~vars ~eps ~budget ~max_iter =
+  let vars = List.map String.lowercase_ascii vars in
+  let tracked =
+    List.filter
+      (fun (v, _) -> List.mem (String.lowercase_ascii v) vars)
+      records
+  in
+  let tail_raw c =
+    List.fold_left
+      (fun acc (_, l) ->
+        List.fold_left
+          (fun acc (i, s) -> if i >= c then acc +. s else acc)
+          acc l)
+      0. tracked
+  in
+  let rec find c =
+    if c > max_iter then max_iter
+    else if eps *. tail_raw c <= budget then c
+    else find (c + 1)
+  in
+  find 1

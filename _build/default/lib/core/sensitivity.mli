@@ -1,0 +1,37 @@
+(** Sensitivity-profile utilities (paper Fig. 9).
+
+    {!Estimate} can record per-loop-iteration sensitivities
+    [|value * adjoint|] for every variable. This module turns those
+    sparse records into dense, globally-normalized series and renders
+    them as a text heatmap like the paper's HPCCG variable heatmap. *)
+
+val normalized :
+  (string * (int * float) list) list -> int * (string * float array) list
+(** [(n, series)] where [n] is one past the largest iteration index and
+    each variable's array has length [n], scaled so the global maximum
+    is 1 (all-zero input stays zero). *)
+
+val below_threshold_after :
+  (string * float array) list -> threshold:float -> int
+(** First iteration index from which every variable's normalized
+    sensitivity stays below [threshold] (used to split the HPCCG loop
+    into a high-precision prefix and a low-precision tail). Returns the
+    series length if the condition never holds from any point. *)
+
+val heatmap : ?cols:int -> (string * float array) list -> string
+(** Text heatmap: one row per variable, iterations bucketed into at most
+    [cols] (default 72) columns, intensity rendered with " .:-=+*#%@". *)
+
+val split_cutoff :
+  records:(string * (int * float) list) list ->
+  vars:string list ->
+  eps:float ->
+  budget:float ->
+  max_iter:int ->
+  int
+(** Earliest iteration [c] such that running iterations [>= c] with the
+    named variables demoted keeps the first-order error estimate
+    [eps * sum of their sensitivities at iterations >= c] within
+    [budget]. Returns [max_iter] when no split qualifies (variable names
+    are matched case-insensitively). Drives the paper's HPCCG split-loop
+    rewrite. *)

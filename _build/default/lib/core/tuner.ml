@@ -1,0 +1,190 @@
+open Cheffp_ir
+open Ast
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+module Cost = Cheffp_precision.Cost
+
+type evaluation = {
+  config : Config.t;
+  actual_error : float;
+  modelled_speedup : float;
+  casts : int;
+}
+
+let float_variables f =
+  let params =
+    List.filter_map
+      (fun p ->
+        match p.pty with
+        | Tscalar (Sflt _) | Tarr (Sflt _) -> Some p.pname
+        | _ -> None)
+      f.params
+  in
+  let locals = ref [] in
+  let rec stmt = function
+    | Decl { name; dty = Dscalar (Sflt _); _ }
+    | Decl { name; dty = Darr (Sflt _, _); _ } ->
+        locals := name :: !locals
+    | Decl _ -> ()
+    | If (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | For { body; _ } | While (_, body) -> List.iter stmt body
+    | Assign _ | Return _ | Call_stmt _ | Push _ | Pop _ -> ()
+  in
+  List.iter stmt f.body;
+  params @ List.rev !locals
+
+(* The function under test may mutate its array arguments; every
+   configuration gets fresh copies so runs are independent. *)
+let copy_args args =
+  List.map
+    (function
+      | Interp.Afarr a -> Interp.Afarr (Array.copy a)
+      | Interp.Aiarr a -> Interp.Aiarr (Array.copy a)
+      | (Interp.Aint _ | Interp.Aflt _) as x -> x)
+    args
+
+let run_with ?builtins ?mode ~prog ~func ~args config =
+  let counter = Cost.Counter.create Cost.default in
+  let compiled =
+    Compile.compile ?builtins ?mode ~config ~counter ~prog ~func ()
+  in
+  let value = Compile.run_float compiled (copy_args args) in
+  (value, Cost.Counter.total counter, Cost.Counter.casts counter)
+
+let evaluate ?builtins ?mode ~prog ~func ~args config =
+  let reference, ref_cost, _ =
+    run_with ?builtins ?mode ~prog ~func ~args Config.double
+  in
+  let value, cost, casts = run_with ?builtins ?mode ~prog ~func ~args config in
+  {
+    config;
+    actual_error = Float.abs (value -. reference);
+    modelled_speedup = (if cost > 0. then ref_cost /. cost else 1.);
+    casts;
+  }
+
+type outcome = {
+  threshold : float;
+  demoted : string list;
+  vetoed : string list;
+  estimated_error : float;
+  contributions : (string * float) list;
+  evaluation : evaluation;
+}
+
+let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ~prog ~func
+    ~args ~threshold () =
+  let model =
+    match model with Some m -> m | None -> Model.adapt ~target ()
+  in
+  let est =
+    Estimate.estimate_error ~model
+      ~options:{ Estimate.default_options with Estimate.track_ranges = true }
+      ~prog ~func ()
+  in
+  let report = Estimate.run est args in
+  let candidates = float_variables (func_exn prog func) in
+  (* A variable whose observed magnitude approaches the target format's
+     largest finite value would overflow when demoted: veto it outright
+     (first-order error models cannot see overflow). *)
+  let limit = 0.5 *. Fp.max_finite target in
+  let overflows v =
+    match List.assoc_opt v report.Estimate.ranges with
+    | Some (lo, hi) -> Float.max (Float.abs lo) (Float.abs hi) > limit
+    | None -> false
+  in
+  let vetoed = List.filter overflows candidates in
+  let candidates = List.filter (fun v -> not (overflows v)) candidates in
+  let contributions =
+    List.map
+      (fun v ->
+        ( v,
+          match List.assoc_opt v report.Estimate.per_variable with
+          | Some e -> e
+          | None -> 0. ))
+      candidates
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  let budget = threshold /. margin in
+  let demoted, estimated_error =
+    List.fold_left
+      (fun (chosen, acc) (v, e) ->
+        if acc +. e <= budget then (v :: chosen, acc +. e)
+        else (chosen, acc))
+      ([], 0.) contributions
+  in
+  let demoted = List.rev demoted in
+  let config = Config.demote_all Config.double demoted target in
+  let evaluation = evaluate ?builtins ?mode ~prog ~func ~args config in
+  { threshold; demoted; vetoed; estimated_error; contributions; evaluation }
+
+(* Multi-dataset tuning (paper SS V-B: "it is important to analyze the
+   application over a representative set of inputs"): contributions are
+   the worst case over all datasets, the range veto considers every
+   observed value, and the chosen configuration is validated against
+   every dataset. *)
+let tune_multi ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ~prog
+    ~func ~args_list ~threshold () =
+  (match args_list with
+  | [] -> invalid_arg "Tuner.tune_multi: empty dataset list"
+  | _ -> ());
+  let model =
+    match model with Some m -> m | None -> Model.adapt ~target ()
+  in
+  let est =
+    Estimate.estimate_error ~model
+      ~options:{ Estimate.default_options with Estimate.track_ranges = true }
+      ~prog ~func ()
+  in
+  let reports = List.map (fun args -> Estimate.run est args) args_list in
+  let candidates = float_variables (func_exn prog func) in
+  let limit = 0.5 *. Fp.max_finite target in
+  let overflows v =
+    List.exists
+      (fun r ->
+        match List.assoc_opt v r.Estimate.ranges with
+        | Some (lo, hi) -> Float.max (Float.abs lo) (Float.abs hi) > limit
+        | None -> false)
+      reports
+  in
+  let vetoed = List.filter overflows candidates in
+  let candidates = List.filter (fun v -> not (overflows v)) candidates in
+  let contributions =
+    List.map
+      (fun v ->
+        ( v,
+          List.fold_left
+            (fun acc r ->
+              Float.max acc
+                (Option.value ~default:0.
+                   (List.assoc_opt v r.Estimate.per_variable)))
+            0. reports ))
+      candidates
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  let budget = threshold /. margin in
+  let demoted, estimated_error =
+    List.fold_left
+      (fun (chosen, acc) (v, e) ->
+        if acc +. e <= budget then (v :: chosen, acc +. e)
+        else (chosen, acc))
+      ([], 0.) contributions
+  in
+  let demoted = List.rev demoted in
+  let config = Config.demote_all Config.double demoted target in
+  let evaluations =
+    List.map
+      (fun args -> evaluate ?builtins ?mode ~prog ~func ~args config)
+      args_list
+  in
+  let worst =
+    List.fold_left
+      (fun acc ev ->
+        if ev.actual_error > acc.actual_error then ev else acc)
+      (List.hd evaluations) evaluations
+  in
+  ( { threshold; demoted; vetoed; estimated_error; contributions;
+      evaluation = worst },
+    evaluations )

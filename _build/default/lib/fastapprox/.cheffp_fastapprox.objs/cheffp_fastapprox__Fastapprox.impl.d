@@ -1,0 +1,1 @@
+lib/fastapprox/fastapprox.ml: Array Ast Builtins Cheffp_ad Cheffp_ir Cheffp_precision Deriv Float Int32 List

@@ -1,0 +1,1 @@
+lib/fastapprox/fastapprox.mli: Cheffp_ad Cheffp_ir

@@ -1,0 +1,133 @@
+(* Bit-level helpers: interpret a value as IEEE binary32. *)
+let bits x = Int32.bits_of_float x
+let of_bits i = Int32.float_of_bits i
+
+(* C's (float) y where y is the uint32 bit pattern: patterns of interest
+   here have the sign bit clear, so Int32.to_float is exact enough. *)
+let u32_to_float i =
+  if Int32.compare i 0l >= 0 then Int32.to_float i
+  else Int32.to_float i +. 4294967296.
+
+let fastlog2 x =
+  let vx_i = bits x in
+  let mx_f =
+    of_bits (Int32.logor (Int32.logand vx_i 0x007FFFFFl) 0x3f000000l)
+  in
+  let y = u32_to_float vx_i *. 1.1920928955078125e-7 in
+  y -. 124.22551499 -. (1.498030302 *. mx_f)
+  -. (1.72587999 /. (0.3520887068 +. mx_f))
+
+let fastlog x = 0.69314718 *. fastlog2 x
+
+let fastpow2 p =
+  let offset = if p < 0. then 1.0 else 0.0 in
+  let clipp = if p < -126. then -126.0 else p in
+  let w = int_of_float clipp in
+  let z = clipp -. float_of_int w +. offset in
+  let v =
+    Int32.of_float
+      (8388608.0
+      *. (clipp +. 121.2740575
+         +. (27.7280233 /. (4.84252568 -. z))
+         -. (1.49012907 *. z)))
+  in
+  of_bits v
+
+let fastexp p = fastpow2 (1.442695040 *. p)
+let fastpow x p = fastpow2 (p *. fastlog2 x)
+let fastsqrt x = fastpow x 0.5
+
+let fastsin x =
+  let fouroverpi = 1.2732395447351627 in
+  let fouroverpisq = 0.40528473456935109 in
+  let q = 0.78444488374548933 in
+  let p_i = bits 0.20363937680730309 in
+  let r_i = bits 0.015124940802184233 in
+  let s_i = bits (-0.0032225901625579573) in
+  let vx_i = bits x in
+  let sign = Int32.logand vx_i 0x80000000l in
+  let absx = of_bits (Int32.logand vx_i 0x7FFFFFFFl) in
+  let qpprox = (fouroverpi *. x) -. (fouroverpisq *. x *. absx) in
+  let qpproxsq = qpprox *. qpprox in
+  let p_f = of_bits (Int32.logor p_i sign) in
+  let r_f = of_bits (Int32.logor r_i sign) in
+  let s_f = of_bits (Int32.logxor s_i sign) in
+  (q *. qpprox) +. (qpproxsq *. (p_f +. (qpproxsq *. (r_f +. (qpproxsq *. s_f)))))
+
+let fasterlog2 x =
+  let y = u32_to_float (bits x) in
+  (y *. 1.1920928955078125e-7) -. 126.94269504
+
+let fasterlog x = 0.69314718 *. fasterlog2 x
+
+let fasterpow2 p =
+  let clipp = if p < -126. then -126.0 else p in
+  let v = Int32.of_float ((8388608.0 *. (clipp +. 126.94269504))) in
+  of_bits v
+
+let fasterexp p = fasterpow2 (1.442695040 *. p)
+
+open Cheffp_ir
+
+let unary_names =
+  [
+    ("fastlog2", fastlog2);
+    ("fastlog", fastlog);
+    ("fastpow2", fastpow2);
+    ("fastexp", fastexp);
+    ("fastsqrt", fastsqrt);
+    ("fastsin", fastsin);
+    ("fasterlog2", fasterlog2);
+    ("fasterlog", fasterlog);
+    ("fasterpow2", fasterpow2);
+    ("fasterexp", fasterexp);
+  ]
+
+let register_builtins builtins =
+  List.iter
+    (fun (name, f) ->
+      Builtins.register_float1 builtins name
+        ~cls:Cheffp_precision.Cost.Transcendental ~approx:true f)
+    unary_names;
+  Builtins.register builtins "fastpow"
+    {
+      Builtins.args = [ Builtins.Kflt; Builtins.Kflt ];
+      ret = Builtins.Kflt;
+      cls = Cheffp_precision.Cost.Transcendental;
+      approx = true;
+    }
+    (fun a -> Builtins.F (fastpow (Builtins.as_float a.(0)) (Builtins.as_float a.(1))))
+
+let register_derivatives deriv =
+  let open Cheffp_ad in
+  List.iter
+    (fun (approx, exact) -> Deriv.alias deriv approx exact)
+    [
+      ("fastlog2", "log2");
+      ("fastlog", "log");
+      ("fastexp", "exp");
+      ("fastsqrt", "sqrt");
+      ("fastsin", "sin");
+      ("fasterlog2", "log2");
+      ("fasterlog", "log");
+      ("fasterexp", "exp");
+      ("fastpow", "pow");
+    ];
+  (* pow2 has no exact default intrinsic; d/dx 2^x = ln 2 * 2^x. *)
+  let pow2_rule ~args ~seed =
+    match args with
+    | [ u ] ->
+        [
+          ( u,
+            Ast.Binop
+              ( Ast.Mul,
+                seed,
+                Ast.Binop
+                  ( Ast.Mul,
+                    Ast.Fconst (Float.log 2.),
+                    Ast.Call ("pow", [ Ast.Fconst 2.; u ]) ) ) );
+        ]
+    | _ -> invalid_arg "fastpow2 derivative: expects 1 argument"
+  in
+  Deriv.register deriv "fastpow2" pow2_rule;
+  Deriv.register deriv "fasterpow2" pow2_rule

@@ -1,0 +1,38 @@
+(** Port of Paul Mineiro's FastApprox library (paper §IV-5, [21]).
+
+    These are the float32 bit-manipulation approximations of
+    transcendental functions that the Black-Scholes experiment swaps in
+    for the C math library. The "fast" variants use a small rational
+    correction; the "faster" variants are the raw exponent-field tricks.
+    Inputs are treated as binary32 (the double input is rounded first),
+    matching the original C semantics; the surrounding arithmetic runs
+    in binary64, which is inconsequential next to the method error.
+
+    Accuracy (typical relative error on moderate ranges): fast* ~ 1e-5,
+    faster* ~ 1e-2. *)
+
+val fastlog2 : float -> float
+val fastlog : float -> float
+val fastpow2 : float -> float
+val fastexp : float -> float
+val fastpow : float -> float -> float
+
+val fastsqrt : float -> float
+(** Via [fastpow x 0.5]. *)
+
+val fastsin : float -> float
+(** Argument in [-pi, pi]. *)
+
+val fasterlog2 : float -> float
+val fasterlog : float -> float
+val fasterpow2 : float -> float
+val fasterexp : float -> float
+
+val register_builtins : Cheffp_ir.Builtins.t -> unit
+(** Register every function above as an approximate MiniFP intrinsic
+    (metered at the discounted approximate cost). *)
+
+val register_derivatives : Cheffp_ad.Deriv.t -> unit
+(** Give each approximate intrinsic the derivative rule of its exact
+    counterpart — the standard smooth surrogate for AD through
+    approximations. *)

@@ -1,0 +1,1 @@
+lib/ir/builtins.ml: Array Ast Cheffp_precision Float Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/builtins.mli: Ast Cheffp_precision

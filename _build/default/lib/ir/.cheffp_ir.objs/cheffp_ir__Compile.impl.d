@@ -1,0 +1,1 @@
+lib/ir/compile.ml: Array Ast Builtins Cheffp_precision Cheffp_util Float Format Inline Interp List Optimize Pp Typecheck

@@ -1,0 +1,1 @@
+lib/ir/compile.mli: Ast Builtins Cheffp_precision Interp

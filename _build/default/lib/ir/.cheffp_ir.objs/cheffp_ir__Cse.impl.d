@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Ast Builtins Cheffp_precision Hashtbl List Option Rename String Typecheck

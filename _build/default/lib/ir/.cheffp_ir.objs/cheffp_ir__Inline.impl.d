@@ -1,0 +1,1 @@
+lib/ir/inline.ml: Ast Format List Option Rename Subst

@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Ast Builtins Cheffp_precision Cheffp_util Format Hashtbl Lazy List Option Pp

@@ -1,0 +1,1 @@
+lib/ir/normalize.ml: Ast Format Inline List Option Rename Subst

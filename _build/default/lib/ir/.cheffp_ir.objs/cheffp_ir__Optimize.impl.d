@@ -1,0 +1,1 @@
+lib/ir/optimize.ml: Ast Cheffp_precision Cse Hashtbl List Map Option String

@@ -1,0 +1,1 @@
+lib/ir/optimize.mli: Ast

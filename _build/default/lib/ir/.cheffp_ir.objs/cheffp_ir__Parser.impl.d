@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Array Ast Cheffp_precision Format Lexer List Printf

@@ -1,0 +1,1 @@
+lib/ir/pp.ml: Ast Cheffp_precision Float Format Printf

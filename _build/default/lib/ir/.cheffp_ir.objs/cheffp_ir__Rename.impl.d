@@ -1,0 +1,1 @@
+lib/ir/rename.ml: Ast Hashtbl List Printf

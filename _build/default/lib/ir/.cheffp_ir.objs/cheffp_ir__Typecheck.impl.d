@@ -1,0 +1,1 @@
+lib/ir/typecheck.ml: Ast Builtins Format Hashtbl List Pp

@@ -1,0 +1,102 @@
+module Cost = Cheffp_precision.Cost
+module Fp = Cheffp_precision.Fp
+
+type kind = Kint | Kflt
+
+let kind_of_scalar = function Ast.Sint -> Kint | Ast.Sflt _ -> Kflt
+let kind_name = function Kint -> "int" | Kflt -> "float"
+
+type signature = {
+  args : kind list;
+  ret : kind;
+  cls : Cost.op_class;
+  approx : bool;
+}
+
+type value = I of int | F of float
+
+type impl = value array -> value
+
+type t = {
+  entries : (string, signature * impl) Hashtbl.t;
+  fast1s : (string, float -> float) Hashtbl.t;
+  fast2s : (string, float -> float -> float) Hashtbl.t;
+}
+
+let empty () : t =
+  {
+    entries = Hashtbl.create 64;
+    fast1s = Hashtbl.create 32;
+    fast2s = Hashtbl.create 8;
+  }
+
+let register t name signature impl =
+  Hashtbl.remove t.fast1s name;
+  Hashtbl.remove t.fast2s name;
+  Hashtbl.replace t.entries name (signature, impl)
+
+let find t name = Hashtbl.find_opt t.entries name
+let mem t name = Hashtbl.mem t.entries name
+let fast1 t name = Hashtbl.find_opt t.fast1s name
+let fast2 t name = Hashtbl.find_opt t.fast2s name
+
+let signature t name =
+  match find t name with Some (s, _) -> Some s | None -> None
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.entries []
+  |> List.sort compare
+
+let as_float = function
+  | F x -> x
+  | I _ -> invalid_arg "Builtins: expected a float value"
+
+let as_int = function
+  | I n -> n
+  | F _ -> invalid_arg "Builtins: expected an integer value"
+
+let register_float1 t name ?(cls = Cost.Transcendental) ?(approx = false) f =
+  register t name
+    { args = [ Kflt ]; ret = Kflt; cls; approx }
+    (fun a -> F (f (as_float a.(0))));
+  Hashtbl.replace t.fast1s name f
+
+let register_float2 t name ?(cls = Cost.Transcendental) ?(approx = false) f =
+  register t name
+    { args = [ Kflt; Kflt ]; ret = Kflt; cls; approx }
+    (fun a -> F (f (as_float a.(0)) (as_float a.(1))));
+  Hashtbl.replace t.fast2s name f
+
+let sign x = if x > 0. then 1. else if x < 0. then -1. else 0.
+
+let create () =
+  let t = empty () in
+  register_float1 t "sin" sin;
+  register_float1 t "cos" cos;
+  register_float1 t "tan" tan;
+  register_float1 t "exp" exp;
+  register_float1 t "log" log;
+  register_float1 t "log2" (fun x -> log x /. log 2.);
+  register_float1 t "log10" log10;
+  register_float1 t "sqrt" ~cls:Cost.Square_root sqrt;
+  register_float1 t "tanh" tanh;
+  register_float1 t "atan" atan;
+  register_float1 t "fabs" ~cls:Cost.Basic Float.abs;
+  register_float1 t "floor" ~cls:Cost.Basic Float.floor;
+  register_float1 t "ceil" ~cls:Cost.Basic Float.ceil;
+  register_float1 t "sign" ~cls:Cost.Basic sign;
+  register_float1 t "castf32" ~cls:Cost.Basic (Fp.round Fp.F32);
+  register_float1 t "castf16" ~cls:Cost.Basic (Fp.round Fp.F16);
+  register_float2 t "pow" ( ** );
+  register_float2 t "fmin" ~cls:Cost.Basic Float.min;
+  register_float2 t "fmax" ~cls:Cost.Basic Float.max;
+  register t "select"
+    { args = [ Kint; Kflt; Kflt ]; ret = Kflt; cls = Cost.Basic; approx = false }
+    (fun a -> F (if as_int a.(0) <> 0 then as_float a.(1) else as_float a.(2)));
+  register t "itof"
+    { args = [ Kint ]; ret = Kflt; cls = Cost.Basic; approx = false }
+    (fun a -> F (float_of_int (as_int a.(0))));
+  register t "ftoi"
+    { args = [ Kflt ]; ret = Kint; cls = Cost.Basic; approx = false }
+    (fun a -> I (int_of_float (as_float a.(0))));
+  t

@@ -1,0 +1,60 @@
+(** Intrinsic function registry for MiniFP.
+
+    The registry is a first-class value so analyses can extend it: the
+    CHEF-FP external error models (paper Listing 3) register plain OCaml
+    closures here and the generated code calls them by name, exactly like
+    Clad emitting a call to a user's [getErrorVal]. The FastApprox
+    intrinsics are likewise registered on top of the defaults. *)
+
+type kind = Kint | Kflt
+
+val kind_of_scalar : Ast.scalar -> kind
+val kind_name : kind -> string
+
+type signature = {
+  args : kind list;
+  ret : kind;
+  cls : Cheffp_precision.Cost.op_class;
+  approx : bool;  (** approximate intrinsic: metered at a discounted cost *)
+}
+
+type value = I of int | F of float
+
+type impl = value array -> value
+
+type t
+
+val create : unit -> t
+(** Fresh registry preloaded with the default math intrinsics:
+    [sin cos tan exp log log2 log10 sqrt pow fabs floor ceil fmin fmax
+    tanh atan sign select itof ftoi castf32 castf16]. *)
+
+val empty : unit -> t
+
+val register : t -> string -> signature -> impl -> unit
+(** Adds or replaces an intrinsic. *)
+
+val find : t -> string -> (signature * impl) option
+val mem : t -> string -> bool
+val signature : t -> string -> signature option
+val names : t -> string list
+
+val register_float1 :
+  t ->
+  string ->
+  ?cls:Cheffp_precision.Cost.op_class ->
+  ?approx:bool ->
+  (float -> float) ->
+  unit
+(** Convenience for unary float->float intrinsics. *)
+
+val as_float : value -> float
+(** @raise Invalid_argument on an integer value. *)
+
+val as_int : value -> int
+
+val fast1 : t -> string -> (float -> float) option
+(** Unboxed fast path for intrinsics registered via {!register_float1}
+    (used by the closure compiler to avoid boxing). *)
+
+val fast2 : t -> string -> (float -> float -> float) option

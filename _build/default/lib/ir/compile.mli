@@ -1,0 +1,38 @@
+(** Closure compiler for MiniFP.
+
+    Compiles a function (after auto-inlining its user calls) into nested
+    OCaml closures over a slot-resolved environment: variables become
+    array indices resolved at compile time, so execution carries no name
+    lookups and no value boxing on the hot path. This is the project's
+    stand-in for the paper's "generated source goes through the
+    compiler's optimization pipeline": CHEF-FP analysis code is optimized
+    ({!Optimize}) and compiled here before it runs, which is what makes it
+    faster and leaner than the tape-based baseline.
+
+    Precision semantics match {!Interp} and are baked statically: under a
+    mixed-precision configuration every float expression's format is
+    known at compile time, so rounding (and optional cost metering) is
+    emitted only where needed and costs nothing elsewhere. *)
+
+exception Compile_error of string
+
+type t
+
+val compile :
+  ?builtins:Builtins.t ->
+  ?config:Cheffp_precision.Config.t ->
+  ?mode:Cheffp_precision.Config.rounding_mode ->
+  ?counter:Cheffp_precision.Cost.Counter.t ->
+  ?optimize:bool ->
+  prog:Ast.program ->
+  func:string ->
+  unit ->
+  t
+(** [optimize] (default [true]) runs {!Optimize.optimize_func} first.
+    [mode] defaults to [Source], matching {!Interp.run}. *)
+
+val run : t -> Interp.arg list -> Interp.result
+(** Execute the compiled function. The same compiled value can be run
+    many times; arrays passed as arguments are shared and mutated. *)
+
+val run_float : t -> Interp.arg list -> float

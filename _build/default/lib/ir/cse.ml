@@ -1,0 +1,229 @@
+open Ast
+
+let is_private_call name =
+  String.length name >= 2 && name.[0] = '_' && name.[1] = '_'
+
+(* Pure float expression worth naming: contains a real intrinsic call or
+   is at least [size_threshold] nodes. *)
+let size_threshold = 5
+
+let rec node_count = function
+  | Fconst _ | Iconst _ | Var _ -> 1
+  | Idx (_, i) -> 1 + node_count i
+  | Unop (_, e) -> 1 + node_count e
+  | Binop (_, a, b) -> 1 + node_count a + node_count b
+  | Call (_, args) -> 1 + List.fold_left (fun acc a -> acc + node_count a) 0 args
+
+let rec has_call = function
+  | Fconst _ | Iconst _ | Var _ -> false
+  | Idx (_, i) -> has_call i
+  | Unop (_, e) -> has_call e
+  | Binop (_, a, b) -> has_call a || has_call b
+  | Call (name, _) -> not (List.mem name [ "itof"; "select"; "sign" ])
+
+let rec mentions_private = function
+  | Fconst _ | Iconst _ | Var _ -> false
+  | Idx (_, i) -> mentions_private i
+  | Unop (_, e) -> mentions_private e
+  | Binop (_, a, b) -> mentions_private a || mentions_private b
+  | Call (name, args) ->
+      is_private_call name || List.exists mentions_private args
+
+let worthwhile e =
+  (not (mentions_private e)) && (has_call e || node_count e >= size_threshold)
+
+let rec free_vars acc = function
+  | Fconst _ | Iconst _ -> acc
+  | Var v -> v :: acc
+  | Idx (a, i) -> free_vars (a :: acc) i
+  | Unop (_, e) -> free_vars acc e
+  | Binop (_, a, b) -> free_vars (free_vars acc a) b
+  | Call (_, args) -> List.fold_left free_vars acc args
+
+let cse_func ?builtins ?(prog = { funcs = [] }) ?(opaque = fun _ -> false) f =
+  let builtins =
+    match builtins with Some b -> b | None -> Builtins.create ()
+  in
+  let names = Rename.create () in
+  Rename.reserve_func names f;
+
+  (* Scoped variable typing for float-kind checks. *)
+  let var_tys : (string, ty) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun p -> Hashtbl.replace var_tys p.pname p.pty) f.params;
+  let lookup v = Hashtbl.find_opt var_tys v in
+  let is_float_expr e =
+    match Typecheck.expr_kind ~builtins prog lookup e with
+    | Typecheck.Escalar Builtins.Kflt -> true
+    | Typecheck.Escalar Builtins.Kint | Typecheck.Earr _ -> false
+    | exception Typecheck.Error _ -> false
+  in
+
+  (* Availability: (expression, holding variable), newest first. *)
+  let avail : (expr * string) list ref = ref [] in
+  let kill v =
+    avail :=
+      List.filter
+        (fun (e, holder) -> holder <> v && not (List.mem v (free_vars [] e)))
+        !avail
+  in
+  let kill_all () = avail := [] in
+  let lookup_avail e = List.assoc_opt e !avail in
+
+  (* Replace maximal available subexpressions, top-down. *)
+  let rec reuse e =
+    match lookup_avail e with
+    | Some holder when worthwhile e -> Var holder
+    | _ -> (
+        match e with
+        | Fconst _ | Iconst _ | Var _ -> e
+        | Idx (a, i) -> Idx (a, reuse i)
+        | Unop (op, inner) -> Unop (op, reuse inner)
+        | Binop (op, a, b) -> Binop (op, reuse a, reuse b)
+        | Call (name, args) -> Call (name, List.map reuse args))
+  in
+
+  (* Count worthwhile float subexpressions; returns those occurring at
+     least twice, largest first. Expressions touching opaque (narrow-
+     storage) variables are excluded: naming them in a binary64
+     temporary would widen their static format and change Source-mode
+     rounding of the surrounding operation. *)
+  let repeated_subexprs e =
+    let counts : (expr, int) Hashtbl.t = Hashtbl.create 16 in
+    let rec visit e =
+      (if
+         worthwhile e && is_float_expr e
+         && not (List.exists opaque (free_vars [] e))
+       then
+         Hashtbl.replace counts e
+           (1 + Option.value ~default:0 (Hashtbl.find_opt counts e)));
+      match e with
+      | Fconst _ | Iconst _ | Var _ -> ()
+      | Idx (_, i) -> visit i
+      | Unop (_, inner) -> visit inner
+      | Binop (_, a, b) ->
+          visit a;
+          visit b
+      | Call (_, args) -> List.iter visit args
+    in
+    visit e;
+    Hashtbl.fold (fun e n acc -> if n >= 2 then e :: acc else acc) counts []
+    |> List.sort (fun a b -> compare (node_count b) (node_count a))
+  in
+
+  let rec replace_subexpr ~target ~holder e =
+    if e = target then Var holder
+    else
+      match e with
+      | Fconst _ | Iconst _ | Var _ -> e
+      | Idx (a, i) -> Idx (a, replace_subexpr ~target ~holder i)
+      | Unop (op, inner) -> Unop (op, replace_subexpr ~target ~holder inner)
+      | Binop (op, a, b) ->
+          Binop
+            ( op,
+              replace_subexpr ~target ~holder a,
+              replace_subexpr ~target ~holder b )
+      | Call (name, args) ->
+          Call (name, List.map (replace_subexpr ~target ~holder) args)
+  in
+
+  (* Hoist within-RHS duplicates into fresh temporaries, largest first,
+     until no duplicate remains (bounded). Returns the hoisting
+     declarations and the rewritten expression. *)
+  let hoist_duplicates e =
+    let rec go decls e budget =
+      if budget = 0 then (decls, e)
+      else
+        match repeated_subexprs e with
+        | [] -> (decls, e)
+        | sub :: _ ->
+            let t = Rename.fresh names "_cse" in
+            Hashtbl.replace var_tys t (Tscalar (Sflt Cheffp_precision.Fp.F64));
+            avail := (sub, t) :: !avail;
+            let decl =
+              Decl
+                {
+                  name = t;
+                  dty = Dscalar (Sflt Cheffp_precision.Fp.F64);
+                  init = Some sub;
+                }
+            in
+            go (decls @ [ decl ]) (replace_subexpr ~target:sub ~holder:t e)
+              (budget - 1)
+    in
+    go [] e 4
+  in
+
+  let process_rhs e =
+    let e = reuse e in
+    if is_float_expr e then hoist_duplicates e else ([], e)
+  in
+
+  let record lv e =
+    match lv with
+    | Lvar v
+      when worthwhile e && is_float_expr e
+           && (not (opaque v))
+           && (not (List.exists opaque (free_vars [] e)))
+           && not (List.mem v (free_vars [] e)) ->
+        avail := (e, v) :: !avail
+    | _ -> ()
+  in
+
+  let rec stmt s =
+    match s with
+    | Decl ({ name; dty; init } as d) -> (
+        Hashtbl.replace var_tys name
+          (match dty with Dscalar sc -> Tscalar sc | Darr (sc, _) -> Tarr sc);
+        match init with
+        | None -> [ Decl d ]
+        | Some e ->
+            let hoisted, e = process_rhs e in
+            kill name;
+            record (Lvar name) e;
+            hoisted @ [ Decl { d with init = Some e } ])
+    | Assign (lv, e) ->
+        let hoisted, e = process_rhs e in
+        let lv =
+          match lv with
+          | Lvar _ -> lv
+          | Lidx (a, i) -> Lidx (a, reuse i)
+        in
+        kill (lvalue_base lv);
+        record lv e;
+        hoisted @ [ Assign (lv, e) ]
+    | If (c, a, b) ->
+        let c = reuse c in
+        kill_all ();
+        let a = block a and b = block b in
+        kill_all ();
+        [ If (c, a, b) ]
+    | For ({ lo; hi; body; var; _ } as l) ->
+        let lo = reuse lo and hi = reuse hi in
+        Hashtbl.replace var_tys var (Tscalar Sint);
+        kill_all ();
+        let body = block body in
+        kill_all ();
+        [ For { l with lo; hi; body } ]
+    | While (c, body) ->
+        kill_all ();
+        let body = block body in
+        kill_all ();
+        [ While (c, body) ]
+    | Return (Some e) ->
+        let hoisted, e = process_rhs e in
+        hoisted @ [ Return (Some e) ]
+    | Return None -> [ Return None ]
+    | Call_stmt (name, args) -> [ Call_stmt (name, List.map reuse args) ]
+    | Push lv ->
+        (* pushing only reads *)
+        [ Push lv ]
+    | Pop lv ->
+        kill (lvalue_base lv);
+        [ Pop lv ]
+  and block stmts =
+    (* availability flows through a straight-line run; control flow
+       inside [stmt] resets it *)
+    List.concat_map stmt stmts
+  in
+  let body = block f.body in
+  { f with body }

@@ -1,0 +1,236 @@
+open Ast
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let is_user prog name = Option.is_some (find_func prog name)
+
+let rec expr_has_user_call prog = function
+  | Fconst _ | Iconst _ | Var _ -> false
+  | Idx (_, i) -> expr_has_user_call prog i
+  | Unop (_, e) -> expr_has_user_call prog e
+  | Binop (_, a, b) -> expr_has_user_call prog a || expr_has_user_call prog b
+  | Call (name, args) ->
+      is_user prog name || List.exists (expr_has_user_call prog) args
+
+let has_user_calls prog f =
+  let rec stmt = function
+    | Decl { init; dty; _ } ->
+        Option.fold ~none:false ~some:(expr_has_user_call prog) init
+        || (match dty with
+           | Darr (_, size) -> expr_has_user_call prog size
+           | Dscalar _ -> false)
+    | Assign (lv, e) -> lvalue lv || expr_has_user_call prog e
+    | If (c, a, b) ->
+        expr_has_user_call prog c || List.exists stmt a || List.exists stmt b
+    | For { lo; hi; body; _ } ->
+        expr_has_user_call prog lo
+        || expr_has_user_call prog hi
+        || List.exists stmt body
+    | While (c, body) -> expr_has_user_call prog c || List.exists stmt body
+    | Return e -> Option.fold ~none:false ~some:(expr_has_user_call prog) e
+    | Call_stmt (name, args) ->
+        is_user prog name || List.exists (expr_has_user_call prog) args
+    | Push lv | Pop lv -> lvalue lv
+  and lvalue = function
+    | Lvar _ -> false
+    | Lidx (_, i) -> expr_has_user_call prog i
+  in
+  List.exists stmt f.body
+
+(* Splits a callee body into (body-without-return, tail-return-expr) and
+   verifies no interior returns. *)
+let split_tail_return callee =
+  let rec check_no_return stmts =
+    List.iter
+      (function
+        | Return _ -> err "function %S has a non-tail return" callee.fname
+        | If (_, a, b) ->
+            check_no_return a;
+            check_no_return b
+        | For { body; _ } | While (_, body) -> check_no_return body
+        | Decl _ | Assign _ | Call_stmt _ | Push _ | Pop _ -> ())
+      stmts
+  in
+  match List.rev callee.body with
+  | Return e :: rev_rest ->
+      let rest = List.rev rev_rest in
+      check_no_return rest;
+      (rest, e)
+  | body_rev ->
+      let body = List.rev body_rev in
+      check_no_return body;
+      (body, None)
+
+(* Freshens every local declaration (and loop variable) in [stmts],
+   extending [subst] so references follow. Declarations are block-scoped:
+   bindings introduced inside [if]/[for]/[while] bodies are unwound when
+   the block ends so shadowed outer names resolve correctly afterwards. *)
+let freshen_locals names subst stmts =
+  let rec stmt added = function
+    | Decl { name; dty; init } ->
+        (* Size/init use the substitution *before* the decl binds. *)
+        let dty =
+          match dty with
+          | Dscalar _ as d -> d
+          | Darr (s, size) -> Darr (s, Subst.expr subst size)
+        in
+        let init = Option.map (Subst.expr subst) init in
+        let name' = Rename.fresh names name in
+        Subst.push subst name (Var name');
+        added := name :: !added;
+        Decl { name = name'; dty; init }
+    | Assign (lv, e) -> Assign (Subst.lvalue subst lv, Subst.expr subst e)
+    | If (c, a, b) -> If (Subst.expr subst c, block a, block b)
+    | For { var; lo; hi; down; body } ->
+        let lo = Subst.expr subst lo and hi = Subst.expr subst hi in
+        let var' = Rename.fresh names var in
+        Subst.push subst var (Var var');
+        let body = block body in
+        Subst.unwind subst [ var ];
+        For { var = var'; lo; hi; down; body }
+    | While (c, body) -> While (Subst.expr subst c, block body)
+    | Return e -> Return (Option.map (Subst.expr subst) e)
+    | Call_stmt (f, args) -> Call_stmt (f, List.map (Subst.expr subst) args)
+    | Push lv -> Push (Subst.lvalue subst lv)
+    | Pop lv -> Pop (Subst.lvalue subst lv)
+  and block stmts =
+    let added = ref [] in
+    let result = List.map (stmt added) stmts in
+    Subst.unwind subst !added;
+    result
+  in
+  block stmts
+
+let inline_func ?(max_depth = 32) prog f =
+  let names = Rename.create () in
+  Rename.reserve_func names f;
+
+  (* Builds the statement sequence for one call, returning the statements
+     plus (for expression calls) the name of the result variable. *)
+  let rec inline_call ~depth name args ~as_expr =
+    if depth > max_depth then
+      err "inlining depth limit exceeded at %S (recursion?)" name;
+    let callee = func_exn prog name in
+    if List.length args <> List.length callee.params then
+      err "call to %S: expected %d arguments, got %d" name
+        (List.length callee.params) (List.length args);
+    let subst = Subst.create () in
+    let header =
+      List.concat
+        (List.map2
+           (fun p arg ->
+             match (p.pmode, p.pty, arg) with
+             | In, Tscalar s, e ->
+                 let copy = Rename.fresh names (name ^ "_" ^ p.pname) in
+                 Subst.add subst p.pname (Var copy);
+                 [ Decl { name = copy; dty = Dscalar s; init = Some e } ]
+             | Out, Tscalar _, Var v ->
+                 Subst.add subst p.pname (Var v);
+                 []
+             | Out, Tscalar _, _ ->
+                 err "call to %S: out argument %S must be a variable" name
+                   p.pname
+             | _, Tarr _, Var v ->
+                 Subst.add subst p.pname (Var v);
+                 []
+             | _, Tarr _, _ ->
+                 err "call to %S: array argument %S must be a name" name
+                   p.pname)
+           callee.params args)
+    in
+    let body, tail_ret = split_tail_return callee in
+    let body = freshen_locals names subst body in
+    let body = List.concat_map (fun s -> inline_stmt ~depth:(depth + 1) s) body in
+    if as_expr then begin
+      let ret_scalar =
+        match callee.ret with
+        | Some s -> s
+        | None -> err "void function %S used in an expression" name
+      in
+      let tail =
+        match tail_ret with
+        | Some e -> Subst.expr subst e
+        | None -> err "function %S falls off the end without a return" name
+      in
+      let ret_var = Rename.fresh names (name ^ "_ret") in
+      (* The tail expression may itself contain user calls. *)
+      let tail_stmts =
+        inline_stmt ~depth:(depth + 1) (Assign (Lvar ret_var, tail))
+      in
+      ( header
+        @ [ Decl { name = ret_var; dty = Dscalar ret_scalar; init = None } ]
+        @ body @ tail_stmts,
+        Some ret_var )
+    end
+    else (header @ body, None)
+
+  (* Rewrites an expression, extracting user calls into [hoisted]. *)
+  and inline_expr ~depth hoisted e =
+    let recur e = inline_expr ~depth hoisted e in
+    match e with
+    | Fconst _ | Iconst _ | Var _ -> e
+    | Idx (a, i) -> Idx (a, recur i)
+    | Unop (op, e) -> Unop (op, recur e)
+    | Binop (op, a, b) ->
+        let a = recur a in
+        let b = recur b in
+        Binop (op, a, b)
+    | Call (name, args) ->
+        let args = List.map recur args in
+        if is_user prog name then begin
+          let stmts, ret_var = inline_call ~depth name args ~as_expr:true in
+          hoisted := !hoisted @ stmts;
+          Var (Option.get ret_var)
+        end
+        else Call (name, args)
+
+  and inline_stmt ~depth s =
+    let hoisted = ref [] in
+    let e_ e = inline_expr ~depth hoisted e in
+    let rewritten =
+      match s with
+      | Decl { name; dty; init } ->
+          let dty =
+            match dty with
+            | Dscalar _ as d -> d
+            | Darr (sc, size) -> Darr (sc, e_ size)
+          in
+          [ Decl { name; dty; init = Option.map e_ init } ]
+      | Assign (lv, e) ->
+          let lv =
+            match lv with Lvar _ -> lv | Lidx (a, i) -> Lidx (a, e_ i)
+          in
+          [ Assign (lv, e_ e) ]
+      | If (c, a, b) ->
+          let c = e_ c in
+          [
+            If
+              ( c,
+                List.concat_map (inline_stmt ~depth) a,
+                List.concat_map (inline_stmt ~depth) b );
+          ]
+      | For { var; lo; hi; down; body } ->
+          let lo = e_ lo and hi = e_ hi in
+          [ For { var; lo; hi; down; body = List.concat_map (inline_stmt ~depth) body } ]
+      | While (c, body) ->
+          if expr_has_user_call prog c then
+            err
+              "while condition in %S contains a user-function call, which \
+               cannot be inlined; bind it inside the loop body instead"
+              f.fname;
+          [ While (c, List.concat_map (inline_stmt ~depth) body) ]
+      | Return e -> [ Return (Option.map e_ e) ]
+      | Call_stmt (name, args) ->
+          if is_user prog name then begin
+            let args = List.map e_ args in
+            let stmts, _ = inline_call ~depth name args ~as_expr:false in
+            stmts
+          end
+          else [ Call_stmt (name, List.map e_ args) ]
+      | Push _ | Pop _ -> [ s ]
+    in
+    !hoisted @ rewritten
+  in
+  { f with body = List.concat_map (inline_stmt ~depth:0) f.body }

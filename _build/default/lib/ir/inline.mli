@@ -1,0 +1,16 @@
+(** User-function call inlining.
+
+    The AD engine differentiates a single self-contained function, so
+    calls to other MiniFP functions are inlined first (the paper handles
+    calls "by analogy" in Clad; inlining is the analogous mechanism
+    here). Inlinees must have their [return] (if any) as the final
+    statement; recursion is rejected via a depth limit. Calls inside
+    [while] conditions cannot be hoisted and are rejected. *)
+
+exception Error of string
+
+val inline_func : ?max_depth:int -> Ast.program -> Ast.func -> Ast.func
+(** Returns an equivalent function whose body contains no user-function
+    calls. Intrinsics are untouched. [max_depth] defaults to 32. *)
+
+val has_user_calls : Ast.program -> Ast.func -> bool

@@ -1,0 +1,175 @@
+type token =
+  | IDENT of string
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | KW of string
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | DOTDOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type t = { tok : token; line : int; col : int }
+
+exception Error of string
+
+let keywords =
+  [ "func"; "var"; "if"; "else"; "for"; "in"; "while"; "return"; "out";
+    "reversed"; "push"; "pop"; "void" ]
+
+let token_to_string = function
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | INT_LIT n -> Printf.sprintf "integer %d" n
+  | FLOAT_LIT x -> Printf.sprintf "float %g" x
+  | KW s -> Printf.sprintf "keyword %S" s
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | COMMA -> "','"
+  | SEMI -> "';'"
+  | COLON -> "':'"
+  | DOTDOT -> "'..'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | EQ -> "'='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | BANG -> "'!'"
+  | EOF -> "end of input"
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 and col = ref 1 in
+  let out = ref [] in
+  let fail fmt =
+    Format.kasprintf
+      (fun s -> raise (Error (Printf.sprintf "line %d, col %d: %s" !line !col s)))
+      fmt
+  in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let advance () =
+    (match src.[!pos] with
+    | '\n' ->
+        incr line;
+        col := 1
+    | _ -> incr col);
+    incr pos
+  in
+  let emit tok ~line:l ~col:c = out := { tok; line = l; col = c } :: !out in
+  while !pos < n do
+    let c = src.[!pos] in
+    let l = !line and co = !col in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance ()
+    else if c = '/' && peek 1 = Some '/' then
+      while !pos < n && src.[!pos] <> '\n' do
+        advance ()
+      done
+    else if is_digit c || (c = '.' && peek 1 <> Some '.' &&
+                           match peek 1 with Some d -> is_digit d | None -> false)
+    then begin
+      let start = !pos in
+      let is_float = ref false in
+      while
+        !pos < n
+        && (is_digit src.[!pos]
+           || (src.[!pos] = '.' && peek 1 <> Some '.')
+           || src.[!pos] = 'e' || src.[!pos] = 'E'
+           || ((src.[!pos] = '+' || src.[!pos] = '-')
+              && !pos > start
+              && (src.[!pos - 1] = 'e' || src.[!pos - 1] = 'E')))
+      do
+        (match src.[!pos] with
+        | '.' | 'e' | 'E' -> is_float := true
+        | _ -> ());
+        advance ()
+      done;
+      let text = String.sub src start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some x -> emit (FLOAT_LIT x) ~line:l ~col:co
+        | None -> fail "malformed float literal %S" text
+      else
+        match int_of_string_opt text with
+        | Some x -> emit (INT_LIT x) ~line:l ~col:co
+        | None -> fail "malformed integer literal %S" text
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char src.[!pos] do
+        advance ()
+      done;
+      let text = String.sub src start (!pos - start) in
+      if List.mem text keywords then emit (KW text) ~line:l ~col:co
+      else emit (IDENT text) ~line:l ~col:co
+    end
+    else begin
+      let two tok = advance (); advance (); emit tok ~line:l ~col:co in
+      let one tok = advance (); emit tok ~line:l ~col:co in
+      match (c, peek 1) with
+      | '.', Some '.' -> two DOTDOT
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NEQ
+      | '<', Some '=' -> two LE
+      | '>', Some '=' -> two GE
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '/', _ -> one SLASH
+      | '%', _ -> one PERCENT
+      | '=', _ -> one EQ
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | '!', _ -> one BANG
+      | _, _ -> fail "unexpected character %C" c
+    end
+  done;
+  emit EOF ~line:!line ~col:!col;
+  List.rev !out

@@ -1,0 +1,43 @@
+(** Hand-written lexer for MiniFP concrete syntax. *)
+
+type token =
+  | IDENT of string
+  | INT_LIT of int
+  | FLOAT_LIT of float
+  | KW of string  (** func var if else for in while return out reversed push pop void *)
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | COMMA
+  | SEMI
+  | COLON
+  | DOTDOT
+  | PLUS
+  | MINUS
+  | STAR
+  | SLASH
+  | PERCENT
+  | EQ  (** [=] *)
+  | EQEQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | ANDAND
+  | OROR
+  | BANG
+  | EOF
+
+type t = { tok : token; line : int; col : int }
+
+exception Error of string
+(** Carries a message with line/column. *)
+
+val tokenize : string -> t list
+(** Comments run from [//] to end of line. *)
+
+val token_to_string : token -> string

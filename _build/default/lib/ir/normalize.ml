@@ -1,0 +1,85 @@
+open Ast
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let rec free_vars acc = function
+  | Fconst _ | Iconst _ -> acc
+  | Var v -> v :: acc
+  | Idx (a, i) -> free_vars (a :: acc) i
+  | Unop (_, e) -> free_vars acc e
+  | Binop (_, a, b) -> free_vars (free_vars acc a) b
+  | Call (_, args) -> List.fold_left free_vars acc args
+
+let normalize_func prog f =
+  let f = Inline.inline_func prog f in
+  let names = Rename.create () in
+  List.iter (fun p -> Rename.reserve names p.pname) f.params;
+  let params = List.map (fun p -> p.pname) f.params in
+  let subst = Subst.create () in
+  let decls = ref [] in
+  let hoist original_name dty =
+    let name' = Rename.fresh names original_name in
+    (match dty with
+    | Darr (_, size) ->
+        let fv = free_vars [] size in
+        List.iter
+          (fun v ->
+            if not (List.mem v params) then
+              err
+                "size of local array %S in %S references %S; hoisted array \
+                 sizes may only use parameters and literals"
+                original_name f.fname v)
+          fv
+    | Dscalar _ -> ());
+    decls := (name', dty) :: !decls;
+    name'
+  in
+  let rec stmt added = function
+    | Decl { name; dty; init } ->
+        let dty =
+          match dty with
+          | Dscalar _ as d -> d
+          | Darr (s, size) -> Darr (s, Subst.expr subst size)
+        in
+        let init = Option.map (Subst.expr subst) init in
+        let name' = hoist name dty in
+        Subst.push subst name (Var name');
+        added := name :: !added;
+        (match init with
+        | Some e -> [ Assign (Lvar name', e) ]
+        | None -> [])
+    | Assign (lv, e) -> [ Assign (Subst.lvalue subst lv, Subst.expr subst e) ]
+    | If (c, a, b) -> [ If (Subst.expr subst c, block a, block b) ]
+    | For { var; lo; hi; down; body } ->
+        let lo = Subst.expr subst lo and hi = Subst.expr subst hi in
+        let var' = Rename.fresh names var in
+        Subst.push subst var (Var var');
+        let body = block body in
+        Subst.unwind subst [ var ];
+        [ For { var = var'; lo; hi; down; body } ]
+    | While (c, body) -> [ While (Subst.expr subst c, block body) ]
+    | Return e -> [ Return (Option.map (Subst.expr subst) e) ]
+    | Call_stmt (name, args) ->
+        [ Call_stmt (name, List.map (Subst.expr subst) args) ]
+    | Push lv -> [ Push (Subst.lvalue subst lv) ]
+    | Pop lv -> [ Pop (Subst.lvalue subst lv) ]
+  and block stmts =
+    let added = ref [] in
+    let result = List.concat_map (stmt added) stmts in
+    Subst.unwind subst !added;
+    result
+  in
+  let body = block f.body in
+  let decl_stmts =
+    List.rev_map (fun (name, dty) -> Decl { name; dty; init = None }) !decls
+  in
+  { f with body = decl_stmts @ body }
+
+let locals f =
+  let rec prefix acc = function
+    | Decl { name; dty; _ } :: rest -> prefix ((name, dty) :: acc) rest
+    | _ -> List.rev acc
+  in
+  prefix [] f.body

@@ -1,0 +1,20 @@
+(** Normalisation in preparation for reverse-mode AD.
+
+    Produces an equivalent function where (a) user calls are inlined,
+    (b) every local (including loop variables) has a unique name, and
+    (c) all declarations are hoisted to the top of the body, their
+    initialisers becoming ordinary assignments in place. Hoisting lets
+    the AD engine declare one adjoint per variable that is in scope for
+    both the forward and the backward sweep.
+
+    Because declarations move above the code that precedes them, local
+    array sizes must be expressions over parameters and literals only. *)
+
+exception Error of string
+
+val normalize_func : Ast.program -> Ast.func -> Ast.func
+
+val locals :
+  Ast.func -> (string * Ast.decl_ty) list
+(** Hoisted declarations of a normalized function, in order: the prefix
+    of [Decl] statements at the top of the body. *)

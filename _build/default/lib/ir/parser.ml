@@ -1,0 +1,346 @@
+open Ast
+
+exception Error of string
+
+type stream = { toks : Lexer.t array; mutable pos : int }
+
+let cur s = s.toks.(s.pos)
+
+let fail s fmt =
+  let { Lexer.tok; line; col } = cur s in
+  Format.kasprintf
+    (fun msg ->
+      raise
+        (Error
+           (Printf.sprintf "line %d, col %d: %s (found %s)" line col msg
+              (Lexer.token_to_string tok))))
+    fmt
+
+let advance s = s.pos <- s.pos + 1
+
+let eat s tok =
+  if cur s |> fun t -> t.Lexer.tok = tok then advance s
+  else fail s "expected %s" (Lexer.token_to_string tok)
+
+let eat_ident s =
+  match (cur s).Lexer.tok with
+  | Lexer.IDENT name ->
+      advance s;
+      name
+  | _ -> fail s "expected an identifier"
+
+let accept s tok =
+  if (cur s).Lexer.tok = tok then begin
+    advance s;
+    true
+  end
+  else false
+
+let scalar_of_name s = function
+  | "int" -> Sint
+  | "f16" -> Sflt Cheffp_precision.Fp.F16
+  | "f32" -> Sflt Cheffp_precision.Fp.F32
+  | "f64" -> Sflt Cheffp_precision.Fp.F64
+  | other -> fail s "unknown type %S (expected int, f16, f32, f64)" other
+
+(* ---------------- expressions ---------------- *)
+
+let rec parse_or s =
+  let lhs = ref (parse_and s) in
+  while accept s Lexer.OROR do
+    lhs := Binop (Or, !lhs, parse_and s)
+  done;
+  !lhs
+
+and parse_and s =
+  let lhs = ref (parse_eq s) in
+  while accept s Lexer.ANDAND do
+    lhs := Binop (And, !lhs, parse_eq s)
+  done;
+  !lhs
+
+and parse_eq s =
+  let lhs = ref (parse_rel s) in
+  let continue = ref true in
+  while !continue do
+    match (cur s).Lexer.tok with
+    | Lexer.EQEQ ->
+        advance s;
+        lhs := Binop (Eq, !lhs, parse_rel s)
+    | Lexer.NEQ ->
+        advance s;
+        lhs := Binop (Ne, !lhs, parse_rel s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_rel s =
+  let lhs = ref (parse_add s) in
+  let continue = ref true in
+  while !continue do
+    match (cur s).Lexer.tok with
+    | Lexer.LT ->
+        advance s;
+        lhs := Binop (Lt, !lhs, parse_add s)
+    | Lexer.LE ->
+        advance s;
+        lhs := Binop (Le, !lhs, parse_add s)
+    | Lexer.GT ->
+        advance s;
+        lhs := Binop (Gt, !lhs, parse_add s)
+    | Lexer.GE ->
+        advance s;
+        lhs := Binop (Ge, !lhs, parse_add s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_add s =
+  let lhs = ref (parse_mul s) in
+  let continue = ref true in
+  while !continue do
+    match (cur s).Lexer.tok with
+    | Lexer.PLUS ->
+        advance s;
+        lhs := Binop (Add, !lhs, parse_mul s)
+    | Lexer.MINUS ->
+        advance s;
+        lhs := Binop (Sub, !lhs, parse_mul s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul s =
+  let lhs = ref (parse_unary s) in
+  let continue = ref true in
+  while !continue do
+    match (cur s).Lexer.tok with
+    | Lexer.STAR ->
+        advance s;
+        lhs := Binop (Mul, !lhs, parse_unary s)
+    | Lexer.SLASH ->
+        advance s;
+        lhs := Binop (Div, !lhs, parse_unary s)
+    | Lexer.PERCENT ->
+        advance s;
+        lhs := Binop (Mod, !lhs, parse_unary s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary s =
+  match (cur s).Lexer.tok with
+  | Lexer.MINUS ->
+      advance s;
+      Unop (Neg, parse_unary s)
+  | Lexer.BANG ->
+      advance s;
+      Unop (Not, parse_unary s)
+  | _ -> parse_primary s
+
+and parse_primary s =
+  match (cur s).Lexer.tok with
+  | Lexer.FLOAT_LIT x ->
+      advance s;
+      Fconst x
+  | Lexer.INT_LIT n ->
+      advance s;
+      Iconst n
+  | Lexer.LPAREN ->
+      advance s;
+      let e = parse_or s in
+      eat s Lexer.RPAREN;
+      e
+  | Lexer.IDENT name -> (
+      advance s;
+      match (cur s).Lexer.tok with
+      | Lexer.LPAREN ->
+          advance s;
+          let args = parse_args s in
+          eat s Lexer.RPAREN;
+          Call (name, args)
+      | Lexer.LBRACKET ->
+          advance s;
+          let i = parse_or s in
+          eat s Lexer.RBRACKET;
+          Idx (name, i)
+      | _ -> Var name)
+  | _ -> fail s "expected an expression"
+
+and parse_args s =
+  if (cur s).Lexer.tok = Lexer.RPAREN then []
+  else begin
+    let first = parse_or s in
+    let rest = ref [] in
+    while accept s Lexer.COMMA do
+      rest := parse_or s :: !rest
+    done;
+    first :: List.rev !rest
+  end
+
+(* ---------------- statements ---------------- *)
+
+let parse_lvalue s =
+  let name = eat_ident s in
+  if accept s Lexer.LBRACKET then begin
+    let i = parse_or s in
+    eat s Lexer.RBRACKET;
+    Lidx (name, i)
+  end
+  else Lvar name
+
+let rec parse_stmt s =
+  match (cur s).Lexer.tok with
+  | Lexer.KW "var" ->
+      advance s;
+      let name = eat_ident s in
+      eat s Lexer.COLON;
+      let scalar = scalar_of_name s (eat_ident s) in
+      let dty =
+        if accept s Lexer.LBRACKET then begin
+          let size = parse_or s in
+          eat s Lexer.RBRACKET;
+          Darr (scalar, size)
+        end
+        else Dscalar scalar
+      in
+      let init = if accept s Lexer.EQ then Some (parse_or s) else None in
+      eat s Lexer.SEMI;
+      Decl { name; dty; init }
+  | Lexer.KW "if" ->
+      advance s;
+      eat s Lexer.LPAREN;
+      let c = parse_or s in
+      eat s Lexer.RPAREN;
+      let t = parse_block s in
+      let e =
+        if accept s (Lexer.KW "else") then
+          if (cur s).Lexer.tok = Lexer.KW "if" then [ parse_stmt s ]
+          else parse_block s
+        else []
+      in
+      If (c, t, e)
+  | Lexer.KW "for" ->
+      advance s;
+      let var = eat_ident s in
+      eat s (Lexer.KW "in");
+      let lo = parse_or s in
+      eat s Lexer.DOTDOT;
+      let hi = parse_or s in
+      let down = accept s (Lexer.KW "reversed") in
+      let body = parse_block s in
+      For { var; lo; hi; down; body }
+  | Lexer.KW "while" ->
+      advance s;
+      eat s Lexer.LPAREN;
+      let c = parse_or s in
+      eat s Lexer.RPAREN;
+      let body = parse_block s in
+      While (c, body)
+  | Lexer.KW "return" ->
+      advance s;
+      if accept s Lexer.SEMI then Return None
+      else begin
+        let e = parse_or s in
+        eat s Lexer.SEMI;
+        Return (Some e)
+      end
+  | Lexer.KW "push" ->
+      advance s;
+      let lv = parse_lvalue s in
+      eat s Lexer.SEMI;
+      Push lv
+  | Lexer.KW "pop" ->
+      advance s;
+      let lv = parse_lvalue s in
+      eat s Lexer.SEMI;
+      Pop lv
+  | Lexer.IDENT name -> (
+      advance s;
+      match (cur s).Lexer.tok with
+      | Lexer.LPAREN ->
+          advance s;
+          let args = parse_args s in
+          eat s Lexer.RPAREN;
+          eat s Lexer.SEMI;
+          Call_stmt (name, args)
+      | Lexer.LBRACKET ->
+          advance s;
+          let i = parse_or s in
+          eat s Lexer.RBRACKET;
+          eat s Lexer.EQ;
+          let e = parse_or s in
+          eat s Lexer.SEMI;
+          Assign (Lidx (name, i), e)
+      | Lexer.EQ ->
+          advance s;
+          let e = parse_or s in
+          eat s Lexer.SEMI;
+          Assign (Lvar name, e)
+      | _ -> fail s "expected '=', '[' or '(' after %S" name)
+  | _ -> fail s "expected a statement"
+
+and parse_block s =
+  eat s Lexer.LBRACE;
+  let stmts = ref [] in
+  while (cur s).Lexer.tok <> Lexer.RBRACE do
+    stmts := parse_stmt s :: !stmts
+  done;
+  eat s Lexer.RBRACE;
+  List.rev !stmts
+
+let parse_param s =
+  let pmode = if accept s (Lexer.KW "out") then Out else In in
+  let pname = eat_ident s in
+  eat s Lexer.COLON;
+  let scalar = scalar_of_name s (eat_ident s) in
+  let pty =
+    if accept s Lexer.LBRACKET then begin
+      eat s Lexer.RBRACKET;
+      Tarr scalar
+    end
+    else Tscalar scalar
+  in
+  { pname; pty; pmode }
+
+let parse_func s =
+  eat s (Lexer.KW "func");
+  let fname = eat_ident s in
+  eat s Lexer.LPAREN;
+  let params =
+    if (cur s).Lexer.tok = Lexer.RPAREN then []
+    else begin
+      let first = parse_param s in
+      let rest = ref [] in
+      while accept s Lexer.COMMA do
+        rest := parse_param s :: !rest
+      done;
+      first :: List.rev !rest
+    end
+  in
+  eat s Lexer.RPAREN;
+  eat s Lexer.COLON;
+  let ret =
+    if accept s (Lexer.KW "void") then None
+    else Some (scalar_of_name s (eat_ident s))
+  in
+  let body = parse_block s in
+  { fname; params; ret; body }
+
+let stream_of src =
+  try { toks = Array.of_list (Lexer.tokenize src); pos = 0 }
+  with Lexer.Error msg -> raise (Error msg)
+
+let parse_program src =
+  let s = stream_of src in
+  let funcs = ref [] in
+  while (cur s).Lexer.tok <> Lexer.EOF do
+    funcs := parse_func s :: !funcs
+  done;
+  { funcs = List.rev !funcs }
+
+let parse_expr src =
+  let s = stream_of src in
+  let e = parse_or s in
+  eat s Lexer.EOF;
+  e

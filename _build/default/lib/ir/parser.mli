@@ -1,0 +1,25 @@
+(** Recursive-descent parser for MiniFP concrete syntax.
+
+    Grammar sketch:
+    {v
+    program  := func*
+    func     := "func" name "(" params ")" ":" (scalar | "void") block
+    param    := ["out"] name ":" scalar ["[" "]"]
+    scalar   := "int" | "f16" | "f32" | "f64"
+    stmt     := "var" name ":" scalar ["[" expr "]"] ["=" expr] ";"
+              | lvalue "=" expr ";"       | name "(" args ")" ";"
+              | "if" "(" expr ")" block ["else" block]
+              | "for" name "in" expr ".." expr ["reversed"] block
+              | "while" "(" expr ")" block
+              | "return" [expr] ";"      | "push" lvalue ";" | "pop" lvalue ";"
+    v}
+    Operator precedence follows C: [||] < [&&] < [==,!=] < [<,<=,>,>=]
+    < [+,-] < [*,/,%] < unary [-,!]. Comments run [//] to end of line. *)
+
+exception Error of string
+
+val parse_program : string -> Ast.program
+(** @raise Error with line/column context on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (for tests and the CLI). *)

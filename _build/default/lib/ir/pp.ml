@@ -1,0 +1,134 @@
+open Ast
+
+let scalar_name = function
+  | Sint -> "int"
+  | Sflt fmt -> Cheffp_precision.Fp.format_to_string fmt
+
+let pp_scalar ppf s = Format.pp_print_string ppf (scalar_name s)
+
+let pp_ty ppf = function
+  | Tscalar s -> pp_scalar ppf s
+  | Tarr s -> Format.fprintf ppf "%s[]" (scalar_name s)
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "=="
+  | Ne -> "!="
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "&&"
+  | Or -> "||"
+
+let prec = function
+  | Or -> 1
+  | And -> 2
+  | Eq | Ne -> 3
+  | Lt | Le | Gt | Ge -> 4
+  | Add | Sub -> 5
+  | Mul | Div | Mod -> 6
+
+let float_literal x =
+  if Float.is_integer x && Float.abs x < 1e16 then Printf.sprintf "%.1f" x
+  else
+    (* Shortest representation that round-trips. *)
+    let s = Printf.sprintf "%.17g" x in
+    let shorter = Printf.sprintf "%.9g" x in
+    if float_of_string shorter = x then shorter else s
+
+(* [level] is the precedence of the context; parenthesise when the node
+   binds less tightly. *)
+let rec pp_expr_prec level ppf e =
+  match e with
+  | Fconst x ->
+      if x < 0. || 1. /. x < 0. then Format.fprintf ppf "(%s)" (float_literal x)
+      else Format.pp_print_string ppf (float_literal x)
+  | Iconst n ->
+      if n < 0 then Format.fprintf ppf "(%d)" n else Format.fprintf ppf "%d" n
+  | Var v -> Format.pp_print_string ppf v
+  | Idx (a, i) -> Format.fprintf ppf "%s[%a]" a (pp_expr_prec 0) i
+  | Unop (Neg, e) -> Format.fprintf ppf "(-%a)" (pp_expr_prec 7) e
+  | Unop (Not, e) -> Format.fprintf ppf "(!%a)" (pp_expr_prec 7) e
+  | Binop (op, a, b) ->
+      let p = prec op in
+      let body ppf () =
+        Format.fprintf ppf "%a %s %a" (pp_expr_prec p) a (binop_name op)
+          (pp_expr_prec (p + 1)) b
+      in
+      if p < level then Format.fprintf ppf "(%a)" body ()
+      else Format.fprintf ppf "%a" body ()
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           (pp_expr_prec 0))
+        args
+
+let pp_expr ppf e = pp_expr_prec 0 ppf e
+
+let pp_lvalue ppf = function
+  | Lvar v -> Format.pp_print_string ppf v
+  | Lidx (a, i) -> Format.fprintf ppf "%s[%a]" a pp_expr i
+
+let pp_decl_ty ppf = function
+  | Dscalar s -> pp_scalar ppf s
+  | Darr (s, size) -> Format.fprintf ppf "%s[%a]" (scalar_name s) pp_expr size
+
+let rec pp_stmt ppf = function
+  | Decl { name; dty; init = None } ->
+      Format.fprintf ppf "@[<h>var %s: %a;@]" name pp_decl_ty dty
+  | Decl { name; dty; init = Some e } ->
+      Format.fprintf ppf "@[<h>var %s: %a = %a;@]" name pp_decl_ty dty pp_expr e
+  | Assign (lv, e) -> Format.fprintf ppf "@[<h>%a = %a;@]" pp_lvalue lv pp_expr e
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,}" pp_expr c pp_block t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}"
+        pp_expr c pp_block t pp_block e
+  | For { var; lo; hi; down; body } ->
+      Format.fprintf ppf "@[<v 2>for %s in %a .. %a%s {@,%a@]@,}" var pp_expr lo
+        pp_expr hi
+        (if down then " reversed" else "")
+        pp_block body
+  | While (c, body) ->
+      Format.fprintf ppf "@[<v 2>while (%a) {@,%a@]@,}" pp_expr c pp_block body
+  | Return None -> Format.pp_print_string ppf "return;"
+  | Return (Some e) -> Format.fprintf ppf "@[<h>return %a;@]" pp_expr e
+  | Call_stmt (f, args) ->
+      Format.fprintf ppf "@[<h>%a;@]" pp_expr (Call (f, args))
+  | Push lv -> Format.fprintf ppf "@[<h>push %a;@]" pp_lvalue lv
+  | Pop lv -> Format.fprintf ppf "@[<h>pop %a;@]" pp_lvalue lv
+
+and pp_block ppf stmts =
+  Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_stmt ppf stmts
+
+let pp_param ppf { pname; pty; pmode } =
+  Format.fprintf ppf "%s%s: %a"
+    (match pmode with In -> "" | Out -> "out ")
+    pname pp_ty pty
+
+let pp_func ppf { fname; params; ret; body } =
+  let pp_ret ppf = function
+    | None -> Format.pp_print_string ppf "void"
+    | Some s -> pp_scalar ppf s
+  in
+  Format.fprintf ppf "@[<v 2>func %s(%a): %a {@,%a@]@,}" fname
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       pp_param)
+    params pp_ret ret pp_block body
+
+let pp_program ppf { funcs } =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+    pp_func ppf funcs;
+  Format.pp_print_cut ppf ()
+
+let expr_to_string e = Format.asprintf "%a" pp_expr e
+let func_to_string f = Format.asprintf "@[<v>%a@]" pp_func f
+let program_to_string p = Format.asprintf "@[<v>%a@]" pp_program p

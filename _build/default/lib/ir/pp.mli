@@ -1,0 +1,16 @@
+(** Pretty-printing of MiniFP programs back to concrete syntax.
+
+    Output is re-parseable by {!Parser} (round-trip is tested), so the
+    generated adjoint-with-error-estimation functions can be inspected as
+    source code, just like the paper's Clad-generated C++. *)
+
+val pp_scalar : Format.formatter -> Ast.scalar -> unit
+val pp_ty : Format.formatter -> Ast.ty -> unit
+val pp_expr : Format.formatter -> Ast.expr -> unit
+val pp_lvalue : Format.formatter -> Ast.lvalue -> unit
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+val pp_func : Format.formatter -> Ast.func -> unit
+val pp_program : Format.formatter -> Ast.program -> unit
+val expr_to_string : Ast.expr -> string
+val func_to_string : Ast.func -> string
+val program_to_string : Ast.program -> string

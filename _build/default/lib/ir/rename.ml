@@ -1,0 +1,41 @@
+(** Fresh-name generation shared by the transformation passes. *)
+
+type t = { used : (string, unit) Hashtbl.t }
+
+let create () = { used = Hashtbl.create 64 }
+
+let reserve t name = Hashtbl.replace t.used name ()
+let mem t name = Hashtbl.mem t.used name
+
+let reserve_func t (f : Ast.func) =
+  let rec stmt = function
+    | Ast.Decl { name; _ } -> reserve t name
+    | Ast.For { var; body; _ } ->
+        reserve t var;
+        List.iter stmt body
+    | Ast.If (_, a, b) ->
+        List.iter stmt a;
+        List.iter stmt b
+    | Ast.While (_, body) -> List.iter stmt body
+    | Ast.Assign _ | Ast.Return _ | Ast.Call_stmt _ | Ast.Push _ | Ast.Pop _ ->
+        ()
+  in
+  List.iter (fun p -> reserve t p.Ast.pname) f.params;
+  List.iter stmt f.body
+
+let fresh t base =
+  if not (Hashtbl.mem t.used base) then begin
+    reserve t base;
+    base
+  end
+  else begin
+    let rec go k =
+      let candidate = Printf.sprintf "%s_%d" base k in
+      if Hashtbl.mem t.used candidate then go (k + 1)
+      else begin
+        reserve t candidate;
+        candidate
+      end
+    in
+    go 1
+  end

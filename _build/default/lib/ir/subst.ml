@@ -1,0 +1,64 @@
+(** Capture-avoiding variable renaming over MiniFP fragments.
+
+    Substitution maps variable names to variable names (used by the
+    inliner to wire parameters to arguments) or to whole expressions
+    (used for [In] scalar arguments that are plain variables). *)
+
+open Ast
+
+type t = (string, expr) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+let add (t : t) name e = Hashtbl.replace t name e
+
+let push (t : t) name e = Hashtbl.add t name e
+(* Shadow an existing binding; [unwind] reveals it again. *)
+
+let unwind (t : t) names = List.iter (Hashtbl.remove t) names
+
+let rename_of (t : t) name =
+  match Hashtbl.find_opt t name with
+  | Some (Var v) -> v
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Subst: %S must map to a variable in this position" name)
+  | None -> name
+
+let rec expr (t : t) = function
+  | Fconst _ | Iconst _ as e -> e
+  | Var v -> ( match Hashtbl.find_opt t v with Some e -> e | None -> Var v)
+  | Idx (a, i) -> Idx (rename_of t a, expr t i)
+  | Unop (op, e) -> Unop (op, expr t e)
+  | Binop (op, a, b) -> Binop (op, expr t a, expr t b)
+  | Call (f, args) -> Call (f, List.map (expr t) args)
+
+let lvalue (t : t) = function
+  | Lvar v -> Lvar (rename_of t v)
+  | Lidx (a, i) -> Lidx (rename_of t a, expr t i)
+
+let rec stmt (t : t) = function
+  | Decl { name; dty; init } ->
+      let dty =
+        match dty with
+        | Dscalar _ as d -> d
+        | Darr (s, size) -> Darr (s, expr t size)
+      in
+      Decl { name = rename_of t name; dty; init = Option.map (expr t) init }
+  | Assign (lv, e) -> Assign (lvalue t lv, expr t e)
+  | If (c, a, b) -> If (expr t c, stmts t a, stmts t b)
+  | For { var; lo; hi; down; body } ->
+      For
+        {
+          var = rename_of t var;
+          lo = expr t lo;
+          hi = expr t hi;
+          down;
+          body = stmts t body;
+        }
+  | While (c, body) -> While (expr t c, stmts t body)
+  | Return e -> Return (Option.map (expr t) e)
+  | Call_stmt (f, args) -> Call_stmt (f, List.map (expr t) args)
+  | Push lv -> Push (lvalue t lv)
+  | Pop lv -> Pop (lvalue t lv)
+
+and stmts t l = List.map (stmt t) l

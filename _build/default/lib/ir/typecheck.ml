@@ -1,0 +1,292 @@
+open Ast
+
+exception Error of string
+
+type ety = Escalar of Builtins.kind | Earr of Builtins.kind
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let ety_name = function
+  | Escalar k -> Builtins.kind_name k
+  | Earr k -> Builtins.kind_name k ^ "[]"
+
+let ety_of_ty = function
+  | Tscalar s -> Escalar (Builtins.kind_of_scalar s)
+  | Tarr s -> Earr (Builtins.kind_of_scalar s)
+
+(* Lexically-scoped typing environment. *)
+module Scope = struct
+  type t = { mutable frames : (string, ty) Hashtbl.t list }
+
+  let create () = { frames = [ Hashtbl.create 16 ] }
+  let push t = t.frames <- Hashtbl.create 8 :: t.frames
+
+  let pop t =
+    match t.frames with
+    | _ :: (_ :: _ as rest) -> t.frames <- rest
+    | _ -> invalid_arg "Typecheck.Scope.pop"
+
+  let find t name =
+    let rec go = function
+      | [] -> None
+      | frame :: rest -> (
+          match Hashtbl.find_opt frame name with
+          | Some ty -> Some ty
+          | None -> go rest)
+    in
+    go t.frames
+
+  let declare t name ty =
+    match t.frames with
+    | frame :: _ ->
+        if Hashtbl.mem frame name then
+          err "variable %S redeclared in the same scope" name;
+        Hashtbl.add frame name ty
+    | [] -> assert false
+end
+
+let rec kind_of_expr ~builtins ~prog ~lookup e =
+  let recur e = kind_of_expr ~builtins ~prog ~lookup e in
+  let scalar_of name e =
+    match recur e with
+    | Escalar k -> k
+    | Earr _ as t -> err "%s: expected a scalar, got %s" name (ety_name t)
+  in
+  match e with
+  | Fconst _ -> Escalar Builtins.Kflt
+  | Iconst _ -> Escalar Builtins.Kint
+  | Var v -> (
+      match lookup v with
+      | Some ty -> ety_of_ty ty
+      | None -> err "use of undeclared variable %S" v)
+  | Idx (a, i) -> (
+      (match recur i with
+      | Escalar Builtins.Kint -> ()
+      | t -> err "index into %S must be an int, got %s" a (ety_name t));
+      match lookup a with
+      | Some (Tarr s) -> Escalar (Builtins.kind_of_scalar s)
+      | Some (Tscalar _) -> err "%S is a scalar, not an array" a
+      | None -> err "use of undeclared array %S" a)
+  | Unop (Neg, e) -> (
+      match scalar_of "negation" e with k -> Escalar k)
+  | Unop (Not, e) -> (
+      match scalar_of "logical not" e with
+      | Builtins.Kint -> Escalar Builtins.Kint
+      | Builtins.Kflt -> err "logical not applies to int, got float")
+  | Binop (op, a, b) -> (
+      let ka = scalar_of "binary operand" a
+      and kb = scalar_of "binary operand" b in
+      if ka <> kb then
+        err "operands of %s have different kinds (%s vs %s); use itof/ftoi"
+          (Pp.expr_to_string (Binop (op, Var "_", Var "_")))
+          (Builtins.kind_name ka) (Builtins.kind_name kb);
+      match op with
+      | Add | Sub | Mul | Div -> Escalar ka
+      | Mod ->
+          if ka <> Builtins.Kint then err "%% applies to int operands";
+          Escalar Builtins.Kint
+      | Eq | Ne | Lt | Le | Gt | Ge -> Escalar Builtins.Kint
+      | And | Or ->
+          if ka <> Builtins.Kint then err "&&/|| apply to int operands";
+          Escalar Builtins.Kint)
+  | Call (name, args) -> (
+      match Builtins.find builtins name with
+      | Some (sg, _) ->
+          let expected = List.length sg.Builtins.args in
+          if List.length args <> expected then
+            err "intrinsic %S expects %d arguments, got %d" name expected
+              (List.length args);
+          List.iter2
+            (fun k arg ->
+              match recur arg with
+              | Escalar k' when k' = k -> ()
+              | t ->
+                  err "intrinsic %S: argument has kind %s, expected %s" name
+                    (ety_name t) (Builtins.kind_name k))
+            sg.Builtins.args args;
+          Escalar sg.Builtins.ret
+      | None -> (
+          match find_func prog name with
+          | None -> err "call to unknown function or intrinsic %S" name
+          | Some f ->
+              (match f.ret with
+              | None -> err "void function %S used in an expression" name
+              | Some _ -> ());
+              List.iter
+                (fun p ->
+                  if p.pmode = Out then
+                    err
+                      "function %S has out parameters and cannot be called in \
+                       an expression"
+                      name)
+                f.params;
+              if List.length args <> List.length f.params then
+                err "function %S expects %d arguments, got %d" name
+                  (List.length f.params) (List.length args);
+              List.iter2
+                (fun p arg ->
+                  let want = ety_of_ty p.pty and got = recur arg in
+                  if want <> got then
+                    err "call to %S: argument %S has type %s, expected %s" name
+                      p.pname (ety_name got) (ety_name want))
+                f.params args;
+              Escalar
+                (Builtins.kind_of_scalar
+                   (match f.ret with Some s -> s | None -> assert false))))
+
+let expr_kind ?(builtins = Builtins.create ()) prog lookup e =
+  kind_of_expr ~builtins ~prog ~lookup e
+
+let check_func ?(builtins = Builtins.create ()) prog f =
+  let scope = Scope.create () in
+  let loop_vars = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      (match p.pty with
+      | Tscalar _ -> ()
+      | Tarr _ ->
+          if p.pmode = Out then ()
+          (* arrays are by-reference either way; Out marks intent *));
+      Scope.declare scope p.pname p.pty)
+    f.params;
+  let lookup v = Scope.find scope v in
+  let expr e = kind_of_expr ~builtins ~prog ~lookup e in
+  let expect_int what e =
+    match expr e with
+    | Escalar Builtins.Kint -> ()
+    | t -> err "%s in %S must be an int, got %s" what f.fname (ety_name t)
+  in
+  let lvalue_kind = function
+    | Lvar v -> (
+        match lookup v with
+        | Some (Tscalar s) ->
+            if Hashtbl.mem loop_vars v then
+              err "loop variable %S may not be assigned" v;
+            Builtins.kind_of_scalar s
+        | Some (Tarr _) -> err "cannot assign to array %S as a whole" v
+        | None -> err "assignment to undeclared variable %S" v)
+    | Lidx (a, i) -> (
+        expect_int "array index" i;
+        match lookup a with
+        | Some (Tarr s) -> Builtins.kind_of_scalar s
+        | Some (Tscalar _) -> err "%S is a scalar, not an array" a
+        | None -> err "use of undeclared array %S" a)
+  in
+  let rec stmt = function
+    | Decl { name; dty; init } -> (
+        let ty =
+          match dty with
+          | Dscalar s -> Tscalar s
+          | Darr (s, size) ->
+              expect_int "array size" size;
+              Tarr s
+        in
+        Scope.declare scope name ty;
+        match (init, dty) with
+        | None, _ -> ()
+        | Some _, Darr _ -> err "array %S cannot have a scalar initialiser" name
+        | Some e, Dscalar s ->
+            let want = Builtins.kind_of_scalar s in
+            (match expr e with
+            | Escalar k when k = want -> ()
+            | t ->
+                err "initialiser of %S has type %s, expected %s" name
+                  (ety_name t) (Builtins.kind_name want)))
+    | Assign (lv, e) -> (
+        let want = lvalue_kind lv in
+        match expr e with
+        | Escalar k when k = want -> ()
+        | t ->
+            err "assignment to %s has type %s, expected %s"
+              (Format.asprintf "%a" Pp.pp_lvalue lv)
+              (ety_name t) (Builtins.kind_name want))
+    | If (c, t, e) ->
+        expect_int "if condition" c;
+        block t;
+        block e
+    | For { var; lo; hi; down = _; body } ->
+        expect_int "loop bound" lo;
+        expect_int "loop bound" hi;
+        Scope.push scope;
+        Scope.declare scope var (Tscalar Sint);
+        Hashtbl.add loop_vars var ();
+        List.iter stmt body;
+        Hashtbl.remove loop_vars var;
+        Scope.pop scope
+    | While (c, body) ->
+        expect_int "while condition" c;
+        block body
+    | Return None ->
+        if f.ret <> None then err "function %S must return a value" f.fname
+    | Return (Some e) -> (
+        match f.ret with
+        | None -> err "void function %S returns a value" f.fname
+        | Some s -> (
+            let want = Builtins.kind_of_scalar s in
+            match expr e with
+            | Escalar k when k = want -> ()
+            | t ->
+                err "return in %S has type %s, expected %s" f.fname
+                  (ety_name t) (Builtins.kind_name want)))
+    | Call_stmt (name, args) -> (
+        match Builtins.find builtins name with
+        | Some _ -> ignore (expr (Call (name, args)))
+        | None -> (
+            match find_func prog name with
+            | None -> err "call to unknown function %S" name
+            | Some callee ->
+                if List.length args <> List.length callee.params then
+                  err "function %S expects %d arguments, got %d" name
+                    (List.length callee.params)
+                    (List.length args);
+                List.iter2
+                  (fun p arg ->
+                    let want = ety_of_ty p.pty in
+                    (match (p.pmode, p.pty, arg) with
+                    | Out, Tscalar _, Var v -> (
+                        match lookup v with
+                        | Some (Tscalar _) -> ()
+                        | Some (Tarr _) | None ->
+                            err
+                              "out argument for %S.%S must be a scalar \
+                               variable"
+                              name p.pname)
+                    | Out, Tscalar _, _ ->
+                        err "out argument for %S.%S must be a variable name"
+                          name p.pname
+                    | _, Tarr _, Var _ -> ()
+                    | _, Tarr _, _ ->
+                        err "array argument for %S.%S must be an array name"
+                          name p.pname
+                    | In, Tscalar _, _ -> ());
+                    let got = expr arg in
+                    if got <> want then
+                      err "call to %S: argument %S has type %s, expected %s"
+                        name p.pname (ety_name got) (ety_name want))
+                  callee.params args))
+    | Push lv | Pop lv -> ignore (lvalue_kind lv)
+  and block stmts =
+    Scope.push scope;
+    List.iter stmt stmts;
+    Scope.pop scope
+  in
+  List.iter stmt f.body
+
+let check_program ?(builtins = Builtins.create ()) prog =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.fname then
+        err "function %S defined more than once" f.fname;
+      if Builtins.mem builtins f.fname then
+        err "function %S shadows an intrinsic" f.fname;
+      Hashtbl.add seen f.fname ();
+      let params = Hashtbl.create 8 in
+      List.iter
+        (fun p ->
+          if Hashtbl.mem params p.pname then
+            err "function %S has duplicate parameter %S" f.fname p.pname;
+          Hashtbl.add params p.pname ())
+        f.params)
+    prog.funcs;
+  List.iter (fun f -> check_func ~builtins prog f) prog.funcs

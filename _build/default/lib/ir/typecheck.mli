@@ -1,0 +1,27 @@
+(** Static checking of MiniFP programs.
+
+    Verifies declaration-before-use, kind agreement (no implicit
+    int/float conversions; use [itof]/[ftoi]), array indexing, intrinsic
+    signatures, user-call conventions (expression calls only to functions
+    whose parameters are all [In]; [out] arguments must be plain variable
+    names), loop-variable immutability, and return typing. *)
+
+exception Error of string
+
+type ety = Escalar of Builtins.kind | Earr of Builtins.kind
+
+val check_program : ?builtins:Builtins.t -> Ast.program -> unit
+(** @raise Error with a human-readable message on the first violation. *)
+
+val check_func : ?builtins:Builtins.t -> Ast.program -> Ast.func -> unit
+(** Check one function in the context of [program] (for user calls). *)
+
+val expr_kind :
+  ?builtins:Builtins.t ->
+  Ast.program ->
+  (string -> Ast.ty option) ->
+  Ast.expr ->
+  ety
+(** [expr_kind prog lookup e] types [e] with variable types given by
+    [lookup]. Used by the AD engine to distinguish integer from float
+    assignments. @raise Error on ill-typed input. *)

@@ -1,0 +1,1 @@
+lib/precision/config.ml: Format Fp List Map String

@@ -1,0 +1,1 @@
+lib/precision/config.mli: Format Fp

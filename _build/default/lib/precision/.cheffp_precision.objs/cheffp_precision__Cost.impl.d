@@ -1,0 +1,1 @@
+lib/precision/cost.ml: Fp

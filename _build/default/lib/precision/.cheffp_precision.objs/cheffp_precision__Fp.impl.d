@@ -1,0 +1,1 @@
+lib/precision/fp.ml: Float Format Int32

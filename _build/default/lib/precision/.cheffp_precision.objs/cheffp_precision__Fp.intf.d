@@ -1,0 +1,1 @@
+lib/precision/fp.mli: Format

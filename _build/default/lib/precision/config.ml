@@ -1,0 +1,33 @@
+module Smap = Map.Make (String)
+
+type t = { default : Fp.format; overrides : Fp.format Smap.t }
+
+let uniform fmt = { default = fmt; overrides = Smap.empty }
+let double = uniform Fp.F64
+let demote cfg var fmt = { cfg with overrides = Smap.add var fmt cfg.overrides }
+
+let demote_all cfg vars fmt =
+  List.fold_left (fun acc v -> demote acc v fmt) cfg vars
+
+let format_of cfg var =
+  match Smap.find_opt var cfg.overrides with
+  | Some fmt -> fmt
+  | None -> cfg.default
+
+let has_override cfg var = Smap.mem var cfg.overrides
+let default_format cfg = cfg.default
+let demoted cfg = Smap.bindings cfg.overrides
+
+let is_uniform_double cfg =
+  Fp.equal_format cfg.default Fp.F64
+  && Smap.for_all (fun _ fmt -> Fp.equal_format fmt Fp.F64) cfg.overrides
+
+type rounding_mode = Source | Extended
+
+let pp ppf cfg =
+  Format.fprintf ppf "default=%a" Fp.pp_format cfg.default;
+  Smap.iter
+    (fun var fmt -> Format.fprintf ppf " %s:%a" var Fp.pp_format fmt)
+    cfg.overrides
+
+let to_string cfg = Format.asprintf "%a" pp cfg

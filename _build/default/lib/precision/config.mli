@@ -1,0 +1,40 @@
+(** Mixed-precision configurations: which storage format each program
+    variable uses.
+
+    A configuration assigns a {!Fp.format} to named variables, with a
+    default for everything unnamed. The mixed-precision interpreter rounds
+    every store into a variable to that variable's format; the tuner
+    searches the space of configurations. *)
+
+type t
+
+val uniform : Fp.format -> t
+(** Every variable uses the given format. *)
+
+val double : t
+(** [uniform F64]: the reference configuration. *)
+
+val demote : t -> string -> Fp.format -> t
+(** [demote cfg var fmt] assigns [fmt] to [var] (replacing any previous
+    assignment). *)
+
+val demote_all : t -> string list -> Fp.format -> t
+val format_of : t -> string -> Fp.format
+val has_override : t -> string -> bool
+val default_format : t -> Fp.format
+
+val demoted : t -> (string * Fp.format) list
+(** Explicit per-variable assignments, sorted by variable name. *)
+
+val is_uniform_double : t -> bool
+
+type rounding_mode = Source | Extended
+(** [Source] rounds every operation to the precision implied by its
+    operands' source types, the behaviour of [-fp-model source] that the
+    paper recommends (§V-B): an operation on two demoted values is
+    performed natively in the narrow format. [Extended] keeps all
+    intermediates in binary64 and rounds only on stores into demoted
+    variables. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

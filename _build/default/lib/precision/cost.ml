@@ -1,0 +1,80 @@
+type op_class = Basic | Division | Square_root | Transcendental
+
+let op_class_of_intrinsic = function
+  | "sqrt" -> Square_root
+  | "abs" | "fabs" | "min" | "max" | "floor" | "ceil" -> Basic
+  | _ -> Transcendental
+
+type t = {
+  basic : float;
+  division : float;
+  square_root : float;
+  transcendental : float;
+  cast_cost : float;
+  narrow_factor : float;
+  approx_discount : float;
+}
+
+let make ?(basic = 1.0) ?(division = 4.0) ?(square_root = 4.0)
+    ?(transcendental = 10.0) ?(cast = 0.25) ?(narrow_factor = 0.5)
+    ?(approx_discount = 0.25) () =
+  {
+    basic;
+    division;
+    square_root;
+    transcendental;
+    cast_cost = cast;
+    narrow_factor;
+    approx_discount;
+  }
+
+let default = make ()
+
+let base t = function
+  | Basic -> t.basic
+  | Division -> t.division
+  | Square_root -> t.square_root
+  | Transcendental -> t.transcendental
+
+let steps_below_f64 = function Fp.F64 -> 0 | Fp.F32 -> 1 | Fp.F16 -> 2
+
+let op t fmt cls =
+  base t cls *. (t.narrow_factor ** float_of_int (steps_below_f64 fmt))
+
+let cast t = t.cast_cost
+let approx t cls = base t cls *. t.approx_discount
+
+module Counter = struct
+  type model = t
+
+  type nonrec t = {
+    model : model;
+    mutable total : float;
+    mutable casts : int;
+    mutable ops : int;
+  }
+
+  let create model = { model; total = 0.; casts = 0; ops = 0 }
+  let model c = c.model
+
+  let charge_op c fmt cls =
+    c.total <- c.total +. op c.model fmt cls;
+    c.ops <- c.ops + 1
+
+  let charge_cast c =
+    c.total <- c.total +. cast c.model;
+    c.casts <- c.casts + 1
+
+  let charge_approx c cls =
+    c.total <- c.total +. approx c.model cls;
+    c.ops <- c.ops + 1
+
+  let total c = c.total
+  let casts c = c.casts
+  let ops c = c.ops
+
+  let reset c =
+    c.total <- 0.;
+    c.casts <- 0;
+    c.ops <- 0
+end

@@ -1,0 +1,96 @@
+type format = F16 | F32 | F64
+
+let format_to_string = function F16 -> "f16" | F32 -> "f32" | F64 -> "f64"
+let pp_format ppf f = Format.pp_print_string ppf (format_to_string f)
+
+let format_of_string = function
+  | "f16" | "half" -> Some F16
+  | "f32" | "float" | "single" -> Some F32
+  | "f64" | "double" -> Some F64
+  | _ -> None
+
+let equal_format (a : format) b = a = b
+let bits = function F16 -> 16 | F32 -> 32 | F64 -> 64
+let bytes f = bits f / 8
+let mantissa_bits = function F16 -> 10 | F32 -> 23 | F64 -> 52
+let epsilon f = Float.ldexp 1.0 (-mantissa_bits f)
+let unit_roundoff f = epsilon f /. 2.
+
+let round_f32 x = Int32.float_of_bits (Int32.bits_of_float x)
+
+(* Round a binary64 to binary16 with round-to-nearest-even, widening the
+   result back to binary64. Goes through binary32 first (exact for the
+   purposes of binary16 rounding because every binary16-boundary case is
+   exactly representable in binary32... which is NOT true for double
+   rounding in general), so instead we round the binary64 directly using
+   its bit pattern. *)
+let round_f16 x =
+  if Float.is_nan x then x
+  else if x = 0. then x (* preserves signed zero *)
+  else begin
+    let sign = if Float.sign_bit x then -1.0 else 1.0 in
+    let ax = Float.abs x in
+    let max_f16 = 65504.0 in
+    (* Halfway point between max finite (65504) and "next" (65536): values
+       at or above round to infinity under RNE. *)
+    if ax >= 65520.0 then sign *. Float.infinity
+    else if ax < 0x1p-25 then sign *. 0.0 (* below half of min subnormal *)
+    else begin
+      let rounded =
+        if ax < 0x1p-14 then begin
+          (* Subnormal range: quantum is 2^-24. Scale so the quantum
+             becomes 1.0, round to integer (RNE via Float.round-to-even
+             emulation), scale back. *)
+          let scaled = ax *. 0x1p24 in
+          let lo = Float.of_int (int_of_float (Float.floor scaled)) in
+          let frac = scaled -. lo in
+          let snapped =
+            if frac > 0.5 then lo +. 1.
+            else if frac < 0.5 then lo
+            else if Float.rem lo 2. = 0. then lo
+            else lo +. 1.
+          in
+          snapped *. 0x1p-24
+        end else begin
+          (* Normal range: exponent e with 2^e <= ax < 2^(e+1); quantum is
+             2^(e-10). *)
+          let _, e = Float.frexp ax in
+          let e = e - 1 in
+          let quantum = Float.ldexp 1.0 (e - 10) in
+          let scaled = ax /. quantum in
+          let lo = Float.of_int (int_of_float (Float.floor scaled)) in
+          let frac = scaled -. lo in
+          let snapped =
+            if frac > 0.5 then lo +. 1.
+            else if frac < 0.5 then lo
+            else if Float.rem lo 2. = 0. then lo
+            else lo +. 1.
+          in
+          snapped *. quantum
+        end
+      in
+      let rounded = if rounded > max_f16 then Float.infinity else rounded in
+      sign *. rounded
+    end
+  end
+
+let round fmt x =
+  match fmt with F64 -> x | F32 -> round_f32 x | F16 -> round_f16 x
+
+let representable fmt x = Float.is_nan x || round fmt x = x
+let representation_error fmt x = x -. round fmt x
+
+let ulp fmt x =
+  match fmt with
+  | F64 -> Float.succ (Float.abs x) -. Float.abs x
+  | F32 | F16 ->
+      let ax = Float.abs x in
+      if ax = 0. || Float.is_nan ax || ax = Float.infinity then epsilon fmt
+      else
+        let _, e = Float.frexp ax in
+        Float.ldexp 1.0 (e - 1 - mantissa_bits fmt)
+
+let max_finite = function
+  | F64 -> Float.max_float
+  | F32 -> Int32.float_of_bits 0x7F7FFFFFl
+  | F16 -> 65504.0

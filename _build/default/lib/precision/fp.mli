@@ -1,0 +1,48 @@
+(** IEEE 754 binary formats and bit-accurate rounding.
+
+    OCaml's native [float] is IEEE 754 binary64. Lower precisions are
+    emulated by rounding a binary64 value to the nearest representable
+    binary32/binary16 value (round-to-nearest, ties-to-even), then
+    widening back — the standard "shadow value" technique used by
+    mixed-precision analysis tools. *)
+
+type format = F16 | F32 | F64
+
+val pp_format : Format.formatter -> format -> unit
+val format_to_string : format -> string
+val format_of_string : string -> format option
+val equal_format : format -> format -> bool
+
+val bits : format -> int
+(** Total storage bits: 16, 32, 64. *)
+
+val bytes : format -> int
+
+val mantissa_bits : format -> int
+(** Explicit significand bits: 10, 23, 52. *)
+
+val epsilon : format -> float
+(** Spacing of representable values at 1.0: [2^-mantissa_bits]. *)
+
+val unit_roundoff : format -> float
+(** Maximum relative representation error under round-to-nearest:
+    [epsilon / 2]. This is the paper's machine epsilon [eps_m]. *)
+
+val round : format -> float -> float
+(** [round fmt x] is the nearest [fmt]-representable value to [x]
+    (ties-to-even), widened back to binary64. Overflow yields the
+    correctly-signed infinity; NaN is preserved. [round F64] is the
+    identity. *)
+
+val representable : format -> float -> bool
+(** [representable fmt x] iff [round fmt x = x] (with NaN representable). *)
+
+val representation_error : format -> float -> float
+(** [x -. round fmt x]: the paper's ADAPT error term [x - (float)x]. *)
+
+val ulp : format -> float -> float
+(** Unit in the last place of [x] in [fmt] (for finite nonzero [x]). *)
+
+val max_finite : format -> float
+(** Largest finite representable value: 65504 for [F16],
+    (2 - 2^-23) * 2^127 for [F32], [max_float] for [F64]. *)

@@ -1,0 +1,1 @@
+lib/sparse/cg.ml: Array Cheffp_util Csr Vec

@@ -1,0 +1,49 @@
+type stats = {
+  iterations : int;
+  residual : float;
+  normr_history : float array;
+}
+
+let solve ?(max_iter = 150) ?(tolerance = 0.0) (a : Csr.t) ~b ~x =
+  let n = a.Csr.n in
+  if Array.length b <> n || Array.length x <> n then
+    invalid_arg "Cg.solve: dimension mismatch";
+  let r = Array.make n 0. in
+  let p = Array.copy x in
+  let ap = Array.make n 0. in
+  let history = Cheffp_util.Growable.Float.create () in
+  (* r = b - A*p; p = x *)
+  Csr.spmv a p ap;
+  for i = 0 to n - 1 do
+    r.(i) <- b.(i) -. ap.(i)
+  done;
+  (* HPCCG main loop structure (Mantevo HPCCG.cpp). *)
+  let rtrans = ref (Vec.dot r r) in
+  let normr = ref (sqrt !rtrans) in
+  Cheffp_util.Growable.Float.push history !normr;
+  let k = ref 1 in
+  while !k <= max_iter && !normr > tolerance do
+    if !k = 1 then Array.blit r 0 p 0 n
+    else begin
+      let oldrtrans = !rtrans in
+      rtrans := Vec.dot r r;
+      let beta = !rtrans /. oldrtrans in
+      Vec.waxpby 1.0 r beta p p
+    end;
+    normr := sqrt !rtrans;
+    Csr.spmv a p ap;
+    let alpha = !rtrans /. Vec.dot p ap in
+    Vec.axpy alpha p x;
+    Vec.axpy (-.alpha) ap r;
+    incr k;
+    (* Refresh the residual norm so the loop guard sees the value the
+       iteration just produced (an exact zero residual must stop the
+       loop before the next alpha becomes 0/0). *)
+    normr := sqrt (Vec.dot r r);
+    Cheffp_util.Growable.Float.push history !normr
+  done;
+  let hist =
+    Array.init (Cheffp_util.Growable.Float.length history) (fun i ->
+        Cheffp_util.Growable.Float.get history i)
+  in
+  { iterations = !k - 1; residual = sqrt (Vec.dot r r); normr_history = hist }

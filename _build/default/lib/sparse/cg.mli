@@ -1,0 +1,18 @@
+(** Conjugate-gradient solver (the HPCCG main loop, Mantevo). *)
+
+type stats = {
+  iterations : int;
+  residual : float;  (** final [sqrt(r.r)] *)
+  normr_history : float array;  (** residual norm at each iteration *)
+}
+
+val solve :
+  ?max_iter:int ->
+  ?tolerance:float ->
+  Csr.t ->
+  b:float array ->
+  x:float array ->
+  stats
+(** Solves [A x = b] starting from the given [x] (updated in place).
+    Defaults: [max_iter = 150], [tolerance = 0.0] (run all iterations,
+    like the HPCCG benchmark). *)

@@ -1,0 +1,86 @@
+type t = {
+  n : int;
+  row_ptr : int array;
+  cols : int array;
+  vals : float array;
+}
+
+let nnz t = t.row_ptr.(t.n)
+
+let spmv t x y =
+  if Array.length x <> t.n || Array.length y <> t.n then
+    invalid_arg "Csr.spmv: dimension mismatch";
+  for i = 0 to t.n - 1 do
+    let acc = ref 0. in
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      acc := !acc +. (t.vals.(k) *. x.(t.cols.(k)))
+    done;
+    y.(i) <- !acc
+  done
+
+let stencil27 ~nx ~ny ~nz =
+  let n = nx * ny * nz in
+  let row_ptr = Array.make (n + 1) 0 in
+  (* First pass: count entries per row. *)
+  let idx ix iy iz = (iz * nx * ny) + (iy * nx) + ix in
+  let count = ref 0 in
+  for iz = 0 to nz - 1 do
+    for iy = 0 to ny - 1 do
+      for ix = 0 to nx - 1 do
+        let row = idx ix iy iz in
+        let c = ref 0 in
+        for dz = -1 to 1 do
+          for dy = -1 to 1 do
+            for dx = -1 to 1 do
+              let jx = ix + dx and jy = iy + dy and jz = iz + dz in
+              if jx >= 0 && jx < nx && jy >= 0 && jy < ny && jz >= 0 && jz < nz
+              then incr c
+            done
+          done
+        done;
+        count := !count + !c;
+        row_ptr.(row + 1) <- !c
+      done
+    done
+  done;
+  for i = 1 to n do
+    row_ptr.(i) <- row_ptr.(i) + row_ptr.(i - 1)
+  done;
+  let cols = Array.make !count 0 in
+  let vals = Array.make !count 0. in
+  for iz = 0 to nz - 1 do
+    for iy = 0 to ny - 1 do
+      for ix = 0 to nx - 1 do
+        let row = idx ix iy iz in
+        let k = ref row_ptr.(row) in
+        for dz = -1 to 1 do
+          for dy = -1 to 1 do
+            for dx = -1 to 1 do
+              let jx = ix + dx and jy = iy + dy and jz = iz + dz in
+              if jx >= 0 && jx < nx && jy >= 0 && jy < ny && jz >= 0 && jz < nz
+              then begin
+                let col = idx jx jy jz in
+                cols.(!k) <- col;
+                vals.(!k) <- (if col = row then 27.0 else -1.0);
+                incr k
+              end
+            done
+          done
+        done
+      done
+    done
+  done;
+  let a = { n; row_ptr; cols; vals } in
+  let xexact = Array.make n 1.0 in
+  let b = Array.make n 0. in
+  spmv a xexact b;
+  (a, b, xexact)
+
+let dense_of t =
+  let d = Array.make_matrix t.n t.n 0. in
+  for i = 0 to t.n - 1 do
+    for k = t.row_ptr.(i) to t.row_ptr.(i + 1) - 1 do
+      d.(i).(t.cols.(k)) <- d.(i).(t.cols.(k)) +. t.vals.(k)
+    done
+  done;
+  d

@@ -1,0 +1,27 @@
+(** Compressed sparse row matrices and the HPCCG problem generator.
+
+    HPCCG (Mantevo) builds a 27-point finite-difference stencil on an
+    [nx * ny * nz] "3D chimney" domain: each row has 27.0 on the diagonal
+    and -1.0 for each of the up-to-26 grid neighbours, with the exact
+    right-hand side chosen so the solution is all ones. {!stencil27}
+    reproduces that generator. *)
+
+type t = {
+  n : int;  (** square dimension *)
+  row_ptr : int array;  (** length n+1 *)
+  cols : int array;
+  vals : float array;
+}
+
+val nnz : t -> int
+
+val spmv : t -> float array -> float array -> unit
+(** [spmv a x y] computes [y <- A x].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val stencil27 : nx:int -> ny:int -> nz:int -> t * float array * float array
+(** [(a, b, xexact)]: the HPCCG matrix, the right-hand side [b = A*1],
+    and the exact solution (all ones). *)
+
+val dense_of : t -> float array array
+(** For tests on tiny matrices. *)

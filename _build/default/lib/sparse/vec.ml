@@ -1,0 +1,35 @@
+let dot x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec.dot: length mismatch";
+  let acc = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    acc := !acc +. (x.(i) *. y.(i))
+  done;
+  !acc
+
+let norm2 x = sqrt (dot x x)
+
+let axpy a x y =
+  if Array.length x <> Array.length y then invalid_arg "Vec.axpy: length mismatch";
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (a *. x.(i)) +. y.(i)
+  done
+
+let waxpby alpha x beta y w =
+  let n = Array.length x in
+  if Array.length y <> n || Array.length w <> n then
+    invalid_arg "Vec.waxpby: length mismatch";
+  for i = 0 to n - 1 do
+    w.(i) <- (alpha *. x.(i)) +. (beta *. y.(i))
+  done
+
+let copy = Array.copy
+let fill a v = Array.fill a 0 (Array.length a) v
+
+let max_abs_diff x y =
+  if Array.length x <> Array.length y then
+    invalid_arg "Vec.max_abs_diff: length mismatch";
+  let m = ref 0. in
+  for i = 0 to Array.length x - 1 do
+    m := Float.max !m (Float.abs (x.(i) -. y.(i)))
+  done;
+  !m

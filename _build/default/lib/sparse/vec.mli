@@ -1,0 +1,16 @@
+(** Dense vector kernels for the HPCCG substrate. *)
+
+val dot : float array -> float array -> float
+(** @raise Invalid_argument on length mismatch. *)
+
+val norm2 : float array -> float
+val axpy : float -> float array -> float array -> unit
+(** [axpy a x y] performs [y <- a*x + y] in place. *)
+
+val waxpby : float -> float array -> float -> float array -> float array -> unit
+(** [waxpby alpha x beta y w] computes [w <- alpha*x + beta*y] (HPCCG's
+    kernel; [w] may alias [x] or [y]). *)
+
+val copy : float array -> float array
+val fill : float array -> float -> unit
+val max_abs_diff : float array -> float array -> float

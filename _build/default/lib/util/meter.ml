@@ -1,0 +1,39 @@
+type t = {
+  mutable live : int;
+  mutable peak : int;
+  mutable budget : int option;
+}
+
+exception Out_of_memory_budget of { requested : int; budget : int }
+
+let create () = { live = 0; peak = 0; budget = None }
+
+let alloc t n =
+  (match t.budget with
+  | Some b when t.live + n > b ->
+      raise (Out_of_memory_budget { requested = t.live + n; budget = b })
+  | Some _ | None -> ());
+  t.live <- t.live + n;
+  if t.live > t.peak then t.peak <- t.live
+
+let free t n = t.live <- max 0 (t.live - n)
+let live_bytes t = t.live
+let peak_bytes t = t.peak
+
+let reset t =
+  t.live <- 0;
+  t.peak <- 0
+
+let set_budget t b = t.budget <- b
+
+let time f =
+  let start = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. start)
+
+let bytes_pp n =
+  let f = float_of_int n in
+  if f >= 1e9 then Printf.sprintf "%.2f GB" (f /. 1e9)
+  else if f >= 1e6 then Printf.sprintf "%.2f MB" (f /. 1e6)
+  else if f >= 1e3 then Printf.sprintf "%.2f kB" (f /. 1e3)
+  else Printf.sprintf "%d B" n

@@ -1,0 +1,33 @@
+(** Deterministic resource accounting for the analysis-cost experiments.
+
+    The paper measures analysis wall time (Google benchmark) and peak RSS
+    (GNU time). Here wall time is measured directly and "peak memory" is
+    accounted deterministically: each analysis backend reports the bytes
+    of its dominant data structures (tape nodes, value stacks, adjoint
+    storage) through a meter, which tracks the high-water mark. *)
+
+type t
+
+val create : unit -> t
+
+val alloc : t -> int -> unit
+(** Record [n] live bytes coming into existence. *)
+
+val free : t -> int -> unit
+(** Record [n] live bytes released. Never drives the counter negative. *)
+
+val live_bytes : t -> int
+val peak_bytes : t -> int
+val reset : t -> unit
+
+exception Out_of_memory_budget of { requested : int; budget : int }
+
+val set_budget : t -> int option -> unit
+(** With a budget set, an [alloc] pushing the live count past it raises
+    {!Out_of_memory_budget}: used to emulate the paper's ADAPT OOM points. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] and returns its result with elapsed wall seconds. *)
+
+val bytes_pp : int -> string
+(** Human-readable byte count, e.g. ["1.50 MB"]. *)

@@ -1,0 +1,51 @@
+type t = { mutable state : int64 }
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* SplitMix64: Steele, Lea & Flood, "Fast splittable pseudorandom number
+   generators" (OOPSLA 2014). *)
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.shift_right_logical (next_int64 t) 1 in
+  Int64.to_int (Int64.rem mask (Int64.of_int bound))
+
+(* 53 random bits scaled to [0,1). *)
+let unit_float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let float t bound = unit_float t *. bound
+let uniform t ~lo ~hi = lo +. (unit_float t *. (hi -. lo))
+
+let gaussian t ~mu ~sigma =
+  let rec draw () =
+    let u1 = unit_float t in
+    if u1 <= 0. then draw ()
+    else
+      let u2 = unit_float t in
+      mu +. (sigma *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+  in
+  draw ()
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+let split t =
+  let seed = next_int64 t in
+  create (Int64.logxor seed 0xDEADBEEFCAFEBABEL)
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done

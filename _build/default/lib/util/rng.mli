@@ -1,0 +1,34 @@
+(** Deterministic pseudo-random number generation (SplitMix64).
+
+    All workload generators in this project draw from this module so that
+    every experiment is bit-reproducible across runs and machines. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes an independent generator. *)
+
+val copy : t -> t
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output of the SplitMix64 sequence. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound). Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] draws uniformly from [0, bound). *)
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform draw from [lo, hi). *)
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Normal draw via Box-Muller. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** Derive an independent generator; advances [t]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)

@@ -1,0 +1,64 @@
+let sum a =
+  let total = ref 0. and comp = ref 0. in
+  Array.iter
+    (fun x ->
+      let y = x -. !comp in
+      let t = !total +. y in
+      comp := t -. !total -. y;
+      total := t)
+    a;
+  !total
+
+let mean a = if Array.length a = 0 then 0. else sum a /. float_of_int (Array.length a)
+
+let max a =
+  if Array.length a = 0 then invalid_arg "Stats.max: empty";
+  Array.fold_left Float.max a.(0) a
+
+let min a =
+  if Array.length a = 0 then invalid_arg "Stats.min: empty";
+  Array.fold_left Float.min a.(0) a
+
+let stddev a =
+  let n = Array.length a in
+  if n < 2 then 0.
+  else begin
+    let m = mean a in
+    let acc = Array.map (fun x -> (x -. m) *. (x -. m)) a in
+    sqrt (sum acc /. float_of_int n)
+  end
+
+let sorted a =
+  let b = Array.copy a in
+  Array.sort compare b;
+  b
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.median: empty";
+  let b = sorted a in
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.
+
+let percentile a p =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  if p < 0. || p > 100. then invalid_arg "Stats.percentile: p out of range";
+  let b = sorted a in
+  let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+  b.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let geomean a =
+  if Array.length a = 0 then invalid_arg "Stats.geomean: empty";
+  let acc =
+    Array.map
+      (fun x ->
+        if x <= 0. then invalid_arg "Stats.geomean: non-positive element";
+        log x)
+      a
+  in
+  exp (mean acc)
+
+let abs_diffs a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Stats.abs_diffs: length mismatch";
+  Array.map2 (fun x y -> Float.abs (x -. y)) a b

@@ -1,0 +1,30 @@
+(** Summary statistics over float sequences, with compensated summation. *)
+
+val sum : float array -> float
+(** Kahan-compensated sum. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for the empty array. *)
+
+val max : float array -> float
+(** Largest element. @raise Invalid_argument on the empty array. *)
+
+val min : float array -> float
+(** Smallest element. @raise Invalid_argument on the empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation; 0 for arrays shorter than 2. *)
+
+val median : float array -> float
+(** @raise Invalid_argument on the empty array. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0,100], nearest-rank on a sorted copy. *)
+
+val geomean : float array -> float
+(** Geometric mean of positive values.
+    @raise Invalid_argument if empty or any element is non-positive. *)
+
+val abs_diffs : float array -> float array -> float array
+(** Elementwise absolute differences.
+    @raise Invalid_argument on length mismatch. *)

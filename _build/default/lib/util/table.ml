@@ -1,0 +1,60 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?aligns ~header rows =
+  let ncols = List.length header in
+  let aligns =
+    match aligns with
+    | Some a when List.length a = ncols -> a
+    | Some _ | None -> List.init ncols (fun i -> if i = 0 then Left else Right)
+  in
+  let normalize row =
+    let n = List.length row in
+    if n >= ncols then row else row @ List.init (ncols - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left
+          (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let line ch =
+    "+" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) ch) widths) ^ "+"
+  in
+  let format_row row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let w = List.nth widths i and a = List.nth aligns i in
+          " " ^ pad a w cell ^ " ")
+        row
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line '-');
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (format_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '=');
+  List.iter
+    (fun row ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (format_row row))
+    rows;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line '-');
+  Buffer.contents buf
+
+let print ?aligns ~header rows = print_endline (render ?aligns ~header rows)
+let fe x = Printf.sprintf "%.2e" x
+let ff x = Printf.sprintf "%.2f" x

@@ -1,0 +1,17 @@
+(** ASCII table rendering for the benchmark harness reports. *)
+
+type align = Left | Right
+
+val render : ?aligns:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with box-drawing rules.
+    [aligns] defaults to left for the first column and right elsewhere.
+    Rows shorter than the header are padded with empty cells. *)
+
+val print : ?aligns:align list -> header:string list -> string list list -> unit
+(** [render] followed by printing to stdout with a trailing newline. *)
+
+val fe : float -> string
+(** Scientific notation with two fractional digits, e.g. ["3.24e-06"]. *)
+
+val ff : float -> string
+(** Fixed-point with two fractional digits, e.g. ["2.25"]. *)

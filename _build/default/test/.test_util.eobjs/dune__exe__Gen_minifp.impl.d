@@ -1,0 +1,1 @@
+test/gen_minifp.ml: Ast Cheffp_ir Cheffp_precision List Pp Printf QCheck

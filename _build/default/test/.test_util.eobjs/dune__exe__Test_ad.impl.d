@@ -1,0 +1,1 @@
+test/test_ad.ml: Alcotest Array Ast Builtins Cheffp_ad Cheffp_core Cheffp_ir Float Interp List Parser Pp Printf QCheck QCheck_alcotest Typecheck

@@ -1,0 +1,1 @@
+test/test_adapt.ml: Alcotest Cheffp_adapt Cheffp_benchmarks Cheffp_core Cheffp_precision Float List

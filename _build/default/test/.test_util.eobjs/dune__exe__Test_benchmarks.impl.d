@@ -1,0 +1,1 @@
+test/test_benchmarks.ml: Alcotest Array Builtins Cheffp_benchmarks Cheffp_core Cheffp_fastapprox Cheffp_ir Cheffp_precision Float Interp List Parser Pp Printf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Ast Cheffp_core Cheffp_ir Cheffp_precision Float Interp List Option Parser Pp Printf String Typecheck

@@ -1,0 +1,1 @@
+test/test_fastapprox.ml: Alcotest Ast Builtins Cheffp_ad Cheffp_fastapprox Cheffp_ir Cheffp_precision Float Interp List Parser QCheck QCheck_alcotest Typecheck

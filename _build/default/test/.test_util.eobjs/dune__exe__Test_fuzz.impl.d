@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Ast Builtins Cheffp_ad Cheffp_core Cheffp_ir Cheffp_precision Compile Float Gen_minifp Interp List Normalize Optimize Parser Pp QCheck QCheck_alcotest Typecheck

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Builtins Cheffp_ad Cheffp_adapt Cheffp_benchmarks Cheffp_core Cheffp_fastapprox Cheffp_ir Cheffp_precision Cheffp_util Float Interp List

@@ -1,0 +1,1 @@
+test/test_precision.ml: Alcotest Cheffp_precision Config Cost Float Fp Int32 List QCheck QCheck_alcotest String

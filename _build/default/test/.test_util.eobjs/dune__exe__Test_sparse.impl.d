@@ -1,0 +1,1 @@
+test/test_sparse.ml: Alcotest Array Cg Cheffp_sparse Cheffp_util Csr Int64 Printf QCheck QCheck_alcotest Vec

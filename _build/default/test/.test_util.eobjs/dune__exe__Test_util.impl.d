@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cheffp_util Float Gen Growable List Meter Printf QCheck QCheck_alcotest Rng Stats String Table

@@ -1,0 +1,210 @@
+(* Random well-typed MiniFP program generator for differential testing.
+
+   Generates straight-line-plus-structure float programs over a fixed
+   set of variables: every generated function has the signature
+   [func fuzz(x: f64, y: f64, n: int): f64] and a body built from
+   assignments, [for]/[while]/[if] blocks, and numerically tame
+   intrinsics. Values are kept in a safe range by construction
+   (coefficients are small, divisions guard their denominators, [exp]
+   arguments are damped) so differential comparisons are meaningful
+   rather than NaN-vs-NaN.
+
+   Used by the fuzz suites: Interp = Compile, optimizer preserves
+   semantics, Normalize preserves semantics, reverse AD = forward AD =
+   finite differences, activity analysis changes nothing, and the
+   adjoint's stack discipline restores all state. *)
+
+open Cheffp_ir
+open Ast
+module G = QCheck.Gen
+
+let float_vars = [ "x"; "y"; "a"; "b"; "c" ]
+(* "x" and "y" are parameters; a b c are locals initialised from them.
+   There is also one fixed local array [ar: f64[8]], read and written at
+   constant indices so every access is in bounds. *)
+
+let array_len = 8
+
+let gen_coeff : float G.t =
+  G.oneofl [ 0.5; 1.0; 1.5; 2.0; 0.25; 3.0; 0.75; 1.25 ]
+
+let gen_var : string G.t = G.oneofl float_vars
+
+(* Safe unary intrinsics: defined and smooth on all of R after damping. *)
+let gen_call1 (arg : expr) : expr G.t =
+  G.oneofl
+    [
+      Call ("sin", [ arg ]);
+      Call ("cos", [ arg ]);
+      Call ("tanh", [ arg ]);
+      Call ("atan", [ arg ]);
+      (* exp of a damped argument stays in range *)
+      Call ("exp", [ Binop (Mul, Fconst 0.125, arg) ]);
+      (* sqrt/log of a positive-by-construction argument *)
+      Call ("sqrt", [ Binop (Add, Fconst 1.5, Call ("tanh", [ arg ])) ]);
+      Call ("log", [ Binop (Add, Fconst 2.5, Call ("sin", [ arg ])) ]);
+      Call ("fabs", [ arg ]);
+    ]
+
+let rec gen_fexpr n : expr G.t =
+  let open G in
+  if n <= 0 then
+    oneof
+      [
+        map (fun c -> Fconst c) gen_coeff;
+        map (fun v -> Var v) gen_var;
+        map (fun i -> Idx ("ar", Iconst i)) (int_range 0 (array_len - 1));
+      ]
+  else
+    frequency
+      [
+        (2, map (fun c -> Fconst c) gen_coeff);
+        (3, map (fun v -> Var v) gen_var);
+        (1, map (fun i -> Idx ("ar", Iconst i)) (int_range 0 (array_len - 1)));
+        ( 4,
+          let* op = oneofl [ Add; Sub; Mul ] in
+          let* a = gen_fexpr (n / 2) in
+          let* b = gen_fexpr (n / 2) in
+          return (Binop (op, a, b)) );
+        ( 1,
+          (* guarded division: denominator bounded away from zero *)
+          let* a = gen_fexpr (n / 2) in
+          let* b = gen_fexpr (n / 2) in
+          return
+            (Binop
+               ( Div,
+                 a,
+                 Binop (Add, Fconst 3.0, Call ("tanh", [ b ])) )) );
+        ( 2,
+          let* a = gen_fexpr (n - 1) in
+          gen_call1 a );
+        (1, map (fun e -> Unop (Neg, e)) (gen_fexpr (n - 1)));
+      ]
+
+(* Conditions compare two tame float expressions. *)
+let gen_cond n : expr G.t =
+  let open G in
+  let* op = oneofl [ Lt; Le; Gt; Ge ] in
+  let* a = gen_fexpr (n / 2) in
+  let* b = gen_fexpr (n / 2) in
+  return (Binop (op, a, b))
+
+(* Damped assignment: v = tanh(e) * coeff + coeff' keeps the state
+   bounded across loop iterations while staying smooth. Targets are
+   scalars or a constant-indexed array slot. *)
+let lv_expr = function
+  | Lvar v -> Var v
+  | Lidx (a, i) -> Idx (a, i)
+
+let gen_assign : stmt G.t =
+  let open G in
+  let* lv =
+    frequency
+      [
+        (4, map (fun v -> Lvar v) gen_var);
+        (1, map (fun i -> Lidx ("ar", Iconst i)) (int_range 0 (array_len - 1)));
+      ]
+  in
+  let* e = gen_fexpr 4 in
+  let* damp = bool in
+  let rhs =
+    if damp then
+      Binop (Add, Call ("tanh", [ e ]), Binop (Mul, Fconst 0.25, lv_expr lv))
+    else e
+  in
+  return (Assign (lv, rhs))
+
+let rec gen_stmt depth : stmt G.t =
+  let open G in
+  if depth <= 0 then gen_assign
+  else
+    frequency
+      [
+        (6, gen_assign);
+        ( 2,
+          let* c = gen_cond 3 in
+          let* t = gen_block (depth - 1) 2 in
+          let* e = gen_block (depth - 1) 2 in
+          return (If (c, t, e)) );
+        ( 2,
+          let* body = gen_block (depth - 1) 3 in
+          let* lo = int_range 0 2 in
+          let* hi = int_range 3 6 in
+          let* use_n = bool in
+          let hi_expr =
+            if use_n then Binop (Add, Var "n", Iconst (hi - 3)) else Iconst hi
+          in
+          return (For { var = "i" ^ string_of_int depth; lo = Iconst lo;
+                        hi = hi_expr; down = false; body }) );
+        ( 1,
+          (* bounded while: counter declared by the harness prelude *)
+          let* body = gen_block (depth - 1) 2 in
+          let k = "w" ^ string_of_int depth in
+          return
+            (While
+               ( Binop (Lt, Var k, Iconst 4),
+                 body @ [ Assign (Lvar k, Binop (Add, Var k, Iconst 1)) ] )) );
+      ]
+
+and gen_block depth len : stmt list G.t =
+  let open G in
+  let* n = int_range 1 len in
+  list_repeat n (gen_stmt depth)
+
+let gen_func : func G.t =
+  let open G in
+  let* body = gen_block 2 5 in
+  let* ret = gen_fexpr 3 in
+  let prelude =
+    [
+      Decl { name = "a"; dty = Dscalar (Sflt Cheffp_precision.Fp.F64);
+             init = Some (Binop (Mul, Fconst 0.5, Var "x")) };
+      Decl { name = "b"; dty = Dscalar (Sflt Cheffp_precision.Fp.F64);
+             init = Some (Binop (Add, Var "y", Fconst 0.25)) };
+      Decl { name = "c"; dty = Dscalar (Sflt Cheffp_precision.Fp.F64);
+             init = Some (Fconst 1.0) };
+      (* while counters for every possible depth *)
+      Decl { name = "w1"; dty = Dscalar Sint; init = Some (Iconst 0) };
+      Decl { name = "w2"; dty = Dscalar Sint; init = Some (Iconst 0) };
+      Decl
+        {
+          name = "ar";
+          dty = Darr (Sflt Cheffp_precision.Fp.F64, Iconst array_len);
+          init = None;
+        };
+    ]
+    @ List.init array_len (fun i ->
+          Assign
+            ( Lidx ("ar", Iconst i),
+              Binop
+                ( Add,
+                  Binop (Mul, Fconst (0.1 *. float_of_int i), Var "x"),
+                  Var "y" ) ))
+  in
+  return
+    {
+      fname = "fuzz";
+      params =
+        [
+          { pname = "x"; pty = Tscalar (Sflt Cheffp_precision.Fp.F64); pmode = In };
+          { pname = "y"; pty = Tscalar (Sflt Cheffp_precision.Fp.F64); pmode = In };
+          { pname = "n"; pty = Tscalar Sint; pmode = In };
+        ];
+      ret = Some (Sflt Cheffp_precision.Fp.F64);
+      body = prelude @ body @ [ Return (Some ret) ];
+    }
+
+let gen_program : program G.t = G.map (fun f -> { funcs = [ f ] }) gen_func
+
+(* QCheck arbitrary with a printer that shows the offending program. *)
+let arbitrary_program : program QCheck.arbitrary =
+  QCheck.make ~print:Pp.program_to_string gen_program
+
+let gen_inputs : (float * float) G.t =
+  G.pair (G.float_range (-2.) 2.) (G.float_range (-2.) 2.)
+
+let arbitrary_case : (program * (float * float)) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (p, (x, y)) ->
+      Printf.sprintf "x=%.17g y=%.17g\n%s" x y (Pp.program_to_string p))
+    (G.pair gen_program gen_inputs)

@@ -1,0 +1,198 @@
+module Adapt = Cheffp_adapt.Adapt
+module Tape = Cheffp_adapt.Tape
+module Num = Cheffp_adapt.Num
+module Fp = Cheffp_precision.Fp
+
+let close ?(tol = 1e-9) a b =
+  Float.abs (a -. b) /. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+  < tol
+
+(* ------------------------------------------------------------------ *)
+(* Tape mechanics                                                     *)
+
+let test_tape_gradient_simple () =
+  (* f(x,y) = x*y + sin(x) *)
+  let result =
+    Adapt.analyze (fun tape ->
+        let module N = (val Adapt.num tape) in
+        let x = N.input "x" 1.2 and y = N.input "y" 0.7 in
+        N.((x * y) + sin x))
+  in
+  match result with
+  | Error _ -> Alcotest.fail "unexpected OOM"
+  | Ok r ->
+      Alcotest.(check bool) "value" true
+        (close r.Adapt.value ((1.2 *. 0.7) +. sin 1.2));
+      let dx = List.assoc "x" r.Adapt.gradients in
+      let dy = List.assoc "y" r.Adapt.gradients in
+      Alcotest.(check bool) "dx" true (close dx (0.7 +. cos 1.2));
+      Alcotest.(check bool) "dy" true (close dy 1.2)
+
+let test_tape_ops_vs_fd () =
+  let f x =
+    exp (log (x *. x)) +. (sqrt x /. cos x) -. ((x ** 3.) *. Float.abs (-.x))
+  in
+  let result =
+    Adapt.analyze (fun tape ->
+        let module N = (val Adapt.num tape) in
+        let x = N.input "x" 0.8 in
+        N.(
+          exp (log (x * x))
+          + (sqrt x / cos x)
+          - (pow x (of_float 3.) * fabs (neg x))))
+  in
+  match result with
+  | Error _ -> Alcotest.fail "unexpected OOM"
+  | Ok r ->
+      let h = 1e-7 in
+      let num = (f (0.8 +. h) -. f (0.8 -. h)) /. (2. *. h) in
+      Alcotest.(check bool) "tape gradient vs fd" true
+        (close ~tol:1e-5 (List.assoc "x" r.Adapt.gradients) num)
+
+let test_tape_bytes_accounting () =
+  let result =
+    Adapt.analyze (fun tape ->
+        let module N = (val Adapt.num tape) in
+        let x = N.input "x" 2.0 in
+        let acc = ref x in
+        for _ = 1 to 100 do
+          acc := N.(!acc + x)
+        done;
+        !acc)
+  in
+  match result with
+  | Error _ -> Alcotest.fail "unexpected OOM"
+  | Ok r ->
+      Alcotest.(check int) "nodes = input + 100 adds" 101 r.Adapt.nodes;
+      Alcotest.(check int) "bytes = nodes * node size"
+        (101 * Tape.bytes_per_node) r.Adapt.tape_bytes
+
+let test_tape_oom () =
+  let result =
+    Adapt.analyze ~memory_budget:(Tape.bytes_per_node * 10) (fun tape ->
+        let module N = (val Adapt.num tape) in
+        let x = N.input "x" 1.0 in
+        let acc = ref x in
+        for _ = 1 to 100 do
+          acc := N.(!acc + x)
+        done;
+        !acc)
+  in
+  match result with
+  | Ok _ -> Alcotest.fail "expected OOM"
+  | Error oom ->
+      Alcotest.(check int) "budget recorded" (Tape.bytes_per_node * 10)
+        oom.Adapt.budget;
+      Alcotest.(check bool) "failed near the limit" true
+        (oom.Adapt.nodes_at_failure <= 10)
+
+let test_error_model_attribution () =
+  (* A registered variable holding a non-representable value under f32
+     contributes |adjoint * rep_error|. *)
+  let v = 0.1 in
+  let result =
+    Adapt.analyze (fun tape ->
+        let module N = (val Adapt.num tape) in
+        let x = N.input "x" v in
+        let t = N.register "t" N.(x * of_float 3.) in
+        N.(t * of_float 2.))
+  in
+  match result with
+  | Error _ -> Alcotest.fail "unexpected OOM"
+  | Ok r ->
+      let expected_t =
+        Float.abs (2. *. Fp.representation_error Fp.F32 (v *. 3.))
+      in
+      let expected_x =
+        Float.abs (6. *. Fp.representation_error Fp.F32 v)
+      in
+      Alcotest.(check bool) "t attribution" true
+        (close (List.assoc "t" r.Adapt.per_variable) expected_t);
+      Alcotest.(check bool) "x attribution" true
+        (close (List.assoc "x" r.Adapt.per_variable) expected_x);
+      Alcotest.(check bool) "total = sum" true
+        (close r.Adapt.total_error (expected_t +. expected_x))
+
+let test_float_num_is_plain () =
+  let module N = Num.Float_num in
+  Alcotest.(check (float 0.)) "passthrough" 5.
+    N.(to_float (register "x" (input "y" 2.0 + of_float 3.0)))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-validation against the CHEF-FP source-transformation engine  *)
+
+let test_adapt_vs_chef_gradients () =
+  let a = 0.25 and b = 2.8 and n = 64 in
+  let chef =
+    let prog = Cheffp_benchmarks.Simpsons.program in
+    let est =
+      Cheffp_core.Estimate.estimate_error
+        ~model:(Cheffp_core.Model.adapt ())
+        ~prog ~func:"simpsons" ()
+    in
+    Cheffp_core.Estimate.run est (Cheffp_benchmarks.Simpsons.args ~a ~b ~n)
+  in
+  let adapt =
+    match
+      Adapt.analyze (fun tape ->
+          let module N = (val Adapt.num tape) in
+          let module S = Cheffp_benchmarks.Simpsons.Native (N) in
+          S.run ~a ~b ~n)
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "unexpected OOM"
+  in
+  let chef_da = List.assoc "a" chef.Cheffp_core.Estimate.gradients in
+  let adapt_da = List.assoc "a" adapt.Adapt.gradients in
+  Alcotest.(check bool) "gradients agree" true (close ~tol:1e-9 chef_da adapt_da);
+  Alcotest.(check bool) "totals same order" true
+    (let c = chef.Cheffp_core.Estimate.total_error
+     and t = adapt.Adapt.total_error in
+     c > 0. && t > 0. && c /. t < 3. && t /. c < 3.)
+
+let test_adapt_vs_chef_arclength_total () =
+  let n = 500 in
+  let chef =
+    let est =
+      Cheffp_core.Estimate.estimate_error
+        ~model:(Cheffp_core.Model.adapt ())
+        ~prog:Cheffp_benchmarks.Arclength.program ~func:"arclength" ()
+    in
+    Cheffp_core.Estimate.run est (Cheffp_benchmarks.Arclength.args ~n)
+  in
+  let adapt =
+    match
+      Adapt.analyze (fun tape ->
+          let module N = (val Adapt.num tape) in
+          let module A = Cheffp_benchmarks.Arclength.Native (N) in
+          A.run ~n)
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "unexpected OOM"
+  in
+  let c = chef.Cheffp_core.Estimate.total_error in
+  let t = adapt.Adapt.total_error in
+  Alcotest.(check bool) "within 10 percent" true
+    (Float.abs (c -. t) /. Float.max c t < 0.10)
+
+let () =
+  Alcotest.run "adapt"
+    [
+      ( "tape",
+        [
+          Alcotest.test_case "gradient simple" `Quick test_tape_gradient_simple;
+          Alcotest.test_case "ops vs fd" `Quick test_tape_ops_vs_fd;
+          Alcotest.test_case "bytes accounting" `Quick test_tape_bytes_accounting;
+          Alcotest.test_case "oom budget" `Quick test_tape_oom;
+          Alcotest.test_case "error attribution" `Quick
+            test_error_model_attribution;
+          Alcotest.test_case "float num" `Quick test_float_num_is_plain;
+        ] );
+      ( "cross-validation",
+        [
+          Alcotest.test_case "gradients CHEF = ADAPT" `Quick
+            test_adapt_vs_chef_gradients;
+          Alcotest.test_case "totals agree (arclength)" `Quick
+            test_adapt_vs_chef_arclength_total;
+        ] );
+    ]

@@ -1,0 +1,322 @@
+open Cheffp_ir
+module B = Cheffp_benchmarks
+module Fp = Cheffp_precision.Fp
+
+let check_exact = Alcotest.(check (float 0.))
+
+(* The MiniFP programs and the native OCaml functors implement the same
+   algorithm: on identical inputs the results must agree bit for bit
+   (both run in binary64 with the same operation order). *)
+
+let test_arclength_ir_equals_native () =
+  List.iter
+    (fun n ->
+      check_exact
+        (Printf.sprintf "n=%d" n)
+        (B.Arclength.reference ~n)
+        (Interp.run_float ~prog:B.Arclength.program ~func:B.Arclength.func_name
+           (B.Arclength.args ~n)))
+    [ 1; 10; 500 ]
+
+let test_arclength_converges () =
+  (* Arc length of g over [0,pi] is about 5.7957763... *)
+  let v = B.Arclength.reference ~n:20000 in
+  Alcotest.(check bool) "plausible value" true (Float.abs (v -. 5.7957763) < 1e-3)
+
+let test_simpsons_ir_equals_native () =
+  List.iter
+    (fun n ->
+      check_exact
+        (Printf.sprintf "n=%d" n)
+        (B.Simpsons.reference ~a:0. ~b:Float.pi ~n)
+        (Interp.run_float ~prog:B.Simpsons.program ~func:B.Simpsons.func_name
+           (B.Simpsons.args ~a:0. ~b:Float.pi ~n)))
+    [ 1; 7; 200 ]
+
+let test_simpsons_integrates_sine () =
+  (* integral of sin over [0,pi] = 2, Simpson error O(h^4) *)
+  let v = B.Simpsons.reference ~a:0. ~b:Float.pi ~n:200 in
+  Alcotest.(check bool) "close to 2" true (Float.abs (v -. 2.) < 1e-9)
+
+let test_kmeans_ir_equals_native () =
+  let w = B.Kmeans.generate ~npoints:300 () in
+  check_exact "kmeans" (B.Kmeans.reference w)
+    (Interp.run_float ~prog:B.Kmeans.program ~func:B.Kmeans.func_name
+       (B.Kmeans.args w))
+
+let test_kmeans_attributes_f32_exact () =
+  let w = B.Kmeans.generate ~npoints:500 () in
+  Array.iter
+    (fun v ->
+      Alcotest.(check bool) "attribute representable" true
+        (Fp.representable Fp.F32 v))
+    w.B.Kmeans.attributes;
+  Alcotest.(check bool) "some cluster centre is not representable" true
+    (Array.exists (fun v -> not (Fp.representable Fp.F32 v)) w.B.Kmeans.clusters)
+
+let test_kmeans_workload_shape () =
+  let w = B.Kmeans.generate ~npoints:50 ~nclusters:3 ~nfeatures:2 () in
+  Alcotest.(check int) "attributes size" 100 (Array.length w.B.Kmeans.attributes);
+  Alcotest.(check int) "clusters size" 6 (Array.length w.B.Kmeans.clusters);
+  let w' = B.Kmeans.generate ~npoints:50 ~nclusters:3 ~nfeatures:2 () in
+  Alcotest.(check bool) "deterministic" true
+    (w.B.Kmeans.attributes = w'.B.Kmeans.attributes)
+
+let test_kmeans_total_positive () =
+  let w = B.Kmeans.generate ~npoints:100 () in
+  Alcotest.(check bool) "positive distance total" true (B.Kmeans.reference w > 0.)
+
+let test_hpccg_ir_equals_native () =
+  let w = B.Hpccg.generate ~nx:4 ~ny:3 ~nz:3 ~max_iter:12 () in
+  check_exact "hpccg" (B.Hpccg.reference w)
+    (Interp.run_float ~prog:B.Hpccg.program ~func:B.Hpccg.func_name
+       (B.Hpccg.args w))
+
+let test_hpccg_solves () =
+  (* After enough iterations the CG solution is all-ones: x-norm is
+     sqrt(n). *)
+  let w = B.Hpccg.generate ~nx:4 ~ny:4 ~nz:4 ~max_iter:60 () in
+  let v = B.Hpccg.reference w in
+  Alcotest.(check (float 1e-8)) "||x|| = sqrt(n)" (sqrt 64.) v
+
+let test_hpccg_split_cutoff_at_end_is_identity () =
+  let w = B.Hpccg.generate ~nx:3 ~ny:3 ~nz:3 ~max_iter:10 () in
+  let full =
+    Interp.run_float ~prog:B.Hpccg.program ~func:B.Hpccg.func_name (B.Hpccg.args w)
+  in
+  let split =
+    Interp.run_float ~prog:B.Hpccg.program_split ~func:B.Hpccg.split_func_name
+      (B.Hpccg.split_args w ~cutoff:10)
+  in
+  check_exact "no phase 2 = identical" full split
+
+let test_hpccg_split_error_small () =
+  let w = B.Hpccg.generate ~nx:4 ~ny:4 ~nz:4 ~max_iter:40 () in
+  let full =
+    Interp.run_float ~prog:B.Hpccg.program ~func:B.Hpccg.func_name (B.Hpccg.args w)
+  in
+  let split =
+    Interp.run_float ~prog:B.Hpccg.program_split ~func:B.Hpccg.split_func_name
+      (B.Hpccg.split_args w ~cutoff:25)
+  in
+  Alcotest.(check bool) "late split harmless" true
+    (Float.abs (full -. split) < 1e-8)
+
+let test_blackscholes_ir_equals_native () =
+  let w = B.Blackscholes.generate ~n:100 () in
+  check_exact "blackscholes"
+    (B.Blackscholes.reference w)
+    (Interp.run_float
+       ~prog:(B.Blackscholes.program B.Blackscholes.Exact)
+       ~func:B.Blackscholes.func_name (B.Blackscholes.args w))
+
+let test_blackscholes_put_call_parity () =
+  (* With the CNDF polynomial, CNDF(x)+CNDF(-x)=1 exactly, so put-call
+     parity c - p = s - k e^{-rt} holds to rounding. *)
+  let m = B.Blackscholes.mathset_of B.Blackscholes.Exact in
+  let s = 42. and k = 40. and r = 0.05 and v = 0.3 and t = 0.75 in
+  let c = B.Blackscholes.price_native m ~s ~k ~r ~v ~t ~otype:0 in
+  let p = B.Blackscholes.price_native m ~s ~k ~r ~v ~t ~otype:1 in
+  Alcotest.(check (float 1e-9)) "parity" (s -. (k *. exp (-.r *. t))) (c -. p)
+
+let test_blackscholes_price_sane () =
+  let m = B.Blackscholes.mathset_of B.Blackscholes.Exact in
+  let c = B.Blackscholes.price_native m ~s:60. ~k:40. ~r:0.05 ~v:0.2 ~t:1. ~otype:0 in
+  (* Deep in-the-money call is worth at least its intrinsic value. *)
+  Alcotest.(check bool) "call above intrinsic" true
+    (c >= 60. -. 40. && c < 60.)
+
+let test_blackscholes_fast_configs_differ () =
+  let w = B.Blackscholes.generate ~n:200 () in
+  let total config =
+    Interp.run_float
+      ~builtins:
+        (let b = Builtins.create () in
+         Cheffp_fastapprox.Fastapprox.register_builtins b;
+         b)
+      ~prog:(B.Blackscholes.program config)
+      ~func:B.Blackscholes.func_name (B.Blackscholes.args w)
+  in
+  let exact = total B.Blackscholes.Exact in
+  let fast1 = total B.Blackscholes.Fast_log_sqrt in
+  let fast2 = total B.Blackscholes.Fast_log_sqrt_exp in
+  Alcotest.(check bool) "approx changes result" true
+    (exact <> fast1 && fast1 <> fast2);
+  Alcotest.(check bool) "but stays close" true
+    (Float.abs (exact -. fast2) /. Float.abs exact < 1e-2)
+
+let test_blackscholes_approx_pairs () =
+  Alcotest.(check (list (pair string string))) "exact has no pairs" []
+    (B.Blackscholes.approx_pairs B.Blackscholes.Exact);
+  let p1 = B.Blackscholes.approx_pairs B.Blackscholes.Fast_log_sqrt in
+  Alcotest.(check bool) "log and sqrt mapped" true
+    (List.mem ("lsk", "log") p1 && List.mem ("tt", "sqrt") p1
+    && not (List.exists (fun (_, f) -> f = "exp") p1));
+  let p2 = B.Blackscholes.approx_pairs B.Blackscholes.Fast_log_sqrt_exp in
+  (* cndf is inlined twice: both copies of garg must be mapped *)
+  let exp_vars = List.filter (fun (_, f) -> f = "exp") p2 in
+  Alcotest.(check bool) "three exp sites" true (List.length exp_vars = 3)
+
+let test_workloads_deterministic () =
+  let w1 = B.Blackscholes.generate ~n:50 () in
+  let w2 = B.Blackscholes.generate ~n:50 () in
+  Alcotest.(check bool) "same options" true (w1.B.Blackscholes.strike = w2.B.Blackscholes.strike);
+  let w3 = B.Blackscholes.generate ~seed:99L ~n:50 () in
+  Alcotest.(check bool) "seed changes data" true
+    (w1.B.Blackscholes.strike <> w3.B.Blackscholes.strike)
+
+let test_programs_pp_roundtrip () =
+  List.iter
+    (fun prog ->
+      let printed = Pp.program_to_string prog in
+      Alcotest.(check bool) "benchmark program roundtrips" true
+        (Parser.parse_program printed = prog))
+    [
+      B.Arclength.program;
+      B.Simpsons.program;
+      B.Kmeans.program;
+      B.Hpccg.program;
+      B.Hpccg.program_split;
+      B.Blackscholes.program B.Blackscholes.Exact;
+    ]
+
+let test_kmeans_full_clustering () =
+  let w = B.Kmeans.generate ~npoints:2_000 () in
+  let exact = B.Kmeans.cluster w in
+  Alcotest.(check int) "everyone assigned" 0
+    (Array.fold_left
+       (fun acc c -> if c < 0 || c >= w.B.Kmeans.nclusters then acc + 1 else acc)
+       0 exact.B.Kmeans.assignments);
+  Alcotest.(check bool) "some iterations ran" true (exact.B.Kmeans.iterations >= 1);
+  (* binary32 kernel reproduces the clustering on representable data *)
+  let demoted =
+    B.Kmeans.cluster
+      ~distance:(B.Kmeans.rounded_distance Fp.F32 w)
+      w
+  in
+  Alcotest.(check bool) "assignments identical" true
+    (exact.B.Kmeans.assignments = demoted.B.Kmeans.assignments);
+  (* a half-precision kernel, by contrast, is allowed to flip points *)
+  let h = B.Kmeans.cluster ~distance:(B.Kmeans.rounded_distance Fp.F16 w) w in
+  Alcotest.(check bool) "f16 clustering still total" true
+    (Array.for_all (fun c -> c >= 0) h.B.Kmeans.assignments)
+
+(* FPBench-style kernel suite *)
+
+let test_fpcore_kernels_parse () =
+  List.iter
+    (fun kern -> ignore (B.Fpcore.program kern))
+    B.Fpcore.kernels;
+  Alcotest.(check bool) "13 kernels" true (List.length B.Fpcore.kernels >= 12);
+  Alcotest.(check bool) "find works" true
+    (B.Fpcore.find "doppler" <> None && B.Fpcore.find "nope" = None)
+
+let test_fpcore_estimates_bound_actuals () =
+  List.iter
+    (fun kern ->
+      let prog = B.Fpcore.program kern in
+      let func = kern.B.Fpcore.func_name in
+      let args = kern.B.Fpcore.args in
+      let est =
+        Cheffp_core.Estimate.estimate_error
+          ~model:(Cheffp_core.Model.adapt ())
+          ~prog ~func ()
+      in
+      let report = Cheffp_core.Estimate.run est args in
+      let reference = Interp.run_float ~prog ~func args in
+      let mixed =
+        Interp.run_float
+          ~config:(Cheffp_precision.Config.uniform Fp.F32)
+          ~mode:Cheffp_precision.Config.Extended ~prog ~func args
+      in
+      let actual = Float.abs (mixed -. reference) in
+      let estd = report.Cheffp_core.Estimate.total_error in
+      Alcotest.(check bool)
+        (kern.B.Fpcore.name ^ ": estimate bounds actual")
+        true (estd >= actual *. 0.99);
+      (* and it is not a vacuous bound *)
+      Alcotest.(check bool)
+        (kern.B.Fpcore.name ^ ": bound within 10^4 of actual")
+        true
+        (actual = 0. || estd <= actual *. 1e4))
+    B.Fpcore.kernels
+
+let test_fpcore_gradients_vs_fd () =
+  List.iter
+    (fun kern ->
+      let prog = B.Fpcore.program kern in
+      let func = kern.B.Fpcore.func_name in
+      let args = kern.B.Fpcore.args in
+      let est = Cheffp_core.Estimate.estimate_error ~prog ~func () in
+      let report = Cheffp_core.Estimate.run est args in
+      (* finite differences on the first float scalar argument *)
+      match (report.Cheffp_core.Estimate.gradients, args) with
+      | (pname, ad) :: _, Interp.Aflt x0 :: rest ->
+          let value x = Interp.run_float ~prog ~func (Interp.Aflt x :: rest) in
+          let h = 1e-6 *. Float.max 1. (Float.abs x0) in
+          let fd = (value (x0 +. h) -. value (x0 -. h)) /. (2. *. h) in
+          let scale = Float.max 1. (Float.abs fd) in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: d/d%s matches FD" kern.B.Fpcore.name pname)
+            true
+            (Float.abs (ad -. fd) /. scale < 1e-3)
+      | _ -> ())
+    B.Fpcore.kernels
+
+let () =
+  Alcotest.run "benchmarks"
+    [
+      ( "arclength",
+        [
+          Alcotest.test_case "ir = native" `Quick test_arclength_ir_equals_native;
+          Alcotest.test_case "value" `Quick test_arclength_converges;
+        ] );
+      ( "simpsons",
+        [
+          Alcotest.test_case "ir = native" `Quick test_simpsons_ir_equals_native;
+          Alcotest.test_case "integrates sine" `Quick
+            test_simpsons_integrates_sine;
+        ] );
+      ( "kmeans",
+        [
+          Alcotest.test_case "ir = native" `Quick test_kmeans_ir_equals_native;
+          Alcotest.test_case "attributes f32-exact" `Quick
+            test_kmeans_attributes_f32_exact;
+          Alcotest.test_case "workload shape" `Quick test_kmeans_workload_shape;
+          Alcotest.test_case "total positive" `Quick test_kmeans_total_positive;
+          Alcotest.test_case "full clustering" `Quick test_kmeans_full_clustering;
+        ] );
+      ( "hpccg",
+        [
+          Alcotest.test_case "ir = native" `Quick test_hpccg_ir_equals_native;
+          Alcotest.test_case "solves" `Quick test_hpccg_solves;
+          Alcotest.test_case "split identity" `Quick
+            test_hpccg_split_cutoff_at_end_is_identity;
+          Alcotest.test_case "split error small" `Quick
+            test_hpccg_split_error_small;
+        ] );
+      ( "blackscholes",
+        [
+          Alcotest.test_case "ir = native" `Quick
+            test_blackscholes_ir_equals_native;
+          Alcotest.test_case "put-call parity" `Quick
+            test_blackscholes_put_call_parity;
+          Alcotest.test_case "price sane" `Quick test_blackscholes_price_sane;
+          Alcotest.test_case "fast configs" `Quick
+            test_blackscholes_fast_configs_differ;
+          Alcotest.test_case "approx pairs" `Quick test_blackscholes_approx_pairs;
+        ] );
+      ( "fpcore-suite",
+        [
+          Alcotest.test_case "kernels parse" `Quick test_fpcore_kernels_parse;
+          Alcotest.test_case "estimates bound actuals" `Quick
+            test_fpcore_estimates_bound_actuals;
+          Alcotest.test_case "gradients vs FD" `Quick test_fpcore_gradients_vs_fd;
+        ] );
+      ( "workloads",
+        [
+          Alcotest.test_case "deterministic" `Quick test_workloads_deterministic;
+          Alcotest.test_case "programs roundtrip" `Quick
+            test_programs_pp_roundtrip;
+        ] );
+    ]

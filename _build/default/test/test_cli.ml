@@ -1,0 +1,164 @@
+(* End-to-end tests of the cheffp command-line tool: each subcommand is
+   exercised against a temporary MiniFP file and its output inspected.
+   The binary is located relative to this test executable inside
+   _build. *)
+
+let cheffp =
+  Filename.concat
+    (Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name)) "bin")
+    "cheffp.exe"
+
+let source =
+  {|
+func poly(x: f64, y: f64): f64 {
+  var a: f64 = x * y + 0.1;
+  var b: f64 = a * a - y;
+  return b / (a + 2.0);
+}
+
+func looped(x: f64, n: int): f64 {
+  var s: f64 = 0.0;
+  var t: f64;
+  for i in 1 .. n + 1 {
+    t = x / itof(i);
+    s = s + t * t;
+  }
+  return sqrt(s);
+}
+|}
+
+let with_temp_file f =
+  let path = Filename.temp_file "cheffp_cli" ".mfp" in
+  let oc = open_out path in
+  output_string oc source;
+  close_out oc;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+(* Runs the binary, returns (exit code, combined output). *)
+let run_cli args =
+  let cmd =
+    Printf.sprintf "%s %s 2>&1" (Filename.quote cheffp)
+      (String.concat " " (List.map Filename.quote args))
+  in
+  let ic = Unix.open_process_in cmd in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  let status = Unix.close_process_in ic in
+  let code = match status with Unix.WEXITED n -> n | _ -> -1 in
+  (code, Buffer.contents buf)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_binary_exists () =
+  Alcotest.(check bool) ("binary at " ^ cheffp) true (Sys.file_exists cheffp)
+
+let test_check () =
+  with_temp_file (fun path ->
+      let code, out = run_cli [ "check"; path ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "pretty-prints" true (contains out "func poly");
+      Alcotest.(check bool) "counts" true (contains out "2 function(s), OK"))
+
+let test_run () =
+  with_temp_file (fun path ->
+      let code, out = run_cli [ "run"; path; "--func"; "poly"; "0.5"; "2.0" ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "prints result" true (contains out "result:");
+      Alcotest.(check bool) "prints cost" true (contains out "modelled cost"))
+
+let test_run_demoted () =
+  with_temp_file (fun path ->
+      let code, out =
+        run_cli
+          [ "run"; path; "--func"; "poly"; "--demote"; "a:f32"; "0.5"; "2.0" ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "casts counted" true (contains out "implicit casts"))
+
+let test_gradient () =
+  with_temp_file (fun path ->
+      let code, out = run_cli [ "gradient"; path; "--func"; "poly" ] in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "generates adjoint" true
+        (contains out "func poly_grad" && contains out "out _d_x: f64");
+      Alcotest.(check bool) "has push/pop" true
+        (contains out "push" && contains out "pop"))
+
+let test_analyze () =
+  with_temp_file (fun path ->
+      let code, out =
+        run_cli [ "analyze"; path; "--func"; "looped"; "1.3"; "20" ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "estimate printed" true
+        (contains out "estimated FP error");
+      Alcotest.(check bool) "attribution printed" true (contains out "variable"))
+
+let test_tune_and_emit () =
+  with_temp_file (fun path ->
+      let code, out =
+        run_cli
+          [ "tune"; path; "--func"; "looped"; "--threshold"; "1e-5"; "--emit";
+            "1.3"; "50" ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "contributions printed" true
+        (contains out "contributions");
+      Alcotest.(check bool) "rewritten source printed" true
+        (contains out "func looped_mixed"))
+
+let test_search () =
+  with_temp_file (fun path ->
+      let code, out =
+        run_cli
+          [ "search"; path; "--func"; "looped"; "--threshold"; "1e-6"; "1.3";
+            "50" ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "executions reported" true
+        (contains out "program executions"))
+
+let test_sensitivity () =
+  with_temp_file (fun path ->
+      let code, out =
+        run_cli [ "sensitivity"; path; "--func"; "looped"; "1.3"; "30" ]
+      in
+      Alcotest.(check int) "exit 0" 0 code;
+      Alcotest.(check bool) "heatmap rows" true
+        (contains out "iterations 0.."))
+
+let test_errors_reported () =
+  with_temp_file (fun path ->
+      let code, out = run_cli [ "run"; path; "--func"; "nosuch" ] in
+      Alcotest.(check bool) "nonzero exit" true (code <> 0);
+      Alcotest.(check bool) "mentions the function" true
+        (contains out "nosuch");
+      let code2, _ = run_cli [ "run"; path; "--func"; "poly"; "1.0" ] in
+      Alcotest.(check bool) "arity error" true (code2 <> 0));
+  let code3, _ = run_cli [ "check"; "/nonexistent/file.mfp" ] in
+  Alcotest.(check bool) "missing file" true (code3 <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "subcommands",
+        [
+          Alcotest.test_case "binary exists" `Quick test_binary_exists;
+          Alcotest.test_case "check" `Quick test_check;
+          Alcotest.test_case "run" `Quick test_run;
+          Alcotest.test_case "run --demote" `Quick test_run_demoted;
+          Alcotest.test_case "gradient" `Quick test_gradient;
+          Alcotest.test_case "analyze" `Quick test_analyze;
+          Alcotest.test_case "tune --emit" `Quick test_tune_and_emit;
+          Alcotest.test_case "search" `Quick test_search;
+          Alcotest.test_case "sensitivity" `Quick test_sensitivity;
+          Alcotest.test_case "errors" `Quick test_errors_reported;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+open Cheffp_fastapprox.Fastapprox
+open Cheffp_ir
+
+(* Scaled error: relative where the reference is large, absolute where
+   it passes through zero (log near 1, etc.). *)
+let rel_err exact approx =
+  Float.abs (approx -. exact) /. Float.max 1. (Float.abs exact)
+
+let max_rel_err f g lo hi n =
+  let worst = ref 0. in
+  for i = 0 to n - 1 do
+    let x = lo +. ((hi -. lo) *. float_of_int i /. float_of_int (n - 1)) in
+    worst := Float.max !worst (rel_err (f x) (g x))
+  done;
+  !worst
+
+(* ------------------------------------------------------------------ *)
+(* Accuracy envelopes (from the FastApprox documentation)              *)
+
+let test_fastlog2_accuracy () =
+  Alcotest.(check bool) "fastlog2 ~ 1e-3 scaled" true
+    (max_rel_err (fun x -> log x /. log 2.) fastlog2 0.01 1000. 2000 < 1e-3)
+
+let test_fastlog_accuracy () =
+  Alcotest.(check bool) "fastlog" true
+    (max_rel_err log fastlog 0.01 1000. 2000 < 1e-3)
+
+let test_fastexp_accuracy () =
+  Alcotest.(check bool) "fastexp" true
+    (max_rel_err exp fastexp (-10.) 10. 2000 < 1e-4)
+
+let test_fastpow2_accuracy () =
+  Alcotest.(check bool) "fastpow2" true
+    (max_rel_err (fun x -> 2. ** x) fastpow2 (-20.) 20. 2000 < 1e-4)
+
+let test_fastpow_accuracy () =
+  let worst = ref 0. in
+  List.iter
+    (fun p ->
+      worst :=
+        Float.max !worst
+          (max_rel_err (fun x -> x ** p) (fun x -> fastpow x p) 0.1 50. 500))
+    [ 0.5; 1.5; 2.5; -1.2 ];
+  Alcotest.(check bool) "fastpow" true (!worst < 3e-4)
+
+let test_fastsqrt_accuracy () =
+  Alcotest.(check bool) "fastsqrt" true
+    (max_rel_err sqrt fastsqrt 0.01 10000. 2000 < 2e-4)
+
+let test_fastsin_accuracy () =
+  let worst = ref 0. in
+  for i = 0 to 999 do
+    let x = -3.1 +. (6.2 *. float_of_int i /. 999.) in
+    worst := Float.max !worst (Float.abs (fastsin x -. sin x))
+  done;
+  Alcotest.(check bool) "fastsin abs err < 1e-3" true (!worst < 1e-3)
+
+let test_faster_variants_coarser () =
+  Alcotest.(check bool) "fasterexp ~ percents" true
+    (max_rel_err exp fasterexp (-5.) 5. 500 < 0.07);
+  Alcotest.(check bool) "fasterlog" true
+    (max_rel_err log fasterlog 0.1 100. 500 < 0.15);
+  Alcotest.(check bool) "fasterpow2" true
+    (max_rel_err (fun x -> 2. ** x) fasterpow2 (-5.) 5. 500 < 0.07);
+  (* and they really are coarser than the fast versions *)
+  Alcotest.(check bool) "faster worse than fast" true
+    (max_rel_err exp fasterexp (-5.) 5. 500
+    > max_rel_err exp fastexp (-5.) 5. 500)
+
+let test_fastpow2_clipping () =
+  Alcotest.(check bool) "deep negative clips to ~0" true
+    (fastpow2 (-300.) < 1e-35)
+
+let qcheck_fastexp_positive =
+  QCheck.Test.make ~count:500 ~name:"fastexp stays positive"
+    QCheck.(float_range (-80.) 80.)
+    (fun x -> fastexp x > 0.)
+
+let qcheck_fastlog_monotone =
+  QCheck.Test.make ~count:500 ~name:"fastlog monotone"
+    QCheck.(pair (float_range 0.01 1e4) (float_range 0.01 1e4))
+    (fun (a, b) ->
+      let lo = Float.min a b and hi = Float.max a b in
+      lo = hi || fastlog lo <= fastlog hi +. 1e-9)
+
+(* ------------------------------------------------------------------ *)
+(* MiniFP integration                                                  *)
+
+let builtins_with_fast () =
+  let b = Builtins.create () in
+  register_builtins b;
+  b
+
+let test_registered_as_intrinsics () =
+  let b = builtins_with_fast () in
+  List.iter
+    (fun name ->
+      match Builtins.signature b name with
+      | Some sg ->
+          Alcotest.(check bool) (name ^ " approx flag") true sg.Builtins.approx
+      | None -> Alcotest.failf "%s not registered" name)
+    [ "fastlog"; "fastexp"; "fastsqrt"; "fastsin"; "fastpow"; "fasterexp" ]
+
+let test_callable_from_minifp () =
+  let builtins = builtins_with_fast () in
+  let prog =
+    Parser.parse_program "func f(x: f64): f64 { return fastexp(x) + fastlog(x); }"
+  in
+  Typecheck.check_program ~builtins prog;
+  let v = Interp.run_float ~builtins ~prog ~func:"f" [ Interp.Aflt 2.0 ] in
+  Alcotest.(check bool) "close to exact" true
+    (Float.abs (v -. (exp 2.0 +. log 2.0)) < 1e-3)
+
+let test_approx_costs_discounted () =
+  let builtins = builtins_with_fast () in
+  let module Cost = Cheffp_precision.Cost in
+  let cost_of src =
+    let counter = Cost.Counter.create Cost.default in
+    let prog = Parser.parse_program src in
+    ignore (Interp.run_float ~builtins ~counter ~prog ~func:"f" [ Interp.Aflt 2.0 ]);
+    Cost.Counter.total counter
+  in
+  Alcotest.(check bool) "fastexp cheaper than exp" true
+    (cost_of "func f(x: f64): f64 { return fastexp(x); }"
+    < cost_of "func f(x: f64): f64 { return exp(x); }")
+
+let test_derivatives_registered () =
+  let builtins = builtins_with_fast () in
+  let deriv = Cheffp_ad.Deriv.default () in
+  register_derivatives deriv;
+  let prog =
+    Parser.parse_program
+      "func f(x: f64): f64 { return fastexp(x) * fastlog(x + 2.0) + fastpow2(x); }"
+  in
+  Typecheck.check_program ~builtins prog;
+  let g = Cheffp_ad.Reverse.differentiate ~deriv prog "f" in
+  let prog' = Ast.add_func prog g in
+  let run x = Interp.run_float ~builtins ~prog ~func:"f" [ Interp.Aflt x ] in
+  let r =
+    Interp.run ~builtins ~prog:prog' ~func:g.Ast.fname
+      [ Interp.Aflt 1.1; Interp.Aflt 0. ]
+  in
+  let ad = Builtins.as_float (List.assoc "_d_x" r.Interp.outs) in
+  let h = 1e-5 in
+  let num = (run (1.1 +. h) -. run (1.1 -. h)) /. (2. *. h) in
+  (* smooth-surrogate derivative vs the approximation's own secant: the
+     bit-twiddled functions are piecewise linear, so agreement is loose *)
+  Alcotest.(check bool) "derivative plausible" true
+    (Float.abs (ad -. num) /. Float.max 1. (Float.abs num) < 0.05)
+
+let () =
+  Alcotest.run "fastapprox"
+    [
+      ( "accuracy",
+        [
+          Alcotest.test_case "fastlog2" `Quick test_fastlog2_accuracy;
+          Alcotest.test_case "fastlog" `Quick test_fastlog_accuracy;
+          Alcotest.test_case "fastexp" `Quick test_fastexp_accuracy;
+          Alcotest.test_case "fastpow2" `Quick test_fastpow2_accuracy;
+          Alcotest.test_case "fastpow" `Quick test_fastpow_accuracy;
+          Alcotest.test_case "fastsqrt" `Quick test_fastsqrt_accuracy;
+          Alcotest.test_case "fastsin" `Quick test_fastsin_accuracy;
+          Alcotest.test_case "faster variants" `Quick test_faster_variants_coarser;
+          Alcotest.test_case "clipping" `Quick test_fastpow2_clipping;
+          QCheck_alcotest.to_alcotest qcheck_fastexp_positive;
+          QCheck_alcotest.to_alcotest qcheck_fastlog_monotone;
+        ] );
+      ( "minifp",
+        [
+          Alcotest.test_case "registered" `Quick test_registered_as_intrinsics;
+          Alcotest.test_case "callable" `Quick test_callable_from_minifp;
+          Alcotest.test_case "costs discounted" `Quick test_approx_costs_discounted;
+          Alcotest.test_case "derivatives" `Quick test_derivatives_registered;
+        ] );
+    ]

@@ -1,0 +1,208 @@
+(* Differential fuzzing over randomly generated MiniFP programs: every
+   engine and every transformation must agree with the reference
+   interpreter. See [Gen_minifp] for the generator. *)
+
+open Cheffp_ir
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+
+let count = 150
+
+let run_ok prog args =
+  match Interp.run_float ~prog ~func:"fuzz" args with
+  | v -> Some v
+  | exception Interp.Runtime_error _ -> None
+
+let args_of (x, y) = [ Interp.Aflt x; Interp.Aflt y; Interp.Aint 4 ]
+
+let both_or_skip prog args f =
+  match run_ok prog args with
+  | None -> true (* generator should prevent this; don't fail the property *)
+  | Some reference -> f reference
+
+let close tol a b =
+  (Float.is_nan a && Float.is_nan b)
+  || Float.abs (a -. b) /. Float.max 1. (Float.abs a) < tol
+
+(* 1. Generated programs are well-typed. *)
+let fuzz_typechecks =
+  QCheck.Test.make ~count ~name:"fuzz: generated programs typecheck"
+    Gen_minifp.arbitrary_program (fun prog ->
+      Typecheck.check_program prog;
+      true)
+
+(* 2. Pretty-print/parse round trip. *)
+let fuzz_roundtrip =
+  QCheck.Test.make ~count ~name:"fuzz: pp/parse roundtrip"
+    Gen_minifp.arbitrary_program (fun prog ->
+      Parser.parse_program (Pp.program_to_string prog) = prog)
+
+(* 3. Compiled execution = interpreted execution (bit for bit). *)
+let fuzz_compile =
+  QCheck.Test.make ~count ~name:"fuzz: compile = interp"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      both_or_skip prog args (fun reference ->
+          let c = Compile.compile ~optimize:false ~prog ~func:"fuzz" () in
+          Compile.run_float c args = reference))
+
+(* 4. The optimizer preserves semantics exactly. *)
+let fuzz_optimize =
+  QCheck.Test.make ~count ~name:"fuzz: optimizer preserves semantics"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      both_or_skip prog args (fun reference ->
+          let f = Optimize.optimize_func (Ast.func_exn prog "fuzz") in
+          let prog' = { Ast.funcs = [ f ] } in
+          Interp.run_float ~prog:prog' ~func:"fuzz" args = reference))
+
+(* 5. Normalization preserves semantics exactly. *)
+let fuzz_normalize =
+  QCheck.Test.make ~count ~name:"fuzz: normalize preserves semantics"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      both_or_skip prog args (fun reference ->
+          let nf = Normalize.normalize_func prog (Ast.func_exn prog "fuzz") in
+          let prog' = { Ast.funcs = [ nf ] } in
+          Interp.run_float ~prog:prog' ~func:"fuzz" args = reference))
+
+(* 6. Mixed-precision execution agrees between engines (bit for bit). *)
+let fuzz_mixed_engines =
+  QCheck.Test.make ~count ~name:"fuzz: mixed-precision compile = interp"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      let config = Config.demote_all Config.double [ "a"; "c" ] Fp.F32 in
+      match Interp.run_float ~config ~prog ~func:"fuzz" args with
+      | exception Interp.Runtime_error _ -> true
+      | reference ->
+          let raw = Compile.compile ~config ~optimize:false ~prog ~func:"fuzz" () in
+          let opt = Compile.compile ~config ~optimize:true ~prog ~func:"fuzz" () in
+          Compile.run_float raw args = reference
+          && Compile.run_float opt args = reference)
+
+(* 7. Reverse AD = finite differences (loose tolerance; generated
+   programs are smooth by construction except for branch boundaries,
+   where FD and AD legitimately disagree -- use a majority vote over
+   probe points to avoid flagging those). *)
+let gradient prog args =
+  let g = Cheffp_ad.Reverse.differentiate prog "fuzz" in
+  let prog' = Ast.add_func prog g in
+  let r =
+    Interp.run ~prog:prog' ~func:g.Ast.fname
+      (args @ [ Interp.Aflt 0.; Interp.Aflt 0. ])
+  in
+  ( Builtins.as_float (List.assoc "_d_x" r.Interp.outs),
+    Builtins.as_float (List.assoc "_d_y" r.Interp.outs) )
+
+let fuzz_reverse_vs_fd =
+  QCheck.Test.make ~count:60 ~name:"fuzz: reverse AD matches FD (majority)"
+    Gen_minifp.arbitrary_case (fun (prog, (x, y)) ->
+      let value x y = Interp.run_float ~prog ~func:"fuzz" (args_of (x, y)) in
+      match gradient prog (args_of (x, y)) with
+      | exception _ -> true
+      | dx, dy ->
+          let h = 1e-6 in
+          let fdx = (value (x +. h) y -. value (x -. h) y) /. (2. *. h) in
+          let fdy = (value x (y +. h) -. value x (y -. h)) /. (2. *. h) in
+          (* Branch-crossing points can make FD meaningless: accept if
+             either both components match, or the value is locally
+             non-smooth (FD at two scales disagrees with itself). *)
+          let matches = close 5e-3 dx fdx && close 5e-3 dy fdy in
+          if matches then true
+          else begin
+            let h2 = 1e-4 in
+            let fdx2 = (value (x +. h2) y -. value (x -. h2) y) /. (2. *. h2) in
+            let fdy2 = (value x (y +. h2) -. value x (y -. h2)) /. (2. *. h2) in
+            (* FD inconsistent with itself => non-smooth point; skip. *)
+            (not (close 1e-3 fdx fdx2)) || not (close 1e-3 fdy fdy2)
+          end)
+
+(* 8. Forward AD = reverse AD (both exact up to roundoff, no smoothness
+   caveats). *)
+let fuzz_forward_vs_reverse =
+  QCheck.Test.make ~count:60 ~name:"fuzz: forward = reverse"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      match gradient prog args with
+      | exception _ -> true
+      | dx, dy ->
+          let fwd wrt =
+            let f = Cheffp_ad.Forward.differentiate prog "fuzz" ~wrt in
+            Interp.run_float ~prog:(Ast.add_func prog f) ~func:f.Ast.fname args
+          in
+          close 1e-10 dx (fwd "x") && close 1e-10 dy (fwd "y"))
+
+(* 9. Activity analysis changes nothing. *)
+let fuzz_activity =
+  QCheck.Test.make ~count:60 ~name:"fuzz: activity analysis is sound"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      let grad_with use_activity =
+        let g = Cheffp_ad.Reverse.differentiate ~use_activity prog "fuzz" in
+        let prog' = Ast.add_func prog g in
+        let r =
+          Interp.run ~prog:prog' ~func:g.Ast.fname
+            (args @ [ Interp.Aflt 0.; Interp.Aflt 0. ])
+        in
+        r.Interp.outs
+      in
+      match grad_with false with
+      | exception _ -> true
+      | off -> grad_with true = off)
+
+(* 10. CHEF-FP estimation runs on anything the generator produces and
+   compiled/interpreted analyses agree. *)
+let fuzz_estimate =
+  QCheck.Test.make ~count:40 ~name:"fuzz: estimation compiled = interpreted"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      match
+        Cheffp_core.Estimate.estimate_error
+          ~model:(Cheffp_core.Model.adapt ())
+          ~prog ~func:"fuzz" ()
+      with
+      | exception _ -> true
+      | est ->
+          let a = Cheffp_core.Estimate.run est args in
+          let b = Cheffp_core.Estimate.run_interpreted est args in
+          a.Cheffp_core.Estimate.total_error
+          = b.Cheffp_core.Estimate.total_error
+          && a.Cheffp_core.Estimate.total_error >= 0.)
+
+(* 11. Automatic source rewriting agrees bit-for-bit with configured
+   execution on arbitrary programs and configurations. *)
+let fuzz_rewrite =
+  QCheck.Test.make ~count:80 ~name:"fuzz: rewrite = configured execution"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      let config =
+        Config.demote_all Config.double [ "b"; "c"; "ar" ] Fp.F32
+      in
+      match Interp.run_float ~config ~prog ~func:"fuzz" args with
+      | exception Interp.Runtime_error _ -> true
+      | configured ->
+          let f = Ast.func_exn prog "fuzz" in
+          let rewritten = Cheffp_core.Rewrite.apply_config config f in
+          let prog' = { Ast.funcs = [ rewritten ] } in
+          Typecheck.check_program prog';
+          Interp.run_float ~prog:prog' ~func:"fuzz" args = configured)
+
+let () =
+  Alcotest.run "fuzz"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            fuzz_typechecks;
+            fuzz_roundtrip;
+            fuzz_compile;
+            fuzz_optimize;
+            fuzz_normalize;
+            fuzz_mixed_engines;
+            fuzz_reverse_vs_fd;
+            fuzz_forward_vs_reverse;
+            fuzz_activity;
+            fuzz_estimate;
+            fuzz_rewrite;
+          ] );
+    ]

@@ -1,0 +1,238 @@
+(* End-to-end integration tests: miniature versions of the paper's
+   experiments, asserting the *relationships* the evaluation section
+   reports (estimates bound actuals, CHEF-FP agrees with ADAPT while
+   using far less memory, the tuner meets thresholds, Algorithm 2
+   predicts approximation errors). *)
+
+open Cheffp_ir
+module B = Cheffp_benchmarks
+module E = Cheffp_core.Estimate
+module Model = Cheffp_core.Model
+module Tuner = Cheffp_core.Tuner
+module Adapt = Cheffp_adapt.Adapt
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+
+(* Table I miniature: tuned configurations satisfy their thresholds. *)
+let test_tuning_meets_threshold () =
+  let cases =
+    [
+      ( "arclength",
+        B.Arclength.program,
+        B.Arclength.func_name,
+        B.Arclength.args ~n:3_000,
+        1e-5 );
+      ( "simpsons",
+        B.Simpsons.program,
+        B.Simpsons.func_name,
+        B.Simpsons.args ~a:0. ~b:Float.pi ~n:3_000,
+        1e-6 );
+    ]
+  in
+  List.iter
+    (fun (name, prog, func, args, threshold) ->
+      let o = Tuner.tune ~prog ~func ~args ~threshold () in
+      Alcotest.(check bool) (name ^ " within threshold") true
+        (o.Tuner.evaluation.Tuner.actual_error <= threshold);
+      Alcotest.(check bool) (name ^ " demotes something") true
+        (o.Tuner.demoted <> []))
+    cases
+
+(* Table III miniature: k-means per-variable demotion estimates bound the
+   measured errors; the quantized input data is free to demote. *)
+let test_kmeans_demotion_estimates () =
+  let w = B.Kmeans.generate ~npoints:3_000 () in
+  let est =
+    E.estimate_error ~model:(Model.adapt ()) ~prog:B.Kmeans.program
+      ~func:B.Kmeans.func_name ()
+  in
+  let report = E.run est (B.Kmeans.args w) in
+  let estimated v = List.assoc v report.E.per_variable in
+  let actual vars =
+    (Tuner.evaluate ~prog:B.Kmeans.program ~func:B.Kmeans.func_name
+       ~args:(B.Kmeans.args w)
+       (Config.demote_all Config.double vars Fp.F32))
+      .Tuner.actual_error
+  in
+  Alcotest.(check (float 0.)) "attributes estimate zero" 0.
+    (estimated "attributes");
+  Alcotest.(check (float 0.)) "attributes actual zero" 0.
+    (actual [ "attributes" ]);
+  Alcotest.(check bool) "clusters estimate bounds actual" true
+    (actual [ "clusters" ] <= estimated "clusters");
+  Alcotest.(check bool) "sum estimate bounds actual" true
+    (actual [ "sum" ] <= estimated "sum")
+
+(* Table IV miniature: the Algorithm-2 custom model predicts the error of
+   swapping in FastApprox within an order of magnitude per option. *)
+let test_blackscholes_approx_prediction () =
+  let n = 100 in
+  let w = B.Blackscholes.generate ~n () in
+  let config = B.Blackscholes.Fast_log_sqrt_exp in
+  let builtins = Builtins.create () in
+  Cheffp_fastapprox.Fastapprox.register_builtins builtins;
+  let deriv = Cheffp_ad.Deriv.default () in
+  Cheffp_fastapprox.Fastapprox.register_derivatives deriv;
+  let model =
+    Model.approx_functions
+      ~pairs:(B.Blackscholes.approx_pairs config)
+      ~eval:B.Blackscholes.eval_exact ~eval_approx:B.Blackscholes.eval_approx
+  in
+  let est =
+    E.estimate_error ~model ~deriv ~builtins
+      ~prog:(B.Blackscholes.program B.Blackscholes.Exact)
+      ~func:B.Blackscholes.price_func ()
+  in
+  let m_exact = B.Blackscholes.mathset_of B.Blackscholes.Exact in
+  let m_fast = B.Blackscholes.mathset_of config in
+  let actual = Array.make n 0. and estimated = Array.make n 0. in
+  for i = 0 to n - 1 do
+    let price m =
+      B.Blackscholes.price_native m ~s:w.B.Blackscholes.sptprice.(i)
+        ~k:w.B.Blackscholes.strike.(i) ~r:w.B.Blackscholes.rate.(i)
+        ~v:w.B.Blackscholes.volatility.(i) ~t:w.B.Blackscholes.otime.(i)
+        ~otype:w.B.Blackscholes.otype.(i)
+    in
+    actual.(i) <- Float.abs (price m_fast -. price m_exact);
+    estimated.(i) <- (E.run est (B.Blackscholes.price_args w i)).E.total_error
+  done;
+  let a = Cheffp_util.Stats.mean actual in
+  let e = Cheffp_util.Stats.mean estimated in
+  Alcotest.(check bool) "mean estimate within 10x of mean actual" true
+    (e /. a < 10. && a /. e < 10.);
+  Alcotest.(check bool) "errors are small but real" true
+    (a > 1e-8 && a < 1e-1)
+
+(* Figure 4-8 miniature: same analysis answers, very different resource
+   profiles. *)
+let test_chef_vs_adapt_resources () =
+  let n = 5_000 in
+  let est =
+    E.estimate_error ~model:(Model.adapt ()) ~prog:B.Arclength.program
+      ~func:B.Arclength.func_name ()
+  in
+  let report = E.run est (B.Arclength.args ~n) in
+  match
+    Adapt.analyze (fun tape ->
+        let module N = (val Adapt.num tape) in
+        let module A = B.Arclength.Native (N) in
+        A.run ~n)
+  with
+  | Error _ -> Alcotest.fail "unexpected OOM"
+  | Ok adapt ->
+      Alcotest.(check bool) "totals agree within 10%" true
+        (let c = report.E.total_error and t = adapt.Adapt.total_error in
+         Float.abs (c -. t) /. Float.max c t < 0.10);
+      Alcotest.(check bool) "CHEF-FP uses 5x less memory" true
+        (adapt.Adapt.tape_bytes > 5 * report.E.analysis_bytes)
+
+(* Figure 7 miniature: ADAPT exhausts a memory budget that CHEF-FP fits
+   comfortably. *)
+let test_adapt_oom_crossover () =
+  let w = B.Hpccg.generate ~nx:6 ~ny:6 ~nz:6 ~max_iter:8 () in
+  let est =
+    E.estimate_error ~model:(Model.adapt ())
+      ~options:{ E.default_options with E.per_variable = false }
+      ~prog:B.Hpccg.program ~func:B.Hpccg.func_name ()
+  in
+  let report = E.run est (B.Hpccg.args w) in
+  let budget = 4 * report.E.analysis_bytes in
+  (match
+     Adapt.analyze ~memory_budget:budget (fun tape ->
+         let module N = (val Adapt.num tape) in
+         let module H = B.Hpccg.Native (N) in
+         H.run w)
+   with
+  | Ok _ -> Alcotest.fail "ADAPT should exceed 4x CHEF-FP's footprint"
+  | Error oom ->
+      Alcotest.(check bool) "failed against the budget" true
+        (oom.Adapt.budget = budget))
+
+(* Figure 9 miniature: sensitivities inside the CG loop decay, the split
+   cutoff lands strictly inside the iteration range, and the resulting
+   split program is accurate. *)
+let test_hpccg_sensitivity_split () =
+  let max_iter = 30 in
+  let w = B.Hpccg.generate ~nx:6 ~ny:6 ~nz:6 ~max_iter () in
+  let est =
+    E.estimate_error ~model:(Model.adapt ())
+      ~options:{ E.default_options with E.track_iterations = `Loop "iter" }
+      ~prog:B.Hpccg.program ~func:B.Hpccg.func_name ()
+  in
+  let report = E.run est (B.Hpccg.args w) in
+  let demoted = [ "r"; "p"; "ap"; "sum"; "alpha"; "beta"; "rtrans"; "oldrtrans" ] in
+  let cutoff =
+    Cheffp_core.Sensitivity.split_cutoff ~records:report.E.per_iteration
+      ~vars:demoted
+      ~eps:(Fp.unit_roundoff Fp.F32)
+      ~budget:1e-10 ~max_iter
+  in
+  Alcotest.(check bool) "cutoff strictly inside" true
+    (cutoff > 1 && cutoff < max_iter);
+  let full =
+    Interp.run_float ~prog:B.Hpccg.program ~func:B.Hpccg.func_name (B.Hpccg.args w)
+  in
+  let split =
+    Interp.run_float ~prog:B.Hpccg.program_split ~func:B.Hpccg.split_func_name
+      (B.Hpccg.split_args w ~cutoff)
+  in
+  Alcotest.(check bool) "split satisfies threshold" true
+    (Float.abs (full -. split) <= 1e-10);
+  (* r's sensitivity decays across the loop *)
+  let r_series = List.assoc "r" report.E.per_iteration in
+  let early = List.assoc 2 r_series and late = List.assoc (max_iter - 1) r_series in
+  Alcotest.(check bool) "sensitivity decays" true (late < early /. 1e3)
+
+(* The estimation pipeline is reusable: one [estimate_error] serves many
+   workload sizes. *)
+let test_estimate_reuse_across_sizes () =
+  let est =
+    E.estimate_error ~model:(Model.adapt ()) ~prog:B.Simpsons.program
+      ~func:B.Simpsons.func_name ()
+  in
+  let totals =
+    List.map
+      (fun n ->
+        (E.run est (B.Simpsons.args ~a:0. ~b:Float.pi ~n)).E.total_error)
+      [ 100; 1_000; 10_000 ]
+  in
+  Alcotest.(check bool) "errors grow with work" true
+    (match totals with [ a; b; c ] -> a < b && b < c | _ -> false)
+
+(* The inlining claim: analysis through the optimizer+compiler is faster
+   than tree-walking the same generated function. *)
+let test_compiled_analysis_faster () =
+  let n = 20_000 in
+  let est =
+    E.estimate_error ~model:(Model.adapt ())
+      ~options:{ E.default_options with E.per_variable = false }
+      ~prog:B.Arclength.program ~func:B.Arclength.func_name ()
+  in
+  let args = B.Arclength.args ~n in
+  let _, fast = Cheffp_util.Meter.time (fun () -> E.run est args) in
+  let _, slow = Cheffp_util.Meter.time (fun () -> E.run_interpreted est args) in
+  Alcotest.(check bool) "compiled at least 2x faster" true (slow > 2. *. fast)
+
+let () =
+  Alcotest.run "integration"
+    [
+      ( "paper-shapes",
+        [
+          Alcotest.test_case "tuning meets thresholds" `Slow
+            test_tuning_meets_threshold;
+          Alcotest.test_case "kmeans demotion estimates" `Slow
+            test_kmeans_demotion_estimates;
+          Alcotest.test_case "blackscholes approx prediction" `Slow
+            test_blackscholes_approx_prediction;
+          Alcotest.test_case "chef vs adapt resources" `Slow
+            test_chef_vs_adapt_resources;
+          Alcotest.test_case "adapt oom crossover" `Slow
+            test_adapt_oom_crossover;
+          Alcotest.test_case "hpccg sensitivity split" `Slow
+            test_hpccg_sensitivity_split;
+          Alcotest.test_case "estimate reuse" `Quick
+            test_estimate_reuse_across_sizes;
+          Alcotest.test_case "compiled analysis faster" `Slow
+            test_compiled_analysis_faster;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+open Cheffp_sparse
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ------------------------------------------------------------------ *)
+(* Vec                                                                *)
+
+let test_vec_dot () =
+  check_float "dot" 32. (Vec.dot [| 1.; 2.; 3. |] [| 4.; 5.; 6. |]);
+  check_float "empty" 0. (Vec.dot [||] [||]);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Vec.dot: length mismatch")
+    (fun () -> ignore (Vec.dot [| 1. |] [||]))
+
+let test_vec_norm2 () = check_float "norm" 5. (Vec.norm2 [| 3.; 4. |])
+
+let test_vec_axpy () =
+  let y = [| 1.; 1. |] in
+  Vec.axpy 2. [| 10.; 20. |] y;
+  Alcotest.(check bool) "axpy" true (y = [| 21.; 41. |])
+
+let test_vec_waxpby () =
+  let w = [| 0.; 0. |] in
+  Vec.waxpby 2. [| 1.; 2. |] 3. [| 10.; 20. |] w;
+  Alcotest.(check bool) "waxpby" true (w = [| 32.; 64. |]);
+  (* aliasing w == y is allowed (HPCCG does p = r + beta*p) *)
+  let p = [| 1.; 2. |] in
+  Vec.waxpby 1. [| 10.; 10. |] 2. p p;
+  Alcotest.(check bool) "aliased" true (p = [| 12.; 14. |])
+
+let test_vec_helpers () =
+  let a = [| 1.; 5. |] in
+  let b = Vec.copy a in
+  Vec.fill b 0.;
+  Alcotest.(check bool) "copy is fresh" true (a = [| 1.; 5. |] && b = [| 0.; 0. |]);
+  check_float "max_abs_diff" 5. (Vec.max_abs_diff a b)
+
+(* ------------------------------------------------------------------ *)
+(* CSR / stencil generator                                            *)
+
+let test_stencil_dimensions () =
+  let a, b, xexact = Csr.stencil27 ~nx:3 ~ny:4 ~nz:5 in
+  Alcotest.(check int) "n" 60 a.Csr.n;
+  Alcotest.(check int) "b length" 60 (Array.length b);
+  Alcotest.(check int) "xexact length" 60 (Array.length xexact);
+  Alcotest.(check int) "row_ptr length" 61 (Array.length a.Csr.row_ptr)
+
+let test_stencil_entry_counts () =
+  let a, _, _ = Csr.stencil27 ~nx:3 ~ny:3 ~nz:3 in
+  (* corner rows touch 8 grid points, the centre row touches 27 *)
+  let row_len i = a.Csr.row_ptr.(i + 1) - a.Csr.row_ptr.(i) in
+  Alcotest.(check int) "corner row" 8 (row_len 0);
+  Alcotest.(check int) "centre row" 27 (row_len 13);
+  Alcotest.(check int) "nnz consistent" (Csr.nnz a)
+    (Array.fold_left ( + ) 0 (Array.init 27 row_len))
+
+let test_stencil_values () =
+  let a, _, _ = Csr.stencil27 ~nx:3 ~ny:3 ~nz:3 in
+  let d = Csr.dense_of a in
+  Alcotest.(check (float 0.)) "diagonal" 27. d.(13).(13);
+  Alcotest.(check (float 0.)) "neighbour" (-1.) d.(13).(12);
+  Alcotest.(check (float 0.)) "non-neighbour" 0. d.(0).(26);
+  (* symmetry *)
+  let sym = ref true in
+  for i = 0 to 26 do
+    for j = 0 to 26 do
+      if d.(i).(j) <> d.(j).(i) then sym := false
+    done
+  done;
+  Alcotest.(check bool) "symmetric" true !sym
+
+let test_stencil_rhs () =
+  (* b = A * ones, so each b_i is its row sum: 27 - (#neighbours - 1). *)
+  let a, b, _ = Csr.stencil27 ~nx:3 ~ny:3 ~nz:3 in
+  let row_len i = a.Csr.row_ptr.(i + 1) - a.Csr.row_ptr.(i) in
+  Array.iteri
+    (fun i bi ->
+      check_float (Printf.sprintf "b[%d]" i)
+        (27. -. float_of_int (row_len i - 1))
+        bi)
+    b
+
+let test_spmv_vs_dense () =
+  let a, _, _ = Csr.stencil27 ~nx:2 ~ny:3 ~nz:2 in
+  let d = Csr.dense_of a in
+  let rng = Cheffp_util.Rng.create 5L in
+  let x = Array.init a.Csr.n (fun _ -> Cheffp_util.Rng.uniform rng ~lo:(-1.) ~hi:1.) in
+  let y = Array.make a.Csr.n 0. in
+  Csr.spmv a x y;
+  Array.iteri
+    (fun i yi ->
+      let expect = Array.fold_left ( +. ) 0. (Array.mapi (fun j dij -> dij *. x.(j)) d.(i)) in
+      Alcotest.(check (float 1e-10)) (Printf.sprintf "row %d" i) expect yi)
+    y
+
+let test_spmv_dim_check () =
+  let a, _, _ = Csr.stencil27 ~nx:2 ~ny:2 ~nz:2 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Csr.spmv: dimension mismatch")
+    (fun () -> Csr.spmv a [| 1. |] (Array.make a.Csr.n 0.))
+
+(* ------------------------------------------------------------------ *)
+(* CG                                                                 *)
+
+let test_cg_solves_stencil () =
+  let a, b, xexact = Csr.stencil27 ~nx:6 ~ny:6 ~nz:6 in
+  let x = Array.make a.Csr.n 0. in
+  let st = Cg.solve ~max_iter:100 ~tolerance:1e-13 a ~b ~x in
+  Alcotest.(check bool) "converged" true (st.Cg.residual < 1e-10);
+  Alcotest.(check bool) "solution accurate" true
+    (Vec.max_abs_diff x xexact < 1e-10);
+  Alcotest.(check bool) "took some iterations" true (st.Cg.iterations > 2)
+
+let test_cg_exact_after_n_iterations () =
+  (* CG converges in at most n steps in exact arithmetic; numerically the
+     residual must at least be tiny after n iterations. *)
+  let a, b, _ = Csr.stencil27 ~nx:2 ~ny:2 ~nz:2 in
+  let x = Array.make a.Csr.n 0. in
+  let st = Cg.solve ~max_iter:a.Csr.n ~tolerance:0. a ~b ~x in
+  Alcotest.(check bool) "small residual" true (st.Cg.residual < 1e-8)
+
+let test_cg_history_monotone_tail () =
+  let a, b, _ = Csr.stencil27 ~nx:5 ~ny:5 ~nz:5 in
+  let x = Array.make a.Csr.n 0. in
+  let st = Cg.solve ~max_iter:60 ~tolerance:0. a ~b ~x in
+  let h = st.Cg.normr_history in
+  Alcotest.(check bool) "history recorded" true (Array.length h > 10);
+  Alcotest.(check bool) "overall decreasing" true
+    (h.(Array.length h - 1) < h.(0) /. 1e6)
+
+let test_cg_respects_initial_guess () =
+  let a, b, xexact = Csr.stencil27 ~nx:4 ~ny:4 ~nz:4 in
+  let x = Array.copy xexact in
+  let st = Cg.solve ~max_iter:5 ~tolerance:1e-14 a ~b ~x in
+  Alcotest.(check bool) "starts converged" true (st.Cg.residual < 1e-10);
+  Alcotest.(check int) "stops immediately" 0 st.Cg.iterations
+
+let test_cg_dim_check () =
+  let a, b, _ = Csr.stencil27 ~nx:2 ~ny:2 ~nz:2 in
+  Alcotest.check_raises "mismatch" (Invalid_argument "Cg.solve: dimension mismatch")
+    (fun () -> ignore (Cg.solve a ~b ~x:[| 0. |]))
+
+let qcheck_cg_random_rhs =
+  QCheck.Test.make ~count:10 ~name:"cg solves random right-hand sides"
+    QCheck.(int_range 1 1000)
+    (fun seed ->
+      let a, _, _ = Csr.stencil27 ~nx:4 ~ny:3 ~nz:3 in
+      let rng = Cheffp_util.Rng.create (Int64.of_int seed) in
+      let xtrue =
+        Array.init a.Csr.n (fun _ -> Cheffp_util.Rng.uniform rng ~lo:(-2.) ~hi:2.)
+      in
+      let b = Array.make a.Csr.n 0. in
+      Csr.spmv a xtrue b;
+      let x = Array.make a.Csr.n 0. in
+      ignore (Cg.solve ~max_iter:200 ~tolerance:1e-13 a ~b ~x);
+      Vec.max_abs_diff x xtrue < 1e-8)
+
+let () =
+  Alcotest.run "sparse"
+    [
+      ( "vec",
+        [
+          Alcotest.test_case "dot" `Quick test_vec_dot;
+          Alcotest.test_case "norm2" `Quick test_vec_norm2;
+          Alcotest.test_case "axpy" `Quick test_vec_axpy;
+          Alcotest.test_case "waxpby" `Quick test_vec_waxpby;
+          Alcotest.test_case "helpers" `Quick test_vec_helpers;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "dimensions" `Quick test_stencil_dimensions;
+          Alcotest.test_case "entry counts" `Quick test_stencil_entry_counts;
+          Alcotest.test_case "values" `Quick test_stencil_values;
+          Alcotest.test_case "rhs" `Quick test_stencil_rhs;
+          Alcotest.test_case "spmv vs dense" `Quick test_spmv_vs_dense;
+          Alcotest.test_case "spmv dims" `Quick test_spmv_dim_check;
+        ] );
+      ( "cg",
+        [
+          Alcotest.test_case "solves stencil" `Quick test_cg_solves_stencil;
+          Alcotest.test_case "n-step convergence" `Quick
+            test_cg_exact_after_n_iterations;
+          Alcotest.test_case "history" `Quick test_cg_history_monotone_tail;
+          Alcotest.test_case "initial guess" `Quick test_cg_respects_initial_guess;
+          Alcotest.test_case "dims" `Quick test_cg_dim_check;
+          QCheck_alcotest.to_alcotest qcheck_cg_random_rhs;
+        ] );
+    ]

@@ -1,0 +1,363 @@
+open Cheffp_util
+
+let check_float = Alcotest.(check (float 1e-12))
+
+(* ------------------------------------------------------------------ *)
+(* Growable                                                           *)
+
+let test_growable_push_pop () =
+  let g = Growable.create ~dummy:0 () in
+  Alcotest.(check bool) "empty" true (Growable.is_empty g);
+  Growable.push g 1;
+  Growable.push g 2;
+  Growable.push g 3;
+  Alcotest.(check int) "length" 3 (Growable.length g);
+  Alcotest.(check int) "top" 3 (Growable.top g);
+  Alcotest.(check int) "pop" 3 (Growable.pop g);
+  Alcotest.(check int) "pop" 2 (Growable.pop g);
+  Alcotest.(check int) "length after pops" 1 (Growable.length g)
+
+let test_growable_growth () =
+  let g = Growable.create ~capacity:2 ~dummy:(-1) () in
+  for i = 0 to 99 do
+    Growable.push g i
+  done;
+  Alcotest.(check int) "length" 100 (Growable.length g);
+  Alcotest.(check bool) "capacity grew" true (Growable.capacity g >= 100);
+  for i = 0 to 99 do
+    Alcotest.(check int) (Printf.sprintf "get %d" i) i (Growable.get g i)
+  done
+
+let test_growable_set_get () =
+  let g = Growable.create ~dummy:0 () in
+  Growable.push g 10;
+  Growable.push g 20;
+  Growable.set g 0 99;
+  Alcotest.(check int) "set/get" 99 (Growable.get g 0);
+  Alcotest.(check (list int)) "to_list" [ 99; 20 ] (Growable.to_list g);
+  Alcotest.(check int) "to_array" 2 (Array.length (Growable.to_array g))
+
+let test_growable_errors () =
+  let g = Growable.create ~dummy:0 () in
+  Alcotest.check_raises "pop empty" (Invalid_argument "Growable.pop: empty")
+    (fun () -> ignore (Growable.pop g));
+  Growable.push g 1;
+  Alcotest.check_raises "oob" (Invalid_argument "Growable: index 5 out of bounds [0,1)")
+    (fun () -> ignore (Growable.get g 5))
+
+let test_growable_clear_iter () =
+  let g = Growable.create ~dummy:0 () in
+  List.iter (Growable.push g) [ 1; 2; 3 ];
+  let acc = ref 0 in
+  Growable.iter (fun x -> acc := !acc + x) g;
+  Alcotest.(check int) "iter sum" 6 !acc;
+  let idx_sum = ref 0 in
+  Growable.iteri (fun i _ -> idx_sum := !idx_sum + i) g;
+  Alcotest.(check int) "iteri" 3 !idx_sum;
+  Alcotest.(check int) "fold" 6 (Growable.fold_left ( + ) 0 g);
+  Growable.clear g;
+  Alcotest.(check int) "cleared" 0 (Growable.length g)
+
+let test_growable_float () =
+  let g = Growable.Float.create () in
+  for i = 1 to 50 do
+    Growable.Float.push g (float_of_int i)
+  done;
+  Alcotest.(check int) "peak" 50 (Growable.Float.peak_length g);
+  for _ = 1 to 30 do
+    ignore (Growable.Float.pop g)
+  done;
+  Alcotest.(check int) "length" 20 (Growable.Float.length g);
+  Alcotest.(check int) "peak unchanged" 50 (Growable.Float.peak_length g);
+  check_float "top" 20.0 (Growable.Float.top g);
+  Growable.Float.set g 0 3.5;
+  check_float "set/get" 3.5 (Growable.Float.get g 0);
+  Growable.Float.clear g;
+  Alcotest.(check bool) "empty" true (Growable.Float.is_empty g);
+  Alcotest.(check int) "peak reset" 0 (Growable.Float.peak_length g)
+
+let qcheck_growable_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"growable push*/to_list roundtrip"
+    QCheck.(list int)
+    (fun l ->
+      let g = Growable.create ~dummy:0 () in
+      List.iter (Growable.push g) l;
+      Growable.to_list g = l)
+
+let qcheck_growable_lifo =
+  QCheck.Test.make ~count:200 ~name:"growable pops reverse pushes"
+    QCheck.(list int)
+    (fun l ->
+      let g = Growable.create ~dummy:0 () in
+      List.iter (Growable.push g) l;
+      let popped = List.rev_map (fun _ -> Growable.pop g) l in
+      popped = l)
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.next_int64 a) (Rng.next_int64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  Alcotest.(check bool) "different seeds differ" true
+    (Rng.next_int64 a <> Rng.next_int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7L in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_uniform_range () =
+  let rng = Rng.create 8L in
+  for _ = 1 to 1000 do
+    let x = Rng.uniform rng ~lo:(-2.) ~hi:3. in
+    Alcotest.(check bool) "in [-2,3)" true (x >= -2. && x < 3.)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 9L in
+  let n = 20_000 in
+  let samples = Array.init n (fun _ -> Rng.gaussian rng ~mu:5. ~sigma:2.) in
+  let mean = Stats.mean samples in
+  let std = Stats.stddev samples in
+  Alcotest.(check bool) "mean approx 5" true (Float.abs (mean -. 5.) < 0.1);
+  Alcotest.(check bool) "std approx 2" true (Float.abs (std -. 2.) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 10L in
+  let a = Array.init 100 (fun i -> i) in
+  let b = Array.copy a in
+  Rng.shuffle rng b;
+  let sb = Array.copy b in
+  Array.sort compare sb;
+  Alcotest.(check bool) "same multiset" true (sb = a);
+  Alcotest.(check bool) "actually shuffled" true (b <> a)
+
+let test_rng_split_independent () =
+  let rng = Rng.create 11L in
+  let child = Rng.split rng in
+  Alcotest.(check bool) "split differs from parent" true
+    (Rng.next_int64 child <> Rng.next_int64 rng)
+
+let test_rng_float_bound () =
+  let rng = Rng.create 13L in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng 2.5 in
+    Alcotest.(check bool) "in [0, 2.5)" true (x >= 0. && x < 2.5)
+  done;
+  let heads = ref 0 in
+  for _ = 1 to 1000 do
+    if Rng.bool rng then incr heads
+  done;
+  Alcotest.(check bool) "bool roughly balanced" true
+    (!heads > 400 && !heads < 600)
+
+let test_rng_copy () =
+  let rng = Rng.create 12L in
+  ignore (Rng.next_int64 rng);
+  let dup = Rng.copy rng in
+  Alcotest.(check int64) "copy continues identically" (Rng.next_int64 rng)
+    (Rng.next_int64 dup)
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                              *)
+
+let test_stats_sum_kahan () =
+  (* Sum that defeats naive accumulation order effects. *)
+  let a = Array.make 10_000 0.1 in
+  let s = Stats.sum a in
+  Alcotest.(check bool) "compensated" true (Float.abs (s -. 1000.) < 1e-10)
+
+let test_stats_basics () =
+  let a = [| 3.; 1.; 4.; 1.; 5. |] in
+  check_float "mean" 2.8 (Stats.mean a);
+  check_float "max" 5. (Stats.max a);
+  check_float "min" 1. (Stats.min a);
+  check_float "median" 3. (Stats.median a);
+  check_float "mean empty" 0. (Stats.mean [||])
+
+let test_stats_median_even () =
+  check_float "even median" 2.5 (Stats.median [| 1.; 2.; 3.; 4. |])
+
+let test_stats_percentile () =
+  let a = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50. (Stats.percentile a 50.);
+  check_float "p100" 100. (Stats.percentile a 100.);
+  check_float "p1" 1. (Stats.percentile a 1.)
+
+let test_stats_stddev () =
+  let a = [| 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. |] in
+  check_float "population stddev" 2. (Stats.stddev a);
+  check_float "short" 0. (Stats.stddev [| 1. |])
+
+let test_stats_geomean () =
+  check_float "geomean" 4. (Stats.geomean [| 2.; 8. |]);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geomean: non-positive element") (fun () ->
+      ignore (Stats.geomean [| 1.; -1. |]))
+
+let test_stats_errors () =
+  Alcotest.check_raises "max empty" (Invalid_argument "Stats.max: empty")
+    (fun () -> ignore (Stats.max [||]));
+  Alcotest.check_raises "abs_diffs mismatch"
+    (Invalid_argument "Stats.abs_diffs: length mismatch") (fun () ->
+      ignore (Stats.abs_diffs [| 1. |] [||]))
+
+let test_stats_abs_diffs () =
+  let d = Stats.abs_diffs [| 1.; 5. |] [| 3.; 2. |] in
+  check_float "d0" 2. d.(0);
+  check_float "d1" 3. d.(1)
+
+let qcheck_mean_bounded =
+  QCheck.Test.make ~count:200 ~name:"mean within [min,max]"
+    QCheck.(list_of_size Gen.(int_range 1 50) (float_range (-1e6) 1e6))
+    (fun l ->
+      let a = Array.of_list l in
+      let m = Stats.mean a in
+      m >= Stats.min a -. 1e-6 && m <= Stats.max a +. 1e-6)
+
+(* ------------------------------------------------------------------ *)
+(* Table                                                              *)
+
+let test_table_render () =
+  let s =
+    Table.render ~header:[ "name"; "value" ]
+      [ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+  in
+  Alcotest.(check bool) "has header" true
+    (String.length s > 0
+    &&
+    let lines = String.split_on_char '\n' s in
+    List.exists (fun l -> String.length l > 0 && l.[0] = '|') lines);
+  Alcotest.(check int) "line count" 6
+    (List.length (String.split_on_char '\n' s))
+
+let test_table_pads_short_rows () =
+  let s = Table.render ~header:[ "a"; "b"; "c" ] [ [ "only-one" ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_table_aligns () =
+  let s =
+    Table.render
+      ~aligns:[ Table.Right; Table.Left ]
+      ~header:[ "n"; "name" ]
+      [ [ "1"; "a" ]; [ "22"; "bb" ] ]
+  in
+  (* right-aligned first column pads on the left *)
+  Alcotest.(check bool) "right alignment applied" true
+    (let lines = String.split_on_char '\n' s in
+     List.exists (fun l -> String.length l > 3 && l.[0] = '|' && l.[1] = ' '
+                           && l.[2] = ' ' && l.[3] = '1') lines);
+  (* mismatched aligns length falls back to defaults without raising *)
+  let s2 = Table.render ~aligns:[ Table.Left ] ~header:[ "a"; "b" ] [] in
+  Alcotest.(check bool) "fallback" true (String.length s2 > 0)
+
+let test_table_formats () =
+  Alcotest.(check string) "fe" "3.24e-06" (Table.fe 3.24e-6);
+  Alcotest.(check string) "ff" "2.25" (Table.ff 2.25)
+
+(* ------------------------------------------------------------------ *)
+(* Meter                                                              *)
+
+let test_meter_accounting () =
+  let m = Meter.create () in
+  Meter.alloc m 100;
+  Meter.alloc m 50;
+  Alcotest.(check int) "live" 150 (Meter.live_bytes m);
+  Meter.free m 120;
+  Alcotest.(check int) "after free" 30 (Meter.live_bytes m);
+  Alcotest.(check int) "peak" 150 (Meter.peak_bytes m);
+  Meter.free m 1000;
+  Alcotest.(check int) "never negative" 0 (Meter.live_bytes m);
+  Meter.reset m;
+  Alcotest.(check int) "reset" 0 (Meter.peak_bytes m)
+
+let test_meter_budget () =
+  let m = Meter.create () in
+  Meter.set_budget m (Some 100);
+  Meter.alloc m 90;
+  Alcotest.(check bool) "budget raise" true
+    (try
+       Meter.alloc m 20;
+       false
+     with Meter.Out_of_memory_budget { requested; budget } ->
+       requested = 110 && budget = 100);
+  Meter.set_budget m None;
+  Meter.alloc m 1000;
+  Alcotest.(check int) "unbounded" 1090 (Meter.live_bytes m)
+
+let test_meter_time () =
+  let x, t = Meter.time (fun () -> 42) in
+  Alcotest.(check int) "result" 42 x;
+  Alcotest.(check bool) "time non-negative" true (t >= 0.)
+
+let test_meter_bytes_pp () =
+  Alcotest.(check string) "B" "512 B" (Meter.bytes_pp 512);
+  Alcotest.(check string) "kB" "1.50 kB" (Meter.bytes_pp 1500);
+  Alcotest.(check string) "MB" "2.00 MB" (Meter.bytes_pp 2_000_000);
+  Alcotest.(check string) "GB" "3.00 GB" (Meter.bytes_pp 3_000_000_000)
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "growable",
+        [
+          Alcotest.test_case "push/pop" `Quick test_growable_push_pop;
+          Alcotest.test_case "growth" `Quick test_growable_growth;
+          Alcotest.test_case "set/get" `Quick test_growable_set_get;
+          Alcotest.test_case "errors" `Quick test_growable_errors;
+          Alcotest.test_case "clear/iter" `Quick test_growable_clear_iter;
+          Alcotest.test_case "float variant" `Quick test_growable_float;
+          QCheck_alcotest.to_alcotest qcheck_growable_roundtrip;
+          QCheck_alcotest.to_alcotest qcheck_growable_lifo;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "uniform range" `Quick test_rng_uniform_range;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutation" `Quick
+            test_rng_shuffle_permutation;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "float/bool" `Quick test_rng_float_bound;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "kahan sum" `Quick test_stats_sum_kahan;
+          Alcotest.test_case "basics" `Quick test_stats_basics;
+          Alcotest.test_case "median even" `Quick test_stats_median_even;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "errors" `Quick test_stats_errors;
+          Alcotest.test_case "abs_diffs" `Quick test_stats_abs_diffs;
+          QCheck_alcotest.to_alcotest qcheck_mean_bounded;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "short rows" `Quick test_table_pads_short_rows;
+          Alcotest.test_case "aligns" `Quick test_table_aligns;
+          Alcotest.test_case "formats" `Quick test_table_formats;
+        ] );
+      ( "meter",
+        [
+          Alcotest.test_case "accounting" `Quick test_meter_accounting;
+          Alcotest.test_case "budget" `Quick test_meter_budget;
+          Alcotest.test_case "time" `Quick test_meter_time;
+          Alcotest.test_case "bytes_pp" `Quick test_meter_bytes_pp;
+        ] );
+    ]
