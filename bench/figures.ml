@@ -7,11 +7,18 @@
 open Common
 module B = Cheffp_benchmarks
 module Interp = Cheffp_ir.Interp
+module Pool = Cheffp_util.Pool
 
-let fig4 () =
-  let sizes = [ 10_000; 30_000; 100_000; 300_000; 1_000_000 ] in
+(* Sweep points are independent measurements: with [jobs > 1] they fan
+   out across domains (each point keeps its own estimate, tape and
+   workload, so results are unchanged; per-point wall times get noisier
+   under contention, which the default [jobs = 1] avoids). *)
+let sweep_map ~jobs f sizes = Pool.parallel_map ~jobs f sizes
+
+let fig4 ?(jobs = 1) ?(sizes = [ 10_000; 30_000; 100_000; 300_000; 1_000_000 ])
+    () =
   let points =
-    List.map
+    sweep_map ~jobs
       (fun n ->
         measure_point ~size:n
           ~original:(fun () -> ignore (B.Arclength.reference ~n))
@@ -29,11 +36,11 @@ let fig4 () =
     ~size_label:"iterations" sweep;
   sweep
 
-let fig5 () =
+let fig5 ?(jobs = 1) () =
   let a = 0.0 and b = Float.pi in
   let sizes = [ 30_000; 100_000; 300_000; 1_000_000; 3_000_000 ] in
   let points =
-    List.map
+    sweep_map ~jobs
       (fun n ->
         measure_point ~size:n
           ~original:(fun () -> ignore (B.Simpsons.reference ~a ~b ~n))
@@ -51,10 +58,10 @@ let fig5 () =
     ~size_label:"iterations" sweep;
   sweep
 
-let fig6 () =
+let fig6 ?(jobs = 1) () =
   let sizes = [ 3_000; 10_000; 30_000; 100_000; 300_000 ] in
   let points =
-    List.map
+    sweep_map ~jobs
       (fun npoints ->
         let w = B.Kmeans.generate ~npoints () in
         measure_point ~size:npoints
@@ -73,12 +80,12 @@ let fig6 () =
     ~size_label:"datapoints" sweep;
   sweep
 
-let fig7 () =
+let fig7 ?(jobs = 1) () =
   (* Paper: 20x30xN domain to N=320 on 188 GB; scaled to 20x30xN with
      N in 2..32 and 15 CG iterations for the 1 GiB budget. *)
   let sizes = [ 2; 4; 8; 16; 32 ] in
   let points =
-    List.map
+    sweep_map ~jobs
       (fun nz ->
         let w = B.Hpccg.generate ~nx:20 ~ny:30 ~nz ~max_iter:15 () in
         measure_point ~size:nz
@@ -97,11 +104,11 @@ let fig7 () =
     ~size_label:"nz" sweep;
   sweep
 
-let fig8 () =
+let fig8 ?(jobs = 1) () =
   let sizes = [ 3_000; 10_000; 30_000; 100_000; 300_000 ] in
   let prog = B.Blackscholes.program B.Blackscholes.Exact in
   let points =
-    List.map
+    sweep_map ~jobs
       (fun n ->
         let w = B.Blackscholes.generate ~n () in
         measure_point ~size:n
@@ -162,7 +169,9 @@ let fig9 ?(nx = 20) ?(ny = 30) ?(nz = 10) ?(max_iter = 60) () =
     cutoff;
   cutoff
 
-let run_all () =
-  let sweeps = [ fig4 (); fig5 (); fig6 (); fig7 (); fig8 () ] in
+let run_all ?(jobs = 1) () =
+  let sweeps =
+    [ fig4 ~jobs (); fig5 ~jobs (); fig6 ~jobs (); fig7 ~jobs (); fig8 ~jobs () ]
+  in
   ignore (fig9 ());
   sweeps

@@ -1,52 +1,98 @@
 (* Benchmark harness entry point: regenerates every table and figure of
-   the paper's evaluation, plus the ablations DESIGN.md calls out and a
-   Bechamel micro-benchmark suite (one Test.make per table).
+   the paper's evaluation, plus the ablations DESIGN.md calls out, a
+   Bechamel micro-benchmark suite (one Test.make per table), and the
+   tuning hot-path perf tracker (BENCH_search.json).
 
    Usage:
-     dune exec bench/main.exe            # everything
-     dune exec bench/main.exe -- table1  # one experiment
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table1       # one experiment
+     dune exec bench/main.exe -- -j 4 fig4    # sweep points on 4 domains
      ids: table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9
           ablation-inline ablation-opt ablation-precision ablation-activity
-          bechamel all *)
+          ablation-search perf-search smoke bechamel all *)
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|table4|fig4|fig5|fig6|fig7|fig8|fig9|\n\
-    \                 ablation-inline|ablation-opt|ablation-precision|\n\
-    \                 ablation-activity|ablation-search|bechamel|all]";
+    "usage: main.exe [-j N] [table1|table2|table3|table4|fig4|fig5|fig6|fig7|\n\
+    \                 fig8|fig9|ablation-inline|ablation-opt|ablation-precision|\n\
+    \                 ablation-activity|ablation-search|perf-search|smoke|\n\
+    \                 bechamel|all]\n\
+     -j N   worker domains for parallel sweeps / candidate evaluation\n\
+    \        (default: Domain.recommended_domain_count () - 1, min 1)";
   exit 1
 
-let all () =
+let all ~jobs () =
   Tables.table1 ();
   Tables.table3 ();
   Tables.table4 ();
   Tables.suite ();
-  let sweeps = Figures.run_all () in
+  let sweeps = Figures.run_all ~jobs () in
   Tables.table2 ~sweeps ();
   Ablations.run_all ();
+  ignore (Perf.search_bench ~jobs:(max jobs 2) ());
   Bech.run ()
+
+(* Tiny-size smoke pass (seconds, not minutes): exercises the sweep
+   plumbing, the parallel search path and the compile cache so
+   `dune build @bench-smoke` gives CI-style coverage of the harness. *)
+let smoke ~jobs () =
+  let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
+  ignore sweep;
+  let rows =
+    Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
+      ~workloads:(Perf.smoke_workloads ()) ()
+  in
+  let ok = List.for_all (fun r -> r.Perf.identical) rows in
+  let hits =
+    List.for_all
+      (fun r -> r.Perf.cache.Cheffp_ir.Compile_cache.hits > 0)
+      rows
+  in
+  Printf.printf "smoke: outcomes identical across jobs: %b; cache hits on \
+                 every workload: %b\n"
+    ok hits;
+  if not (ok && hits) then exit 1
 
 let () =
   Printf.printf "CHEF-FP reproduction benchmark harness\n";
   Printf.printf "(paper: Fast And Automatic Floating Point Error Analysis \
                  With CHEF-FP, IPPS 2023)\n";
-  match if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" with
-  | "all" -> all ()
+  let jobs = ref (Cheffp_util.Pool.default_jobs ()) in
+  let cmd = ref "all" in
+  let rec parse = function
+    | [] -> ()
+    | "-j" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some n when n >= 1 -> jobs := n
+        | _ -> usage ());
+        parse rest
+    | arg :: rest ->
+        cmd := arg;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let jobs = !jobs in
+  match !cmd with
+  | "all" -> all ~jobs ()
   | "table1" -> Tables.table1 ()
   | "table2" -> Tables.table2 ()
   | "table3" -> Tables.table3 ()
   | "table4" -> Tables.table4 ()
-  | "fig4" -> ignore (Figures.fig4 ())
-  | "fig5" -> ignore (Figures.fig5 ())
-  | "fig6" -> ignore (Figures.fig6 ())
-  | "fig7" -> ignore (Figures.fig7 ())
-  | "fig8" -> ignore (Figures.fig8 ())
+  | "fig4" -> ignore (Figures.fig4 ~jobs ())
+  | "fig5" -> ignore (Figures.fig5 ~jobs ())
+  | "fig6" -> ignore (Figures.fig6 ~jobs ())
+  | "fig7" -> ignore (Figures.fig7 ~jobs ())
+  | "fig8" -> ignore (Figures.fig8 ~jobs ())
   | "fig9" -> ignore (Figures.fig9 ())
   | "ablation-inline" -> Ablations.inline ()
   | "ablation-opt" -> Ablations.opt ()
   | "ablation-precision" -> Ablations.precision ()
   | "ablation-activity" -> Ablations.activity ()
-  | "ablation-search" -> Ablations.search ()
+  | "ablation-search" ->
+      Ablations.search ();
+      ignore (Perf.search_bench ~jobs:(max jobs 2) ())
+  | "perf-search" -> ignore (Perf.search_bench ~jobs:(max jobs 2) ())
+  | "smoke" -> smoke ~jobs ()
   | "suite" -> Tables.suite ()
   | "bechamel" -> Bech.run ()
   | _ -> usage ()

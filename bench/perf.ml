@@ -1,0 +1,199 @@
+(* Performance tracking for the tuning hot path: times Search.tune
+   sequentially (-j 1), domain-parallel (-j N), and warm-cache, checks
+   the outcomes are bit-identical, and emits the numbers both as a table
+   and as machine-readable BENCH_search.json (written next to the
+   tables, i.e. in the current directory) so the perf trajectory of
+   future PRs can be tracked. *)
+
+module B = Cheffp_benchmarks
+module Search = Cheffp_core.Search
+module Tuner = Cheffp_core.Tuner
+module Compile_cache = Cheffp_ir.Compile_cache
+module Meter = Cheffp_util.Meter
+module Table = Cheffp_util.Table
+module Pool = Cheffp_util.Pool
+
+type workload = {
+  name : string;
+  prog : Cheffp_ir.Ast.program;
+  func : string;
+  args : Cheffp_ir.Interp.arg list;
+  threshold : float;
+}
+
+(* Thresholds are chosen below each benchmark's all-demoted error so the
+   search takes its expensive path (individual probing + greedy growth)
+   — the regime the paper's SS I cost argument is about, and the one the
+   worker pool accelerates. *)
+let default_workloads ?(scale = 1) () =
+  let n = 60_000 * scale in
+  [
+    {
+      name = "arclength";
+      prog = B.Arclength.program;
+      func = B.Arclength.func_name;
+      args = B.Arclength.args ~n;
+      threshold = 1e-6;
+    };
+    {
+      name = "simpsons";
+      prog = B.Simpsons.program;
+      func = B.Simpsons.func_name;
+      args = B.Simpsons.args ~a:0. ~b:Float.pi ~n;
+      threshold = 1e-10;
+    };
+    {
+      name = "kmeans";
+      prog = B.Kmeans.program;
+      func = B.Kmeans.func_name;
+      args = B.Kmeans.args (B.Kmeans.generate ~npoints:(3_000 * scale) ());
+      threshold = 1e-7;
+    };
+  ]
+
+let smoke_workloads () =
+  default_workloads ~scale:1 ()
+  |> List.map (fun w ->
+         match w.name with
+         | "arclength" ->
+             { w with args = B.Arclength.args ~n:2_000 }
+         | "simpsons" ->
+             { w with args = B.Simpsons.args ~a:0. ~b:Float.pi ~n:2_000 }
+         | "kmeans" ->
+             { w with args = B.Kmeans.args (B.Kmeans.generate ~npoints:300 ()) }
+         | _ -> w)
+
+type row = {
+  w : workload;
+  executions : int;
+  demoted : int;
+  seq_s : float;  (** jobs = 1, cold compile cache *)
+  par_s : float;  (** jobs = par_jobs, cold compile cache *)
+  par_jobs : int;
+  warm_s : float;  (** jobs = 1 again, warm compile cache *)
+  cache : Compile_cache.stats;  (** stats of the warm run *)
+  identical : bool;  (** seq and par outcomes bit-identical *)
+}
+
+let same_outcome (a : Search.outcome) (b : Search.outcome) =
+  a.Search.demoted = b.Search.demoted
+  && a.Search.executions = b.Search.executions
+  && a.Search.evaluation.Tuner.actual_error
+     = b.Search.evaluation.Tuner.actual_error
+  && a.Search.evaluation.Tuner.modelled_speedup
+     = b.Search.evaluation.Tuner.modelled_speedup
+
+let measure ~jobs w =
+  let tune j =
+    Search.tune ~jobs:j ~prog:w.prog ~func:w.func ~args:w.args
+      ~threshold:w.threshold ()
+  in
+  Gc.compact ();
+  Compile_cache.clear ();
+  let seq, seq_s = Meter.time (fun () -> tune 1) in
+  Gc.compact ();
+  Compile_cache.clear ();
+  let par, par_s = Meter.time (fun () -> tune jobs) in
+  (* Third run without clearing: every configuration the search visits
+     was compiled by the run above, so this isolates the compile cache's
+     contribution (and its stats prove the hits happened). *)
+  Gc.compact ();
+  Compile_cache.reset_stats ();
+  let warm, warm_s = Meter.time (fun () -> tune 1) in
+  let cache = Compile_cache.stats () in
+  {
+    w;
+    executions = seq.Search.executions;
+    demoted = List.length seq.Search.demoted;
+    seq_s;
+    par_s;
+    par_jobs = jobs;
+    warm_s;
+    cache;
+    identical = same_outcome seq par && same_outcome seq warm;
+  }
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json ~path rows =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n";
+  pf "  \"bench\": \"search\",\n";
+  pf "  \"description\": \"Search.tune wall clock: sequential vs domain-parallel vs warm compile cache\",\n";
+  pf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
+  pf "  \"default_jobs\": %d,\n" (Pool.default_jobs ());
+  (if Domain.recommended_domain_count () < 2 then
+     pf
+       "  \"note\": \"single-core host: domains time-slice one CPU, so \
+        parallel_speedup < 1 here; re-run on a multi-core host for the \
+        parallel numbers\",\n");
+  pf "  \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      pf "    {\n";
+      pf "      \"name\": \"%s\",\n" (json_escape r.w.name);
+      pf "      \"threshold\": %.17g,\n" r.w.threshold;
+      pf "      \"executions\": %d,\n" r.executions;
+      pf "      \"demoted\": %d,\n" r.demoted;
+      pf "      \"seconds_jobs1\": %.6f,\n" r.seq_s;
+      pf "      \"jobs\": %d,\n" r.par_jobs;
+      pf "      \"seconds_jobsN\": %.6f,\n" r.par_s;
+      pf "      \"parallel_speedup\": %.3f,\n"
+        (if r.par_s > 0. then r.seq_s /. r.par_s else 1.);
+      pf "      \"seconds_warm_cache\": %.6f,\n" r.warm_s;
+      pf "      \"warm_cache_speedup\": %.3f,\n"
+        (if r.warm_s > 0. then r.seq_s /. r.warm_s else 1.);
+      pf "      \"cache_hits\": %d,\n" r.cache.Compile_cache.hits;
+      pf "      \"cache_misses\": %d,\n" r.cache.Compile_cache.misses;
+      pf "      \"outcomes_identical\": %b\n" r.identical;
+      pf "    }%s\n" (if i < List.length rows - 1 then "," else ""))
+    rows;
+  pf "  ]\n";
+  pf "}\n";
+  close_out oc
+
+let print_rows rows =
+  Table.print
+    ~header:
+      [
+        "workload"; "runs"; "demoted"; "-j 1"; "-j N"; "par x"; "warm cache";
+        "cache x"; "hits"; "identical";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.w.name;
+           string_of_int r.executions;
+           string_of_int r.demoted;
+           Printf.sprintf "%.3f s" r.seq_s;
+           Printf.sprintf "%.3f s (j=%d)" r.par_s r.par_jobs;
+           Printf.sprintf "%.2fx" (r.seq_s /. r.par_s);
+           Printf.sprintf "%.3f s" r.warm_s;
+           Printf.sprintf "%.2fx" (r.seq_s /. r.warm_s);
+           string_of_int r.cache.Compile_cache.hits;
+           string_of_bool r.identical;
+         ])
+       rows)
+
+let search_bench ?(jobs = 4) ?(out = "BENCH_search.json") ?(workloads = default_workloads ())
+    () =
+  Printf.printf
+    "\n== Search.tune hot path: sequential vs %d domains vs warm compile cache ==\n"
+    jobs;
+  Printf.printf "(host reports %d core(s); parallel speedup needs > 1)\n"
+    (Domain.recommended_domain_count ());
+  let rows = List.map (measure ~jobs) workloads in
+  print_rows rows;
+  write_json ~path:out rows;
+  Printf.printf "wrote %s\n" out;
+  rows

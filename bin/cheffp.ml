@@ -107,6 +107,16 @@ let target_arg =
 let threshold_arg =
   Arg.(required & opt (some float) None & info [ "threshold" ] ~docv:"T" ~doc:"Error threshold.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Cheffp_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for parallel candidate evaluation (1 = sequential; \
+           default: the machine's recommended domain count minus one, at \
+           least 1). Results are identical for every value.")
+
 let target_of s =
   match Fp.format_of_string s with
   | Some f -> f
@@ -207,15 +217,15 @@ let analyze_cmd =
            $ rest_args))
 
 let tune_cmd =
-  let run file func threshold target emit raw =
+  let run file func threshold target emit jobs raw =
     wrap (fun () ->
         let prog = load file in
         let f = Ast.func_exn prog func in
         let args = parse_args f raw in
         let target = target_of target in
         let o =
-          Cheffp_core.Tuner.tune ~target ~builtins:(builtins ()) ~prog ~func
-            ~args ~threshold ()
+          Cheffp_core.Tuner.tune ~target ~builtins:(builtins ()) ~jobs ~prog
+            ~func ~args ~threshold ()
         in
         print_string (Cheffp_core.Report.tuning o);
         if emit then begin
@@ -234,18 +244,18 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Greedy mixed-precision tuning against an error threshold.")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ emit_arg $ rest_args))
+           $ emit_arg $ jobs_arg $ rest_args))
 
 let search_cmd =
-  let run file func threshold target raw =
+  let run file func threshold target jobs raw =
     wrap (fun () ->
         let prog = load file in
         let f = Ast.func_exn prog func in
         let args = parse_args f raw in
         let target = target_of target in
         let o =
-          Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~prog ~func
-            ~args ~threshold ()
+          Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~jobs ~prog
+            ~func ~args ~threshold ()
         in
         print_string (Cheffp_core.Report.search o))
   in
@@ -254,7 +264,7 @@ let search_cmd =
        ~doc:"Precimonious-style search-based tuning baseline (compare with tune).")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ rest_args))
+           $ jobs_arg $ rest_args))
 
 let sensitivity_cmd =
   let run file func loop raw =

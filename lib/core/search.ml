@@ -2,6 +2,7 @@ open Cheffp_ir
 module Config = Cheffp_precision.Config
 module Fp = Cheffp_precision.Fp
 module Cost = Cheffp_precision.Cost
+module Pool = Cheffp_util.Pool
 
 type outcome = {
   demoted : string list;
@@ -18,11 +19,18 @@ let copy_args args =
       | (Interp.Aint _ | Interp.Aflt _) as x -> x)
     args
 
-let tune ?(target = Fp.F32) ?mode ?builtins ~prog ~func ~args ~threshold () =
-  let executions = ref 0 in
+let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ~prog ~func ~args
+    ~threshold () =
+  let executions = Atomic.make 0 in
   let run config =
-    incr executions;
-    let compiled = Compile.compile ?builtins ?mode ~config ~prog ~func () in
+    Atomic.incr executions;
+    (* Metered compilation (counters are per-run, dropped here) so the
+       cache key space is shared with Tuner.evaluate: the reference and
+       the finally chosen configuration compile once across the whole
+       tuning run. Argument copies keep concurrent runs independent. *)
+    let compiled =
+      Compile_cache.compile ?builtins ?mode ~meter:true ~config ~prog ~func ()
+    in
     Compile.run_float compiled (copy_args args)
   in
   let reference = run Config.double in
@@ -34,19 +42,59 @@ let tune ?(target = Fp.F32) ?mode ?builtins ~prog ~func ~args ~threshold () =
   let chosen =
     if error_of candidates <= threshold then candidates
     else begin
-      (* Individual probing, then greedy growth with validation. *)
+      (* Individual probing: every candidate's solo demotion error is an
+         independent execution — one parallel batch. *)
       let individual =
-        List.map (fun v -> (v, error_of [ v ])) candidates
+        Pool.parallel_map ~jobs (fun v -> (v, error_of [ v ])) candidates
         |> List.filter (fun (_, e) -> e <= threshold)
         |> List.sort (fun (_, a) (_, b) -> compare a b)
       in
-      List.fold_left
-        (fun chosen (v, _) ->
-          let trial = chosen @ [ v ] in
-          if error_of trial <= threshold then trial else chosen)
-        [] individual
+      (* Greedy growth, batched per round by speculation: round k
+         evaluates in parallel the prefix trials [chosen @ pending_1..i]
+         for every pending candidate i, i.e. the trials the sequential
+         greedy would run if every earlier candidate were accepted. Up
+         to the first failure those are exactly the sequential trials;
+         at a failure the failing candidate is dropped and the next
+         round restarts from the survivors, so accepted sets are
+         bit-identical to the one-at-a-time greedy for any [jobs] (the
+         speculated trials past a failure are wasted executions — the
+         price of the batch, counted like any other run). *)
+      let rec grow chosen pending =
+        match pending with
+        | [] -> chosen
+        | _ ->
+            let prefixes =
+              List.rev
+                (fst
+                   (List.fold_left
+                      (fun (acc, trial) (v, _) ->
+                        let trial = trial @ [ v ] in
+                        ((v, trial) :: acc, trial))
+                      ([], chosen) pending))
+            in
+            let errs =
+              Pool.parallel_map ~jobs (fun (_, trial) -> error_of trial) prefixes
+            in
+            let rec accept chosen pend errs =
+              match (pend, errs) with
+              | [], _ | _, [] -> (chosen, [])
+              | (v, _) :: pend', e :: errs' ->
+                  if e <= threshold then accept (chosen @ [ v ]) pend' errs'
+                  else (chosen, pend')
+            in
+            let chosen', rest = accept chosen pending errs in
+            grow chosen' rest
+      in
+      grow [] individual
     end
   in
   let config = Config.demote_all Config.double chosen target in
-  let evaluation = Tuner.evaluate ?builtins ?mode ~prog ~func ~args config in
-  { demoted = chosen; executions = !executions; evaluation; threshold }
+  let evaluation =
+    Tuner.evaluate ?builtins ?mode ~jobs ~prog ~func ~args config
+  in
+  {
+    demoted = chosen;
+    executions = Atomic.get executions;
+    evaluation;
+    threshold;
+  }

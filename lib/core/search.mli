@@ -36,6 +36,7 @@ val tune :
   ?target:Fp.format ->
   ?mode:Config.rounding_mode ->
   ?builtins:Builtins.t ->
+  ?jobs:int ->
   prog:Ast.program ->
   func:string ->
   args:Interp.arg list ->
@@ -43,4 +44,14 @@ val tune :
   unit ->
   outcome
 (** The returned configuration always satisfies [threshold] (it is
-    validated by construction). *)
+    validated by construction).
+
+    [jobs] (default 1) fans the candidate evaluations out across that
+    many domains ({!Cheffp_util.Pool}): the individual-probe phase is
+    one parallel batch, and the greedy-growth phase is batched per
+    round by speculating that every earlier candidate of the round is
+    accepted — wrong speculations are dropped (their runs still count
+    in [executions]) and the round restarts after the failure, so the
+    outcome (demoted set, evaluation, executions) is bit-identical for
+    every [jobs] value. Compilations go through {!Compile_cache}, so
+    configurations revisited across the run compile once. *)

@@ -46,24 +46,32 @@ let copy_args args =
     args
 
 let run_with ?builtins ?mode ~prog ~func ~args config =
+  (* Metered compilation through the cache; the counter is threaded
+     per run, so the cached instance is shared across configurations,
+     repeated evaluations and pool workers alike. *)
   let counter = Cost.Counter.create Cost.default in
   let compiled =
-    Compile.compile ?builtins ?mode ~config ~counter ~prog ~func ()
+    Compile_cache.compile ?builtins ?mode ~meter:true ~config ~prog ~func ()
   in
-  let value = Compile.run_float compiled (copy_args args) in
+  let value = Compile.run_float ~counter compiled (copy_args args) in
   (value, Cost.Counter.total counter, Cost.Counter.casts counter)
 
-let evaluate ?builtins ?mode ~prog ~func ~args config =
-  let reference, ref_cost, _ =
-    run_with ?builtins ?mode ~prog ~func ~args Config.double
-  in
-  let value, cost, casts = run_with ?builtins ?mode ~prog ~func ~args config in
-  {
-    config;
-    actual_error = Float.abs (value -. reference);
-    modelled_speedup = (if cost > 0. then ref_cost /. cost else 1.);
-    casts;
-  }
+let evaluate ?builtins ?mode ?(jobs = 1) ~prog ~func ~args config =
+  (* The reference run and the configured run are independent; with
+     [jobs > 1] they execute on separate domains. *)
+  match
+    Cheffp_util.Pool.parallel_map ~jobs
+      (fun cfg -> run_with ?builtins ?mode ~prog ~func ~args cfg)
+      [ Config.double; config ]
+  with
+  | [ (reference, ref_cost, _); (value, cost, casts) ] ->
+      {
+        config;
+        actual_error = Float.abs (value -. reference);
+        modelled_speedup = (if cost > 0. then ref_cost /. cost else 1.);
+        casts;
+      }
+  | _ -> assert false
 
 type outcome = {
   threshold : float;
@@ -74,8 +82,8 @@ type outcome = {
   evaluation : evaluation;
 }
 
-let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ~prog ~func
-    ~args ~threshold () =
+let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ?(jobs = 1)
+    ~prog ~func ~args ~threshold () =
   let model =
     match model with Some m -> m | None -> Model.adapt ~target ()
   in
@@ -117,7 +125,7 @@ let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ~prog ~func
   in
   let demoted = List.rev demoted in
   let config = Config.demote_all Config.double demoted target in
-  let evaluation = evaluate ?builtins ?mode ~prog ~func ~args config in
+  let evaluation = evaluate ?builtins ?mode ~jobs ~prog ~func ~args config in
   { threshold; demoted; vetoed; estimated_error; contributions; evaluation }
 
 (* Multi-dataset tuning (paper SS V-B: "it is important to analyze the
@@ -125,8 +133,8 @@ let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ~prog ~func
    the worst case over all datasets, the range veto considers every
    observed value, and the chosen configuration is validated against
    every dataset. *)
-let tune_multi ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ~prog
-    ~func ~args_list ~threshold () =
+let tune_multi ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0)
+    ?(jobs = 1) ~prog ~func ~args_list ~threshold () =
   (match args_list with
   | [] -> invalid_arg "Tuner.tune_multi: empty dataset list"
   | _ -> ());
@@ -175,7 +183,9 @@ let tune_multi ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ~prog
   let demoted = List.rev demoted in
   let config = Config.demote_all Config.double demoted target in
   let evaluations =
-    List.map
+    (* Datasets fan out across domains; each evaluation stays sequential
+       inside so one tuning run never nests domain pools. *)
+    Cheffp_util.Pool.parallel_map ~jobs
       (fun args -> evaluate ?builtins ?mode ~prog ~func ~args config)
       args_list
   in

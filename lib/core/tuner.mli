@@ -24,13 +24,17 @@ type evaluation = {
 val evaluate :
   ?builtins:Builtins.t ->
   ?mode:Config.rounding_mode ->
+  ?jobs:int ->
   prog:Ast.program ->
   func:string ->
   args:Interp.arg list ->
   Config.t ->
   evaluation
 (** Run the function under [config] and under all-double and compare.
-    The function must return a float. *)
+    The function must return a float. Compilations are memoized in
+    {!Compile_cache} (metered, counters threaded per run); with
+    [jobs > 1] the two runs execute on separate domains — results are
+    bit-identical either way. *)
 
 type outcome = {
   threshold : float;
@@ -52,6 +56,7 @@ val tune :
   ?mode:Config.rounding_mode ->
   ?builtins:Builtins.t ->
   ?margin:float ->
+  ?jobs:int ->
   prog:Ast.program ->
   func:string ->
   args:Interp.arg list ->
@@ -66,7 +71,8 @@ val tune :
     [threshold /. margin]. [margin] (default 2.0) is a safety factor:
     the first-order model charges one rounding per assignment, while
     [Source]-mode execution rounds every operation, so selections
-    exactly at the threshold can overshoot slightly. *)
+    exactly at the threshold can overshoot slightly. [jobs] (default 1)
+    is forwarded to the validating {!evaluate}. *)
 
 val float_variables : Ast.func -> string list
 (** The demotion candidates of a function: float parameters, float
@@ -78,6 +84,7 @@ val tune_multi :
   ?mode:Config.rounding_mode ->
   ?builtins:Builtins.t ->
   ?margin:float ->
+  ?jobs:int ->
   prog:Ast.program ->
   func:string ->
   args_list:Interp.arg list list ->
@@ -89,5 +96,7 @@ val tune_multi :
     variable's contribution is its worst case across the datasets, the
     overflow veto considers every observed range, and the returned
     outcome embeds the worst-case validation (all per-dataset
-    evaluations are also returned). @raise Invalid_argument on an empty
+    evaluations are also returned); with [jobs > 1] the datasets are
+    validated on separate domains (each evaluation sequential inside),
+    with bit-identical results. @raise Invalid_argument on an empty
     dataset list. *)

@@ -16,6 +16,10 @@ type env = {
   fstack : Growable.Float.t;
   istack : int Growable.t;
   mutable ipeak : int;
+  counter : Cost.Counter.t;
+      (** the run's cost accumulator; metered compilations charge into
+          it, so one compiled value can serve many runs (and domains),
+          each with its own counter *)
 }
 
 exception Creturn_f of float
@@ -60,12 +64,13 @@ type t = {
   out_scalars : (string * binding) list;
   param_bindings : (Ast.param * binding) list;
   config : Config.t;
+  default_counter : Cost.Counter.t option;
 }
 
 (* ------------------------------------------------------------------ *)
 
 let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
-    ?counter ?(optimize = true) ~prog ~func () =
+    ?counter ?(meter = counter <> None) ?(optimize = true) ~prog ~func () =
   let builtins =
     match builtins with Some b -> b | None -> Builtins.create ()
   in
@@ -91,15 +96,17 @@ let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
 
   let effective s name = Interp.effective_format config s name in
 
+  (* Metering charges into the *run's* counter (a slot of [env]), not a
+     counter captured at compile time: a metered compilation is a pure
+     value reusable with any counter, which is what lets the compile
+     cache share instances across runs and domains. *)
   let charge_op fmt cls : (env -> unit) option =
-    match counter with
-    | None -> None
-    | Some c -> Some (fun _ -> Cost.Counter.charge_op c fmt cls)
+    if meter then Some (fun env -> Cost.Counter.charge_op env.counter fmt cls)
+    else None
   in
   let charge_cast () : (env -> unit) option =
-    match counter with
-    | None -> None
-    | Some c -> Some (fun _ -> Cost.Counter.charge_cast c)
+    if meter then Some (fun env -> Cost.Counter.charge_cast env.counter)
+    else None
   in
   let with_charge charge (k : env -> float) =
     match charge with
@@ -197,9 +204,9 @@ let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
     let widest = if has_float then widest else Fp.F64 in
     let charge =
       if sg.Builtins.approx then
-        match counter with
-        | None -> None
-        | Some c -> Some (fun _ -> Cost.Counter.charge_approx c sg.Builtins.cls)
+        (if meter then
+           Some (fun env -> Cost.Counter.charge_approx env.counter sg.Builtins.cls)
+         else None)
       else
         charge_op
           (match mode with Config.Source -> widest | Config.Extended -> Fp.F64)
@@ -524,9 +531,10 @@ let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
     out_scalars;
     param_bindings;
     config;
+    default_counter = counter;
   }
 
-let run t (args : Interp.arg list) : Interp.result =
+let run ?counter t (args : Interp.arg list) : Interp.result =
   if List.length args <> List.length t.param_bindings then
     fail "function %S expects %d arguments, got %d" t.cfunc.fname
       (List.length t.param_bindings)
@@ -540,6 +548,15 @@ let run t (args : Interp.arg list) : Interp.result =
       fstack = Growable.Float.create ();
       istack = Growable.create ~dummy:0 ();
       ipeak = 0;
+      counter =
+        (match (counter, t.default_counter) with
+        | Some c, _ -> c
+        | None, Some c -> c
+        | None, None ->
+            (* metered compilation run without a counter: charge into a
+               fresh private accumulator (kept per-run so concurrent
+               domains never share one) *)
+            Cost.Counter.create Cost.default);
     }
   in
   List.iter2
@@ -579,7 +596,7 @@ let run t (args : Interp.arg list) : Interp.result =
       (Growable.Float.peak_length env.fstack * 8) + (env.ipeak * 8);
   }
 
-let run_float t args =
-  match (run t args).Interp.ret with
+let run_float ?counter t args =
+  match (run ?counter t args).Interp.ret with
   | Some (Builtins.F x) -> x
   | _ -> fail "function %S did not return a float" t.cfunc.fname

@@ -23,16 +23,30 @@ val compile :
   ?config:Cheffp_precision.Config.t ->
   ?mode:Cheffp_precision.Config.rounding_mode ->
   ?counter:Cheffp_precision.Cost.Counter.t ->
+  ?meter:bool ->
   ?optimize:bool ->
   prog:Ast.program ->
   func:string ->
   unit ->
   t
 (** [optimize] (default [true]) runs {!Optimize.optimize_func} first.
-    [mode] defaults to [Source], matching {!Interp.run}. *)
+    [mode] defaults to [Source], matching {!Interp.run}.
 
-val run : t -> Interp.arg list -> Interp.result
+    [meter] (default: whether [counter] was given) decides statically
+    whether cost-metering code is emitted at all; unmetered
+    compilations pay nothing at run time. Metered compilations charge
+    into the {e run}'s counter, not one captured here: [counter] only
+    sets the default accumulator used when {!run} is not given one.
+    A compiled value is therefore immutable after compilation and may
+    be shared freely — across repeated runs, across counters, and
+    across domains (every {!run} builds a private environment), which
+    is what {!Compile_cache} and the parallel tuning paths rely on. *)
+
+val run : ?counter:Cheffp_precision.Cost.Counter.t -> t -> Interp.arg list -> Interp.result
 (** Execute the compiled function. The same compiled value can be run
-    many times; arrays passed as arguments are shared and mutated. *)
+    many times (including concurrently from several domains); arrays
+    passed as arguments are shared and mutated. [counter] receives the
+    run's metered costs, falling back to the compile-time [counter],
+    else to a fresh private accumulator (charges dropped). *)
 
-val run_float : t -> Interp.arg list -> float
+val run_float : ?counter:Cheffp_precision.Cost.Counter.t -> t -> Interp.arg list -> float

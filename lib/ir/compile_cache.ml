@@ -1,0 +1,71 @@
+module Config = Cheffp_precision.Config
+
+type stats = { hits : int; misses : int; size : int }
+
+(* One global table guarded by one mutex: lookups are a digest + string
+   compare, insertions are rare (one per distinct configuration), and
+   the guarded sections never run user code, so contention from pool
+   workers is negligible next to the compile they avoid. *)
+let lock = Mutex.create ()
+let table : (string, Builtins.t option * Compile.t) Hashtbl.t = Hashtbl.create 64
+let hit_count = ref 0
+let miss_count = ref 0
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* Structural key. The program is identified by a digest of its
+   pretty-printed source (canonical: printing is deterministic), the
+   configuration by its canonical string (overrides sorted by name). *)
+let key ~prog ~func ~config ~mode ~optimize ~meter =
+  Printf.sprintf "%s|%s|%s|%s|%b|%b"
+    (Digest.to_hex (Digest.string (Pp.program_to_string prog)))
+    func (Config.to_string config)
+    (match mode with Config.Source -> "src" | Config.Extended -> "ext")
+    optimize meter
+
+let same_builtins a b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b -> a == b
+  | None, Some _ | Some _, None -> false
+
+let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
+    ?(meter = false) ?(optimize = true) ~prog ~func () =
+  let k = key ~prog ~func ~config ~mode ~optimize ~meter in
+  let cached =
+    locked (fun () ->
+        match Hashtbl.find_opt table k with
+        | Some (b, t) when same_builtins b builtins ->
+            incr hit_count;
+            Some t
+        | Some _ | None ->
+            incr miss_count;
+            None)
+  in
+  match cached with
+  | Some t -> t
+  | None ->
+      (* Compiled outside the lock: two domains racing on the same key
+         duplicate the work harmlessly; last insert wins. *)
+      let t =
+        Compile.compile ?builtins ~config ~mode ~meter ~optimize ~prog ~func ()
+      in
+      locked (fun () -> Hashtbl.replace table k (builtins, t));
+      t
+
+let stats () =
+  locked (fun () ->
+      { hits = !hit_count; misses = !miss_count; size = Hashtbl.length table })
+
+let reset_stats () =
+  locked (fun () ->
+      hit_count := 0;
+      miss_count := 0)
+
+let clear () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      hit_count := 0;
+      miss_count := 0)

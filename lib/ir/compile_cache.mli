@@ -1,0 +1,58 @@
+(** Memoized front end to {!Compile.compile}.
+
+    A mixed-precision tuning run compiles the same function dozens of
+    times — once per candidate configuration, and repeatedly for the
+    configurations it revisits (the all-double reference, the finally
+    chosen set, every sweep re-run). Each of those compilations repeats
+    the same inline + optimize + closure-build work. This cache keys
+    compilations structurally on
+    [(program digest, func, Config.t, rounding mode, optimize, meter)]
+    and returns the previously built {!Compile.t} on a hit.
+
+    {b Counter policy} (the choice DESIGN.md documents): cached entries
+    are {e counter-free}. {!Compile.compile} never captures a cost
+    counter here — callers that meter pass [~meter:true] (so metering
+    code is emitted) and thread their own counter through each
+    {!Compile.run} call. Because a compiled value is immutable and every
+    run builds a private environment, one cached instance is safe to
+    share across runs and across domains simultaneously; the table
+    itself is mutex-protected, so the cache may be used from pool
+    workers directly.
+
+    {b Builtins}: registries are mutable and not structurally
+    comparable, so an entry also remembers the registry it was compiled
+    against and only hits when the caller passes the {e same} registry
+    (physical equality; [None] matches [None]). Mutating a registry
+    after compiling through the cache is not supported — call {!clear}
+    first.
+
+    The table is unbounded; eviction policy is an open item
+    (ROADMAP.md). {!clear} empties it explicitly. *)
+
+val compile :
+  ?builtins:Builtins.t ->
+  ?config:Cheffp_precision.Config.t ->
+  ?mode:Cheffp_precision.Config.rounding_mode ->
+  ?meter:bool ->
+  ?optimize:bool ->
+  prog:Ast.program ->
+  func:string ->
+  unit ->
+  Compile.t
+(** Same defaults as {!Compile.compile} ([meter] defaults to [false]).
+    Returns a cached instance when an equivalent compilation was done
+    before, compiling and inserting otherwise. *)
+
+type stats = {
+  hits : int;  (** lookups served from the table *)
+  misses : int;  (** lookups that had to compile *)
+  size : int;  (** entries currently cached *)
+}
+
+val stats : unit -> stats
+
+val reset_stats : unit -> unit
+(** Zero [hits] and [misses] without dropping cached entries. *)
+
+val clear : unit -> unit
+(** Drop every entry and zero the statistics. *)

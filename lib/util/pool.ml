@@ -1,0 +1,46 @@
+let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
+
+let sequential_map f xs = List.map f xs
+
+let parallel_map ?jobs f xs =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  match xs with
+  | [] -> []
+  | [ x ] -> [ f x ]
+  | xs when jobs <= 1 -> sequential_map f xs
+  | xs ->
+      let input = Array.of_list xs in
+      let n = Array.length input in
+      let results : ('b, exn) result option array = Array.make n None in
+      let cursor = Atomic.make 0 in
+      let failed = Atomic.make false in
+      (* Workers pull the next index from the shared cursor until the
+         items run out or a sibling records a failure. Each index is
+         claimed by exactly one worker, so the per-slot writes below
+         never race; joining the domains publishes them to the caller. *)
+      let rec worker () =
+        if not (Atomic.get failed) then begin
+          let i = Atomic.fetch_and_add cursor 1 in
+          if i < n then begin
+            (match f input.(i) with
+            | v -> results.(i) <- Some (Ok v)
+            | exception e ->
+                results.(i) <- Some (Error e);
+                Atomic.set failed true);
+            worker ()
+          end
+        end
+      in
+      let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
+      worker ();
+      Array.iter Domain.join spawned;
+      Array.iter (function Some (Error e) -> raise e | _ -> ()) results;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error _) | None ->
+                 (* unreachable: a [None] slot implies [failed] was set,
+                    i.e. some slot holds an [Error] raised above. *)
+                 assert false)
+           results)

@@ -1,0 +1,31 @@
+(** Bounded Domain-based worker pool for embarrassingly parallel maps.
+
+    The tuning and benchmark hot paths evaluate many independent
+    candidate configurations (compile + execute, no shared state); this
+    module fans such work out across OCaml 5 domains. Each
+    {!parallel_map} call spawns a bounded pool of [jobs - 1] worker
+    domains (the calling domain is the remaining worker), feeds them
+    items from a shared atomic cursor, and joins them before returning,
+    so no domains outlive the call.
+
+    Guarantees:
+    - results preserve input order;
+    - [jobs <= 1] (or a list of fewer than two elements) degrades to a
+      plain sequential [List.map] — no domains are spawned, so callers
+      can use one code path for both modes;
+    - if workers raise, the exception of the smallest-index failing item
+      is re-raised in the caller once every domain has been joined, and
+      remaining unstarted items are abandoned;
+    - the mapped function must be safe to call from several domains at
+      once (the tuning paths give every evaluation its own argument
+      copies and cost counter — see DESIGN.md, "Parallel evaluation"). *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1] (one slot is left for the
+    coordinating domain), never below 1. This is the default for the
+    [-j] flags of the CLI and the bench harness. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [parallel_map ~jobs f xs] maps [f] over [xs] using at most [jobs]
+    domains (default {!default_jobs}). Order-preserving; see above for
+    the sequential degradation and exception semantics. *)

@@ -509,6 +509,49 @@ let test_search_more_expensive_than_ad () =
   Alcotest.(check bool) "search runs the program many times" true
     (o.Cheffp_core.Search.executions > 3)
 
+let test_parallel_determinism () =
+  (* jobs must never change outcomes: demoted sets, evaluations and
+     execution counts are bit-identical whether candidates are
+     evaluated sequentially or across 4 domains (the workload forces
+     the probing + greedy-growth path, the one that parallelizes). *)
+  let module B = Cheffp_benchmarks in
+  let prog = B.Arclength.program
+  and func = B.Arclength.func_name
+  and args = B.Arclength.args ~n:2_000
+  and threshold = 1e-6 in
+  let s1 = Cheffp_core.Search.tune ~jobs:1 ~prog ~func ~args ~threshold () in
+  let s4 = Cheffp_core.Search.tune ~jobs:4 ~prog ~func ~args ~threshold () in
+  Alcotest.(check (list string))
+    "search demoted identical" s1.Cheffp_core.Search.demoted
+    s4.Cheffp_core.Search.demoted;
+  Alcotest.(check int)
+    "search executions identical" s1.Cheffp_core.Search.executions
+    s4.Cheffp_core.Search.executions;
+  Alcotest.(check bool) "search probed (not the trivial path)" true
+    (s1.Cheffp_core.Search.executions > 4);
+  Alcotest.(check (float 0.))
+    "search actual_error identical"
+    s1.Cheffp_core.Search.evaluation.Tuner.actual_error
+    s4.Cheffp_core.Search.evaluation.Tuner.actual_error;
+  Alcotest.(check (float 0.))
+    "search modelled_speedup identical"
+    s1.Cheffp_core.Search.evaluation.Tuner.modelled_speedup
+    s4.Cheffp_core.Search.evaluation.Tuner.modelled_speedup;
+  Alcotest.(check int)
+    "search casts identical" s1.Cheffp_core.Search.evaluation.Tuner.casts
+    s4.Cheffp_core.Search.evaluation.Tuner.casts;
+  let t1 = Tuner.tune ~jobs:1 ~prog ~func ~args ~threshold () in
+  let t4 = Tuner.tune ~jobs:4 ~prog ~func ~args ~threshold () in
+  Alcotest.(check (list string))
+    "tuner demoted identical" t1.Tuner.demoted t4.Tuner.demoted;
+  Alcotest.(check (float 0.))
+    "tuner actual_error identical" t1.Tuner.evaluation.Tuner.actual_error
+    t4.Tuner.evaluation.Tuner.actual_error;
+  Alcotest.(check (float 0.))
+    "tuner modelled_speedup identical"
+    t1.Tuner.evaluation.Tuner.modelled_speedup
+    t4.Tuner.evaluation.Tuner.modelled_speedup
+
 let test_search_agrees_with_tuner () =
   let prog = Parser.parse_program loopy_src in
   let args = [ Interp.Aflt 1.3; Interp.Aint 50 ] in
@@ -674,6 +717,8 @@ let () =
             test_search_more_expensive_than_ad;
           Alcotest.test_case "agrees with tuner" `Quick
             test_search_agrees_with_tuner;
+          Alcotest.test_case "parallel determinism" `Quick
+            test_parallel_determinism;
         ] );
       ( "sensitivity",
         [

@@ -800,6 +800,94 @@ let test_compile_counter_matches_interp_counter () =
   Alcotest.(check int) "same casts" ci cc
 
 (* ------------------------------------------------------------------ *)
+(* Compile cache                                                      *)
+
+let cache_src =
+  {|func f(x: f64, n: int): f64 {
+      var acc: f64 = 0.0;
+      var t: f64;
+      for i in 1 .. n {
+        t = x / itof(i);
+        acc = acc + sqrt(t * t + 1.0);
+      }
+      return acc;
+    }|}
+
+let test_cache_hit_on_repeat () =
+  let prog = Parser.parse_program cache_src in
+  let config = Config.demote Config.double "t" Fp.F32 in
+  Compile_cache.clear ();
+  let c1 = Compile_cache.compile ~config ~prog ~func:"f" () in
+  let c2 = Compile_cache.compile ~config ~prog ~func:"f" () in
+  Alcotest.(check bool) "same compiled instance" true (c1 == c2);
+  let s = Compile_cache.stats () in
+  Alcotest.(check int) "one hit" 1 s.Compile_cache.hits;
+  Alcotest.(check int) "one miss" 1 s.Compile_cache.misses;
+  Alcotest.(check int) "one entry" 1 s.Compile_cache.size
+
+let test_cache_miss_on_changed_key () =
+  let prog = Parser.parse_program cache_src in
+  let config = Config.demote Config.double "t" Fp.F32 in
+  Compile_cache.clear ();
+  let c1 = Compile_cache.compile ~config ~prog ~func:"f" () in
+  (* Different configuration, rounding mode, optimize level or metering
+     must each compile afresh. *)
+  let c2 =
+    Compile_cache.compile
+      ~config:(Config.demote config "acc" Fp.F32)
+      ~prog ~func:"f" ()
+  in
+  let c3 =
+    Compile_cache.compile ~config ~mode:Config.Extended ~prog ~func:"f" ()
+  in
+  let c4 = Compile_cache.compile ~config ~optimize:false ~prog ~func:"f" () in
+  let c5 = Compile_cache.compile ~config ~meter:true ~prog ~func:"f" () in
+  Alcotest.(check bool) "all distinct" true
+    (c1 != c2 && c1 != c3 && c1 != c4 && c1 != c5);
+  let s = Compile_cache.stats () in
+  Alcotest.(check int) "no hits" 0 s.Compile_cache.hits;
+  Alcotest.(check int) "five entries" 5 s.Compile_cache.size;
+  (* ... and a different registry is a miss even for an equal key. *)
+  let b = Builtins.create () in
+  let c6 = Compile_cache.compile ~builtins:b ~config ~prog ~func:"f" () in
+  Alcotest.(check bool) "registry identity respected" true (c1 != c6)
+
+let test_cache_results_match_uncached () =
+  let prog = Parser.parse_program cache_src in
+  let config = Config.demote_all Config.double [ "t"; "acc" ] Fp.F32 in
+  let args = [ Interp.Aflt 1.7; Interp.Aint 50 ] in
+  Compile_cache.clear ();
+  let direct = Compile.run_float (Compile.compile ~config ~prog ~func:"f" ()) args in
+  let cold =
+    Compile.run_float (Compile_cache.compile ~config ~prog ~func:"f" ()) args
+  in
+  let warm =
+    Compile.run_float (Compile_cache.compile ~config ~prog ~func:"f" ()) args
+  in
+  Alcotest.(check (float 0.)) "cold = direct" direct cold;
+  Alcotest.(check (float 0.)) "warm = direct" direct warm;
+  Alcotest.(check bool) "warm run was a hit" true
+    ((Compile_cache.stats ()).Compile_cache.hits >= 1)
+
+let test_cache_metered_counter_threading () =
+  (* One cached metered instance must serve independent counters. *)
+  let prog = Parser.parse_program cache_src in
+  Compile_cache.clear ();
+  let c1 = Compile_cache.compile ~meter:true ~prog ~func:"f" () in
+  let c2 = Compile_cache.compile ~meter:true ~prog ~func:"f" () in
+  Alcotest.(check bool) "shared instance" true (c1 == c2);
+  let count c args =
+    let counter = Cost.Counter.create Cost.default in
+    ignore (Compile.run_float ~counter c args);
+    Cost.Counter.total counter
+  in
+  let t10 = count c1 [ Interp.Aflt 1.7; Interp.Aint 10 ] in
+  let t20 = count c2 [ Interp.Aflt 1.7; Interp.Aint 20 ] in
+  let t10' = count c1 [ Interp.Aflt 1.7; Interp.Aint 10 ] in
+  Alcotest.(check bool) "costs metered per run" true (t10 > 0. && t20 > t10);
+  Alcotest.(check (float 1e-9)) "no leakage between runs" t10 t10'
+
+(* ------------------------------------------------------------------ *)
 (* Normalize / Inline                                                 *)
 
 let test_normalize_hoists () =
@@ -1013,6 +1101,16 @@ let () =
             test_compile_benchmarks_match;
           Alcotest.test_case "cost counters agree" `Quick
             test_compile_counter_matches_interp_counter;
+        ] );
+      ( "compile-cache",
+        [
+          Alcotest.test_case "hit on repeat" `Quick test_cache_hit_on_repeat;
+          Alcotest.test_case "miss on changed key" `Quick
+            test_cache_miss_on_changed_key;
+          Alcotest.test_case "results match uncached" `Quick
+            test_cache_results_match_uncached;
+          Alcotest.test_case "counters threaded per run" `Quick
+            test_cache_metered_counter_threading;
         ] );
       ( "normalize+inline",
         [

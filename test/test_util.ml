@@ -307,6 +307,63 @@ let test_meter_bytes_pp () =
   Alcotest.(check string) "MB" "2.00 MB" (Meter.bytes_pp 2_000_000);
   Alcotest.(check string) "GB" "3.00 GB" (Meter.bytes_pp 3_000_000_000)
 
+(* ------------------------------------------------------------------ *)
+(* Pool                                                               *)
+
+exception Boom of int
+
+let test_pool_order_preserved () =
+  let xs = List.init 100 Fun.id in
+  (* Jittered work so completion order differs from input order. *)
+  let f i =
+    if i mod 7 = 0 then Unix.sleepf 0.002;
+    i * i
+  in
+  Alcotest.(check (list int))
+    "jobs=4 preserves order" (List.map (fun i -> i * i) xs)
+    (Pool.parallel_map ~jobs:4 f xs);
+  Alcotest.(check (list int))
+    "jobs=1 preserves order" (List.map (fun i -> i * i) xs)
+    (Pool.parallel_map ~jobs:1 f xs)
+
+let test_pool_sequential_fallback () =
+  (* jobs <= 1 must not spawn: the mapped function can then rely on
+     domain-local state, and effects happen strictly left to right. *)
+  let self = Domain.self () in
+  let seen = ref [] in
+  let r =
+    Pool.parallel_map ~jobs:1
+      (fun i ->
+        Alcotest.(check bool) "same domain" true (Domain.self () = self);
+        seen := i :: !seen;
+        i + 1)
+      [ 1; 2; 3 ]
+  in
+  Alcotest.(check (list int)) "results" [ 2; 3; 4 ] r;
+  Alcotest.(check (list int)) "left-to-right effects" [ 3; 2; 1 ] !seen;
+  Alcotest.(check (list int)) "jobs=0 also sequential" [ 2; 3 ]
+    (Pool.parallel_map ~jobs:0 (fun i -> i + 1) [ 1; 2 ])
+
+let test_pool_exception_propagation () =
+  let f i = if i >= 10 then raise (Boom i) else i in
+  (match Pool.parallel_map ~jobs:4 f (List.init 40 Fun.id) with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom i ->
+      (* The smallest failing index wins (deterministic under jobs=1;
+         under contention, some failing item's exception arrives). *)
+      Alcotest.(check bool) "a failing item's exception" true (i >= 10));
+  match Pool.parallel_map ~jobs:1 f (List.init 40 Fun.id) with
+  | _ -> Alcotest.fail "expected an exception"
+  | exception Boom i -> Alcotest.(check int) "first failure sequentially" 10 i
+
+let test_pool_edge_cases () =
+  Alcotest.(check (list int)) "empty" [] (Pool.parallel_map ~jobs:4 Fun.id []);
+  Alcotest.(check (list int)) "singleton" [ 7 ]
+    (Pool.parallel_map ~jobs:4 (fun x -> x + 1) [ 6 ]);
+  Alcotest.(check (list int)) "more jobs than items" [ 2; 3 ]
+    (Pool.parallel_map ~jobs:64 (fun x -> x + 1) [ 1; 2 ]);
+  Alcotest.(check bool) "default_jobs at least 1" true (Pool.default_jobs () >= 1)
+
 let () =
   Alcotest.run "util"
     [
@@ -359,5 +416,14 @@ let () =
           Alcotest.test_case "budget" `Quick test_meter_budget;
           Alcotest.test_case "time" `Quick test_meter_time;
           Alcotest.test_case "bytes_pp" `Quick test_meter_bytes_pp;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "order preserved" `Quick test_pool_order_preserved;
+          Alcotest.test_case "sequential fallback" `Quick
+            test_pool_sequential_fallback;
+          Alcotest.test_case "exception propagation" `Quick
+            test_pool_exception_propagation;
+          Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
         ] );
     ]
