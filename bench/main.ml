@@ -48,10 +48,18 @@ let smoke ~jobs () =
       (fun r -> r.Perf.cache.Cheffp_ir.Compile_cache.hits > 0)
       rows
   in
-  Printf.printf "smoke: outcomes identical across jobs: %b; cache hits on \
-                 every workload: %b\n"
-    ok hits;
-  if not (ok && hits) then exit 1
+  let traced =
+    List.for_all
+      (fun r -> r.Perf.phases <> [] && r.Perf.pool.Perf.pu_tasks > 0)
+      rows
+  in
+  let overhead_ok = Perf.overhead_guard ~limit_pct:2.0 rows in
+  Printf.printf
+    "smoke: outcomes identical across jobs (incl. instrumented): %b; cache \
+     hits on every workload: %b; traced phases + pool metrics present: %b; \
+     disabled-instrumentation overhead < 2%%: %b\n"
+    ok hits traced overhead_ok;
+  if not (ok && hits && traced && overhead_ok) then exit 1
 
 let () =
   Printf.printf "CHEF-FP reproduction benchmark harness\n";

@@ -12,6 +12,8 @@ module Compile_cache = Cheffp_ir.Compile_cache
 module Meter = Cheffp_util.Meter
 module Table = Cheffp_util.Table
 module Pool = Cheffp_util.Pool
+module Trace = Cheffp_obs.Trace
+module Metrics = Cheffp_obs.Metrics
 
 type workload = {
   name : string;
@@ -63,6 +65,15 @@ let smoke_workloads () =
              { w with args = B.Kmeans.args (B.Kmeans.generate ~npoints:300 ()) }
          | _ -> w)
 
+type phase = { pname : string; pcount : int; ptotal_s : float }
+
+type pool_util = {
+  pu_tasks : int;
+  pu_workers : (int * int) list;  (** (worker slot, tasks), slot order *)
+  pu_queue_wait_s : float;
+  pu_busy_s : float;
+}
+
 type row = {
   w : workload;
   executions : int;
@@ -72,12 +83,66 @@ type row = {
   par_jobs : int;
   warm_s : float;  (** jobs = 1 again, warm compile cache *)
   cache : Compile_cache.stats;  (** stats of the warm run *)
-  identical : bool;  (** seq and par outcomes bit-identical *)
+  identical : bool;  (** all runs' outcomes bit-identical *)
+  phases : phase list;  (** per-span-name totals of the traced run *)
+  pool : pool_util;  (** pool metrics of the traced run *)
+  instrumented_ops : int;  (** spans + events + metric updates observed *)
 }
+
+(* Aggregate a traced run's spans into a per-phase (span name) breakdown,
+   heaviest first. Events carry no duration and are skipped. *)
+let phases_of spans =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Trace.span) ->
+      match s.Trace.kind with
+      | Trace.Event -> ()
+      | Trace.Span ->
+          let d =
+            Int64.to_float (Int64.sub s.Trace.end_ns s.Trace.start_ns) *. 1e-9
+          in
+          let c, t =
+            Option.value ~default:(0, 0.) (Hashtbl.find_opt tbl s.Trace.name)
+          in
+          Hashtbl.replace tbl s.Trace.name (c + 1, t +. d))
+    spans;
+  Hashtbl.fold
+    (fun pname (pcount, ptotal_s) acc -> { pname; pcount; ptotal_s } :: acc)
+    tbl []
+  |> List.sort (fun a b -> compare b.ptotal_s a.ptotal_s)
+
+(* Pool utilization from the metrics registry (DESIGN.md §9 names). *)
+let pool_util_of_snapshot snap =
+  let tasks = ref 0
+  and workers = ref []
+  and qw = ref 0.
+  and busy = ref 0. in
+  List.iter
+    (fun (name, v) ->
+      match (name, v) with
+      | "pool.tasks", Metrics.Counter n -> tasks := n
+      | "pool.queue_wait_seconds", Metrics.Histogram { sum; _ } -> qw := sum
+      | "pool.busy_seconds", Metrics.Histogram { sum; _ } -> busy := sum
+      | name, Metrics.Counter n -> (
+          match String.split_on_char '.' name with
+          | [ "pool"; "worker"; w; "tasks" ] -> (
+              match int_of_string_opt w with
+              | Some w -> workers := (w, n) :: !workers
+              | None -> ())
+          | _ -> ())
+      | _ -> ())
+    snap;
+  {
+    pu_tasks = !tasks;
+    pu_workers = List.sort compare !workers;
+    pu_queue_wait_s = !qw;
+    pu_busy_s = !busy;
+  }
 
 let same_outcome (a : Search.outcome) (b : Search.outcome) =
   a.Search.demoted = b.Search.demoted
   && a.Search.executions = b.Search.executions
+  && a.Search.modelled_error = b.Search.modelled_error
   && a.Search.evaluation.Tuner.actual_error
      = b.Search.evaluation.Tuner.actual_error
   && a.Search.evaluation.Tuner.modelled_speedup
@@ -101,6 +166,32 @@ let measure ~jobs w =
   Compile_cache.reset_stats ();
   let warm, warm_s = Meter.time (fun () -> tune 1) in
   let cache = Compile_cache.stats () in
+  (* Fourth run, fully instrumented (warm cache, same jobs as the
+     parallel run): its spans become the per-phase breakdown, the pool
+     histograms become the utilization block, and its outcome must stay
+     bit-identical — instrumentation is observation only. Its wall clock
+     is deliberately not compared against the uninstrumented runs. *)
+  Gc.compact ();
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Trace.reset ();
+  Trace.set_enabled true;
+  let traced = tune jobs in
+  Trace.set_enabled false;
+  Metrics.set_enabled false;
+  let spans = Trace.spans () in
+  Trace.reset ();
+  let pool = pool_util_of_snapshot (Metrics.snapshot ()) in
+  (* Every span/event is one disabled-path branch when tracing is off;
+     every pool task updates two counters and two histograms; every
+     cache lookup bumps one counter. This op count feeds the overhead
+     guard below. *)
+  let instrumented_ops =
+    List.length spans
+    + (4 * pool.pu_tasks)
+    + cache.Compile_cache.hits + cache.Compile_cache.misses
+  in
+  Metrics.reset ();
   {
     w;
     executions = seq.Search.executions;
@@ -110,8 +201,73 @@ let measure ~jobs w =
     par_jobs = jobs;
     warm_s;
     cache;
-    identical = same_outcome seq par && same_outcome seq warm;
+    identical =
+      same_outcome seq par && same_outcome seq warm
+      && same_outcome seq traced;
+    phases = phases_of spans;
+    pool;
+    instrumented_ops;
   }
+
+(* Overhead guard: the disabled instrumentation path must be paid-for by
+   design, not by measurement luck. We microbenchmark the disabled
+   [with_span] (one atomic load + branch + call), assert it allocates
+   nothing, and bound each workload's worst-case instrumentation cost as
+   [observed ops x per-op cost] relative to its uninstrumented wall
+   clock. The op count comes from the traced run, so it is the real
+   number of branch points the workload crosses, not a guess. *)
+
+let noop () = ()
+
+type probe = { span_ns : float; alloc_words : float }
+
+let probe_disabled_path () =
+  assert (not (Trace.enabled ()));
+  let iters = 2_000_000 in
+  for _ = 1 to 10_000 do
+    Trace.with_span "overhead-probe" noop
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to iters do
+    Trace.with_span "overhead-probe" noop
+  done;
+  let alloc_words = Gc.minor_words () -. w0 in
+  let _, s =
+    Meter.time (fun () ->
+        for _ = 1 to iters do
+          Trace.with_span "overhead-probe" noop
+        done)
+  in
+  { span_ns = s *. 1e9 /. float_of_int iters; alloc_words }
+
+let overhead_pct probe r =
+  if r.seq_s <= 0. then 0.
+  else
+    float_of_int r.instrumented_ops *. probe.span_ns *. 1e-9 /. r.seq_s
+    *. 100.
+
+let overhead_guard ?(limit_pct = 2.0) rows =
+  let probe = probe_disabled_path () in
+  Printf.printf
+    "overhead guard: disabled with_span = %.1f ns/call, %.0f minor words \
+     allocated over 2M calls\n"
+    probe.span_ns probe.alloc_words;
+  let ok_alloc = probe.alloc_words = 0. in
+  if not ok_alloc then
+    Printf.printf "overhead guard: FAIL — disabled path allocates\n";
+  let ok_cost =
+    List.for_all
+      (fun r ->
+        let pct = overhead_pct probe r in
+        Printf.printf
+          "overhead guard: %-12s %6d ops x %.1f ns = %.4f%% of %.3f s \
+           (limit %.1f%%)%s\n"
+          r.w.name r.instrumented_ops probe.span_ns pct r.seq_s limit_pct
+          (if pct < limit_pct then "" else "  FAIL");
+        pct < limit_pct)
+      rows
+  in
+  ok_alloc && ok_cost
 
 let json_escape s =
   let b = Buffer.create (String.length s) in
@@ -125,6 +281,7 @@ let json_escape s =
   Buffer.contents b
 
 let write_json ~path rows =
+  let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
   pf "{\n";
@@ -132,6 +289,8 @@ let write_json ~path rows =
   pf "  \"description\": \"Search.tune wall clock: sequential vs domain-parallel vs warm compile cache\",\n";
   pf "  \"host_cores\": %d,\n" (Domain.recommended_domain_count ());
   pf "  \"default_jobs\": %d,\n" (Pool.default_jobs ());
+  pf "  \"disabled_span_ns_per_call\": %.2f,\n" probe.span_ns;
+  pf "  \"disabled_span_alloc_words\": %.0f,\n" probe.alloc_words;
   (if Domain.recommended_domain_count () < 2 then
      pf
        "  \"note\": \"single-core host: domains time-slice one CPU, so \
@@ -155,7 +314,28 @@ let write_json ~path rows =
         (if r.warm_s > 0. then r.seq_s /. r.warm_s else 1.);
       pf "      \"cache_hits\": %d,\n" r.cache.Compile_cache.hits;
       pf "      \"cache_misses\": %d,\n" r.cache.Compile_cache.misses;
-      pf "      \"outcomes_identical\": %b\n" r.identical;
+      pf "      \"cache_evictions\": %d,\n" r.cache.Compile_cache.evictions;
+      pf "      \"outcomes_identical\": %b,\n" r.identical;
+      pf "      \"phases\": {\n";
+      List.iteri
+        (fun j p ->
+          pf "        \"%s\": {\"count\": %d, \"seconds\": %.6f}%s\n"
+            (json_escape p.pname) p.pcount p.ptotal_s
+            (if j < List.length r.phases - 1 then "," else ""))
+        r.phases;
+      pf "      },\n";
+      pf "      \"pool\": {\n";
+      pf "        \"tasks\": %d,\n" r.pool.pu_tasks;
+      pf "        \"worker_tasks\": {%s},\n"
+        (String.concat ", "
+           (List.map
+              (fun (w, n) -> Printf.sprintf "\"%d\": %d" w n)
+              r.pool.pu_workers));
+      pf "        \"queue_wait_seconds\": %.6f,\n" r.pool.pu_queue_wait_s;
+      pf "        \"busy_seconds\": %.6f\n" r.pool.pu_busy_s;
+      pf "      },\n";
+      pf "      \"instrumented_ops\": %d,\n" r.instrumented_ops;
+      pf "      \"disabled_overhead_pct\": %.4f\n" (overhead_pct probe r);
       pf "    }%s\n" (if i < List.length rows - 1 then "," else ""))
     rows;
   pf "  ]\n";
@@ -194,6 +374,26 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json") ?(workloads = default_
     (Domain.recommended_domain_count ());
   let rows = List.map (measure ~jobs) workloads in
   print_rows rows;
+  List.iter
+    (fun r ->
+      Printf.printf "%s phases (traced run, heaviest first):\n" r.w.name;
+      List.iteri
+        (fun i p ->
+          if i < 8 then
+            Printf.printf "  %-22s x%-4d %8.3f ms\n" p.pname p.pcount
+              (p.ptotal_s *. 1e3))
+        r.phases;
+      Printf.printf
+        "  pool: %d task(s) over worker(s) {%s}, queue-wait %.3f ms, busy \
+         %.3f ms\n"
+        r.pool.pu_tasks
+        (String.concat ", "
+           (List.map
+              (fun (w, n) -> Printf.sprintf "%d:%d" w n)
+              r.pool.pu_workers))
+        (r.pool.pu_queue_wait_s *. 1e3)
+        (r.pool.pu_busy_s *. 1e3))
+    rows;
   write_json ~path:out rows;
   Printf.printf "wrote %s\n" out;
   rows

@@ -17,6 +17,9 @@ open Cheffp_ir
 module Fp = Cheffp_precision.Fp
 module Config = Cheffp_precision.Config
 module Cost = Cheffp_precision.Cost
+module Trace = Cheffp_obs.Trace
+module Metrics = Cheffp_obs.Metrics
+module Export = Cheffp_obs.Export
 
 let read_file path =
   let ic = open_in_bin path in
@@ -36,8 +39,13 @@ let deriv () =
   d
 
 let load path =
-  let prog = Parser.parse_program (read_file path) in
-  Typecheck.check_program ~builtins:(builtins ()) prog;
+  let prog =
+    Trace.with_span "parse" (fun () ->
+        if Trace.enabled () then Trace.add_attr "file" (Trace.Str path);
+        Parser.parse_program (read_file path))
+  in
+  Trace.with_span "typecheck" (fun () ->
+      Typecheck.check_program ~builtins:(builtins ()) prog);
   prog
 
 (* Parse positional argument strings against the function signature. *)
@@ -76,6 +84,63 @@ let model_of_string target = function
   | "adapt" -> Cheffp_core.Model.adapt ~target ()
   | "zero" -> Cheffp_core.Model.zero
   | other -> failwith ("unknown model " ^ other ^ " (taylor|adapt|zero)")
+
+(* ---------------- observability flags ---------------- *)
+
+type obs = { trace_file : string option; trace_pretty : bool; metrics : bool }
+
+let obs_term =
+  let trace_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record hierarchical spans of the run (parse, AD, estimate, \
+             compile, run, ...) and write them to $(docv) as JSON lines.")
+  in
+  let trace_pretty =
+    Arg.(
+      value & flag
+      & info [ "trace-pretty" ]
+          ~doc:"Record spans and print them as an indented tree on stdout.")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Print a flat `key value` dump of the metrics registry \
+             (compile-cache hits/misses/evictions, pool per-domain task \
+             counts, ...) on stdout after the command.")
+  in
+  Term.(
+    const (fun trace_file trace_pretty metrics ->
+        { trace_file; trace_pretty; metrics })
+    $ trace_file $ trace_pretty $ metrics)
+
+(* Runs [body] under the requested instrumentation and emits the
+   requested reports afterwards — also on failure, so a crashed run
+   still leaves its partial trace behind. *)
+let with_obs ~cmd obs body =
+  let tracing = obs.trace_file <> None || obs.trace_pretty in
+  if tracing then Trace.set_enabled true;
+  if tracing || obs.metrics then Metrics.set_enabled true;
+  let finish () =
+    if tracing then begin
+      let spans = Trace.spans () in
+      Option.iter
+        (fun path ->
+          Export.write_jsonl ~path spans;
+          Printf.eprintf "trace: wrote %d span(s) to %s\n%!"
+            (List.length spans) path)
+        obs.trace_file;
+      if obs.trace_pretty then print_string (Export.pretty spans)
+    end;
+    if obs.metrics then print_string (Export.metrics_dump ())
+  in
+  Fun.protect ~finally:finish (fun () ->
+      Trace.with_span ("cli." ^ cmd) body)
 
 let wrap f = try f (); `Ok () with
   | Failure m | Parser.Error m | Lexer.Error m | Typecheck.Error m
@@ -181,8 +246,9 @@ let gradient_cmd =
     Term.(ret (const run $ file_arg $ func_arg))
 
 let analyze_cmd =
-  let run file func model target show_code raw =
+  let run file func model target show_code obs raw =
     wrap (fun () ->
+        with_obs ~cmd:"analyze" obs @@ fun () ->
         let prog = load file in
         let f = Ast.func_exn prog func in
         let target = target_of target in
@@ -214,11 +280,12 @@ let analyze_cmd =
        ~doc:"Estimate the floating-point error of a function (CHEF-FP).")
     Term.(
       ret (const run $ file_arg $ func_arg $ model_arg $ target_arg $ show_code
-           $ rest_args))
+           $ obs_term $ rest_args))
 
 let tune_cmd =
-  let run file func threshold target emit jobs raw =
+  let run file func threshold target emit jobs obs raw =
     wrap (fun () ->
+        with_obs ~cmd:"tune" obs @@ fun () ->
         let prog = load file in
         let f = Ast.func_exn prog func in
         let args = parse_args f raw in
@@ -244,11 +311,12 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Greedy mixed-precision tuning against an error threshold.")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ emit_arg $ jobs_arg $ rest_args))
+           $ emit_arg $ jobs_arg $ obs_term $ rest_args))
 
 let search_cmd =
-  let run file func threshold target jobs raw =
+  let run file func threshold target jobs obs raw =
     wrap (fun () ->
+        with_obs ~cmd:"search" obs @@ fun () ->
         let prog = load file in
         let f = Ast.func_exn prog func in
         let args = parse_args f raw in
@@ -264,7 +332,94 @@ let search_cmd =
        ~doc:"Precimonious-style search-based tuning baseline (compare with tune).")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ jobs_arg $ rest_args))
+           $ jobs_arg $ obs_term $ rest_args))
+
+let adapt_cmd =
+  let module Adapt = Cheffp_adapt.Adapt in
+  let module B = Cheffp_benchmarks in
+  let run bench n target budget jobs obs =
+    wrap (fun () ->
+        with_obs ~cmd:"adapt" obs @@ fun () ->
+        let target = target_of target in
+        let analyze run =
+          Adapt.analyze ~target ?memory_budget:budget ~jobs run
+        in
+        let result =
+          match bench with
+          | "arclength" ->
+              analyze (fun tape ->
+                  let module N = (val Adapt.num tape) in
+                  let module R = B.Arclength.Native (N) in
+                  R.run ~n)
+          | "simpsons" ->
+              analyze (fun tape ->
+                  let module N = (val Adapt.num tape) in
+                  let module R = B.Simpsons.Native (N) in
+                  R.run ~a:0. ~b:Float.pi ~n)
+          | "kmeans" ->
+              let w = B.Kmeans.generate ~npoints:n () in
+              analyze (fun tape ->
+                  let module N = (val Adapt.num tape) in
+                  let module R = B.Kmeans.Native (N) in
+                  R.run w)
+          | other ->
+              failwith
+                ("unknown benchmark " ^ other
+               ^ " (arclength|simpsons|kmeans)")
+        in
+        match result with
+        | Error oom ->
+            Printf.printf
+              "ADAPT: out of memory budget (%s) after %d tape nodes (%s)\n"
+              (Cheffp_util.Meter.bytes_pp oom.Adapt.budget)
+              oom.Adapt.nodes_at_failure
+              (Cheffp_util.Meter.bytes_pp
+                 (oom.Adapt.nodes_at_failure
+                 * Cheffp_adapt.Tape.bytes_per_node))
+        | Ok r ->
+            Printf.printf "value: %.17g\n" r.Adapt.value;
+            Printf.printf "estimated FP error (ADAPT, %s): %.6g\n"
+              (Fp.format_to_string target)
+              r.Adapt.total_error;
+            Printf.printf "tape: %d nodes, %s\n" r.Adapt.nodes
+              (Cheffp_util.Meter.bytes_pp r.Adapt.tape_bytes);
+            print_endline "top error contributions:";
+            List.iteri
+              (fun i (name, e) ->
+                if i < 10 then Printf.printf "  %-12s %.6g\n" name e)
+              r.Adapt.per_variable)
+  in
+  let bench_arg =
+    Arg.(
+      value
+      & opt string "arclength"
+      & info [ "bench" ] ~docv:"NAME"
+          ~doc:
+            "Built-in benchmark to analyze: arclength, simpsons or kmeans \
+             (the ADAPT baseline records a run-time tape, so it operates on \
+             the native benchmark implementations, not on MiniFP files).")
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 2_000
+      & info [ "n" ] ~docv:"N"
+          ~doc:"Workload size (sample points / k-means points).")
+  in
+  let budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"BYTES"
+          ~doc:"Emulated tape memory budget; exceeding it aborts (paper's OOM).")
+  in
+  Cmd.v
+    (Cmd.info "adapt"
+       ~doc:
+         "Run the ADAPT operator-overloading baseline on a built-in \
+          benchmark (compare with analyze).")
+    Term.(
+      ret (const run $ bench_arg $ n_arg $ target_arg $ budget_arg $ jobs_arg
+           $ obs_term))
 
 let sensitivity_cmd =
   let run file func loop raw =
@@ -324,4 +479,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; run_cmd; gradient_cmd; analyze_cmd; tune_cmd;
-            search_cmd; sensitivity_cmd ]))
+            search_cmd; adapt_cmd; sensitivity_cmd ]))

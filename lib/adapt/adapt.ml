@@ -1,5 +1,7 @@
 module Meter = Cheffp_util.Meter
 module Fp = Cheffp_precision.Fp
+module Trace = Cheffp_obs.Trace
+module Metrics = Cheffp_obs.Metrics
 
 type result = {
   value : float;
@@ -61,27 +63,45 @@ let num tape : (module Num.NUM with type t = Tape.num) =
     let input name v = Tape.input tape ~name v
   end)
 
-let analyze ?(target = Fp.F32) ?memory_budget f =
+(* Gauges reporting the deterministic byte accounting of the last
+   analysis (the numbers behind the paper's ADAPT memory story). *)
+let peak_g = Metrics.gauge "adapt.tape_peak_bytes"
+let live_g = Metrics.gauge "adapt.tape_live_bytes"
+let nodes_g = Metrics.gauge "adapt.nodes"
+
+let analyze ?(target = Fp.F32) ?memory_budget ?(jobs = 1) f =
+  Trace.with_span "adapt.analyze" @@ fun () ->
   let meter = Meter.create () in
   Meter.set_budget meter memory_budget;
   let tape = Tape.create ~meter () in
-  match f tape with
+  let record () = Trace.with_span "adapt.record" (fun () -> f tape) in
+  let publish_meter () =
+    Metrics.set_gauge peak_g (float_of_int (Meter.peak_bytes meter));
+    Metrics.set_gauge live_g (float_of_int (Meter.live_bytes meter));
+    Metrics.set_gauge nodes_g (float_of_int (Tape.length tape))
+  in
+  match record () with
   | exception Meter.Out_of_memory_budget { budget; _ } ->
+      publish_meter ();
+      if Trace.enabled () then Trace.add_attr "oom" (Trace.Bool true);
       Stdlib.Error { budget; nodes_at_failure = Tape.length tape }
   | out ->
-      Tape.backward tape out;
-      let per_var : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
-      let total =
-        Tape.fold_registered tape ~init:0. ~f:(fun acc name ~adjoint ~value ->
-            let e = Float.abs (adjoint *. Fp.representation_error target value) in
-            (match Hashtbl.find_opt per_var name with
-            | Some r -> r := !r +. e
-            | None -> Hashtbl.replace per_var name (ref e));
-            acc +. e)
+      publish_meter ();
+      Trace.with_span "adapt.backward" (fun () -> Tape.backward tape out);
+      (* The per-point error contributions are independent, so the walk
+         fans out over the worker pool; the reduction stays sequential
+         in tape order, keeping results bit-identical for every [jobs]
+         (see Tape.walk_errors). *)
+      let total, per_var =
+        Trace.with_span "adapt.walk" (fun () ->
+            if Trace.enabled () then Trace.add_attr "jobs" (Trace.Int jobs);
+            Tape.walk_errors tape ~jobs
+              ~f:(fun ~adjoint ~value ->
+                Float.abs (adjoint *. Fp.representation_error target value))
+              ())
       in
       let per_variable =
-        Hashtbl.fold (fun name r acc -> (name, !r) :: acc) per_var []
-        |> List.sort (fun (_, a) (_, b) -> compare b a)
+        List.sort (fun (_, a) (_, b) -> compare b a) per_var
       in
       let gradients =
         List.rev

@@ -29,10 +29,20 @@ val num : Tape.t -> (module Num.NUM with type t = Tape.num)
 val analyze :
   ?target:Cheffp_precision.Fp.format ->
   ?memory_budget:int ->
+  ?jobs:int ->
   (Tape.t -> Tape.num) ->
   (result, oom) Stdlib.result
 (** [analyze f] runs [f] on a fresh tape (instantiate your functor with
     {!num} inside), reverse-propagates from the returned output, and
     evaluates the error model. [target] defaults to [F32].
     [memory_budget] (bytes) emulates a machine limit: exceeding it
-    aborts the recording and reports [Error]. *)
+    aborts the recording and reports [Error].
+
+    [jobs] (default 1) fans the per-point error-contribution walk out
+    over {!Cheffp_util.Pool.parallel_map}; the result is bit-identical
+    for every value (see {!Tape.walk_errors}).
+
+    Observability (DESIGN.md §9): the run records "adapt.analyze" with
+    child spans "adapt.record" / "adapt.backward" / "adapt.walk", and
+    publishes the tape meter as the [adapt.tape_peak_bytes] /
+    [adapt.tape_live_bytes] / [adapt.nodes] gauges. *)

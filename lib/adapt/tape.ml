@@ -134,3 +134,54 @@ let fold_registered t ~init ~f =
       acc := f !acc names.(id) ~adjoint:t.adjoints.(k) ~value:t.values.(k)
   done;
   !acc
+
+(* Nodes per parallel chunk of [walk_errors]: small enough that modest
+   tapes still fan out (the pool metrics are how that is verified),
+   large enough that the per-chunk domain overhead stays negligible. *)
+let walk_chunk = 8_192
+
+let walk_errors t ?(jobs = 1) ~f () =
+  let n = t.len in
+  let names = var_names t in
+  let nchunks = (n + walk_chunk - 1) / walk_chunk in
+  (* The per-node contributions are independent, so they may be
+     computed out of order into a scratch array; the reduction below
+     then consumes them strictly in tape order, which is what makes the
+     parallel walk bit-identical to the sequential one (float addition
+     is not associative — the summation order must not change). *)
+  let precomputed =
+    if jobs <= 1 || nchunks <= 1 then None
+    else begin
+      let out = Array.make n 0. in
+      let ranges =
+        List.init nchunks (fun c ->
+            (c * walk_chunk, min n ((c + 1) * walk_chunk)))
+      in
+      ignore
+        (Cheffp_util.Pool.parallel_map ~jobs
+           (fun (lo, hi) ->
+             for k = lo to hi - 1 do
+               if t.var_id.(k) >= 0 then
+                 out.(k) <- f ~adjoint:t.adjoints.(k) ~value:t.values.(k)
+             done)
+           ranges);
+      Some out
+    end
+  in
+  let per_var : (string, float ref) Hashtbl.t = Hashtbl.create 16 in
+  let total = ref 0. in
+  for k = 0 to n - 1 do
+    let id = t.var_id.(k) in
+    if id >= 0 then begin
+      let e =
+        match precomputed with
+        | Some a -> a.(k)
+        | None -> f ~adjoint:t.adjoints.(k) ~value:t.values.(k)
+      in
+      (match Hashtbl.find_opt per_var names.(id) with
+      | Some r -> r := !r +. e
+      | None -> Hashtbl.replace per_var names.(id) (ref e));
+      total := !total +. e
+    end
+  done;
+  (!total, Hashtbl.fold (fun name r acc -> (name, !r) :: acc) per_var [])

@@ -44,6 +44,21 @@ val fold_registered : t -> init:'a -> f:('a -> string -> adjoint:float -> value:
 (** Iterate over attribution nodes (inputs included if named), oldest
     first, after {!backward}. *)
 
+val walk_errors :
+  t ->
+  ?jobs:int ->
+  f:(adjoint:float -> value:float -> float) ->
+  unit ->
+  float * (string * float) list
+(** [walk_errors t ~jobs ~f ()] evaluates [f] on every attribution node
+    (after {!backward}) and returns the tape-order total and the
+    per-name totals (unsorted). With [jobs > 1] and a tape of more than
+    one chunk, the per-node evaluations fan out over
+    {!Cheffp_util.Pool.parallel_map}; the reduction is always performed
+    sequentially in tape order, so the result is bit-identical to
+    [jobs = 1] (and to {!fold_registered}) for every [jobs] value. [f]
+    must be pure — it runs concurrently on several domains. *)
+
 val fold_inputs : t -> init:'a -> f:('a -> string -> adjoint:float -> 'a) -> 'a
 (** Like {!fold_registered} but restricted to named input nodes — i.e.
     the gradient components, after {!backward}. *)

@@ -1,6 +1,7 @@
 open Cheffp_ir
 open Ast
 module Reverse = Cheffp_ad.Reverse
+module Trace = Cheffp_obs.Trace
 
 exception Error of string
 
@@ -96,8 +97,13 @@ type report = {
 
 let f64s = Sflt Cheffp_precision.Fp.F64
 
-let estimate_error ?(model = Model.taylor ()) ?(options = default_options)
-    ?deriv ?builtins ~prog ~func () =
+(* Span taxonomy (DESIGN.md §9): the one-off generation work is
+   "estimate.build" with one child per phase — "estimate.ad" (reverse
+   differentiation with the error hooks spliced in), "estimate.optimize",
+   "estimate.typecheck", "estimate.compile" — and every execution of the
+   generated analysis is "estimate.run". *)
+let estimate_error_inner ?(model = Model.taylor ())
+    ?(options = default_options) ?deriv ?builtins ~prog ~func () =
   let builtins =
     match builtins with Some b -> b | None -> Builtins.create ()
   in
@@ -191,8 +197,9 @@ let estimate_error ?(model = Model.taylor ()) ?(options = default_options)
   in
   let grad =
     try
-      Reverse.differentiate ?deriv ~hooks ~use_activity:options.use_activity
-        prog func
+      Trace.with_span "estimate.ad" (fun () ->
+          Reverse.differentiate ?deriv ~hooks
+            ~use_activity:options.use_activity prog func)
     with Reverse.Error m -> err "%s" m
   in
   registry_seal registry;
@@ -226,12 +233,21 @@ let estimate_error ?(model = Model.taylor ()) ?(options = default_options)
       Builtins.F s);
   model.Model.setup builtins;
   let f = func_exn prog func in
-  let grad = if options.optimize then Optimize.optimize_func grad else grad in
+  let grad =
+    if options.optimize then
+      Trace.with_span "estimate.optimize" (fun () ->
+          Optimize.optimize_func grad)
+    else grad
+  in
   let prog' = add_func prog grad in
-  (try Typecheck.check_program ~builtins prog'
+  (try
+     Trace.with_span "estimate.typecheck" (fun () ->
+         Typecheck.check_program ~builtins prog')
    with Typecheck.Error m -> err "generated code does not typecheck: %s" m);
   let compiled =
-    Compile.compile ~builtins ~optimize:false ~prog:prog' ~func:grad.fname ()
+    Trace.with_span "estimate.compile" (fun () ->
+        Compile.compile ~builtins ~optimize:false ~prog:prog' ~func:grad.fname
+          ())
   in
   (* Positional mapping original param -> derivative out param. *)
   let n_orig = List.length f.params in
@@ -280,6 +296,11 @@ let estimate_error ?(model = Model.taylor ()) ?(options = default_options)
     local_array_sizes;
     scalar_decl_count;
   }
+
+let estimate_error ?model ?options ?deriv ?builtins ~prog ~func () =
+  Trace.with_span "estimate.build" (fun () ->
+      if Trace.enabled () then Trace.add_attr "func" (Trace.Str func);
+      estimate_error_inner ?model ?options ?deriv ?builtins ~prog ~func ())
 
 let generated t = t.grad
 let program t = t.prog
@@ -476,10 +497,17 @@ let build_report t (result : Interp.result) (inputs : run_inputs) =
   }
 
 let run t args =
-  let inputs = assemble_args t args in
-  registry_reset t.registry;
-  let result = Compile.run t.compiled inputs.full in
-  build_report t result inputs
+  Trace.with_span "estimate.run" (fun () ->
+      let inputs = assemble_args t args in
+      registry_reset t.registry;
+      let result = Compile.run t.compiled inputs.full in
+      let report = build_report t result inputs in
+      if Trace.enabled () then begin
+        Trace.add_attr "func" (Trace.Str t.source_func.fname);
+        Trace.add_attr "total_error" (Trace.Float report.total_error);
+        Trace.add_attr "analysis_bytes" (Trace.Int report.analysis_bytes)
+      end;
+      report)
 
 let run_interpreted t args =
   let inputs = assemble_args t args in

@@ -70,7 +70,9 @@ let search (o : Search.outcome) =
     "search-based tuning: %d program executions\n\
      demoted: %s\n\
      actual error:     %.6e (threshold %.1e)\n\
+     modelled error:   %.6e (CHEF-FP, 1 augmented execution)\n\
      modelled speedup: %.2fx\n"
     o.Search.executions
     (match o.Search.demoted with [] -> "(nothing)" | l -> String.concat ", " l)
-    ev.Tuner.actual_error o.Search.threshold ev.Tuner.modelled_speedup
+    ev.Tuner.actual_error o.Search.threshold o.Search.modelled_error
+    ev.Tuner.modelled_speedup

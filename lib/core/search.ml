@@ -3,11 +3,13 @@ module Config = Cheffp_precision.Config
 module Fp = Cheffp_precision.Fp
 module Cost = Cheffp_precision.Cost
 module Pool = Cheffp_util.Pool
+module Trace = Cheffp_obs.Trace
 
 type outcome = {
   demoted : string list;
   executions : int;
   evaluation : Tuner.evaluation;
+  modelled_error : float;
   threshold : float;
 }
 
@@ -21,6 +23,12 @@ let copy_args args =
 
 let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ~prog ~func ~args
     ~threshold () =
+  Trace.with_span "search.tune" @@ fun () ->
+  if Trace.enabled () then begin
+    Trace.add_attr "func" (Trace.Str func);
+    Trace.add_attr "threshold" (Trace.Float threshold);
+    Trace.add_attr "jobs" (Trace.Int jobs)
+  end;
   let executions = Atomic.make 0 in
   let run config =
     Atomic.incr executions;
@@ -31,21 +39,33 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ~prog ~func ~args
     let compiled =
       Compile_cache.compile ?builtins ?mode ~meter:true ~config ~prog ~func ()
     in
-    Compile.run_float compiled (copy_args args)
+    Trace.with_span "run" (fun () -> Compile.run_float compiled (copy_args args))
   in
-  let reference = run Config.double in
-  let error_of vars =
+  let reference =
+    Trace.with_span "search.reference" (fun () -> run Config.double)
+  in
+  (* Per-candidate spans carry the probed variable set and its observed
+     error; they run inside pool workers and nest under the batch's
+     phase span. *)
+  let error_of ?(span = "search.candidate") vars =
+    Trace.with_span span @@ fun () ->
+    if Trace.enabled () then
+      Trace.add_attr "vars" (Trace.Str (String.concat "," vars));
     let config = Config.demote_all Config.double vars target in
-    Float.abs (run config -. reference)
+    let e = Float.abs (run config -. reference) in
+    if Trace.enabled () then Trace.add_attr "error" (Trace.Float e);
+    e
   in
   let candidates = Tuner.float_variables (Ast.func_exn prog func) in
   let chosen =
-    if error_of candidates <= threshold then candidates
+    if error_of ~span:"search.all_demoted" candidates <= threshold then
+      candidates
     else begin
       (* Individual probing: every candidate's solo demotion error is an
          independent execution — one parallel batch. *)
       let individual =
-        Pool.parallel_map ~jobs (fun v -> (v, error_of [ v ])) candidates
+        Trace.with_span "search.probe" (fun () ->
+            Pool.parallel_map ~jobs (fun v -> (v, error_of [ v ])) candidates)
         |> List.filter (fun (_, e) -> e <= threshold)
         |> List.sort (fun (_, a) (_, b) -> compare a b)
       in
@@ -73,7 +93,12 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ~prog ~func ~args
                       ([], chosen) pending))
             in
             let errs =
-              Pool.parallel_map ~jobs (fun (_, trial) -> error_of trial) prefixes
+              Trace.with_span "search.grow" (fun () ->
+                  if Trace.enabled () then
+                    Trace.add_attr "pending" (Trace.Int (List.length pending));
+                  Pool.parallel_map ~jobs
+                    (fun (_, trial) -> error_of trial)
+                    prefixes)
             in
             let rec accept chosen pend errs =
               match (pend, errs) with
@@ -92,9 +117,28 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ~prog ~func ~args
   let evaluation =
     Tuner.evaluate ?builtins ?mode ~jobs ~prog ~func ~args config
   in
+  (* Cross-check the searched configuration against the CHEF-FP error
+     model: one gradient-augmented execution (not counted in
+     [executions] — it is the analysis the search baseline is compared
+     against) whose per-variable contributions are summed over the
+     chosen set. *)
+  let modelled_error =
+    let est =
+      Estimate.estimate_error ~model:(Model.adapt ~target ()) ?builtins ~prog
+        ~func ()
+    in
+    let report = Estimate.run est (copy_args args) in
+    List.fold_left
+      (fun acc v ->
+        acc
+        +. Option.value ~default:0.
+             (List.assoc_opt v report.Estimate.per_variable))
+      0. chosen
+  in
   {
     demoted = chosen;
     executions = Atomic.get executions;
     evaluation;
+    modelled_error;
     threshold;
   }

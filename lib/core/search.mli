@@ -29,6 +29,11 @@ type outcome = {
   demoted : string list;
   executions : int;  (** program runs the search consumed *)
   evaluation : Tuner.evaluation;
+  modelled_error : float;
+      (** CHEF-FP estimate for the chosen set: the per-variable error
+          contributions of one gradient-augmented execution (not counted
+          in [executions]) summed over [demoted] — the model the search
+          baseline is compared against. *)
   threshold : float;
 }
 

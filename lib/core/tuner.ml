@@ -3,6 +3,7 @@ open Ast
 module Config = Cheffp_precision.Config
 module Fp = Cheffp_precision.Fp
 module Cost = Cheffp_precision.Cost
+module Trace = Cheffp_obs.Trace
 
 type evaluation = {
   config : Config.t;
@@ -53,10 +54,16 @@ let run_with ?builtins ?mode ~prog ~func ~args config =
   let compiled =
     Compile_cache.compile ?builtins ?mode ~meter:true ~config ~prog ~func ()
   in
-  let value = Compile.run_float ~counter compiled (copy_args args) in
+  let value =
+    Trace.with_span "run" (fun () ->
+        if Trace.enabled () then
+          Trace.add_attr "config" (Trace.Str (Config.to_string config));
+        Compile.run_float ~counter compiled (copy_args args))
+  in
   (value, Cost.Counter.total counter, Cost.Counter.casts counter)
 
 let evaluate ?builtins ?mode ?(jobs = 1) ~prog ~func ~args config =
+  Trace.with_span "tuner.evaluate" @@ fun () ->
   (* The reference run and the configured run are independent; with
      [jobs > 1] they execute on separate domains. *)
   match
@@ -65,12 +72,19 @@ let evaluate ?builtins ?mode ?(jobs = 1) ~prog ~func ~args config =
       [ Config.double; config ]
   with
   | [ (reference, ref_cost, _); (value, cost, casts) ] ->
-      {
-        config;
-        actual_error = Float.abs (value -. reference);
-        modelled_speedup = (if cost > 0. then ref_cost /. cost else 1.);
-        casts;
-      }
+      let ev =
+        {
+          config;
+          actual_error = Float.abs (value -. reference);
+          modelled_speedup = (if cost > 0. then ref_cost /. cost else 1.);
+          casts;
+        }
+      in
+      if Trace.enabled () then begin
+        Trace.add_attr "actual_error" (Trace.Float ev.actual_error);
+        Trace.add_attr "modelled_speedup" (Trace.Float ev.modelled_speedup)
+      end;
+      ev
   | _ -> assert false
 
 type outcome = {
@@ -84,6 +98,12 @@ type outcome = {
 
 let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ?(jobs = 1)
     ~prog ~func ~args ~threshold () =
+  Trace.with_span "tuner.tune" @@ fun () ->
+  if Trace.enabled () then begin
+    Trace.add_attr "func" (Trace.Str func);
+    Trace.add_attr "threshold" (Trace.Float threshold);
+    Trace.add_attr "jobs" (Trace.Int jobs)
+  end;
   let model =
     match model with Some m -> m | None -> Model.adapt ~target ()
   in
@@ -135,6 +155,7 @@ let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ?(jobs = 1)
    every dataset. *)
 let tune_multi ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0)
     ?(jobs = 1) ~prog ~func ~args_list ~threshold () =
+  Trace.with_span "tuner.tune_multi" @@ fun () ->
   (match args_list with
   | [] -> invalid_arg "Tuner.tune_multi: empty dataset list"
   | _ -> ());

@@ -1,19 +1,84 @@
 module Config = Cheffp_precision.Config
+module Trace = Cheffp_obs.Trace
+module Metrics = Cheffp_obs.Metrics
 
-type stats = { hits : int; misses : int; size : int }
+type stats = { hits : int; misses : int; evictions : int; size : int }
 
 (* One global table guarded by one mutex: lookups are a digest + string
    compare, insertions are rare (one per distinct configuration), and
    the guarded sections never run user code, so contention from pool
-   workers is negligible next to the compile they avoid. *)
+   workers is negligible next to the compile they avoid.
+
+   Recency is an intrusive doubly-linked list threaded through the
+   entries (head = most recent), so a hit's refresh and an insertion's
+   eviction are both O(1) under the same lock. *)
+type entry = {
+  key : string;
+  mutable value : Builtins.t option * Compile.t;
+  mutable prev : entry option;  (* towards the head / more recent *)
+  mutable next : entry option;  (* towards the tail / least recent *)
+}
+
 let lock = Mutex.create ()
-let table : (string, Builtins.t option * Compile.t) Hashtbl.t = Hashtbl.create 64
-let hit_count = ref 0
-let miss_count = ref 0
+let table : (string, entry) Hashtbl.t = Hashtbl.create 64
+let head : entry option ref = ref None
+let tail : entry option ref = ref None
+
+let default_max_entries = 512
+let max_entries_v = ref default_max_entries
+
+(* Hit/miss/eviction counts live in the metrics registry (always-on
+   atomics) so a `--metrics` dump and `stats ()` read the same numbers;
+   the gauge mirrors the table size. *)
+let hits_c = Metrics.counter "compile_cache.hits"
+let misses_c = Metrics.counter "compile_cache.misses"
+let evictions_c = Metrics.counter "compile_cache.evictions"
+let size_g = Metrics.gauge "compile_cache.size"
 
 let locked f =
   Mutex.lock lock;
   Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+(* List surgery; callers hold the lock. *)
+let unlink e =
+  (match e.prev with Some p -> p.next <- e.next | None -> head := e.next);
+  (match e.next with Some n -> n.prev <- e.prev | None -> tail := e.prev);
+  e.prev <- None;
+  e.next <- None
+
+let push_front e =
+  e.prev <- None;
+  e.next <- !head;
+  (match !head with Some h -> h.prev <- Some e | None -> tail := Some e);
+  head := Some e
+
+let touch e =
+  match e.prev with
+  | None -> ()  (* already most recent *)
+  | Some _ ->
+      unlink e;
+      push_front e
+
+let sync_size () = Metrics.set_gauge size_g (float_of_int (Hashtbl.length table))
+
+let evict_over_capacity () =
+  while Hashtbl.length table > !max_entries_v do
+    match !tail with
+    | Some lru ->
+        unlink lru;
+        Hashtbl.remove table lru.key;
+        Metrics.incr evictions_c
+    | None -> assert false
+  done;
+  sync_size ()
+
+let max_entries () = !max_entries_v
+
+let set_max_entries n =
+  if n < 1 then invalid_arg "Compile_cache.set_max_entries: must be >= 1";
+  locked (fun () ->
+      max_entries_v := n;
+      evict_over_capacity ())
 
 (* Structural key. The program is identified by a digest of its
    pretty-printed source (canonical: printing is deterministic), the
@@ -37,35 +102,65 @@ let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
   let cached =
     locked (fun () ->
         match Hashtbl.find_opt table k with
-        | Some (b, t) when same_builtins b builtins ->
-            incr hit_count;
-            Some t
+        | Some e when same_builtins (fst e.value) builtins ->
+            Metrics.incr hits_c;
+            touch e;
+            Some (snd e.value)
         | Some _ | None ->
-            incr miss_count;
+            Metrics.incr misses_c;
             None)
   in
   match cached with
-  | Some t -> t
+  | Some t ->
+      Trace.event "compile.cache_hit" ~attrs:[ ("func", Trace.Str func) ];
+      t
   | None ->
       (* Compiled outside the lock: two domains racing on the same key
          duplicate the work harmlessly; last insert wins. *)
       let t =
-        Compile.compile ?builtins ~config ~mode ~meter ~optimize ~prog ~func ()
+        Trace.with_span "compile" (fun () ->
+            if Trace.enabled () then begin
+              Trace.add_attr "func" (Trace.Str func);
+              Trace.add_attr "config" (Trace.Str (Config.to_string config));
+              Trace.add_attr "optimize" (Trace.Bool optimize);
+              Trace.add_attr "meter" (Trace.Bool meter)
+            end;
+            Compile.compile ?builtins ~config ~mode ~meter ~optimize ~prog
+              ~func ())
       in
-      locked (fun () -> Hashtbl.replace table k (builtins, t));
+      locked (fun () ->
+          (match Hashtbl.find_opt table k with
+          | Some e ->
+              e.value <- (builtins, t);
+              touch e
+          | None ->
+              let e = { key = k; value = (builtins, t); prev = None; next = None } in
+              Hashtbl.replace table k e;
+              push_front e);
+          evict_over_capacity ());
       t
 
 let stats () =
   locked (fun () ->
-      { hits = !hit_count; misses = !miss_count; size = Hashtbl.length table })
+      {
+        hits = Metrics.counter_value hits_c;
+        misses = Metrics.counter_value misses_c;
+        evictions = Metrics.counter_value evictions_c;
+        size = Hashtbl.length table;
+      })
 
 let reset_stats () =
   locked (fun () ->
-      hit_count := 0;
-      miss_count := 0)
+      Metrics.set_counter hits_c 0;
+      Metrics.set_counter misses_c 0;
+      Metrics.set_counter evictions_c 0)
 
 let clear () =
   locked (fun () ->
       Hashtbl.reset table;
-      hit_count := 0;
-      miss_count := 0)
+      head := None;
+      tail := None;
+      Metrics.set_counter hits_c 0;
+      Metrics.set_counter misses_c 0;
+      Metrics.set_counter evictions_c 0;
+      sync_size ())

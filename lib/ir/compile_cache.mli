@@ -26,8 +26,19 @@
     after compiling through the cache is not supported — call {!clear}
     first.
 
-    The table is unbounded; eviction policy is an open item
-    (ROADMAP.md). {!clear} empties it explicitly. *)
+    {b Bounding}: the table holds at most {!max_entries} compilations
+    (default {!default_max_entries} — generous next to the hundreds of
+    configurations a tuning run visits) and evicts the least recently
+    used entry beyond that, so a long-lived server reusing this process
+    cannot grow the cache without bound. {!clear} empties it
+    explicitly.
+
+    {b Observability} (DESIGN.md §9): hits, misses and evictions are
+    registry counters ([compile_cache.hits] / [.misses] /
+    [.evictions]), the current size is the [compile_cache.size] gauge —
+    {!stats} reads the same numbers. With tracing enabled, each actual
+    compilation records a ["compile"] span (attrs: func, config,
+    optimize, meter) and each hit a ["compile.cache_hit"] event. *)
 
 val compile :
   ?builtins:Builtins.t ->
@@ -46,13 +57,24 @@ val compile :
 type stats = {
   hits : int;  (** lookups served from the table *)
   misses : int;  (** lookups that had to compile *)
+  evictions : int;  (** entries dropped by the LRU bound *)
   size : int;  (** entries currently cached *)
 }
 
 val stats : unit -> stats
 
+val default_max_entries : int
+(** 512. *)
+
+val max_entries : unit -> int
+
+val set_max_entries : int -> unit
+(** Change the bound (>= 1; [Invalid_argument] otherwise), evicting
+    least-recently-used entries immediately if the table is over it. *)
+
 val reset_stats : unit -> unit
-(** Zero [hits] and [misses] without dropping cached entries. *)
+(** Zero [hits], [misses] and [evictions] without dropping cached
+    entries. *)
 
 val clear : unit -> unit
 (** Drop every entry and zero the statistics. *)

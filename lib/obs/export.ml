@@ -1,0 +1,151 @@
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* %.17g round-trips doubles; JSON has no infinities, so clamp the
+   non-finite cases to strings a reader can still recognize. *)
+let json_float f =
+  if Float.is_finite f then Printf.sprintf "%.17g" f
+  else Printf.sprintf "\"%s\"" (Float.to_string f)
+
+let attr_to_json = function
+  | Trace.Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+  | Trace.Int n -> string_of_int n
+  | Trace.Float f -> json_float f
+  | Trace.Bool b -> string_of_bool b
+
+let span_to_json (s : Trace.span) =
+  let b = Buffer.create 160 in
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"kind\":\"%s\",\"id\":%d,\"parent\":%d,\"domain\":%d,\"name\":\"%s\",\"start_ns\":%Ld,\"end_ns\":%Ld,\"dur_ns\":%Ld"
+       (match s.Trace.kind with Trace.Span -> "span" | Trace.Event -> "event")
+       s.Trace.id s.Trace.parent s.Trace.domain
+       (json_escape s.Trace.name)
+       s.Trace.start_ns s.Trace.end_ns
+       (Int64.sub s.Trace.end_ns s.Trace.start_ns));
+  (match s.Trace.attrs with
+  | [] -> ()
+  | attrs ->
+      Buffer.add_string b ",\"attrs\":{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b
+            (Printf.sprintf "\"%s\":%s" (json_escape k) (attr_to_json v)))
+        attrs;
+      Buffer.add_char b '}');
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let by_start spans =
+  List.sort (fun a b -> compare a.Trace.id b.Trace.id) spans
+
+let write_jsonl ~path spans =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun s ->
+          output_string oc (span_to_json s);
+          output_char oc '\n')
+        (by_start spans))
+
+let attr_to_string = function
+  | Trace.Str s -> s
+  | Trace.Int n -> string_of_int n
+  | Trace.Float f -> Printf.sprintf "%.6g" f
+  | Trace.Bool b -> string_of_bool b
+
+let pretty spans =
+  let spans = by_start spans in
+  let children : (int, Trace.span list ref) Hashtbl.t = Hashtbl.create 64 in
+  let push parent s =
+    match Hashtbl.find_opt children parent with
+    | Some l -> l := s :: !l
+    | None -> Hashtbl.replace children parent (ref [ s ])
+  in
+  List.iter (fun s -> push s.Trace.parent s) spans;
+  let b = Buffer.create 1024 in
+  let rec emit indent (s : Trace.span) =
+    let dur_ms =
+      Int64.to_float (Int64.sub s.Trace.end_ns s.Trace.start_ns) /. 1e6
+    in
+    let attrs =
+      match s.Trace.attrs with
+      | [] -> ""
+      | l ->
+          "  ["
+          ^ String.concat ", "
+              (List.map (fun (k, v) -> k ^ "=" ^ attr_to_string v) l)
+          ^ "]"
+    in
+    (match s.Trace.kind with
+    | Trace.Span ->
+        Buffer.add_string b
+          (Printf.sprintf "%s%-*s %8.3f ms%s\n" indent
+             (max 1 (32 - String.length indent))
+             s.Trace.name dur_ms attrs)
+    | Trace.Event ->
+        Buffer.add_string b
+          (Printf.sprintf "%s* %s%s\n" indent s.Trace.name attrs));
+    match Hashtbl.find_opt children s.Trace.id with
+    | Some l -> List.iter (emit (indent ^ "  ")) (List.rev !l)
+    | None -> ()
+  in
+  (match Hashtbl.find_opt children (-1) with
+  | Some roots -> List.iter (emit "") (List.rev !roots)
+  | None -> ());
+  (* Orphans (parent finished on another run or trace was reset
+     mid-span): still print them so nothing silently disappears. *)
+  let known = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace known s.Trace.id ()) spans;
+  List.iter
+    (fun s ->
+      if s.Trace.parent <> -1 && not (Hashtbl.mem known s.Trace.parent) then
+        emit "? " s)
+    spans;
+  Buffer.contents b
+
+let metrics_dump ?snapshot () =
+  let snapshot =
+    match snapshot with Some s -> s | None -> Metrics.snapshot ()
+  in
+  let b = Buffer.create 1024 in
+  let line k v = Buffer.add_string b (Printf.sprintf "%s %s\n" k v) in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Metrics.Counter n -> line name (string_of_int n)
+      | Metrics.Gauge g -> line name (Printf.sprintf "%.17g" g)
+      | Metrics.Histogram { buckets; counts; sum } ->
+          let total = Array.fold_left ( + ) 0 counts in
+          line (name ^ ".count") (string_of_int total);
+          line (name ^ ".sum") (Printf.sprintf "%.9g" sum);
+          line (name ^ ".mean")
+            (Printf.sprintf "%.9g"
+               (if total > 0 then sum /. float_of_int total else 0.));
+          let cum = ref 0 in
+          Array.iteri
+            (fun i c ->
+              cum := !cum + c;
+              line
+                (Printf.sprintf "%s.le.%g" name buckets.(i))
+                (string_of_int !cum))
+            (Array.sub counts 0 (Array.length buckets));
+          line (name ^ ".le.inf") (string_of_int total))
+    snapshot;
+  Buffer.contents b

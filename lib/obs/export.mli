@@ -1,0 +1,25 @@
+(** Serialization of {!Trace} spans and {!Metrics} snapshots.
+
+    Three formats, matching the three consumers:
+    - JSON lines (one object per span/event) for machine analysis and
+      the [@obs-smoke] validator;
+    - an indented span tree with durations for human reading
+      ([--trace-pretty]);
+    - a flat [key value] dump of the metrics registry ([--metrics]). *)
+
+val span_to_json : Trace.span -> string
+(** One span as a single-line JSON object:
+    [{"kind":"span","id":..,"parent":..,"domain":..,"name":"..",
+    "start_ns":..,"end_ns":..,"dur_ns":..,"attrs":{..}}]. *)
+
+val write_jsonl : path:string -> Trace.span list -> unit
+(** One {!span_to_json} line per span, in start ([id]) order. *)
+
+val pretty : Trace.span list -> string
+(** Indented tree (children under parents, start order, events marked
+    [*]), with per-span wall milliseconds and attributes. *)
+
+val metrics_dump : ?snapshot:(string * Metrics.value) list -> unit -> string
+(** Flat [key value] lines, sorted by key. Histograms expand to
+    [name.count], [name.sum], [name.mean] and cumulative [name.le.*]
+    lines. [snapshot] defaults to {!Metrics.snapshot}[ ()]. *)

@@ -1,0 +1,130 @@
+type counter = { c : int Atomic.t }
+type gauge = { g : float Atomic.t }
+
+type histogram = {
+  buckets : float array;  (* upper bounds, strictly increasing *)
+  counts : int Atomic.t array;  (* length buckets + 1; last = +inf *)
+  sum : float Atomic.t;
+  total : int Atomic.t;
+}
+
+type metric = Mcounter of counter | Mgauge of gauge | Mhistogram of histogram
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+let lock = Mutex.create ()
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name make describe =
+  Mutex.lock lock;
+  let m =
+    match Hashtbl.find_opt registry name with
+    | Some m -> m
+    | None ->
+        let m = make () in
+        Hashtbl.replace registry name m;
+        m
+  in
+  Mutex.unlock lock;
+  match describe m with
+  | Some v -> v
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Metrics: %S is already registered as another kind"
+           name)
+
+let counter name =
+  register name
+    (fun () -> Mcounter { c = Atomic.make 0 })
+    (function Mcounter c -> Some c | _ -> None)
+
+let incr c = Atomic.incr c.c
+let add c n = ignore (Atomic.fetch_and_add c.c n)
+let set_counter c n = Atomic.set c.c n
+let counter_value c = Atomic.get c.c
+
+let gauge name =
+  register name
+    (fun () -> Mgauge { g = Atomic.make 0. })
+    (function Mgauge g -> Some g | _ -> None)
+
+let set_gauge g v = Atomic.set g.g v
+let gauge_value g = Atomic.get g.g
+
+let default_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.; 10. |]
+
+let histogram ?(buckets = default_buckets) name =
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= buckets.(i - 1) then
+        invalid_arg "Metrics.histogram: buckets must be strictly increasing")
+    buckets;
+  register name
+    (fun () ->
+      Mhistogram
+        {
+          buckets = Array.copy buckets;
+          counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
+          sum = Atomic.make 0.;
+          total = Atomic.make 0;
+        })
+    (function Mhistogram h -> Some h | _ -> None)
+
+let rec atomic_float_add a x =
+  let v = Atomic.get a in
+  if not (Atomic.compare_and_set a v (v +. x)) then atomic_float_add a x
+
+let observe h x =
+  let n = Array.length h.buckets in
+  let rec slot i = if i >= n || x <= h.buckets.(i) then i else slot (i + 1) in
+  Atomic.incr h.counts.(slot 0);
+  Atomic.incr h.total;
+  atomic_float_add h.sum x
+
+let histogram_count h = Atomic.get h.total
+let histogram_sum h = Atomic.get h.sum
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : float array; counts : int array; sum : float }
+
+let snapshot () =
+  Mutex.lock lock;
+  let l =
+    Hashtbl.fold
+      (fun name m acc ->
+        let v =
+          match m with
+          | Mcounter c -> Counter (Atomic.get c.c)
+          | Mgauge g -> Gauge (Atomic.get g.g)
+          | Mhistogram h ->
+              Histogram
+                {
+                  buckets = Array.copy h.buckets;
+                  counts = Array.map Atomic.get h.counts;
+                  sum = Atomic.get h.sum;
+                }
+        in
+        (name, v) :: acc)
+      registry []
+  in
+  Mutex.unlock lock;
+  List.sort (fun (a, _) (b, _) -> compare a b) l
+
+let reset () =
+  Mutex.lock lock;
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Mcounter c -> Atomic.set c.c 0
+      | Mgauge g -> Atomic.set g.g 0.
+      | Mhistogram h ->
+          Array.iter (fun c -> Atomic.set c 0) h.counts;
+          Atomic.set h.sum 0.;
+          Atomic.set h.total 0)
+    registry;
+  Mutex.unlock lock

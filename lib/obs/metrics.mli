@@ -1,0 +1,71 @@
+(** Process-global registry of named counters, gauges and fixed-bucket
+    histograms.
+
+    Naming convention (DESIGN.md §9): dotted lowercase paths,
+    [<subsystem>.<detail>...<metric>] — e.g. [compile_cache.hits],
+    [pool.worker.0.tasks], [adapt.tape_peak_bytes],
+    [pool.busy_seconds]. Registration is get-or-create and
+    mutex-protected; updates are lock-free atomics, safe from
+    {!Cheffp_util.Pool} worker domains.
+
+    Counters and gauges are {e always live}: they cost one atomic
+    operation per update and several subsystems read them back as their
+    statistics ({!Cheffp_ir.Compile_cache.stats}). The {!enabled} flag
+    gates only the {e timed} observations — instrumentation sites that
+    would need a clock read (pool queue-wait/busy histograms) check it
+    first, so the flags-off path never touches the clock. *)
+
+type counter
+type gauge
+type histogram
+
+val enabled : unit -> bool
+(** Whether timed observations should be taken (default [false]). *)
+
+val set_enabled : bool -> unit
+
+(** {1 Counters} *)
+
+val counter : string -> counter
+(** Get or create. Raises [Invalid_argument] if the name is already
+    registered as a different metric kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val set_counter : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Gauges} *)
+
+val gauge : string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms} *)
+
+val default_buckets : float array
+(** Seconds-oriented: 1e-6 … 10, decade steps. *)
+
+val histogram : ?buckets:float array -> string -> histogram
+(** [buckets] are the inclusive upper bounds of the finite buckets (must
+    be strictly increasing); an implicit +inf bucket catches the rest.
+    [buckets] is ignored when the histogram already exists. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+(** {1 Registry} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { buckets : float array; counts : int array; sum : float }
+      (** [counts] has one more slot than [buckets] (the +inf bucket);
+          counts are per-bucket, not cumulative. *)
+
+val snapshot : unit -> (string * value) list
+(** Current value of every registered metric, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (registrations survive). *)

@@ -1,0 +1,155 @@
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+type kind = Span | Event
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  domain : int;
+  kind : kind;
+  start_ns : int64;
+  end_ns : int64;
+  attrs : (string * attr) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+
+(* Monotonized wall clock: gettimeofday readings are clamped through an
+   atomic high-water mark so the reported time never decreases, even
+   when read from several domains (repeated reads within the clock's
+   resolution collapse onto the same tick). *)
+let clock_floor = Atomic.make 0L
+
+let now_ns () =
+  let t = Int64.of_float (Unix.gettimeofday () *. 1e9) in
+  let rec raise_floor () =
+    let f = Atomic.get clock_floor in
+    if Int64.compare t f <= 0 then f
+    else if Atomic.compare_and_set clock_floor f t then t
+    else raise_floor ()
+  in
+  raise_floor ()
+
+(* Collector: finished spans and events, newest first. One mutex; a
+   record is appended once per span completion, which is cheap next to
+   the work the span measures. *)
+let lock = Mutex.create ()
+let recorded : span list ref = ref []
+let next_id = Atomic.make 0
+
+let record s =
+  Mutex.lock lock;
+  recorded := s :: !recorded;
+  Mutex.unlock lock
+
+let spans () =
+  Mutex.lock lock;
+  let l = !recorded in
+  Mutex.unlock lock;
+  List.rev l
+
+let reset () =
+  Mutex.lock lock;
+  recorded := [];
+  Mutex.unlock lock
+
+(* Per-domain stack of open spans. A frame with [fname = ""] is a
+   foreign parent installed by [with_parent]: it contributes its id for
+   parenting but is never recorded. *)
+type frame = {
+  fid : int;
+  fname : string;
+  fstart : int64;
+  fparent : int;
+  mutable fattrs : (string * attr) list;
+}
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let current () =
+  if not (Atomic.get enabled_flag) then -1
+  else
+    match !(Domain.DLS.get stack_key) with
+    | f :: _ -> f.fid
+    | [] -> -1
+
+let add_attr k v =
+  if Atomic.get enabled_flag then
+    match !(Domain.DLS.get stack_key) with
+    | f :: _ when f.fname <> "" -> f.fattrs <- (k, v) :: f.fattrs
+    | _ -> ()
+
+let domain_id () = (Domain.self () :> int)
+
+let with_span name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let parent = match !stack with p :: _ -> p.fid | [] -> -1 in
+    let frame =
+      {
+        fid = Atomic.fetch_and_add next_id 1;
+        fname = name;
+        fstart = now_ns ();
+        fparent = parent;
+        fattrs = [];
+      }
+    in
+    stack := frame :: !stack;
+    let finish () =
+      (match !stack with _ :: rest -> stack := rest | [] -> ());
+      record
+        {
+          id = frame.fid;
+          parent = frame.fparent;
+          name = frame.fname;
+          domain = domain_id ();
+          kind = Span;
+          start_ns = frame.fstart;
+          end_ns = now_ns ();
+          attrs = List.rev frame.fattrs;
+        }
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        frame.fattrs <- ("raised", Bool true) :: frame.fattrs;
+        finish ();
+        raise e
+  end
+
+let with_parent parent f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let frame =
+      { fid = parent; fname = ""; fstart = 0L; fparent = -1; fattrs = [] }
+    in
+    stack := frame :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        match !stack with _ :: rest -> stack := rest | [] -> ())
+      f
+  end
+
+let event ?(attrs = []) name =
+  if Atomic.get enabled_flag then begin
+    let t = now_ns () in
+    record
+      {
+        id = Atomic.fetch_and_add next_id 1;
+        parent = current ();
+        name;
+        domain = domain_id ();
+        kind = Event;
+        start_ns = t;
+        end_ns = t;
+        attrs;
+      }
+  end

@@ -1,0 +1,77 @@
+(** Hierarchical tracing for the analysis pipeline.
+
+    The paper's headline claims are about {e analysis cost}; this module
+    attributes that cost. Instrumented code wraps its phases in
+    {!with_span}; spans nest per domain (a domain-local stack carries
+    the current parent), carry attributes and point events, and land in
+    one process-global, mutex-protected collector — so spans recorded
+    from {!Cheffp_util.Pool} worker domains interleave safely with the
+    coordinator's.
+
+    {b Disabled by default, and free when disabled.} Every entry point
+    first reads one atomic flag; when tracing is off, {!with_span} is a
+    branch plus the call of [f] — no allocation, no clock read, no lock
+    (the zero-allocation claim is asserted by the test suite and the
+    bench overhead guard). Hot paths may still guard attribute
+    construction behind {!enabled} to avoid building the attribute
+    value itself.
+
+    {b Clock.} Timestamps are nanoseconds from a process-global
+    monotonized wall clock: raw [Unix.gettimeofday] readings are clamped
+    through an atomic high-water mark, so timestamps never decrease —
+    across domains included — and parent spans always cover their
+    children. *)
+
+type attr = Str of string | Int of int | Float of float | Bool of bool
+
+type kind = Span | Event
+
+type span = {
+  id : int;  (** unique, increasing in start order *)
+  parent : int;  (** id of the enclosing span, [-1] for roots *)
+  name : string;
+  domain : int;  (** numeric id of the recording domain *)
+  kind : kind;
+  start_ns : int64;
+  end_ns : int64;  (** equals [start_ns] for events *)
+  attrs : (string * attr) list;  (** in addition order *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Enabling mid-run is safe; spans already in flight on other domains
+    simply keep their recorded parents. *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a fresh span. The span is
+    recorded when [f] returns {e or raises} (the exception is
+    re-raised); an escaping exception marks the span with
+    [("raised", Bool true)]. When disabled: exactly [f ()]. *)
+
+val add_attr : string -> attr -> unit
+(** Attach an attribute to the innermost open span of this domain.
+    No-op when disabled or outside any span. *)
+
+val event : ?attrs:(string * attr) list -> string -> unit
+(** Record an instant event under the current span. *)
+
+val current : unit -> int
+(** Id of this domain's innermost open span, [-1] if none (or when
+    disabled). *)
+
+val with_parent : int -> (unit -> 'a) -> 'a
+(** [with_parent id f] parents spans opened by [f] {e on this domain}
+    under span [id] — the bridge {!Cheffp_util.Pool} uses to nest worker
+    spans under the span that issued the parallel batch. [-1] restores
+    root parenting. *)
+
+val spans : unit -> span list
+(** Everything recorded so far, in completion order (children before
+    their parents; sort by [id] for start order). Thread-safe. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans. Open spans on other domains still record
+    on completion. *)
+
+val now_ns : unit -> int64
+(** The monotonized clock itself (exposed for the bench harness). *)

@@ -1,38 +1,96 @@
+module Trace = Cheffp_obs.Trace
+module Metrics = Cheffp_obs.Metrics
+
 let default_jobs () = max 1 (Domain.recommended_domain_count () - 1)
 
 let sequential_map f xs = List.map f xs
+
+(* Registry handles are fetched once per map call / per worker, not per
+   task; updates themselves are lock-free atomics. *)
+let tasks_total () = Metrics.counter "pool.tasks"
+let worker_tasks w = Metrics.counter (Printf.sprintf "pool.worker.%d.tasks" w)
+let queue_wait () = Metrics.histogram "pool.queue_wait_seconds"
+let busy () = Metrics.histogram "pool.busy_seconds"
 
 let parallel_map ?jobs f xs =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   match xs with
   | [] -> []
   | [ x ] -> [ f x ]
-  | xs when jobs <= 1 -> sequential_map f xs
+  | xs when jobs <= 1 ->
+      (* Degraded mode still counts its tasks (one atomic add per item)
+         so `-j 1` runs show up in the same metrics; it takes no
+         timestamps and spawns nothing. *)
+      let total = tasks_total () and mine = worker_tasks 0 in
+      sequential_map
+        (fun x ->
+          let y = f x in
+          Metrics.incr total;
+          Metrics.incr mine;
+          y)
+        xs
   | xs ->
       let input = Array.of_list xs in
       let n = Array.length input in
       let results : ('b, exn) result option array = Array.make n None in
       let cursor = Atomic.make 0 in
       let failed = Atomic.make false in
+      let total = tasks_total () in
+      (* Timed observations (queue-wait = idle gap before claiming an
+         item, busy = the item itself) need two clock reads per task, so
+         they are gated; task counters are always on. *)
+      let timed = Metrics.enabled () in
+      let wait_h = if timed then Some (queue_wait (), busy ()) else None in
+      let trace_parent = Trace.current () in
+      let batch_start = if timed then Unix.gettimeofday () else 0. in
       (* Workers pull the next index from the shared cursor until the
          items run out or a sibling records a failure. Each index is
          claimed by exactly one worker, so the per-slot writes below
          never race; joining the domains publishes them to the caller. *)
-      let rec worker () =
-        if not (Atomic.get failed) then begin
-          let i = Atomic.fetch_and_add cursor 1 in
-          if i < n then begin
-            (match f input.(i) with
-            | v -> results.(i) <- Some (Ok v)
-            | exception e ->
-                results.(i) <- Some (Error e);
-                Atomic.set failed true);
-            worker ()
+      let worker w () =
+        let mine = worker_tasks w in
+        let last_end = ref batch_start in
+        let rec loop () =
+          if not (Atomic.get failed) then begin
+            let i = Atomic.fetch_and_add cursor 1 in
+            if i < n then begin
+              let start =
+                match wait_h with
+                | Some (qw, _) ->
+                    let t = Unix.gettimeofday () in
+                    Metrics.observe qw (t -. !last_end);
+                    t
+                | None -> 0.
+              in
+              (match f input.(i) with
+              | v -> results.(i) <- Some (Ok v)
+              | exception e ->
+                  results.(i) <- Some (Error e);
+                  Atomic.set failed true);
+              Metrics.incr total;
+              Metrics.incr mine;
+              (match wait_h with
+              | Some (_, bh) ->
+                  let t = Unix.gettimeofday () in
+                  Metrics.observe bh (t -. start);
+                  last_end := t
+              | None -> ());
+              loop ()
+            end
           end
-        end
+        in
+        loop ()
       in
-      let spawned = Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker) in
-      worker ();
+      let spawned =
+        Array.init
+          (min jobs n - 1)
+          (fun k ->
+            Domain.spawn (fun () ->
+                (* Spans opened inside worker tasks nest under the span
+                   that issued this batch. *)
+                Trace.with_parent trace_parent (worker (k + 1))))
+      in
+      worker 0 ();
       Array.iter Domain.join spawned;
       Array.iter (function Some (Error e) -> raise e | _ -> ()) results;
       Array.to_list

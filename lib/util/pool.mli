@@ -18,7 +18,19 @@
       remaining unstarted items are abandoned;
     - the mapped function must be safe to call from several domains at
       once (the tuning paths give every evaluation its own argument
-      copies and cost counter — see DESIGN.md, "Parallel evaluation"). *)
+      copies and cost counter — see DESIGN.md, "Parallel evaluation").
+
+    Observability (DESIGN.md §9): every executed task increments the
+    [pool.tasks] and per-worker-slot [pool.worker.<k>.tasks] counters of
+    {!Cheffp_obs.Metrics} (slot 0 is the calling domain; the sequential
+    degraded mode counts under slot 0 too, lists of fewer than two
+    elements are not counted). When {!Cheffp_obs.Metrics.enabled} is
+    set, each task additionally records its queue-wait (idle gap before
+    claiming an item) and busy time into the [pool.queue_wait_seconds] /
+    [pool.busy_seconds] histograms — timed observations are gated
+    because they cost two clock reads per task. Spans opened by tasks
+    nest under the span that was current when [parallel_map] was
+    called. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1] (one slot is left for the

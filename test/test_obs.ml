@@ -1,0 +1,440 @@
+(* lib/obs: span collection, metrics registry, export formats, and the
+   instrumentation contracts the rest of the tree relies on — the
+   disabled path is inert and allocation-free, the compile cache LRU
+   evicts and counts, and the parallel ADAPT walk is bit-identical. *)
+
+open Cheffp_ir
+module Trace = Cheffp_obs.Trace
+module Metrics = Cheffp_obs.Metrics
+module Export = Cheffp_obs.Export
+module Pool = Cheffp_util.Pool
+module Compile_cache = Cheffp_ir.Compile_cache
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+module Adapt = Cheffp_adapt.Adapt
+
+(* Every test leaves the global collectors the way it found them:
+   disabled and empty. *)
+let with_tracing f =
+  Trace.reset ();
+  Trace.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.set_enabled false;
+      Trace.reset ())
+    f
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else String.sub haystack i nn = needle || go (i + 1)
+  in
+  go 0
+
+let find name spans =
+  match List.find_opt (fun s -> s.Trace.name = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S not recorded" name
+
+(* ------------------------------------------------------------------ *)
+(* Span collection                                                    *)
+
+let test_nesting () =
+  let spans =
+    with_tracing (fun () ->
+        Trace.with_span "outer" (fun () ->
+            Trace.with_span "first" (fun () -> ());
+            Trace.with_span "second" (fun () ->
+                Trace.with_span "inner" (fun () -> ())));
+        Trace.spans ())
+  in
+  Alcotest.(check int) "four spans" 4 (List.length spans);
+  let outer = find "outer" spans
+  and first = find "first" spans
+  and second = find "second" spans
+  and inner = find "inner" spans in
+  Alcotest.(check int) "outer is a root" (-1) outer.Trace.parent;
+  Alcotest.(check int) "first under outer" outer.Trace.id first.Trace.parent;
+  Alcotest.(check int) "second under outer" outer.Trace.id second.Trace.parent;
+  Alcotest.(check int) "inner under second" second.Trace.id inner.Trace.parent;
+  (* Ids are assigned at span start, so they order by start time. *)
+  Alcotest.(check bool) "first starts before second" true
+    (first.Trace.id < second.Trace.id);
+  (* Parents cover their children on the monotonized clock. *)
+  List.iter
+    (fun (p, c) ->
+      Alcotest.(check bool) "child starts within parent" true
+        (p.Trace.start_ns <= c.Trace.start_ns);
+      Alcotest.(check bool) "child ends within parent" true
+        (c.Trace.end_ns <= p.Trace.end_ns))
+    [ (outer, first); (outer, second); (second, inner) ];
+  (* Completion order: children land before the span that encloses them. *)
+  let order = List.map (fun s -> s.Trace.name) spans in
+  Alcotest.(check (list string))
+    "completion order" [ "first"; "inner"; "second"; "outer" ] order
+
+let test_exception () =
+  let spans =
+    with_tracing (fun () ->
+        (try Trace.with_span "boom" (fun () -> failwith "no") with
+        | Failure _ -> ());
+        Trace.spans ())
+  in
+  let s = find "boom" spans in
+  Alcotest.(check bool) "raised attr set" true
+    (List.assoc_opt "raised" s.Trace.attrs = Some (Trace.Bool true))
+
+let test_attrs_events () =
+  let spans =
+    with_tracing (fun () ->
+        Trace.with_span "work" (fun () ->
+            Trace.add_attr "k" (Trace.Str "v");
+            Trace.add_attr "n" (Trace.Int 7);
+            Trace.event ~attrs:[ ("hit", Trace.Bool true) ] "tick");
+        Trace.spans ())
+  in
+  let work = find "work" spans and tick = find "tick" spans in
+  Alcotest.(check bool) "str attr" true
+    (List.assoc_opt "k" work.Trace.attrs = Some (Trace.Str "v"));
+  Alcotest.(check bool) "int attr" true
+    (List.assoc_opt "n" work.Trace.attrs = Some (Trace.Int 7));
+  Alcotest.(check bool) "event kind" true (tick.Trace.kind = Trace.Event);
+  Alcotest.(check int) "event parented" work.Trace.id tick.Trace.parent;
+  Alcotest.(check bool) "event is instant" true
+    (tick.Trace.start_ns = tick.Trace.end_ns)
+
+let test_pool_parenting () =
+  let spans =
+    with_tracing (fun () ->
+        Trace.with_span "batch" (fun () ->
+            ignore
+              (Pool.parallel_map ~jobs:3
+                 (fun i -> Trace.with_span "task" (fun () -> i * i))
+                 [ 1; 2; 3; 4; 5 ]));
+        Trace.spans ())
+  in
+  let batch = find "batch" spans in
+  let tasks = List.filter (fun s -> s.Trace.name = "task") spans in
+  Alcotest.(check int) "all tasks recorded" 5 (List.length tasks);
+  List.iter
+    (fun t ->
+      Alcotest.(check int) "task parented under batch (across domains)"
+        batch.Trace.id t.Trace.parent)
+    tasks
+
+(* ------------------------------------------------------------------ *)
+(* Disabled path                                                      *)
+
+let test_disabled_inert () =
+  Trace.reset ();
+  Alcotest.(check bool) "disabled by default" false (Trace.enabled ());
+  let r = Trace.with_span "ghost" (fun () -> 41 + 1) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Trace.add_attr "k" (Trace.Str "v");
+  Trace.event "ghost-event";
+  Alcotest.(check int) "no current span" (-1) (Trace.current ());
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Trace.spans ()))
+
+let noop () = ()
+
+let test_disabled_no_alloc () =
+  Trace.reset ();
+  (* Warm up so the first-call effects (closure promotion etc.) are out
+     of the measured window. *)
+  for _ = 1 to 1_000 do
+    Trace.with_span "x" noop
+  done;
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 100_000 do
+    Trace.with_span "x" noop
+  done;
+  let dw = Gc.minor_words () -. w0 in
+  Alcotest.(check (float 0.)) "no minor allocation over 100k calls" 0. dw
+
+(* ------------------------------------------------------------------ *)
+(* Metrics                                                            *)
+
+let test_metrics_basic () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.c" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  Alcotest.(check int) "counter" 5 (Metrics.counter_value c);
+  let g = Metrics.gauge "test.g" in
+  Metrics.set_gauge g 2.5;
+  Alcotest.(check (float 0.)) "gauge" 2.5 (Metrics.gauge_value g);
+  let h = Metrics.histogram ~buckets:[| 1.; 10. |] "test.h" in
+  Metrics.observe h 0.5;
+  Metrics.observe h 5.;
+  Metrics.observe h 50.;
+  Alcotest.(check int) "histogram count" 3 (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "histogram sum" 55.5
+    (Metrics.histogram_sum h);
+  (* Same name returns the same metric; same name as a different kind
+     is a registration error. *)
+  Metrics.incr (Metrics.counter "test.c");
+  Alcotest.(check int) "get-or-create shares state" 6
+    (Metrics.counter_value c);
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (try
+       ignore (Metrics.gauge "test.c");
+       false
+     with Invalid_argument _ -> true);
+  Metrics.reset ();
+  Alcotest.(check int) "reset zeroes in place" 0 (Metrics.counter_value c)
+
+let test_metrics_concurrent () =
+  Metrics.reset ();
+  let c = Metrics.counter "test.concurrent" in
+  let h = Metrics.histogram "test.concurrent_h" in
+  ignore
+    (Pool.parallel_map ~jobs:4
+       (fun _ ->
+         for _ = 1 to 1_000 do
+           Metrics.incr c;
+           Metrics.observe h 1e-3
+         done)
+       [ (); (); (); (); (); (); (); () ]);
+  Alcotest.(check int) "8k increments survive 4 domains" 8_000
+    (Metrics.counter_value c);
+  Alcotest.(check int) "8k observations survive 4 domains" 8_000
+    (Metrics.histogram_count h);
+  Alcotest.(check (float 1e-9)) "histogram sum exact" 8.
+    (Metrics.histogram_sum h);
+  Metrics.reset ()
+
+let test_pool_task_metrics () =
+  Metrics.reset ();
+  ignore (Pool.parallel_map ~jobs:3 (fun i -> i + 1) [ 1; 2; 3; 4; 5; 6 ]);
+  let snap = Metrics.snapshot () in
+  let counter name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Counter n) -> n
+    | _ -> Alcotest.failf "counter %S missing" name
+  in
+  Alcotest.(check int) "pool.tasks counts the batch" 6 (counter "pool.tasks");
+  let per_worker =
+    List.filter_map
+      (fun (name, v) ->
+        match (String.split_on_char '.' name, v) with
+        | [ "pool"; "worker"; _; "tasks" ], Metrics.Counter n -> Some n
+        | _ -> None)
+      snap
+  in
+  Alcotest.(check int) "per-worker counts sum to the batch" 6
+    (List.fold_left ( + ) 0 per_worker);
+  (* Which slot claims how much is scheduling-dependent (on a single
+     CPU the caller may drain the whole batch), but every requested
+     slot must have registered its counter. Registration outlives
+     Metrics.reset, so earlier tests may have left more slots. *)
+  Alcotest.(check bool) "a counter per requested worker slot" true
+    (List.length per_worker >= 3);
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Export                                                             *)
+
+(* Minimal structural JSON check: balanced braces/brackets outside
+   strings, no raw control characters, one object per line. The full
+   parse is done by the @obs-smoke validator (validate_trace.ml). *)
+let json_object_shaped line =
+  let depth = ref 0 and in_str = ref false and esc = ref false and ok = ref true in
+  String.iter
+    (fun ch ->
+      if !esc then esc := false
+      else if !in_str then begin
+        if ch = '\\' then esc := true
+        else if ch = '"' then in_str := false
+        else if Char.code ch < 0x20 then ok := false
+      end
+      else
+        match ch with
+        | '"' -> in_str := true
+        | '{' | '[' -> incr depth
+        | '}' | ']' ->
+            decr depth;
+            if !depth < 0 then ok := false
+        | _ -> ())
+    line;
+  !ok && !depth = 0 && (not !in_str)
+  && String.length line > 1
+  && line.[0] = '{'
+  && line.[String.length line - 1] = '}'
+
+let test_jsonl () =
+  let spans =
+    with_tracing (fun () ->
+        Trace.with_span "a" (fun () ->
+            Trace.add_attr "s" (Trace.Str "quote \" backslash \\ newline \n");
+            Trace.add_attr "f" (Trace.Float infinity);
+            Trace.with_span "b" (fun () -> Trace.event "e"));
+        Trace.spans ())
+  in
+  let path = Filename.temp_file "cheffp_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Export.write_jsonl ~path spans;
+      let ic = open_in path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      Alcotest.(check int) "one line per span" (List.length spans)
+        (List.length lines);
+      List.iter
+        (fun l ->
+          Alcotest.(check bool) "line is a balanced JSON object" true
+            (json_object_shaped l))
+        lines;
+      (* Lines come out in id (start) order. *)
+      Alcotest.(check bool) "root first" true
+        (contains (List.hd lines) "\"name\":\"a\""))
+
+let test_metrics_dump () =
+  Metrics.reset ();
+  let c = Metrics.counter "dump.c" in
+  Metrics.add c 3;
+  let h = Metrics.histogram ~buckets:[| 1. |] "dump.h" in
+  Metrics.observe h 0.5;
+  let dump = Export.metrics_dump () in
+  let has needle = contains dump needle in
+  Alcotest.(check bool) "counter line" true (has "dump.c 3");
+  Alcotest.(check bool) "histogram count line" true (has "dump.h.count 1");
+  Alcotest.(check bool) "histogram bucket line" true (has "dump.h.le.1 1");
+  Alcotest.(check bool) "histogram inf line" true (has "dump.h.le.inf 1");
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Compile cache LRU                                                  *)
+
+let cache_src =
+  {|
+func f(x: f64): f64 {
+  var a: f64;
+  var b: f64;
+  a = x * x;
+  b = a + x;
+  return b;
+}
+|}
+
+let test_lru_eviction () =
+  let prog = Parser.parse_program cache_src in
+  let compile vars =
+    let config = Config.demote_all Config.double vars Fp.F32 in
+    ignore (Compile_cache.compile ~config ~prog ~func:"f" ())
+  in
+  Compile_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Compile_cache.set_max_entries Compile_cache.default_max_entries;
+      Compile_cache.clear ())
+    (fun () ->
+      Compile_cache.set_max_entries 2;
+      compile [];
+      compile [ "a" ];
+      compile [ "b" ];
+      (* capacity 2: [] was least recently used and must be gone *)
+      let s = Compile_cache.stats () in
+      Alcotest.(check int) "three misses" 3 s.Compile_cache.misses;
+      Alcotest.(check int) "one eviction" 1 s.Compile_cache.evictions;
+      Alcotest.(check int) "bounded size" 2 s.Compile_cache.size;
+      compile [ "a" ];
+      let s = Compile_cache.stats () in
+      Alcotest.(check int) "recent entry still hits" 1 s.Compile_cache.hits;
+      compile [];
+      let s = Compile_cache.stats () in
+      Alcotest.(check int) "evicted entry recompiles" 4 s.Compile_cache.misses;
+      (* Touching [a] made [b] the LRU: shrinking to 1 keeps [a]. *)
+      compile [ "a" ];
+      Compile_cache.set_max_entries 1;
+      let s = Compile_cache.stats () in
+      Alcotest.(check int) "shrinking evicts down to the bound" 1
+        s.Compile_cache.size;
+      Alcotest.(check bool) "set_max_entries validates" true
+        (try
+           Compile_cache.set_max_entries 0;
+           false
+         with Invalid_argument _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel ADAPT walk                                                *)
+
+(* Big enough that the tape spans several walk chunks, so jobs > 1
+   actually fans out (Tape.walk_chunk nodes per pool task). *)
+let adapt_run tape =
+  let module N = (val Adapt.num tape) in
+  let open N in
+  let x = input "x" 1.2 in
+  let y = input "y" 0.7 in
+  let rec loop acc i =
+    if Stdlib.(i > 4_000) then acc
+    else
+      let t = register "t" (sin (x * of_int i) / (y + of_int i)) in
+      loop (register "acc" (acc + (t * t))) Stdlib.(i + 1)
+  in
+  sqrt (loop (of_float 0.) 1)
+
+let test_adapt_parallel_identical () =
+  let analyze jobs =
+    match Adapt.analyze ~jobs adapt_run with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "unexpected OOM"
+  in
+  let seq = analyze 1 in
+  Metrics.reset ();
+  let par = analyze 4 in
+  Alcotest.(check bool) "total error bit-identical" true
+    (seq.Adapt.total_error = par.Adapt.total_error);
+  List.iter2
+    (fun (n1, e1) (n2, e2) ->
+      Alcotest.(check string) "per-variable name order" n1 n2;
+      Alcotest.(check bool) "per-variable error bit-identical" true (e1 = e2))
+    seq.Adapt.per_variable par.Adapt.per_variable;
+  (* The fan-out is observable: the walk's chunks went through the pool. *)
+  let snap = Metrics.snapshot () in
+  (match List.assoc_opt "pool.tasks" snap with
+  | Some (Metrics.Counter n) ->
+      Alcotest.(check bool) "walk chunks counted by the pool" true (n > 0)
+  | _ -> Alcotest.fail "pool.tasks missing");
+  Metrics.reset ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "nesting and ordering" `Quick test_nesting;
+          Alcotest.test_case "exception marks span" `Quick test_exception;
+          Alcotest.test_case "attrs and events" `Quick test_attrs_events;
+          Alcotest.test_case "pool worker parenting" `Quick
+            test_pool_parenting;
+          Alcotest.test_case "disabled path inert" `Quick test_disabled_inert;
+          Alcotest.test_case "disabled path allocation-free" `Quick
+            test_disabled_no_alloc;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "registry basics" `Quick test_metrics_basic;
+          Alcotest.test_case "concurrent updates" `Quick
+            test_metrics_concurrent;
+          Alcotest.test_case "pool task counters" `Quick
+            test_pool_task_metrics;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl well-formed" `Quick test_jsonl;
+          Alcotest.test_case "metrics dump" `Quick test_metrics_dump;
+        ] );
+      ( "instrumented",
+        [
+          Alcotest.test_case "compile cache LRU" `Quick test_lru_eviction;
+          Alcotest.test_case "adapt parallel walk bit-identical" `Quick
+            test_adapt_parallel_identical;
+        ] );
+    ]

@@ -1,0 +1,304 @@
+(* @obs-smoke validator: checks a --trace JSON-lines file (and
+   optionally a --metrics dump) emitted by the cheffp CLI.
+
+     validate_trace trace.jsonl [--require a,b,c] [--metrics dump.txt]
+
+   Verifies, with a self-contained JSON parser (no JSON library in the
+   build environment, and the point is to validate our own emitter
+   against something independent of it):
+   - every line parses as a JSON object with the span schema fields;
+   - ids are unique and increasing, parents precede children;
+   - every non-root parent exists, and parent spans cover their
+     children's [start_ns, end_ns] on the trace clock;
+   - exactly one root span, and it covers every other span;
+   - every --require name occurs as a span/event name.
+
+   With --metrics, the dump must contain the compile-cache counters and
+   at least one pool worker task counter (the ISSUE's acceptance
+   criteria). Exits non-zero with a message on the first violation. *)
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("validate_trace: " ^ s); exit 1) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (objects, arrays, strings, numbers, literals)  *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> raise (Bad (Printf.sprintf "expected %c at %d" c !pos))
+  in
+  let skip_ws () =
+    while
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> true
+      | _ -> false
+    do
+      advance ()
+    done
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> raise (Bad "unterminated string")
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some ('"' as c) | Some ('\\' as c) | Some ('/' as c) ->
+              Buffer.add_char b c;
+              advance ();
+              go ()
+          | Some 'n' -> Buffer.add_char b '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char b '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char b '\r'; advance (); go ()
+          | Some 'b' -> Buffer.add_char b '\b'; advance (); go ()
+          | Some 'f' -> Buffer.add_char b '\012'; advance (); go ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > n then raise (Bad "bad \\u escape");
+              let hex = String.sub s !pos 4 in
+              let code =
+                try int_of_string ("0x" ^ hex)
+                with _ -> raise (Bad "bad \\u escape")
+              in
+              pos := !pos + 4;
+              (* BMP-only decoding is enough for our own emitter. *)
+              if code < 0x80 then Buffer.add_char b (Char.chr code)
+              else Buffer.add_string b (Printf.sprintf "\\u%s" hex);
+              go ()
+          | _ -> raise (Bad "bad escape"))
+      | Some c when Char.code c < 0x20 -> raise (Bad "raw control char")
+      | Some c ->
+          Buffer.add_char b c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      match peek () with
+      | Some ('0' .. '9' | '-' | '+' | '.' | 'e' | 'E') -> true
+      | _ -> false
+    do
+      advance ()
+    done;
+    let tok = String.sub s start (!pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> raise (Bad ("bad number " ^ tok))
+  in
+  let literal lit v =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then begin
+      pos := !pos + l;
+      v
+    end
+    else raise (Bad ("bad literal at " ^ string_of_int !pos))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> Str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> raise (Bad "expected , or } in object")
+          in
+          members []
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> raise (Bad "expected , or ] in array")
+          in
+          elems []
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some ('0' .. '9' | '-') -> parse_number ()
+    | _ -> raise (Bad ("unexpected input at " ^ string_of_int !pos))
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing input");
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Span checks                                                        *)
+
+type span = {
+  id : int;
+  parent : int;
+  name : string;
+  kind : string;
+  start_ns : float;
+  end_ns : float;
+}
+
+let span_of_line lineno line =
+  let obj =
+    match try parse_json line with Bad m -> fail "line %d: %s" lineno m with
+    | Obj kvs -> kvs
+    | _ -> fail "line %d: not a JSON object" lineno
+  in
+  let get k =
+    match List.assoc_opt k obj with
+    | Some v -> v
+    | None -> fail "line %d: missing field %S" lineno k
+  in
+  let num k = match get k with Num f -> f | _ -> fail "line %d: %S not a number" lineno k in
+  let str k = match get k with Str s -> s | _ -> fail "line %d: %S not a string" lineno k in
+  (* attrs is omitted when empty *)
+  (match List.assoc_opt "attrs" obj with
+  | Some (Obj _) | None -> ()
+  | Some _ -> fail "line %d: attrs not an object" lineno);
+  ignore (num "domain");
+  ignore (num "dur_ns");
+  {
+    id = int_of_float (num "id");
+    parent = int_of_float (num "parent");
+    name = str "name";
+    kind = str "kind";
+    start_ns = num "start_ns";
+    end_ns = num "end_ns";
+  }
+
+let () =
+  let trace_file = ref None and metrics_file = ref None and required = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--require" :: names :: rest ->
+        required := String.split_on_char ',' names;
+        parse_args rest
+    | "--metrics" :: file :: rest ->
+        metrics_file := Some file;
+        parse_args rest
+    | file :: rest ->
+        trace_file := Some file;
+        parse_args rest
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let trace_file =
+    match !trace_file with
+    | Some f -> f
+    | None -> fail "usage: validate_trace FILE [--require a,b] [--metrics F]"
+  in
+  let lines =
+    let ic = open_in trace_file in
+    let acc = ref [] in
+    (try
+       while true do
+         acc := input_line ic :: !acc
+       done
+     with End_of_file -> close_in ic);
+    List.rev !acc
+  in
+  if lines = [] then fail "%s: empty trace" trace_file;
+  let spans = List.mapi (fun i l -> span_of_line (i + 1) l) lines in
+  (* ids unique and strictly increasing (write_jsonl emits start order) *)
+  ignore
+    (List.fold_left
+       (fun prev s ->
+         if s.id <= prev then fail "span ids not strictly increasing at %d" s.id;
+         s.id)
+       (-1) spans);
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
+  (* parentage: roots and containment *)
+  let roots = List.filter (fun s -> s.parent = -1) spans in
+  (match roots with
+  | [ _ ] -> ()
+  | l -> fail "expected exactly one root span, found %d" (List.length l));
+  let root = List.hd roots in
+  List.iter
+    (fun s ->
+      (match s.kind with
+      | "span" | "event" -> ()
+      | k -> fail "span %d: unknown kind %S" s.id k);
+      if s.end_ns < s.start_ns then fail "span %d ends before it starts" s.id;
+      if s.id <> root.id then begin
+        let p =
+          match Hashtbl.find_opt by_id s.parent with
+          | Some p -> p
+          | None -> fail "span %d: parent %d not in trace" s.id s.parent
+        in
+        if p.id >= s.id then fail "span %d: parent %d does not precede it" s.id p.id;
+        if not (p.start_ns <= s.start_ns && s.end_ns <= p.end_ns) then
+          fail "span %d (%s) escapes its parent %d (%s)" s.id s.name p.id p.name;
+        if not (root.start_ns <= s.start_ns && s.end_ns <= root.end_ns) then
+          fail "span %d (%s) escapes the root" s.id s.name
+      end)
+    spans;
+  (* required phase names *)
+  List.iter
+    (fun name ->
+      if name <> "" && not (List.exists (fun s -> s.name = name) spans) then
+        fail "required span %S missing (have: %s)" name
+          (String.concat ", "
+             (List.sort_uniq compare (List.map (fun s -> s.name) spans))))
+    !required;
+  (* metrics dump: the ISSUE's acceptance keys *)
+  Option.iter
+    (fun file ->
+      let ic = open_in file in
+      let keys = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.index_opt line ' ' with
+           | Some i when i > 0 -> keys := String.sub line 0 i :: !keys
+           | _ -> ()
+         done
+       with End_of_file -> close_in ic);
+      List.iter
+        (fun k ->
+          if not (List.mem k !keys) then
+            fail "%s: metrics key %S missing" file k)
+        [
+          "compile_cache.hits"; "compile_cache.misses";
+          "compile_cache.evictions"; "pool.tasks"; "pool.worker.0.tasks";
+        ])
+    !metrics_file;
+  Printf.printf
+    "validate_trace: OK — %d span(s), root %S covers all, required phases \
+     present\n"
+    (List.length spans) root.name
