@@ -30,7 +30,7 @@ let all ~jobs () =
   Tables.table2 ~sweeps ();
   Ablations.run_all ();
   ignore (Perf.search_bench ~jobs:(max jobs 2) ());
-  Bech.run ()
+  Micro.run ()
 
 (* Tiny-size smoke pass (seconds, not minutes): exercises the sweep
    plumbing, the parallel search path and the compile cache so
@@ -38,9 +38,9 @@ let all ~jobs () =
 let smoke ~jobs () =
   let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
   ignore sweep;
-  let rows =
+  let rows, soundness =
     Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
-      ~workloads:(Perf.smoke_workloads ()) ()
+      ~workloads:(Perf.smoke_workloads ()) ~small_soundness:true ()
   in
   let ok = List.for_all (fun r -> r.Perf.identical) rows in
   let hits =
@@ -54,12 +54,14 @@ let smoke ~jobs () =
       rows
   in
   let overhead_ok = Perf.overhead_guard ~limit_pct:2.0 rows in
+  let sound = Perf.soundness_coverage soundness = 1.0 in
   Printf.printf
     "smoke: outcomes identical across jobs (incl. instrumented): %b; cache \
      hits on every workload: %b; traced phases + pool metrics present: %b; \
-     disabled-instrumentation overhead < 2%%: %b\n"
-    ok hits traced overhead_ok;
-  if not (ok && hits && traced && overhead_ok) then exit 1
+     disabled-instrumentation overhead < 2%%: %b; estimate sound on every \
+     benchmark: %b\n"
+    ok hits traced overhead_ok sound;
+  if not (ok && hits && traced && overhead_ok && sound) then exit 1
 
 let () =
   Printf.printf "CHEF-FP reproduction benchmark harness\n";
@@ -102,5 +104,5 @@ let () =
   | "perf-search" -> ignore (Perf.search_bench ~jobs:(max jobs 2) ())
   | "smoke" -> smoke ~jobs ()
   | "suite" -> Tables.suite ()
-  | "bechamel" -> Bech.run ()
+  | "bechamel" -> Micro.run ()
   | _ -> usage ()

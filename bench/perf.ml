@@ -269,6 +269,104 @@ let overhead_guard ?(limit_pct = 2.0) rows =
   in
   ok_alloc && ok_cost
 
+(* ------------------------------------------------------------------ *)
+(* Estimate-soundness block: every built-in benchmark is checked
+   against the double-double shadow oracle at its EXPERIMENTS.md-style
+   configuration (tuner-chosen for the Table I trio, the Fig. 9
+   split set for HPCCG, uniform F32 for per-option Black-Scholes).
+   BENCH_search.json carries the coverage rate and the median
+   tightness so estimate-quality regressions show up in the perf
+   trajectory, not only in unit tests. *)
+
+module Oracle = Cheffp_shadow.Oracle
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+
+type soundness_row = { sbench : string; verdict : Oracle.verdict }
+
+let soundness_rows ?(small = false) () =
+  let tuned ~prog ~func ~args ~threshold =
+    (Tuner.tune ~prog ~func ~args ~threshold ()).Tuner.evaluation.Tuner.config
+  in
+  let check sbench ~prog ~func ~args config =
+    {
+      sbench;
+      verdict = Oracle.check_estimate ~prog ~func ~config args;
+    }
+  in
+  let n = if small then 2_000 else 10_000 in
+  let arc =
+    let args = B.Arclength.args ~n in
+    let prog = B.Arclength.program and func = B.Arclength.func_name in
+    check "arclength" ~prog ~func ~args
+      (tuned ~prog ~func ~args ~threshold:1e-5)
+  in
+  let simpsons =
+    let args = B.Simpsons.args ~a:0. ~b:Float.pi ~n in
+    let prog = B.Simpsons.program and func = B.Simpsons.func_name in
+    check "simpsons" ~prog ~func ~args
+      (tuned ~prog ~func ~args ~threshold:1e-6)
+  in
+  let kmeans =
+    let w = B.Kmeans.generate ~npoints:(if small then 300 else 1_000) () in
+    let args = B.Kmeans.args w in
+    let prog = B.Kmeans.program and func = B.Kmeans.func_name in
+    check "kmeans" ~prog ~func ~args (tuned ~prog ~func ~args ~threshold:1e-6)
+  in
+  let blackscholes =
+    let w = B.Blackscholes.generate ~n:4 () in
+    check "blackscholes"
+      ~prog:(B.Blackscholes.program B.Blackscholes.Exact)
+      ~func:B.Blackscholes.price_func
+      ~args:(B.Blackscholes.price_args w 0)
+      (Config.uniform Fp.F32)
+  in
+  let hpccg =
+    let d = if small then 6 else 8 in
+    let w = B.Hpccg.generate ~nx:d ~ny:d ~nz:d ~max_iter:10 () in
+    check "hpccg" ~prog:B.Hpccg.program ~func:B.Hpccg.func_name
+      ~args:(B.Hpccg.args w)
+      (Config.demote_all Config.double
+         [ "r"; "p"; "ap"; "sum"; "alpha"; "beta"; "rtrans"; "oldrtrans" ]
+         Fp.F32)
+  in
+  [ arc; simpsons; kmeans; blackscholes; hpccg ]
+
+let soundness_coverage rows =
+  let sound = List.filter (fun r -> r.verdict.Oracle.sound) rows in
+  float_of_int (List.length sound) /. float_of_int (max 1 (List.length rows))
+
+let soundness_median_tightness rows =
+  match
+    List.filter_map (fun r -> r.verdict.Oracle.tightness) rows
+    |> Array.of_list
+  with
+  | [||] -> Float.nan
+  | a -> Cheffp_util.Stats.median a
+
+let print_soundness rows =
+  print_endline
+    "estimate soundness vs double-double shadow oracle (extended mode, \
+     margin 1):";
+  Table.print
+    ~header:[ "benchmark"; "measured"; "bound"; "tightness"; "sound" ]
+    (List.map
+       (fun r ->
+         let v = r.verdict in
+         [
+           r.sbench;
+           Printf.sprintf "%.3e" v.Oracle.measured_error;
+           Printf.sprintf "%.3e" v.Oracle.bound;
+           (match v.Oracle.tightness with
+           | Some t -> Printf.sprintf "%.2fx" t
+           | None -> "-");
+           string_of_bool v.Oracle.sound;
+         ])
+       rows);
+  Printf.printf "coverage %.0f%%, median tightness %.2fx\n"
+    (100. *. soundness_coverage rows)
+    (soundness_median_tightness rows)
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -280,7 +378,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path rows =
+let write_json ~path ~soundness rows =
   let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
@@ -338,7 +436,30 @@ let write_json ~path rows =
       pf "      \"disabled_overhead_pct\": %.4f\n" (overhead_pct probe r);
       pf "    }%s\n" (if i < List.length rows - 1 then "," else ""))
     rows;
-  pf "  ]\n";
+  pf "  ],\n";
+  pf "  \"soundness\": {\n";
+  pf "    \"mode\": \"extended\",\n";
+  pf "    \"margin\": 1.0,\n";
+  pf "    \"coverage\": %.3f,\n" (soundness_coverage soundness);
+  pf "    \"median_tightness\": %.3f,\n" (soundness_median_tightness soundness);
+  pf "    \"benchmarks\": [\n";
+  List.iteri
+    (fun i r ->
+      let v = r.verdict in
+      pf
+        "      {\"name\": \"%s\", \"demoted\": %d, \"measured_error\": %.6e, \
+         \"modelled_bound\": %.6e, \"tightness\": %s, \"sound\": %b}%s\n"
+        (json_escape r.sbench)
+        (List.length v.Oracle.demoted)
+        v.Oracle.measured_error v.Oracle.bound
+        (match v.Oracle.tightness with
+        | Some t -> Printf.sprintf "%.3f" t
+        | None -> "null")
+        v.Oracle.sound
+        (if i < List.length soundness - 1 then "," else ""))
+    soundness;
+  pf "    ]\n";
+  pf "  }\n";
   pf "}\n";
   close_out oc
 
@@ -365,8 +486,8 @@ let print_rows rows =
          ])
        rows)
 
-let search_bench ?(jobs = 4) ?(out = "BENCH_search.json") ?(workloads = default_workloads ())
-    () =
+let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
+    ?(workloads = default_workloads ()) ?(small_soundness = false) () =
   Printf.printf
     "\n== Search.tune hot path: sequential vs %d domains vs warm compile cache ==\n"
     jobs;
@@ -394,6 +515,8 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json") ?(workloads = default_
         (r.pool.pu_queue_wait_s *. 1e3)
         (r.pool.pu_busy_s *. 1e3))
     rows;
-  write_json ~path:out rows;
+  let soundness = soundness_rows ~small:small_soundness () in
+  print_soundness soundness;
+  write_json ~path:out ~soundness rows;
   Printf.printf "wrote %s\n" out;
-  rows
+  (rows, soundness)

@@ -313,6 +313,14 @@ let tune_cmd =
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
            $ emit_arg $ jobs_arg $ obs_term $ rest_args))
 
+let copy_args args =
+  List.map
+    (function
+      | Interp.Afarr a -> Interp.Afarr (Array.copy a)
+      | Interp.Aiarr a -> Interp.Aiarr (Array.copy a)
+      | (Interp.Aint _ | Interp.Aflt _) as x -> x)
+    args
+
 let search_cmd =
   let run file func threshold target jobs obs raw =
     wrap (fun () ->
@@ -321,9 +329,17 @@ let search_cmd =
         let f = Ast.func_exn prog func in
         let args = parse_args f raw in
         let target = target_of target in
+        (* Ground-truth column: shadow-execute the chosen configuration
+           against the double-double reference (search validates in
+           Source mode, so measure there too). *)
+        let measure config =
+          Cheffp_shadow.Shadow.measured_error
+            (Cheffp_shadow.Shadow.run ~builtins:(builtins ()) ~config
+               ~mode:Config.Source ~prog ~func (copy_args args))
+        in
         let o =
-          Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~jobs ~prog
-            ~func ~args ~threshold ()
+          Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~jobs
+            ~measure ~prog ~func ~args ~threshold ()
         in
         print_string (Cheffp_core.Report.search o))
   in
@@ -333,6 +349,65 @@ let search_cmd =
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
            $ jobs_arg $ obs_term $ rest_args))
+
+let validate_cmd =
+  let run file func demote mode margin fuel obs raw =
+    wrap (fun () ->
+        with_obs ~cmd:"validate" obs @@ fun () ->
+        let prog = load file in
+        let f = Ast.func_exn prog func in
+        let args = parse_args f raw in
+        let config = parse_config demote in
+        let mode =
+          match mode with
+          | "extended" -> Config.Extended
+          | "source" -> Config.Source
+          | other -> failwith ("unknown mode " ^ other ^ " (extended|source)")
+        in
+        let v =
+          Cheffp_shadow.Oracle.check_estimate ~builtins:(builtins ()) ~mode
+            ~margin ~fuel ~prog ~func ~config args
+        in
+        print_string (Cheffp_shadow.Oracle.render v);
+        if not v.Cheffp_shadow.Oracle.sound then
+          failwith
+            (Printf.sprintf
+               "validate: UNSOUND — measured error %.6e exceeds the modelled \
+                bound %.6e"
+               v.Cheffp_shadow.Oracle.measured_error
+               v.Cheffp_shadow.Oracle.bound))
+  in
+  let mode_arg =
+    Arg.(
+      value & opt string "extended"
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "Rounding mode of the validated execution: extended (default; \
+             rounds on stores, the estimate's own semantics) or source \
+             (rounds every operation; use --margin 2, see DESIGN.md \xc2\xa710).")
+  in
+  let margin_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "margin" ] ~docv:"M"
+          ~doc:"Safety factor applied to the modelled error in the bound.")
+  in
+  let fuel_arg =
+    Arg.(
+      value & opt int (-1)
+      & info [ "fuel" ] ~docv:"N"
+          ~doc:"Abort after N executed statements (guard against runaway loops).")
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Check the CHEF-FP estimate against double-double shadow execution: \
+          measure the true error of a (possibly demoted) run and report \
+          whether the modelled bound covers it, and how tightly. Exits \
+          non-zero on an unsound verdict.")
+    Term.(
+      ret (const run $ file_arg $ func_arg $ demote_arg $ mode_arg $ margin_arg
+           $ fuel_arg $ obs_term $ rest_args))
 
 let adapt_cmd =
   let module Adapt = Cheffp_adapt.Adapt in
@@ -479,4 +554,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; run_cmd; gradient_cmd; analyze_cmd; tune_cmd;
-            search_cmd; adapt_cmd; sensitivity_cmd ]))
+            search_cmd; validate_cmd; adapt_cmd; sensitivity_cmd ]))

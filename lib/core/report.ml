@@ -70,9 +70,13 @@ let search (o : Search.outcome) =
     "search-based tuning: %d program executions\n\
      demoted: %s\n\
      actual error:     %.6e (threshold %.1e)\n\
-     modelled error:   %.6e (CHEF-FP, 1 augmented execution)\n\
+     modelled error:   %.6e (CHEF-FP, 1 augmented execution)\n%s\
      modelled speedup: %.2fx\n"
     o.Search.executions
     (match o.Search.demoted with [] -> "(nothing)" | l -> String.concat ", " l)
     ev.Tuner.actual_error o.Search.threshold o.Search.modelled_error
+    (match o.Search.measured_error with
+    | Some e ->
+        Printf.sprintf "measured error:   %.6e (shadow double-double)\n" e
+    | None -> "")
     ev.Tuner.modelled_speedup

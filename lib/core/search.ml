@@ -10,6 +10,7 @@ type outcome = {
   executions : int;
   evaluation : Tuner.evaluation;
   modelled_error : float;
+  measured_error : float option;
   threshold : float;
 }
 
@@ -21,8 +22,8 @@ let copy_args args =
       | (Interp.Aint _ | Interp.Aflt _) as x -> x)
     args
 
-let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ~prog ~func ~args
-    ~threshold () =
+let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?measure ~prog ~func
+    ~args ~threshold () =
   Trace.with_span "search.tune" @@ fun () ->
   if Trace.enabled () then begin
     Trace.add_attr "func" (Trace.Str func);
@@ -135,10 +136,23 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ~prog ~func ~args
              (List.assoc_opt v report.Estimate.per_variable))
       0. chosen
   in
+  (* Ground-truth cross-check of the chosen configuration, when the
+     caller supplied one (the shadow oracle lives in a library above
+     this one; see the .mli). Traced like any other phase. *)
+  let measured_error =
+    Option.map
+      (fun m ->
+        Trace.with_span "search.measure" (fun () ->
+            let e = m config in
+            if Trace.enabled () then Trace.add_attr "error" (Trace.Float e);
+            e))
+      measure
+  in
   {
     demoted = chosen;
     executions = Atomic.get executions;
     evaluation;
     modelled_error;
+    measured_error;
     threshold;
   }

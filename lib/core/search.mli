@@ -34,6 +34,10 @@ type outcome = {
           contributions of one gradient-augmented execution (not counted
           in [executions]) summed over [demoted] — the model the search
           baseline is compared against. *)
+  measured_error : float option;
+      (** ground-truth error of the chosen configuration from the
+          [measure] callback (shadow execution against the double-double
+          reference), when one was supplied *)
   threshold : float;
 }
 
@@ -42,6 +46,7 @@ val tune :
   ?mode:Config.rounding_mode ->
   ?builtins:Builtins.t ->
   ?jobs:int ->
+  ?measure:(Config.t -> float) ->
   prog:Ast.program ->
   func:string ->
   args:Interp.arg list ->
@@ -50,6 +55,12 @@ val tune :
   outcome
 (** The returned configuration always satisfies [threshold] (it is
     validated by construction).
+
+    [measure], when given, is called once with the chosen configuration
+    (not counted in [executions]); `Cheffp_shadow` lives above this
+    library in the dependency order, so callers that want a
+    ground-truth column pass [Oracle]/[Shadow] through this hook — the
+    CLI's [search] command and the bench harness both do.
 
     [jobs] (default 1) fans the candidate evaluations out across that
     many domains ({!Cheffp_util.Pool}): the individual-probe phase is

@@ -1,0 +1,157 @@
+type t = { hi : float; lo : float }
+
+let zero = { hi = 0.0; lo = 0.0 }
+let one = { hi = 1.0; lo = 0.0 }
+let of_float x = { hi = x; lo = 0.0 }
+let to_float { hi; lo } = hi +. lo
+
+(* Knuth's TwoSum: 6 flops, no magnitude precondition. *)
+let two_sum a b =
+  let s = a +. b in
+  let bb = s -. a in
+  let err = (a -. (s -. bb)) +. (b -. bb) in
+  (s, err)
+
+(* Dekker's FastTwoSum: requires |a| >= |b| (or either zero). *)
+let quick_two_sum a b =
+  let s = a +. b in
+  let err = b -. (s -. a) in
+  (s, err)
+
+let make hi lo =
+  let s, e = two_sum hi lo in
+  { hi = s; lo = e }
+
+(* Dekker splitting constant 2^27 + 1; the guard keeps splitter *. a
+   finite for |a| up to max_float (scale down by 2^28, split, scale
+   halves back up — both halves stay representable in 26 bits). *)
+let splitter = 134217729.0
+let split_threshold = 6.696928794914171e299 (* 2^996 *)
+
+let split a =
+  if Float.abs a > split_threshold then begin
+    let a' = a *. 3.7252902984619140625e-09 (* 2^-28 *) in
+    let t = splitter *. a' in
+    let ahi = t -. (t -. a') in
+    let alo = a' -. ahi in
+    (ahi *. 268435456.0, alo *. 268435456.0 (* 2^28 *))
+  end
+  else begin
+    let t = splitter *. a in
+    let ahi = t -. (t -. a) in
+    let alo = a -. ahi in
+    (ahi, alo)
+  end
+
+let two_prod a b =
+  let p = a *. b in
+  let ahi, alo = split a in
+  let bhi, blo = split b in
+  let err = ((ahi *. bhi -. p) +. (ahi *. blo) +. (alo *. bhi)) +. (alo *. blo) in
+  (p, err)
+
+let neg { hi; lo } = { hi = -.hi; lo = -.lo }
+let abs d = if d.hi < 0.0 || (d.hi = 0.0 && d.lo < 0.0) then neg d else d
+
+(* QD-style accurate addition: TwoSum both components, then fold the
+   low-order parts back in with two renormalization passes. *)
+let add a b =
+  let s1, s2 = two_sum a.hi b.hi in
+  let t1, t2 = two_sum a.lo b.lo in
+  let s2 = s2 +. t1 in
+  let s1, s2 = quick_two_sum s1 s2 in
+  let s2 = s2 +. t2 in
+  let s1, s2 = quick_two_sum s1 s2 in
+  { hi = s1; lo = s2 }
+
+let sub a b = add a (neg b)
+
+let add_float a b =
+  let s1, s2 = two_sum a.hi b in
+  let s2 = s2 +. a.lo in
+  let s1, s2 = quick_two_sum s1 s2 in
+  { hi = s1; lo = s2 }
+
+let mul a b =
+  let p1, p2 = two_prod a.hi b.hi in
+  let p2 = p2 +. (a.hi *. b.lo) +. (a.lo *. b.hi) in
+  let p1, p2 = quick_two_sum p1 p2 in
+  { hi = p1; lo = p2 }
+
+let mul_float a b =
+  let p1, p2 = two_prod a.hi b in
+  let p2 = p2 +. (a.lo *. b) in
+  let p1, p2 = quick_two_sum p1 p2 in
+  { hi = p1; lo = p2 }
+
+(* Long division: binary64 seed quotient, two exact-residual correction
+   terms, one final residual digit. *)
+let div a b =
+  let q1 = a.hi /. b.hi in
+  if not (Float.is_finite q1) || b.hi = 0.0 then of_float q1
+  else begin
+    let r = sub a (mul_float b q1) in
+    let q2 = r.hi /. b.hi in
+    let r = sub r (mul_float b q2) in
+    let q3 = r.hi /. b.hi in
+    let q1, q2 = quick_two_sum q1 q2 in
+    add_float { hi = q1; lo = q2 } q3
+  end
+
+(* Karp's trick: with x ~ 1/sqrt(a) in binary64 and ax = fl(a.hi * x),
+   sqrt(a) ~ ax + (a - ax^2) * x / 2; the residual a - ax^2 is computed
+   exactly in dd, giving a fully accurate dd square root from one
+   Newton-style correction. *)
+let sqrt a =
+  if a.hi = 0.0 then { hi = Float.sqrt a.hi; lo = 0.0 } (* keeps -0. *)
+  else if a.hi < 0.0 then of_float Float.nan
+  else if not (Float.is_finite a.hi) then of_float a.hi
+  else begin
+    let x = 1.0 /. Float.sqrt a.hi in
+    let ax = a.hi *. x in
+    let residual = sub a (mul (of_float ax) (of_float ax)) in
+    add (of_float ax) (mul_float residual (x *. 0.5))
+  end
+
+let compare a b =
+  let c = Float.compare a.hi b.hi in
+  if c <> 0 then c else Float.compare a.lo b.lo
+
+let equal a b = a.hi = b.hi && a.lo = b.lo
+let is_nan d = Float.is_nan d.hi || Float.is_nan d.lo
+let is_finite d = Float.is_finite d.hi && Float.is_finite d.lo
+
+let sign d =
+  if is_nan d then Float.nan
+  else if d.hi > 0.0 || (d.hi = 0.0 && d.lo > 0.0) then 1.0
+  else if d.hi < 0.0 || (d.hi = 0.0 && d.lo < 0.0) then -1.0
+  else 0.0
+
+(* Exact for |n| < 2^106: split the int into a high part that is exact
+   in binary64 and the remainder. On 63-bit OCaml ints the first
+   component is exact only up to 2^53, so peel off the low 30 bits. *)
+let of_int n =
+  if Stdlib.abs n < 0x20000000000000 (* 2^53 *) then of_float (float_of_int n)
+  else begin
+    let low = n land 0x3FFFFFFF in
+    let high = n - low in
+    add_float (of_float (float_of_int high)) (float_of_int low)
+  end
+
+let floor d =
+  let fhi = Float.floor d.hi in
+  if fhi = d.hi then
+    (* hi is integral: the fractional information lives in lo *)
+    let flo = Float.floor d.lo in
+    make fhi flo
+  else { hi = fhi; lo = 0.0 }
+
+let ceil d =
+  let chi = Float.ceil d.hi in
+  if chi = d.hi then
+    let clo = Float.ceil d.lo in
+    make chi clo
+  else { hi = chi; lo = 0.0 }
+
+let pp fmt d = Format.fprintf fmt "(%.17g + %.17g)" d.hi d.lo
+let to_string d = Format.asprintf "%a" pp d

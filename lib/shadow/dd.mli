@@ -1,0 +1,95 @@
+(** Double-double ("dd") arithmetic: an unevaluated sum of two binary64
+    values carrying ~106 significand bits.
+
+    This is the ground-truth substrate of the shadow-execution oracle
+    ({!Shadow}): ADAPT validates its estimates against higher-precision
+    shadow values, and rigorous tools (FPTaylor) validate against
+    high-precision execution — a double-double interpreter gives this
+    repository the same reference entirely in OCaml, with no external
+    bignum dependency.
+
+    The error-free transformations are the classical ones (Knuth's
+    TwoSum, Dekker's splitting and TwoProd); the compound operations
+    follow the QD/Bailey algorithms (add/sub/mul/div/sqrt), with
+    division and square root refined by a Newton-style correction from
+    a binary64 seed. Relative accuracy of the arithmetic kernels is
+    ~2^-104; see DESIGN.md §10 for the intrinsic (transcendental)
+    accuracy gap. *)
+
+type t = private { hi : float; lo : float }
+(** Invariant (for finite values): [hi = Float.round (hi +. lo)], i.e.
+    [hi] is the double nearest the represented value and
+    [|lo| <= ulp(hi)/2]. Construct via {!make}/{!of_float}. *)
+
+val zero : t
+val one : t
+
+val of_float : float -> t
+(** Exact embedding: [lo = 0]. *)
+
+val make : float -> float -> t
+(** [make hi lo] renormalizes the pair via TwoSum. *)
+
+val to_float : t -> float
+(** Nearest binary64: [hi +. lo] (which equals [hi] by the invariant,
+    up to the final rounding of the addition). *)
+
+(* ---- error-free transformations (exposed for the test suite) ---- *)
+
+val two_sum : float -> float -> float * float
+(** [two_sum a b = (s, e)] with [s = fl(a + b)] and [s + e = a + b]
+    exactly (Knuth; no precondition on magnitudes). *)
+
+val quick_two_sum : float -> float -> float * float
+(** Like {!two_sum} but requires [|a| >= |b|] (or either zero). *)
+
+val split : float -> float * float
+(** Dekker's splitting: [split a = (ahi, alo)] with [a = ahi + alo]
+    exactly and both halves representable in 26 bits (so any product of
+    halves is exact). Values with [|a| >= 2^996] are scaled internally
+    to avoid overflow. *)
+
+val two_prod : float -> float -> float * float
+(** [two_prod a b = (p, e)] with [p = fl(a * b)] and [p + e = a * b]
+    exactly, via Dekker splitting (equivalently [e = fma a b (-p)];
+    the test suite cross-checks both). *)
+
+(* ---- arithmetic ---- *)
+
+val neg : t -> t
+val abs : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** Binary64 quotient seed refined by two exact-residual corrections
+    (long division in dd), accurate to ~2^-104 relative. *)
+
+val sqrt : t -> t
+(** Karp–Markstein style: binary64 reciprocal-sqrt seed plus one Newton
+    correction step computed with exact residuals. Negative inputs give
+    NaN, signed zeros pass through. *)
+
+val add_float : t -> float -> t
+val mul_float : t -> float -> t
+
+(* ---- comparisons & predicates ---- *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val is_nan : t -> bool
+val is_finite : t -> bool
+val sign : t -> float
+(** [-1.], [0.] or [1.] like the MiniFP [sign] intrinsic. *)
+
+(* ---- conversions used by the shadow interpreter ---- *)
+
+val of_int : int -> t
+(** Exact for magnitudes below 2^106. *)
+
+val floor : t -> t
+val ceil : t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,98 @@
+(** End-to-end estimate-soundness oracle.
+
+    [check_estimate] runs the CHEF-FP analysis and the {!Shadow}
+    ground truth on the same function, configuration, and inputs, and
+    answers the question the paper's whole evaluation rests on: does
+    the modelled error bound cover the actually incurred error
+    ({e soundness}), and by what ratio ({e tightness})?
+
+    The modelled side decomposes as the estimation machinery does:
+
+    - {e demotion error} — one {!Cheffp_core.Model.adapt} analysis per
+      distinct narrow format in the configuration (Eq. 2 models the
+      demoted-minus-double difference), summed over the variables
+      effectively demoted to that format;
+    - {e baseline error} — the inherent binary64 rounding floor, which
+      Eq. 2 deliberately models as zero. It is bounded here by the
+      larger of a {!Cheffp_core.Model.taylor} analysis at F64 and the
+      shadow-measured error of the all-F64 run itself (the latter is a
+      measurement, not a model — reported separately as
+      {!field:verdict.inherent_error}).
+
+    The verdict is sound when
+    [measured <= margin * modelled + baseline + slack]. With the
+    default [Extended] rounding mode, [margin = 1] holds across the
+    paper's benchmarks (EXPERIMENTS.md); [Source] mode rounds every
+    {e operation} while the model charges one rounding per
+    {e assignment}, so it needs the same [margin = 2] headroom the
+    tuner applies (see Table I: arclength's actual error overshoots
+    its estimate under Source mode). DESIGN.md §10 defines both
+    properties precisely. *)
+
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+module Interp = Cheffp_ir.Interp
+
+type verdict = {
+  func : string;
+  config : Config.t;
+  mode : Config.rounding_mode;
+  margin : float;
+  demoted : (string * Fp.format) list;
+      (** variables {e effectively} below F64 under [config] (override,
+          declared narrow type, or narrow default), declaration order *)
+  measurements : Shadow.measurement list;
+      (** return value and [out] scalars of the configured run, against
+          the double-double reference *)
+  measured_error : float;  (** worst |configured − true| over outputs *)
+  demotion_error : float;
+      (** worst |configured − all-F64| over outputs: the part Eq. 2
+          models *)
+  inherent_error : float;
+      (** worst |all-F64 − true| over outputs: the binary64 floor *)
+  modelled_error : float;  (** summed adapt-model demotion estimate *)
+  baseline_error : float;
+      (** max(taylor@F64 estimate, [inherent_error]) *)
+  bound : float;  (** [margin *. modelled_error +. baseline_error] *)
+  sound : bool;
+  tightness : float option;
+      (** [bound /. measured_error] when the measurement is nonzero —
+          1.0 is perfectly tight, large means pessimistic *)
+  branch_divergence : bool;
+      (** the configured and all-F64 runs took different discrete
+          decisions; first-order estimates are unreliable here and the
+          fuzz harness skips such cases (DESIGN.md §10) *)
+}
+
+val check_estimate :
+  ?builtins:Cheffp_ir.Builtins.t ->
+  ?dd_builtins:(string * Shadow.dd_impl) list ->
+  ?mode:Config.rounding_mode ->
+  ?margin:float ->
+  ?slack:float ->
+  ?fuel:int ->
+  prog:Cheffp_ir.Ast.program ->
+  func:string ->
+  config:Config.t ->
+  Interp.arg list ->
+  verdict
+(** Two shadow runs (configured, all-F64) plus one CHEF-FP analysis
+    per distinct narrow format plus one taylor@F64 analysis. [mode]
+    defaults to [Extended], [margin] to [1.0], [slack] (an absolute
+    floor added to the bound, for measurements at the edge of
+    representability) to [1e-25]. Input arrays are copied before every
+    run; the caller's buffers are never written. The function must
+    produce at least one float output (return value or [out] scalar).
+    @raise Interp.Runtime_error as the interpreter would. *)
+
+val render : verdict -> string
+(** Multi-line human-readable report, in {!Cheffp_core.Report} style;
+    ends with a newline. *)
+
+val effective_demotions :
+  config:Config.t ->
+  func:Cheffp_ir.Ast.func ->
+  (string * Fp.format) list
+(** The variables of [func] whose {!Interp.effective_format} under
+    [config] is below F64 (parameters, locals, arrays — declaration
+    order, first declaration wins). Exposed for the bench harness. *)

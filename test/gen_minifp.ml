@@ -208,3 +208,101 @@ let arbitrary_case : (program * (float * float)) QCheck.arbitrary =
     ~print:(fun (p, (x, y)) ->
       Printf.sprintf "x=%.17g y=%.17g\n%s" x y (Pp.program_to_string p))
     (G.pair gen_program gen_inputs)
+
+(* ------------------------------------------------------------------ *)
+(* Mixed-precision variants, for the shadow-oracle fuzz properties:    *)
+(* the same program shapes, but with randomly narrowed declarations    *)
+(* (F16/F32/F64 scalars and the array) and a random configuration of   *)
+(* per-variable overrides on top.                                      *)
+(* ------------------------------------------------------------------ *)
+
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+
+let mixable_vars = [ "x"; "y"; "a"; "b"; "c"; "ar" ]
+
+let gen_fmt : Fp.format G.t = G.oneofl [ Fp.F16; Fp.F32; Fp.F64 ]
+
+(* Rewrite the declared float formats of a generated function; [fmts]
+   maps variable name to its new storage format (parameters, scalar
+   locals, and the fixed array alike). *)
+let retype_func (fmts : (string * Fp.format) list) (f : func) : func =
+  let fmt_of name fallback =
+    match List.assoc_opt name fmts with Some fm -> fm | None -> fallback
+  in
+  let params =
+    List.map
+      (fun p ->
+        match p.pty with
+        | Tscalar (Sflt _) -> { p with pty = Tscalar (Sflt (fmt_of p.pname Fp.F64)) }
+        | _ -> p)
+      f.params
+  in
+  let body =
+    List.map
+      (function
+        | Decl ({ dty = Dscalar (Sflt _); _ } as d) ->
+            Decl { d with dty = Dscalar (Sflt (fmt_of d.name Fp.F64)) }
+        | Decl ({ dty = Darr (Sflt _, len); _ } as d) ->
+            Decl { d with dty = Darr (Sflt (fmt_of d.name Fp.F64), len) }
+        | s -> s)
+      f.body
+  in
+  { f with params; body }
+
+let gen_mixed_func : func G.t =
+  let open G in
+  let* f = gen_func in
+  let* fmts =
+    flatten_l
+      (List.map (fun v -> map (fun fm -> (v, fm)) gen_fmt) mixable_vars)
+  in
+  return (retype_func fmts f)
+
+let gen_mixed_program : program G.t =
+  G.map (fun f -> { funcs = [ f ] }) gen_mixed_func
+
+(* A random configuration over the known variable names: each gets no
+   override (most of the time), or an F32/F16 demotion. The default
+   format stays F64, as everywhere else in the suite. *)
+let gen_config : Config.t G.t =
+  let open G in
+  let* overrides =
+    flatten_l
+      (List.map
+         (fun v ->
+           map
+             (fun o -> (v, o))
+             (oneofl [ None; None; None; Some Fp.F32; Some Fp.F16 ]))
+         mixable_vars)
+  in
+  return
+    (List.fold_left
+       (fun cfg (v, o) ->
+         match o with None -> cfg | Some fm -> Config.demote cfg v fm)
+       Config.double overrides)
+
+let arbitrary_mixed_program : program QCheck.arbitrary =
+  QCheck.make ~print:Pp.program_to_string gen_mixed_program
+
+(* Soundness regime: the CHEF-FP model (Eq. 2) bounds the effect of
+   demoting a {e binary64} program, so the oracle fuzz pairs random
+   configurations with F64-declared programs. Configurations over
+   programs with declared-narrow types can {e promote} a variable above
+   its declaration or perturb the realized rounding of a downstream
+   narrow store by a full ulp — both outside the first-order model
+   (DESIGN.md §10); those programs are exercised by
+   [arbitrary_mixed_case] instead. *)
+let arbitrary_shadow_case :
+    (program * Config.t * (float * float)) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (p, cfg, (x, y)) ->
+      Printf.sprintf "x=%.17g y=%.17g config=%s\n%s" x y (Config.to_string cfg)
+        (Pp.program_to_string p))
+    (G.triple gen_program gen_config gen_inputs)
+
+let arbitrary_mixed_case : (program * (float * float)) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (p, (x, y)) ->
+      Printf.sprintf "x=%.17g y=%.17g\n%s" x y (Pp.program_to_string p))
+    (G.pair gen_mixed_program gen_inputs)

@@ -187,6 +187,80 @@ let fuzz_rewrite =
           Typecheck.check_program prog';
           Interp.run_float ~prog:prog' ~func:"fuzz" args = configured)
 
+module Shadow = Cheffp_shadow.Shadow
+module Oracle = Cheffp_shadow.Oracle
+
+(* 12. Programs with randomly narrowed declarations are still
+   well-typed and survive the pp/parse round trip. *)
+let fuzz_mixed_decls =
+  QCheck.Test.make ~count ~name:"fuzz: mixed-precision declarations typecheck"
+    Gen_minifp.arbitrary_mixed_program (fun prog ->
+      Typecheck.check_program prog;
+      Parser.parse_program (Pp.program_to_string prog) = prog)
+
+(* 13. All-F64 shadow execution: the low lane is bit-identical to the
+   interpreter, and the error against the double-double reference sits
+   at the binary64 rounding floor — "essentially zero" next to any
+   demotion effect (F16 demotions land around 1e-3). The floor is
+   scale-relative because generated programs can cancel. *)
+let fuzz_shadow_f64_floor =
+  QCheck.Test.make ~count ~name:"fuzz: all-f64 shadow error ~ 0"
+    Gen_minifp.arbitrary_case (fun (prog, xy) ->
+      let args = args_of xy in
+      both_or_skip prog args (fun reference ->
+          let r = Shadow.run ~prog ~func:"fuzz" args in
+          let m = Option.get r.Shadow.ret in
+          if m.Shadow.low <> reference then false (* lockstep broke *)
+          else if not (Float.is_finite reference) then true
+          else m.Shadow.abs_error /. Float.max 1.0 (Float.abs reference) < 1e-9))
+
+(* 14. The soundness property the whole oracle exists for: on every
+   generated binary64 program and random demotion configuration, the
+   CHEF-FP estimate (Extended mode, the tuner's margin of 2) covers the
+   shadow-measured error. Skipped when demotion flipped a discrete
+   decision (first-order models are knowingly invalid there,
+   DESIGN.md §10), when the narrow run left the finite range, or when
+   the estimate itself failed to produce a finite bound (a model
+   breakdown — e.g. a NaN adjoint on a dead data path — not an
+   unsound one); counterexamples print the program and configuration. *)
+let fuzz_shadow_sound =
+  QCheck.Test.make ~count:120
+    ~name:"fuzz: estimate covers shadow-measured error"
+    Gen_minifp.arbitrary_shadow_case (fun (prog, config, xy) ->
+      let args = args_of xy in
+      match
+        Oracle.check_estimate ~mode:Config.Extended ~margin:2.0 ~prog
+          ~func:"fuzz" ~config args
+      with
+      | exception Interp.Runtime_error _ -> true
+      | exception _ -> true (* estimation limits; not a soundness issue *)
+      | v ->
+          v.Oracle.branch_divergence
+          || (not (Float.is_finite v.Oracle.measured_error))
+          || (not (Float.is_finite v.Oracle.bound))
+          || v.Oracle.sound)
+
+(* 15. Declared-narrow programs under the default configuration: the
+   configured and reference runs share every effective format, so the
+   oracle must measure zero demotion error and stay sound — the
+   lockstep machinery agrees with itself through declared F16/F32
+   storage, not just through configuration overrides. *)
+let fuzz_shadow_mixed_decls_lockstep =
+  QCheck.Test.make ~count:100
+    ~name:"fuzz: declared-narrow lockstep, zero demotion error"
+    Gen_minifp.arbitrary_mixed_case (fun (prog, xy) ->
+      let args = args_of xy in
+      match
+        Oracle.check_estimate ~mode:Config.Extended ~prog ~func:"fuzz"
+          ~config:Config.double args
+      with
+      | exception Interp.Runtime_error _ -> true
+      | exception _ -> true
+      | v ->
+          (not (Float.is_finite v.Oracle.measured_error))
+          || (v.Oracle.demotion_error = 0.0
+             && (v.Oracle.sound || not (Float.is_finite v.Oracle.bound))))
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -203,6 +277,10 @@ let () =
             fuzz_forward_vs_reverse;
             fuzz_activity;
             fuzz_estimate;
+            fuzz_mixed_decls;
+            fuzz_shadow_f64_floor;
+            fuzz_shadow_sound;
+            fuzz_shadow_mixed_decls_lockstep;
             fuzz_rewrite;
           ] );
     ]
