@@ -9,14 +9,14 @@
      dune exec bench/main.exe -- -j 4 fig4    # sweep points on 4 domains
      ids: table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9
           ablation-inline ablation-opt ablation-precision ablation-activity
-          ablation-search perf-search smoke bechamel all *)
+          ablation-search perf-search smoke batch-smoke bechamel all *)
 
 let usage () =
   print_endline
     "usage: main.exe [-j N] [table1|table2|table3|table4|fig4|fig5|fig6|fig7|\n\
     \                 fig8|fig9|ablation-inline|ablation-opt|ablation-precision|\n\
     \                 ablation-activity|ablation-search|perf-search|smoke|\n\
-    \                 bechamel|all]\n\
+    \                 batch-smoke|bechamel|all]\n\
      -j N   worker domains for parallel sweeps / candidate evaluation\n\
     \        (default: Domain.recommended_domain_count () - 1, min 1)";
   exit 1
@@ -38,11 +38,12 @@ let all ~jobs () =
 let smoke ~jobs () =
   let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
   ignore sweep;
-  let rows, soundness =
+  let rows, batch, soundness =
     Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
       ~workloads:(Perf.smoke_workloads ()) ~small_soundness:true ()
   in
   let ok = List.for_all (fun r -> r.Perf.identical) rows in
+  let batch_ok = List.for_all (fun r -> r.Perf.b_identical) batch in
   let hits =
     List.for_all
       (fun r -> r.Perf.cache.Cheffp_ir.Compile_cache.hits > 0)
@@ -56,12 +57,37 @@ let smoke ~jobs () =
   let overhead_ok = Perf.overhead_guard ~limit_pct:2.0 rows in
   let sound = Perf.soundness_coverage soundness = 1.0 in
   Printf.printf
-    "smoke: outcomes identical across jobs (incl. instrumented): %b; cache \
-     hits on every workload: %b; traced phases + pool metrics present: %b; \
+    "smoke: outcomes identical across jobs (incl. instrumented): %b; \
+     batched search outcomes identical to scalar: %b; cache hits on every \
+     workload: %b; traced phases + pool metrics present: %b; \
      disabled-instrumentation overhead < 2%%: %b; estimate sound on every \
      benchmark: %b\n"
-    ok hits traced overhead_ok sound;
-  if not (ok && hits && traced && overhead_ok && sound) then exit 1
+    ok batch_ok hits traced overhead_ok sound;
+  if not (ok && batch_ok && hits && traced && overhead_ok && sound) then exit 1
+
+(* Batched-search smoke (`dune build @batch-smoke`): tiny batched
+   searches must be bit-identical to their scalar counterparts, the
+   sweeps must actually happen (batched_runs > 0), and the batch.lanes
+   gauge must land in the exported metrics. *)
+let batch_smoke () =
+  let rows =
+    List.map Perf.measure_batch (Perf.batch_workloads ~small:true ())
+  in
+  Perf.print_batch_rows rows;
+  let identical = List.for_all (fun r -> r.Perf.b_identical) rows in
+  let swept = List.exists (fun r -> r.Perf.b_batched_runs > 0) rows in
+  let lanes_gauge =
+    match
+      List.assoc_opt "batch.lanes" (Cheffp_obs.Metrics.snapshot ())
+    with
+    | Some (Cheffp_obs.Metrics.Gauge v) -> v
+    | _ -> 0.
+  in
+  Printf.printf
+    "batch-smoke: outcomes_identical: %b; batched sweeps ran: %b; \
+     batch.lanes gauge: %g\n"
+    identical swept lanes_gauge;
+  if not (identical && swept && lanes_gauge > 0.) then exit 1
 
 let () =
   Printf.printf "CHEF-FP reproduction benchmark harness\n";
@@ -103,6 +129,7 @@ let () =
       ignore (Perf.search_bench ~jobs:(max jobs 2) ())
   | "perf-search" -> ignore (Perf.search_bench ~jobs:(max jobs 2) ())
   | "smoke" -> smoke ~jobs ()
+  | "batch-smoke" -> batch_smoke ()
   | "suite" -> Tables.suite ()
   | "bechamel" -> Micro.run ()
   | _ -> usage ()

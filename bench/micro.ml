@@ -60,17 +60,88 @@ let table4_kernel =
       ignore (E.run est (B.Blackscholes.price_args w i))
     done
 
+(* Batched-execution microbenchmark (DESIGN.md §11): a pure
+   straight-line kernel — no branches or loops, so lanes can never
+   diverge — swept at 1..64 lanes, against a scalar baseline running the
+   same number of precompiled per-config executions. Per-run time should
+   grow sublinearly in the lane count: the per-node closure dispatch is
+   paid once per sweep, not once per configuration. *)
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+module Ir = Cheffp_ir
+
+let batch_src =
+  {|func poly(x: f64, y: f64): f64 {
+  var a: f64 = x * y + 1.0;
+  var b: f64 = a * a - x;
+  var c: f64 = b / (a + 2.0);
+  var d: f64 = sqrt(c * c + 1.0);
+  return d * b + a;
+}|}
+
+let batch_lane_counts = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let batch_setup =
+  lazy
+    (let prog = Ir.Parser.parse_program batch_src in
+     Ir.Typecheck.check_program prog;
+     let b = Ir.Batch.compile ~prog ~func:"poly" () in
+     (* Cycle demotions so every lane is a distinct configuration. *)
+     let config_of i =
+       match i mod 4 with
+       | 0 -> Config.double
+       | 1 -> Config.demote Config.double "a" Fp.F32
+       | 2 -> Config.demote_all Config.double [ "b"; "c" ] Fp.F32
+       | _ -> Config.demote_all Config.double [ "a"; "d" ] Fp.F16
+     in
+     (prog, b, config_of))
+
+let batch_args = [ Ir.Interp.Aflt 1.25; Ir.Interp.Aflt 0.75 ]
+
+let batch_kernel lanes =
+  let _, b, config_of = Lazy.force batch_setup in
+  let configs = Array.init lanes config_of in
+  fun () -> ignore (Ir.Batch.run_floats b ~configs batch_args)
+
+let scalar_kernel lanes =
+  let prog, _, config_of = Lazy.force batch_setup in
+  let compiled =
+    Array.init lanes (fun i ->
+        Ir.Compile.compile ~config:(config_of i) ~prog ~func:"poly" ())
+  in
+  fun () -> Array.iter (fun c -> ignore (Ir.Compile.run c batch_args)) compiled
+
+let batch_tests =
+  Test.make_grouped ~name:"batch"
+    (List.concat_map
+       (fun lanes ->
+         [
+           Test.make
+             ~name:(Printf.sprintf "batched:lanes=%02d" lanes)
+             (Staged.stage (batch_kernel lanes));
+           Test.make
+             ~name:(Printf.sprintf "scalar:configs=%02d" lanes)
+             (Staged.stage (scalar_kernel lanes));
+         ])
+       batch_lane_counts)
+
 let tests =
-  Test.make_grouped ~name:"tables"
+  Test.make_grouped ~name:"micro"
     [
-      Test.make ~name:"table1:tune-arclength" (Staged.stage table1_kernel);
-      Test.make ~name:"table2:analyze-simpsons" (Staged.stage table2_kernel);
-      Test.make ~name:"table3:analyze-kmeans" (Staged.stage table3_kernel);
-      Test.make ~name:"table4:approx-blackscholes" (Staged.stage table4_kernel);
+      Test.make_grouped ~name:"tables"
+        [
+          Test.make ~name:"table1:tune-arclength" (Staged.stage table1_kernel);
+          Test.make ~name:"table2:analyze-simpsons" (Staged.stage table2_kernel);
+          Test.make ~name:"table3:analyze-kmeans" (Staged.stage table3_kernel);
+          Test.make ~name:"table4:approx-blackscholes"
+            (Staged.stage table4_kernel);
+        ];
+      batch_tests;
     ]
 
 let run () =
-  print_endline "\n== Bechamel micro-benchmarks (one per paper table) ==";
+  print_endline
+    "\n== Bechamel micro-benchmarks (paper tables + batched execution) ==";
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let ols =

@@ -65,6 +65,35 @@ let smoke_workloads () =
              { w with args = B.Kmeans.args (B.Kmeans.generate ~npoints:300 ()) }
          | _ -> w)
 
+(* The batch block covers all five paper workloads (the search trio
+   plus per-option Black-Scholes and HPCCG): thresholds sit below each
+   benchmark's all-demoted error so the search takes the expensive
+   probe + grow path — the phase batching amortizes. *)
+let batch_workloads ?(small = false) () =
+  let base = if small then smoke_workloads () else default_workloads () in
+  let blackscholes =
+    let w = B.Blackscholes.generate ~n:4 () in
+    {
+      name = "blackscholes";
+      prog = B.Blackscholes.program B.Blackscholes.Exact;
+      func = B.Blackscholes.price_func;
+      args = B.Blackscholes.price_args w 0;
+      threshold = 1e-9;
+    }
+  in
+  let hpccg =
+    let d = if small then 5 else 7 in
+    let w = B.Hpccg.generate ~nx:d ~ny:d ~nz:d ~max_iter:10 () in
+    {
+      name = "hpccg";
+      prog = B.Hpccg.program;
+      func = B.Hpccg.func_name;
+      args = B.Hpccg.args w;
+      threshold = 1e-10;
+    }
+  in
+  base @ [ blackscholes; hpccg ]
+
 type phase = { pname : string; pcount : int; ptotal_s : float }
 
 type pool_util = {
@@ -208,6 +237,77 @@ let measure ~jobs w =
     pool;
     instrumented_ops;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Batched multi-configuration execution (Ir.Batch): same search, same
+   outcome, K candidate configs per lane sweep. The scalar and batched
+   searches both run cold-cache, jobs = 1, so the measured ratio
+   isolates the lane batching itself. *)
+
+type batch_row = {
+  bw : workload;
+  b_lanes : int;
+  b_executions : int;  (** program-runs-equivalent (identical both ways) *)
+  b_batched_runs : int;  (** lane sweeps of the batched search *)
+  b_divergences : int;  (** lanes that fell back to scalar re-runs *)
+  b_scalar_s : float;
+  b_batched_s : float;
+  b_identical : bool;  (** batched outcome bit-identical to scalar *)
+}
+
+let batch_divergence_c = Metrics.counter "batch.divergence_total"
+
+let measure_batch ?(lanes = Cheffp_ir.Batch.default_lanes) w =
+  let tune ?batch () =
+    Search.tune ~jobs:1 ?batch ~prog:w.prog ~func:w.func ~args:w.args
+      ~threshold:w.threshold ()
+  in
+  Gc.compact ();
+  Compile_cache.clear ();
+  let scalar, b_scalar_s = Meter.time (fun () -> tune ()) in
+  Gc.compact ();
+  Compile_cache.clear ();
+  let d0 = Metrics.counter_value batch_divergence_c in
+  let batched, b_batched_s = Meter.time (fun () -> tune ~batch:lanes ()) in
+  {
+    bw = w;
+    b_lanes = lanes;
+    b_executions = scalar.Search.executions;
+    b_batched_runs = batched.Search.batched_runs;
+    b_divergences = Metrics.counter_value batch_divergence_c - d0;
+    b_scalar_s;
+    b_batched_s;
+    b_identical = same_outcome scalar batched;
+  }
+
+let batch_speedup r =
+  if r.b_batched_s > 0. then r.b_scalar_s /. r.b_batched_s else 1.
+
+let batch_divergence_rate r =
+  if r.b_executions > 0 then
+    float_of_int r.b_divergences /. float_of_int r.b_executions
+  else 0.
+
+let print_batch_rows rows =
+  Table.print
+    ~header:
+      [
+        "workload"; "runs"; "sweeps"; "diverged"; "scalar"; "batched";
+        "batch x"; "identical";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.bw.name;
+           string_of_int r.b_executions;
+           string_of_int r.b_batched_runs;
+           string_of_int r.b_divergences;
+           Printf.sprintf "%.3f s" r.b_scalar_s;
+           Printf.sprintf "%.3f s" r.b_batched_s;
+           Printf.sprintf "%.2fx" (batch_speedup r);
+           string_of_bool r.b_identical;
+         ])
+       rows)
 
 (* Overhead guard: the disabled instrumentation path must be paid-for by
    design, not by measurement luck. We microbenchmark the disabled
@@ -378,7 +478,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~soundness rows =
+let write_json ~path ~soundness ~batch rows =
   let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
@@ -437,6 +537,24 @@ let write_json ~path ~soundness rows =
       pf "    }%s\n" (if i < List.length rows - 1 then "," else ""))
     rows;
   pf "  ],\n";
+  pf "  \"batch\": {\n";
+  pf "    \"description\": \"Search.tune scalar vs K-lane batched candidate evaluation (Ir.Batch), cold cache, jobs=1\",\n";
+  pf "    \"lanes\": %d,\n"
+    (match batch with r :: _ -> r.b_lanes | [] -> 0);
+  pf "    \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      pf "      {\"name\": \"%s\", \"threshold\": %.17g, \"executions\": %d, \
+          \"batched_runs\": %d, \"divergences\": %d, \"divergence_rate\": \
+          %.4f, \"seconds_scalar\": %.6f, \"seconds_batched\": %.6f, \
+          \"batch_speedup\": %.3f, \"outcomes_identical\": %b}%s\n"
+        (json_escape r.bw.name) r.bw.threshold r.b_executions r.b_batched_runs
+        r.b_divergences (batch_divergence_rate r) r.b_scalar_s r.b_batched_s
+        (batch_speedup r) r.b_identical
+        (if i < List.length batch - 1 then "," else ""))
+    batch;
+  pf "    ]\n";
+  pf "  },\n";
   pf "  \"soundness\": {\n";
   pf "    \"mode\": \"extended\",\n";
   pf "    \"margin\": 1.0,\n";
@@ -491,8 +609,18 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
   Printf.printf
     "\n== Search.tune hot path: sequential vs %d domains vs warm compile cache ==\n"
     jobs;
-  Printf.printf "(host reports %d core(s); parallel speedup needs > 1)\n"
-    (Domain.recommended_domain_count ());
+  let host_cores = Domain.recommended_domain_count () in
+  (* The parallel_speedup >= 1 expectation only applies on real
+     multi-core hosts: a single exposed CPU time-slices the domains, so
+     the number measures scheduling overhead, not scaling (the JSON
+     keeps the field and the note either way). *)
+  if host_cores >= 2 then
+    Printf.printf "(host reports %d core(s); parallel speedup expected >= 1)\n"
+      host_cores
+  else
+    Printf.printf
+      "(host reports 1 core: parallel_speedup expectation skipped — domains \
+       time-slice one CPU)\n";
   let rows = List.map (measure ~jobs) workloads in
   print_rows rows;
   List.iter
@@ -515,8 +643,15 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
         (r.pool.pu_queue_wait_s *. 1e3)
         (r.pool.pu_busy_s *. 1e3))
     rows;
+  Printf.printf
+    "\n== Batched candidate evaluation: scalar vs %d-lane sweeps ==\n"
+    Cheffp_ir.Batch.default_lanes;
+  let batch =
+    List.map measure_batch (batch_workloads ~small:small_soundness ())
+  in
+  print_batch_rows batch;
   let soundness = soundness_rows ~small:small_soundness () in
   print_soundness soundness;
-  write_json ~path:out ~soundness rows;
+  write_json ~path:out ~soundness ~batch rows;
   Printf.printf "wrote %s\n" out;
-  (rows, soundness)
+  (rows, batch, soundness)

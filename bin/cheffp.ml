@@ -182,6 +182,26 @@ let jobs_arg =
            default: the machine's recommended domain count minus one, at \
            least 1). Results are identical for every value.")
 
+let batch_arg =
+  Arg.(
+    value
+    & opt int Batch.default_lanes
+    & info [ "batch" ] ~docv:"K"
+        ~doc:
+          "Evaluate candidate configurations K per lane-parallel sweep \
+           (Ir.Batch): one configuration-generic compile, K configs per run. \
+           Results are bit-identical to scalar evaluation for every K.")
+
+let no_batch_arg =
+  Arg.(
+    value & flag
+    & info [ "no-batch" ]
+        ~doc:"Disable batched evaluation; run every candidate scalar.")
+
+(* --batch K unless --no-batch (or a degenerate K) turned it off. *)
+let batch_of ~batch ~no_batch =
+  if no_batch || batch < 2 then None else Some batch
+
 let target_of s =
   match Fp.format_of_string s with
   | Some f -> f
@@ -283,7 +303,7 @@ let analyze_cmd =
            $ obs_term $ rest_args))
 
 let tune_cmd =
-  let run file func threshold target emit jobs obs raw =
+  let run file func threshold target emit jobs batch no_batch obs raw =
     wrap (fun () ->
         with_obs ~cmd:"tune" obs @@ fun () ->
         let prog = load file in
@@ -291,8 +311,8 @@ let tune_cmd =
         let args = parse_args f raw in
         let target = target_of target in
         let o =
-          Cheffp_core.Tuner.tune ~target ~builtins:(builtins ()) ~jobs ~prog
-            ~func ~args ~threshold ()
+          Cheffp_core.Tuner.tune ~target ~builtins:(builtins ()) ~jobs
+            ?batch:(batch_of ~batch ~no_batch) ~prog ~func ~args ~threshold ()
         in
         print_string (Cheffp_core.Report.tuning o);
         if emit then begin
@@ -311,7 +331,8 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Greedy mixed-precision tuning against an error threshold.")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ emit_arg $ jobs_arg $ obs_term $ rest_args))
+           $ emit_arg $ jobs_arg $ batch_arg $ no_batch_arg $ obs_term
+           $ rest_args))
 
 let copy_args args =
   List.map
@@ -322,7 +343,7 @@ let copy_args args =
     args
 
 let search_cmd =
-  let run file func threshold target jobs obs raw =
+  let run file func threshold target jobs batch no_batch obs raw =
     wrap (fun () ->
         with_obs ~cmd:"search" obs @@ fun () ->
         let prog = load file in
@@ -339,7 +360,8 @@ let search_cmd =
         in
         let o =
           Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~jobs
-            ~measure ~prog ~func ~args ~threshold ()
+            ?batch:(batch_of ~batch ~no_batch) ~measure ~prog ~func ~args
+            ~threshold ()
         in
         print_string (Cheffp_core.Report.search o))
   in
@@ -348,7 +370,7 @@ let search_cmd =
        ~doc:"Precimonious-style search-based tuning baseline (compare with tune).")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ jobs_arg $ obs_term $ rest_args))
+           $ jobs_arg $ batch_arg $ no_batch_arg $ obs_term $ rest_args))
 
 let validate_cmd =
   let run file func demote mode margin fuel obs raw =

@@ -67,12 +67,16 @@ let tuning (o : Tuner.outcome) =
 let search (o : Search.outcome) =
   let ev = o.Search.evaluation in
   Printf.sprintf
-    "search-based tuning: %d program executions\n\
+    "search-based tuning: %d program executions%s\n\
      demoted: %s\n\
      actual error:     %.6e (threshold %.1e)\n\
      modelled error:   %.6e (CHEF-FP, 1 augmented execution)\n%s\
      modelled speedup: %.2fx\n"
     o.Search.executions
+    (if o.Search.batched_runs > 0 then
+       Printf.sprintf " (program-runs-equivalent; %d batched sweeps)"
+         o.Search.batched_runs
+     else "")
     (match o.Search.demoted with [] -> "(nothing)" | l -> String.concat ", " l)
     ev.Tuner.actual_error o.Search.threshold o.Search.modelled_error
     (match o.Search.measured_error with

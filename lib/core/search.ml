@@ -8,6 +8,7 @@ module Trace = Cheffp_obs.Trace
 type outcome = {
   demoted : string list;
   executions : int;
+  batched_runs : int;
   evaluation : Tuner.evaluation;
   modelled_error : float;
   measured_error : float option;
@@ -22,15 +23,19 @@ let copy_args args =
       | (Interp.Aint _ | Interp.Aflt _) as x -> x)
     args
 
-let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?measure ~prog ~func
-    ~args ~threshold () =
+let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure ~prog
+    ~func ~args ~threshold () =
   Trace.with_span "search.tune" @@ fun () ->
   if Trace.enabled () then begin
     Trace.add_attr "func" (Trace.Str func);
     Trace.add_attr "threshold" (Trace.Float threshold);
-    Trace.add_attr "jobs" (Trace.Int jobs)
+    Trace.add_attr "jobs" (Trace.Int jobs);
+    match batch with
+    | Some lanes -> Trace.add_attr "batch" (Trace.Int lanes)
+    | None -> ()
   end;
   let executions = Atomic.make 0 in
+  let batched_runs = Atomic.make 0 in
   let run config =
     Atomic.incr executions;
     (* Metered compilation (counters are per-run, dropped here) so the
@@ -57,6 +62,44 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?measure ~prog ~func
     if Trace.enabled () then Trace.add_attr "error" (Trace.Float e);
     e
   in
+  (* Errors of a list of candidate variable-sets at once. With [batch]
+     set this is the searched-for hot path: n sets evaluate as ⌈n/K⌉
+     lane sweeps of one configuration-generic compilation instead of n
+     scalar compile+run pairs. [executions] still counts one per set
+     (program-runs-equivalent, keeping the Precimonious comparison
+     honest); [batched_runs] counts the sweeps. Per-set observability
+     drops from spans to events — the sets inside one sweep have no
+     meaningful individual duration. *)
+  let errors_of_sets sets =
+    match batch with
+    | Some lanes when lanes > 1 && List.length sets > 1 ->
+        let n = List.length sets in
+        let configs =
+          List.map
+            (fun vars -> Config.demote_all Config.double vars target)
+            sets
+        in
+        ignore (Atomic.fetch_and_add executions n);
+        ignore (Atomic.fetch_and_add batched_runs ((n + lanes - 1) / lanes));
+        let b = Compile_cache.compile_batch ?builtins ?mode ~prog ~func () in
+        let fallback config =
+          Compile_cache.compile ?builtins ?mode ~meter:true ~config ~prog
+            ~func ()
+        in
+        let vals = Batch.run_many ~jobs ~lanes ~fallback b ~configs args in
+        List.map2
+          (fun vars v ->
+            let e = Float.abs (v -. reference) in
+            Trace.event "search.candidate"
+              ~attrs:
+                [
+                  ("vars", Trace.Str (String.concat "," vars));
+                  ("error", Trace.Float e);
+                ];
+            e)
+          sets vals
+    | _ -> Pool.parallel_map ~jobs (fun vars -> error_of vars) sets
+  in
   let candidates = Tuner.float_variables (Ast.func_exn prog func) in
   let chosen =
     if error_of ~span:"search.all_demoted" candidates <= threshold then
@@ -66,7 +109,8 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?measure ~prog ~func
          independent execution — one parallel batch. *)
       let individual =
         Trace.with_span "search.probe" (fun () ->
-            Pool.parallel_map ~jobs (fun v -> (v, error_of [ v ])) candidates)
+            List.combine candidates
+              (errors_of_sets (List.map (fun v -> [ v ]) candidates)))
         |> List.filter (fun (_, e) -> e <= threshold)
         |> List.sort (fun (_, a) (_, b) -> compare a b)
       in
@@ -97,9 +141,7 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?measure ~prog ~func
               Trace.with_span "search.grow" (fun () ->
                   if Trace.enabled () then
                     Trace.add_attr "pending" (Trace.Int (List.length pending));
-                  Pool.parallel_map ~jobs
-                    (fun (_, trial) -> error_of trial)
-                    prefixes)
+                  errors_of_sets (List.map snd prefixes))
             in
             let rec accept chosen pend errs =
               match (pend, errs) with
@@ -151,6 +193,7 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?measure ~prog ~func
   {
     demoted = chosen;
     executions = Atomic.get executions;
+    batched_runs = Atomic.get batched_runs;
     evaluation;
     modelled_error;
     measured_error;

@@ -27,7 +27,14 @@ module Fp = Cheffp_precision.Fp
 
 type outcome = {
   demoted : string list;
-  executions : int;  (** program runs the search consumed *)
+  executions : int;
+      (** program runs the search consumed, in program-runs-equivalent:
+          a lane of a batched sweep counts like a scalar run, so the
+          number is comparable across [batch] settings (and to
+          Precimonious-style cost accounting) *)
+  batched_runs : int;
+      (** lane sweeps executed when [batch] was set ([0] otherwise);
+          each replaced up to K entries of [executions] *)
   evaluation : Tuner.evaluation;
   modelled_error : float;
       (** CHEF-FP estimate for the chosen set: the per-variable error
@@ -46,6 +53,7 @@ val tune :
   ?mode:Config.rounding_mode ->
   ?builtins:Builtins.t ->
   ?jobs:int ->
+  ?batch:int ->
   ?measure:(Config.t -> float) ->
   prog:Ast.program ->
   func:string ->
@@ -55,6 +63,17 @@ val tune :
   outcome
 (** The returned configuration always satisfies [threshold] (it is
     validated by construction).
+
+    [batch] (default off; [Some k] with [k >= 2] enables) evaluates the
+    probe and growth candidates through {!Cheffp_ir.Batch}: the n
+    per-candidate runs of a phase become ⌈n/k⌉ lane sweeps of one
+    configuration-generic compilation, composed with [jobs] (sweeps fan
+    out across domains). Per-lane results are bit-identical to the
+    scalar runs, so the outcome (demoted set, evaluation, executions)
+    is unchanged — lanes that diverge from shared control flow are
+    transparently re-run scalar. The reference run, the all-demoted
+    shortcut and the final {!Tuner.evaluate} stay scalar (one or two
+    configurations are below the batching break-even).
 
     [measure], when given, is called once with the chosen configuration
     (not counted in [executions]); `Cheffp_shadow` lives above this

@@ -87,6 +87,64 @@ let evaluate ?builtins ?mode ?(jobs = 1) ~prog ~func ~args config =
       ev
   | _ -> assert false
 
+(* Batched evaluation: every chunk's lane sweep carries the all-double
+   reference in lane 0, so each evaluation's actual_error and
+   modelled_speedup come from the same sweep — one batch run replaces
+   |chunk| + 1 scalar runs. The batch artifact and the divergence
+   fallback both go through the compile cache, so a whole session pays
+   one batch compile per (program, func, mode). *)
+let evaluate_many ?builtins ?mode ?(jobs = 1) ?(lanes = Batch.default_lanes)
+    ~prog ~func ~args configs =
+  Trace.with_span "tuner.evaluate_many" @@ fun () ->
+  if Trace.enabled () then begin
+    Trace.add_attr "configs" (Trace.Int (List.length configs));
+    Trace.add_attr "lanes" (Trace.Int lanes)
+  end;
+  let b = Compile_cache.compile_batch ?builtins ?mode ~meter:true ~prog ~func () in
+  let fallback config =
+    Compile_cache.compile ?builtins ?mode ~meter:true ~config ~prog ~func ()
+  in
+  let chunk_size = max 1 (lanes - 1) in
+  let rec chunks = function
+    | [] -> []
+    | l ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | c :: rest -> take (n - 1) (c :: acc) rest
+        in
+        let h, t = take chunk_size [] l in
+        h :: chunks t
+  in
+  chunks configs
+  |> Cheffp_util.Pool.parallel_map ~jobs (fun chunk ->
+         let cfgs = Array.of_list (Config.double :: chunk) in
+         let counters =
+           Array.init (Array.length cfgs) (fun _ ->
+               Cost.Counter.create Cost.default)
+         in
+         let r = Batch.run ~counters ~fallback b ~configs:cfgs args in
+         let value l =
+           match r.Batch.lanes.(l).Interp.ret with
+           | Some (Builtins.F x) -> x
+           | _ ->
+               invalid_arg "Tuner.evaluate_many: function must return a float"
+         in
+         let reference = value 0 in
+         let ref_cost = Cost.Counter.total counters.(0) in
+         List.mapi
+           (fun i config ->
+             let l = i + 1 in
+             let cost = Cost.Counter.total counters.(l) in
+             {
+               config;
+               actual_error = Float.abs (value l -. reference);
+               modelled_speedup = (if cost > 0. then ref_cost /. cost else 1.);
+               casts = Cost.Counter.casts counters.(l);
+             })
+           chunk)
+  |> List.concat
+
 type outcome = {
   threshold : float;
   demoted : string list;
@@ -97,7 +155,7 @@ type outcome = {
 }
 
 let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ?(jobs = 1)
-    ~prog ~func ~args ~threshold () =
+    ?batch ~prog ~func ~args ~threshold () =
   Trace.with_span "tuner.tune" @@ fun () ->
   if Trace.enabled () then begin
     Trace.add_attr "func" (Trace.Str func);
@@ -145,7 +203,17 @@ let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ?(jobs = 1)
   in
   let demoted = List.rev demoted in
   let config = Config.demote_all Config.double demoted target in
-  let evaluation = evaluate ?builtins ?mode ~jobs ~prog ~func ~args config in
+  let evaluation =
+    match batch with
+    | Some lanes when lanes > 1 -> (
+        match
+          evaluate_many ?builtins ?mode ~jobs ~lanes ~prog ~func ~args
+            [ config ]
+        with
+        | [ ev ] -> ev
+        | _ -> assert false)
+    | _ -> evaluate ?builtins ?mode ~jobs ~prog ~func ~args config
+  in
   { threshold; demoted; vetoed; estimated_error; contributions; evaluation }
 
 (* Multi-dataset tuning (paper SS V-B: "it is important to analyze the

@@ -36,6 +36,30 @@ val evaluate :
     [jobs > 1] the two runs execute on separate domains — results are
     bit-identical either way. *)
 
+val evaluate_many :
+  ?builtins:Builtins.t ->
+  ?mode:Config.rounding_mode ->
+  ?jobs:int ->
+  ?lanes:int ->
+  prog:Ast.program ->
+  func:string ->
+  args:Interp.arg list ->
+  Config.t list ->
+  evaluation list
+(** Evaluate many candidate configurations in lane-parallel sweeps
+    ({!Cheffp_ir.Batch}): the configurations are chunked into groups of
+    [lanes - 1] (default {!Cheffp_ir.Batch.default_lanes}), each group
+    runs as one metered sweep with the all-double reference in lane 0,
+    and chunks fan out over [jobs] domains (default 1). One sweep
+    replaces |group| + 1 scalar compile+run pairs; the batch artifact
+    is memoized config-independently in {!Compile_cache}
+    ({!Compile_cache.compile_batch}). [actual_error] values are
+    bit-identical to per-config {!evaluate} calls; modelled costs
+    reflect the shared conservatively-optimized body (see
+    {!Cheffp_ir.Batch.run}), which coincides with the scalar model on
+    programs without literal identity operations. Order follows the
+    input list. *)
+
 type outcome = {
   threshold : float;
   demoted : string list;  (** variables chosen for demotion *)
@@ -57,6 +81,7 @@ val tune :
   ?builtins:Builtins.t ->
   ?margin:float ->
   ?jobs:int ->
+  ?batch:int ->
   prog:Ast.program ->
   func:string ->
   args:Interp.arg list ->
@@ -72,7 +97,9 @@ val tune :
     the first-order model charges one rounding per assignment, while
     [Source]-mode execution rounds every operation, so selections
     exactly at the threshold can overshoot slightly. [jobs] (default 1)
-    is forwarded to the validating {!evaluate}. *)
+    is forwarded to the validating {!evaluate}. [batch] ([Some k],
+    [k >= 2]) routes that validation through {!evaluate_many} instead —
+    one two-lane sweep rather than two scalar runs. *)
 
 val float_variables : Ast.func -> string list
 (** The demotion candidates of a function: float parameters, float

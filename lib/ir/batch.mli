@@ -1,0 +1,126 @@
+(** Lane-parallel batched execution of one function under K
+    mixed-precision configurations at once.
+
+    A tuning run evaluates many candidate configurations of the {e same}
+    function on the {e same} arguments; the scalar path ({!Compile})
+    pays one full compile + run per configuration. This module compiles
+    the function {b once} into configuration-generic closures over K
+    {e lanes} in structure-of-arrays layout: every float slot becomes a
+    [float array] of length K, every float expression node evaluates as
+    one tight per-lane loop, and each lane carries its own
+    {!Cheffp_precision.Config.t} whose storage/operation formats are
+    resolved into per-lane tables when a batch run starts — the compiled
+    artifact itself is configuration-independent, which is what lets
+    {!Compile_cache.compile_batch} key it on [(program, func, mode)]
+    alone.
+
+    {b Shared control flow.} Integer values (loop bounds, branch
+    conditions, indices) are computed once and shared by all lanes.
+    Wherever an integer is derived from floats — a float comparison, an
+    int-returning intrinsic with float arguments — the per-lane
+    candidates are compared: if every live lane agrees the value is
+    shared and execution stays batched; if lanes disagree the majority
+    keeps going and each dissenting lane is {e deactivated} and
+    transparently re-run from scratch through the scalar fallback
+    ({!Compile.run}) under its own configuration. Divergence therefore
+    costs performance, never correctness.
+
+    {b Bit-identity contract.} For every lane, the returned
+    {!Interp.result} is bit-identical to a scalar
+    [Compile.run (Compile.compile ~config ...)] of the same function on
+    the same arguments under that lane's configuration (asserted by the
+    unit and fuzz suites). Divergent lanes satisfy this trivially — they
+    {e are} scalar runs. Unlike {!Compile.run}, batched runs never
+    mutate caller-supplied argument arrays (every lane gets private
+    copies).
+
+    {b Observability} (DESIGN.md §9/§11): each batch run records a
+    ["batch.run"] span with [lanes]/[divergences] attributes, sets the
+    [batch.lanes] gauge, and bumps the [batch.runs] counter and the
+    [batch.divergence_total] counter (one increment per deactivated
+    lane). *)
+
+type t
+
+val default_lanes : int
+(** 8: wide enough to amortize per-node closure dispatch, narrow enough
+    that lane chunks still spread across pool domains. *)
+
+val compile :
+  ?builtins:Builtins.t ->
+  ?mode:Cheffp_precision.Config.rounding_mode ->
+  ?meter:bool ->
+  ?optimize:bool ->
+  prog:Ast.program ->
+  func:string ->
+  unit ->
+  t
+(** Compile [func] once for any number of lanes and any configurations
+    ([mode] defaults to [Source], as everywhere). [optimize] (default
+    [true]) runs {!Optimize.optimize_func} with {e every} variable
+    opaque — the configuration is unknown at compile time, so the
+    rewrites that would change mixed-precision semantics for {e some}
+    configuration are all disabled; the surviving rewrites are the
+    value-preserving ones, keeping the bit-identity contract.
+
+    [meter] (default [false]) statically emits per-lane cost metering;
+    charges land in the counters passed to {!run}. Like
+    {!Compile.compile}, the result is immutable and safe to share
+    across runs and domains ({!run} builds a private environment).
+    @raise Compile.Compile_error on malformed programs. *)
+
+type result = {
+  lanes : Interp.result array;  (** one per configuration, in order *)
+  divergences : int;
+      (** lanes of this run that diverged and were re-run scalar *)
+}
+
+val run :
+  ?counters:Cheffp_precision.Cost.Counter.t array ->
+  ?fallback:(Cheffp_precision.Config.t -> Compile.t) ->
+  t ->
+  configs:Cheffp_precision.Config.t array ->
+  Interp.arg list ->
+  result
+(** Run every configuration of [configs] as one lane sweep.
+
+    [counters] (metered compilations only; length must equal the lane
+    count when given) receive each lane's modelled cost; a diverged
+    lane's counter is reset and recharged by its scalar fallback run, so
+    counters are always consistent with the results. Charges reflect the
+    shared conservatively-optimized body: a program containing literal
+    identity operations ([x + 0.0]) that a per-config scalar compile
+    would fold away can model marginally higher than scalar — values are
+    still bit-identical, and no real workload contains such
+    operations. [fallback] supplies
+    the scalar compilation used for diverged lanes (default: a direct
+    {!Compile.compile} with this batch's builtins/mode/meter settings —
+    pass a {!Compile_cache}-backed closure to memoize).
+    @raise Invalid_argument on an empty [configs] or an arity mismatch. *)
+
+val run_floats :
+  ?counters:Cheffp_precision.Cost.Counter.t array ->
+  ?fallback:(Cheffp_precision.Config.t -> Compile.t) ->
+  t ->
+  configs:Cheffp_precision.Config.t array ->
+  Interp.arg list ->
+  float array
+(** Like {!run} but projects each lane's float return value.
+    @raise Compile.Compile_error if the function does not return a
+    float. *)
+
+val run_many :
+  ?jobs:int ->
+  ?lanes:int ->
+  ?fallback:(Cheffp_precision.Config.t -> Compile.t) ->
+  t ->
+  configs:Cheffp_precision.Config.t list ->
+  Interp.arg list ->
+  float list
+(** [run_many ~jobs ~lanes t ~configs args] evaluates an arbitrary
+    number of configurations by chunking them into sweeps of at most
+    [lanes] (default {!default_lanes}) and fanning the chunks out over
+    {!Cheffp_util.Pool.parallel_map} with [jobs] domains (default 1).
+    Results preserve [configs] order; [args] is only read. This is the
+    shape the tuning probe/grow phases use: domain parallelism across
+    chunks, lane parallelism within a chunk. *)

@@ -12,9 +12,14 @@ type stats = { hits : int; misses : int; evictions : int; size : int }
    Recency is an intrusive doubly-linked list threaded through the
    entries (head = most recent), so a hit's refresh and an insertion's
    eviction are both O(1) under the same lock. *)
+(* Scalar and batched artifacts share the table (and its LRU bound):
+   a batch entry's key has no configuration component, which is the
+   point — one compile serves every lane configuration. *)
+type artifact = Scalar of Compile.t | Batched of Batch.t
+
 type entry = {
   key : string;
-  mutable value : Builtins.t option * Compile.t;
+  mutable value : Builtins.t option * artifact;
   mutable prev : entry option;  (* towards the head / more recent *)
   mutable next : entry option;  (* towards the tail / least recent *)
 }
@@ -96,16 +101,23 @@ let same_builtins a b =
   | Some a, Some b -> a == b
   | None, Some _ | Some _, None -> false
 
-let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
-    ?(meter = false) ?(optimize = true) ~prog ~func () =
-  let k = key ~prog ~func ~config ~mode ~optimize ~meter in
+(* Generic lookup-or-build over the artifact variant; [select] projects
+   the wanted artifact kind out of a cached entry (a key collision
+   across kinds is impossible — batch keys are "batch|"-prefixed and
+   digests are hex — but the projection keeps the type honest). *)
+let lookup_or ~k ~func ~builtins ~select ~build ~inject =
   let cached =
     locked (fun () ->
         match Hashtbl.find_opt table k with
-        | Some e when same_builtins (fst e.value) builtins ->
-            Metrics.incr hits_c;
-            touch e;
-            Some (snd e.value)
+        | Some e when same_builtins (fst e.value) builtins -> (
+            match select (snd e.value) with
+            | Some v ->
+                Metrics.incr hits_c;
+                touch e;
+                Some v
+            | None ->
+                Metrics.incr misses_c;
+                None)
         | Some _ | None ->
             Metrics.incr misses_c;
             None)
@@ -115,30 +127,65 @@ let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
       Trace.event "compile.cache_hit" ~attrs:[ ("func", Trace.Str func) ];
       t
   | None ->
-      (* Compiled outside the lock: two domains racing on the same key
+      (* Built outside the lock: two domains racing on the same key
          duplicate the work harmlessly; last insert wins. *)
-      let t =
-        Trace.with_span "compile" (fun () ->
-            if Trace.enabled () then begin
-              Trace.add_attr "func" (Trace.Str func);
-              Trace.add_attr "config" (Trace.Str (Config.to_string config));
-              Trace.add_attr "optimize" (Trace.Bool optimize);
-              Trace.add_attr "meter" (Trace.Bool meter)
-            end;
-            Compile.compile ?builtins ~config ~mode ~meter ~optimize ~prog
-              ~func ())
-      in
+      let t = build () in
       locked (fun () ->
           (match Hashtbl.find_opt table k with
           | Some e ->
-              e.value <- (builtins, t);
+              e.value <- (builtins, inject t);
               touch e
           | None ->
-              let e = { key = k; value = (builtins, t); prev = None; next = None } in
+              let e =
+                { key = k; value = (builtins, inject t); prev = None; next = None }
+              in
               Hashtbl.replace table k e;
               push_front e);
           evict_over_capacity ());
       t
+
+let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
+    ?(meter = false) ?(optimize = true) ~prog ~func () =
+  let k = key ~prog ~func ~config ~mode ~optimize ~meter in
+  lookup_or ~k ~func ~builtins
+    ~select:(function Scalar t -> Some t | Batched _ -> None)
+    ~inject:(fun t -> Scalar t)
+    ~build:(fun () ->
+      Trace.with_span "compile" (fun () ->
+          if Trace.enabled () then begin
+            Trace.add_attr "func" (Trace.Str func);
+            Trace.add_attr "config" (Trace.Str (Config.to_string config));
+            Trace.add_attr "optimize" (Trace.Bool optimize);
+            Trace.add_attr "meter" (Trace.Bool meter)
+          end;
+          Compile.compile ?builtins ~config ~mode ~meter ~optimize ~prog
+            ~func ()))
+
+(* A batch compilation is configuration-generic, so its key drops the
+   config component entirely: one cached artifact serves every lane
+   sweep of a (program, func, mode). *)
+let batch_key ~prog ~func ~mode ~optimize ~meter =
+  Printf.sprintf "batch|%s|%s|%s|%b|%b"
+    (Digest.to_hex (Digest.string (Pp.program_to_string prog)))
+    func
+    (match mode with Config.Source -> "src" | Config.Extended -> "ext")
+    optimize meter
+
+let compile_batch ?builtins ?(mode = Config.Source) ?(meter = false)
+    ?(optimize = true) ~prog ~func () =
+  let k = batch_key ~prog ~func ~mode ~optimize ~meter in
+  lookup_or ~k ~func ~builtins
+    ~select:(function Batched t -> Some t | Scalar _ -> None)
+    ~inject:(fun t -> Batched t)
+    ~build:(fun () ->
+      Trace.with_span "compile" (fun () ->
+          if Trace.enabled () then begin
+            Trace.add_attr "func" (Trace.Str func);
+            Trace.add_attr "batch" (Trace.Bool true);
+            Trace.add_attr "optimize" (Trace.Bool optimize);
+            Trace.add_attr "meter" (Trace.Bool meter)
+          end;
+          Batch.compile ?builtins ~mode ~meter ~optimize ~prog ~func ()))
 
 let stats () =
   locked (fun () ->

@@ -54,6 +54,23 @@ val compile :
     Returns a cached instance when an equivalent compilation was done
     before, compiling and inserting otherwise. *)
 
+val compile_batch :
+  ?builtins:Builtins.t ->
+  ?mode:Cheffp_precision.Config.rounding_mode ->
+  ?meter:bool ->
+  ?optimize:bool ->
+  prog:Ast.program ->
+  func:string ->
+  unit ->
+  Batch.t
+(** Memoized {!Batch.compile}. Batch artifacts are
+    configuration-generic, so the key is
+    [(program digest, func, mode, optimize, meter)] {e without} a
+    configuration — one cached compile serves every lane sweep, which is
+    what lets a whole tuning search pay a single compilation per
+    (program, mode). Entries share the scalar table, its LRU bound and
+    its statistics. *)
+
 type stats = {
   hits : int;  (** lookups served from the table *)
   misses : int;  (** lookups that had to compile *)

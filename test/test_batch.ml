@@ -1,0 +1,358 @@
+(* Batched lane-parallel execution (Ir.Batch): the contract is per-lane
+   bit-identity with the scalar compiler under the same configuration,
+   with divergence handled by transparent scalar fallback. The unit
+   cases pin the three divergence shapes named in DESIGN.md §11
+   (config-dependent branch flip, while-loop trip-count divergence,
+   array writes after a split); the fuzz property sweeps random
+   programs under random lane configurations. *)
+
+open Cheffp_ir
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+module Cost = Cheffp_precision.Cost
+
+let parse src =
+  let prog = Parser.parse_program src in
+  Typecheck.check_program prog;
+  prog
+
+let scalar_result ~prog ~func ?counter config args =
+  let c = Compile.compile ~config ~meter:(counter <> None) ~prog ~func () in
+  Compile.run ?counter c args
+
+(* Run [configs] batched and scalar on the same args and check every
+   lane's full result (return, outs, stack peak) is identical bit for
+   bit. Returns the batch divergence count. *)
+let check_lanes ?(meter = false) ~prog ~func configs args =
+  let b = Batch.compile ~meter ~prog ~func () in
+  let counters =
+    Array.init (Array.length configs) (fun _ ->
+        Cost.Counter.create Cost.default)
+  in
+  let r = Batch.run ~counters b ~configs args in
+  Array.iteri
+    (fun l config ->
+      let scounter = Cost.Counter.create Cost.default in
+      let sres =
+        scalar_result ~prog ~func
+          ?counter:(if meter then Some scounter else None)
+          config
+          (List.map
+             (function
+               | Interp.Afarr a -> Interp.Afarr (Array.copy a)
+               | Interp.Aiarr a -> Interp.Aiarr (Array.copy a)
+               | x -> x)
+             args)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "lane %d result bit-identical" l)
+        true
+        (r.Batch.lanes.(l) = sres);
+      if meter then begin
+        Alcotest.(check (float 0.))
+          (Printf.sprintf "lane %d modelled cost" l)
+          (Cost.Counter.total scounter)
+          (Cost.Counter.total counters.(l));
+        Alcotest.(check int)
+          (Printf.sprintf "lane %d casts" l)
+          (Cost.Counter.casts scounter)
+          (Cost.Counter.casts counters.(l))
+      end)
+    configs;
+  r.Batch.divergences
+
+(* ------------------------------------------------------------------ *)
+(* Uniform control flow: no divergence, metering matches per lane.    *)
+
+let conform_src =
+  {|func kernel(x: f64, n: int): f64 {
+  var s: f64 = 0.0;
+  var t: f64;
+  var u: f64;
+  for i in 1 .. n + 1 {
+    t = x / itof(i);
+    u = t * t + 0.5;
+    s = s + sqrt(u);
+  }
+  return s;
+}|}
+
+let test_uniform () =
+  let prog = parse conform_src in
+  let configs =
+    [|
+      Config.double;
+      Config.demote Config.double "t" Fp.F32;
+      Config.demote (Config.demote Config.double "u" Fp.F16) "t" Fp.F32;
+      Config.demote_all Config.double [ "s"; "t"; "u" ] Fp.F32;
+    |]
+  in
+  let d =
+    check_lanes ~meter:true ~prog ~func:"kernel" configs
+      [ Interp.Aflt 1.7; Interp.Aint 20 ]
+  in
+  Alcotest.(check int) "no divergence" 0 d
+
+let test_extended_mode () =
+  let prog = parse conform_src in
+  let configs =
+    [| Config.double; Config.demote_all Config.double [ "s"; "u" ] Fp.F16 |]
+  in
+  let b = Batch.compile ~mode:Config.Extended ~prog ~func:"kernel" () in
+  let r =
+    Batch.run b ~configs [ Interp.Aflt 1.7; Interp.Aint 20 ]
+  in
+  Array.iteri
+    (fun l config ->
+      let c =
+        Compile.compile ~config ~mode:Config.Extended ~prog ~func:"kernel" ()
+      in
+      let sres = Compile.run c [ Interp.Aflt 1.7; Interp.Aint 20 ] in
+      Alcotest.(check bool)
+        (Printf.sprintf "extended lane %d" l)
+        true
+        (r.Batch.lanes.(l) = sres))
+    configs;
+  Alcotest.(check int) "no divergence" 0 r.Batch.divergences
+
+(* ------------------------------------------------------------------ *)
+(* Divergence: config-dependent branch flip.                          *)
+
+(* With t demoted to f16, 0.99998 stores as 1.0 and the >= test flips. *)
+let branch_src =
+  {|func branchy(x: f64): f64 {
+  var t: f64 = x;
+  if (t >= 1.0) {
+    return t * 2.0;
+  }
+  return t * 3.0;
+}|}
+
+let test_branch_flip () =
+  let prog = parse branch_src in
+  let configs =
+    [|
+      Config.double;
+      Config.demote Config.double "t" Fp.F16;
+      Config.double;
+      Config.demote Config.double "t" Fp.F32;
+    |]
+  in
+  let d =
+    check_lanes ~meter:true ~prog ~func:"branchy" configs
+      [ Interp.Aflt 0.99998 ]
+  in
+  (* Three lanes agree the branch is not taken; the f16 lane dissents. *)
+  Alcotest.(check int) "one diverged lane" 1 d
+
+(* ------------------------------------------------------------------ *)
+(* Divergence: while-loop trip count.                                 *)
+
+(* x = 0.33329: in f64 the sum crosses 1.0 on the 4th iteration; with s
+   demoted to f16 the third store rounds 1.000038… to exactly 1.0, so
+   the loop exits an iteration early. *)
+let while_src =
+  {|func trippy(x: f64): f64 {
+  var s: f64 = 0.0;
+  var iters: f64 = 0.0;
+  while (s < 1.0) {
+    s = s + x;
+    iters = iters + 1.0;
+  }
+  return s + iters;
+}|}
+
+let test_while_trip_count () =
+  let prog = parse while_src in
+  let configs = [| Config.double; Config.demote Config.double "s" Fp.F16 |] in
+  (* Sanity: the two scalar runs really do different trip counts,
+     otherwise this case pins nothing. *)
+  let runs =
+    Array.map
+      (fun config ->
+        Interp.run_float ~config ~prog ~func:"trippy" [ Interp.Aflt 0.33329 ])
+      configs
+  in
+  Alcotest.(check bool) "trip counts differ" true (runs.(0) <> runs.(1));
+  let d =
+    check_lanes ~meter:true ~prog ~func:"trippy" configs
+      [ Interp.Aflt 0.33329 ]
+  in
+  Alcotest.(check int) "one diverged lane" 1 d
+
+(* ------------------------------------------------------------------ *)
+(* Divergence: array writes after the split point.                    *)
+
+(* The diverged lane re-runs scalar from pristine argument copies, so
+   index-dependent array writes after the split stay correct — and the
+   caller's own array is never mutated by the batch run. *)
+let arr_src =
+  {|func arrsplit(x: f64, acc: f64[]): f64 {
+  var t: f64 = x;
+  var ar: f64[4];
+  var i: int = 0;
+  if (t >= 1.0) {
+    i = 1;
+  }
+  ar[i] = t * 2.0;
+  ar[3 - i] = t * 3.0;
+  acc[i] = acc[i] + ar[i];
+  return ar[0] + ar[1] + ar[2] + ar[3] + acc[0] + acc[1];
+}|}
+
+let test_array_writes_after_split () =
+  let prog = parse arr_src in
+  let configs = [| Config.double; Config.demote Config.double "t" Fp.F16 |] in
+  let out = [| 10.0; 20.0 |] in
+  let d =
+    check_lanes ~prog ~func:"arrsplit" configs
+      [ Interp.Aflt 0.99998; Interp.Afarr out ]
+  in
+  Alcotest.(check int) "one diverged lane" 1 d;
+  Alcotest.(check bool)
+    "caller array untouched" true
+    (out = [| 10.0; 20.0 |])
+
+(* ------------------------------------------------------------------ *)
+(* run_many: chunking and domain fan-out preserve order and values.   *)
+
+let test_run_many () =
+  let prog = parse conform_src in
+  let configs =
+    [
+      Config.double;
+      Config.demote Config.double "t" Fp.F32;
+      Config.demote Config.double "u" Fp.F32;
+      Config.demote Config.double "s" Fp.F32;
+      Config.demote_all Config.double [ "s"; "t"; "u" ] Fp.F16;
+    ]
+  in
+  let args = [ Interp.Aflt 1.7; Interp.Aint 20 ] in
+  let b = Batch.compile ~prog ~func:"kernel" () in
+  let expect =
+    List.map
+      (fun config ->
+        let c = Compile.compile ~config ~prog ~func:"kernel" () in
+        Compile.run_float c args)
+      configs
+  in
+  List.iter
+    (fun (jobs, lanes) ->
+      let got = Batch.run_many ~jobs ~lanes b ~configs args in
+      Alcotest.(check bool)
+        (Printf.sprintf "run_many jobs=%d lanes=%d" jobs lanes)
+        true (got = expect))
+    [ (1, 2); (2, 2); (1, 8); (2, 1) ]
+
+(* ------------------------------------------------------------------ *)
+(* Wiring: batched Search/Tuner agree with their scalar paths.        *)
+
+let test_evaluate_many () =
+  let prog = parse conform_src in
+  let args = [ Interp.Aflt 1.7; Interp.Aint 20 ] in
+  let configs =
+    [
+      Config.demote Config.double "t" Fp.F32;
+      Config.demote_all Config.double [ "s"; "t"; "u" ] Fp.F32;
+      Config.demote Config.double "u" Fp.F16;
+    ]
+  in
+  let batched =
+    Cheffp_core.Tuner.evaluate_many ~lanes:3 ~prog ~func:"kernel" ~args configs
+  in
+  List.iter2
+    (fun config ev ->
+      let s = Cheffp_core.Tuner.evaluate ~prog ~func:"kernel" ~args config in
+      Alcotest.(check (float 0.))
+        "actual_error" s.Cheffp_core.Tuner.actual_error
+        ev.Cheffp_core.Tuner.actual_error;
+      Alcotest.(check (float 0.))
+        "modelled_speedup" s.Cheffp_core.Tuner.modelled_speedup
+        ev.Cheffp_core.Tuner.modelled_speedup;
+      Alcotest.(check int) "casts" s.Cheffp_core.Tuner.casts
+        ev.Cheffp_core.Tuner.casts)
+    configs batched
+
+let test_search_batched () =
+  let prog = parse conform_src in
+  let args = [ Interp.Aflt 1.7; Interp.Aint 20 ] in
+  let tune ?batch () =
+    Cheffp_core.Search.tune ?batch ~prog ~func:"kernel" ~args ~threshold:1e-9 ()
+  in
+  let scalar = tune () in
+  let batched = tune ~batch:3 () in
+  Alcotest.(check (list string))
+    "same demoted set" scalar.Cheffp_core.Search.demoted
+    batched.Cheffp_core.Search.demoted;
+  Alcotest.(check int)
+    "same program-runs-equivalent" scalar.Cheffp_core.Search.executions
+    batched.Cheffp_core.Search.executions;
+  Alcotest.(check (float 0.))
+    "same validated error"
+    scalar.Cheffp_core.Search.evaluation.Cheffp_core.Tuner.actual_error
+    batched.Cheffp_core.Search.evaluation.Cheffp_core.Tuner.actual_error;
+  Alcotest.(check int) "scalar path has no sweeps" 0
+    scalar.Cheffp_core.Search.batched_runs;
+  Alcotest.(check bool) "batched path counts sweeps" true
+    (batched.Cheffp_core.Search.batched_runs > 0)
+
+(* ------------------------------------------------------------------ *)
+(* Fuzz: K random configs batched vs scalar on random programs.       *)
+
+let gen_batch_case =
+  QCheck.Gen.(
+    quad Gen_minifp.gen_program
+      (array_size (return 4) Gen_minifp.gen_config)
+      Gen_minifp.gen_inputs (return ()))
+
+let arbitrary_batch_case =
+  QCheck.make
+    ~print:(fun (p, cfgs, (x, y), ()) ->
+      Printf.sprintf "x=%.17g y=%.17g configs=[%s]\n%s" x y
+        (String.concat "; "
+           (Array.to_list (Array.map Config.to_string cfgs)))
+        (Pp.program_to_string p))
+    gen_batch_case
+
+let fuzz_batch_bit_identity =
+  QCheck.Test.make ~count:120 ~name:"fuzz: batched lanes = scalar runs"
+    arbitrary_batch_case (fun (prog, configs, (x, y), ()) ->
+      let args = [ Interp.Aflt x; Interp.Aflt y; Interp.Aint 4 ] in
+      let scalar =
+        try
+          Some
+            (Array.map
+               (fun config ->
+                 let c = Compile.compile ~config ~prog ~func:"fuzz" () in
+                 Compile.run c args)
+               configs)
+        with Interp.Runtime_error _ | Division_by_zero -> None
+      in
+      match scalar with
+      | None -> true (* generator should prevent this; skip *)
+      | Some scalar ->
+          let b = Batch.compile ~prog ~func:"fuzz" () in
+          let r = Batch.run b ~configs args in
+          Array.for_all2 (fun lane s -> lane = s) r.Batch.lanes scalar)
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "uniform lanes, metered" `Quick test_uniform;
+          Alcotest.test_case "extended mode" `Quick test_extended_mode;
+          Alcotest.test_case "branch flip diverges" `Quick test_branch_flip;
+          Alcotest.test_case "while trip-count diverges" `Quick
+            test_while_trip_count;
+          Alcotest.test_case "array writes after split" `Quick
+            test_array_writes_after_split;
+          Alcotest.test_case "run_many chunking" `Quick test_run_many;
+          Alcotest.test_case "evaluate_many = evaluate" `Quick
+            test_evaluate_many;
+          Alcotest.test_case "batched search = scalar search" `Quick
+            test_search_batched;
+        ] );
+      ( "fuzz",
+        [ QCheck_alcotest.to_alcotest fuzz_batch_bit_identity ] );
+    ]
