@@ -9,14 +9,15 @@
      dune exec bench/main.exe -- -j 4 fig4    # sweep points on 4 domains
      ids: table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9
           ablation-inline ablation-opt ablation-precision ablation-activity
-          ablation-search perf-search smoke batch-smoke bechamel all *)
+          ablation-search perf-search smoke batch-smoke model-smoke
+          bechamel all *)
 
 let usage () =
   print_endline
     "usage: main.exe [-j N] [table1|table2|table3|table4|fig4|fig5|fig6|fig7|\n\
     \                 fig8|fig9|ablation-inline|ablation-opt|ablation-precision|\n\
     \                 ablation-activity|ablation-search|perf-search|smoke|\n\
-    \                 batch-smoke|bechamel|all]\n\
+    \                 batch-smoke|model-smoke|bechamel|all]\n\
      -j N   worker domains for parallel sweeps / candidate evaluation\n\
     \        (default: Domain.recommended_domain_count () - 1, min 1)";
   exit 1
@@ -38,7 +39,7 @@ let all ~jobs () =
 let smoke ~jobs () =
   let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
   ignore sweep;
-  let rows, batch, soundness =
+  let rows, batch, model, soundness =
     Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
       ~workloads:(Perf.smoke_workloads ()) ~small_soundness:true ()
   in
@@ -56,14 +57,24 @@ let smoke ~jobs () =
   in
   let overhead_ok = Perf.overhead_guard ~limit_pct:2.0 rows in
   let sound = Perf.soundness_coverage soundness = 1.0 in
+  let model_ok =
+    List.for_all
+      (fun r ->
+        r.Perf.m_demoted_identical
+        && r.Perf.m_hybrid_execs < r.Perf.m_measured_execs)
+      model
+  in
   Printf.printf
     "smoke: outcomes identical across jobs (incl. instrumented): %b; \
      batched search outcomes identical to scalar: %b; cache hits on every \
      workload: %b; traced phases + pool metrics present: %b; \
      disabled-instrumentation overhead < 2%%: %b; estimate sound on every \
-     benchmark: %b\n"
-    ok batch_ok hits traced overhead_ok sound;
-  if not (ok && batch_ok && hits && traced && overhead_ok && sound) then exit 1
+     benchmark: %b; hybrid = measured set with fewer executions: %b\n"
+    ok batch_ok hits traced overhead_ok sound model_ok;
+  if
+    not
+      (ok && batch_ok && hits && traced && overhead_ok && sound && model_ok)
+  then exit 1
 
 (* Batched-search smoke (`dune build @batch-smoke`): tiny batched
    searches must be bit-identical to their scalar counterparts, the
@@ -88,6 +99,57 @@ let batch_smoke () =
      batch.lanes gauge: %g\n"
     identical swept lanes_gauge;
   if not (identical && swept && lanes_gauge > 0.) then exit 1
+
+(* Profile-guided-search smoke (`dune build @model-smoke`): on every
+   tiny paper workload the hybrid strategy must choose the measured
+   set with strictly fewer executions, the modelled strategy must pay
+   exactly one augmented run and zero candidate executions (with the
+   warm re-run served from the profile cache), and the modelled-chosen
+   configuration must validate against the double-double shadow
+   oracle. *)
+let model_smoke () =
+  let workloads = Perf.batch_workloads ~small:true () in
+  let rows = List.map Perf.measure_model workloads in
+  Perf.print_model_rows rows;
+  let identical = List.for_all (fun r -> r.Perf.m_demoted_identical) rows in
+  let fewer =
+    List.for_all
+      (fun r -> r.Perf.m_hybrid_execs < r.Perf.m_measured_execs)
+      rows
+  in
+  let one_augmented =
+    List.for_all
+      (fun r ->
+        r.Perf.m_modelled_augmented_runs = 1
+        && r.Perf.m_modelled_execs = 0
+        && r.Perf.m_modelled_confirmations <= 2)
+      rows
+  in
+  let profile_hits =
+    List.for_all (fun r -> r.Perf.m_profile_cache_hits > 0) rows
+  in
+  let sound =
+    (* margin 2.0: the same headroom Tuner.tune's default budget keeps
+       for what the first-order model does not see (higher-order and
+       interaction terms); the adapt bound can undershoot the shadow
+       measurement by a percent on bs_price. *)
+    List.for_all2
+      (fun (w : Perf.workload) r ->
+        let v =
+          Cheffp_shadow.Oracle.check_estimate ~margin:2.0 ~prog:w.Perf.prog
+            ~func:w.Perf.func ~config:r.Perf.m_modelled_config w.Perf.args
+        in
+        v.Cheffp_shadow.Oracle.sound)
+      workloads rows
+  in
+  Printf.printf
+    "model-smoke: hybrid set = measured set: %b; hybrid executions < \
+     measured: %b; modelled = 1 augmented run + <= 2 confirmations, 0 \
+     candidate executions: %b; warm re-run hit the profile cache: %b; \
+     modelled config sound vs shadow oracle: %b\n"
+    identical fewer one_augmented profile_hits sound;
+  if not (identical && fewer && one_augmented && profile_hits && sound) then
+    exit 1
 
 let () =
   Printf.printf "CHEF-FP reproduction benchmark harness\n";
@@ -130,6 +192,7 @@ let () =
   | "perf-search" -> ignore (Perf.search_bench ~jobs:(max jobs 2) ())
   | "smoke" -> smoke ~jobs ()
   | "batch-smoke" -> batch_smoke ()
+  | "model-smoke" -> model_smoke ()
   | "suite" -> Tables.suite ()
   | "bechamel" -> Micro.run ()
   | _ -> usage ()

@@ -125,6 +125,42 @@ let batch_tests =
          ])
        batch_lane_counts)
 
+(* Profile-scoring microbenchmark (DESIGN.md §12): once the error-atom
+   profile exists, scoring a candidate configuration is a dot product
+   over its variables — the whole point of the profile-guided search is
+   that this is nanoseconds where a measured trial is milliseconds.
+   Swept over the profile size. *)
+module Profile = Cheffp_core.Profile
+
+let profile_var_counts = [ 10; 100; 1_000 ]
+
+let profile_of_size n =
+  Profile.of_atoms ~func:"f"
+    (List.init n (fun i ->
+         (Printf.sprintf "v%d" i, 1e-6 *. float_of_int (i + 1))))
+
+let score_kernel n =
+  let p = profile_of_size n in
+  (* Demote every other variable: the config lookup path, not just the
+     all-or-nothing fast paths. *)
+  let cfg =
+    Config.demote_all Config.double
+      (List.filteri
+         (fun i _ -> i mod 2 = 0)
+         (List.init n (fun i -> Printf.sprintf "v%d" i)))
+      Fp.F32
+  in
+  fun () -> ignore (Profile.score p cfg)
+
+let profile_tests =
+  Test.make_grouped ~name:"profile"
+    (List.map
+       (fun n ->
+         Test.make
+           ~name:(Printf.sprintf "score:vars=%04d" n)
+           (Staged.stage (score_kernel n)))
+       profile_var_counts)
+
 let tests =
   Test.make_grouped ~name:"micro"
     [
@@ -137,11 +173,13 @@ let tests =
             (Staged.stage table4_kernel);
         ];
       batch_tests;
+      profile_tests;
     ]
 
 let run () =
   print_endline
-    "\n== Bechamel micro-benchmarks (paper tables + batched execution) ==";
+    "\n== Bechamel micro-benchmarks (paper tables + batched execution + \
+     profile scoring) ==";
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~kde:None () in
   let raw = Benchmark.all cfg [ Instance.monotonic_clock ] tests in
   let ols =

@@ -178,9 +178,12 @@ let same_outcome (a : Search.outcome) (b : Search.outcome) =
      = b.Search.evaluation.Tuner.modelled_speedup
 
 let measure ~jobs w =
+  (* Pinned to `Measured: this block tracks the measured search's wall
+     clock across PRs, so its execution counts must stay comparable —
+     the profile-guided strategies get their own model_guided block. *)
   let tune j =
-    Search.tune ~jobs:j ~prog:w.prog ~func:w.func ~args:w.args
-      ~threshold:w.threshold ()
+    Search.tune ~jobs:j ~strategy:`Measured ~prog:w.prog ~func:w.func
+      ~args:w.args ~threshold:w.threshold ()
   in
   Gc.compact ();
   Compile_cache.clear ();
@@ -258,9 +261,10 @@ type batch_row = {
 let batch_divergence_c = Metrics.counter "batch.divergence_total"
 
 let measure_batch ?(lanes = Cheffp_ir.Batch.default_lanes) w =
+  (* Pinned to `Measured for the same comparability reason as [measure]. *)
   let tune ?batch () =
-    Search.tune ~jobs:1 ?batch ~prog:w.prog ~func:w.func ~args:w.args
-      ~threshold:w.threshold ()
+    Search.tune ~jobs:1 ~strategy:`Measured ?batch ~prog:w.prog ~func:w.func
+      ~args:w.args ~threshold:w.threshold ()
   in
   Gc.compact ();
   Compile_cache.clear ();
@@ -306,6 +310,118 @@ let print_batch_rows rows =
            Printf.sprintf "%.3f s" r.b_batched_s;
            Printf.sprintf "%.2fx" (batch_speedup r);
            string_of_bool r.b_identical;
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
+(* Profile-guided search (Core.Profile): one gradient-augmented run
+   scores every candidate configuration, so `Hybrid skips the
+   executions measured search wastes on speculation past a failure
+   (chosen set bit-identical, strictly fewer executions) and `Modelled
+   picks a configuration with zero candidate executions. All runs are
+   jobs=1, so the comparison is core-count independent. *)
+
+type model_row = {
+  mw : workload;
+  m_lanes : int;
+  m_prune_margin : float;
+  m_measured_execs : int;
+  m_measured_batched_runs : int;
+  m_measured_s : float;
+  m_hybrid_execs : int;
+  m_hybrid_batched_runs : int;
+  m_hybrid_avoided : int;
+  m_hybrid_s : float;
+  m_modelled_execs : int;
+  m_modelled_avoided : int;
+  m_modelled_augmented_runs : int;  (** profile builds of the cold run *)
+  m_modelled_confirmations : int;  (** Tuner.evaluate: reference + config *)
+  m_modelled_s : float;
+  m_modelled_warm_s : float;  (** re-run with the profile cached *)
+  m_profile_cache_hits : int;  (** hits of the warm re-run *)
+  m_modelled_config : Cheffp_precision.Config.t;
+  m_modelled_demoted : int;
+  m_demoted_identical : bool;  (** hybrid chose the same set as measured *)
+}
+
+let profile_builds_c = Metrics.counter "profile.builds"
+let profile_cache_hits_c = Metrics.counter "profile.cache_hits"
+
+let measure_model ?(lanes = Cheffp_ir.Batch.default_lanes)
+    ?(prune_margin = 64.) w =
+  let tune ~strategy ?batch () =
+    Search.tune ~jobs:1 ~strategy ~prune_margin ?batch ~prog:w.prog
+      ~func:w.func ~args:w.args ~threshold:w.threshold ()
+  in
+  Gc.compact ();
+  Compile_cache.clear ();
+  let measured, m_measured_s =
+    Meter.time (fun () -> tune ~strategy:`Measured ~batch:lanes ())
+  in
+  Gc.compact ();
+  Compile_cache.clear ();
+  let hybrid, m_hybrid_s =
+    Meter.time (fun () -> tune ~strategy:`Hybrid ~batch:lanes ())
+  in
+  Gc.compact ();
+  Compile_cache.clear ();
+  let b0 = Metrics.counter_value profile_builds_c in
+  let modelled, m_modelled_s =
+    Meter.time (fun () -> tune ~strategy:`Modelled ())
+  in
+  let m_modelled_augmented_runs = Metrics.counter_value profile_builds_c - b0 in
+  (* Same inputs again, cache kept: the augmented run is served from the
+     shared LRU, proving a whole tuning session pays for one profile. *)
+  let h0 = Metrics.counter_value profile_cache_hits_c in
+  let _, m_modelled_warm_s =
+    Meter.time (fun () -> tune ~strategy:`Modelled ())
+  in
+  let m_profile_cache_hits =
+    Metrics.counter_value profile_cache_hits_c - h0
+  in
+  {
+    mw = w;
+    m_lanes = lanes;
+    m_prune_margin = prune_margin;
+    m_measured_execs = measured.Search.executions;
+    m_measured_batched_runs = measured.Search.batched_runs;
+    m_measured_s;
+    m_hybrid_execs = hybrid.Search.executions;
+    m_hybrid_batched_runs = hybrid.Search.batched_runs;
+    m_hybrid_avoided = hybrid.Search.runs_avoided;
+    m_hybrid_s;
+    m_modelled_execs = modelled.Search.executions;
+    m_modelled_avoided = modelled.Search.runs_avoided;
+    m_modelled_augmented_runs;
+    m_modelled_confirmations = 2;
+    m_modelled_s;
+    m_modelled_warm_s;
+    m_profile_cache_hits;
+    m_modelled_config = modelled.Search.evaluation.Tuner.config;
+    m_modelled_demoted = List.length modelled.Search.demoted;
+    m_demoted_identical = hybrid.Search.demoted = measured.Search.demoted;
+  }
+
+let print_model_rows rows =
+  Table.print
+    ~header:
+      [
+        "workload"; "measured"; "hybrid"; "avoided"; "modelled"; "aug";
+        "meas s"; "hyb s"; "model s"; "identical";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.mw.name;
+           string_of_int r.m_measured_execs;
+           string_of_int r.m_hybrid_execs;
+           string_of_int r.m_hybrid_avoided;
+           string_of_int r.m_modelled_execs;
+           string_of_int r.m_modelled_augmented_runs;
+           Printf.sprintf "%.3f s" r.m_measured_s;
+           Printf.sprintf "%.3f s" r.m_hybrid_s;
+           Printf.sprintf "%.3f s" r.m_modelled_s;
+           string_of_bool r.m_demoted_identical;
          ])
        rows)
 
@@ -478,7 +594,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~soundness ~batch rows =
+let write_json ~path ~soundness ~batch ~model rows =
   let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
@@ -553,6 +669,46 @@ let write_json ~path ~soundness ~batch rows =
         (batch_speedup r) r.b_identical
         (if i < List.length batch - 1 then "," else ""))
     batch;
+  pf "    ]\n";
+  pf "  },\n";
+  pf "  \"model_guided\": {\n";
+  pf "    \"description\": \"Profile-guided search (Core.Profile): one \
+      gradient-augmented run scores every candidate; hybrid skips the \
+      executions measured search wastes on speculation past a failure \
+      (chosen set bit-identical), modelled picks with zero candidate \
+      executions\",\n";
+  pf "    \"jobs\": 1,\n";
+  pf "    \"note\": \"all strategies run jobs=1, so the comparison is \
+      core-count independent (see host_cores above for the parallel \
+      blocks)\",\n";
+  pf "    \"lanes\": %d,\n" (match model with r :: _ -> r.m_lanes | [] -> 0);
+  pf "    \"prune_margin\": %g,\n"
+    (match model with r :: _ -> r.m_prune_margin | [] -> 0.);
+  pf "    \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      pf "      {\n";
+      pf "        \"name\": \"%s\",\n" (json_escape r.mw.name);
+      pf "        \"threshold\": %.17g,\n" r.mw.threshold;
+      pf "        \"measured\": {\"strategy\": \"measured\", \
+          \"executions\": %d, \"batched_runs\": %d, \"seconds\": %.6f},\n"
+        r.m_measured_execs r.m_measured_batched_runs r.m_measured_s;
+      pf "        \"hybrid\": {\"strategy\": \"hybrid\", \"executions\": %d, \
+          \"batched_runs\": %d, \"runs_avoided\": %d, \"seconds\": %.6f},\n"
+        r.m_hybrid_execs r.m_hybrid_batched_runs r.m_hybrid_avoided
+        r.m_hybrid_s;
+      pf "        \"modelled\": {\"strategy\": \"modelled\", \
+          \"executions\": %d, \"runs_avoided\": %d, \"augmented_runs\": %d, \
+          \"confirmation_runs\": %d, \"demoted\": %d, \"seconds\": %.6f, \
+          \"seconds_warm_profile\": %.6f, \"profile_cache_hits\": %d},\n"
+        r.m_modelled_execs r.m_modelled_avoided r.m_modelled_augmented_runs
+        r.m_modelled_confirmations r.m_modelled_demoted r.m_modelled_s
+        r.m_modelled_warm_s r.m_profile_cache_hits;
+      pf "        \"executions_saved\": %d,\n"
+        (r.m_measured_execs - r.m_hybrid_execs);
+      pf "        \"demoted_identical\": %b\n" r.m_demoted_identical;
+      pf "      }%s\n" (if i < List.length model - 1 then "," else ""))
+    model;
   pf "    ]\n";
   pf "  },\n";
   pf "  \"soundness\": {\n";
@@ -650,8 +806,14 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
     List.map measure_batch (batch_workloads ~small:small_soundness ())
   in
   print_batch_rows batch;
+  Printf.printf
+    "\n== Profile-guided search: measured vs hybrid vs modelled (jobs=1) ==\n";
+  let model =
+    List.map measure_model (batch_workloads ~small:small_soundness ())
+  in
+  print_model_rows model;
   let soundness = soundness_rows ~small:small_soundness () in
   print_soundness soundness;
-  write_json ~path:out ~soundness ~batch rows;
+  write_json ~path:out ~soundness ~batch ~model rows;
   Printf.printf "wrote %s\n" out;
-  (rows, batch, soundness)
+  (rows, batch, model, soundness)

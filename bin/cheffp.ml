@@ -202,6 +202,38 @@ let no_batch_arg =
 let batch_of ~batch ~no_batch =
   if no_batch || batch < 2 then None else Some batch
 
+let strategy_arg =
+  Arg.(
+    value
+    & opt string "hybrid"
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:
+          "Candidate-judging strategy: $(b,measured) executes every \
+           candidate (pure Precimonious baseline), $(b,modelled) scores \
+           everything from one gradient-augmented profile run (zero \
+           candidate executions), $(b,hybrid) (default) measures every \
+           accept/reject decision but lets the profile bound each grow \
+           round, skipping the executions measured search wastes on \
+           speculation past a failure — chosen set bit-identical to \
+           measured, strictly fewer runs.")
+
+let strategy_of s =
+  match Cheffp_core.Search.strategy_of_string s with
+  | Some st -> st
+  | None -> failwith ("unknown strategy " ^ s ^ " (measured|modelled|hybrid)")
+
+let prune_margin_arg =
+  Arg.(
+    value
+    & opt float 64.
+    & info [ "prune-margin" ] ~docv:"M"
+        ~doc:
+          "Hybrid model-distrust margin (>= 1): a candidate set is \
+           treated as model-rejected — bounding the current grow round, \
+           or skipping the all-demoted probe — only when its profile \
+           score exceeds M times the threshold. Decisions stay \
+           measured; M only shifts where executions are saved.")
+
 let target_of s =
   match Fp.format_of_string s with
   | Some f -> f
@@ -303,16 +335,24 @@ let analyze_cmd =
            $ obs_term $ rest_args))
 
 let tune_cmd =
-  let run file func threshold target emit jobs batch no_batch obs raw =
+  let run file func threshold target emit profiled jobs batch no_batch obs raw =
     wrap (fun () ->
         with_obs ~cmd:"tune" obs @@ fun () ->
         let prog = load file in
         let f = Ast.func_exn prog func in
         let args = parse_args f raw in
         let target = target_of target in
+        let profile =
+          if profiled then
+            Some
+              (Cheffp_core.Profile.build_cached ~builtins:(builtins ()) ~prog
+                 ~func ~args ())
+          else None
+        in
         let o =
-          Cheffp_core.Tuner.tune ~target ~builtins:(builtins ()) ~jobs
-            ?batch:(batch_of ~batch ~no_batch) ~prog ~func ~args ~threshold ()
+          Cheffp_core.Tuner.tune ?profile ~target ~builtins:(builtins ())
+            ~jobs ?batch:(batch_of ~batch ~no_batch) ~prog ~func ~args
+            ~threshold ()
         in
         print_string (Cheffp_core.Report.tuning o);
         if emit then begin
@@ -327,12 +367,21 @@ let tune_cmd =
          & info [ "emit" ]
              ~doc:"Print the automatically rewritten mixed-precision source.")
   in
+  let profiled_arg =
+    Arg.(
+      value & flag
+      & info [ "profiled" ]
+          ~doc:
+            "Drive the selection from a cached error-atom profile (one \
+             gradient-augmented run, reused across invocations in the same \
+             process) instead of a fresh adapt-model analysis.")
+  in
   Cmd.v
     (Cmd.info "tune" ~doc:"Greedy mixed-precision tuning against an error threshold.")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ emit_arg $ jobs_arg $ batch_arg $ no_batch_arg $ obs_term
-           $ rest_args))
+           $ emit_arg $ profiled_arg $ jobs_arg $ batch_arg $ no_batch_arg
+           $ obs_term $ rest_args))
 
 let copy_args args =
   List.map
@@ -343,7 +392,8 @@ let copy_args args =
     args
 
 let search_cmd =
-  let run file func threshold target jobs batch no_batch obs raw =
+  let run file func threshold target strategy prune_margin jobs batch no_batch
+      obs raw =
     wrap (fun () ->
         with_obs ~cmd:"search" obs @@ fun () ->
         let prog = load file in
@@ -360,6 +410,7 @@ let search_cmd =
         in
         let o =
           Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~jobs
+            ~strategy:(strategy_of strategy) ~prune_margin
             ?batch:(batch_of ~batch ~no_batch) ~measure ~prog ~func ~args
             ~threshold ()
         in
@@ -370,7 +421,8 @@ let search_cmd =
        ~doc:"Precimonious-style search-based tuning baseline (compare with tune).")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ jobs_arg $ batch_arg $ no_batch_arg $ obs_term $ rest_args))
+           $ strategy_arg $ prune_margin_arg $ jobs_arg $ batch_arg
+           $ no_batch_arg $ obs_term $ rest_args))
 
 let validate_cmd =
   let run file func demote mode margin fuel obs raw =

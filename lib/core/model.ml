@@ -24,6 +24,25 @@ let taylor ?(target = Fp.F32) () =
     setup = ignore;
   }
 
+(* Eq. (1) with the machine epsilon factored out: the accumulated
+   per-variable totals are the precision-independent error atoms
+   A(v) = Σ |v|·|dv|, so one augmented run can be re-scored for any
+   mixed-precision configuration by multiplying each atom with the
+   unit roundoff of that variable's format (Profile.score). The
+   expression shape deliberately mirrors [taylor] minus its leading
+   [Fconst eps] factor, so atom·eps and the taylor estimate differ
+   only by floating-point association. *)
+let atom () =
+  {
+    model_name = "atom";
+    assign_error =
+      (fun ~adj ~value ~var:_ ->
+        Call ("fabs", [ value ]) * Call ("fabs", [ adj ]));
+    input_error =
+      (fun ~adj ~value ~var:_ -> Float.abs value *. Float.abs adj);
+    setup = ignore;
+  }
+
 let adapt ?(target = Fp.F32) () =
   let cast =
     match target with

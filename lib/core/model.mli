@@ -36,6 +36,13 @@ type t = {
 val taylor : ?target:Cheffp_precision.Fp.format -> unit -> t
 (** Default model; [target] defaults to [F32]. *)
 
+val atom : unit -> t
+(** {!taylor} with the machine epsilon factored {e out}:
+    [|v| * |dx|] per assignment (and [|x| * |dx|] per input), so the
+    accumulated per-variable totals are the precision-independent
+    error atoms [A(v)] of {!Profile} — one augmented run scores every
+    mixed-precision configuration as [Σ A(v) * eps(format_of cfg v)]. *)
+
 val adapt : ?target:Cheffp_precision.Fp.format -> unit -> t
 (** [target] must be [F32] or [F16] (a demotion).
     @raise Invalid_argument on [F64]. *)

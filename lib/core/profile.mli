@@ -1,0 +1,110 @@
+(** Error-atom profiles: one gradient-augmented execution, scored for
+    every mixed-precision configuration in O(#vars).
+
+    CHEF-FP's core claim is that a {e single} augmented run yields
+    per-variable error contributions; the first-order Taylor model
+    (Eq. 1) makes those contributions {e precision-independent} up to a
+    scalar: the error charged to variable [v] under target format [fmt]
+    is [eps(fmt) * Σ |v|·|dv|], where the sum runs over every
+    assignment to [v] (plus the input term for parameters). This module
+    runs the augmented adjoint once with the eps-factored {!Model.atom}
+    model, records each variable's {e atom} [A(v) = Σ |v|·|dv|] and its
+    observed value range (for overflow vetoes), and then answers
+    configuration queries as dot products:
+
+    [score profile cfg = Σ_v A(v) * eps_rel(format_of cfg v)]
+
+    where [eps_rel] is the unit roundoff of the variable's format for
+    narrow formats and [0] for F64 — the score models error {e relative
+    to the all-binary64 reference}, the quantity the search baseline
+    measures. {!Search.tune}'s [`Modelled] and [`Hybrid] strategies and
+    the profile-backed {!Tuner.tune} are built on this: the expensive
+    augmented sweep is amortized into a reusable artifact, and every
+    candidate configuration afterwards costs an O(#vars) fold instead
+    of a program execution.
+
+    The atoms are exact for [Extended]-mode rounding (one rounding per
+    store, the estimate's own semantics); [Source] mode also rounds
+    every {e operation} whose operands are narrow, so scores there
+    carry the same factor-2-style headroom the tuner's margin covers
+    (DESIGN.md §12).
+
+    {!build_cached} memoizes profiles in the shared
+    {!Cheffp_ir.Compile_cache} LRU, keyed by
+    [(program digest, func, model, args digest)] — a whole tuning
+    session, and every later session over the same inputs in the same
+    process, pays for {e one} augmented run. *)
+
+open Cheffp_ir
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+
+type t
+
+val build :
+  ?deriv:Cheffp_ad.Deriv.t ->
+  ?builtins:Builtins.t ->
+  prog:Ast.program ->
+  func:string ->
+  args:Interp.arg list ->
+  unit ->
+  t
+(** One {!Model.atom} analysis (reverse-AD generation + compile,
+    memoized in {!Cheffp_ir.Compile_cache}) plus one augmented
+    execution on [args], with range tracking on. Traced as a
+    ["profile.build"] span; bumps the [profile.builds] counter.
+    @raise Estimate.Error as {!Estimate.estimate_error} would. *)
+
+val build_cached :
+  ?deriv:Cheffp_ad.Deriv.t ->
+  ?builtins:Builtins.t ->
+  prog:Ast.program ->
+  func:string ->
+  args:Interp.arg list ->
+  unit ->
+  t
+(** Like {!build}, but memoized in the shared compile-cache LRU under
+    [(program digest, func, model name, args digest)] (builtins
+    matched physically, like every cache entry). A hit skips the
+    augmented run entirely and bumps the [profile.cache_hits]
+    counter. *)
+
+val of_atoms :
+  ?ranges:(string * (float * float)) list ->
+  func:string ->
+  (string * float) list ->
+  t
+(** Synthetic profile from explicit [(variable, atom)] pairs — for
+    tests and micro-benchmarks of the scoring fold itself. *)
+
+val func : t -> string
+
+val atoms : t -> (string * float) list
+(** Every variable's precision-independent atom [A(v)], largest
+    first. *)
+
+val atom : t -> string -> float
+(** [0.] for variables the profile never saw. *)
+
+val ranges : t -> (string * (float * float)) list
+(** Observed (min, max) per variable, as {!Estimate.report}'s
+    [ranges]. *)
+
+val total_atom : t -> float
+(** [Σ_v A(v)]: the all-variables atom sum ([score] of a uniform
+    demotion is [total_atom * eps]). *)
+
+val score : t -> Config.t -> float
+(** Modelled error of running under [cfg], relative to the all-F64
+    reference: [Σ_v A(v) * eps_rel(format_of cfg v)] with
+    [eps_rel F64 = 0]. O(#vars); no execution. *)
+
+val score_vars : t -> target:Fp.format -> string list -> float
+(** [score] of demoting exactly the listed variables to [target] (the
+    candidate-set shape the search explores):
+    [Σ_{v ∈ vars} A(v) * unit_roundoff target]. *)
+
+val overflows : t -> target:Fp.format -> string -> bool
+(** Whether the variable's observed range exceeds half of [target]'s
+    largest finite value — the tuner's overflow veto, answerable from
+    the profile without re-running the analysis. *)

@@ -67,15 +67,20 @@ let tuning (o : Tuner.outcome) =
 let search (o : Search.outcome) =
   let ev = o.Search.evaluation in
   Printf.sprintf
-    "search-based tuning: %d program executions%s\n\
+    "search-based tuning (%s): %d program executions%s%s\n\
      demoted: %s\n\
      actual error:     %.6e (threshold %.1e)\n\
      modelled error:   %.6e (CHEF-FP, 1 augmented execution)\n%s\
      modelled speedup: %.2fx\n"
+    (Search.strategy_name o.Search.strategy)
     o.Search.executions
     (if o.Search.batched_runs > 0 then
        Printf.sprintf " (program-runs-equivalent; %d batched sweeps)"
          o.Search.batched_runs
+     else "")
+    (if o.Search.runs_avoided > 0 then
+       Printf.sprintf ", %d avoided by the error-atom profile"
+         o.Search.runs_avoided
      else "")
     (match o.Search.demoted with [] -> "(nothing)" | l -> String.concat ", " l)
     ev.Tuner.actual_error o.Search.threshold o.Search.modelled_error

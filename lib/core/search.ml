@@ -4,16 +4,34 @@ module Fp = Cheffp_precision.Fp
 module Cost = Cheffp_precision.Cost
 module Pool = Cheffp_util.Pool
 module Trace = Cheffp_obs.Trace
+module Metrics = Cheffp_obs.Metrics
+
+type strategy = [ `Measured | `Modelled | `Hybrid ]
+
+let strategy_name = function
+  | `Measured -> "measured"
+  | `Modelled -> "modelled"
+  | `Hybrid -> "hybrid"
+
+let strategy_of_string = function
+  | "measured" -> Some `Measured
+  | "modelled" -> Some `Modelled
+  | "hybrid" -> Some `Hybrid
+  | _ -> None
 
 type outcome = {
   demoted : string list;
   executions : int;
   batched_runs : int;
+  runs_avoided : int;
+  strategy : strategy;
   evaluation : Tuner.evaluation;
   modelled_error : float;
   measured_error : float option;
   threshold : float;
 }
+
+let runs_avoided_c = Metrics.counter "search.runs_avoided"
 
 let copy_args args =
   List.map
@@ -23,19 +41,46 @@ let copy_args args =
       | (Interp.Aint _ | Interp.Aflt _) as x -> x)
     args
 
-let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure ~prog
-    ~func ~args ~threshold () =
+let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure
+    ?(strategy = `Hybrid) ?(prune_margin = 64.) ~prog ~func ~args ~threshold
+    () =
+  if prune_margin < 1. then
+    invalid_arg "Search.tune: prune_margin must be >= 1";
   Trace.with_span "search.tune" @@ fun () ->
   if Trace.enabled () then begin
     Trace.add_attr "func" (Trace.Str func);
     Trace.add_attr "threshold" (Trace.Float threshold);
     Trace.add_attr "jobs" (Trace.Int jobs);
+    Trace.add_attr "strategy" (Trace.Str (strategy_name strategy));
     match batch with
     | Some lanes -> Trace.add_attr "batch" (Trace.Int lanes)
     | None -> ()
   end;
+  (* One gradient-augmented run (memoized across tuning sessions) yields
+     every variable's precision-independent error atom; every strategy
+     uses it — [`Modelled]/[`Hybrid] to score candidates without
+     executing them, and the final [modelled_error] cross-check as a dot
+     product instead of a fresh analysis. Not counted in [executions]:
+     it is the analysis the search baseline is compared against. *)
+  let profile = Profile.build_cached ?builtins ~prog ~func ~args () in
   let executions = Atomic.make 0 in
   let batched_runs = Atomic.make 0 in
+  let avoided = Atomic.make 0 in
+  let skip n =
+    ignore (Atomic.fetch_and_add avoided n);
+    Metrics.add runs_avoided_c n
+  in
+  (* The model rejects a candidate set when its scored error clears the
+     threshold with [prune_margin] to spare. The rejection is a
+     prediction, not a proof: on self-correcting iterative kernels
+     (HPCCG's CG loop) the measured error of an accepted set can sit
+     four orders of magnitude below its first-order score, so `Hybrid
+     only acts on a rejection where a wrong prediction cannot change
+     the chosen set (see the grow phase) or where the margin has been
+     validated to hold (the all-demoted shortcut). *)
+  let model_rejects vars =
+    Profile.score_vars profile ~target vars > prune_margin *. threshold
+  in
   let run config =
     Atomic.incr executions;
     (* Metered compilation (counters are per-run, dropped here) so the
@@ -47,137 +92,248 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure ~prog
     in
     Trace.with_span "run" (fun () -> Compile.run_float compiled (copy_args args))
   in
-  let reference =
-    Trace.with_span "search.reference" (fun () -> run Config.double)
-  in
-  (* Per-candidate spans carry the probed variable set and its observed
-     error; they run inside pool workers and nest under the batch's
-     phase span. *)
-  let error_of ?(span = "search.candidate") vars =
-    Trace.with_span span @@ fun () ->
-    if Trace.enabled () then
-      Trace.add_attr "vars" (Trace.Str (String.concat "," vars));
-    let config = Config.demote_all Config.double vars target in
-    let e = Float.abs (run config -. reference) in
-    if Trace.enabled () then Trace.add_attr "error" (Trace.Float e);
-    e
-  in
-  (* Errors of a list of candidate variable-sets at once. With [batch]
-     set this is the searched-for hot path: n sets evaluate as ⌈n/K⌉
-     lane sweeps of one configuration-generic compilation instead of n
-     scalar compile+run pairs. [executions] still counts one per set
-     (program-runs-equivalent, keeping the Precimonious comparison
-     honest); [batched_runs] counts the sweeps. Per-set observability
-     drops from spans to events — the sets inside one sweep have no
-     meaningful individual duration. *)
-  let errors_of_sets sets =
-    match batch with
-    | Some lanes when lanes > 1 && List.length sets > 1 ->
-        let n = List.length sets in
-        let configs =
-          List.map
-            (fun vars -> Config.demote_all Config.double vars target)
-            sets
-        in
-        ignore (Atomic.fetch_and_add executions n);
-        ignore (Atomic.fetch_and_add batched_runs ((n + lanes - 1) / lanes));
-        let b = Compile_cache.compile_batch ?builtins ?mode ~prog ~func () in
-        let fallback config =
-          Compile_cache.compile ?builtins ?mode ~meter:true ~config ~prog
-            ~func ()
-        in
-        let vals = Batch.run_many ~jobs ~lanes ~fallback b ~configs args in
-        List.map2
-          (fun vars v ->
-            let e = Float.abs (v -. reference) in
-            Trace.event "search.candidate"
-              ~attrs:
-                [
-                  ("vars", Trace.Str (String.concat "," vars));
-                  ("error", Trace.Float e);
-                ];
-            e)
-          sets vals
-    | _ -> Pool.parallel_map ~jobs (fun vars -> error_of vars) sets
-  in
   let candidates = Tuner.float_variables (Ast.func_exn prog func) in
   let chosen =
-    if error_of ~span:"search.all_demoted" candidates <= threshold then
-      candidates
-    else begin
-      (* Individual probing: every candidate's solo demotion error is an
-         independent execution — one parallel batch. *)
-      let individual =
-        Trace.with_span "search.probe" (fun () ->
-            List.combine candidates
-              (errors_of_sets (List.map (fun v -> [ v ]) candidates)))
-        |> List.filter (fun (_, e) -> e <= threshold)
-        |> List.sort (fun (_, a) (_, b) -> compare a b)
-      in
-      (* Greedy growth, batched per round by speculation: round k
-         evaluates in parallel the prefix trials [chosen @ pending_1..i]
-         for every pending candidate i, i.e. the trials the sequential
-         greedy would run if every earlier candidate were accepted. Up
-         to the first failure those are exactly the sequential trials;
-         at a failure the failing candidate is dropped and the next
-         round restarts from the survivors, so accepted sets are
-         bit-identical to the one-at-a-time greedy for any [jobs] (the
-         speculated trials past a failure are wasted executions — the
-         price of the batch, counted like any other run). *)
-      let rec grow chosen pending =
-        match pending with
-        | [] -> chosen
+    match strategy with
+    | `Modelled ->
+        (* Pure fast path: zero candidate executions. Greedy in
+           ascending-atom order under half the threshold — the same
+           factor-2 headroom {!Tuner.tune}'s default margin budgets for
+           Source-mode rounding the first-order model does not see —
+           with the overflow veto answered from the profile's ranges. *)
+        Trace.with_span "search.model_score" @@ fun () ->
+        let eps = Fp.unit_roundoff target in
+        let budget = threshold /. 2. in
+        let by_atom =
+          List.filter
+            (fun v -> not (Profile.overflows profile ~target v))
+            candidates
+          |> List.sort (fun a b ->
+                 compare (Profile.atom profile a) (Profile.atom profile b))
+        in
+        skip (List.length candidates);
+        if Trace.enabled () then begin
+          Trace.add_attr "scored" (Trace.Int (List.length candidates));
+          Trace.add_attr "budget" (Trace.Float budget)
+        end;
+        let chosen, _ =
+          List.fold_left
+            (fun (acc, spent) v ->
+              let c = Profile.atom profile v *. eps in
+              if spent +. c <= budget then (v :: acc, spent +. c)
+              else (acc, spent))
+            ([], 0.) by_atom
+        in
+        List.rev chosen
+    | (`Measured | `Hybrid) as strategy ->
+        let prune = strategy = `Hybrid in
+        let reference =
+          Trace.with_span "search.reference" (fun () -> run Config.double)
+        in
+        (* Per-candidate spans carry the probed variable set and its
+           observed error; they run inside pool workers and nest under
+           the batch's phase span. *)
+        let error_of ?(span = "search.candidate") vars =
+          Trace.with_span span @@ fun () ->
+          if Trace.enabled () then
+            Trace.add_attr "vars" (Trace.Str (String.concat "," vars));
+          let config = Config.demote_all Config.double vars target in
+          let e = Float.abs (run config -. reference) in
+          if Trace.enabled () then Trace.add_attr "error" (Trace.Float e);
+          e
+        in
+        (* Errors of a list of candidate variable-sets at once. With
+           [batch] set this is the searched-for hot path: n sets
+           evaluate as ⌈n/K⌉ lane sweeps of one configuration-generic
+           compilation instead of n scalar compile+run pairs.
+           [executions] still counts one per set
+           (program-runs-equivalent, keeping the Precimonious
+           comparison honest); [batched_runs] counts the sweeps.
+           Per-set observability drops from spans to events — the sets
+           inside one sweep have no meaningful individual duration. *)
+        let errors_of_sets sets =
+          match batch with
+          | Some lanes when lanes > 1 && List.length sets > 1 ->
+              let n = List.length sets in
+              let configs =
+                List.map
+                  (fun vars -> Config.demote_all Config.double vars target)
+                  sets
+              in
+              ignore (Atomic.fetch_and_add executions n);
+              ignore
+                (Atomic.fetch_and_add batched_runs ((n + lanes - 1) / lanes));
+              let b =
+                Compile_cache.compile_batch ?builtins ?mode ~prog ~func ()
+              in
+              let fallback config =
+                Compile_cache.compile ?builtins ?mode ~meter:true ~config
+                  ~prog ~func ()
+              in
+              let vals = Batch.run_many ~jobs ~lanes ~fallback b ~configs args in
+              List.map2
+                (fun vars v ->
+                  let e = Float.abs (v -. reference) in
+                  Trace.event "search.candidate"
+                    ~attrs:
+                      [
+                        ("vars", Trace.Str (String.concat "," vars));
+                        ("error", Trace.Float e);
+                      ];
+                  e)
+                sets vals
+          | _ -> Pool.parallel_map ~jobs (fun vars -> error_of vars) sets
+        in
+        (* The all-demoted shortcut costs one run under `Measured.
+           When the model rejects the full set with margin to spare,
+           `Hybrid skips that certain-to-fail run: on every workload
+           where search is non-trivial, one execution saved before any
+           probing. *)
+        let all_error =
+          if prune && model_rejects candidates then begin
+            skip 1;
+            Trace.event "search.model_score"
+              ~attrs:
+                [
+                  ("phase", Trace.Str "all_demoted");
+                  ("pruned", Trace.Int 1);
+                ];
+            None
+          end
+          else Some (error_of ~span:"search.all_demoted" candidates)
+        in
+        (match all_error with
+        | Some e when e <= threshold -> candidates
         | _ ->
-            let prefixes =
-              List.rev
-                (fst
-                   (List.fold_left
-                      (fun (acc, trial) (v, _) ->
-                        let trial = trial @ [ v ] in
-                        ((v, trial) :: acc, trial))
-                      ([], chosen) pending))
+            (* Individual probing: every candidate's solo demotion error
+               is an independent execution — one parallel batch. Probes
+               are never model-pruned: a solo score can overestimate the
+               measured error without bound (exactly-representable
+               values, self-correcting iteration), so any margin large
+               enough to be safe would also never fire. The savings live
+               where a wrong model cannot change the outcome. *)
+            let individual =
+              Trace.with_span "search.probe" (fun () ->
+                  let errs =
+                    errors_of_sets (List.map (fun v -> [ v ]) candidates)
+                  in
+                  List.combine candidates errs)
+              |> List.filter (fun (_, e) -> e <= threshold)
+              |> List.sort (fun (_, a) (_, b) -> compare a b)
             in
-            let errs =
-              Trace.with_span "search.grow" (fun () ->
-                  if Trace.enabled () then
-                    Trace.add_attr "pending" (Trace.Int (List.length pending));
-                  errors_of_sets (List.map snd prefixes))
+            (* Greedy growth, batched per round by speculation: round k
+               evaluates in parallel the prefix trials
+               [chosen @ pending_1..i] for every pending candidate i,
+               i.e. the trials the sequential greedy would run if every
+               earlier candidate were accepted. Up to the first failure
+               those are exactly the sequential trials; at a failure the
+               failing candidate is dropped and the next round restarts
+               from the survivors, so accepted sets are bit-identical to
+               the one-at-a-time greedy for any [jobs] (the speculated
+               trials past a failure are wasted executions — the price
+               of the batch, counted like any other run).
+
+               Under `Hybrid, a round's prefixes are nested and atoms
+               are non-negative, so their model scores are monotone
+               non-decreasing: the first model-rejected prefix caps the
+               round's speculation depth (never below one trial — that
+               keeps the rounds making progress even when the model
+               rejects everything). Capped trials surface as [None] and
+               accept treats a [None] as a round boundary — the
+               candidate stays pending and is re-speculated next round
+               — NOT as a failure, so the decision sequence, and with
+               it the chosen set, is bit-identical to `Measured no
+               matter how wrong the model is. The executions saved are
+               exactly the post-failure speculation waste `Measured
+               pays: when a round's last measured trial fails, the
+               capped tail is waste the model predicted away, and it is
+               only then that the cut counts as avoided. This keeps the
+               invariant [hybrid executions + runs avoided = measured
+               executions] whenever the all-demoted shortcut's margin
+               holds. *)
+            let rec grow chosen pending =
+              match pending with
+              | [] -> chosen
+              | _ ->
+                  let prefixes =
+                    List.rev
+                      (fst
+                         (List.fold_left
+                            (fun (acc, trial) (v, _) ->
+                              let trial = trial @ [ v ] in
+                              ((v, trial) :: acc, trial))
+                            ([], chosen) pending))
+                  in
+                  let errs, cut_len =
+                    Trace.with_span "search.grow" (fun () ->
+                        if Trace.enabled () then
+                          Trace.add_attr "pending"
+                            (Trace.Int (List.length pending));
+                        let to_run, cut =
+                          if prune then
+                            Trace.with_span "search.model_score" (fun () ->
+                                let rec split acc = function
+                                  | [] -> (List.rev acc, [])
+                                  | ((_, trial) as p) :: rest ->
+                                      if model_rejects trial then
+                                        (List.rev acc, p :: rest)
+                                      else split (p :: acc) rest
+                                in
+                                let to_run, cut = split [] prefixes in
+                                (* Forced progress: always measure at
+                                   least the round's first trial. *)
+                                let to_run, cut =
+                                  match (to_run, cut) with
+                                  | [], p :: rest -> ([ p ], rest)
+                                  | _ -> (to_run, cut)
+                                in
+                                if Trace.enabled () then begin
+                                  Trace.add_attr "scored"
+                                    (Trace.Int (List.length prefixes));
+                                  Trace.add_attr "cut"
+                                    (Trace.Int (List.length cut))
+                                end;
+                                (to_run, cut))
+                          else (prefixes, [])
+                        in
+                        let measured =
+                          errors_of_sets (List.map snd to_run)
+                        in
+                        ( List.map (fun e -> Some e) measured
+                          @ List.map (fun _ -> None) cut,
+                          List.length cut ))
+                  in
+                  let rec accept chosen pend errs =
+                    match (pend, errs) with
+                    | [], _ | _, [] -> (chosen, [], false)
+                    | (v, _) :: pend', e :: errs' -> (
+                        match e with
+                        | Some e when e <= threshold ->
+                            accept (chosen @ [ v ]) pend' errs'
+                        | Some _ ->
+                            (* Measured failure: drop the candidate.
+                               `Measured would have speculated the cut
+                               tail past this failure and wasted it. *)
+                            (chosen, pend', true)
+                        | None ->
+                            (* Cap reached with no failure: keep the
+                               candidate for the next round. *)
+                            (chosen, pend, false))
+                  in
+                  let chosen', rest, dropped = accept chosen pending errs in
+                  if dropped && cut_len > 0 then skip cut_len;
+                  grow chosen' rest
             in
-            let rec accept chosen pend errs =
-              match (pend, errs) with
-              | [], _ | _, [] -> (chosen, [])
-              | (v, _) :: pend', e :: errs' ->
-                  if e <= threshold then accept (chosen @ [ v ]) pend' errs'
-                  else (chosen, pend')
-            in
-            let chosen', rest = accept chosen pending errs in
-            grow chosen' rest
-      in
-      grow [] individual
-    end
+            grow [] individual)
   in
   let config = Config.demote_all Config.double chosen target in
   let evaluation =
     Tuner.evaluate ?builtins ?mode ~jobs ~prog ~func ~args config
   in
   (* Cross-check the searched configuration against the CHEF-FP error
-     model: one gradient-augmented execution (not counted in
-     [executions] — it is the analysis the search baseline is compared
-     against) whose per-variable contributions are summed over the
-     chosen set. *)
-  let modelled_error =
-    let est =
-      Estimate.estimate_error ~model:(Model.adapt ~target ()) ?builtins ~prog
-        ~func ()
-    in
-    let report = Estimate.run est (copy_args args) in
-    List.fold_left
-      (fun acc v ->
-        acc
-        +. Option.value ~default:0.
-             (List.assoc_opt v report.Estimate.per_variable))
-      0. chosen
-  in
+     model: the profile already paid for the one gradient-augmented
+     execution, so the estimate for the chosen set is a dot product. *)
+  let modelled_error = Profile.score profile config in
   (* Ground-truth cross-check of the chosen configuration, when the
      caller supplied one (the shadow oracle lives in a library above
      this one; see the .mli). Traced like any other phase. *)
@@ -190,10 +346,14 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure ~prog
             e))
       measure
   in
+  if Trace.enabled () then
+    Trace.add_attr "runs_avoided" (Trace.Int (Atomic.get avoided));
   {
     demoted = chosen;
     executions = Atomic.get executions;
     batched_runs = Atomic.get batched_runs;
+    runs_avoided = Atomic.get avoided;
+    strategy;
     evaluation;
     modelled_error;
     measured_error;

@@ -1,14 +1,19 @@
-(** Search-based mixed-precision tuning baseline (Precimonious-style).
+(** Search-based mixed-precision tuning baseline (Precimonious-style),
+    with profile-guided acceleration.
 
     The paper's introduction motivates AD-based analysis by the cost of
     search: "search-based approaches are very expensive as the state
     space is significantly large" (§I, citing Precimonious and CRAFT).
-    This module implements such a baseline so the claim is measurable:
+    This module implements such a baseline so the claim is measurable —
     a delta-debugging-flavoured greedy search that explores variable
-    subsets and validates {e every} candidate configuration by actually
-    executing the program, counting executions as it goes.
+    subsets and validates candidate configurations by actually
+    executing the program, counting executions as it goes — and then
+    turns the paper's own insight back on the baseline: one
+    gradient-augmented run ({!Profile}) scores {e every} candidate
+    configuration in O(#vars), so most of the search's executions can
+    be predicted instead of performed.
 
-    The algorithm (a simplified Precimonious):
+    The measured algorithm (a simplified Precimonious):
     + run the reference (1 execution);
     + try the all-demoted configuration — if it validates, done;
     + measure each variable's individual demotion error (n executions);
@@ -25,6 +30,31 @@ open Cheffp_ir
 module Config = Cheffp_precision.Config
 module Fp = Cheffp_precision.Fp
 
+type strategy = [ `Measured | `Modelled | `Hybrid ]
+(** How candidate configurations are judged:
+    - [`Measured]: every candidate is executed (the pure Precimonious
+      baseline of earlier revisions);
+    - [`Modelled]: zero candidate executions — one augmented profile
+      run scores everything, the chosen set is the greedy
+      ascending-atom selection under half the threshold (the same
+      Source-mode headroom {!Tuner.tune}'s default margin budgets),
+      with overflow vetoes answered from the profile's value ranges;
+    - [`Hybrid] (the default): every accept/drop decision still comes
+      from a measured (or batched) run — the model only spends the
+      executions whose results cannot influence those decisions: the
+      all-demoted shortcut when the model rejects it with
+      [prune_margin] to spare, and the speculation tails of greedy
+      rounds (capped trials are deferred, not dropped, so a wrong
+      model costs executions rather than correctness). The chosen set
+      is bit-identical to [`Measured]'s; skipped runs are counted in
+      [runs_avoided]. *)
+
+val strategy_name : strategy -> string
+(** ["measured"] / ["modelled"] / ["hybrid"]. *)
+
+val strategy_of_string : string -> strategy option
+(** Inverse of {!strategy_name}; [None] on anything else. *)
+
 type outcome = {
   demoted : string list;
   executions : int;
@@ -35,12 +65,21 @@ type outcome = {
   batched_runs : int;
       (** lane sweeps executed when [batch] was set ([0] otherwise);
           each replaced up to K entries of [executions] *)
+  runs_avoided : int;
+      (** candidate executions the error-atom profile predicted away
+          ([0] under [`Measured]; the whole candidate space under
+          [`Modelled]). Under [`Hybrid] the count is exact:
+          [executions + runs_avoided] equals what [`Measured] would
+          have executed, as long as the all-demoted shortcut's margin
+          holds. Also accumulated in the [search.runs_avoided]
+          counter. *)
+  strategy : strategy;  (** the strategy that produced this outcome *)
   evaluation : Tuner.evaluation;
   modelled_error : float;
-      (** CHEF-FP estimate for the chosen set: the per-variable error
-          contributions of one gradient-augmented execution (not counted
-          in [executions]) summed over [demoted] — the model the search
-          baseline is compared against. *)
+      (** CHEF-FP estimate for the chosen set: {!Profile.score} of the
+          chosen configuration — a dot product against the error atoms
+          of the one gradient-augmented execution every strategy
+          already performs (not counted in [executions]) *)
   measured_error : float option;
       (** ground-truth error of the chosen configuration from the
           [measure] callback (shadow execution against the double-double
@@ -55,14 +94,52 @@ val tune :
   ?jobs:int ->
   ?batch:int ->
   ?measure:(Config.t -> float) ->
+  ?strategy:strategy ->
+  ?prune_margin:float ->
   prog:Ast.program ->
   func:string ->
   args:Interp.arg list ->
   threshold:float ->
   unit ->
   outcome
-(** The returned configuration always satisfies [threshold] (it is
-    validated by construction).
+(** Under [`Measured] and [`Hybrid] the returned configuration always
+    satisfies [threshold] (every accept is validated by execution).
+    Under [`Modelled] the selection is model-validated only — the
+    embedded {!Tuner.evaluate} reports the measured error of the chosen
+    configuration (its two runs are the strategy's only confirmation
+    executions), and callers wanting a hard guarantee check
+    [evaluation.actual_error] (the [validate] command and the
+    model-soundness tests do exactly that).
+
+    Every strategy begins by building (or fetching from the shared
+    compile-cache LRU, see {!Profile.build_cached}) the error-atom
+    profile of [(prog, func, args)] — one gradient-augmented execution,
+    not counted in [executions].
+
+    [strategy] defaults to [`Hybrid]. [prune_margin] (default [64.],
+    must be [>= 1]; [Invalid_argument] otherwise) is the factor by
+    which a candidate set's modelled error must clear [threshold]
+    before [`Hybrid] treats the model's rejection as actionable. Two
+    sites act on it, chosen so that a wrong rejection is either
+    impossible to hit within the margin or cannot corrupt the result:
+    + the {e all-demoted shortcut}: when the model rejects the full
+      candidate set, its single certain-to-fail run is skipped. This is
+      the one margin-trusting skip — on every paper benchmark the
+      model's overestimate of the all-demoted error is well above
+      [64x], and the model-smoke test asserts the resulting sets stay
+      identical to [`Measured]'s;
+    + the {e greedy rounds}: prefix sets within a round are nested, so
+      their scores are monotone and the first rejection caps the
+      round's speculation depth (never below one trial). A capped
+      trial is deferred to the next round, not treated as a failure,
+      so the accept/drop decisions — and the chosen set — are
+      bit-identical to [`Measured] {e unconditionally}; only the
+      post-failure speculation waste is saved, and only counted as
+      avoided when the round's last measured trial did fail.
+    Individual probes are never pruned: a solo score can overestimate
+    measured error without bound (exactly-representable stores,
+    self-correcting iterations like HPCCG's CG loop — DESIGN.md §12),
+    so no margin both fires and stays safe.
 
     [batch] (default off; [Some k] with [k >= 2] enables) evaluates the
     probe and growth candidates through {!Cheffp_ir.Batch}: the n
@@ -73,7 +150,8 @@ val tune :
     is unchanged — lanes that diverge from shared control flow are
     transparently re-run scalar. The reference run, the all-demoted
     shortcut and the final {!Tuner.evaluate} stay scalar (one or two
-    configurations are below the batching break-even).
+    configurations are below the batching break-even). Speculation caps
+    compose with batching: a capped round simply sweeps fewer lanes.
 
     [measure], when given, is called once with the chosen configuration
     (not counted in [executions]); `Cheffp_shadow` lives above this
@@ -89,4 +167,10 @@ val tune :
     in [executions]) and the round restarts after the failure, so the
     outcome (demoted set, evaluation, executions) is bit-identical for
     every [jobs] value. Compilations go through {!Compile_cache}, so
-    configurations revisited across the run compile once. *)
+    configurations revisited across the run compile once.
+
+    Observability: the [search.tune] span carries [strategy] and
+    [runs_avoided] attributes; model-scoring phases record
+    [search.model_score] spans (with [scored]/[cut] counts); avoided
+    runs accumulate in the [search.runs_avoided] counter; the profile
+    build/fetch traces as {!Profile.build} documents. *)

@@ -154,43 +154,54 @@ type outcome = {
   evaluation : evaluation;
 }
 
-let tune ?model ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0) ?(jobs = 1)
-    ?batch ~prog ~func ~args ~threshold () =
+let tune ?model ?profile ?(target = Fp.F32) ?mode ?builtins ?(margin = 2.0)
+    ?(jobs = 1) ?batch ~prog ~func ~args ~threshold () =
   Trace.with_span "tuner.tune" @@ fun () ->
   if Trace.enabled () then begin
     Trace.add_attr "func" (Trace.Str func);
     Trace.add_attr "threshold" (Trace.Float threshold);
-    Trace.add_attr "jobs" (Trace.Int jobs)
+    Trace.add_attr "jobs" (Trace.Int jobs);
+    Trace.add_attr "profiled" (Trace.Bool (profile <> None))
   end;
-  let model =
-    match model with Some m -> m | None -> Model.adapt ~target ()
+  (* Contribution and range queries come either from a caller-supplied
+     error-atom profile — a previous augmented run, answered without any
+     new analysis or execution — or from a fresh adapt-model estimate. *)
+  let per_var, range_of =
+    match profile with
+    | Some p ->
+        let eps = Fp.unit_roundoff target in
+        ( (fun v -> Profile.atom p v *. eps),
+          fun v -> List.assoc_opt v (Profile.ranges p) )
+    | None ->
+        let model =
+          match model with Some m -> m | None -> Model.adapt ~target ()
+        in
+        let est =
+          Estimate.estimate_error ~model
+            ~options:
+              { Estimate.default_options with Estimate.track_ranges = true }
+            ~prog ~func ()
+        in
+        let report = Estimate.run est args in
+        ( (fun v ->
+            Option.value ~default:0.
+              (List.assoc_opt v report.Estimate.per_variable)),
+          fun v -> List.assoc_opt v report.Estimate.ranges )
   in
-  let est =
-    Estimate.estimate_error ~model
-      ~options:{ Estimate.default_options with Estimate.track_ranges = true }
-      ~prog ~func ()
-  in
-  let report = Estimate.run est args in
   let candidates = float_variables (func_exn prog func) in
   (* A variable whose observed magnitude approaches the target format's
      largest finite value would overflow when demoted: veto it outright
      (first-order error models cannot see overflow). *)
   let limit = 0.5 *. Fp.max_finite target in
   let overflows v =
-    match List.assoc_opt v report.Estimate.ranges with
+    match range_of v with
     | Some (lo, hi) -> Float.max (Float.abs lo) (Float.abs hi) > limit
     | None -> false
   in
   let vetoed = List.filter overflows candidates in
   let candidates = List.filter (fun v -> not (overflows v)) candidates in
   let contributions =
-    List.map
-      (fun v ->
-        ( v,
-          match List.assoc_opt v report.Estimate.per_variable with
-          | Some e -> e
-          | None -> 0. ))
-      candidates
+    List.map (fun v -> (v, per_var v)) candidates
     |> List.sort (fun (_, a) (_, b) -> compare a b)
   in
   let budget = threshold /. margin in

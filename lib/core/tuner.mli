@@ -76,6 +76,7 @@ type outcome = {
 
 val tune :
   ?model:Model.t ->
+  ?profile:Profile.t ->
   ?target:Fp.format ->
   ?mode:Config.rounding_mode ->
   ?builtins:Builtins.t ->
@@ -99,7 +100,16 @@ val tune :
     exactly at the threshold can overshoot slightly. [jobs] (default 1)
     is forwarded to the validating {!evaluate}. [batch] ([Some k],
     [k >= 2]) routes that validation through {!evaluate_many} instead —
-    one two-lane sweep rather than two scalar runs. *)
+    one two-lane sweep rather than two scalar runs.
+
+    [profile], when given, replaces the fresh analysis entirely
+    ([model] is then ignored): contributions are the profile's
+    error atoms scaled by [target]'s unit roundoff (the first-order
+    Taylor estimate, see {!Profile.score_vars}) and the overflow veto
+    reads the profile's recorded ranges — the whole selection runs
+    without a single new augmented execution, so a profile built once
+    (or fetched from the cache, {!Profile.build_cached}) serves any
+    number of thresholds and targets. *)
 
 val float_variables : Ast.func -> string list
 (** The demotion candidates of a function: float parameters, float

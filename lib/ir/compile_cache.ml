@@ -14,8 +14,12 @@ type stats = { hits : int; misses : int; evictions : int; size : int }
    eviction are both O(1) under the same lock. *)
 (* Scalar and batched artifacts share the table (and its LRU bound):
    a batch entry's key has no configuration component, which is the
-   point — one compile serves every lane configuration. *)
-type artifact = Scalar of Compile.t | Batched of Batch.t
+   point — one compile serves every lane configuration. The variant is
+   extensible so higher layers (e.g. Core.Profile's error-atom
+   profiles) can reuse the same LRU machinery for their own expensive
+   artifacts without a dependency inversion. *)
+type artifact = ..
+type artifact += Scalar of Compile.t | Batched of Batch.t
 
 type entry = {
   key : string;
@@ -103,9 +107,9 @@ let same_builtins a b =
 
 (* Generic lookup-or-build over the artifact variant; [select] projects
    the wanted artifact kind out of a cached entry (a key collision
-   across kinds is impossible — batch keys are "batch|"-prefixed and
+   across kinds is impossible — non-scalar keys are kind-prefixed and
    digests are hex — but the projection keeps the type honest). *)
-let lookup_or ~k ~func ~builtins ~select ~build ~inject =
+let lookup_or ~key:k ~label:func ~builtins ~select ~inject ~build =
   let cached =
     locked (fun () ->
         match Hashtbl.find_opt table k with
@@ -147,8 +151,8 @@ let lookup_or ~k ~func ~builtins ~select ~build ~inject =
 let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
     ?(meter = false) ?(optimize = true) ~prog ~func () =
   let k = key ~prog ~func ~config ~mode ~optimize ~meter in
-  lookup_or ~k ~func ~builtins
-    ~select:(function Scalar t -> Some t | Batched _ -> None)
+  lookup_or ~key:k ~label:func ~builtins
+    ~select:(function Scalar t -> Some t | _ -> None)
     ~inject:(fun t -> Scalar t)
     ~build:(fun () ->
       Trace.with_span "compile" (fun () ->
@@ -174,8 +178,8 @@ let batch_key ~prog ~func ~mode ~optimize ~meter =
 let compile_batch ?builtins ?(mode = Config.Source) ?(meter = false)
     ?(optimize = true) ~prog ~func () =
   let k = batch_key ~prog ~func ~mode ~optimize ~meter in
-  lookup_or ~k ~func ~builtins
-    ~select:(function Batched t -> Some t | Scalar _ -> None)
+  lookup_or ~key:k ~label:func ~builtins
+    ~select:(function Batched t -> Some t | _ -> None)
     ~inject:(fun t -> Batched t)
     ~build:(fun () ->
       Trace.with_span "compile" (fun () ->

@@ -40,6 +40,31 @@
     compilation records a ["compile"] span (attrs: func, config,
     optimize, meter) and each hit a ["compile.cache_hit"] event. *)
 
+type artifact = ..
+(** What the table stores. Extensible so layers above [ir] can memoize
+    their own expensive derived artifacts (e.g. [Core.Profile]'s
+    error-atom profiles) through the same LRU, lock and statistics —
+    add a constructor, pick a kind-prefixed key, call {!lookup_or}. *)
+
+type artifact += Scalar of Compile.t | Batched of Batch.t
+
+val lookup_or :
+  key:string ->
+  label:string ->
+  builtins:Builtins.t option ->
+  select:(artifact -> 'a option) ->
+  inject:('a -> artifact) ->
+  build:(unit -> 'a) ->
+  'a
+(** Generic lookup-or-build: returns the cached value under [key] when
+    present (with the same [builtins] registry, physical equality, and
+    a [select] that accepts the stored artifact), otherwise runs
+    [build] outside the lock and inserts [inject]'s artifact. Hits,
+    misses and LRU eviction are accounted exactly like {!compile}'s;
+    [label] names the entry in trace events. Keys must be
+    kind-prefixed by the caller so distinct artifact kinds cannot
+    collide. *)
+
 val compile :
   ?builtins:Builtins.t ->
   ?config:Cheffp_precision.Config.t ->

@@ -193,8 +193,14 @@ let cse_func ?builtins ?(prog = { funcs = [] }) ?(opaque = fun _ -> false) f =
         hoisted @ [ Assign (lv, e) ]
     | If (c, a, b) ->
         let c = reuse c in
+        (* Each branch starts from an empty availability set: entries
+           created inside one branch (hoisted temporaries, recorded
+           assignments) are block-scoped and must not be reused by the
+           sibling branch or by the code after the [If]. *)
         kill_all ();
-        let a = block a and b = block b in
+        let a = block a in
+        kill_all ();
+        let b = block b in
         kill_all ();
         [ If (c, a, b) ]
     | For ({ lo; hi; body; var; _ } as l) ->

@@ -66,7 +66,10 @@ let split_tail_return callee =
 (* Freshens every local declaration (and loop variable) in [stmts],
    extending [subst] so references follow. Declarations are block-scoped:
    bindings introduced inside [if]/[for]/[while] bodies are unwound when
-   the block ends so shadowed outer names resolve correctly afterwards. *)
+   the block ends so shadowed outer names resolve correctly afterwards.
+   Top-level bindings are deliberately left in [subst]: the caller still
+   has to substitute the callee's tail-return expression, which may
+   reference renamed locals. *)
 let freshen_locals names subst stmts =
   let rec stmt added = function
     | Decl { name; dty; init } ->
@@ -101,7 +104,8 @@ let freshen_locals names subst stmts =
     Subst.unwind subst !added;
     result
   in
-  block stmts
+  let added = ref [] in
+  List.map (stmt added) stmts
 
 let inline_func ?(max_depth = 32) prog f =
   let names = Rename.create () in

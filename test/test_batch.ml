@@ -276,8 +276,13 @@ let test_evaluate_many () =
 let test_search_batched () =
   let prog = parse conform_src in
   let args = [ Interp.Aflt 1.7; Interp.Aint 20 ] in
-  let tune ?batch () =
-    Cheffp_core.Search.tune ?batch ~prog ~func:"kernel" ~args ~threshold:1e-9 ()
+  (* Pinned to `Measured: this test exercises the batching machinery,
+     and the hybrid default's model pruning can leave a phase with too
+     few survivors to sweep. Hybrid batching identity is asserted
+     below (and across the paper workloads in test_profile). *)
+  let tune ?batch ?(strategy = `Measured) () =
+    Cheffp_core.Search.tune ?batch ~strategy ~prog ~func:"kernel" ~args
+      ~threshold:1e-9 ()
   in
   let scalar = tune () in
   let batched = tune ~batch:3 () in
@@ -294,7 +299,21 @@ let test_search_batched () =
   Alcotest.(check int) "scalar path has no sweeps" 0
     scalar.Cheffp_core.Search.batched_runs;
   Alcotest.(check bool) "batched path counts sweeps" true
-    (batched.Cheffp_core.Search.batched_runs > 0)
+    (batched.Cheffp_core.Search.batched_runs > 0);
+  (* Model pruning is deterministic and batch-independent, so the
+     hybrid strategy keeps the scalar/batched identity too. *)
+  let h_scalar = tune ~strategy:`Hybrid () in
+  let h_batched = tune ~strategy:`Hybrid ~batch:3 () in
+  Alcotest.(check (list string))
+    "hybrid: same demoted set" h_scalar.Cheffp_core.Search.demoted
+    h_batched.Cheffp_core.Search.demoted;
+  Alcotest.(check int)
+    "hybrid: same program-runs-equivalent"
+    h_scalar.Cheffp_core.Search.executions
+    h_batched.Cheffp_core.Search.executions;
+  Alcotest.(check int)
+    "hybrid: same runs avoided" h_scalar.Cheffp_core.Search.runs_avoided
+    h_batched.Cheffp_core.Search.runs_avoided
 
 (* ------------------------------------------------------------------ *)
 (* Fuzz: K random configs batched vs scalar on random programs.       *)

@@ -673,6 +673,36 @@ let test_cse_invalidation_on_write () =
     (Interp.run_float ~prog ~func:"f" [ Interp.Aflt 0.4 ])
     (Interp.run_float ~prog:prog' ~func:"f" [ Interp.Aflt 0.4 ])
 
+let test_cse_branch_isolation () =
+  (* Availability must not flow between the two arms of an [if]: a
+     temporary hoisted inside one branch is block-scoped there, and a
+     value recorded in one branch never holds when the other executes. *)
+  let src =
+    {|func f(x: f64, c: int): f64 {
+        var r: f64 = 0.0;
+        var s: f64 = 0.0;
+        if (c > 0) {
+          r = sin(x * 2.0) + sin(x * 2.0);
+          s = exp(x + 1.0);
+        } else {
+          r = sin(x * 2.0) * sin(x * 2.0);
+          s = exp(x + 1.0) * 2.0;
+        }
+        return r + s;
+      }|}
+  in
+  let prog = Parser.parse_program src in
+  let f' = Cse.cse_func ~prog (Ast.func_exn prog "f") in
+  let prog' = { Ast.funcs = [ f' ] } in
+  Typecheck.check_program prog';
+  List.iter
+    (fun c ->
+      check_float "same value"
+        (Interp.run_float ~prog ~func:"f" [ Interp.Aflt 0.37; Interp.Aint c ])
+        (Interp.run_float ~prog:prog' ~func:"f"
+           [ Interp.Aflt 0.37; Interp.Aint c ]))
+    [ 0; 1 ]
+
 let test_optimizer_respects_demotion () =
   (* Copy propagation through a demoted variable would skip its store
      rounding; the compiled engine must still match the interpreter. *)
@@ -957,6 +987,26 @@ let test_inline_semantics () =
   let v' = Interp.run_float ~prog:prog' ~func:"f_inl" [ Interp.Aflt 1.25 ] in
   check_float "inlined equals original" v v'
 
+(* Regression: a callee whose tail return references a *local*,
+   inlined at two call sites of the same caller. The second expansion
+   renames the local (w -> w_1), and the tail expression must follow
+   the rename — it used to resolve to the first expansion's variable,
+   silently returning call #1's result for call #2. *)
+let test_inline_twice_local_tail () =
+  let src =
+    {|func sq(a: f64): f64 { var w: f64 = a * a; return w; }
+      func f(x: f64, y: f64): f64 { return sq(x) - sq(y); }|}
+  in
+  let prog = Parser.parse_program src in
+  let inlined = Inline.inline_func prog (Ast.func_exn prog "f") in
+  let prog' = Ast.add_func prog { inlined with Ast.fname = "f_inl" } in
+  Typecheck.check_program prog';
+  let args = [ Interp.Aflt 3.0; Interp.Aflt 2.0 ] in
+  let v = Interp.run_float ~prog ~func:"f" args in
+  let v' = Interp.run_float ~prog:prog' ~func:"f_inl" args in
+  check_float "second call site follows the rename" v v';
+  check_float "value" 5.0 v'
+
 let test_inline_out_params () =
   let src =
     {|func setter(a: f64, out r: f64): void { r = a * 10.0; }
@@ -1087,6 +1137,8 @@ let () =
             test_cse_cross_statement_reuse;
           Alcotest.test_case "cse invalidation" `Quick
             test_cse_invalidation_on_write;
+          Alcotest.test_case "cse branch isolation" `Quick
+            test_cse_branch_isolation;
           Alcotest.test_case "demotion opaque (config)" `Quick
             test_optimizer_respects_demotion;
           Alcotest.test_case "demotion opaque (declared)" `Quick
@@ -1120,6 +1172,8 @@ let () =
           Alcotest.test_case "size restriction" `Quick
             test_normalize_array_size_restriction;
           Alcotest.test_case "inline semantics" `Quick test_inline_semantics;
+          Alcotest.test_case "inline twice, local tail return" `Quick
+            test_inline_twice_local_tail;
           Alcotest.test_case "inline out params" `Quick test_inline_out_params;
           Alcotest.test_case "recursion rejected" `Quick
             test_inline_recursion_rejected;

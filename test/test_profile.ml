@@ -1,0 +1,198 @@
+(* Error-atom profiles (lib/core/profile.ml) and the profile-guided
+   search strategies built on them. *)
+
+open Cheffp_ir
+module B = Cheffp_benchmarks
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+module E = Cheffp_core.Estimate
+module Model = Cheffp_core.Model
+module Profile = Cheffp_core.Profile
+module Search = Cheffp_core.Search
+module Metrics = Cheffp_obs.Metrics
+module Oracle = Cheffp_shadow.Oracle
+
+let eps32 = Fp.unit_roundoff Fp.F32
+
+(* ------------------------------------------------------------------ *)
+(* Scoring fold on synthetic profiles                                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_of_atoms_score () =
+  let p = Profile.of_atoms ~func:"f" [ ("a", 2.0); ("b", 3.0); ("c", 0.5) ] in
+  Alcotest.(check (float 0.)) "total atom" 5.5 (Profile.total_atom p);
+  Alcotest.(check (float 0.)) "atom" 3.0 (Profile.atom p "b");
+  Alcotest.(check (float 0.)) "unknown variable scores zero" 0.
+    (Profile.atom p "zzz");
+  (* F64 variables contribute nothing; narrow ones eps(fmt) * atom. *)
+  Alcotest.(check (float 0.)) "double config scores zero" 0.
+    (Profile.score p Config.double);
+  let cfg = Config.demote_all Config.double [ "a"; "c" ] Fp.F32 in
+  Alcotest.(check (float 1e-25)) "mixed config is a dot product"
+    (2.5 *. eps32) (Profile.score p cfg);
+  Alcotest.(check (float 1e-25)) "score_vars matches score"
+    (Profile.score p cfg)
+    (Profile.score_vars p ~target:Fp.F32 [ "a"; "c" ]);
+  Alcotest.(check (float 1e-20)) "uniform = total * eps"
+    (5.5 *. eps32)
+    (Profile.score p (Config.uniform Fp.F32))
+
+let test_overflow_veto () =
+  let p =
+    Profile.of_atoms ~func:"f"
+      ~ranges:[ ("big", (0., 3e38)); ("small", (-1., 1.)) ]
+      [ ("big", 1.0); ("small", 1.0) ]
+  in
+  Alcotest.(check bool) "over half max_finite f32 vetoed" true
+    (Profile.overflows p ~target:Fp.F32 "big");
+  Alcotest.(check bool) "small range fine" false
+    (Profile.overflows p ~target:Fp.F32 "small");
+  Alcotest.(check bool) "f64 target fine" false
+    (Profile.overflows p ~target:Fp.F64 "big")
+
+(* ------------------------------------------------------------------ *)
+(* Cache                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let counter name =
+  match List.assoc_opt name (Metrics.snapshot ()) with
+  | Some (Metrics.Counter n) -> n
+  | _ -> 0
+
+let test_build_cached () =
+  let args = B.Arclength.args ~n:64 in
+  let prog = B.Arclength.program and func = B.Arclength.func_name in
+  let p1 = Profile.build_cached ~prog ~func ~args () in
+  let hits0 = counter "profile.cache_hits" in
+  let builds0 = counter "profile.builds" in
+  let p2 = Profile.build_cached ~prog ~func ~args () in
+  Alcotest.(check int) "second fetch hits" (hits0 + 1)
+    (counter "profile.cache_hits");
+  Alcotest.(check int) "no second build" builds0 (counter "profile.builds");
+  Alcotest.(check bool) "same atoms" true
+    (Profile.atoms p1 = Profile.atoms p2);
+  (* Different arguments -> different profile. *)
+  let p3 = Profile.build_cached ~prog ~func ~args:(B.Arclength.args ~n:128) () in
+  Alcotest.(check bool) "args participate in the key" true
+    (Profile.atoms p1 <> Profile.atoms p3)
+
+(* ------------------------------------------------------------------ *)
+(* Property: the profile is the taylor estimate with eps factored out  *)
+(* ------------------------------------------------------------------ *)
+
+(* For a uniform F32 demotion, score = eps32 * Σ_v A(v) must equal the
+   taylor-F32 estimate's summed per-variable report on the same inputs
+   (the two augmented programs differ only in where the eps
+   multiplication sits, so they agree to rounding). *)
+let fuzz_score_matches_taylor =
+  QCheck.Test.make ~count:150
+    ~name:"fuzz: uniform-F32 score = taylor-F32 estimate"
+    Gen_minifp.arbitrary_case (fun (prog, (x, y)) ->
+      let args = [ Interp.Aflt x; Interp.Aflt y; Interp.Aint 4 ] in
+      match
+        let profile = Profile.build ~prog ~func:"fuzz" ~args () in
+        let est =
+          E.estimate_error ~model:(Model.taylor ~target:Fp.F32 ()) ~prog
+            ~func:"fuzz" ()
+        in
+        let report = E.run est args in
+        (profile, report)
+      with
+      | exception Interp.Runtime_error _ -> true
+      | profile, report ->
+          let score = Profile.score profile (Config.uniform Fp.F32) in
+          let taylor =
+            List.fold_left (fun a (_, e) -> a +. e) 0. report.E.per_variable
+          in
+          if not (Float.is_finite score && Float.is_finite taylor) then true
+          else
+            Float.abs (score -. taylor)
+            <= 1e-9 *. Float.max 1e-300 (Float.max score taylor))
+
+(* ------------------------------------------------------------------ *)
+(* Strategies on the paper benchmarks                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Tiny instances of all five paper workloads (the bench harness's
+   smoke sizes). *)
+let workloads () =
+  let bs = B.Blackscholes.generate ~n:4 () in
+  let hp = B.Hpccg.generate ~nx:5 ~ny:5 ~nz:5 ~max_iter:10 () in
+  [
+    ( "arclength", B.Arclength.program, B.Arclength.func_name,
+      B.Arclength.args ~n:2_000, 1e-6 );
+    ( "simpsons", B.Simpsons.program, B.Simpsons.func_name,
+      B.Simpsons.args ~a:0. ~b:Float.pi ~n:2_000, 1e-10 );
+    ( "kmeans", B.Kmeans.program, B.Kmeans.func_name,
+      B.Kmeans.args (B.Kmeans.generate ~npoints:300 ()), 1e-7 );
+    ( "blackscholes", B.Blackscholes.program B.Blackscholes.Exact,
+      B.Blackscholes.price_func, B.Blackscholes.price_args bs 0, 1e-9 );
+    ( "hpccg", B.Hpccg.program, B.Hpccg.func_name, B.Hpccg.args hp, 1e-10 );
+  ]
+
+(* `Hybrid must reproduce `Measured's chosen set exactly, with strictly
+   fewer executions, and the avoided count must be exact: hybrid
+   executions + runs avoided = measured executions. *)
+let test_hybrid_bit_identical () =
+  List.iter
+    (fun (name, prog, func, args, threshold) ->
+      let m =
+        Search.tune ~strategy:`Measured ~prog ~func ~args ~threshold ()
+      in
+      let h = Search.tune ~strategy:`Hybrid ~prog ~func ~args ~threshold () in
+      Alcotest.(check (list string))
+        (name ^ ": hybrid set = measured set")
+        m.Search.demoted h.Search.demoted;
+      Alcotest.(check bool)
+        (name ^ ": hybrid strictly cheaper")
+        true
+        (h.Search.executions < m.Search.executions);
+      Alcotest.(check int)
+        (name ^ ": avoided count exact")
+        m.Search.executions
+        (h.Search.executions + h.Search.runs_avoided))
+    (workloads ())
+
+(* `Modelled executes no candidates, and its chosen configuration both
+   meets the threshold in the measured evaluation and validates against
+   the double-double shadow oracle (margin 2: the tuner's documented
+   headroom for what the first-order model does not see). *)
+let test_modelled_sound () =
+  List.iter
+    (fun (name, prog, func, args, threshold) ->
+      let o =
+        Search.tune ~strategy:`Modelled ~prog ~func ~args ~threshold ()
+      in
+      Alcotest.(check int) (name ^ ": zero candidate executions") 0
+        o.Search.executions;
+      Alcotest.(check bool)
+        (name ^ ": evaluation meets threshold")
+        true
+        (o.Search.evaluation.Cheffp_core.Tuner.actual_error <= threshold);
+      let config =
+        Config.demote_all Config.double o.Search.demoted Fp.F32
+      in
+      let v = Oracle.check_estimate ~margin:2.0 ~prog ~func ~config args in
+      Alcotest.(check bool) (name ^ ": shadow oracle sound") true
+        v.Oracle.sound)
+    (workloads ())
+
+let () =
+  Alcotest.run "profile"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "of_atoms scoring" `Quick test_of_atoms_score;
+          Alcotest.test_case "overflow veto" `Quick test_overflow_veto;
+          Alcotest.test_case "build_cached" `Quick test_build_cached;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "hybrid bit-identical to measured" `Quick
+            test_hybrid_bit_identical;
+          Alcotest.test_case "modelled sound on the paper benchmarks" `Quick
+            test_modelled_sound;
+        ] );
+      ( "fuzz",
+        [ QCheck_alcotest.to_alcotest fuzz_score_matches_taylor ] );
+    ]
