@@ -9,15 +9,15 @@
      dune exec bench/main.exe -- -j 4 fig4    # sweep points on 4 domains
      ids: table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9
           ablation-inline ablation-opt ablation-precision ablation-activity
-          ablation-search perf-search smoke batch-smoke model-smoke
-          bechamel all *)
+          ablation-search perf-search smoke serve-bench batch-smoke
+          model-smoke bechamel all *)
 
 let usage () =
   print_endline
     "usage: main.exe [-j N] [table1|table2|table3|table4|fig4|fig5|fig6|fig7|\n\
     \                 fig8|fig9|ablation-inline|ablation-opt|ablation-precision|\n\
     \                 ablation-activity|ablation-search|perf-search|smoke|\n\
-    \                 batch-smoke|model-smoke|bechamel|all]\n\
+    \                 serve-bench|batch-smoke|model-smoke|bechamel|all]\n\
      -j N   worker domains for parallel sweeps / candidate evaluation\n\
     \        (default: Domain.recommended_domain_count () - 1, min 1)";
   exit 1
@@ -33,13 +33,46 @@ let all ~jobs () =
   ignore (Perf.search_bench ~jobs:(max jobs 2) ());
   Micro.run ()
 
+(* Gates on the BENCH_search.json "server" block: percentiles present
+   and ordered, every response's outcome field-identical to a direct
+   one-shot Search.tune, warm cross-request cache hit rate > 0.9, and —
+   on real multi-core hosts only (a single exposed CPU time-slices the
+   concurrent requests, like the parallel_speedup expectation) —
+   concurrent throughput at least matching the sequential replay. *)
+let serve_block_ok (sv : Perf.server_block) =
+  let identical = List.for_all (fun r -> r.Perf.v_identical) sv.Perf.sv_rows in
+  let percentiles_ok =
+    sv.Perf.sv_p50_ms > 0. && sv.Perf.sv_p99_ms >= sv.Perf.sv_p50_ms
+  in
+  let warm_ok = sv.Perf.sv_warm_hit_rate > 0.9 in
+  let throughput_ok =
+    Domain.recommended_domain_count () < 2
+    || Perf.sv_conc_rps sv >= Perf.sv_seq_rps sv
+  in
+  Printf.printf
+    "serve gates: outcomes identical to one-shot runs: %b; p50/p99 \
+     present: %b; warm cache hit rate > 0.9: %b (%.3f); concurrent >= \
+     sequential throughput (multi-core hosts): %b\n"
+    identical percentiles_ok warm_ok sv.Perf.sv_warm_hit_rate throughput_ok;
+  identical && percentiles_ok && warm_ok && throughput_ok
+
+(* `dune build @serve-smoke` runs this after the protocol-level smoke:
+   the server bench block itself is a gate, at tiny workload sizes. *)
+let serve_bench () =
+  let sv =
+    Perf.server_bench ~rounds:2 ~workloads:(Perf.batch_workloads ~small:true ())
+      ()
+  in
+  Perf.print_server sv;
+  if not (serve_block_ok sv) then exit 1
+
 (* Tiny-size smoke pass (seconds, not minutes): exercises the sweep
    plumbing, the parallel search path and the compile cache so
    `dune build @bench-smoke` gives CI-style coverage of the harness. *)
 let smoke ~jobs () =
   let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
   ignore sweep;
-  let rows, batch, model, soundness =
+  let rows, batch, model, soundness, server =
     Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
       ~workloads:(Perf.smoke_workloads ()) ~small_soundness:true ()
   in
@@ -64,16 +97,19 @@ let smoke ~jobs () =
         && r.Perf.m_hybrid_execs < r.Perf.m_measured_execs)
       model
   in
+  let server_ok = serve_block_ok server in
   Printf.printf
     "smoke: outcomes identical across jobs (incl. instrumented): %b; \
      batched search outcomes identical to scalar: %b; cache hits on every \
      workload: %b; traced phases + pool metrics present: %b; \
      disabled-instrumentation overhead < 2%%: %b; estimate sound on every \
-     benchmark: %b; hybrid = measured set with fewer executions: %b\n"
-    ok batch_ok hits traced overhead_ok sound model_ok;
+     benchmark: %b; hybrid = measured set with fewer executions: %b; \
+     server block gates pass: %b\n"
+    ok batch_ok hits traced overhead_ok sound model_ok server_ok;
   if
     not
-      (ok && batch_ok && hits && traced && overhead_ok && sound && model_ok)
+      (ok && batch_ok && hits && traced && overhead_ok && sound && model_ok
+     && server_ok)
   then exit 1
 
 (* Batched-search smoke (`dune build @batch-smoke`): tiny batched
@@ -191,6 +227,7 @@ let () =
       ignore (Perf.search_bench ~jobs:(max jobs 2) ())
   | "perf-search" -> ignore (Perf.search_bench ~jobs:(max jobs 2) ())
   | "smoke" -> smoke ~jobs ()
+  | "serve-bench" -> serve_bench ()
   | "batch-smoke" -> batch_smoke ()
   | "model-smoke" -> model_smoke ()
   | "suite" -> Tables.suite ()

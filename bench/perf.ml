@@ -583,6 +583,287 @@ let print_soundness rows =
     (100. *. soundness_coverage rows)
     (soundness_median_tightness rows)
 
+(* Server block: the paper workloads driven through a live in-process
+   [cheffp serve] daemon as search requests over loopback TCP. One cold
+   round pays the cross-request compile misses, a warm sequential
+   replay and a warm concurrent round (one connection + thread per
+   workload, same request count) then measure throughput and
+   client-observed latency, and every response's outcome is checked
+   field-for-field against a direct in-process [Search.tune] on the
+   same rendered source — the bench-side version of the serve-smoke
+   bit-identity gate. *)
+
+module Server = Cheffp_server.Server
+module Client = Cheffp_server.Client
+module Sjson = Cheffp_server.Json
+module Shadow = Cheffp_shadow.Shadow
+module Stats = Cheffp_util.Stats
+
+type server_row = {
+  vw : workload;
+  v_identical : bool;  (** every response == direct Search.tune outcome *)
+  v_cold_ms : float;  (** first-request latency, cold compile cache *)
+  v_cold_hits : int;
+  v_cold_misses : int;
+}
+
+type server_block = {
+  sv_rows : server_row list;
+  sv_workers : int;
+  sv_rounds : int;
+  sv_requests : int;  (** warm requests per mode (rounds * workloads) *)
+  sv_seq_s : float;  (** warm sequential replay wall clock *)
+  sv_conc_s : float;  (** warm concurrent wall clock, same request count *)
+  sv_p50_ms : float;  (** over all warm client-observed latencies *)
+  sv_p99_ms : float;
+  sv_warm_hit_rate : float;  (** compile-cache hits/lookups across warm *)
+}
+
+let sv_seq_rps b =
+  if b.sv_seq_s > 0. then float_of_int b.sv_requests /. b.sv_seq_s else 0.
+
+let sv_conc_rps b =
+  if b.sv_conc_s > 0. then float_of_int b.sv_requests /. b.sv_conc_s else 0.
+
+(* CLI argument syntax (arrays as v1:v2:...); %.17g round-trips every
+   finite float, which is what keeps the wire detour bit-exact. *)
+let arg_string = function
+  | Cheffp_ir.Interp.Aint i -> string_of_int i
+  | Cheffp_ir.Interp.Aflt x -> Printf.sprintf "%.17g" x
+  | Cheffp_ir.Interp.Afarr a ->
+      String.concat ":"
+        (List.map (Printf.sprintf "%.17g") (Array.to_list a))
+  | Cheffp_ir.Interp.Aiarr a ->
+      String.concat ":" (List.map string_of_int (Array.to_list a))
+
+(* The direct baseline must see exactly what the server parsed: the
+   same rendered source and arguments round-tripped through the same
+   string syntax. *)
+let reparse_arg = function
+  | Cheffp_ir.Interp.Aint i -> Cheffp_ir.Interp.Aint i
+  | Cheffp_ir.Interp.Aflt x ->
+      Cheffp_ir.Interp.Aflt (float_of_string (Printf.sprintf "%.17g" x))
+  | Cheffp_ir.Interp.Afarr a ->
+      Cheffp_ir.Interp.Afarr
+        (Array.map (fun x -> float_of_string (Printf.sprintf "%.17g" x)) a)
+  | Cheffp_ir.Interp.Aiarr a -> Cheffp_ir.Interp.Aiarr (Array.copy a)
+
+let copy_args args =
+  List.map
+    (function
+      | Cheffp_ir.Interp.Afarr a -> Cheffp_ir.Interp.Afarr (Array.copy a)
+      | Cheffp_ir.Interp.Aiarr a -> Cheffp_ir.Interp.Aiarr (Array.copy a)
+      | x -> x)
+    args
+
+let search_request ~id w =
+  Client.request ~id ~cmd:"search"
+    [
+      ("program", Sjson.Str (Cheffp_ir.Pp.program_to_string w.prog));
+      ("func", Sjson.Str w.func);
+      ( "args",
+        Sjson.List (List.map (fun a -> Sjson.Str (arg_string a)) w.args) );
+      ("threshold", Sjson.Num w.threshold);
+      ("tenant", Sjson.Str "bench");
+    ]
+
+(* The outcome fields [same_outcome] compares, as they cross the wire. *)
+type wire_outcome = {
+  wo_demoted : string list;
+  wo_executions : int;
+  wo_modelled_error : float;
+  wo_actual_error : float;
+  wo_modelled_speedup : float;
+}
+
+let expect_ok resp =
+  (match Sjson.to_bool_opt (Sjson.member "ok" resp) with
+  | Some true -> ()
+  | _ -> failwith ("server error response: " ^ Sjson.to_string resp));
+  let c = Sjson.member "cache" resp in
+  let geti n =
+    Option.value ~default:0 (Sjson.to_int_opt (Sjson.member n c))
+  in
+  (geti "hits", geti "misses")
+
+let wire_outcome_of resp =
+  let r = Sjson.member "result" resp in
+  let num n =
+    Option.value ~default:Float.nan (Sjson.to_float_opt (Sjson.member n r))
+  in
+  {
+    wo_demoted = Sjson.string_list (Sjson.member "demoted" r);
+    wo_executions =
+      Option.value ~default:(-1) (Sjson.to_int_opt (Sjson.member "executions" r));
+    wo_modelled_error = num "modelled_error";
+    wo_actual_error = num "actual_error";
+    wo_modelled_speedup = num "modelled_speedup";
+  }
+
+let feq a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let same_wire a b =
+  a.wo_demoted = b.wo_demoted
+  && a.wo_executions = b.wo_executions
+  && feq a.wo_modelled_error b.wo_modelled_error
+  && feq a.wo_actual_error b.wo_actual_error
+  && feq a.wo_modelled_speedup b.wo_modelled_speedup
+
+(* Run the request's exact code path in-process: handler defaults
+   (target f32, hybrid, prune_margin 64, default lanes, jobs 1, shadow
+   Source-mode measure) on the reparsed source — see
+   [Cheffp_server.Server.handle_search]. *)
+let direct_outcome w =
+  let builtins = Cheffp_ir.Builtins.create () in
+  Cheffp_fastapprox.Fastapprox.register_builtins builtins;
+  let prog =
+    Cheffp_ir.Parser.parse_program (Cheffp_ir.Pp.program_to_string w.prog)
+  in
+  Cheffp_ir.Typecheck.check_program ~builtins prog;
+  let args = List.map reparse_arg w.args in
+  let measure config =
+    Shadow.measured_error
+      (Shadow.run ~builtins ~config ~mode:Config.Source ~prog ~func:w.func
+         (copy_args args))
+  in
+  let o =
+    Search.tune ~target:Fp.F32 ~builtins ~jobs:1 ~strategy:`Hybrid
+      ~prune_margin:64. ~batch:Cheffp_ir.Batch.default_lanes ~measure ~prog
+      ~func:w.func ~args ~threshold:w.threshold ()
+  in
+  {
+    wo_demoted = o.Search.demoted;
+    wo_executions = o.Search.executions;
+    wo_modelled_error = o.Search.modelled_error;
+    wo_actual_error = o.Search.evaluation.Tuner.actual_error;
+    wo_modelled_speedup = o.Search.evaluation.Tuner.modelled_speedup;
+  }
+
+let server_bench ?(workers = 2) ?(rounds = 3) ?(workloads = batch_workloads ())
+    () =
+  Gc.compact ();
+  Compile_cache.clear ();
+  Compile_cache.reset_stats ();
+  let srv = Server.create ~workers (Server.Tcp 0) in
+  let port = Option.get (Server.port srv) in
+  let accept = Thread.create Server.run srv in
+  let connect () = Client.retry_connect (fun () -> Client.connect_tcp port) in
+  let next_id = Atomic.make 1 in
+  let rpc conn w =
+    let id = Atomic.fetch_and_add next_id 1 in
+    let resp, s =
+      Meter.time (fun () -> Client.rpc conn (search_request ~id w))
+    in
+    let hits, misses = expect_ok resp in
+    (wire_outcome_of resp, hits, misses, s *. 1e3)
+  in
+  let conn0 = connect () in
+  (* Cold round: every later request's compiles were cached here. *)
+  let cold = List.map (fun w -> (w, rpc conn0 w)) workloads in
+  let latencies = ref [] in
+  let warm_hits = ref 0 and warm_misses = ref 0 in
+  let outcomes : (string, wire_outcome list) Hashtbl.t = Hashtbl.create 8 in
+  let record w (o, h, m, ms) =
+    latencies := ms :: !latencies;
+    warm_hits := !warm_hits + h;
+    warm_misses := !warm_misses + m;
+    Hashtbl.replace outcomes w.name
+      (o :: Option.value ~default:[] (Hashtbl.find_opt outcomes w.name))
+  in
+  let (), sv_seq_s =
+    Meter.time (fun () ->
+        for _ = 1 to rounds do
+          List.iter (fun w -> record w (rpc conn0 w)) workloads
+        done)
+  in
+  let n = List.length workloads in
+  let results = Array.make n [] in
+  let (), sv_conc_s =
+    Meter.time (fun () ->
+        let ths =
+          List.mapi
+            (fun i w ->
+              Thread.create
+                (fun () ->
+                  let conn = connect () in
+                  let acc = ref [] in
+                  for _ = 1 to rounds do
+                    acc := rpc conn w :: !acc
+                  done;
+                  Client.close conn;
+                  results.(i) <- !acc)
+                ())
+            workloads
+        in
+        List.iter Thread.join ths)
+  in
+  List.iteri
+    (fun i w -> List.iter (fun r -> record w r) results.(i))
+    workloads;
+  ignore
+    (Client.rpc conn0
+       (Client.request ~id:(Atomic.fetch_and_add next_id 1) ~cmd:"shutdown" []));
+  Client.close conn0;
+  Thread.join accept;
+  (* Direct baselines last, so they cannot pre-warm the cold round. *)
+  let sv_rows =
+    List.map
+      (fun (w, (o_cold, ch, cm, cold_ms)) ->
+        let base = direct_outcome w in
+        let all =
+          o_cold :: Option.value ~default:[] (Hashtbl.find_opt outcomes w.name)
+        in
+        {
+          vw = w;
+          v_identical = List.for_all (same_wire base) all;
+          v_cold_ms = cold_ms;
+          v_cold_hits = ch;
+          v_cold_misses = cm;
+        })
+      cold
+  in
+  let lat = Array.of_list !latencies in
+  let lookups = !warm_hits + !warm_misses in
+  {
+    sv_rows;
+    sv_workers = workers;
+    sv_rounds = rounds;
+    sv_requests = rounds * n;
+    sv_seq_s;
+    sv_conc_s;
+    sv_p50_ms = Stats.percentile lat 50.;
+    sv_p99_ms = Stats.percentile lat 99.;
+    sv_warm_hit_rate =
+      (if lookups > 0 then float_of_int !warm_hits /. float_of_int lookups
+       else 0.);
+  }
+
+let print_server b =
+  Printf.printf
+    "cheffp serve (%d workers): %d warm search requests per mode over \
+     loopback TCP\n"
+    b.sv_workers b.sv_requests;
+  Table.print
+    ~header:[ "workload"; "cold ms"; "cold hits/misses"; "identical" ]
+    (List.map
+       (fun r ->
+         [
+           r.vw.name;
+           Printf.sprintf "%.1f" r.v_cold_ms;
+           Printf.sprintf "%d/%d" r.v_cold_hits r.v_cold_misses;
+           string_of_bool r.v_identical;
+         ])
+       b.sv_rows);
+  Printf.printf
+    "sequential replay %.3f s (%.1f req/s), concurrent %.3f s (%.1f \
+     req/s), p50 %.2f ms, p99 %.2f ms, warm cache hit rate %.3f\n"
+    b.sv_seq_s (sv_seq_rps b) b.sv_conc_s (sv_conc_rps b) b.sv_p50_ms
+    b.sv_p99_ms b.sv_warm_hit_rate;
+  if Domain.recommended_domain_count () < 2 then
+    Printf.printf
+      "(single-core host: concurrent requests time-slice one CPU, so the \
+       concurrent >= sequential throughput expectation is skipped)\n"
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -594,7 +875,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~soundness ~batch ~model rows =
+let write_json ~path ~soundness ~batch ~model ~server rows =
   let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
@@ -711,6 +992,42 @@ let write_json ~path ~soundness ~batch ~model rows =
     model;
   pf "    ]\n";
   pf "  },\n";
+  pf "  \"server\": {\n";
+  pf "    \"description\": \"cheffp serve daemon: paper workloads as \
+      search requests over loopback TCP against one shared worker pool \
+      and sharded compile cache; cold round, warm sequential replay, \
+      warm concurrent round (same request count)\",\n";
+  pf "    \"workers\": %d,\n" server.sv_workers;
+  pf "    \"rounds\": %d,\n" server.sv_rounds;
+  pf "    \"requests_per_mode\": %d,\n" server.sv_requests;
+  pf "    \"seconds_sequential_warm\": %.6f,\n" server.sv_seq_s;
+  pf "    \"seconds_concurrent_warm\": %.6f,\n" server.sv_conc_s;
+  pf "    \"requests_per_second_sequential\": %.3f,\n" (sv_seq_rps server);
+  pf "    \"requests_per_second_concurrent\": %.3f,\n" (sv_conc_rps server);
+  pf "    \"concurrent_over_sequential\": %.3f,\n"
+    (if server.sv_seq_s > 0. then server.sv_seq_s /. server.sv_conc_s else 1.);
+  pf "    \"p50_ms\": %.3f,\n" server.sv_p50_ms;
+  pf "    \"p99_ms\": %.3f,\n" server.sv_p99_ms;
+  pf "    \"warm_cache_hit_rate\": %.4f,\n" server.sv_warm_hit_rate;
+  (if Domain.recommended_domain_count () < 2 then
+     pf
+       "    \"note\": \"single-core host: concurrent requests time-slice \
+        one CPU, so concurrent_over_sequential measures scheduling \
+        overhead, not scaling (see host_cores above) — re-run on a \
+        multi-core host for the throughput numbers\",\n");
+  pf "    \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      pf
+        "      {\"name\": \"%s\", \"cold_ms\": %.3f, \"cold_cache_hits\": \
+         %d, \"cold_cache_misses\": %d, \"outcomes_identical_to_oneshot\": \
+         %b}%s\n"
+        (json_escape r.vw.name) r.v_cold_ms r.v_cold_hits r.v_cold_misses
+        r.v_identical
+        (if i < List.length server.sv_rows - 1 then "," else ""))
+    server.sv_rows;
+  pf "    ]\n";
+  pf "  },\n";
   pf "  \"soundness\": {\n";
   pf "    \"mode\": \"extended\",\n";
   pf "    \"margin\": 1.0,\n";
@@ -814,6 +1131,12 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
   print_model_rows model;
   let soundness = soundness_rows ~small:small_soundness () in
   print_soundness soundness;
-  write_json ~path:out ~soundness ~batch ~model rows;
+  Printf.printf
+    "\n== cheffp serve: concurrent requests vs sequential replay ==\n";
+  let server =
+    server_bench ~workloads:(batch_workloads ~small:small_soundness ()) ()
+  in
+  print_server server;
+  write_json ~path:out ~soundness ~batch ~model ~server rows;
   Printf.printf "wrote %s\n" out;
-  (rows, batch, model, soundness)
+  (rows, batch, model, soundness, server)

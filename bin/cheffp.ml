@@ -570,6 +570,82 @@ let adapt_cmd =
       ret (const run $ bench_arg $ n_arg $ target_arg $ budget_arg $ jobs_arg
            $ obs_term))
 
+let serve_cmd =
+  let module Server = Cheffp_server.Server in
+  let run socket port workers max_pending metrics =
+    wrap (fun () ->
+        if metrics then Metrics.set_enabled true;
+        let listen =
+          match (socket, port) with
+          | Some path, None -> Server.Unix_socket path
+          | None, Some p -> Server.Tcp p
+          | None, None -> Server.Unix_socket "cheffp.sock"
+          | Some _, Some _ -> failwith "pass either --socket or --port, not both"
+        in
+        let srv = Server.create ?workers ~max_pending listen in
+        let stop _ = Server.request_stop srv in
+        (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        (try Sys.set_signal Sys.sigterm (Sys.Signal_handle stop)
+         with Invalid_argument _ -> ());
+        Printf.eprintf "cheffp serve: listening on %s (%d worker domain(s))\n%!"
+          (Server.address srv) (Server.workers srv);
+        Server.run srv;
+        Printf.eprintf "cheffp serve: drained, bye\n%!";
+        if metrics then print_string (Export.metrics_dump ()))
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Listen on a Unix-domain socket at $(docv) (default cheffp.sock).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N"
+          ~doc:"Listen on loopback TCP port $(docv) instead (0 = ephemeral).")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker domains executing requests (default: the machine's \
+             recommended domain count minus one, at least 2).")
+  in
+  let max_pending_arg =
+    Arg.(
+      value
+      & opt int Server.default_max_pending
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Admission bound: requests arriving while $(docv) tasks are \
+             already queued are rejected immediately.")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Enable the metrics registry and dump it after the drain.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived analysis server: newline-delimited JSON \
+          requests (analyze, tune, search, validate, ping, metrics, \
+          shutdown) over a Unix or loopback TCP socket, executed \
+          concurrently on a shared worker-domain pool with per-request \
+          tracing and a cross-request compile cache. Results are \
+          bit-identical to the one-shot subcommands.")
+    Term.(
+      ret
+        (const run $ socket_arg $ port_arg $ workers_arg $ max_pending_arg
+       $ metrics_arg))
+
 let sensitivity_cmd =
   let run file func loop raw =
     wrap (fun () ->
@@ -628,4 +704,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; run_cmd; gradient_cmd; analyze_cmd; tune_cmd;
-            search_cmd; validate_cmd; adapt_cmd; sensitivity_cmd ]))
+            search_cmd; validate_cmd; adapt_cmd; sensitivity_cmd; serve_cmd ]))

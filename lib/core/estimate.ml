@@ -68,6 +68,30 @@ let registry_reset reg =
   Array.fill reg.hi 0 (Array.length reg.hi) Float.neg_infinity;
   Hashtbl.reset reg.iters
 
+(* The [__chef_reg*] runtime callbacks are registered in a builtins
+   table that may be shared and long-lived (the serve daemon keeps one
+   across all requests). They must not close over any particular
+   estimate's registry: two estimates built against the same table
+   would clobber each other's recordings — truncated attributions, or
+   out-of-bounds ids when the programs differ. Instead the callbacks
+   dispatch through a domain-local slot that [run] points at the
+   executing estimate's registry for the duration of the execution
+   (each execution stays on one domain, and pool workers run one task
+   at a time, so the slot cannot be observed mid-swap). *)
+let active_registry : registry option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_registry reg f =
+  let slot = Domain.DLS.get active_registry in
+  let saved = !slot in
+  slot := Some reg;
+  Fun.protect ~finally:(fun () -> slot := saved) f
+
+let recording_registry () =
+  match !(Domain.DLS.get active_registry) with
+  | Some reg -> reg
+  | None -> failwith "__chef_reg* called outside Estimate.run"
+
 type t = {
   source_func : func;
   model : Model.t;
@@ -211,25 +235,28 @@ let estimate_error_inner ?(model = Model.taylor ())
   Builtins.register builtins "__chef_reg"
     (reg_sig [ Builtins.Kint; Builtins.Kflt ])
     (fun a ->
+      let reg = recording_registry () in
       let id = Builtins.as_int a.(0) and e = Builtins.as_float a.(1) in
-      registry.totals.(id) <- registry.totals.(id) +. e;
+      reg.totals.(id) <- reg.totals.(id) +. e;
       Builtins.F e);
   Builtins.register builtins "__chef_range"
     (reg_sig [ Builtins.Kint; Builtins.Kflt ])
     (fun a ->
+      let reg = recording_registry () in
       let id = Builtins.as_int a.(0) and v = Builtins.as_float a.(1) in
-      if v < registry.lo.(id) then registry.lo.(id) <- v;
-      if v > registry.hi.(id) then registry.hi.(id) <- v;
+      if v < reg.lo.(id) then reg.lo.(id) <- v;
+      if v > reg.hi.(id) then reg.hi.(id) <- v;
       Builtins.F v);
   Builtins.register builtins "__chef_reg_iter"
     (reg_sig [ Builtins.Kint; Builtins.Kint; Builtins.Kflt ])
     (fun a ->
+      let reg = recording_registry () in
       let id = Builtins.as_int a.(0)
       and iter = Builtins.as_int a.(1)
       and s = Builtins.as_float a.(2) in
-      (match Hashtbl.find_opt registry.iters (id, iter) with
+      (match Hashtbl.find_opt reg.iters (id, iter) with
       | Some r -> r := !r +. s
-      | None -> Hashtbl.replace registry.iters (id, iter) (ref s));
+      | None -> Hashtbl.replace reg.iters (id, iter) (ref s));
       Builtins.F s);
   model.Model.setup builtins;
   let f = func_exn prog func in
@@ -500,7 +527,9 @@ let run t args =
   Trace.with_span "estimate.run" (fun () ->
       let inputs = assemble_args t args in
       registry_reset t.registry;
-      let result = Compile.run t.compiled inputs.full in
+      let result =
+        with_registry t.registry (fun () -> Compile.run t.compiled inputs.full)
+      in
       let report = build_report t result inputs in
       if Trace.enabled () then begin
         Trace.add_attr "func" (Trace.Str t.source_func.fname);
@@ -513,6 +542,8 @@ let run_interpreted t args =
   let inputs = assemble_args t args in
   registry_reset t.registry;
   let result =
-    Interp.run ~builtins:t.builtins ~prog:t.prog ~func:t.grad.fname inputs.full
+    with_registry t.registry (fun () ->
+        Interp.run ~builtins:t.builtins ~prog:t.prog ~func:t.grad.fname
+          inputs.full)
   in
   build_report t result inputs

@@ -1,11 +1,16 @@
 type counter = { c : int Atomic.t }
 type gauge = { g : float Atomic.t }
 
+(* No separate total: the observation count is derived by summing the
+   bucket counters, so a reader can never see a total that disagrees
+   with the buckets it was read next to. Each [observe] touches exactly
+   one bucket counter, so after any set of concurrent observers joins,
+   [histogram_count] equals the number of [observe] calls exactly —
+   the domain-safety invariant the pool stress test asserts. *)
 type histogram = {
   buckets : float array;  (* upper bounds, strictly increasing *)
   counts : int Atomic.t array;  (* length buckets + 1; last = +inf *)
   sum : float Atomic.t;
-  total : int Atomic.t;
 }
 
 type metric = Mcounter of counter | Mgauge of gauge | Mhistogram of histogram
@@ -69,7 +74,6 @@ let histogram ?(buckets = default_buckets) name =
           buckets = Array.copy buckets;
           counts = Array.init (Array.length buckets + 1) (fun _ -> Atomic.make 0);
           sum = Atomic.make 0.;
-          total = Atomic.make 0;
         })
     (function Mhistogram h -> Some h | _ -> None)
 
@@ -81,10 +85,11 @@ let observe h x =
   let n = Array.length h.buckets in
   let rec slot i = if i >= n || x <= h.buckets.(i) then i else slot (i + 1) in
   Atomic.incr h.counts.(slot 0);
-  Atomic.incr h.total;
   atomic_float_add h.sum x
 
-let histogram_count h = Atomic.get h.total
+let histogram_count h =
+  Array.fold_left (fun acc c -> acc + Atomic.get c) 0 h.counts
+
 let histogram_sum h = Atomic.get h.sum
 
 type value =
@@ -124,7 +129,6 @@ let reset () =
       | Mgauge g -> Atomic.set g.g 0.
       | Mhistogram h ->
           Array.iter (fun c -> Atomic.set c 0) h.counts;
-          Atomic.set h.sum 0.;
-          Atomic.set h.total 0)
+          Atomic.set h.sum 0.)
     registry;
   Mutex.unlock lock

@@ -52,7 +52,16 @@ val histogram : ?buckets:float array -> string -> histogram
     [buckets] is ignored when the histogram already exists. *)
 
 val observe : histogram -> float -> unit
+(** One atomic bucket increment plus a CAS-loop sum update — safe from
+    any number of concurrent domains (the pool's worker domains and the
+    server's request tasks observe into the same histograms). *)
+
 val histogram_count : histogram -> int
+(** Number of observations, derived by summing the bucket counters
+    (there is no separate total, so the count can never disagree with
+    the buckets): once concurrent observers have joined,
+    [histogram_count] equals the number of [observe] calls exactly. *)
+
 val histogram_sum : histogram -> float
 
 (** {1 Registry} *)

@@ -56,6 +56,29 @@ let reset () =
   recorded := [];
   Mutex.unlock lock
 
+(* Remove and return the completed subtree rooted at [root]. Ids are
+   assigned at span open and children open after their parents, so
+   within a tree parent ids are always smaller than child ids: one
+   ascending pass over the collector classifies every span. The server
+   uses this to stream a finished request's spans back to its client
+   without disturbing concurrent requests' trees. *)
+let take_tree root =
+  Mutex.lock lock;
+  let sorted = List.sort (fun a b -> compare a.id b.id) !recorded in
+  let in_tree = Hashtbl.create 32 in
+  Hashtbl.replace in_tree root ();
+  let mine, rest =
+    List.partition
+      (fun s ->
+        let mem = s.id = root || Hashtbl.mem in_tree s.parent in
+        if mem then Hashtbl.replace in_tree s.id ();
+        mem)
+      sorted
+  in
+  recorded := List.rev rest;
+  Mutex.unlock lock;
+  mine
+
 (* Per-domain stack of open spans. A frame with [fname = ""] is a
    foreign parent installed by [with_parent]: it contributes its id for
    parenting but is never recorded. *)

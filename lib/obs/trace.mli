@@ -73,5 +73,14 @@ val reset : unit -> unit
 (** Drop all recorded spans. Open spans on other domains still record
     on completion. *)
 
+val take_tree : int -> span list
+(** [take_tree root] removes and returns every recorded span of the
+    subtree rooted at span id [root], in id (start) order, leaving the
+    rest of the collector untouched — the per-request extraction the
+    analysis server uses to stream a completed request's spans to its
+    client while other requests' trees keep accumulating. Call it after
+    the root span has completed (children complete before their
+    parents, so a completed root implies a complete tree). *)
+
 val now_ns : unit -> int64
 (** The monotonized clock itself (exposed for the bench harness). *)

@@ -1,0 +1,56 @@
+(* Blocking client for the serve protocol; used by the smoke test, the
+   bench harness and anyone scripting the daemon. One request per
+   [rpc]; for pipelining, [send] several then [recv] and match on the
+   echoed ids. *)
+
+type t = { fd : Unix.file_descr; ic : in_channel; m : Mutex.t }
+
+let wrap fd = { fd; ic = Unix.in_channel_of_descr fd; m = Mutex.create () }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  wrap fd
+
+let connect_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  wrap fd
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let send t json =
+  let line = Json.to_string json ^ "\n" in
+  Mutex.lock t.m;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock t.m)
+    (fun () -> write_all t.fd line 0 (String.length line))
+
+let recv t = Json.of_string (input_line t.ic)
+
+let rpc t json =
+  send t json;
+  recv t
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+(* Request construction sugar: start from the command and id, add only
+   the fields that differ from the CLI defaults. *)
+let request ~id ~cmd fields =
+  Json.Obj
+    (("id", Json.Num (float_of_int id)) :: ("cmd", Json.Str cmd) :: fields)
+
+let retry_connect ?(attempts = 100) ?(delay = 0.05) connect =
+  let rec go n =
+    match connect () with
+    | c -> c
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when n > 1 ->
+        Unix.sleepf delay;
+        go (n - 1)
+  in
+  go attempts

@@ -1,0 +1,31 @@
+(** Blocking client for the [cheffp serve] protocol — used by the
+    serve-smoke test, the server bench block, and scripts.
+
+    Thread-safety: {!send} is serialized internally, so many threads
+    may share one connection for writing; {!recv} reads one response
+    line and must be called from a single reader (responses may arrive
+    out of request order — match on the echoed [id]). *)
+
+type t
+
+val connect_unix : string -> t
+val connect_tcp : int -> t
+
+val retry_connect : ?attempts:int -> ?delay:float -> (unit -> t) -> t
+(** Retry a connect thunk while the daemon is still starting
+    ([ECONNREFUSED]/[ENOENT]); default 100 attempts, 50 ms apart. *)
+
+val send : t -> Json.t -> unit
+(** Write one request line. *)
+
+val recv : t -> Json.t
+(** Read one response line; raises [End_of_file] when the server closes
+    the connection. *)
+
+val rpc : t -> Json.t -> Json.t
+(** [send] then [recv] — only for one-outstanding-request use. *)
+
+val request : id:int -> cmd:string -> (string * Json.t) list -> Json.t
+(** Build a request object: id, cmd, plus any non-default fields. *)
+
+val close : t -> unit

@@ -1,0 +1,275 @@
+(* Minimal JSON for the wire protocol: no external dependency, exact
+   float round-tripping. Numbers print with %.17g (integral values as
+   integers), which reparses to the identical bit pattern — the server's
+   bit-identity guarantee rides on this. Extension: the non-finite
+   tokens [nan], [inf] and [-inf] are printed and accepted, so shadow
+   measurements of diverged runs survive the wire. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let num_repr f =
+  if Float.is_nan f then "nan"
+  else if f = Float.infinity then "inf"
+  else if f = Float.neg_infinity then "-inf"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.17g" f
+
+let escape b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let rec emit b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Num f -> Buffer.add_string b (num_repr f)
+  | Str s -> escape b s
+  | List xs ->
+      Buffer.add_char b '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char b ',';
+          emit b x)
+        xs;
+      Buffer.add_char b ']'
+  | Obj kvs ->
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          escape b k;
+          Buffer.add_char b ':';
+          emit b v)
+        kvs;
+      Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 256 in
+  emit b v;
+  Buffer.contents b
+
+exception Parse_error of string
+
+(* Recursive-descent parser over the input bytes. *)
+type state = { s : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.s
+    &&
+    match st.s.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word v =
+  let n = String.length word in
+  if
+    st.pos + n <= String.length st.s
+    && String.sub st.s st.pos n = word
+  then begin
+    st.pos <- st.pos + n;
+    v
+  end
+  else fail st ("expected " ^ word)
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    if st.pos >= String.length st.s then fail st "unterminated string";
+    let c = st.s.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents b
+    | '\\' -> (
+        if st.pos >= String.length st.s then fail st "unterminated escape";
+        let e = st.s.[st.pos] in
+        st.pos <- st.pos + 1;
+        match e with
+        | '"' | '\\' | '/' ->
+            Buffer.add_char b e;
+            go ()
+        | 'n' ->
+            Buffer.add_char b '\n';
+            go ()
+        | 'r' ->
+            Buffer.add_char b '\r';
+            go ()
+        | 't' ->
+            Buffer.add_char b '\t';
+            go ()
+        | 'b' ->
+            Buffer.add_char b '\b';
+            go ()
+        | 'f' ->
+            Buffer.add_char b '\012';
+            go ()
+        | 'u' ->
+            if st.pos + 4 > String.length st.s then fail st "bad \\u escape";
+            let hex = String.sub st.s st.pos 4 in
+            st.pos <- st.pos + 4;
+            let code =
+              try int_of_string ("0x" ^ hex)
+              with _ -> fail st "bad \\u escape"
+            in
+            (* Only BMP code points are produced by our own emitter
+               (control characters); encode as UTF-8. *)
+            if code < 0x80 then Buffer.add_char b (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else begin
+              Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+              Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+              Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+            end;
+            go ()
+        | _ -> fail st "bad escape")
+    | c ->
+        Buffer.add_char b c;
+        go ()
+  in
+  go ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    st.pos < String.length st.s && is_num_char st.s.[st.pos]
+  do
+    st.pos <- st.pos + 1
+  done;
+  let tok = String.sub st.s start (st.pos - start) in
+  match float_of_string_opt tok with
+  | Some f -> Num f
+  | None -> fail st ("bad number " ^ tok)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '{' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.pos <- st.pos + 1;
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              fields ((k, v) :: acc)
+          | Some '}' ->
+              st.pos <- st.pos + 1;
+              Obj (List.rev ((k, v) :: acc))
+          | _ -> fail st "expected , or }"
+        in
+        fields []
+      end
+  | Some '[' ->
+      st.pos <- st.pos + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.pos <- st.pos + 1;
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              st.pos <- st.pos + 1;
+              items (v :: acc)
+          | Some ']' ->
+              st.pos <- st.pos + 1;
+              List (List.rev (v :: acc))
+          | _ -> fail st "expected , or ]"
+        in
+        items []
+      end
+  | Some '"' -> Str (parse_string st)
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some 'n' ->
+      if
+        st.pos + 3 <= String.length st.s
+        && String.sub st.s st.pos 3 = "nan"
+      then begin
+        st.pos <- st.pos + 3;
+        Num Float.nan
+      end
+      else literal st "null" Null
+  | Some 'i' -> literal st "inf" (Num Float.infinity)
+  | Some '-'
+    when st.pos + 4 <= String.length st.s
+         && String.sub st.s st.pos 4 = "-inf" ->
+      st.pos <- st.pos + 4;
+      Num Float.neg_infinity
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected %C" c)
+
+let of_string s =
+  let st = { s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+(* Accessors for decoding requests; [Null] and absent keys read alike. *)
+
+let member k = function
+  | Obj kvs -> ( match List.assoc_opt k kvs with Some v -> v | None -> Null)
+  | _ -> Null
+
+let to_float_opt = function Num f -> Some f | _ -> None
+let to_int_opt = function Num f -> Some (int_of_float f) | _ -> None
+let to_string_opt = function Str s -> Some s | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None
+
+let to_list = function List xs -> xs | _ -> []
+
+let string_list v = List.filter_map to_string_opt (to_list v)

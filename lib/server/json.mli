@@ -1,0 +1,38 @@
+(** Minimal JSON for the [cheffp serve] wire protocol (DESIGN.md §13).
+
+    Dependency-free by design (the repo adds no third-party packages);
+    the emitter and parser round-trip every finite float exactly
+    ([%.17g]), which is what the server's bit-identity guarantee rides
+    on. One extension over strict JSON: the tokens [nan], [inf] and
+    [-inf] are printed and accepted for non-finite numbers. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line (embedded newlines in strings are escaped), so
+    a value is always a valid newline-delimited frame. *)
+
+exception Parse_error of string
+
+val of_string : string -> t
+(** Parse one complete value; raises {!Parse_error} on malformed input
+    or trailing garbage. *)
+
+(** {1 Decoding helpers} — absent keys and [Null] read alike. *)
+
+val member : string -> t -> t
+(** Field of an object, [Null] when absent or not an object. *)
+
+val to_float_opt : t -> float option
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list : t -> t list
+val string_list : t -> string list
+(** The [Str] elements of a [List] (non-strings are dropped). *)

@@ -1,0 +1,137 @@
+module Batch = Cheffp_ir.Batch
+module Export = Cheffp_obs.Export
+module Trace = Cheffp_obs.Trace
+module Compile_cache = Cheffp_ir.Compile_cache
+
+type cmd = Ping | Analyze | Tune | Search | Validate | Metrics | Shutdown
+
+let cmd_name = function
+  | Ping -> "ping"
+  | Analyze -> "analyze"
+  | Tune -> "tune"
+  | Search -> "search"
+  | Validate -> "validate"
+  | Metrics -> "metrics"
+  | Shutdown -> "shutdown"
+
+let cmd_of_string = function
+  | "ping" -> Some Ping
+  | "analyze" -> Some Analyze
+  | "tune" -> Some Tune
+  | "search" -> Some Search
+  | "validate" -> Some Validate
+  | "metrics" -> Some Metrics
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+(* Request fields mirror the CLI flags one-to-one (same names, same
+   defaults, same string syntax for arguments and demotions), so a
+   request is exactly "a CLI invocation as an object" — the handlers
+   run the same code paths and the bit-identity harness compares the
+   two directly. *)
+type request = {
+  id : int;
+  cmd : cmd;
+  program : string;
+  func : string;
+  args : string list;  (* positional, arrays as v1:v2:... *)
+  threshold : float option;
+  target : string;
+  model : string;
+  demote : string list;  (* var:fmt *)
+  mode : string;
+  margin : float;
+  strategy : string;
+  prune_margin : float;
+  profiled : bool;
+  jobs : int;
+  batch : int;
+  no_batch : bool;
+  tenant : string option;
+  priority : int;
+  deadline_ms : float option;
+  trace : bool;
+}
+
+let parse_request line =
+  match Json.of_string line with
+  | exception Json.Parse_error m -> Error ("bad JSON: " ^ m)
+  | j -> (
+      let str k d = Option.value ~default:d (Json.to_string_opt (Json.member k j)) in
+      let int k d = Option.value ~default:d (Json.to_int_opt (Json.member k j)) in
+      let flt k d = Option.value ~default:d (Json.to_float_opt (Json.member k j)) in
+      let flag k d = Option.value ~default:d (Json.to_bool_opt (Json.member k j)) in
+      match Json.to_int_opt (Json.member "id" j) with
+      | None -> Error "missing request id"
+      | Some id -> (
+          match cmd_of_string (str "cmd" "") with
+          | None -> Error (Printf.sprintf "request %d: unknown cmd %S" id (str "cmd" ""))
+          | Some cmd ->
+              Ok
+                {
+                  id;
+                  cmd;
+                  program = str "program" "";
+                  func = str "func" "";
+                  args = Json.string_list (Json.member "args" j);
+                  threshold = Json.to_float_opt (Json.member "threshold" j);
+                  target = str "target" "f32";
+                  model = str "model" "adapt";
+                  demote = Json.string_list (Json.member "demote" j);
+                  mode = str "mode" "extended";
+                  margin = flt "margin" 1.0;
+                  strategy = str "strategy" "hybrid";
+                  prune_margin = flt "prune_margin" 64.;
+                  profiled = flag "profiled" false;
+                  jobs = int "jobs" 1;
+                  batch = int "batch" Batch.default_lanes;
+                  no_batch = flag "no_batch" false;
+                  tenant = Json.to_string_opt (Json.member "tenant" j);
+                  priority = int "priority" 0;
+                  deadline_ms = Json.to_float_opt (Json.member "deadline_ms" j);
+                  trace = flag "trace" false;
+                }))
+
+(* Responses. [spans] are pre-rendered {!Cheffp_obs.Export} JSON lines
+   carried as strings: span timestamps are int64 nanoseconds, which do
+   not survive a trip through a float-backed JSON number, so the server
+   never re-parses them — clients write the lines verbatim to get a
+   file [validate_trace] accepts. *)
+
+type cache_summary = { c_hits : int; c_misses : int }
+
+let ok_response ~id ~cmd ~queue_wait_ms ~elapsed_ms ~cache ~spans ~report
+    result =
+  Json.Obj
+    ([
+       ("id", Json.Num (float_of_int id));
+       ("cmd", Json.Str (cmd_name cmd));
+       ("ok", Json.Bool true);
+       ("result", result);
+       ("report", Json.Str report);
+       ("queue_wait_ms", Json.Num queue_wait_ms);
+       ("elapsed_ms", Json.Num elapsed_ms);
+       ( "cache",
+         Json.Obj
+           [
+             ("hits", Json.Num (float_of_int cache.c_hits));
+             ("misses", Json.Num (float_of_int cache.c_misses));
+           ] );
+     ]
+    @
+    match spans with
+    | [] -> []
+    | spans ->
+        [
+          ( "spans",
+            Json.List
+              (List.map (fun s -> Json.Str (Export.span_to_json s)) spans) );
+        ])
+
+let error_response ~id msg =
+  Json.Obj
+    [
+      ("id", Json.Num (float_of_int id));
+      ("ok", Json.Bool false);
+      ("error", Json.Str msg);
+    ]

@@ -1,0 +1,498 @@
+(* The [cheffp serve] daemon (DESIGN.md §13): newline-delimited JSON
+   over a Unix or loopback TCP socket, one systhread per connection for
+   I/O, every request executed as a task on one shared
+   {!Cheffp_util.Pool.Shared} domain pool. Handlers run the same code
+   paths as the CLI subcommands on a single long-lived builtins/deriv
+   registry pair, so results are bit-identical to one-shot runs and
+   compilations cached by one request are hits for every later one. *)
+
+open Cheffp_ir
+module Config = Cheffp_precision.Config
+module Fp = Cheffp_precision.Fp
+module Pool = Cheffp_util.Pool
+module Trace = Cheffp_obs.Trace
+module Metrics = Cheffp_obs.Metrics
+module Export = Cheffp_obs.Export
+module Estimate = Cheffp_core.Estimate
+module Model = Cheffp_core.Model
+module Report = Cheffp_core.Report
+module Tuner = Cheffp_core.Tuner
+module Search = Cheffp_core.Search
+module Profile = Cheffp_core.Profile
+module Shadow = Cheffp_shadow.Shadow
+module Oracle = Cheffp_shadow.Oracle
+
+type listen = Unix_socket of string | Tcp of int
+
+type t = {
+  pool : Pool.Shared.t;
+  fd : Unix.file_descr;
+  listen : listen;
+  port : int option;  (* resolved, for Tcp 0 *)
+  builtins : Builtins.t;
+  deriv : Cheffp_ad.Deriv.t;
+  max_pending : int;
+  stop_requested : bool Atomic.t;
+  conns_m : Mutex.t;
+  conns_cv : Condition.t;
+  mutable conns : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* CLI-equivalent helpers. These mirror bin/cheffp.ml exactly — same
+   parsing, same defaults — which is what makes a server response
+   bit-identical to the corresponding one-shot invocation. *)
+
+let target_of s =
+  match Fp.format_of_string s with
+  | Some f -> f
+  | None -> failwith ("unknown format " ^ s)
+
+let model_of_string target = function
+  | "taylor" -> Model.taylor ~target ()
+  | "adapt" -> Model.adapt ~target ()
+  | "zero" -> Model.zero
+  | other -> failwith ("unknown model " ^ other ^ " (taylor|adapt|zero)")
+
+let parse_args func (raw : string list) =
+  let f p s =
+    match p.Ast.pty with
+    | Ast.Tscalar Ast.Sint -> Interp.Aint (int_of_string s)
+    | Ast.Tscalar (Ast.Sflt _) -> Interp.Aflt (float_of_string s)
+    | Ast.Tarr (Ast.Sflt _) ->
+        Interp.Afarr
+          (Array.of_list (List.map float_of_string (String.split_on_char ':' s)))
+    | Ast.Tarr Ast.Sint ->
+        Interp.Aiarr
+          (Array.of_list (List.map int_of_string (String.split_on_char ':' s)))
+  in
+  let params = List.filter (fun p -> p.Ast.pmode = Ast.In) func.Ast.params in
+  if List.length params <> List.length raw then
+    failwith
+      (Printf.sprintf "function %S expects %d arguments, got %d" func.Ast.fname
+         (List.length params) (List.length raw));
+  List.map2 f params raw
+
+let parse_config demote =
+  List.fold_left
+    (fun cfg spec ->
+      match String.split_on_char ':' spec with
+      | [ var; fmt ] -> (
+          match Fp.format_of_string fmt with
+          | Some f -> Config.demote cfg var f
+          | None -> failwith ("unknown format " ^ fmt))
+      | _ -> failwith ("bad demotion spec " ^ spec ^ " (expected var:fmt)"))
+    Config.double demote
+
+let copy_args args =
+  List.map
+    (function
+      | Interp.Afarr a -> Interp.Afarr (Array.copy a)
+      | Interp.Aiarr a -> Interp.Aiarr (Array.copy a)
+      | (Interp.Aint _ | Interp.Aflt _) as x -> x)
+    args
+
+let batch_of (req : Protocol.request) =
+  if req.no_batch || req.batch < 2 then None else Some req.batch
+
+let strategy_of s =
+  match Search.strategy_of_string s with
+  | Some st -> st
+  | None -> failwith ("unknown strategy " ^ s ^ " (measured|modelled|hybrid)")
+
+let require_threshold (req : Protocol.request) =
+  match req.threshold with
+  | Some t -> t
+  | None ->
+      failwith (Protocol.cmd_name req.cmd ^ ": missing \"threshold\" field")
+
+(* Args are parsed fresh per request — [Interp.Afarr] buffers are
+   mutated in place by runs, so they must never be shared. *)
+let load t src =
+  if String.trim src = "" then failwith "missing \"program\" field";
+  let prog = Trace.with_span "parse" (fun () -> Parser.parse_program src) in
+  Trace.with_span "typecheck" (fun () ->
+      Typecheck.check_program ~builtins:t.builtins prog);
+  prog
+
+(* ------------------------------------------------------------------ *)
+(* Handlers: each returns (structured result, rendered report). *)
+
+let pairs l =
+  Json.List
+    (List.map
+       (fun (n, e) -> Json.Obj [ ("var", Json.Str n); ("error", Json.Num e) ])
+       l)
+
+let strings l = Json.List (List.map (fun s -> Json.Str s) l)
+
+let handle_analyze t (req : Protocol.request) =
+  let prog = load t req.program in
+  let f = Ast.func_exn prog req.func in
+  let target = target_of req.target in
+  let model = model_of_string target req.model in
+  let est =
+    Estimate.estimate_error ~model ~deriv:t.deriv ~builtins:t.builtins
+      ~options:{ Estimate.default_options with track_ranges = true }
+      ~prog ~func:req.func ()
+  in
+  let args = parse_args f req.args in
+  let r = Estimate.run est args in
+  ( Json.Obj
+      [
+        ("model", Json.Str model.Model.model_name);
+        ("total_error", Json.Num r.Estimate.total_error);
+        ("per_variable", pairs r.Estimate.per_variable);
+        ("gradients", pairs r.Estimate.gradients);
+      ],
+    Printf.sprintf "model: %s\n" model.Model.model_name
+    ^ Report.estimate r )
+
+let handle_tune t (req : Protocol.request) =
+  let threshold = require_threshold req in
+  let prog = load t req.program in
+  let f = Ast.func_exn prog req.func in
+  let args = parse_args f req.args in
+  let target = target_of req.target in
+  let profile =
+    if req.profiled then
+      Some (Profile.build_cached ~builtins:t.builtins ~prog ~func:req.func ~args ())
+    else None
+  in
+  let o =
+    Tuner.tune ?profile ~target ~builtins:t.builtins ~jobs:req.jobs
+      ?batch:(batch_of req) ~prog ~func:req.func ~args ~threshold ()
+  in
+  ( Json.Obj
+      [
+        ("demoted", strings o.Tuner.demoted);
+        ("vetoed", strings o.Tuner.vetoed);
+        ("estimated_error", Json.Num o.Tuner.estimated_error);
+        ("actual_error", Json.Num o.Tuner.evaluation.Tuner.actual_error);
+        ("modelled_speedup", Json.Num o.Tuner.evaluation.Tuner.modelled_speedup);
+        ("casts", Json.Num (float_of_int o.Tuner.evaluation.Tuner.casts));
+        ("config", Json.Str (Config.to_string o.Tuner.evaluation.Tuner.config));
+      ],
+    Report.tuning o )
+
+let handle_search t (req : Protocol.request) =
+  let threshold = require_threshold req in
+  let prog = load t req.program in
+  let f = Ast.func_exn prog req.func in
+  let args = parse_args f req.args in
+  let target = target_of req.target in
+  let measure config =
+    Shadow.measured_error
+      (Shadow.run ~builtins:t.builtins ~config ~mode:Config.Source ~prog
+         ~func:req.func (copy_args args))
+  in
+  let o =
+    Search.tune ~target ~builtins:t.builtins ~jobs:req.jobs
+      ~strategy:(strategy_of req.strategy) ~prune_margin:req.prune_margin
+      ?batch:(batch_of req) ~measure ~prog ~func:req.func ~args ~threshold ()
+  in
+  ( Json.Obj
+      [
+        ("demoted", strings o.Search.demoted);
+        ("executions", Json.Num (float_of_int o.Search.executions));
+        ("batched_runs", Json.Num (float_of_int o.Search.batched_runs));
+        ("runs_avoided", Json.Num (float_of_int o.Search.runs_avoided));
+        ("strategy", Json.Str (Search.strategy_name o.Search.strategy));
+        ("modelled_error", Json.Num o.Search.modelled_error);
+        ( "measured_error",
+          match o.Search.measured_error with
+          | Some e -> Json.Num e
+          | None -> Json.Null );
+        ("actual_error", Json.Num o.Search.evaluation.Tuner.actual_error);
+        ("modelled_speedup", Json.Num o.Search.evaluation.Tuner.modelled_speedup);
+        ("config", Json.Str (Config.to_string o.Search.evaluation.Tuner.config));
+      ],
+    Report.search o )
+
+let handle_validate t (req : Protocol.request) =
+  let prog = load t req.program in
+  let f = Ast.func_exn prog req.func in
+  let args = parse_args f req.args in
+  let config = parse_config req.demote in
+  let mode =
+    match req.mode with
+    | "extended" -> Config.Extended
+    | "source" -> Config.Source
+    | other -> failwith ("unknown mode " ^ other ^ " (extended|source)")
+  in
+  let v =
+    Oracle.check_estimate ~builtins:t.builtins ~mode ~margin:req.margin
+      ~fuel:(-1) ~prog ~func:req.func ~config args
+  in
+  ( Json.Obj
+      [
+        ("sound", Json.Bool v.Oracle.sound);
+        ("measured_error", Json.Num v.Oracle.measured_error);
+        ("modelled_error", Json.Num v.Oracle.modelled_error);
+        ("bound", Json.Num v.Oracle.bound);
+        ("demotion_error", Json.Num v.Oracle.demotion_error);
+        ("inherent_error", Json.Num v.Oracle.inherent_error);
+        ( "tightness",
+          match v.Oracle.tightness with
+          | Some x -> Json.Num x
+          | None -> Json.Null );
+      ],
+    Oracle.render v )
+
+let request_stop t = Atomic.set t.stop_requested true
+
+let dispatch t (req : Protocol.request) =
+  match req.cmd with
+  | Protocol.Ping -> (Json.Obj [ ("pong", Json.Bool true) ], "pong\n")
+  | Protocol.Metrics ->
+      let dump = Export.metrics_dump () in
+      (Json.Obj [ ("metrics", Json.Str dump) ], dump)
+  | Protocol.Shutdown ->
+      request_stop t;
+      (Json.Obj [ ("stopping", Json.Bool true) ], "stopping\n")
+  | Protocol.Analyze -> handle_analyze t req
+  | Protocol.Tune -> handle_tune t req
+  | Protocol.Search -> handle_search t req
+  | Protocol.Validate -> handle_validate t req
+
+(* Same error surface as the CLI's [wrap]. *)
+let error_message = function
+  | Failure m
+  | Parser.Error m
+  | Lexer.Error m
+  | Typecheck.Error m
+  | Interp.Runtime_error m
+  | Estimate.Error m
+  | Cheffp_ad.Reverse.Error m
+  | Invalid_argument m
+  | Sys_error m ->
+      m
+  | e -> Printexc.to_string e
+
+(* ------------------------------------------------------------------ *)
+(* Request execution (runs on a pool worker domain). The worker's span
+   stack is empty, so "server.request" is a root span; its id keys the
+   per-request subtree extraction. Tracing is enabled lazily the first
+   time a request asks for it and stays on (other requests may be
+   mid-trace); every request's tree is removed from the collector on
+   completion either way, so a long-lived server does not accumulate
+   spans. *)
+
+let execute t (req : Protocol.request) ~enqueued =
+  let started = Unix.gettimeofday () in
+  let queue_wait = started -. enqueued in
+  Registry.started ();
+  let counters = { Compile_cache.r_hits = 0; r_misses = 0 } in
+  let outcome =
+    Compile_cache.with_attribution ?tenant:req.tenant ~counters (fun () ->
+        if req.trace && not (Trace.enabled ()) then Trace.set_enabled true;
+        let root = ref (-1) in
+        match
+          Trace.with_span "server.request" (fun () ->
+              root := Trace.current ();
+              if Trace.enabled () then begin
+                Trace.add_attr "cmd" (Trace.Str (Protocol.cmd_name req.cmd));
+                Trace.add_attr "request_id" (Trace.Int req.id);
+                Option.iter
+                  (fun ten -> Trace.add_attr "tenant" (Trace.Str ten))
+                  req.tenant
+              end;
+              dispatch t req)
+        with
+        | result, report ->
+            let spans = if !root >= 0 then Trace.take_tree !root else [] in
+            Ok (result, report, if req.trace then spans else [])
+        | exception e ->
+            if !root >= 0 then ignore (Trace.take_tree !root);
+            Error (error_message e))
+  in
+  let elapsed = Unix.gettimeofday () -. started in
+  Registry.finished ~ok:(Result.is_ok outcome) ~queue_wait ~elapsed;
+  match outcome with
+  | Ok (result, report, spans) ->
+      Protocol.ok_response ~id:req.id ~cmd:req.cmd
+        ~queue_wait_ms:(queue_wait *. 1000.)
+        ~elapsed_ms:(elapsed *. 1000.)
+        ~cache:
+          {
+            Protocol.c_hits = counters.Compile_cache.r_hits;
+            c_misses = counters.Compile_cache.r_misses;
+          }
+        ~spans ~report result
+  | Error msg -> Protocol.error_response ~id:req.id msg
+
+(* ------------------------------------------------------------------ *)
+(* Connections: one systhread per client reads request lines and
+   submits tasks; the pool worker that executes a task writes its
+   response itself (under the connection's write mutex), so responses
+   stream back as requests complete — possibly out of order, which is
+   why they echo the request id. *)
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = Unix.write_substring fd s pos len in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let handle_conn t cfd =
+  let sub = Pool.Shared.add_submitter t.pool in
+  let write_m = Mutex.create () in
+  let outstanding = Atomic.make 0 in
+  let done_m = Mutex.create () in
+  let done_cv = Condition.create () in
+  let send json =
+    let line = Json.to_string json ^ "\n" in
+    Mutex.lock write_m;
+    (try write_all cfd line 0 (String.length line) with _ -> ());
+    Mutex.unlock write_m
+  in
+  let task_done () =
+    if Atomic.fetch_and_add outstanding (-1) = 1 then begin
+      Mutex.lock done_m;
+      Condition.broadcast done_cv;
+      Mutex.unlock done_m
+    end
+  in
+  let ic = Unix.in_channel_of_descr cfd in
+  (try
+     let rec loop () =
+       match input_line ic with
+       | exception End_of_file -> ()
+       | line when String.trim line = "" -> loop ()
+       | line ->
+           (match Protocol.parse_request line with
+           | Error msg -> send (Protocol.error_response ~id:(-1) msg)
+           | Ok req ->
+               if Atomic.get t.stop_requested && req.cmd <> Protocol.Shutdown
+               then send (Protocol.error_response ~id:req.id "server is draining")
+               else begin
+                 let depth = Pool.Shared.queue_depth t.pool in
+                 if depth >= t.max_pending then begin
+                   Registry.rejected ();
+                   send
+                     (Protocol.error_response ~id:req.id
+                        (Printf.sprintf
+                           "server overloaded: %d requests pending" depth))
+                 end
+                 else begin
+                   let enqueued = Unix.gettimeofday () in
+                   let deadline =
+                     Option.map (fun ms -> enqueued +. (ms /. 1000.)) req.deadline_ms
+                   in
+                   Atomic.incr outstanding;
+                   ignore
+                     (Pool.Shared.submit t.pool sub ~priority:req.priority
+                        ?deadline (fun () ->
+                          Fun.protect ~finally:task_done (fun () ->
+                              send (execute t req ~enqueued);
+                              Registry.set_queue_depth
+                                (Pool.Shared.queue_depth t.pool))));
+                   Registry.set_queue_depth (Pool.Shared.queue_depth t.pool)
+                 end
+               end);
+           loop ()
+     in
+     loop ()
+   with _ -> ());
+  (* Client went away (or the stream ended): everything already
+     submitted still executes and writes (harmlessly failing if the
+     peer is gone); wait it out so no task outlives its submitter. *)
+  Mutex.lock done_m;
+  while Atomic.get outstanding > 0 do
+    Condition.wait done_cv done_m
+  done;
+  Mutex.unlock done_m;
+  Pool.Shared.remove_submitter t.pool sub
+
+(* ------------------------------------------------------------------ *)
+
+let default_max_pending = 256
+
+let create ?workers ?(max_pending = default_max_pending) listen =
+  (* A client closing mid-response must not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let builtins = Builtins.create () in
+  Cheffp_fastapprox.Fastapprox.register_builtins builtins;
+  let deriv = Cheffp_ad.Deriv.default () in
+  Cheffp_fastapprox.Fastapprox.register_derivatives deriv;
+  let fd, port =
+    match listen with
+    | Unix_socket path ->
+        if Sys.file_exists path then Sys.remove path;
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.bind fd (Unix.ADDR_UNIX path);
+        Unix.listen fd 64;
+        (fd, None)
+    | Tcp port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.listen fd 64;
+        let actual =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> p
+          | _ -> port
+        in
+        (fd, Some actual)
+  in
+  {
+    pool = Pool.Shared.create ?workers ();
+    fd;
+    listen;
+    port;
+    builtins;
+    deriv;
+    max_pending;
+    stop_requested = Atomic.make false;
+    conns_m = Mutex.create ();
+    conns_cv = Condition.create ();
+    conns = 0;
+  }
+
+let port t = t.port
+
+let address t =
+  match t.listen with
+  | Unix_socket path -> path
+  | Tcp _ ->
+      Printf.sprintf "127.0.0.1:%d" (Option.value ~default:0 t.port)
+
+let workers t = Pool.Shared.workers t.pool
+
+let run t =
+  while not (Atomic.get t.stop_requested) do
+    match Unix.select [ t.fd ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | [], _, _ -> ()
+    | _ -> (
+        match Unix.accept t.fd with
+        | exception Unix.Unix_error (_, _, _) -> ()
+        | cfd, _ ->
+            Mutex.lock t.conns_m;
+            t.conns <- t.conns + 1;
+            Mutex.unlock t.conns_m;
+            ignore
+              (Thread.create
+                 (fun () ->
+                   Fun.protect
+                     ~finally:(fun () ->
+                       (try Unix.close cfd with Unix.Unix_error _ -> ());
+                       Mutex.lock t.conns_m;
+                       t.conns <- t.conns - 1;
+                       Condition.broadcast t.conns_cv;
+                       Mutex.unlock t.conns_m)
+                     (fun () -> handle_conn t cfd))
+                 ()))
+  done;
+  (* Drain: stop accepting, let open connections finish (their
+     in-flight and queued tasks included), then retire the workers. *)
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  Mutex.lock t.conns_m;
+  while t.conns > 0 do
+    Condition.wait t.conns_cv t.conns_m
+  done;
+  Mutex.unlock t.conns_m;
+  Pool.Shared.shutdown t.pool;
+  match t.listen with
+  | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
+  | Tcp _ -> ()

@@ -1,0 +1,62 @@
+(** The [cheffp serve] daemon (DESIGN.md §13).
+
+    A long-running analysis server: newline-delimited JSON requests
+    ({!Protocol}) over a Unix-domain or loopback TCP socket, one
+    systhread per connection for I/O, and every request executed as a
+    task on one shared {!Cheffp_util.Pool.Shared} domain pool — a
+    1000-candidate search and a quick analyze coexist because each
+    connection has its own work queue and the pool's admission policy
+    (priority, deadline, round-robin on ties) schedules across them.
+
+    Handlers run the same code paths as the CLI subcommands, against a
+    single long-lived builtins/derivative registry pair, so
+
+    - results are {e bit-identical} to one-shot [cheffp] runs on the
+      same inputs (the serve-smoke gate asserts this), and
+    - compilations cached by one request ({!Cheffp_ir.Compile_cache},
+      sharded) are hits for every later request on the same program —
+      the warm cross-request hit rate the server bench reports.
+
+    Per-request observability: each request runs under a
+    ["server.request"] root span whose completed subtree is extracted
+    with {!Cheffp_obs.Trace.take_tree} and streamed back to the client
+    (when the request sets [trace]); cache lookups are attributed via
+    {!Cheffp_ir.Compile_cache.with_attribution} (per-tenant hit-rate
+    metrics plus the per-request summary in every response); lifecycle
+    counters and latency histograms land in {!Registry}.
+
+    Admission: requests beyond [max_pending] queued tasks are rejected
+    immediately with an error response (the client can retry); a
+    [shutdown] request (or {!request_stop}) drains — no new
+    connections, queued and in-flight work completes, workers join. *)
+
+type t
+
+type listen = Unix_socket of string | Tcp of int
+(** Where to listen. [Tcp 0] binds an ephemeral loopback port — read it
+    back with {!port} (the smoke tests do). [Unix_socket path] replaces
+    any stale socket file at [path] and removes it on shutdown. *)
+
+val default_max_pending : int
+(** 256. *)
+
+val create : ?workers:int -> ?max_pending:int -> listen -> t
+(** Bind the socket and spawn the worker pool ([workers] defaults to
+    {!Cheffp_util.Pool.Shared.create}'s default). Also ignores SIGPIPE:
+    a client closing mid-response must not kill the daemon. *)
+
+val run : t -> unit
+(** Accept loop; returns after a shutdown request (or {!request_stop})
+    has drained the server. Call from the main thread. *)
+
+val request_stop : t -> unit
+(** Ask the accept loop to begin the drain (signal-handler safe: just
+    an atomic store). *)
+
+val port : t -> int option
+(** The bound TCP port ([None] for Unix sockets). *)
+
+val address : t -> string
+(** Human-readable bound address (socket path or [127.0.0.1:port]). *)
+
+val workers : t -> int

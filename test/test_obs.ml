@@ -3,7 +3,6 @@
    disabled path is inert and allocation-free, the compile cache LRU
    evicts and counts, and the parallel ADAPT walk is bit-identical. *)
 
-open Cheffp_ir
 module Trace = Cheffp_obs.Trace
 module Metrics = Cheffp_obs.Metrics
 module Export = Cheffp_obs.Export
@@ -312,22 +311,32 @@ let test_metrics_dump () =
 (* ------------------------------------------------------------------ *)
 (* Compile cache LRU                                                  *)
 
-let cache_src =
-  {|
-func f(x: f64): f64 {
-  var a: f64;
-  var b: f64;
-  a = x * x;
-  b = a + x;
-  return b;
-}
-|}
+(* The cache is sharded, so the bound applies per shard (the per-shard
+   capacities sum to max_entries). Deterministic LRU expectations need
+   keys that land on one shard; [same_shard_keys] brute-forces them via
+   the exposed [shard_of_key]. Recency within one shard is exact. *)
+type Compile_cache.artifact += Blob of int
 
 let test_lru_eviction () =
-  let prog = Parser.parse_program cache_src in
-  let compile vars =
-    let config = Config.demote_all Config.double vars Fp.F32 in
-    ignore (Compile_cache.compile ~config ~prog ~func:"f" ())
+  let same_shard_keys n =
+    let target = Compile_cache.shard_of_key "lru|seed" in
+    let rec go i acc =
+      if List.length acc >= n then List.rev acc
+      else
+        let k = Printf.sprintf "lru|%d" i in
+        go (i + 1)
+          (if Compile_cache.shard_of_key k = target then k :: acc else acc)
+    in
+    go 0 []
+  in
+  let built = ref 0 in
+  let get k =
+    Compile_cache.lookup_or ~key:k ~label:"lru" ~builtins:None
+      ~select:(function Blob v -> Some v | _ -> None)
+      ~inject:(fun v -> Blob v)
+      ~build:(fun () ->
+        incr built;
+        !built)
   in
   Compile_cache.clear ();
   Fun.protect
@@ -335,32 +344,208 @@ let test_lru_eviction () =
       Compile_cache.set_max_entries Compile_cache.default_max_entries;
       Compile_cache.clear ())
     (fun () ->
-      Compile_cache.set_max_entries 2;
-      compile [];
-      compile [ "a" ];
-      compile [ "b" ];
-      (* capacity 2: [] was least recently used and must be gone *)
+      match same_shard_keys 3 with
+      | [ ka; kb; kc ] ->
+          (* every shard gets capacity 2 *)
+          Compile_cache.set_max_entries (2 * Compile_cache.shards);
+          ignore (get ka);
+          ignore (get kb);
+          ignore (get kc);
+          (* shard capacity 2: [ka] was least recently used, gone *)
+          let s = Compile_cache.stats () in
+          Alcotest.(check int) "three misses" 3 s.Compile_cache.misses;
+          Alcotest.(check int) "one eviction" 1 s.Compile_cache.evictions;
+          Alcotest.(check int) "bounded size" 2 s.Compile_cache.size;
+          ignore (get kb);
+          let s = Compile_cache.stats () in
+          Alcotest.(check int) "recent entry still hits" 1 s.Compile_cache.hits;
+          ignore (get ka);
+          let s = Compile_cache.stats () in
+          Alcotest.(check int) "evicted entry rebuilds" 4 s.Compile_cache.misses;
+          Alcotest.(check int) "lookups reconcile" (s.Compile_cache.hits + s.Compile_cache.misses)
+            s.Compile_cache.lookups;
+          (* Touching [kb] made [kc] the LRU, then inserting [ka] evicted
+             it; shrinking every shard to capacity 1 keeps only the most
+             recent entry, [ka]. *)
+          Compile_cache.set_max_entries Compile_cache.shards;
+          let s = Compile_cache.stats () in
+          Alcotest.(check int) "shrinking evicts down to the bound" 1
+            s.Compile_cache.size;
+          let before = (Compile_cache.stats ()).Compile_cache.hits in
+          ignore (get ka);
+          let s = Compile_cache.stats () in
+          Alcotest.(check int) "survivor is the most recent" (before + 1)
+            s.Compile_cache.hits;
+          Alcotest.(check bool) "set_max_entries validates" true
+            (try
+               Compile_cache.set_max_entries 0;
+               false
+             with Invalid_argument _ -> true)
+      | _ -> Alcotest.fail "could not find same-shard keys")
+
+(* ------------------------------------------------------------------ *)
+(* Compile cache under concurrency                                    *)
+
+(* 4 domains hammer [lookup_or] over a key space larger than the bound,
+   so hits, misses and evictions all happen continuously, while the
+   main domain samples the lock-free [stats]. Invariants:
+   - no torn entries: a lookup under key k only ever returns k's value
+     (the per-key value is derived from the key, so sharing a slot with
+     another key would be visible immediately);
+   - hits + misses <= lookups at every concurrent sample, with
+     equality after the domains join;
+   - size <= max_entries at every sample and at the end. *)
+let stress_value i = 10_000 + (i * 7)
+
+let stress_get i =
+  let k = Printf.sprintf "stress|%d" i in
+  Compile_cache.lookup_or ~key:k ~label:"stress" ~builtins:None
+    ~select:(function Blob v -> Some v | _ -> None)
+    ~inject:(fun v -> Blob v)
+    ~build:(fun () -> stress_value i)
+
+let test_cache_concurrent_stress () =
+  let n_domains = 4 and iters = 4_000 and keyspace = 96 in
+  let bound = 4 * Compile_cache.shards in
+  Compile_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Compile_cache.set_max_entries Compile_cache.default_max_entries;
+      Compile_cache.clear ())
+    (fun () ->
+      Compile_cache.set_max_entries bound;
+      let torn = Atomic.make 0 in
+      let running = Atomic.make n_domains in
+      let domains =
+        List.init n_domains (fun d ->
+            Domain.spawn (fun () ->
+                (* Cheap deterministic per-domain key sequence, skewed
+                   so a hot subset re-hits while the cold tail churns
+                   evictions. *)
+                let state = ref (d + 1) in
+                for _ = 1 to iters do
+                  state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+                  let hot = !state land 3 <> 0 in
+                  let i =
+                    if hot then !state mod (bound / 2) else !state mod keyspace
+                  in
+                  if stress_get i <> stress_value i then Atomic.incr torn
+                done;
+                Atomic.decr running))
+      in
+      (* Sample the lock-free stats while the traffic is live. *)
+      while Atomic.get running > 0 do
+        let s = Compile_cache.stats () in
+        if s.Compile_cache.size > bound then
+          Alcotest.failf "size %d exceeds bound %d mid-flight"
+            s.Compile_cache.size bound;
+        if s.Compile_cache.hits + s.Compile_cache.misses > s.Compile_cache.lookups
+        then
+          Alcotest.failf "hits %d + misses %d > lookups %d mid-flight"
+            s.Compile_cache.hits s.Compile_cache.misses s.Compile_cache.lookups;
+        Domain.cpu_relax ()
+      done;
+      List.iter Domain.join domains;
+      Alcotest.(check int) "no torn entries" 0 (Atomic.get torn);
       let s = Compile_cache.stats () in
-      Alcotest.(check int) "three misses" 3 s.Compile_cache.misses;
-      Alcotest.(check int) "one eviction" 1 s.Compile_cache.evictions;
-      Alcotest.(check int) "bounded size" 2 s.Compile_cache.size;
-      compile [ "a" ];
+      Alcotest.(check int) "every lookup accounted"
+        (n_domains * iters) s.Compile_cache.lookups;
+      Alcotest.(check int) "hits + misses = lookups at quiescence"
+        s.Compile_cache.lookups
+        (s.Compile_cache.hits + s.Compile_cache.misses);
+      Alcotest.(check bool) "evictions happened" true
+        (s.Compile_cache.evictions > 0);
+      Alcotest.(check bool) "hits happened" true (s.Compile_cache.hits > 0);
+      Alcotest.(check bool) "bounded at rest" true
+        (s.Compile_cache.size <= bound))
+
+(* Regression for the resize satellite: [set_max_entries] must stay
+   atomic per shard while lookups are in flight — entries already
+   returned to readers stay valid, the bound is enforced, and the
+   statistics reconcile exactly once the traffic drains. *)
+let test_cache_resize_under_traffic () =
+  let n_domains = 3 and iters = 3_000 and keyspace = 64 in
+  let bounds =
+    [| Compile_cache.shards; 4 * Compile_cache.shards; 2 * Compile_cache.shards;
+       8 * Compile_cache.shards |]
+  in
+  let largest = Array.fold_left max 1 bounds in
+  Compile_cache.clear ();
+  Fun.protect
+    ~finally:(fun () ->
+      Compile_cache.set_max_entries Compile_cache.default_max_entries;
+      Compile_cache.clear ())
+    (fun () ->
+      Compile_cache.set_max_entries largest;
+      let torn = Atomic.make 0 in
+      let running = Atomic.make n_domains in
+      let domains =
+        List.init n_domains (fun d ->
+            Domain.spawn (fun () ->
+                let state = ref (d + 17) in
+                for _ = 1 to iters do
+                  state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+                  let i = !state mod keyspace in
+                  if stress_get i <> stress_value i then Atomic.incr torn
+                done;
+                Atomic.decr running))
+      in
+      (* Resize continuously under the concurrent traffic. *)
+      let flips = ref 0 in
+      while Atomic.get running > 0 do
+        Compile_cache.set_max_entries bounds.(!flips mod Array.length bounds);
+        incr flips;
+        let s = Compile_cache.stats () in
+        if s.Compile_cache.size > largest then
+          Alcotest.failf "size %d exceeds largest bound %d during resize"
+            s.Compile_cache.size largest
+      done;
+      List.iter Domain.join domains;
+      Alcotest.(check int) "no torn entries across resizes" 0 (Atomic.get torn);
       let s = Compile_cache.stats () in
-      Alcotest.(check int) "recent entry still hits" 1 s.Compile_cache.hits;
-      compile [];
+      Alcotest.(check int) "stats reconcile after resize storm"
+        s.Compile_cache.lookups
+        (s.Compile_cache.hits + s.Compile_cache.misses);
+      (* A final shrink enforces the small bound exactly. *)
+      Compile_cache.set_max_entries Compile_cache.shards;
       let s = Compile_cache.stats () in
-      Alcotest.(check int) "evicted entry recompiles" 4 s.Compile_cache.misses;
-      (* Touching [a] made [b] the LRU: shrinking to 1 keeps [a]. *)
-      compile [ "a" ];
-      Compile_cache.set_max_entries 1;
-      let s = Compile_cache.stats () in
-      Alcotest.(check int) "shrinking evicts down to the bound" 1
-        s.Compile_cache.size;
-      Alcotest.(check bool) "set_max_entries validates" true
-        (try
-           Compile_cache.set_max_entries 0;
-           false
-         with Invalid_argument _ -> true))
+      Alcotest.(check bool) "final shrink enforced" true
+        (s.Compile_cache.size <= Compile_cache.shards))
+
+(* Histogram updates must be domain-safe: concurrent observers may not
+   lose bucket increments, and the derived count must equal the number
+   of observe calls exactly once the observers join. Values are exact
+   binary fractions so the CAS-accumulated sum is order-independent. *)
+let test_histogram_concurrent () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[| 1.; 2. |] "stress.h" in
+  let c = Metrics.counter "stress.c" in
+  let n_domains = 4 and per_value = 2_000 in
+  let values = [| 0.5; 1.5; 5.0 |] in
+  let domains =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_value * Array.length values do
+              Metrics.observe h values.(i mod Array.length values);
+              Metrics.incr c
+            done))
+  in
+  List.iter Domain.join domains;
+  let total = n_domains * per_value * Array.length values in
+  Alcotest.(check int) "counter total" total (Metrics.counter_value c);
+  Alcotest.(check int) "histogram count = observe calls" total
+    (Metrics.histogram_count h);
+  Alcotest.(check (float 0.)) "histogram sum exact"
+    (float_of_int (n_domains * per_value) *. (0.5 +. 1.5 +. 5.0))
+    (Metrics.histogram_sum h);
+  (match List.assoc_opt "stress.h" (Metrics.snapshot ()) with
+  | Some (Metrics.Histogram { counts; _ }) ->
+      Alcotest.(check (array int))
+        "per-bucket counts"
+        [| n_domains * per_value; n_domains * per_value; n_domains * per_value |]
+        counts
+  | _ -> Alcotest.fail "stress.h missing from snapshot");
+  Metrics.reset ()
 
 (* ------------------------------------------------------------------ *)
 (* Parallel ADAPT walk                                                *)
@@ -434,6 +619,12 @@ let () =
       ( "instrumented",
         [
           Alcotest.test_case "compile cache LRU" `Quick test_lru_eviction;
+          Alcotest.test_case "compile cache 4-domain stress" `Quick
+            test_cache_concurrent_stress;
+          Alcotest.test_case "compile cache resize under traffic" `Quick
+            test_cache_resize_under_traffic;
+          Alcotest.test_case "histogram concurrent observers" `Quick
+            test_histogram_concurrent;
           Alcotest.test_case "adapt parallel walk bit-identical" `Quick
             test_adapt_parallel_identical;
         ] );

@@ -364,6 +364,161 @@ let test_pool_edge_cases () =
     (Pool.parallel_map ~jobs:64 (fun x -> x + 1) [ 1; 2 ]);
   Alcotest.(check bool) "default_jobs at least 1" true (Pool.default_jobs () >= 1)
 
+(* ------------------------------------------------------------------ *)
+(* Pool.Shared (the serve daemon's work-stealing request pool)        *)
+
+let test_shared_basic () =
+  let p = Pool.Shared.create ~workers:2 () in
+  let sub = Pool.Shared.add_submitter p in
+  let futs = List.init 100 (fun i -> Pool.Shared.submit p sub (fun () -> i * i)) in
+  List.iteri
+    (fun i f ->
+      match Pool.Shared.await f with
+      | Ok v -> Alcotest.(check int) "task result" (i * i) v
+      | Error e -> Alcotest.fail (Printexc.to_string e))
+    futs;
+  Pool.Shared.drain p;
+  Alcotest.(check int) "drained queue" 0 (Pool.Shared.queue_depth p);
+  Alcotest.(check int) "nothing in flight" 0 (Pool.Shared.in_flight p);
+  (* Exceptions resolve the future, they do not kill the worker. *)
+  (match Pool.Shared.await (Pool.Shared.submit p sub (fun () -> raise (Boom 3))) with
+  | Error (Boom 3) -> ()
+  | _ -> Alcotest.fail "expected Boom to surface through await");
+  (match
+     Pool.Shared.await (Pool.Shared.submit p sub (fun () -> "still alive"))
+   with
+  | Ok s -> Alcotest.(check string) "worker survived" "still alive" s
+  | Error e -> Alcotest.fail (Printexc.to_string e));
+  Pool.Shared.remove_submitter p sub;
+  Pool.Shared.shutdown p;
+  Alcotest.(check bool) "submit after shutdown raises" true
+    (try
+       ignore (Pool.Shared.submit p sub Fun.id);
+       false
+     with Failure _ -> true)
+
+(* A single gated worker makes dispatch order observable: while the
+   gate task occupies the only worker, everything else queues, and the
+   release order is exactly the admission policy's. *)
+let with_gated_worker f =
+  let p = Pool.Shared.create ~workers:1 () in
+  let gate_m = Mutex.create () and gate_cv = Condition.create () in
+  let open_ = ref false in
+  let sub = Pool.Shared.add_submitter p in
+  let gate =
+    Pool.Shared.submit p sub (fun () ->
+        Mutex.lock gate_m;
+        while not !open_ do
+          Condition.wait gate_cv gate_m
+        done;
+        Mutex.unlock gate_m)
+  in
+  (* Wait until the gate task actually occupies the worker (queue
+     empty, task active), so later submissions cannot jump ahead of
+     each other via an idle worker. *)
+  while Pool.Shared.queue_depth p > 0 do
+    Domain.cpu_relax ()
+  done;
+  let release () =
+    Mutex.lock gate_m;
+    open_ := true;
+    Condition.broadcast gate_cv;
+    Mutex.unlock gate_m;
+    ignore (Pool.Shared.await gate)
+  in
+  let r = f p sub release in
+  Pool.Shared.shutdown p;
+  r
+
+let test_shared_priority_deadline () =
+  with_gated_worker (fun p sub release ->
+      let order_m = Mutex.create () in
+      let order = ref [] in
+      let mark name () =
+        Mutex.lock order_m;
+        order := name :: !order;
+        Mutex.unlock order_m
+      in
+      let now = Unix.gettimeofday () in
+      (* Bindings force submission (seq) order — a list literal would
+         evaluate its elements right to left. *)
+      let f1 = Pool.Shared.submit p sub ~priority:0 (mark "low-early") in
+      let f2 =
+        Pool.Shared.submit p sub ~priority:0 ~deadline:(now +. 1.)
+          (mark "deadline-tight")
+      in
+      let f3 =
+        Pool.Shared.submit p sub ~priority:0 ~deadline:(now +. 9.)
+          (mark "deadline-loose")
+      in
+      let f4 = Pool.Shared.submit p sub ~priority:5 (mark "high-late") in
+      let futs = [ f1; f2; f3; f4 ] in
+      release ();
+      List.iter (fun f -> ignore (Pool.Shared.await f)) futs;
+      (* Priority beats submission order; among equal priorities an
+         earlier deadline beats a later one beats none (infinity);
+         untied leftovers keep submission order. *)
+      Alcotest.(check (list string))
+        "admission order: priority, then deadline, then seq"
+        [ "high-late"; "deadline-tight"; "deadline-loose"; "low-early" ]
+        (List.rev !order))
+
+let test_shared_round_robin () =
+  with_gated_worker (fun p _gate_sub release ->
+      let a = Pool.Shared.add_submitter p in
+      let b = Pool.Shared.add_submitter p in
+      let order_m = Mutex.create () in
+      let order = ref [] in
+      let mark name () =
+        Mutex.lock order_m;
+        order := name :: !order;
+        Mutex.unlock order_m
+      in
+      (* Bindings force submission (seq) order — a list literal would
+         evaluate its elements right to left. *)
+      let fa1 = Pool.Shared.submit p a (mark "a1") in
+      let fa2 = Pool.Shared.submit p a (mark "a2") in
+      let fb1 = Pool.Shared.submit p b (mark "b1") in
+      let fb2 = Pool.Shared.submit p b (mark "b2") in
+      let futs = [ fa1; fa2; fb1; fb2 ] in
+      release ();
+      List.iter (fun f -> ignore (Pool.Shared.await f)) futs;
+      (* Equal priorities: the rotating scan alternates between the two
+         queues instead of draining the flooded one first — a queue
+         only delays its own tasks. *)
+      let got = List.rev !order in
+      Alcotest.(check bool)
+        (Printf.sprintf "round-robin across submitters (got %s)"
+           (String.concat "," got))
+        true
+        (got = [ "a1"; "b1"; "a2"; "b2" ] || got = [ "b1"; "a1"; "b2"; "a2" ]);
+      Pool.Shared.remove_submitter p a;
+      Pool.Shared.remove_submitter p b)
+
+let test_shared_cancel_on_remove () =
+  with_gated_worker (fun p _gate_sub release ->
+      let doomed = Pool.Shared.add_submitter p in
+      let ran = Atomic.make 0 in
+      let futs =
+        List.init 5 (fun _ ->
+            Pool.Shared.submit p doomed (fun () -> Atomic.incr ran))
+      in
+      Alcotest.(check int) "tasks queued behind the gate" 5
+        (Pool.Shared.queue_depth p);
+      Pool.Shared.remove_submitter p doomed;
+      Alcotest.(check int) "queue emptied by removal" 0
+        (Pool.Shared.queue_depth p);
+      List.iter
+        (fun f ->
+          match Pool.Shared.await f with
+          | Error Pool.Shared.Cancelled -> ()
+          | Ok _ -> Alcotest.fail "cancelled task ran"
+          | Error e -> Alcotest.fail (Printexc.to_string e))
+        futs;
+      release ();
+      Pool.Shared.drain p;
+      Alcotest.(check int) "no cancelled task executed" 0 (Atomic.get ran))
+
 let () =
   Alcotest.run "util"
     [
@@ -425,5 +580,12 @@ let () =
           Alcotest.test_case "exception propagation" `Quick
             test_pool_exception_propagation;
           Alcotest.test_case "edge cases" `Quick test_pool_edge_cases;
+          Alcotest.test_case "shared pool basics" `Quick test_shared_basic;
+          Alcotest.test_case "shared pool priority/deadline" `Quick
+            test_shared_priority_deadline;
+          Alcotest.test_case "shared pool round-robin fairness" `Quick
+            test_shared_round_robin;
+          Alcotest.test_case "shared pool cancel on remove" `Quick
+            test_shared_cancel_on_remove;
         ] );
     ]

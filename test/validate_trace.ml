@@ -2,6 +2,7 @@
    optionally a --metrics dump) emitted by the cheffp CLI.
 
      validate_trace trace.jsonl [--require a,b,c] [--metrics dump.txt]
+                    [--forest N]
 
    Verifies, with a self-contained JSON parser (no JSON library in the
    build environment, and the point is to validate our own emitter
@@ -10,7 +11,10 @@
    - ids are unique and increasing, parents precede children;
    - every non-root parent exists, and parent spans cover their
      children's [start_ns, end_ns] on the trace clock;
-   - exactly one root span, and it covers every other span;
+   - exactly one root span covering every other span — or, with
+     --forest N, exactly N root spans (the server's per-request trees:
+     one "server.request" root per request) each covering its own
+     subtree, with no span crossing between trees;
    - every --require name occurs as a span/event name.
 
    With --metrics, the dump must contain the compile-cache counters and
@@ -204,6 +208,7 @@ let span_of_line lineno line =
 
 let () =
   let trace_file = ref None and metrics_file = ref None and required = ref [] in
+  let forest = ref None in
   let rec parse_args = function
     | [] -> ()
     | "--require" :: names :: rest ->
@@ -211,6 +216,11 @@ let () =
         parse_args rest
     | "--metrics" :: file :: rest ->
         metrics_file := Some file;
+        parse_args rest
+    | "--forest" :: count :: rest ->
+        (match int_of_string_opt count with
+        | Some n when n >= 1 -> forest := Some n
+        | _ -> fail "--forest expects a positive count");
         parse_args rest
     | file :: rest ->
         trace_file := Some file;
@@ -245,16 +255,33 @@ let () =
   List.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
   (* parentage: roots and containment *)
   let roots = List.filter (fun s -> s.parent = -1) spans in
-  (match roots with
-  | [ _ ] -> ()
-  | l -> fail "expected exactly one root span, found %d" (List.length l));
-  let root = List.hd roots in
+  let expected_roots = match !forest with Some n -> n | None -> 1 in
+  if List.length roots <> expected_roots then
+    fail "expected exactly %d root span(s), found %d" expected_roots
+      (List.length roots);
+  (* Each span belongs to the tree of the root its parent chain reaches;
+     with --forest, containment is checked against that root (trees must
+     be disjoint — a parent in another tree fails the chain walk). *)
+  let root_of = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace root_of r.id r) roots;
+  let rec resolve_root s =
+    match Hashtbl.find_opt root_of s.id with
+    | Some r -> r
+    | None -> (
+        match Hashtbl.find_opt by_id s.parent with
+        | None -> fail "span %d: parent %d not in trace" s.id s.parent
+        | Some p ->
+            let r = resolve_root p in
+            Hashtbl.replace root_of s.id r;
+            r)
+  in
   List.iter
     (fun s ->
       (match s.kind with
       | "span" | "event" -> ()
       | k -> fail "span %d: unknown kind %S" s.id k);
       if s.end_ns < s.start_ns then fail "span %d ends before it starts" s.id;
+      let root = resolve_root s in
       if s.id <> root.id then begin
         let p =
           match Hashtbl.find_opt by_id s.parent with
@@ -265,7 +292,7 @@ let () =
         if not (p.start_ns <= s.start_ns && s.end_ns <= p.end_ns) then
           fail "span %d (%s) escapes its parent %d (%s)" s.id s.name p.id p.name;
         if not (root.start_ns <= s.start_ns && s.end_ns <= root.end_ns) then
-          fail "span %d (%s) escapes the root" s.id s.name
+          fail "span %d (%s) escapes its root" s.id s.name
       end)
     spans;
   (* required phase names *)
@@ -298,7 +325,16 @@ let () =
           "compile_cache.evictions"; "pool.tasks"; "pool.worker.0.tasks";
         ])
     !metrics_file;
-  Printf.printf
-    "validate_trace: OK — %d span(s), root %S covers all, required phases \
-     present\n"
-    (List.length spans) root.name
+  match roots with
+  | [ root ] ->
+      Printf.printf
+        "validate_trace: OK — %d span(s), root %S covers all, required \
+         phases present\n"
+        (List.length spans) root.name
+  | roots ->
+      Printf.printf
+        "validate_trace: OK — %d span(s) in %d disjoint tree(s) (%s), \
+         required phases present\n"
+        (List.length spans) (List.length roots)
+        (String.concat ", "
+           (List.sort_uniq compare (List.map (fun s -> s.name) roots)))
