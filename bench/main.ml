@@ -9,15 +9,16 @@
      dune exec bench/main.exe -- -j 4 fig4    # sweep points on 4 domains
      ids: table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9
           ablation-inline ablation-opt ablation-precision ablation-activity
-          ablation-search perf-search smoke serve-bench batch-smoke
-          model-smoke bechamel all *)
+          ablation-search perf-search smoke serve-bench telemetry-bench
+          batch-smoke model-smoke bechamel all *)
 
 let usage () =
   print_endline
     "usage: main.exe [-j N] [table1|table2|table3|table4|fig4|fig5|fig6|fig7|\n\
     \                 fig8|fig9|ablation-inline|ablation-opt|ablation-precision|\n\
     \                 ablation-activity|ablation-search|perf-search|smoke|\n\
-    \                 serve-bench|batch-smoke|model-smoke|bechamel|all]\n\
+    \                 serve-bench|telemetry-bench|batch-smoke|model-smoke|\n\
+    \                 bechamel|all]\n\
      -j N   worker domains for parallel sweeps / candidate evaluation\n\
     \        (default: Domain.recommended_domain_count () - 1, min 1)";
   exit 1
@@ -66,13 +67,40 @@ let serve_bench () =
   Perf.print_server sv;
   if not (serve_block_ok sv) then exit 1
 
+(* Gates on the BENCH_search.json "telemetry" block: every mid-traffic
+   scrape (stats / Prometheus / traces) answered sanely with a
+   non-empty exposition, and — on real multi-core hosts only (on one
+   CPU the ticker thread and the measured requests time-slice each
+   other, so the delta measures scheduling noise) — enabled-telemetry
+   throughput within 5% of the disabled daemon. *)
+let telemetry_block_ok (tl : Perf.telemetry_block) =
+  let delta = Perf.telemetry_delta_pct tl in
+  let scrapes_ok = tl.Perf.tl_scrapes_ok && tl.Perf.tl_prom_bytes > 0 in
+  let delta_ok = Domain.recommended_domain_count () < 2 || delta <= 5.0 in
+  Printf.printf
+    "telemetry gates: mid-traffic scrapes sane with non-empty exposition: \
+     %b; enabled within 5%% of disabled (multi-core hosts): %b (%+.2f%%)\n"
+    scrapes_ok delta_ok delta;
+  scrapes_ok && delta_ok
+
+(* `dune build @telemetry-smoke` runs this after the in-process smoke:
+   the telemetry bench block itself is a gate, at tiny workload sizes. *)
+let telemetry_bench () =
+  let tl =
+    Perf.telemetry_bench ~rounds:2
+      ~workloads:(Perf.batch_workloads ~small:true ())
+      ()
+  in
+  Perf.print_telemetry tl;
+  if not (telemetry_block_ok tl) then exit 1
+
 (* Tiny-size smoke pass (seconds, not minutes): exercises the sweep
    plumbing, the parallel search path and the compile cache so
    `dune build @bench-smoke` gives CI-style coverage of the harness. *)
 let smoke ~jobs () =
   let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
   ignore sweep;
-  let rows, batch, model, soundness, server =
+  let rows, batch, model, soundness, server, telemetry =
     Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
       ~workloads:(Perf.smoke_workloads ()) ~small_soundness:true ()
   in
@@ -98,18 +126,19 @@ let smoke ~jobs () =
       model
   in
   let server_ok = serve_block_ok server in
+  let telemetry_ok = telemetry_block_ok telemetry in
   Printf.printf
     "smoke: outcomes identical across jobs (incl. instrumented): %b; \
      batched search outcomes identical to scalar: %b; cache hits on every \
      workload: %b; traced phases + pool metrics present: %b; \
      disabled-instrumentation overhead < 2%%: %b; estimate sound on every \
      benchmark: %b; hybrid = measured set with fewer executions: %b; \
-     server block gates pass: %b\n"
-    ok batch_ok hits traced overhead_ok sound model_ok server_ok;
+     server block gates pass: %b; telemetry block gates pass: %b\n"
+    ok batch_ok hits traced overhead_ok sound model_ok server_ok telemetry_ok;
   if
     not
       (ok && batch_ok && hits && traced && overhead_ok && sound && model_ok
-     && server_ok)
+     && server_ok && telemetry_ok)
   then exit 1
 
 (* Batched-search smoke (`dune build @batch-smoke`): tiny batched
@@ -228,6 +257,7 @@ let () =
   | "perf-search" -> ignore (Perf.search_bench ~jobs:(max jobs 2) ())
   | "smoke" -> smoke ~jobs ()
   | "serve-bench" -> serve_bench ()
+  | "telemetry-bench" -> telemetry_bench ()
   | "batch-smoke" -> batch_smoke ()
   | "model-smoke" -> model_smoke ()
   | "suite" -> Tables.suite ()

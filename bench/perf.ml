@@ -864,6 +864,196 @@ let print_server b =
       "(single-core host: concurrent requests time-slice one CPU, so the \
        concurrent >= sequential throughput expectation is skipped)\n"
 
+(* ------------------------------------------------------------------ *)
+(* Continuous telemetry (DESIGN.md §14): what the always-on layer costs.
+   Two daemons run the same warm analyze workload — one with telemetry
+   (span recording, tail retention, window ticker), one with
+   --no-telemetry semantics — and the block records the wall-clock
+   delta, best-of-rounds per mode to damp scheduler noise. Analyze
+   requests are the unit: heavy enough to be a real request, light
+   enough that per-request telemetry work would register. The block
+   also prices a scrape: mean client-observed latency of stats /
+   Prometheus metrics / traces requests issued mid-traffic (a second
+   connection keeps analyze requests flowing while the first scrapes,
+   the acceptance setting: a live daemon answering without restart). *)
+
+type telemetry_block = {
+  tl_requests : int;  (** timed analyze requests per round *)
+  tl_rounds : int;  (** rounds per mode; best round is kept *)
+  tl_enabled_s : float;  (** best-of-rounds wall clock, telemetry on *)
+  tl_disabled_s : float;  (** same, telemetry off *)
+  tl_stats_us : float;  (** mean stats scrape latency *)
+  tl_prom_us : float;  (** mean Prometheus metrics scrape latency *)
+  tl_traces_us : float;  (** mean traces scrape latency *)
+  tl_prom_bytes : int;  (** one Prometheus exposition payload *)
+  tl_scrapes_ok : bool;  (** every mid-traffic scrape answered sanely *)
+}
+
+let telemetry_delta_pct b =
+  if b.tl_disabled_s > 0. then
+    (b.tl_enabled_s -. b.tl_disabled_s) /. b.tl_disabled_s *. 100.
+  else 0.
+
+let analyze_request ~id w =
+  Client.request ~id ~cmd:"analyze"
+    [
+      ("program", Sjson.Str (Cheffp_ir.Pp.program_to_string w.prog));
+      ("func", Sjson.Str w.func);
+      ( "args",
+        Sjson.List (List.map (fun a -> Sjson.Str (arg_string a)) w.args) );
+      ("tenant", Sjson.Str "bench");
+    ]
+
+let telemetry_bench ?(workers = 2) ?(rounds = 3) ?(passes = 4)
+    ?(workloads = batch_workloads ~small:true ()) () =
+  Gc.compact ();
+  let next_id = Atomic.make 1 in
+  let fresh_id () = Atomic.fetch_and_add next_id 1 in
+  let run_mode ~telemetry =
+    Compile_cache.clear ();
+    Compile_cache.reset_stats ();
+    (* A traced earlier bench stage may have left span recording on;
+       the disabled mode must measure the real --no-telemetry path. *)
+    if not telemetry then Cheffp_obs.Trace.set_enabled false;
+    let srv =
+      Server.create ~workers ~telemetry ~window_epochs:4 ~window_epoch_s:0.5
+        (Server.Tcp 0)
+    in
+    let port = Option.get (Server.port srv) in
+    let accept = Thread.create Server.run srv in
+    let connect () = Client.retry_connect (fun () -> Client.connect_tcp port) in
+    let conn = connect () in
+    let do_req c w =
+      ignore (expect_ok (Client.rpc c (analyze_request ~id:(fresh_id ()) w)))
+    in
+    (* Cold pass caches every compile; the timed rounds are warm. *)
+    List.iter (do_req conn) workloads;
+    let best = ref infinity in
+    for _ = 1 to rounds do
+      let (), s =
+        Meter.time (fun () ->
+            for _ = 1 to passes do
+              List.iter (do_req conn) workloads
+            done)
+      in
+      if s < !best then best := s
+    done;
+    let scrapes =
+      if not telemetry then None
+      else begin
+        (* Scrape while a second connection keeps traffic flowing. *)
+        let stop = Atomic.make false in
+        let bg =
+          Thread.create
+            (fun () ->
+              let c = connect () in
+              while not (Atomic.get stop) do
+                do_req c (List.hd workloads)
+              done;
+              Client.close c)
+            ()
+        in
+        let ok = ref true in
+        let scrape cmd fields check =
+          let resp, s =
+            Meter.time (fun () ->
+                Client.rpc conn (Client.request ~id:(fresh_id ()) ~cmd fields))
+          in
+          (match Sjson.to_bool_opt (Sjson.member "ok" resp) with
+          | Some true -> if not (check resp) then ok := false
+          | _ -> ok := false);
+          s *. 1e6
+        in
+        let mean f =
+          let n = 5 in
+          let t = ref 0. in
+          for _ = 1 to n do
+            t := !t +. f ()
+          done;
+          !t /. float_of_int n
+        in
+        let stats_us =
+          mean (fun () ->
+              scrape "stats" [] (fun r ->
+                  let res = Sjson.member "result" r in
+                  Sjson.to_bool_opt (Sjson.member "telemetry" res) = Some true
+                  && Option.value ~default:(-1.)
+                       (Sjson.to_float_opt (Sjson.member "window_s" res))
+                     >= 0.))
+        in
+        let prom_bytes = ref 0 in
+        let prom_us =
+          mean (fun () ->
+              scrape "metrics"
+                [ ("format", Sjson.Str "prometheus") ]
+                (fun r ->
+                  match
+                    Sjson.to_string_opt
+                      (Sjson.member "metrics" (Sjson.member "result" r))
+                  with
+                  | Some body ->
+                      prom_bytes := String.length body;
+                      String.length body > 0
+                  | None -> false))
+        in
+        let traces_us =
+          mean (fun () ->
+              scrape "traces" [] (fun r ->
+                  match
+                    Sjson.member "slowest" (Sjson.member "result" r)
+                  with
+                  | Sjson.List _ -> true
+                  | _ -> false))
+        in
+        Atomic.set stop true;
+        Thread.join bg;
+        Some (stats_us, prom_us, traces_us, !prom_bytes, !ok)
+      end
+    in
+    ignore
+      (Client.rpc conn (Client.request ~id:(fresh_id ()) ~cmd:"shutdown" []));
+    Client.close conn;
+    Thread.join accept;
+    (!best, scrapes)
+  in
+  let disabled_s, _ = run_mode ~telemetry:false in
+  let enabled_s, scrapes = run_mode ~telemetry:true in
+  (* The telemetry-on daemon turns span recording on; later stages (the
+     disabled-path probe in [write_json]) need it off again. *)
+  Cheffp_obs.Trace.set_enabled false;
+  let stats_us, prom_us, traces_us, prom_bytes, scrapes_ok =
+    match scrapes with
+    | Some s -> s
+    | None -> (0., 0., 0., 0, false)
+  in
+  {
+    tl_requests = passes * List.length workloads;
+    tl_rounds = rounds;
+    tl_enabled_s = enabled_s;
+    tl_disabled_s = disabled_s;
+    tl_stats_us = stats_us;
+    tl_prom_us = prom_us;
+    tl_traces_us = traces_us;
+    tl_prom_bytes = prom_bytes;
+    tl_scrapes_ok = scrapes_ok;
+  }
+
+let print_telemetry b =
+  Printf.printf
+    "telemetry: %d warm analyze requests/round (best of %d): enabled %.3f \
+     s, disabled %.3f s (delta %+.2f%%)\n"
+    b.tl_requests b.tl_rounds b.tl_enabled_s b.tl_disabled_s
+    (telemetry_delta_pct b);
+  Printf.printf
+    "scrape cost mid-traffic: stats %.0f us, prometheus %.0f us (%d \
+     bytes), traces %.0f us; scrapes sane: %b\n"
+    b.tl_stats_us b.tl_prom_us b.tl_prom_bytes b.tl_traces_us b.tl_scrapes_ok;
+  if Domain.recommended_domain_count () < 2 then
+    Printf.printf
+      "(single-core host: the window ticker and the measured requests \
+       time-slice one CPU, so the <= 5%% enabled-vs-disabled gate is \
+       skipped — re-run on a multi-core host for the delta)\n"
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -875,7 +1065,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~soundness ~batch ~model ~server rows =
+let write_json ~path ~soundness ~batch ~model ~server ~telemetry rows =
   let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
@@ -1028,6 +1218,32 @@ let write_json ~path ~soundness ~batch ~model ~server rows =
     server.sv_rows;
   pf "    ]\n";
   pf "  },\n";
+  pf "  \"telemetry\": {\n";
+  pf "    \"description\": \"continuous telemetry cost (DESIGN.md \
+      S14): same warm analyze workload through a telemetry-on and a \
+      --no-telemetry daemon (best-of-rounds wall clock), plus the \
+      client-observed cost of stats / Prometheus / traces scrapes \
+      issued while requests flow on a second connection\",\n";
+  pf "    \"requests_per_round\": %d,\n" telemetry.tl_requests;
+  pf "    \"rounds_per_mode\": %d,\n" telemetry.tl_rounds;
+  pf "    \"seconds_enabled\": %.6f,\n" telemetry.tl_enabled_s;
+  pf "    \"seconds_disabled\": %.6f,\n" telemetry.tl_disabled_s;
+  pf "    \"enabled_over_disabled_delta_pct\": %.3f,\n"
+    (telemetry_delta_pct telemetry);
+  pf "    \"delta_budget_pct\": 5.0,\n";
+  pf "    \"stats_scrape_us\": %.1f,\n" telemetry.tl_stats_us;
+  pf "    \"prometheus_scrape_us\": %.1f,\n" telemetry.tl_prom_us;
+  pf "    \"prometheus_bytes\": %d,\n" telemetry.tl_prom_bytes;
+  pf "    \"traces_scrape_us\": %.1f,\n" telemetry.tl_traces_us;
+  pf "    \"scrapes_ok_mid_traffic\": %b%s\n" telemetry.tl_scrapes_ok
+    (if Domain.recommended_domain_count () < 2 then "," else "");
+  (if Domain.recommended_domain_count () < 2 then
+     pf
+       "    \"note\": \"single-core host: the ticker thread and the \
+        measured requests time-slice one CPU, so the delta measures \
+        scheduling noise, not telemetry cost — the <= 5%% budget only \
+        applies on multi-core hosts\"\n");
+  pf "  },\n";
   pf "  \"soundness\": {\n";
   pf "    \"mode\": \"extended\",\n";
   pf "    \"margin\": 1.0,\n";
@@ -1137,6 +1353,12 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
     server_bench ~workloads:(batch_workloads ~small:small_soundness ()) ()
   in
   print_server server;
-  write_json ~path:out ~soundness ~batch ~model ~server rows;
+  Printf.printf
+    "\n== Continuous telemetry: enabled vs disabled daemon, scrape cost ==\n";
+  let telemetry =
+    telemetry_bench ~workloads:(batch_workloads ~small:small_soundness ()) ()
+  in
+  print_telemetry telemetry;
+  write_json ~path:out ~soundness ~batch ~model ~server ~telemetry rows;
   Printf.printf "wrote %s\n" out;
-  (rows, batch, model, soundness, server)
+  (rows, batch, model, soundness, server, telemetry)

@@ -572,9 +572,13 @@ let adapt_cmd =
 
 let serve_cmd =
   let module Server = Cheffp_server.Server in
-  let run socket port workers max_pending metrics =
+  let run socket port workers max_pending metrics no_telemetry window_epochs
+      epoch_seconds tail_slowest tail_errors =
     wrap (fun () ->
         if metrics then Metrics.set_enabled true;
+        (* Windowed latency quantiles need the timing histograms, so
+           telemetry implies the metrics registry. *)
+        if not no_telemetry then Metrics.set_enabled true;
         let listen =
           match (socket, port) with
           | Some path, None -> Server.Unix_socket path
@@ -582,7 +586,11 @@ let serve_cmd =
           | None, None -> Server.Unix_socket "cheffp.sock"
           | Some _, Some _ -> failwith "pass either --socket or --port, not both"
         in
-        let srv = Server.create ?workers ~max_pending listen in
+        let srv =
+          Server.create ?workers ~max_pending ~telemetry:(not no_telemetry)
+            ~window_epochs ~window_epoch_s:epoch_seconds ~tail_slowest
+            ~tail_errors listen
+        in
         let stop _ = Server.request_stop srv in
         (try Sys.set_signal Sys.sigint (Sys.Signal_handle stop)
          with Invalid_argument _ -> ());
@@ -632,19 +640,249 @@ let serve_cmd =
       & info [ "metrics" ]
           ~doc:"Enable the metrics registry and dump it after the drain.")
   in
+  let no_telemetry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Disable continuous telemetry (window ticker, tail trace \
+             retention, per-request span recording). stats/traces \
+             requests still answer, with empty windows.")
+  in
+  let window_epochs_arg =
+    Arg.(
+      value & opt int 12
+      & info [ "window-epochs" ] ~docv:"N"
+          ~doc:"Sliding-window ring size: $(docv) epoch snapshots.")
+  in
+  let epoch_seconds_arg =
+    Arg.(
+      value & opt float 5.
+      & info [ "epoch-seconds" ] ~docv:"S"
+          ~doc:
+            "Seconds between epoch snapshots; the stats window covers \
+             up to window-epochs x $(docv) seconds.")
+  in
+  let tail_slowest_arg =
+    Arg.(
+      value & opt int 16
+      & info [ "tail-slowest" ] ~docv:"K"
+          ~doc:"Retain the $(docv) slowest request traces.")
+  in
+  let tail_errors_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "tail-errors" ] ~docv:"N"
+          ~doc:"Retain the most recent $(docv) error request traces.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the long-lived analysis server: newline-delimited JSON \
           requests (analyze, tune, search, validate, ping, metrics, \
-          shutdown) over a Unix or loopback TCP socket, executed \
-          concurrently on a shared worker-domain pool with per-request \
-          tracing and a cross-request compile cache. Results are \
-          bit-identical to the one-shot subcommands.")
+          stats, traces, shutdown) over a Unix or loopback TCP socket, \
+          executed concurrently on a shared worker-domain pool with \
+          per-request tracing, continuous telemetry (sliding-window \
+          stats, tail trace retention, Prometheus exposition) and a \
+          cross-request compile cache. Results are bit-identical to the \
+          one-shot subcommands.")
     Term.(
       ret
         (const run $ socket_arg $ port_arg $ workers_arg $ max_pending_arg
-       $ metrics_arg))
+       $ metrics_arg $ no_telemetry_arg $ window_epochs_arg
+       $ epoch_seconds_arg $ tail_slowest_arg $ tail_errors_arg))
+
+(* `cheffp top`: live terminal dashboard over the server's [stats]
+   endpoint. Pure client: polls, renders, repeats — every number it
+   shows is computed server-side by Obs.Window / Obs.Tail. *)
+let top_cmd =
+  let module Client = Cheffp_server.Client in
+  let module Sjson = Cheffp_server.Json in
+  let run socket port interval count limit raw =
+    wrap (fun () ->
+        let connect () =
+          match (socket, port) with
+          | Some path, None -> Client.connect_unix path
+          | None, Some p -> Client.connect_tcp p
+          | None, None -> Client.connect_unix "cheffp.sock"
+          | Some _, Some _ -> failwith "pass either --socket or --port, not both"
+        in
+        let target =
+          match (socket, port) with
+          | None, Some p -> Printf.sprintf "127.0.0.1:%d" p
+          | Some path, _ -> path
+          | None, None -> "cheffp.sock"
+        in
+        let c = Client.retry_connect connect in
+        let num j = Option.value ~default:0. (Sjson.to_float_opt j) in
+        let fmt_ms j =
+          match Sjson.to_float_opt j with
+          | Some ms -> Printf.sprintf "%.2fms" ms
+          | None -> "-"
+        in
+        let mem o k = Sjson.member k o in
+        let render frame r =
+          let b = Buffer.create 1024 in
+          let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b (s ^ "\n")) fmt in
+          let reqs = mem r "requests" and lat = mem r "latency" in
+          let qw = mem r "queue_wait" and pool = mem r "pool" in
+          let cache = mem r "cache" and tail = mem r "tail" in
+          line "cheffp top — %s   frame %d   window %.1fs   workers %.0f%s"
+            target frame (num (mem r "window_s")) (num (mem r "workers"))
+            (match Sjson.to_bool_opt (mem r "telemetry") with
+            | Some false -> "   [telemetry OFF]"
+            | _ -> "");
+          line "requests   %6.1f req/s   window %.0f   total %.0f   errors %.0f (window %.0f)   rejected %.0f"
+            (num (mem reqs "rate")) (num (mem reqs "window"))
+            (num (mem reqs "total")) (num (mem reqs "errors_total"))
+            (num (mem reqs "errors_window")) (num (mem reqs "rejected_total"));
+          line "           active %.0f   queue depth %.0f   pool util %3.0f%%   completed %.1f/s   steals %.0f"
+            (num (mem reqs "active")) (num (mem reqs "queue_depth"))
+            (100. *. num (mem pool "utilization"))
+            (num (mem pool "completed_rate")) (num (mem pool "steals_window"));
+          line "latency    p50 %s   p95 %s   p99 %s   mean %s"
+            (fmt_ms (mem lat "p50_ms")) (fmt_ms (mem lat "p95_ms"))
+            (fmt_ms (mem lat "p99_ms")) (fmt_ms (mem lat "mean_ms"));
+          line "queue wait p50 %s   p95 %s   p99 %s"
+            (fmt_ms (mem qw "p50_ms")) (fmt_ms (mem qw "p95_ms"))
+            (fmt_ms (mem qw "p99_ms"));
+          line "cache      hits %.0f   misses %.0f   size %.0f   window hit rate %s"
+            (num (mem cache "hits_total")) (num (mem cache "misses_total"))
+            (num (mem cache "size"))
+            (match Sjson.to_float_opt (mem cache "hit_rate_window") with
+            | Some x -> Printf.sprintf "%.1f%%" (100. *. x)
+            | None -> "-");
+          (match Sjson.to_list (mem cache "shards") with
+          | [] -> ()
+          | shards ->
+              line "  shards   %s"
+                (String.concat " "
+                   (List.map
+                      (fun s ->
+                        Printf.sprintf "%.0f/%.0f" (num (mem s "size"))
+                          (num (mem s "cap")))
+                      shards)));
+          (match Sjson.to_list (mem r "tenants") with
+          | [] -> ()
+          | tenants ->
+              line "tenants    %s"
+                (String.concat "   "
+                   (List.map
+                      (fun t ->
+                        Printf.sprintf "%s %.1f%% (%.0f lookups)"
+                          (Option.value ~default:"?"
+                             (Sjson.to_string_opt (mem t "tenant")))
+                          (100. *. num (mem t "hit_rate"))
+                          (num (mem t "lookups")))
+                      tenants)));
+          (match Sjson.to_list (mem tail "slowest") with
+          | [] -> line "tail       (no retained traces)"
+          | slow ->
+              line "tail       %.0f error trace(s) retained, slowest:"
+                (num (mem tail "errors_retained"));
+              List.iter
+                (fun e ->
+                  line "  %9.2fms  %-8s id=%s%s%s"
+                    (num (mem e "dur_ms"))
+                    (Option.value ~default:"?"
+                       (Sjson.to_string_opt (mem e "cmd")))
+                    (match Sjson.to_int_opt (mem e "request_id") with
+                    | Some i -> string_of_int i
+                    | None -> "?")
+                    (match Sjson.to_string_opt (mem e "tenant") with
+                    | Some t -> "  tenant=" ^ t
+                    | None -> "")
+                    (match Sjson.to_bool_opt (mem e "err") with
+                    | Some true -> "  [error]"
+                    | _ -> ""))
+                slow);
+          Buffer.contents b
+        in
+        let id = ref 0 in
+        let one frame =
+          incr id;
+          let resp =
+            Client.rpc c
+              (Client.request ~id:!id ~cmd:"stats"
+                 [
+                   (* jump the work queue: a dashboard poll should not
+                      wait behind a 1000-candidate search *)
+                   ("priority", Sjson.Num 1000.);
+                   ("limit", Sjson.Num (float_of_int limit));
+                 ])
+          in
+          (match Sjson.to_bool_opt (Sjson.member "ok" resp) with
+          | Some true -> ()
+          | _ ->
+              failwith
+                (Option.value ~default:"stats request failed"
+                   (Sjson.to_string_opt (Sjson.member "error" resp))));
+          let body =
+            if raw then Sjson.to_string (Sjson.member "result" resp) ^ "\n"
+            else render frame (Sjson.member "result" resp)
+          in
+          if count <> 1 && not raw then print_string "\027[2J\027[H";
+          print_string body;
+          flush stdout
+        in
+        (try
+           let frame = ref 0 in
+           let continue () = count = 0 || !frame < count in
+           while continue () do
+             incr frame;
+             one !frame;
+             if continue () then Unix.sleepf interval
+           done
+         with End_of_file ->
+           prerr_endline "cheffp top: server closed the connection");
+        Client.close c)
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:"Server Unix-domain socket (default cheffp.sock).")
+  in
+  let port_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N" ~doc:"Server loopback TCP port instead.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.
+      & info [ "interval" ] ~docv:"S" ~doc:"Seconds between polls.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Render $(docv) frames then exit (0 = until interrupted).")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "limit" ] ~docv:"K"
+          ~doc:"Show at most $(docv) tail-latency offenders.")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ] ~doc:"Print the raw stats JSON instead of the dashboard.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live dashboard for a running cheffp serve daemon: polls the \
+          stats request and renders req/s, windowed p50/p95/p99 \
+          latency, pool utilization, per-shard cache occupancy, \
+          per-tenant hit rates and the current tail-latency offenders.")
+    Term.(
+      ret
+        (const run $ socket_arg $ port_arg $ interval_arg $ count_arg
+       $ limit_arg $ raw_arg))
 
 let sensitivity_cmd =
   let run file func loop raw =
@@ -704,4 +942,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; run_cmd; gradient_cmd; analyze_cmd; tune_cmd;
-            search_cmd; validate_cmd; adapt_cmd; sensitivity_cmd; serve_cmd ]))
+            search_cmd; validate_cmd; adapt_cmd; sensitivity_cmd; serve_cmd;
+            top_cmd ]))

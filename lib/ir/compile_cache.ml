@@ -319,6 +319,13 @@ let stats () =
   let lookups = Metrics.counter_value lookups_c in
   { hits; misses; evictions; size; lookups }
 
+(* Per-shard occupancy for the server's stats endpoint / [cheffp top]:
+   [(size, cap)] per shard. Each shard's lock is taken one at a time,
+   so the view is per-shard-exact but not a global atomic cut — fine
+   for a dashboard. *)
+let shard_sizes () =
+  Array.map (fun s -> locked s (fun () -> (Hashtbl.length s.table, s.cap))) pool
+
 let reset_stats () =
   Metrics.set_counter hits_c 0;
   Metrics.set_counter misses_c 0;

@@ -159,6 +159,11 @@ val stats : unit -> stats
 (** Lock-free: atomic reads only, safe to sample from any domain while
     lookups are in flight. *)
 
+val shard_sizes : unit -> (int * int) array
+(** Per-shard [(entries, capacity)] — the occupancy view the server's
+    [stats] endpoint and [cheffp top] render. Takes each shard lock in
+    turn: exact per shard, not a global atomic cut. *)
+
 val default_max_entries : int
 (** 512. *)
 

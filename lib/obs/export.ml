@@ -120,6 +120,148 @@ let pretty spans =
     spans;
   Buffer.contents b
 
+(* Prometheus text exposition (DESIGN.md §14).
+
+   Mapping from the dotted §9 naming convention:
+   - every name gains the [cheffp_] namespace prefix; dots (and any
+     character outside [a-zA-Z0-9_]) become underscores;
+   - dynamic name components become labels:
+       compile_cache.tenant.<t>.lookups -> cheffp_compile_cache_tenant_lookups_total{tenant="<t>"}
+       pool.worker.<n>.tasks            -> cheffp_pool_worker_tasks_total{worker="<n>"}
+       pool.shared.worker.<n>.tasks     -> cheffp_pool_shared_worker_tasks_total{worker="<n>"}
+   - counters gain the [_total] suffix; histograms expand to
+     [_bucket{le="..."}] (cumulative, with the +Inf bucket), [_sum]
+     and [_count] per the exposition format. *)
+
+let prom_name s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    s
+
+(* Label values escape backslash, double-quote and newline. *)
+let prom_label_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let prom_float f =
+  if f = Float.infinity then "+Inf"
+  else if f = Float.neg_infinity then "-Inf"
+  else if Float.is_nan f then "NaN"
+  else Printf.sprintf "%.17g" f
+
+(* Split one dotted registry name into a Prometheus family (without
+   kind suffix) and its labels, per the mapping above. *)
+let prom_family name =
+  let segs = String.split_on_char '.' name in
+  let mk family labels = (prom_name ("cheffp_" ^ family), labels) in
+  match segs with
+  | "compile_cache" :: "tenant" :: rest when List.length rest >= 2 ->
+      let rec split_last = function
+        | [ last ] -> ([], last)
+        | x :: tl ->
+            let mid, last = split_last tl in
+            (x :: mid, last)
+        | [] -> assert false
+      in
+      let tenant_segs, metric = split_last rest in
+      mk
+        ("compile_cache_tenant_" ^ metric)
+        [ ("tenant", String.concat "." tenant_segs) ]
+  | [ "pool"; "worker"; n; metric ] ->
+      mk ("pool_worker_" ^ metric) [ ("worker", n) ]
+  | [ "pool"; "shared"; "worker"; n; metric ] ->
+      mk ("pool_shared_worker_" ^ metric) [ ("worker", n) ]
+  | _ -> mk (String.concat "_" segs) []
+
+let prom_labels = function
+  | [] -> ""
+  | labels ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) ->
+               Printf.sprintf "%s=\"%s\"" (prom_name k) (prom_label_escape v))
+             labels)
+      ^ "}"
+
+let prometheus ?snapshot () =
+  let snapshot =
+    match snapshot with Some s -> s | None -> Metrics.snapshot ()
+  in
+  (* Group samples into families so each family gets exactly one
+     # TYPE line even when label values (tenants, workers) split one
+     family across several registry names. *)
+  let order = ref [] in
+  let families : (string, string * (string * string) list * Metrics.value) Hashtbl.t
+      =
+    Hashtbl.create 64
+  in
+  List.iter
+    (fun (name, v) ->
+      let family, labels = prom_family name in
+      let typ, family =
+        match v with
+        | Metrics.Counter _ -> ("counter", family ^ "_total")
+        | Metrics.Gauge _ -> ("gauge", family)
+        | Metrics.Histogram _ -> ("histogram", family)
+      in
+      if not (Hashtbl.mem families family) then order := family :: !order;
+      Hashtbl.add families family (typ, labels, v))
+    snapshot;
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun family ->
+      let samples = List.rev (Hashtbl.find_all families family) in
+      (match samples with
+      | (typ, _, _) :: _ ->
+          Buffer.add_string b (Printf.sprintf "# TYPE %s %s\n" family typ)
+      | [] -> ());
+      List.iter
+        (fun (_, labels, v) ->
+          match v with
+          | Metrics.Counter n ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %d\n" family (prom_labels labels) n)
+          | Metrics.Gauge g ->
+              Buffer.add_string b
+                (Printf.sprintf "%s%s %s\n" family (prom_labels labels)
+                   (prom_float g))
+          | Metrics.Histogram { buckets; counts; sum } ->
+              let total = Array.fold_left ( + ) 0 counts in
+              let cum = ref 0 in
+              Array.iteri
+                (fun i c ->
+                  cum := !cum + c;
+                  Buffer.add_string b
+                    (Printf.sprintf "%s_bucket%s %d\n" family
+                       (prom_labels (labels @ [ ("le", prom_float buckets.(i)) ]))
+                       !cum))
+                (Array.sub counts 0 (Array.length buckets));
+              Buffer.add_string b
+                (Printf.sprintf "%s_bucket%s %d\n" family
+                   (prom_labels (labels @ [ ("le", "+Inf") ]))
+                   total);
+              Buffer.add_string b
+                (Printf.sprintf "%s_sum%s %s\n" family (prom_labels labels)
+                   (prom_float sum));
+              Buffer.add_string b
+                (Printf.sprintf "%s_count%s %d\n" family (prom_labels labels)
+                   total))
+        samples)
+    (List.rev !order);
+  Buffer.contents b
+
 let metrics_dump ?snapshot () =
   let snapshot =
     match snapshot with Some s -> s | None -> Metrics.snapshot ()

@@ -5,7 +5,9 @@
       the [@obs-smoke] validator;
     - an indented span tree with durations for human reading
       ([--trace-pretty]);
-    - a flat [key value] dump of the metrics registry ([--metrics]). *)
+    - a flat [key value] dump of the metrics registry ([--metrics]);
+    - Prometheus text exposition for scrapers polling a serving daemon
+      ({!prometheus}, DESIGN.md §14). *)
 
 val span_to_json : Trace.span -> string
 (** One span as a single-line JSON object:
@@ -23,3 +25,13 @@ val metrics_dump : ?snapshot:(string * Metrics.value) list -> unit -> string
 (** Flat [key value] lines, sorted by key. Histograms expand to
     [name.count], [name.sum], [name.mean] and cumulative [name.le.*]
     lines. [snapshot] defaults to {!Metrics.snapshot}[ ()]. *)
+
+val prometheus : ?snapshot:(string * Metrics.value) list -> unit -> string
+(** The same registry in Prometheus text exposition format. Dotted §9
+    names map to a [cheffp_]-prefixed underscore name; dynamic name
+    components ([compile_cache.tenant.<t>.*], [pool.worker.<n>.tasks],
+    [pool.shared.worker.<n>.tasks]) become [tenant]/[worker] labels
+    with backslash/quote/newline escaping; counters gain [_total];
+    histograms expand to cumulative [_bucket{le="..."}] (including
+    [+Inf]), [_sum] and [_count]; each family is announced by exactly
+    one [# TYPE] line. *)

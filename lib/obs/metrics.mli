@@ -46,6 +46,12 @@ val gauge_value : gauge -> float
 val default_buckets : float array
 (** Seconds-oriented: 1e-6 … 10, decade steps. *)
 
+val latency_buckets : float array
+(** Seconds-oriented, 1-2.5-5 per decade from 1 µs to 10 s — fine
+    enough that bucket-interpolated windowed quantiles
+    ({!Cheffp_obs.Window}) resolve the server's sub-millisecond request
+    latencies, which the decade steps of {!default_buckets} cannot. *)
+
 val histogram : ?buckets:float array -> string -> histogram
 (** [buckets] are the inclusive upper bounds of the finite buckets (must
     be strictly increasing); an implicit +inf bucket catches the rest.
@@ -54,7 +60,10 @@ val histogram : ?buckets:float array -> string -> histogram
 val observe : histogram -> float -> unit
 (** One atomic bucket increment plus a CAS-loop sum update — safe from
     any number of concurrent domains (the pool's worker domains and the
-    server's request tasks observe into the same histograms). *)
+    server's request tasks observe into the same histograms). Both
+    updates land in the same internal generation, so an [observe]
+    racing {!reset} is either kept whole or dropped whole — the sum
+    never disagrees with the buckets. *)
 
 val histogram_count : histogram -> int
 (** Number of observations, derived by summing the bucket counters
@@ -77,4 +86,8 @@ val snapshot : unit -> (string * value) list
 (** Current value of every registered metric, sorted by name. *)
 
 val reset : unit -> unit
-(** Zero every registered metric (registrations survive). *)
+(** Zero every registered metric (registrations survive). Epoch-aware
+    for histograms: each histogram's counters-plus-sum generation is
+    swapped wholesale, so a concurrent {!observe} either lands entirely
+    in the retired generation (and is dropped with it) or entirely in
+    the fresh one — never a torn half-observation. *)

@@ -1,0 +1,155 @@
+(* Tail-based trace retention (DESIGN.md §14).
+
+   The server offers every completed [server.request] span subtree
+   here; the ring keeps only the interesting tail — the K slowest
+   trees plus a bounded ring of every error-outcome tree — so a
+   long-lived daemon retains the traces worth looking at without
+   keeping the firehose.
+
+   Mutex-light: the common case under steady traffic is a healthy
+   request faster than the current K-th slowest, which is rejected by
+   one atomic threshold load without ever taking the lock. Only
+   admissions (rare once the ring is warm) and queries lock. *)
+
+type entry = {
+  e_seq : int;  (* admission order, process-global *)
+  e_root : Trace.span;
+  e_spans : Trace.span list;  (* whole subtree, id (start) order *)
+  e_dur_ns : int64;
+  e_err : bool;
+}
+
+type state = {
+  mutable slow : entry array;  (* unsorted; length <= slow_cap *)
+  mutable slow_cap : int;
+  mutable errors : entry array;  (* ring, oldest first once full *)
+  mutable err_cap : int;
+  mutable err_head : int;  (* next slot to overwrite *)
+  mutable err_count : int;
+  mutable seq : int;
+}
+
+let lock = Mutex.create ()
+
+let state =
+  {
+    slow = [||];
+    slow_cap = 16;
+    errors = [||];
+    err_cap = 64;
+    err_head = 0;
+    err_count = 0;
+    seq = 0;
+  }
+
+(* Fast-path admission threshold: the duration of the K-th slowest
+   retained tree once the slow ring is full, else -1 (admit all).
+   Advisory — re-checked under the lock — so a stale read only costs a
+   lock round-trip or skips a tree that a concurrent admission already
+   beat. *)
+let threshold_ns = Atomic.make (-1L)
+
+let clear_locked () =
+  state.slow <- [||];
+  state.errors <- [||];
+  state.err_head <- 0;
+  state.err_count <- 0;
+  Atomic.set threshold_ns (-1L)
+
+let configure ?(slowest = 16) ?(errors = 64) () =
+  if slowest < 1 then invalid_arg "Tail.configure: slowest must be >= 1";
+  if errors < 1 then invalid_arg "Tail.configure: errors must be >= 1";
+  Mutex.lock lock;
+  state.slow_cap <- slowest;
+  state.err_cap <- errors;
+  clear_locked ();
+  Mutex.unlock lock
+
+let clear () =
+  Mutex.lock lock;
+  clear_locked ();
+  Mutex.unlock lock
+
+let capacity () = Mutex.protect lock (fun () -> (state.slow_cap, state.err_cap))
+
+let dur_of root = Int64.sub root.Trace.end_ns root.Trace.start_ns
+
+let min_index a =
+  let mi = ref 0 in
+  Array.iteri (fun i e -> if e.e_dur_ns < a.(!mi).e_dur_ns then mi := i) a;
+  !mi
+
+let admit_slow_locked entry =
+  let n = Array.length state.slow in
+  if n < state.slow_cap then begin
+    state.slow <- Array.append state.slow [| entry |];
+    if Array.length state.slow = state.slow_cap then
+      Atomic.set threshold_ns state.slow.(min_index state.slow).e_dur_ns
+  end
+  else begin
+    let mi = min_index state.slow in
+    if entry.e_dur_ns > state.slow.(mi).e_dur_ns then begin
+      state.slow.(mi) <- entry;
+      Atomic.set threshold_ns state.slow.(min_index state.slow).e_dur_ns
+    end
+  end
+
+let admit_error_locked entry =
+  if Array.length state.errors < state.err_cap then
+    state.errors <- Array.append state.errors [| entry |]
+  else begin
+    state.errors.(state.err_head) <- entry;
+    state.err_head <- (state.err_head + 1) mod state.err_cap
+  end;
+  state.err_count <- state.err_count + 1
+
+let offer ~err spans =
+  match spans with
+  | [] -> ()
+  | first :: _ ->
+      (* take_tree returns id order, so the root is first; be robust to
+         arbitrary order anyway. *)
+      let root =
+        List.fold_left
+          (fun acc s -> if s.Trace.id < acc.Trace.id then s else acc)
+          first spans
+      in
+      let dur = dur_of root in
+      (* Lock-free rejection: healthy and not slower than the K-th
+         slowest retained tree. *)
+      if err || dur > Atomic.get threshold_ns then begin
+        Mutex.lock lock;
+        let entry =
+          { e_seq = state.seq; e_root = root; e_spans = spans;
+            e_dur_ns = dur; e_err = err }
+        in
+        state.seq <- state.seq + 1;
+        admit_slow_locked entry;
+        if err then admit_error_locked entry;
+        Mutex.unlock lock
+      end
+
+let slowest () =
+  Mutex.lock lock;
+  let l = Array.to_list state.slow in
+  Mutex.unlock lock;
+  List.sort
+    (fun a b ->
+      match Int64.compare b.e_dur_ns a.e_dur_ns with
+      | 0 -> compare a.e_seq b.e_seq
+      | c -> c)
+    l
+
+let errors () =
+  Mutex.lock lock;
+  let n = Array.length state.errors in
+  let l =
+    (* oldest-to-newest: start at err_head when the ring has wrapped *)
+    List.init n (fun i ->
+        if n < state.err_cap then state.errors.(i)
+        else state.errors.((state.err_head + i) mod n))
+  in
+  Mutex.unlock lock;
+  l
+
+let error_count () = Mutex.protect lock (fun () -> state.err_count)

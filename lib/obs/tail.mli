@@ -1,0 +1,49 @@
+(** Tail-based trace retention (DESIGN.md §14).
+
+    The analysis server offers every completed [server.request] span
+    subtree here; only the interesting tail is retained — the K
+    slowest trees, plus a bounded ring of {e every} error-outcome
+    tree — queryable through the [traces] protocol request without
+    restarting the daemon.
+
+    Mutex-light: a healthy request that is not slower than the current
+    K-th slowest retained tree is rejected by a single atomic load,
+    without taking the lock. Only admissions and queries lock.
+    Domain-safe; spans are immutable so retained trees are never
+    torn. *)
+
+type entry = {
+  e_seq : int;  (** admission order, process-global *)
+  e_root : Trace.span;  (** the tree's root span *)
+  e_spans : Trace.span list;  (** the whole subtree, id (start) order *)
+  e_dur_ns : int64;  (** root duration *)
+  e_err : bool;
+}
+
+val configure : ?slowest:int -> ?errors:int -> unit -> unit
+(** Set ring capacities (defaults 16 slowest / 64 errors) and clear
+    all retained entries. [Invalid_argument] if either is < 1. *)
+
+val offer : err:bool -> Trace.span list -> unit
+(** Offer one completed subtree (as returned by {!Trace.take_tree}).
+    Retained when [err] is set, when the slowest-ring has room, or
+    when the root's duration beats the current K-th slowest; dropped
+    otherwise with one atomic load. Empty lists are ignored. *)
+
+val slowest : unit -> entry list
+(** The retained slowest trees, slowest first (admission order breaks
+    ties). At most the configured capacity. *)
+
+val errors : unit -> entry list
+(** The retained error trees, oldest first. The ring keeps the most
+    recent [errors] capacity of them. *)
+
+val error_count : unit -> int
+(** Total error trees ever admitted (not capped by the ring), so a
+    scraper can detect error loss. *)
+
+val capacity : unit -> int * int
+(** Current [(slowest, errors)] capacities. *)
+
+val clear : unit -> unit
+(** Drop every retained entry (capacities survive). *)

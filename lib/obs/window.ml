@@ -1,0 +1,256 @@
+(* Sliding-window aggregation over the metrics registry (DESIGN.md §14).
+
+   A rotating ring of epoch baselines — each a full [Metrics.snapshot]
+   stamped with the monotonic-enough wall clock — is advanced by [tick]
+   (called by a background ticker thread every [epoch_seconds], or
+   manually by tests). A query takes a fresh snapshot and diffs it
+   against the *oldest* baseline in the ring, so the window covers
+   between (epochs-1) and epochs ticks of history once the ring is
+   full, and grows from zero while it fills.
+
+   Nothing here hooks the metric hot paths: counters, gauges and
+   histograms are updated exactly as before, and the window layer only
+   *reads* them O(#metrics) once per epoch from its own thread. The
+   disabled path is therefore free in the strongest sense — when the
+   window is not started there is no thread, no ring, and no
+   per-observation cost at all, preserving lib/obs's allocation-free
+   disabled-path guarantee. *)
+
+type epoch = { at : float; values : (string * Metrics.value) list }
+
+type state = {
+  mutable ring : epoch option array;
+  mutable head : int;  (* next slot to overwrite *)
+  mutable epoch_s : float;
+  mutable ticker : Thread.t option;
+  mutable stop : bool;
+}
+
+let lock = Mutex.create ()
+
+let state =
+  { ring = Array.make 12 None; head = 0; epoch_s = 5.; ticker = None; stop = false }
+
+let running = Atomic.make false
+let active () = Atomic.get running
+
+let configure ?(epochs = 12) ?(epoch_seconds = 5.) () =
+  if epochs < 2 then invalid_arg "Window.configure: epochs must be >= 2";
+  if epoch_seconds <= 0. then
+    invalid_arg "Window.configure: epoch_seconds must be > 0";
+  Mutex.lock lock;
+  if state.ticker <> None then (
+    Mutex.unlock lock;
+    invalid_arg "Window.configure: stop the ticker first")
+  else begin
+    state.ring <- Array.make epochs None;
+    state.head <- 0;
+    state.epoch_s <- epoch_seconds;
+    Mutex.unlock lock
+  end
+
+let tick () =
+  let e = { at = Unix.gettimeofday (); values = Metrics.snapshot () } in
+  Mutex.lock lock;
+  state.ring.(state.head) <- Some e;
+  state.head <- (state.head + 1) mod Array.length state.ring;
+  Mutex.unlock lock
+
+(* Oldest live baseline: the slot at [head] if filled (it is about to
+   be overwritten, hence oldest), else the earliest-written slot. *)
+let oldest_locked () =
+  let n = Array.length state.ring in
+  let rec scan i =
+    if i >= n then None
+    else
+      match state.ring.((state.head + i) mod n) with
+      | Some _ as e -> e
+      | None -> scan (i + 1)
+  in
+  scan 0
+
+let ticker_loop () =
+  let rec loop slept =
+    let stop = Mutex.protect lock (fun () -> state.stop) in
+    if not stop then begin
+      let chunk = Float.min 0.05 state.epoch_s in
+      Thread.delay chunk;
+      let slept = slept +. chunk in
+      if slept >= state.epoch_s then begin
+        tick ();
+        loop 0.
+      end
+      else loop slept
+    end
+  in
+  loop 0.
+
+let start () =
+  Mutex.lock lock;
+  let spawn = state.ticker = None in
+  if spawn then state.stop <- false;
+  Mutex.unlock lock;
+  if spawn then begin
+    (* First baseline immediately: queries have a reference point from
+       the moment the window starts, not one epoch later. *)
+    tick ();
+    let t = Thread.create ticker_loop () in
+    Mutex.lock lock;
+    state.ticker <- Some t;
+    Mutex.unlock lock;
+    Atomic.set running true
+  end
+
+let stop () =
+  Mutex.lock lock;
+  let t = state.ticker in
+  state.stop <- true;
+  state.ticker <- None;
+  Mutex.unlock lock;
+  (match t with Some t -> Thread.join t | None -> ());
+  Atomic.set running false;
+  Mutex.lock lock;
+  Array.fill state.ring 0 (Array.length state.ring) None;
+  state.head <- 0;
+  Mutex.unlock lock
+
+(* Bucket-interpolated quantile over per-bucket deltas. Continuous
+   rank q*n is located in its bucket and interpolated linearly between
+   the bucket's bounds; observations in the +inf bucket report the last
+   finite bound (the histogram cannot resolve beyond it). *)
+let quantile ~buckets ~counts q =
+  if q < 0. || q > 1. then invalid_arg "Window.quantile: q must be in [0,1]";
+  let n = Array.fold_left ( + ) 0 counts in
+  if n = 0 then nan
+  else begin
+    let rank = q *. float_of_int n in
+    let nb = Array.length buckets in
+    let rec locate i cum =
+      if i >= Array.length counts - 1 then
+        (* +inf bucket *)
+        if nb = 0 then nan else buckets.(nb - 1)
+      else
+        let cum' = cum +. float_of_int counts.(i) in
+        if cum' >= rank && counts.(i) > 0 then
+          let lo = if i = 0 then 0. else buckets.(i - 1) in
+          let hi = buckets.(i) in
+          let frac = (rank -. cum) /. float_of_int counts.(i) in
+          lo +. (frac *. (hi -. lo))
+        else locate (i + 1) cum'
+    in
+    locate 0 0.
+  end
+
+type whist = {
+  wh_buckets : float array;
+  wh_counts : int array;  (* per-bucket deltas over the window *)
+  wh_sum : float;
+  wh_count : int;
+  wh_rate : float;  (* observations / s over the window *)
+  wh_p50 : float;
+  wh_p95 : float;
+  wh_p99 : float;
+}
+
+type wvalue =
+  | Wcounter of { delta : int; rate : float }
+  | Wgauge of float  (* gauges are instantaneous: current value *)
+  | Whistogram of whist
+
+type summary = {
+  taken_at : float;
+  span_s : float;  (* seconds of history the deltas cover *)
+  values : (string * wvalue) list;
+}
+
+let diff ~span_s base cur =
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun (n, v) -> Hashtbl.replace base_tbl n v) base;
+  List.filter_map
+    (fun (name, v) ->
+      match v with
+      | Metrics.Gauge g -> Some (name, Wgauge g)
+      | Metrics.Counter c ->
+          let b =
+            match Hashtbl.find_opt base_tbl name with
+            | Some (Metrics.Counter b) -> b
+            | _ -> 0
+          in
+          let delta = c - b in
+          let rate = if span_s > 0. then float_of_int delta /. span_s else 0. in
+          Some (name, Wcounter { delta; rate })
+      | Metrics.Histogram { buckets; counts; sum } ->
+          let bcounts, bsum =
+            match Hashtbl.find_opt base_tbl name with
+            | Some (Metrics.Histogram b)
+              when Array.length b.counts = Array.length counts ->
+                (b.counts, b.sum)
+            | _ -> (Array.make (Array.length counts) 0, 0.)
+          in
+          let deltas = Array.mapi (fun i c -> c - bcounts.(i)) counts in
+          (* A [Metrics.reset] between the baseline and now makes the
+             cumulative counts go backwards; clamp to zero rather than
+             report negative windowed counts. *)
+          let deltas = Array.map (fun d -> if d < 0 then 0 else d) deltas in
+          let count = Array.fold_left ( + ) 0 deltas in
+          let delta_sum = Float.max 0. (sum -. bsum) in
+          Some
+            ( name,
+              Whistogram
+                {
+                  wh_buckets = buckets;
+                  wh_counts = deltas;
+                  wh_sum = delta_sum;
+                  wh_count = count;
+                  wh_rate =
+                    (if span_s > 0. then float_of_int count /. span_s else 0.);
+                  wh_p50 = quantile ~buckets ~counts:deltas 0.50;
+                  wh_p95 = quantile ~buckets ~counts:deltas 0.95;
+                  wh_p99 = quantile ~buckets ~counts:deltas 0.99;
+                } ))
+    cur
+
+let summary () =
+  Mutex.lock lock;
+  let base = oldest_locked () in
+  Mutex.unlock lock;
+  match base with
+  | None -> None
+  | Some base ->
+      let now = Unix.gettimeofday () in
+      let cur = Metrics.snapshot () in
+      let span_s = Float.max 0. (now -. base.at) in
+      Some { taken_at = now; span_s; values = diff ~span_s base.values cur }
+
+let find s name = List.assoc_opt name s.values
+
+(* Per-tenant cache hit rate over the window, from the
+   [compile_cache.tenant.<t>.lookups] / [.hits] counter deltas the
+   cache's attribution layer maintains (DESIGN.md §13). *)
+let tenant_hit_rates s =
+  let prefix = "compile_cache.tenant." in
+  let plen = String.length prefix in
+  let lookups = Hashtbl.create 8 in
+  let hits = Hashtbl.create 8 in
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Wcounter { delta; _ } when String.length name > plen
+                                   && String.sub name 0 plen = prefix -> (
+          let rest = String.sub name plen (String.length name - plen) in
+          match String.rindex_opt rest '.' with
+          | Some i ->
+              let tenant = String.sub rest 0 i in
+              let kind = String.sub rest (i + 1) (String.length rest - i - 1) in
+              if kind = "lookups" then Hashtbl.replace lookups tenant delta
+              else if kind = "hits" then Hashtbl.replace hits tenant delta
+          | None -> ())
+      | _ -> ())
+    s.values;
+  Hashtbl.fold
+    (fun tenant lk acc ->
+      let h = Option.value ~default:0 (Hashtbl.find_opt hits tenant) in
+      let rate = if lk > 0 then float_of_int h /. float_of_int lk else 0. in
+      (tenant, rate, lk) :: acc)
+    lookups []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)

@@ -1,0 +1,78 @@
+(** Sliding-window aggregation over the {!Metrics} registry
+    (DESIGN.md §14).
+
+    A rotating ring of epoch baselines — each a full metric snapshot —
+    is advanced by a background ticker thread (or by {!tick} directly
+    in tests). Queries diff a fresh snapshot against the oldest
+    baseline, turning the cumulative registry into last-N-seconds
+    rates and bucket-interpolated latency quantiles for [cheffp serve]
+    stats.
+
+    The window layer never touches the metric hot paths: it only
+    {e reads} the registry, O(#metrics) once per epoch, from its own
+    thread. Not started ⇒ no thread, no ring, zero per-observation
+    cost — the allocation-free disabled path the rest of [lib/obs]
+    guarantees holds trivially. *)
+
+val configure : ?epochs:int -> ?epoch_seconds:float -> unit -> unit
+(** Ring geometry: the window covers up to [epochs * epoch_seconds] of
+    history (defaults 12 × 5 s). Must be called while the ticker is
+    stopped; [Invalid_argument] otherwise, or if [epochs < 2] or
+    [epoch_seconds <= 0]. *)
+
+val start : unit -> unit
+(** Record an immediate first baseline and spawn the ticker thread.
+    Idempotent while running. *)
+
+val stop : unit -> unit
+(** Stop and join the ticker, drop every baseline. Idempotent. *)
+
+val active : unit -> bool
+(** Whether the ticker is running (single atomic load). *)
+
+val tick : unit -> unit
+(** Record one baseline now. The ticker calls this every epoch; tests
+    call it directly for deterministic windows. *)
+
+(** {1 Windowed values} *)
+
+type whist = {
+  wh_buckets : float array;
+  wh_counts : int array;  (** per-bucket observation deltas *)
+  wh_sum : float;
+  wh_count : int;
+  wh_rate : float;  (** observations per second over the window *)
+  wh_p50 : float;
+  wh_p95 : float;
+  wh_p99 : float;  (** bucket-interpolated; [nan] when the window is empty *)
+}
+
+type wvalue =
+  | Wcounter of { delta : int; rate : float }
+  | Wgauge of float  (** gauges are instantaneous: the current value *)
+  | Whistogram of whist
+
+type summary = {
+  taken_at : float;
+  span_s : float;  (** seconds of history the deltas cover *)
+  values : (string * wvalue) list;  (** sorted by name *)
+}
+
+val summary : unit -> summary option
+(** Fresh snapshot diffed against the oldest baseline; [None] until a
+    first baseline exists ({!start} records one immediately). Safe from
+    any thread while the ticker runs. *)
+
+val find : summary -> string -> wvalue option
+
+val tenant_hit_rates : summary -> (string * float * int) list
+(** [(tenant, hit_rate, lookups)] over the window, derived from the
+    [compile_cache.tenant.<t>.lookups] / [.hits] counter deltas; sorted
+    by tenant. *)
+
+val quantile : buckets:float array -> counts:int array -> float -> float
+(** Bucket-interpolated quantile ([q] in [0,1]) over per-bucket counts:
+    the continuous rank [q*n] is located in its bucket and interpolated
+    linearly between the bucket bounds (lower bound 0 for the first
+    bucket; the +inf bucket reports the last finite bound). [nan] when
+    [counts] sum to zero. *)

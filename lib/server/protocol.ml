@@ -3,7 +3,16 @@ module Export = Cheffp_obs.Export
 module Trace = Cheffp_obs.Trace
 module Compile_cache = Cheffp_ir.Compile_cache
 
-type cmd = Ping | Analyze | Tune | Search | Validate | Metrics | Shutdown
+type cmd =
+  | Ping
+  | Analyze
+  | Tune
+  | Search
+  | Validate
+  | Metrics
+  | Stats
+  | Traces
+  | Shutdown
 
 let cmd_name = function
   | Ping -> "ping"
@@ -12,6 +21,8 @@ let cmd_name = function
   | Search -> "search"
   | Validate -> "validate"
   | Metrics -> "metrics"
+  | Stats -> "stats"
+  | Traces -> "traces"
   | Shutdown -> "shutdown"
 
 let cmd_of_string = function
@@ -21,6 +32,8 @@ let cmd_of_string = function
   | "search" -> Some Search
   | "validate" -> Some Validate
   | "metrics" -> Some Metrics
+  | "stats" -> Some Stats
+  | "traces" -> Some Traces
   | "shutdown" -> Some Shutdown
   | _ -> None
 
@@ -51,6 +64,8 @@ type request = {
   priority : int;
   deadline_ms : float option;
   trace : bool;
+  format : string;  (* metrics exposition: "dump" (default) | "prometheus" *)
+  limit : int;  (* traces: max slowest trees returned; 0 = all retained *)
 }
 
 let parse_request line =
@@ -90,6 +105,8 @@ let parse_request line =
                   priority = int "priority" 0;
                   deadline_ms = Json.to_float_opt (Json.member "deadline_ms" j);
                   trace = flag "trace" false;
+                  format = str "format" "dump";
+                  limit = int "limit" 0;
                 }))
 
 (* Responses. [spans] are pre-rendered {!Cheffp_obs.Export} JSON lines

@@ -11,7 +11,16 @@
     and service times, and the request's compile-cache hit/miss
     summary; traced requests additionally carry their span tree. *)
 
-type cmd = Ping | Analyze | Tune | Search | Validate | Metrics | Shutdown
+type cmd =
+  | Ping
+  | Analyze
+  | Tune
+  | Search
+  | Validate
+  | Metrics  (** cumulative registry exposition ([format]: dump/prometheus) *)
+  | Stats  (** windowed telemetry summary ({!Cheffp_obs.Window}) *)
+  | Traces  (** tail-retained slow/error trees ({!Cheffp_obs.Tail}) *)
+  | Shutdown
 
 val cmd_name : cmd -> string
 val cmd_of_string : string -> cmd option
@@ -38,6 +47,12 @@ type request = {
   priority : int;  (** admission priority, higher first, default 0 *)
   deadline_ms : float option;  (** relative deadline, orders equal priorities *)
   trace : bool;  (** stream this request's span tree back *)
+  format : string;
+      (** metrics exposition format: "dump" (default, the flat
+          {!Cheffp_obs.Export.metrics_dump} lines) or "prometheus" *)
+  limit : int;
+      (** traces: return at most this many slowest trees (0 = all
+          retained) *)
 }
 
 val parse_request : string -> (request, string) result

@@ -11,10 +11,15 @@ let rejected_c = Metrics.counter "server.rejected"
 let active_g = Metrics.gauge "server.active"
 let depth_g = Metrics.gauge "server.queue_depth"
 
+(* Sub-millisecond buckets: the server's measured request latencies sit
+   between 100 µs and 10 ms, where the decade steps of
+   [Metrics.default_buckets] would collapse every windowed quantile
+   onto a bucket edge (DESIGN.md §14). *)
 let queue_wait_h =
-  Metrics.histogram "server.queue_wait_seconds"
+  Metrics.histogram ~buckets:Metrics.latency_buckets "server.queue_wait_seconds"
 
-let elapsed_h = Metrics.histogram "server.elapsed_seconds"
+let elapsed_h =
+  Metrics.histogram ~buckets:Metrics.latency_buckets "server.elapsed_seconds"
 
 let active = Atomic.make 0
 

@@ -13,6 +13,8 @@ module Pool = Cheffp_util.Pool
 module Trace = Cheffp_obs.Trace
 module Metrics = Cheffp_obs.Metrics
 module Export = Cheffp_obs.Export
+module Window = Cheffp_obs.Window
+module Tail = Cheffp_obs.Tail
 module Estimate = Cheffp_core.Estimate
 module Model = Cheffp_core.Model
 module Report = Cheffp_core.Report
@@ -32,6 +34,7 @@ type t = {
   builtins : Builtins.t;
   deriv : Cheffp_ad.Deriv.t;
   max_pending : int;
+  telemetry : bool;
   stop_requested : bool Atomic.t;
   conns_m : Mutex.t;
   conns_cv : Condition.t;
@@ -241,12 +244,233 @@ let handle_validate t (req : Protocol.request) =
 
 let request_stop t = Atomic.set t.stop_requested true
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry endpoints (DESIGN.md §14): [stats] is the windowed view
+   (Obs.Window + tail offenders) that [cheffp top] polls, [metrics] the
+   cumulative registry (flat dump or Prometheus exposition), [traces]
+   the tail-retained slow/error span trees. All three are plain
+   requests — they queue, so a scrape observes the same admission
+   policy as the work it measures (use [priority] to jump the queue). *)
+
+let attr_json key attrs =
+  match List.assoc_opt key attrs with
+  | Some (Trace.Str s) -> Some (key, Json.Str s)
+  | Some (Trace.Int i) -> Some (key, Json.Num (float_of_int i))
+  | Some (Trace.Float f) -> Some (key, Json.Num f)
+  | Some (Trace.Bool b) -> Some (key, Json.Bool b)
+  | None -> None
+
+let tail_summary (e : Tail.entry) =
+  Json.Obj
+    ([
+       ("name", Json.Str e.Tail.e_root.Trace.name);
+       ("dur_ms", Json.Num (Int64.to_float e.Tail.e_dur_ns /. 1e6));
+       ("err", Json.Bool e.Tail.e_err);
+       ("spans", Json.Num (float_of_int (List.length e.Tail.e_spans)));
+     ]
+    @ List.filter_map
+        (fun k -> attr_json k e.Tail.e_root.Trace.attrs)
+        [ "cmd"; "request_id"; "tenant" ])
+
+let tail_tree (e : Tail.entry) =
+  match tail_summary e with
+  | Json.Obj fields ->
+      Json.Obj
+        (fields
+        @ [
+            ( "trace",
+              Json.List
+                (List.map
+                   (fun s -> Json.Str (Export.span_to_json s))
+                   e.Tail.e_spans) );
+          ])
+  | j -> j
+
+let handle_stats t (req : Protocol.request) =
+  let snap = Metrics.snapshot () in
+  let cum name =
+    match List.assoc_opt name snap with
+    | Some (Metrics.Counter n) -> float_of_int n
+    | Some (Metrics.Gauge g) -> g
+    | Some (Metrics.Histogram { counts; _ }) ->
+        float_of_int (Array.fold_left ( + ) 0 counts)
+    | None -> 0.
+  in
+  let w = if t.telemetry then Window.summary () else None in
+  let span_s = match w with Some s -> s.Window.span_s | None -> 0. in
+  let wcounter name =
+    match w with
+    | Some s -> (
+        match Window.find s name with
+        | Some (Window.Wcounter { delta; rate }) -> (float_of_int delta, rate)
+        | _ -> (0., 0.))
+    | None -> (0., 0.)
+  in
+  let whist name =
+    match w with
+    | Some s -> (
+        match Window.find s name with
+        | Some (Window.Whistogram h) -> Some h
+        | _ -> None)
+    | None -> None
+  in
+  let ms v = if Float.is_nan v then Json.Null else Json.Num (v *. 1000.) in
+  let hist_json h =
+    match h with
+    | None -> Json.Obj [ ("count", Json.Num 0.) ]
+    | Some h ->
+        Json.Obj
+          [
+            ("count", Json.Num (float_of_int h.Window.wh_count));
+            ("rate", Json.Num h.Window.wh_rate);
+            ("p50_ms", ms h.Window.wh_p50);
+            ("p95_ms", ms h.Window.wh_p95);
+            ("p99_ms", ms h.Window.wh_p99);
+            ( "mean_ms",
+              if h.Window.wh_count > 0 then
+                Json.Num
+                  (h.Window.wh_sum /. float_of_int h.Window.wh_count *. 1000.)
+              else Json.Null );
+          ]
+  in
+  let req_delta, req_rate = wcounter "server.requests" in
+  let err_delta, _ = wcounter "server.errors" in
+  let pool_done_delta, pool_done_rate = wcounter "pool.shared.completed" in
+  let steals_delta, _ = wcounter "pool.shared.steals" in
+  let whits, _ = wcounter "compile_cache.hits" in
+  let wlookups, _ = wcounter "compile_cache.lookups" in
+  let lat = whist "server.elapsed_seconds" in
+  let workers = Pool.Shared.workers t.pool in
+  (* Worker-seconds of request service time over the window against
+     worker-seconds available: the pool-utilization proxy. *)
+  let busy_s = match lat with Some h -> h.Window.wh_sum | None -> 0. in
+  let util =
+    if span_s > 0. && workers > 0 then
+      Float.min 1. (busy_s /. (span_s *. float_of_int workers))
+    else 0.
+  in
+  let cstats = Compile_cache.stats () in
+  let shard_json =
+    Json.List
+      (Array.to_list
+         (Array.map
+            (fun (size, cap) ->
+              Json.Obj
+                [
+                  ("size", Json.Num (float_of_int size));
+                  ("cap", Json.Num (float_of_int cap));
+                ])
+            (Compile_cache.shard_sizes ())))
+  in
+  let tenants =
+    match w with
+    | Some s ->
+        Json.List
+          (List.map
+             (fun (tenant, rate, lookups) ->
+               Json.Obj
+                 [
+                   ("tenant", Json.Str tenant);
+                   ("hit_rate", Json.Num rate);
+                   ("lookups", Json.Num (float_of_int lookups));
+                 ])
+             (Window.tenant_hit_rates s))
+    | None -> Json.List []
+  in
+  let offenders =
+    let slow = Tail.slowest () in
+    let slow =
+      if req.limit > 0 then List.filteri (fun i _ -> i < req.limit) slow
+      else slow
+    in
+    Json.List (List.map tail_summary slow)
+  in
+  ( Json.Obj
+      [
+        ("telemetry", Json.Bool t.telemetry);
+        ("window_s", Json.Num span_s);
+        ("workers", Json.Num (float_of_int workers));
+        ( "requests",
+          Json.Obj
+            [
+              ("total", Json.Num (cum "server.requests"));
+              ("errors_total", Json.Num (cum "server.errors"));
+              ("rejected_total", Json.Num (cum "server.rejected"));
+              ("window", Json.Num req_delta);
+              ("rate", Json.Num req_rate);
+              ("errors_window", Json.Num err_delta);
+              ("active", Json.Num (cum "server.active"));
+              ("queue_depth", Json.Num (cum "server.queue_depth"));
+            ] );
+        ("latency", hist_json lat);
+        ("queue_wait", hist_json (whist "server.queue_wait_seconds"));
+        ( "pool",
+          Json.Obj
+            [
+              ("utilization", Json.Num util);
+              ("completed_window", Json.Num pool_done_delta);
+              ("completed_rate", Json.Num pool_done_rate);
+              ("steals_window", Json.Num steals_delta);
+              ("queue_depth", Json.Num (cum "pool.shared.queue_depth"));
+            ] );
+        ( "cache",
+          Json.Obj
+            [
+              ("hits_total", Json.Num (float_of_int cstats.Compile_cache.hits));
+              ( "misses_total",
+                Json.Num (float_of_int cstats.Compile_cache.misses) );
+              ("size", Json.Num (float_of_int cstats.Compile_cache.size));
+              ( "hit_rate_window",
+                if wlookups > 0. then Json.Num (whits /. wlookups)
+                else Json.Null );
+              ("shards", shard_json);
+            ] );
+        ("tenants", tenants);
+        ( "tail",
+          Json.Obj
+            [
+              ("slowest", offenders);
+              ( "errors_retained",
+                Json.Num (float_of_int (List.length (Tail.errors ()))) );
+              ("errors_total", Json.Num (float_of_int (Tail.error_count ())));
+            ] );
+      ],
+    Printf.sprintf
+      "window %.1fs: %.1f req/s, %d in window, utilization %.2f\n" span_s
+      req_rate (int_of_float req_delta) util )
+
+let handle_traces (req : Protocol.request) =
+  let slow = Tail.slowest () in
+  let slow =
+    if req.limit > 0 then List.filteri (fun i _ -> i < req.limit) slow
+    else slow
+  in
+  let errors = Tail.errors () in
+  ( Json.Obj
+      [
+        ("slowest", Json.List (List.map tail_tree slow));
+        ("errors", Json.List (List.map tail_tree errors));
+        ("errors_total", Json.Num (float_of_int (Tail.error_count ())));
+      ],
+    Printf.sprintf "%d slow trace(s), %d error trace(s) retained\n"
+      (List.length slow) (List.length errors) )
+
 let dispatch t (req : Protocol.request) =
   match req.cmd with
   | Protocol.Ping -> (Json.Obj [ ("pong", Json.Bool true) ], "pong\n")
   | Protocol.Metrics ->
-      let dump = Export.metrics_dump () in
-      (Json.Obj [ ("metrics", Json.Str dump) ], dump)
+      let dump =
+        match req.format with
+        | "dump" -> Export.metrics_dump ()
+        | "prometheus" -> Export.prometheus ()
+        | other ->
+            failwith ("unknown metrics format " ^ other ^ " (dump|prometheus)")
+      in
+      ( Json.Obj
+          [ ("metrics", Json.Str dump); ("format", Json.Str req.format) ],
+        dump )
+  | Protocol.Stats -> handle_stats t req
+  | Protocol.Traces -> handle_traces req
   | Protocol.Shutdown ->
       request_stop t;
       (Json.Obj [ ("stopping", Json.Bool true) ], "stopping\n")
@@ -272,11 +496,13 @@ let error_message = function
 (* ------------------------------------------------------------------ *)
 (* Request execution (runs on a pool worker domain). The worker's span
    stack is empty, so "server.request" is a root span; its id keys the
-   per-request subtree extraction. Tracing is enabled lazily the first
-   time a request asks for it and stays on (other requests may be
-   mid-trace); every request's tree is removed from the collector on
-   completion either way, so a long-lived server does not accumulate
-   spans. *)
+   per-request subtree extraction. With telemetry on, tracing is
+   enabled from [create] so every request records a tree and its
+   completed subtree is offered to the tail ring (kept only if slow or
+   errored); otherwise tracing is enabled lazily the first time a
+   request asks for it and stays on (other requests may be mid-trace).
+   Every request's tree is removed from the collector on completion
+   either way, so a long-lived server does not accumulate spans. *)
 
 let execute t (req : Protocol.request) ~enqueued =
   let started = Unix.gettimeofday () in
@@ -301,9 +527,12 @@ let execute t (req : Protocol.request) ~enqueued =
         with
         | result, report ->
             let spans = if !root >= 0 then Trace.take_tree !root else [] in
+            if t.telemetry then Tail.offer ~err:false spans;
             Ok (result, report, if req.trace then spans else [])
         | exception e ->
-            if !root >= 0 then ignore (Trace.take_tree !root);
+            (if !root >= 0 then
+               let spans = Trace.take_tree !root in
+               if t.telemetry then Tail.offer ~err:true spans);
             Error (error_message e))
   in
   let elapsed = Unix.gettimeofday () -. started in
@@ -408,7 +637,9 @@ let handle_conn t cfd =
 
 let default_max_pending = 256
 
-let create ?workers ?(max_pending = default_max_pending) listen =
+let create ?workers ?(max_pending = default_max_pending) ?(telemetry = true)
+    ?(window_epochs = 12) ?(window_epoch_s = 5.) ?(tail_slowest = 16)
+    ?(tail_errors = 64) listen =
   (* A client closing mid-response must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let builtins = Builtins.create () in
@@ -435,6 +666,17 @@ let create ?workers ?(max_pending = default_max_pending) listen =
         in
         (fd, Some actual)
   in
+  if telemetry then begin
+    (* Continuous telemetry (DESIGN.md §14): window ticker + tail
+       retention + tracing for every request. Window/Tail are
+       process-global — the last-created telemetry server owns their
+       configuration. *)
+    Window.stop ();
+    Window.configure ~epochs:window_epochs ~epoch_seconds:window_epoch_s ();
+    Tail.configure ~slowest:tail_slowest ~errors:tail_errors ();
+    Trace.set_enabled true;
+    Window.start ()
+  end;
   {
     pool = Pool.Shared.create ?workers ();
     fd;
@@ -443,6 +685,7 @@ let create ?workers ?(max_pending = default_max_pending) listen =
     builtins;
     deriv;
     max_pending;
+    telemetry;
     stop_requested = Atomic.make false;
     conns_m = Mutex.create ();
     conns_cv = Condition.create ();
@@ -493,6 +736,7 @@ let run t =
   done;
   Mutex.unlock t.conns_m;
   Pool.Shared.shutdown t.pool;
+  if t.telemetry then Window.stop ();
   match t.listen with
   | Unix_socket path -> ( try Sys.remove path with Sys_error _ -> ())
   | Tcp _ -> ()

@@ -25,6 +25,16 @@
     metrics plus the per-request summary in every response); lifecycle
     counters and latency histograms land in {!Registry}.
 
+    Continuous telemetry (DESIGN.md §14, on by default): a
+    {!Cheffp_obs.Window} ticker turns the cumulative registry into
+    last-N-seconds rates and windowed quantiles, every completed
+    request tree is offered to the {!Cheffp_obs.Tail} ring (K slowest
+    + all error outcomes retained), and the [stats] / [metrics]
+    (dump or Prometheus) / [traces] protocol requests expose all of it
+    from the live daemon — [cheffp top] is a client of [stats].
+    Window and Tail are process-global; the last-created telemetry
+    server owns their configuration.
+
     Admission: requests beyond [max_pending] queued tasks are rejected
     immediately with an error response (the client can retry); a
     [shutdown] request (or {!request_stop}) drains — no new
@@ -40,10 +50,28 @@ type listen = Unix_socket of string | Tcp of int
 val default_max_pending : int
 (** 256. *)
 
-val create : ?workers:int -> ?max_pending:int -> listen -> t
+val create :
+  ?workers:int ->
+  ?max_pending:int ->
+  ?telemetry:bool ->
+  ?window_epochs:int ->
+  ?window_epoch_s:float ->
+  ?tail_slowest:int ->
+  ?tail_errors:int ->
+  listen ->
+  t
 (** Bind the socket and spawn the worker pool ([workers] defaults to
     {!Cheffp_util.Pool.Shared.create}'s default). Also ignores SIGPIPE:
-    a client closing mid-response must not kill the daemon. *)
+    a client closing mid-response must not kill the daemon.
+
+    [telemetry] (default [true]) starts the continuous-telemetry
+    layer: the {!Cheffp_obs.Window} ticker ([window_epochs] ×
+    [window_epoch_s], defaults 12 × 5 s), the {!Cheffp_obs.Tail} ring
+    ([tail_slowest] / [tail_errors] capacities, defaults 16 / 64) and
+    span recording for every request. [~telemetry:false] restores the
+    PR-6 behavior — no ticker thread, no retention, tracing only when
+    a request asks — the disabled path the telemetry bench compares
+    against. *)
 
 val run : t -> unit
 (** Accept loop; returns after a shutdown request (or {!request_stop})

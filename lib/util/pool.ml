@@ -151,7 +151,12 @@ module Shared = struct
   let completed_c = Metrics.counter "pool.shared.completed"
   let steals_c = Metrics.counter "pool.shared.steals"
   let depth_g = Metrics.gauge "pool.shared.queue_depth"
-  let shared_wait () = Metrics.histogram "pool.shared.queue_wait_seconds"
+  (* Server request path: sub-millisecond waits are the common case, so
+     use the finer latency buckets (windowed quantiles resolve them;
+     DESIGN.md §14). *)
+  let shared_wait () =
+    Metrics.histogram ~buckets:Metrics.latency_buckets
+      "pool.shared.queue_wait_seconds"
 
   (* Admission order within one queue: higher priority first, then
      earlier deadline, then submission order. *)

@@ -1,0 +1,458 @@
+(* @telemetry-smoke driver: end-to-end gate for the continuous
+   telemetry layer (DESIGN.md §14).
+
+   Runs the daemon in-process (Server.create + a run thread) so the
+   test can also inspect the global Window/Tail state directly, and:
+
+   - fires >= 16 concurrent mixed requests (ping / analyze / search,
+     plus deliberate error requests) across several connections;
+   - checks the stats response schema and that its windowed numbers
+     reconcile exactly with the cumulative registry (the window spans
+     the whole run: epoch_seconds is large, so the baseline is the
+     all-zero snapshot from create);
+   - checks the metrics response in both formats: the dump carries the
+     server keys, and every Prometheus line parses as
+     name{labels} value with the sub-ms latency bucket grid;
+   - checks the traces response: the tail ring holds exactly K slowest
+     trees (sorted slowest-first) plus every error-outcome tree, and
+     writes the retained forest to telemetry_smoke_trace.jsonl for
+     validate_trace --forest any;
+   - restarts without telemetry and asserts the disabled path is
+     really off (no ticker, no window, no retention) and that enabled
+     telemetry does not slow pings catastrophically (the strict <= 5%
+     throughput gate lives in the bench's telemetry block; this guard
+     only catches per-request work sneaking onto the disabled path). *)
+
+module Server = Cheffp_server.Server
+module Client = Cheffp_server.Client
+module Json = Cheffp_server.Json
+module Metrics = Cheffp_obs.Metrics
+module Window = Cheffp_obs.Window
+module Tail = Cheffp_obs.Tail
+module Trace = Cheffp_obs.Trace
+module Compile_cache = Cheffp_ir.Compile_cache
+
+let fail fmt =
+  Printf.ksprintf
+    (fun s ->
+      prerr_endline ("telemetry_smoke: " ^ s);
+      exit 1)
+    fmt
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let to_num who k j =
+  match Json.to_float_opt (Json.member k j) with
+  | Some v -> v
+  | None -> fail "%s: field %S missing or not a number" who k
+
+let to_int who k j = int_of_float (to_num who k j)
+
+let check_ok who j =
+  (match Json.to_bool_opt (Json.member "ok" j) with
+  | Some true -> ()
+  | _ ->
+      fail "%s: request failed: %s" who
+        (Option.value ~default:"?"
+           (Json.to_string_opt (Json.member "error" j))));
+  Json.member "result" j
+
+let check_err who j =
+  match Json.to_bool_opt (Json.member "ok" j) with
+  | Some false -> ()
+  | _ -> fail "%s: expected an error response" who
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let obs_smoke = read_file "obs_smoke.mfp" in
+  let arclength = read_file "../examples/programs/arclength.mfp" in
+  Metrics.set_enabled true;
+
+  (* ---------------------------------------------------------------- *)
+  (* Phase A: telemetry on. Long epochs keep the ring from rotating   *)
+  (* during the test, so windowed deltas must equal cumulative totals *)
+  (* exactly (the baseline is the all-zero snapshot from create).     *)
+  let tail_k = 4 in
+  let srv =
+    Server.create ~workers:2 ~telemetry:true ~window_epochs:6
+      ~window_epoch_s:60. ~tail_slowest:tail_k ~tail_errors:8 (Server.Tcp 0)
+  in
+  let run_th = Thread.create Server.run srv in
+  let port = match Server.port srv with Some p -> p | None -> fail "no port" in
+  let connect () = Client.retry_connect (fun () -> Client.connect_tcp port) in
+  if not (Window.active ()) then fail "telemetry on but window ticker not running";
+
+  (* Baseline ping cost with telemetry enabled (for the phase-B guard). *)
+  let ping_time () =
+    let c = connect () in
+    let n = 100 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to n do
+      ignore (check_ok "ping" (Client.rpc c (Client.request ~id:i ~cmd:"ping" [])))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Client.close c;
+    dt
+  in
+  let enabled_ping_s = ping_time () in
+
+  (* >= 16 mixed concurrent requests over 4 connections, pipelined.
+     Each connection sends 4 successful requests and 1 deliberate
+     error (search without a threshold), so the tail ring sees 4
+     error-outcome trees. *)
+  let n_conns = 4 in
+  let err_ids = List.init n_conns (fun i -> (i * 10) + 4) in
+  let threads =
+    List.init n_conns (fun i ->
+        Thread.create
+          (fun () ->
+            let who = Printf.sprintf "conn%d" i in
+            let base = i * 10 in
+            let tenant = Json.Str (Printf.sprintf "t%d" i) in
+            let c = connect () in
+            let reqs =
+              [
+                Client.request ~id:base ~cmd:"ping" [];
+                Client.request ~id:(base + 1) ~cmd:"analyze"
+                  [ ("program", Json.Str arclength);
+                    ("func", Json.Str "arclength");
+                    ("args", Json.List [ Json.Str "100" ]);
+                    ("tenant", tenant) ];
+                Client.request ~id:(base + 2) ~cmd:"search"
+                  [ ("program", Json.Str obs_smoke); ("func", Json.Str "looped");
+                    ("args", Json.List [ Json.Str "1.3"; Json.Str "50" ]);
+                    ("threshold", Json.Num 1e-6); ("jobs", Json.Num 2.);
+                    ("tenant", tenant) ];
+                Client.request ~id:(base + 3) ~cmd:"analyze"
+                  [ ("program", Json.Str obs_smoke); ("func", Json.Str "looped");
+                    ("args", Json.List [ Json.Str "1.3"; Json.Str "50" ]);
+                    ("tenant", tenant) ];
+                (* missing threshold -> error outcome, retained by Tail *)
+                Client.request ~id:(base + 4) ~cmd:"search"
+                  [ ("program", Json.Str obs_smoke); ("func", Json.Str "looped");
+                    ("args", Json.List [ Json.Str "1.3"; Json.Str "50" ]) ];
+              ]
+            in
+            List.iter (Client.send c) reqs;
+            let got = List.map (fun _ -> Client.recv c) reqs in
+            List.iter
+              (fun j ->
+                let id =
+                  match Json.to_int_opt (Json.member "id" j) with
+                  | Some id -> id
+                  | None -> fail "%s: response without id" who
+                in
+                if id = base + 4 then check_err who j
+                else ignore (check_ok who j))
+              got;
+            Client.close c)
+          ())
+  in
+  List.iter Thread.join threads;
+  let n_requests = (n_conns * 5) + 100 (* pings *) in
+  let n_errors = n_conns in
+  Printf.printf "telemetry_smoke: %d concurrent requests (%d errors) OK\n%!"
+    (n_conns * 5) n_errors;
+
+  (* -------------------------- stats ------------------------------- *)
+  let c = connect () in
+  let stats =
+    check_ok "stats"
+      (Client.rpc c
+         (Client.request ~id:900 ~cmd:"stats" [ ("limit", Json.Num 3.) ]))
+  in
+  (match Json.to_bool_opt (Json.member "telemetry" stats) with
+  | Some true -> ()
+  | _ -> fail "stats: telemetry flag not true");
+  if to_num "stats" "window_s" stats <= 0. then fail "stats: window_s <= 0";
+  let requests = Json.member "requests" stats in
+  let total = to_int "stats.requests" "total" requests in
+  let windowed = to_int "stats.requests" "window" requests in
+  (* The stats request itself has started but not finished: counted in
+     [total] (and in the windowed counter delta) but not yet in the
+     latency histogram. *)
+  if total <> n_requests + 1 then
+    fail "stats: requests.total = %d, expected %d" total (n_requests + 1);
+  if windowed <> total then
+    fail "stats: windowed %d <> cumulative %d (no rotation happened)" windowed
+      total;
+  let errs_total = to_int "stats.requests" "errors_total" requests in
+  let errs_window = to_int "stats.requests" "errors_window" requests in
+  if errs_total <> n_errors then
+    fail "stats: errors_total = %d, expected %d" errs_total n_errors;
+  if errs_window <> errs_total then
+    fail "stats: windowed errors %d <> cumulative %d" errs_window errs_total;
+  if to_num "stats.requests" "rate" requests <= 0. then
+    fail "stats: request rate <= 0";
+  let lat = Json.member "latency" stats in
+  let lat_count = to_int "stats.latency" "count" lat in
+  if lat_count <> n_requests then
+    fail "stats: latency.count = %d, expected %d" lat_count n_requests;
+  let p50 = to_num "stats.latency" "p50_ms" lat in
+  let p95 = to_num "stats.latency" "p95_ms" lat in
+  let p99 = to_num "stats.latency" "p99_ms" lat in
+  if not (p50 >= 0. && p50 <= p95 && p95 <= p99) then
+    fail "stats: latency quantiles disordered: %g %g %g" p50 p95 p99;
+  ignore (to_num "stats.queue_wait" "count" (Json.member "queue_wait" stats));
+  let pool = Json.member "pool" stats in
+  let util = to_num "stats.pool" "utilization" pool in
+  if util < 0. || util > 1. then fail "stats: utilization %g outside [0,1]" util;
+  if to_int "stats.pool" "completed_window" pool <= 0 then
+    fail "stats: no pool completions in window";
+  let cache = Json.member "cache" stats in
+  let shards = Json.to_list (Json.member "shards" cache) in
+  if List.length shards <> Compile_cache.shards then
+    fail "stats: %d shard entries, expected %d" (List.length shards)
+      Compile_cache.shards;
+  List.iter
+    (fun s ->
+      let size = to_int "shard" "size" s and cap = to_int "shard" "cap" s in
+      if size > cap then fail "stats: shard size %d > cap %d" size cap)
+    shards;
+  (* Windowed per-tenant hit rates: every tenant we used must appear
+     with sane numbers (cross-request reuse makes the exact rate
+     scheduling-dependent). *)
+  let tenants = Json.to_list (Json.member "tenants" stats) in
+  List.iteri
+    (fun i _ ->
+      let name = Printf.sprintf "t%d" i in
+      match
+        List.find_opt
+          (fun t -> Json.to_string_opt (Json.member "tenant" t) = Some name)
+          tenants
+      with
+      | None -> fail "stats: tenant %s missing" name
+      | Some t ->
+          let r = to_num "tenant" "hit_rate" t in
+          if r < 0. || r > 1. then fail "stats: tenant %s hit rate %g" name r;
+          if to_int "tenant" "lookups" t <= 0 then
+            fail "stats: tenant %s has no lookups" name)
+    (List.init n_conns Fun.id);
+  let tail = Json.member "tail" stats in
+  let offenders = Json.to_list (Json.member "slowest" tail) in
+  if List.length offenders <> 3 then
+    fail "stats: limit 3 but %d tail offenders" (List.length offenders);
+  if to_int "stats.tail" "errors_total" tail <> n_errors then
+    fail "stats: tail errors_total wrong";
+  print_endline "telemetry_smoke: stats reconcile with cumulative registry";
+
+  (* -------------------------- metrics ----------------------------- *)
+  let dump =
+    let r =
+      check_ok "metrics"
+        (Client.rpc c (Client.request ~id:901 ~cmd:"metrics" []))
+    in
+    match Json.to_string_opt (Json.member "metrics" r) with
+    | Some d -> d
+    | None -> fail "metrics: no dump"
+  in
+  List.iter
+    (fun k ->
+      if
+        not
+          (List.exists
+             (fun line ->
+               String.length line > String.length k
+               && String.sub line 0 (String.length k) = k)
+             (String.split_on_char '\n' dump))
+      then fail "metrics dump missing %S" k)
+    [ "server.requests"; "server.errors"; "server.elapsed_seconds";
+      "compile_cache.hits" ];
+  let prom =
+    let r =
+      check_ok "prometheus"
+        (Client.rpc c
+           (Client.request ~id:902 ~cmd:"metrics"
+              [ ("format", Json.Str "prometheus") ]))
+    in
+    match Json.to_string_opt (Json.member "metrics" r) with
+    | Some d -> d
+    | None -> fail "prometheus: no dump"
+  in
+  let prom_lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' prom)
+  in
+  List.iter
+    (fun line ->
+      if line.[0] <> '#' then begin
+        (* name{labels} value — name from the legal charset, one space,
+           numeric (or +/-Inf / NaN) sample value *)
+        let name_end =
+          match (String.index_opt line '{', String.index_opt line ' ') with
+          | Some i, Some j -> min i j
+          | None, Some j -> j
+          | _ -> fail "prometheus line without value: %s" line
+        in
+        String.iteri
+          (fun i ch ->
+            if i < name_end then
+              match ch with
+              | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> ()
+              | _ -> fail "prometheus: bad name char in %s" line)
+          line;
+        let vstart = String.rindex line ' ' + 1 in
+        let v = String.sub line vstart (String.length line - vstart) in
+        match (float_of_string_opt v, v) with
+        | Some _, _ | None, ("+Inf" | "-Inf" | "NaN") -> ()
+        | None, _ -> fail "prometheus: bad sample value in %s" line
+      end)
+    prom_lines;
+  let count_with needle =
+    List.length
+      (List.filter
+         (fun l ->
+           let nl = String.length needle and ll = String.length l in
+           let rec go i =
+             i + nl <= ll && (String.sub l i nl = needle || go (i + 1))
+           in
+           go 0)
+         prom_lines)
+  in
+  if count_with "# TYPE cheffp_server_requests_total counter" <> 1 then
+    fail "prometheus: missing requests counter TYPE line";
+  if count_with "# TYPE cheffp_server_elapsed_seconds histogram" <> 1 then
+    fail "prometheus: missing latency histogram TYPE line";
+  (* Sub-ms grid: latency_buckets (22 bounds) + the +Inf bucket. *)
+  let buckets = count_with "cheffp_server_elapsed_seconds_bucket{le=" in
+  if buckets <> Array.length Metrics.latency_buckets + 1 then
+    fail "prometheus: %d latency bucket lines, expected %d" buckets
+      (Array.length Metrics.latency_buckets + 1);
+  if count_with "cheffp_server_elapsed_seconds_bucket{le=\"+Inf\"}" <> 1 then
+    fail "prometheus: no +Inf bucket";
+  if count_with "tenant=\"t0\"" < 1 then
+    fail "prometheus: tenant labels missing";
+  Printf.printf "telemetry_smoke: prometheus scrape valid (%d lines)\n%!"
+    (List.length prom_lines);
+
+  (* -------------------------- traces ------------------------------ *)
+  let traces =
+    check_ok "traces"
+      (Client.rpc c (Client.request ~id:903 ~cmd:"traces" []))
+  in
+  let slowest = Json.to_list (Json.member "slowest" traces) in
+  let errors = Json.to_list (Json.member "errors" traces) in
+  if List.length slowest <> tail_k then
+    fail "traces: %d slowest retained, expected exactly %d"
+      (List.length slowest) tail_k;
+  ignore
+    (List.fold_left
+       (fun prev e ->
+         let d = to_num "traces" "dur_ms" e in
+         if d > prev then fail "traces: slowest not sorted (%g after %g)" d prev;
+         d)
+       infinity slowest);
+  if List.length errors <> n_errors then
+    fail "traces: %d error trees retained, expected all %d"
+      (List.length errors) n_errors;
+  if to_int "traces" "errors_total" traces <> n_errors then
+    fail "traces: errors_total wrong";
+  let err_req_ids =
+    List.sort compare
+      (List.map (fun e -> to_int "traces.err" "request_id" e) errors)
+  in
+  if err_req_ids <> List.sort compare err_ids then
+    fail "traces: error request ids %s do not match the failed requests"
+      (String.concat "," (List.map string_of_int err_req_ids));
+  List.iter
+    (fun e ->
+      match Json.to_bool_opt (Json.member "err" e) with
+      | Some true -> ()
+      | _ -> fail "traces: error entry without err flag")
+    errors;
+  (* Retained forest -> jsonl for validate_trace --forest any. Trees
+     can appear in both rings (a slow error); dedup by root line. *)
+  let tree_lines e =
+    match Json.member "trace" e with
+    | Json.List l ->
+        let lines = List.filter_map Json.to_string_opt l in
+        if lines = [] then fail "traces: entry with empty trace";
+        lines
+    | _ -> fail "traces: entry without trace"
+  in
+  let seen_roots = Hashtbl.create 16 in
+  let forest =
+    List.concat_map
+      (fun e ->
+        let lines = tree_lines e in
+        let root = List.hd lines in
+        if Hashtbl.mem seen_roots root then []
+        else begin
+          Hashtbl.replace seen_roots root ();
+          lines
+        end)
+      (slowest @ errors)
+  in
+  Out_channel.with_open_bin "telemetry_smoke_trace.jsonl" (fun oc ->
+      List.iter (fun l -> output_string oc (l ^ "\n")) forest);
+  Printf.printf
+    "telemetry_smoke: tail ring holds %d slowest + %d error tree(s); wrote \
+     %d span(s) to telemetry_smoke_trace.jsonl\n%!"
+    tail_k n_errors (List.length forest);
+
+  (* Drain phase A. *)
+  ignore (check_ok "shutdown" (Client.rpc c (Client.request ~id:904 ~cmd:"shutdown" [])));
+  Client.close c;
+  Thread.join run_th;
+  if Window.active () then fail "window ticker survived the drain";
+
+  (* ---------------------------------------------------------------- *)
+  (* Phase B: telemetry off — the disabled path must really be off.   *)
+  Tail.clear ();
+  Trace.set_enabled false;
+  let srv2 = Server.create ~workers:2 ~telemetry:false (Server.Tcp 0) in
+  let run_th2 = Thread.create Server.run srv2 in
+  let port2 = match Server.port srv2 with Some p -> p | None -> fail "no port" in
+  let connect2 () = Client.retry_connect (fun () -> Client.connect_tcp port2) in
+  if Window.active () then fail "telemetry off but window ticker running";
+  let c = connect2 () in
+  for i = 1 to 8 do
+    ignore
+      (check_ok "off.analyze"
+         (Client.rpc c
+            (Client.request ~id:i ~cmd:"analyze"
+               [ ("program", Json.Str obs_smoke); ("func", Json.Str "looped");
+                 ("args", Json.List [ Json.Str "1.3"; Json.Str "50" ]) ])))
+  done;
+  check_err "off.err"
+    (Client.rpc c (Client.request ~id:9 ~cmd:"search"
+       [ ("program", Json.Str obs_smoke); ("func", Json.Str "looped");
+         ("args", Json.List [ Json.Str "1.3"; Json.Str "50" ]) ]));
+  if Tail.slowest () <> [] || Tail.errors () <> [] then
+    fail "telemetry off but the tail ring retained trees";
+  if Window.summary () <> None then fail "telemetry off but window has baselines";
+  (* stats still answers, reporting the disabled state. *)
+  let stats_off =
+    check_ok "off.stats" (Client.rpc c (Client.request ~id:10 ~cmd:"stats" []))
+  in
+  (match Json.to_bool_opt (Json.member "telemetry" stats_off) with
+  | Some false -> ()
+  | _ -> fail "off.stats: telemetry flag not false");
+  if to_num "off.stats" "window_s" stats_off <> 0. then
+    fail "off.stats: non-zero window on disabled daemon";
+  Client.close c;
+  (* Coarse overhead guard: enabled pings must not be drastically
+     slower than disabled pings (catches hot-path work leaking in; the
+     <= 5% gate is the bench's). Generous bound against CI noise. *)
+  let disabled_ping_s =
+    let c = connect2 () in
+    let n = 100 in
+    let t0 = Unix.gettimeofday () in
+    for i = 1 to n do
+      ignore (check_ok "ping" (Client.rpc c (Client.request ~id:i ~cmd:"ping" [])))
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    Client.close c;
+    dt
+  in
+  if enabled_ping_s > (2.5 *. disabled_ping_s) +. 0.1 then
+    fail "telemetry overhead: 100 pings %.1f ms enabled vs %.1f ms disabled"
+      (enabled_ping_s *. 1000.) (disabled_ping_s *. 1000.);
+  let c = connect2 () in
+  ignore (check_ok "shutdown" (Client.rpc c (Client.request ~id:11 ~cmd:"shutdown" [])));
+  Client.close c;
+  Thread.join run_th2;
+  Printf.printf
+    "telemetry_smoke: OK — disabled path inert (pings: %.1f ms on, %.1f ms \
+     off per 100)\n"
+    (enabled_ping_s *. 1000.) (disabled_ping_s *. 1000.)

@@ -589,6 +589,340 @@ let test_adapt_parallel_identical () =
   | _ -> Alcotest.fail "pool.tasks missing");
   Metrics.reset ()
 
+(* ------------------------------------------------------------------ *)
+(* Epoch-aware reset vs concurrent observe                            *)
+
+(* Every observation is of the same value, so the histogram's sum must
+   equal count * value at quiescence — any torn observation (a bucket
+   increment whose sum update was erased by a racing reset, or vice
+   versa) breaks the equality. The generation-swap reset guarantees an
+   observation racing a reset is kept whole or dropped whole. *)
+let test_reset_under_observe () =
+  Metrics.reset ();
+  let h = Metrics.histogram ~buckets:[| 1.; 2. |] "resetrace.h" in
+  let v = 1.5 in
+  let n_domains = 4 and per_domain = 20_000 in
+  let stop = Atomic.make false in
+  let observers =
+    List.init n_domains (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Metrics.observe h v
+            done))
+  in
+  let resetter =
+    Domain.spawn (fun () ->
+        while not (Atomic.get stop) do
+          Metrics.reset ();
+          Domain.cpu_relax ()
+        done)
+  in
+  List.iter Domain.join observers;
+  Atomic.set stop true;
+  Domain.join resetter;
+  let count = Metrics.histogram_count h in
+  let sum = Metrics.histogram_sum h in
+  Alcotest.(check (float 0.))
+    "sum agrees with buckets through concurrent resets"
+    (float_of_int count *. v)
+    sum;
+  (* And after the dust settles the histogram still works. *)
+  Metrics.reset ();
+  for _ = 1 to 10 do
+    Metrics.observe h v
+  done;
+  Alcotest.(check int) "post-race count" 10 (Metrics.histogram_count h);
+  Alcotest.(check (float 0.)) "post-race sum" (10. *. v)
+    (Metrics.histogram_sum h);
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Sliding window                                                     *)
+
+module Window = Cheffp_obs.Window
+module Tail = Cheffp_obs.Tail
+
+(* Known distribution -> interpolated quantiles within one bucket
+   width. Values 1..100 ms land in the latency_buckets sub-ms grid;
+   the true pXX must fall inside (or within one bucket width of) the
+   interpolated bucket. *)
+let test_window_quantiles () =
+  Metrics.reset ();
+  Window.stop ();
+  let h =
+    Metrics.histogram ~buckets:Metrics.latency_buckets "wq.elapsed_seconds"
+  in
+  let c = Metrics.counter "wq.requests" in
+  Window.configure ~epochs:4 ~epoch_seconds:60. ();
+  Window.tick ();
+  (* baseline *)
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i /. 1000.);
+    Metrics.incr c
+  done;
+  let s =
+    match Window.summary () with
+    | Some s -> s
+    | None -> Alcotest.fail "no baseline"
+  in
+  (match Window.find s "wq.requests" with
+  | Some (Window.Wcounter { delta; _ }) ->
+      Alcotest.(check int) "windowed counter delta" 100 delta
+  | _ -> Alcotest.fail "wq.requests missing from window");
+  (match Window.find s "wq.elapsed_seconds" with
+  | Some (Window.Whistogram w) ->
+      Alcotest.(check int) "windowed observation count" 100 w.Window.wh_count;
+      Alcotest.(check (float 1e-9)) "windowed sum" 5.05 w.Window.wh_sum;
+      (* true p50 = 0.050 s, inside bucket (0.025, 0.05]; one bucket
+         width of slack on each side *)
+      let within name lo hi v =
+        if not (v >= lo && v <= hi) then
+          Alcotest.failf "%s = %g not in [%g, %g]" name v lo hi
+      in
+      within "p50" 0.025 0.05 w.Window.wh_p50;
+      within "p95" 0.05 0.1 w.Window.wh_p95;
+      within "p99" 0.05 0.1 w.Window.wh_p99;
+      Alcotest.(check bool) "quantiles ordered" true
+        (w.Window.wh_p50 <= w.Window.wh_p95
+        && w.Window.wh_p95 <= w.Window.wh_p99)
+  | _ -> Alcotest.fail "wq.elapsed_seconds missing from window");
+  (* The interpolator itself, on a hand-built distribution: 10 obs in
+     (0,1], 10 in (1,2] -> p50 = upper edge of the first bucket, p75
+     halfway through the second. *)
+  let q = Window.quantile ~buckets:[| 1.; 2. |] ~counts:[| 10; 10; 0 |] in
+  Alcotest.(check (float 1e-9)) "interpolated p50" 1.0 (q 0.5);
+  Alcotest.(check (float 1e-9)) "interpolated p75" 1.5 (q 0.75);
+  Alcotest.(check bool) "empty window quantile is nan" true
+    (Float.is_nan
+       (Window.quantile ~buckets:[| 1.; 2. |] ~counts:[| 0; 0; 0 |] 0.5));
+  Metrics.reset ()
+
+(* Windowed numbers reconcile with the cumulative registry: with one
+   baseline at zero, window delta = cumulative value. *)
+let test_window_reconciles () =
+  Metrics.reset ();
+  Window.stop ();
+  Window.configure ~epochs:2 ~epoch_seconds:60. ();
+  Window.tick ();
+  let c = Metrics.counter "wr.total" in
+  Metrics.add c 42;
+  let s = Option.get (Window.summary ()) in
+  let cum =
+    match List.assoc_opt "wr.total" (Metrics.snapshot ()) with
+    | Some (Metrics.Counter n) -> n
+    | _ -> -1
+  in
+  (match Window.find s "wr.total" with
+  | Some (Window.Wcounter { delta; _ }) ->
+      Alcotest.(check int) "window delta = cumulative" cum delta
+  | _ -> Alcotest.fail "wr.total missing");
+  Metrics.reset ()
+
+let test_window_tenant_rates () =
+  Metrics.reset ();
+  Window.stop ();
+  Window.configure ~epochs:2 ~epoch_seconds:60. ();
+  Window.tick ();
+  let lk = Metrics.counter "compile_cache.tenant.tw.lookups" in
+  let ht = Metrics.counter "compile_cache.tenant.tw.hits" in
+  Metrics.add lk 10;
+  Metrics.add ht 9;
+  let s = Option.get (Window.summary ()) in
+  (match Window.tenant_hit_rates s with
+  | [ (tenant, rate, lookups) ] ->
+      Alcotest.(check string) "tenant" "tw" tenant;
+      Alcotest.(check (float 1e-9)) "hit rate" 0.9 rate;
+      Alcotest.(check int) "lookups" 10 lookups
+  | l -> Alcotest.failf "expected one tenant, got %d" (List.length l));
+  Metrics.reset ()
+
+(* The ticker thread: start records a baseline immediately and the
+   summary is queryable while it runs; stop joins and clears. *)
+let test_window_ticker () =
+  Metrics.reset ();
+  Window.stop ();
+  Window.configure ~epochs:3 ~epoch_seconds:0.02 ();
+  Window.start ();
+  Alcotest.(check bool) "active" true (Window.active ());
+  let c = Metrics.counter "wt.ticks" in
+  Metrics.incr c;
+  Thread.delay 0.08;
+  (* several epochs rotate; the delta must survive rotation because
+     the ring keeps the oldest baseline within the window *)
+  (match Window.summary () with
+  | Some _ -> ()
+  | None -> Alcotest.fail "summary unavailable while ticking");
+  Window.stop ();
+  Alcotest.(check bool) "stopped" false (Window.active ());
+  Alcotest.(check bool) "baselines cleared" true (Window.summary () = None);
+  Metrics.reset ()
+
+(* ------------------------------------------------------------------ *)
+(* Tail retention                                                     *)
+
+let mk_tree ~id ~dur_ns =
+  let root =
+    {
+      Trace.id;
+      parent = -1;
+      name = "server.request";
+      domain = 0;
+      kind = Trace.Span;
+      start_ns = 0L;
+      end_ns = dur_ns;
+      attrs = [];
+    }
+  in
+  let child =
+    {
+      Trace.id = id + 1;
+      parent = id;
+      name = "work";
+      domain = 0;
+      kind = Trace.Span;
+      start_ns = 1L;
+      end_ns = Int64.sub dur_ns 1L;
+      attrs = [];
+    }
+  in
+  [ root; child ]
+
+(* Concurrent offers with distinct durations: the ring must end up
+   holding exactly the K slowest, every error tree must be retained,
+   and no tree may be torn (each entry's spans are exactly one offered
+   tree, root + child intact). *)
+let test_tail_concurrent () =
+  Tail.configure ~slowest:8 ~errors:100 ();
+  let n_domains = 4 and per_domain = 50 in
+  let dur d i = Int64.of_int (1000 + (i * n_domains) + d) in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_domain - 1 do
+              let id = 2 * ((d * per_domain) + i) in
+              let err = i mod 25 = 24 in
+              Tail.offer ~err (mk_tree ~id ~dur_ns:(dur d i))
+            done))
+  in
+  List.iter Domain.join domains;
+  let slow = Tail.slowest () in
+  Alcotest.(check int) "exactly K slowest retained" 8 (List.length slow);
+  (* expected: the 8 largest of all durations offered *)
+  let all =
+    List.concat_map
+      (fun d -> List.init per_domain (fun i -> dur d i))
+      (List.init n_domains Fun.id)
+  in
+  let expected =
+    List.filteri (fun i _ -> i < 8) (List.sort (fun a b -> compare b a) all)
+  in
+  Alcotest.(check (list int64))
+    "retained = the K slowest offered" expected
+    (List.map (fun e -> e.Tail.e_dur_ns) slow);
+  List.iter
+    (fun e ->
+      match e.Tail.e_spans with
+      | [ root; child ] ->
+          Alcotest.(check int) "child parented under root" root.Trace.id
+            child.Trace.parent;
+          Alcotest.(check bool) "duration from root" true
+            (e.Tail.e_dur_ns = Int64.sub root.Trace.end_ns root.Trace.start_ns)
+      | l -> Alcotest.failf "torn tree: %d span(s)" (List.length l))
+    slow;
+  (* every error-outcome tree is retained (2 per domain) *)
+  Alcotest.(check int) "all error trees retained" (n_domains * 2)
+    (List.length (Tail.errors ()));
+  Alcotest.(check int) "error admission count" (n_domains * 2)
+    (Tail.error_count ());
+  List.iter
+    (fun e -> Alcotest.(check bool) "flagged err" true e.Tail.e_err)
+    (Tail.errors ());
+  (* bounded error ring: overflow keeps the most recent *)
+  Tail.configure ~slowest:2 ~errors:3 ();
+  for i = 0 to 9 do
+    Tail.offer ~err:true (mk_tree ~id:(2 * i) ~dur_ns:(Int64.of_int (100 + i)))
+  done;
+  let errs = Tail.errors () in
+  Alcotest.(check int) "error ring bounded" 3 (List.length errs);
+  Alcotest.(check (list int64))
+    "oldest evicted first" [ 107L; 108L; 109L ]
+    (List.map (fun e -> e.Tail.e_dur_ns) errs);
+  Alcotest.(check int) "total errors counted" 10 (Tail.error_count ());
+  Tail.clear ();
+  Alcotest.(check int) "clear empties" 0 (List.length (Tail.slowest ()))
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition                                              *)
+
+let test_prometheus () =
+  Metrics.reset ();
+  let c = Metrics.counter "promtest.requests" in
+  Metrics.add c 7;
+  let g = Metrics.gauge "promtest.active" in
+  Metrics.set_gauge g 2.5;
+  let h = Metrics.histogram ~buckets:[| 0.001; 0.01 |] "promtest.lat_seconds" in
+  Metrics.observe h 0.0005;
+  Metrics.observe h 0.005;
+  Metrics.observe h 0.5;
+  let weird = Metrics.counter "compile_cache.tenant.a\"b\\c\nd.hits" in
+  Metrics.incr weird;
+  let wk = Metrics.counter "pool.worker.3.tasks" in
+  Metrics.add wk 11;
+  let out = Export.prometheus () in
+  let has l = Alcotest.(check bool) ("line: " ^ l) true (contains out l) in
+  has "# TYPE cheffp_promtest_requests_total counter";
+  has "cheffp_promtest_requests_total 7";
+  has "# TYPE cheffp_promtest_active gauge";
+  has "cheffp_promtest_active 2.5";
+  has "# TYPE cheffp_promtest_lat_seconds histogram";
+  has "cheffp_promtest_lat_seconds_bucket{le=\"0.001\"} 1";
+  has "cheffp_promtest_lat_seconds_bucket{le=\"0.01\"} 2";
+  has "cheffp_promtest_lat_seconds_bucket{le=\"+Inf\"} 3";
+  has "cheffp_promtest_lat_seconds_count 3";
+  (* dynamic name components become escaped label values *)
+  has "cheffp_compile_cache_tenant_hits_total{tenant=\"a\\\"b\\\\c\\nd\"} 1";
+  has "cheffp_pool_worker_tasks_total{worker=\"3\"} 11";
+  (* scrape validity: every line is a comment or name{labels} value
+     with a legal metric name *)
+  let name_ok n =
+    n <> ""
+    && String.for_all
+         (function
+           | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> true
+           | _ -> false)
+         n
+    && not (match n.[0] with '0' .. '9' -> true | _ -> false)
+  in
+  List.iter
+    (fun line ->
+      if line <> "" && line.[0] <> '#' then begin
+        let name =
+          match (String.index_opt line '{', String.index_opt line ' ') with
+          | Some i, Some j -> String.sub line 0 (min i j)
+          | None, Some j -> String.sub line 0 j
+          | _ -> ""
+        in
+        if not (name_ok name) then
+          Alcotest.failf "bad exposition line: %s" line;
+        (* the sample value parses as a number *)
+        match String.rindex_opt line ' ' with
+        | Some k -> (
+            let v = String.sub line (k + 1) (String.length line - k - 1) in
+            match (float_of_string_opt v, v) with
+            | Some _, _ | None, ("+Inf" | "-Inf" | "NaN") -> ()
+            | None, _ -> Alcotest.failf "bad sample value: %s" line)
+        | None -> Alcotest.failf "no sample value: %s" line
+      end)
+    (String.split_on_char '\n' out);
+  (* one # TYPE line per family, even with many labelled samples *)
+  let type_lines =
+    List.filter
+      (fun l -> contains l "# TYPE cheffp_pool_worker_tasks_total")
+      (String.split_on_char '\n' out)
+  in
+  Alcotest.(check int) "one TYPE line per family" 1 (List.length type_lines);
+  Metrics.reset ()
+
 let () =
   Alcotest.run "obs"
     [
@@ -625,7 +959,26 @@ let () =
             test_cache_resize_under_traffic;
           Alcotest.test_case "histogram concurrent observers" `Quick
             test_histogram_concurrent;
+          Alcotest.test_case "reset under concurrent observe" `Quick
+            test_reset_under_observe;
           Alcotest.test_case "adapt parallel walk bit-identical" `Quick
             test_adapt_parallel_identical;
         ] );
+      ( "window",
+        [
+          Alcotest.test_case "quantiles within a bucket" `Quick
+            test_window_quantiles;
+          Alcotest.test_case "windowed reconciles with cumulative" `Quick
+            test_window_reconciles;
+          Alcotest.test_case "tenant hit rates" `Quick
+            test_window_tenant_rates;
+          Alcotest.test_case "ticker lifecycle" `Quick test_window_ticker;
+        ] );
+      ( "tail",
+        [
+          Alcotest.test_case "concurrent offers keep K slowest" `Quick
+            test_tail_concurrent;
+        ] );
+      ( "prometheus",
+        [ Alcotest.test_case "exposition format" `Quick test_prometheus ] );
     ]

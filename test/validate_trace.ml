@@ -14,7 +14,12 @@
    - exactly one root span covering every other span — or, with
      --forest N, exactly N root spans (the server's per-request trees:
      one "server.request" root per request) each covering its own
-     subtree, with no span crossing between trees;
+     subtree, with no span crossing between trees. --forest any accepts
+     a variable number of trees (>= 1): a tail-retained forest (the
+     daemon's traces response) concatenates trees in retention order,
+     not id order, so ids need only be unique globally and increasing
+     within each tree (every non-root line follows its tree's earlier
+     lines);
    - every --require name occurs as a span/event name.
 
    With --metrics, the dump must contain the compile-cache counters and
@@ -208,7 +213,7 @@ let span_of_line lineno line =
 
 let () =
   let trace_file = ref None and metrics_file = ref None and required = ref [] in
-  let forest = ref None in
+  let forest = ref `One in
   let rec parse_args = function
     | [] -> ()
     | "--require" :: names :: rest ->
@@ -218,9 +223,10 @@ let () =
         metrics_file := Some file;
         parse_args rest
     | "--forest" :: count :: rest ->
-        (match int_of_string_opt count with
-        | Some n when n >= 1 -> forest := Some n
-        | _ -> fail "--forest expects a positive count");
+        (match (count, int_of_string_opt count) with
+        | "any", _ -> forest := `Any
+        | _, Some n when n >= 1 -> forest := `Exactly n
+        | _ -> fail "--forest expects a positive count or \"any\"");
         parse_args rest
     | file :: rest ->
         trace_file := Some file;
@@ -244,21 +250,46 @@ let () =
   in
   if lines = [] then fail "%s: empty trace" trace_file;
   let spans = List.mapi (fun i l -> span_of_line (i + 1) l) lines in
-  (* ids unique and strictly increasing (write_jsonl emits start order) *)
-  ignore
-    (List.fold_left
-       (fun prev s ->
-         if s.id <= prev then fail "span ids not strictly increasing at %d" s.id;
-         s.id)
-       (-1) spans);
+  (match !forest with
+  | `Any ->
+      (* A tail-retained forest orders trees by retention, not id: ids
+         are unique globally and strictly increasing within each tree
+         (a line either continues the current tree with a larger id or
+         opens a new tree with a root). *)
+      let seen = Hashtbl.create 64 in
+      List.iter
+        (fun s ->
+          if Hashtbl.mem seen s.id then fail "duplicate span id %d" s.id;
+          Hashtbl.replace seen s.id ())
+        spans;
+      ignore
+        (List.fold_left
+           (fun prev s ->
+             if s.parent <> -1 && s.id <= prev then
+               fail "span ids not increasing within a tree at %d" s.id;
+             s.id)
+           (-1) spans)
+  | `One | `Exactly _ ->
+      (* ids unique and strictly increasing (write_jsonl emits start
+         order) *)
+      ignore
+        (List.fold_left
+           (fun prev s ->
+             if s.id <= prev then
+               fail "span ids not strictly increasing at %d" s.id;
+             s.id)
+           (-1) spans));
   let by_id = Hashtbl.create 64 in
   List.iter (fun s -> Hashtbl.replace by_id s.id s) spans;
   (* parentage: roots and containment *)
   let roots = List.filter (fun s -> s.parent = -1) spans in
-  let expected_roots = match !forest with Some n -> n | None -> 1 in
-  if List.length roots <> expected_roots then
-    fail "expected exactly %d root span(s), found %d" expected_roots
-      (List.length roots);
+  (match !forest with
+  | `Any -> if roots = [] then fail "expected at least one root span"
+  | `One | `Exactly _ ->
+      let expected_roots = match !forest with `Exactly n -> n | _ -> 1 in
+      if List.length roots <> expected_roots then
+        fail "expected exactly %d root span(s), found %d" expected_roots
+          (List.length roots));
   (* Each span belongs to the tree of the root its parent chain reaches;
      with --forest, containment is checked against that root (trees must
      be disjoint — a parent in another tree fails the chain walk). *)
