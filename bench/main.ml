@@ -100,7 +100,7 @@ let telemetry_bench () =
 let smoke ~jobs () =
   let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
   ignore sweep;
-  let rows, batch, model, soundness, server, telemetry =
+  let rows, batch, model, soundness, server, telemetry, fpcore =
     Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
       ~workloads:(Perf.smoke_workloads ()) ~small_soundness:true ()
   in
@@ -127,18 +127,23 @@ let smoke ~jobs () =
   in
   let server_ok = serve_block_ok server in
   let telemetry_ok = telemetry_block_ok telemetry in
+  let fpcore_ok =
+    fpcore.Perf.fp_kernels >= 40 && fpcore.Perf.fp_roundtrip_exact
+  in
   Printf.printf
     "smoke: outcomes identical across jobs (incl. instrumented): %b; \
      batched search outcomes identical to scalar: %b; cache hits on every \
      workload: %b; traced phases + pool metrics present: %b; \
      disabled-instrumentation overhead < 2%%: %b; estimate sound on every \
      benchmark: %b; hybrid = measured set with fewer executions: %b; \
-     server block gates pass: %b; telemetry block gates pass: %b\n"
-    ok batch_ok hits traced overhead_ok sound model_ok server_ok telemetry_ok;
+     server block gates pass: %b; telemetry block gates pass: %b; fpcore \
+     corpus >= 40 kernels with exact round trips: %b\n"
+    ok batch_ok hits traced overhead_ok sound model_ok server_ok telemetry_ok
+    fpcore_ok;
   if
     not
       (ok && batch_ok && hits && traced && overhead_ok && sound && model_ok
-     && server_ok && telemetry_ok)
+     && server_ok && telemetry_ok && fpcore_ok)
   then exit 1
 
 (* Batched-search smoke (`dune build @batch-smoke`): tiny batched

@@ -1054,6 +1054,68 @@ let print_telemetry b =
        time-slice one CPU, so the <= 5%% enabled-vs-disabled gate is \
        skipped — re-run on a multi-core host for the delta)\n"
 
+(* FPCore interop over the vendored FPBench corpus (DESIGN.md §15):
+   times one parse+typecheck pass over examples/fpbench/*.fpcore, one
+   CHEF-FP estimate per kernel at its :pre-derived sample point, and
+   the export -> reimport round trip, and gates that every round trip
+   reproduces the identical AST and a bit-identical estimate. *)
+type fpcore_bench = {
+  fp_kernels : int;
+  fp_import_s : float;
+  fp_analyze_s : float;
+  fp_roundtrip_s : float;
+  fp_roundtrip_exact : bool;
+}
+
+let fpcore_bench () =
+  let module E = Cheffp_core.Estimate in
+  let module Import = Cheffp_fpcore.Import in
+  let module Export = Cheffp_fpcore.Export in
+  let entries, fp_import_s = Meter.time (fun () -> B.Corpus.load ()) in
+  let analyze prog func args =
+    let est = E.estimate_error ~prog ~func () in
+    (E.run est args).E.total_error
+  in
+  let totals, fp_analyze_s =
+    Meter.time (fun () ->
+        List.map
+          (fun (e : B.Corpus.entry) ->
+            analyze e.prog e.core.Import.name e.core.Import.default_args)
+          entries)
+  in
+  let fp_roundtrip_exact, fp_roundtrip_s =
+    Meter.time (fun () ->
+        List.for_all2
+          (fun (e : B.Corpus.entry) total ->
+            let func = e.core.Import.name in
+            let text = Export.func_to_fpcore ~prog:e.prog ~func () in
+            match Import.parse_string ~file:"<roundtrip>" text with
+            | [ c ] ->
+                let prog' : Cheffp_ir.Ast.program =
+                  { funcs = [ c.Import.func ] }
+                in
+                c.Import.func = Cheffp_ir.Ast.func_exn e.prog func
+                && Float.equal
+                     (analyze prog' func e.core.Import.default_args)
+                     total
+            | _ -> false)
+          entries totals)
+  in
+  {
+    fp_kernels = List.length entries;
+    fp_import_s;
+    fp_analyze_s;
+    fp_roundtrip_s;
+    fp_roundtrip_exact;
+  }
+
+let print_fpcore b =
+  Printf.printf
+    "fpcore: %d kernels imported in %.3f s, analyzed in %.3f s, \
+     export->reimport round trip in %.3f s, exact %b\n"
+    b.fp_kernels b.fp_import_s b.fp_analyze_s b.fp_roundtrip_s
+    b.fp_roundtrip_exact
+
 let json_escape s =
   let b = Buffer.create (String.length s) in
   String.iter
@@ -1065,7 +1127,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~soundness ~batch ~model ~server ~telemetry rows =
+let write_json ~path ~soundness ~batch ~model ~server ~telemetry ~fpcore rows =
   let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
@@ -1244,6 +1306,17 @@ let write_json ~path ~soundness ~batch ~model ~server ~telemetry rows =
         scheduling noise, not telemetry cost — the <= 5%% budget only \
         applies on multi-core hosts\"\n");
   pf "  },\n";
+  pf "  \"fpcore\": {\n";
+  pf "    \"description\": \"FPBench interop (DESIGN.md S15): parse + \
+      typecheck the vendored examples/fpbench corpus, one estimate per \
+      kernel at its :pre-derived sample point, and the exact export -> \
+      reimport round trip\",\n";
+  pf "    \"kernels\": %d,\n" fpcore.fp_kernels;
+  pf "    \"seconds_import\": %.6f,\n" fpcore.fp_import_s;
+  pf "    \"seconds_analyze\": %.6f,\n" fpcore.fp_analyze_s;
+  pf "    \"seconds_roundtrip\": %.6f,\n" fpcore.fp_roundtrip_s;
+  pf "    \"roundtrip_exact\": %b\n" fpcore.fp_roundtrip_exact;
+  pf "  },\n";
   pf "  \"soundness\": {\n";
   pf "    \"mode\": \"extended\",\n";
   pf "    \"margin\": 1.0,\n";
@@ -1359,6 +1432,9 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
     telemetry_bench ~workloads:(batch_workloads ~small:small_soundness ()) ()
   in
   print_telemetry telemetry;
-  write_json ~path:out ~soundness ~batch ~model ~server ~telemetry rows;
+  Printf.printf "\n== FPCore corpus: import, analyze, export round trip ==\n";
+  let fpcore = fpcore_bench () in
+  print_fpcore fpcore;
+  write_json ~path:out ~soundness ~batch ~model ~server ~telemetry ~fpcore rows;
   Printf.printf "wrote %s\n" out;
-  (rows, batch, model, soundness, server, telemetry)
+  (rows, batch, model, soundness, server, telemetry, fpcore)

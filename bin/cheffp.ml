@@ -48,6 +48,42 @@ let load path =
       Typecheck.check_program ~builtins:(builtins ()) prog);
   prog
 
+(* ---------------- FPCore front end ---------------- *)
+
+module Fpcore_import = Cheffp_fpcore.Import
+module Fpcore_export = Cheffp_fpcore.Export
+
+let format_arg =
+  Arg.(
+    value & opt string "auto"
+    & info [ "format" ] ~docv:"FMT"
+        ~doc:
+          "Input format: $(b,minifp), $(b,fpcore) (FPBench interchange), or \
+           $(b,auto) (default; by file extension, .fpcore means FPCore).")
+
+let fpcore_input ~format path =
+  match format with
+  | "fpcore" -> true
+  | "minifp" -> false
+  | "auto" -> Filename.check_suffix path ".fpcore"
+  | other -> failwith ("unknown format " ^ other ^ " (auto|minifp|fpcore)")
+
+(* Load either syntax; FPCore inputs also carry per-kernel metadata
+   (sample arguments from [:pre], an embedded precision config). *)
+let load_any ~format path =
+  if fpcore_input ~format path then begin
+    let cores =
+      Trace.with_span "import" (fun () ->
+          if Trace.enabled () then Trace.add_attr "file" (Trace.Str path);
+          Fpcore_import.parse_file path)
+    in
+    let prog = Fpcore_import.program cores in
+    Trace.with_span "typecheck" (fun () ->
+        Typecheck.check_program ~builtins:(builtins ()) prog);
+    (prog, Some cores)
+  end
+  else (load path, None)
+
 (* Parse positional argument strings against the function signature. *)
 let parse_args func (raw : string list) =
   let f p s =
@@ -78,6 +114,16 @@ let parse_config demote =
           | None -> failwith ("unknown format " ^ fmt))
       | _ -> failwith ("bad demotion spec " ^ spec ^ " (expected var:fmt)"))
     Config.double demote
+
+(* Positional args beat [:pre]-derived samples; FPCore kernels analyzed
+   with no explicit arguments fall back to their sample point. *)
+let resolve_args cores func (f : Ast.func) raw =
+  match (raw, cores) with
+  | [], Some cs -> (
+      match Fpcore_import.find cs func with
+      | Some c -> c.Fpcore_import.default_args
+      | None -> parse_args f raw)
+  | _ -> parse_args f raw
 
 let model_of_string target = function
   | "taylor" -> Cheffp_core.Model.taylor ~target ()
@@ -146,6 +192,10 @@ let wrap f = try f (); `Ok () with
   | Failure m | Parser.Error m | Lexer.Error m | Typecheck.Error m
   | Interp.Runtime_error m | Cheffp_core.Estimate.Error m
   | Cheffp_ad.Reverse.Error m ->
+      `Error (false, m)
+  | Cheffp_fpcore.Sexp.Error m
+  | Fpcore_import.Error m
+  | Fpcore_export.Error m ->
       `Error (false, m)
   | Sys_error m -> `Error (false, m)
 
@@ -298,10 +348,10 @@ let gradient_cmd =
     Term.(ret (const run $ file_arg $ func_arg))
 
 let analyze_cmd =
-  let run file func model target show_code obs raw =
+  let run file func model target show_code format obs raw =
     wrap (fun () ->
         with_obs ~cmd:"analyze" obs @@ fun () ->
-        let prog = load file in
+        let prog, cores = load_any ~format file in
         let f = Ast.func_exn prog func in
         let target = target_of target in
         let model = model_of_string target model in
@@ -319,7 +369,7 @@ let analyze_cmd =
           print_endline "// generated error-estimating adjoint:";
           print_endline (Pp.func_to_string (Cheffp_core.Estimate.generated est))
         end;
-        let args = parse_args f raw in
+        let args = resolve_args cores func f raw in
         let r = Cheffp_core.Estimate.run est args in
         Printf.printf "model: %s\n" model.Cheffp_core.Model.model_name;
         print_string (Cheffp_core.Report.estimate r))
@@ -332,15 +382,16 @@ let analyze_cmd =
        ~doc:"Estimate the floating-point error of a function (CHEF-FP).")
     Term.(
       ret (const run $ file_arg $ func_arg $ model_arg $ target_arg $ show_code
-           $ obs_term $ rest_args))
+           $ format_arg $ obs_term $ rest_args))
 
 let tune_cmd =
-  let run file func threshold target emit profiled jobs batch no_batch obs raw =
+  let run file func threshold target emit profiled format jobs batch no_batch
+      obs raw =
     wrap (fun () ->
         with_obs ~cmd:"tune" obs @@ fun () ->
-        let prog = load file in
+        let prog, cores = load_any ~format file in
         let f = Ast.func_exn prog func in
-        let args = parse_args f raw in
+        let args = resolve_args cores func f raw in
         let target = target_of target in
         let profile =
           if profiled then
@@ -380,8 +431,8 @@ let tune_cmd =
     (Cmd.info "tune" ~doc:"Greedy mixed-precision tuning against an error threshold.")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ emit_arg $ profiled_arg $ jobs_arg $ batch_arg $ no_batch_arg
-           $ obs_term $ rest_args))
+           $ emit_arg $ profiled_arg $ format_arg $ jobs_arg $ batch_arg
+           $ no_batch_arg $ obs_term $ rest_args))
 
 let copy_args args =
   List.map
@@ -392,13 +443,13 @@ let copy_args args =
     args
 
 let search_cmd =
-  let run file func threshold target strategy prune_margin jobs batch no_batch
-      obs raw =
+  let run file func threshold target strategy prune_margin format jobs batch
+      no_batch obs raw =
     wrap (fun () ->
         with_obs ~cmd:"search" obs @@ fun () ->
-        let prog = load file in
+        let prog, cores = load_any ~format file in
         let f = Ast.func_exn prog func in
-        let args = parse_args f raw in
+        let args = resolve_args cores func f raw in
         let target = target_of target in
         (* Ground-truth column: shadow-execute the chosen configuration
            against the double-double reference (search validates in
@@ -421,17 +472,26 @@ let search_cmd =
        ~doc:"Precimonious-style search-based tuning baseline (compare with tune).")
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
-           $ strategy_arg $ prune_margin_arg $ jobs_arg $ batch_arg
-           $ no_batch_arg $ obs_term $ rest_args))
+           $ strategy_arg $ prune_margin_arg $ format_arg $ jobs_arg
+           $ batch_arg $ no_batch_arg $ obs_term $ rest_args))
 
 let validate_cmd =
-  let run file func demote mode margin fuel obs raw =
+  let run file func demote mode margin fuel format obs raw =
     wrap (fun () ->
         with_obs ~cmd:"validate" obs @@ fun () ->
-        let prog = load file in
+        let prog, cores = load_any ~format file in
         let f = Ast.func_exn prog func in
-        let args = parse_args f raw in
-        let config = parse_config demote in
+        let args = resolve_args cores func f raw in
+        (* with no --demote, an FPCore kernel's own :cheffp-config
+           (written by `cheffp export --demote`) is what gets checked *)
+        let config =
+          match (demote, cores) with
+          | [], Some cs -> (
+              match Fpcore_import.find cs func with
+              | Some c -> c.Fpcore_import.config
+              | None -> Config.double)
+          | _ -> parse_config demote
+        in
         let mode =
           match mode with
           | "extended" -> Config.Extended
@@ -481,7 +541,146 @@ let validate_cmd =
           non-zero on an unsound verdict.")
     Term.(
       ret (const run $ file_arg $ func_arg $ demote_arg $ mode_arg $ margin_arg
-           $ fuel_arg $ obs_term $ rest_args))
+           $ fuel_arg $ format_arg $ obs_term $ rest_args))
+
+let write_output out text =
+  match out with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.eprintf "wrote %s\n%!" path
+  | None -> print_string text
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Write the result to $(docv) instead of stdout.")
+
+let import_cmd =
+  let run files out =
+    wrap (fun () ->
+        if files = [] then failwith "cheffp import: no input files";
+        let buf = Buffer.create 4096 in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "// MiniFP translation of %d FPCore file(s), generated by \
+              `cheffp import`.\n"
+             (List.length files));
+        let used = Hashtbl.create 64 in
+        let uniquify name =
+          if not (Hashtbl.mem used name) then begin
+            Hashtbl.replace used name ();
+            name
+          end
+          else
+            let rec go k =
+              let c = Printf.sprintf "%s_%d" name k in
+              if Hashtbl.mem used c then go (k + 1)
+              else begin
+                Hashtbl.replace used c ();
+                c
+              end
+            in
+            go 2
+        in
+        let arg_str = function
+          | Interp.Aflt x -> Printf.sprintf "%.17g" x
+          | Interp.Aint n -> string_of_int n
+          | Interp.Afarr _ | Interp.Aiarr _ -> "?"
+        in
+        let all = ref [] in
+        List.iter
+          (fun file ->
+            let cores = Fpcore_import.parse_file file in
+            Buffer.add_string buf
+              (Printf.sprintf "\n// --- %s ---\n" (Filename.basename file));
+            List.iter
+              (fun (c : Fpcore_import.core) ->
+                let f = { c.Fpcore_import.func with Ast.fname = uniquify c.name } in
+                all := f :: !all;
+                Buffer.add_char buf '\n';
+                Option.iter
+                  (fun n ->
+                    Buffer.add_string buf (Printf.sprintf "// :name %S\n" n))
+                  c.source_name;
+                Option.iter
+                  (fun p ->
+                    Buffer.add_string buf (Printf.sprintf "// :pre %s\n" p))
+                  c.pre;
+                if c.default_args <> [] then
+                  Buffer.add_string buf
+                    (Printf.sprintf "// suggested args: %s\n"
+                       (String.concat " " (List.map arg_str c.default_args)));
+                (match Config.demoted c.config with
+                | [] -> ()
+                | ds ->
+                    Buffer.add_string buf
+                      (Printf.sprintf "// config: %s\n"
+                         (String.concat " "
+                            (List.map
+                               (fun (v, fmt) ->
+                                 v ^ ":" ^ Fp.format_to_string fmt)
+                               ds))));
+                Buffer.add_string buf (Pp.func_to_string f);
+                Buffer.add_char buf '\n')
+              cores)
+          files;
+        (* the translation must itself be a valid MiniFP unit *)
+        Typecheck.check_program ~builtins:(builtins ())
+          { Ast.funcs = List.rev !all };
+        write_output out (Buffer.contents buf))
+  in
+  let files_arg =
+    Arg.(
+      value & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"FPCore file(s) to translate.")
+  in
+  Cmd.v
+    (Cmd.info "import"
+       ~doc:
+         "Translate FPCore (FPBench) files into one MiniFP translation \
+          unit, with each kernel's provenance, [:pre]-derived sample \
+          arguments and embedded precision config as comments. \
+          Unsupported constructs are rejected with their source location, \
+          never silently mistranslated.")
+    Term.(ret (const run $ files_arg $ out_arg))
+
+let export_cmd =
+  let run file func demote format out =
+    wrap (fun () ->
+        let prog, _ = load_any ~format file in
+        let config =
+          if demote = [] then None else Some (parse_config demote)
+        in
+        let text =
+          match func with
+          | Some fn -> Fpcore_export.func_to_fpcore ?config ~prog ~func:fn ()
+          | None -> Fpcore_export.program_to_fpcore ?config prog
+        in
+        write_output out text)
+  in
+  let func_opt_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "f"; "func" ] ~docv:"NAME"
+          ~doc:"Export only this function (default: every function).")
+  in
+  Cmd.v
+    (Cmd.info "export"
+       ~doc:
+         "Render MiniFP functions as FPCore 1.x for exchange with other \
+          FPBench tools. A --demote configuration is embedded as \
+          :cheffp-config metadata; re-importing the output reconstructs \
+          the function exactly (see DESIGN.md \xc2\xa715 for the supported \
+          subset).")
+    Term.(
+      ret
+        (const run $ file_arg $ func_opt_arg $ demote_arg $ format_arg
+       $ out_arg))
 
 let adapt_cmd =
   let module Adapt = Cheffp_adapt.Adapt in
@@ -942,5 +1141,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ check_cmd; run_cmd; gradient_cmd; analyze_cmd; tune_cmd;
-            search_cmd; validate_cmd; adapt_cmd; sensitivity_cmd; serve_cmd;
-            top_cmd ]))
+            search_cmd; validate_cmd; import_cmd; export_cmd; adapt_cmd;
+            sensitivity_cmd; serve_cmd; top_cmd ]))

@@ -81,6 +81,10 @@ let default () =
         (u, call "select" [ u_wins; seed; Fconst 0. ]);
         (v, call "select" [ u_wins; Fconst 0.; seed ]);
       ]);
+  register t "fma" (fun ~args ~seed ->
+      match args with
+      | [ u; v; w ] -> [ (u, seed * v); (v, seed * u); (w, seed) ]
+      | _ -> invalid_arg "Deriv: fma expects 3 arguments");
   register t "select" (fun ~args ~seed ->
       match args with
       | [ c; a; b ] ->

@@ -1,0 +1,43 @@
+open Cheffp_ir
+
+type entry = {
+  path : string;
+  core : Cheffp_fpcore.Import.core;
+  prog : Ast.program;
+}
+
+let candidate_dirs () =
+  let env = match Sys.getenv_opt "CHEFFP_FPBENCH" with
+    | Some d when d <> "" -> [ d ]
+    | _ -> []
+  in
+  let rel = "examples/fpbench" in
+  env
+  @ [ rel;
+      Filename.concat ".." rel;
+      Filename.concat "../.." rel;
+      Filename.concat "../../.." rel;
+      Filename.concat "../../../.." rel ]
+
+let corpus_dir () =
+  List.find_opt
+    (fun d -> Sys.file_exists d && Sys.is_directory d)
+    (candidate_dirs ())
+
+let load () =
+  match corpus_dir () with
+  | None ->
+    failwith
+      "FPCore corpus not found: set CHEFFP_FPBENCH or run from the \
+       repository root (examples/fpbench)"
+  | Some dir ->
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".fpcore")
+    |> List.sort compare
+    |> List.concat_map (fun f ->
+        let path = Filename.concat dir f in
+        Cheffp_fpcore.Import.parse_file path
+        |> List.map (fun (core : Cheffp_fpcore.Import.core) ->
+            let prog : Ast.program = { funcs = [ core.func ] } in
+            Typecheck.check_program prog;
+            { path; core; prog }))

@@ -1,0 +1,22 @@
+(** On-disk FPCore benchmark corpus (examples/fpbench/*.fpcore).
+
+    Locates the vendored FPBench corpus relative to the current working
+    directory (or [CHEFFP_FPBENCH]) and imports every [.fpcore] file
+    through {!Cheffp_fpcore.Import}, so tests and benches can iterate a
+    realistic kernel population without embedding sources in OCaml. *)
+
+type entry = {
+  path : string;  (** absolute or cwd-relative path of the [.fpcore] file *)
+  core : Cheffp_fpcore.Import.core;
+  prog : Cheffp_ir.Ast.program;  (** type-checked single-function program *)
+}
+
+val corpus_dir : unit -> string option
+(** First existing directory among [$CHEFFP_FPBENCH] and
+    [examples/fpbench] looked up through a few parent levels (so it
+    works from the repo root and from dune's sandbox/test cwd). *)
+
+val load : unit -> entry list
+(** Import every [.fpcore] file in {!corpus_dir}, sorted by file name.
+    Raises [Failure] when no corpus directory exists, and lets importer
+    exceptions escape (a malformed vendored file should fail loudly). *)

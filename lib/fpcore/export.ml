@@ -1,0 +1,553 @@
+open Cheffp_ir
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun m -> raise (Error ("export: " ^ m))) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Document tree                                                       *)
+
+type doc =
+  | A of string  (* atom *)
+  | L of doc list  (* (...) *)
+  | B of doc list  (* [...] *)
+
+let rec inline = function
+  | A a -> a
+  | L xs -> "(" ^ String.concat " " (List.map inline xs) ^ ")"
+  | B xs -> "[" ^ String.concat " " (List.map inline xs) ^ "]"
+
+(* Width-aware renderer: a node that fits on the line stays inline;
+   otherwise the head stays on the first line and every remaining
+   element gets its own indented line. *)
+let rec render ind d =
+  let s = inline d in
+  if String.length s + ind <= 78 then s
+  else
+    match d with
+    | (L (h :: rest) | B (h :: rest)) when rest <> [] ->
+        let op, cl = match d with B _ -> ("[", "]") | _ -> ("(", ")") in
+        let pad = String.make (ind + 2) ' ' in
+        (* keep the head and any leading atoms (operator, loop kind, ...)
+           on the opening line; everything else gets its own line *)
+        let rec split lead = function
+          | A _ as a :: tl when tl <> [] -> split (a :: lead) tl
+          | tl -> (List.rev lead, tl)
+        in
+        let lead, tl = split [ h ] rest in
+        op
+        ^ String.concat " " (List.map inline lead)
+        ^ String.concat ""
+            (List.map (fun r -> "\n" ^ pad ^ render (ind + 2) r) tl)
+        ^ cl
+    | _ -> s
+
+(* ------------------------------------------------------------------ *)
+(* Literals and names                                                  *)
+
+(* Same shortest-faithful scheme as {!Pp.float_literal}: every emitted
+   decimal reads back to the identical binary64, so import is
+   bit-exact. *)
+let float_literal x =
+  if Float.is_integer x && Float.abs x < 1e16 then Printf.sprintf "%.1f" x
+  else
+    let s = Printf.sprintf "%.17g" x in
+    let shorter = Printf.sprintf "%.9g" x in
+    if float_of_string shorter = x then shorter else s
+
+let fconst x =
+  if Float.is_nan x then A "NAN"
+  else if x = Float.infinity then A "INFINITY"
+  else if x = Float.neg_infinity then L [ A "-"; A "INFINITY" ]
+  else A (float_literal x)
+
+let prec_name = function
+  | Fp.F64 -> "binary64"
+  | Fp.F32 -> "binary32"
+  | Fp.F16 -> "binary16"
+
+(* Operators with an FPCore spelling the importer maps straight back. *)
+let fpcore_calls =
+  [
+    ("sqrt", 1); ("fabs", 1); ("sin", 1); ("cos", 1); ("tan", 1); ("exp", 1);
+    ("log", 1); ("log2", 1); ("log10", 1); ("tanh", 1); ("atan", 1);
+    ("floor", 1); ("ceil", 1); ("pow", 2); ("fmin", 2); ("fmax", 2);
+    ("fma", 3);
+  ]
+
+let arith_name = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | _ -> assert false
+
+let cmp_name = function
+  | Ast.Eq -> "=="
+  | Ast.Ne -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | _ -> assert false
+
+(* A literal-only integer tree: FPCore has no integer spelling for it
+   (bare numbers re-import as reals), so such operands are rejected
+   rather than mistranslated. *)
+let rec const_int = function
+  | Ast.Iconst _ -> true
+  | Ast.Unop (Ast.Neg, e) -> const_int e
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div), a, b) ->
+      const_int a && const_int b
+  | _ -> false
+
+let dedup xs =
+  List.rev
+    (List.fold_left (fun acc x -> if List.mem x acc then acc else x :: acc) [] xs)
+
+(* ------------------------------------------------------------------ *)
+(* Read/write sets                                                     *)
+
+let rec expr_reads acc = function
+  | Ast.Var v -> v :: acc
+  | Ast.Idx (v, i) -> expr_reads (v :: acc) i
+  | Ast.Fconst _ | Ast.Iconst _ -> acc
+  | Ast.Unop (_, e) -> expr_reads acc e
+  | Ast.Binop (_, a, b) -> expr_reads (expr_reads acc a) b
+  | Ast.Call (_, args) -> List.fold_left expr_reads acc args
+
+(* Over-approximate read set (shadowing ignored): used only to decide
+   which loop variable survives the loop, where over-approximation can
+   reject or pick a still-correct result, never mistranslate. *)
+let rec stmts_read acc stmts =
+  List.fold_left
+    (fun acc s ->
+      match s with
+      | Ast.Decl { init; _ } ->
+          Option.fold ~none:acc ~some:(expr_reads acc) init
+      | Ast.Assign (lv, e) ->
+          let acc =
+            match lv with
+            | Ast.Lidx (_, i) -> expr_reads acc i
+            | Ast.Lvar _ -> acc
+          in
+          expr_reads acc e
+      | Ast.If (c, t, e) -> stmts_read (stmts_read (expr_reads acc c) t) e
+      | Ast.For { lo; hi; body; _ } ->
+          stmts_read (expr_reads (expr_reads acc lo) hi) body
+      | Ast.While (c, body) -> stmts_read (expr_reads acc c) body
+      | Ast.Return e -> Option.fold ~none:acc ~some:(expr_reads acc) e
+      | Ast.Call_stmt (_, args) -> List.fold_left expr_reads acc args
+      | Ast.Push lv | Ast.Pop lv -> (
+          match lv with
+          | Ast.Lidx (v, i) -> expr_reads (v :: acc) i
+          | Ast.Lvar v -> v :: acc))
+    acc stmts
+
+(* Variables declared outside [stmts] that the statements assign, in
+   first-assignment order. *)
+let assigned_outer stmts =
+  let rec go local acc stmts =
+    List.fold_left
+      (fun (local, acc) s ->
+        match s with
+        | Ast.Decl { name; _ } -> (name :: local, acc)
+        | Ast.Assign (Ast.Lvar v, _) ->
+            if List.mem v local || List.mem v acc then (local, acc)
+            else (local, acc @ [ v ])
+        | Ast.Assign (Ast.Lidx _, _) -> (local, acc)
+        | Ast.If (_, t, e) ->
+            let _, acc = go local acc t in
+            let _, acc = go local acc e in
+            (local, acc)
+        | Ast.For { var; body; _ } ->
+            let _, acc = go (var :: local) acc body in
+            (local, acc)
+        | Ast.While (_, body) ->
+            let _, acc = go local acc body in
+            (local, acc)
+        | Ast.Return _ | Ast.Call_stmt _ | Ast.Push _ | Ast.Pop _ ->
+            (local, acc))
+      (local, acc) stmts
+  in
+  snd (go [] [] stmts)
+
+(* ------------------------------------------------------------------ *)
+(* Conversion state                                                    *)
+
+type st = {
+  scalars : (string, Ast.scalar) Hashtbl.t;  (* declared, incl. params *)
+  pending : (string, unit) Hashtbl.t;  (* declared but not yet assigned *)
+  fname : string;
+  ambient : Fp.format;  (* the core's [:precision], from the return type *)
+}
+
+let scalar_of st v =
+  match Hashtbl.find_opt st.scalars v with
+  | Some sc -> sc
+  | None -> fail "%s: assignment to undeclared variable %s" st.fname v
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let rec conv_expr st (e : Ast.expr) : doc =
+  match e with
+  | Ast.Fconst x -> fconst x
+  | Ast.Iconst n -> A (string_of_int n)
+  | Ast.Var v ->
+      if Hashtbl.mem st.pending v then
+        fail "%s: variable %s may be read before it is assigned" st.fname v
+      else if not (Hashtbl.mem st.scalars v) then
+        fail "%s: unknown variable %s" st.fname v
+      else A v
+  | Ast.Idx (a, _) ->
+      fail "%s: array access %s[...] is outside the FPCore subset" st.fname a
+  | Ast.Unop (Ast.Neg, Ast.Fconst x) -> fconst (-.x)
+  | Ast.Unop (Ast.Neg, Ast.Iconst n) -> A (string_of_int (-n))
+  | Ast.Unop (Ast.Neg, e) -> L [ A "-"; conv_expr st e ]
+  | Ast.Unop (Ast.Not, _) ->
+      fail "%s: boolean operator outside a condition" st.fname
+  | Ast.Binop ((Ast.Add | Ast.Sub | Ast.Mul | Ast.Div) as op, a, b) ->
+      if const_int a && const_int b then
+        fail
+          "%s: constant integer arithmetic has no faithful FPCore spelling"
+          st.fname;
+      L [ A (arith_name op); conv_expr st a; conv_expr st b ]
+  | Ast.Binop (Ast.Mod, _, _) ->
+      fail "%s: integer modulo is outside the FPCore subset" st.fname
+  | Ast.Binop (_, _, _) ->
+      fail "%s: comparison or boolean operator outside a condition" st.fname
+  | Ast.Call (f, args) -> (
+      match List.assoc_opt f fpcore_calls with
+      | Some n when List.length args = n ->
+          L (A f :: List.map (conv_expr st) args)
+      | Some n ->
+          fail "%s: %s expects %d arguments, got %d" st.fname f n
+            (List.length args)
+      | None -> fail "%s: call to %S has no FPCore equivalent" st.fname f)
+
+let rec conv_cond st (e : Ast.expr) : doc =
+  match e with
+  | Ast.Iconst 1 -> A "TRUE"
+  | Ast.Iconst 0 -> A "FALSE"
+  | Ast.Unop (Ast.Not, c) -> L [ A "not"; conv_cond st c ]
+  | Ast.Binop (Ast.And, a, b) -> L [ A "and"; conv_cond st a; conv_cond st b ]
+  | Ast.Binop (Ast.Or, a, b) -> L [ A "or"; conv_cond st a; conv_cond st b ]
+  | Ast.Binop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b)
+    ->
+      L [ A (cmp_name op); conv_expr st a; conv_expr st b ]
+  | _ ->
+      fail "%s: a loop or branch condition must be a comparison, and/or/not, \
+            or a boolean constant"
+        st.fname
+
+(* ------------------------------------------------------------------ *)
+(* Store annotation (the strict convention Import.strip_store_annot
+   demands: narrow stores are a single rounding of an ambient-precision
+   value, spelled with an explicit inner re-annotation when the value
+   is compound). *)
+
+let annotate_store st sc rhs =
+  match sc with
+  | Ast.Sint -> L [ A "!"; A ":cheffp-type"; A "int"; rhs ]
+  | Ast.Sflt f when f = st.ambient -> rhs
+  | Ast.Sflt f when st.ambient = Fp.F64 ->
+      let inner =
+        match rhs with
+        | A _ -> rhs
+        | d -> L [ A "!"; A ":precision"; A "binary64"; d ]
+      in
+      L [ A "!"; A ":precision"; A (prec_name f); L [ A "cast"; inner ] ]
+  | Ast.Sflt f ->
+      fail
+        "%s: %s store under a %s ambient; only binary64 functions may mix \
+         formats"
+        st.fname (prec_name f)
+        (prec_name st.ambient)
+
+(* ------------------------------------------------------------------ *)
+(* Statements                                                          *)
+
+(* Convert a statement sequence to one FPCore expression: a single
+   [let*] chain whose body is the final value. [result] is [`Ret] for a
+   function body (must end in [return e]) or [`Var v] for an [if]
+   branch (value of [v] when the branch finishes). *)
+let rec body_to_doc st ~in_branch ~(result : [ `Ret | `Var of string ]) stmts :
+    doc =
+  let bindings = ref [] in
+  let push b = bindings := b :: !bindings in
+  let finish body =
+    match List.rev !bindings with [] -> body | bs -> L [ A "let*"; L bs; body ]
+  in
+  let rec go = function
+    | [] -> (
+        match result with
+        | `Var v ->
+            if Hashtbl.mem st.pending v then
+              fail "%s: a branch leaves %s unassigned" st.fname v
+            else finish (A v)
+        | `Ret ->
+            fail "%s: function body must end in a return statement" st.fname)
+    | [ Ast.Assign (Ast.Lvar w, e) ] when result = `Var w ->
+        (* final store to the branch's variable: its value is the
+           branch result, so no binding (and no extra store) is needed *)
+        let d = conv_expr st e in
+        Hashtbl.remove st.pending w;
+        finish d
+    | Ast.Return _ :: _ when result <> `Ret ->
+        fail "%s: return inside an if branch cannot be exported" st.fname
+    | Ast.Return None :: _ -> fail "%s: void return cannot be exported" st.fname
+    | Ast.Return (Some e) :: rest ->
+        if rest <> [] then
+          fail "%s: unreachable statements after return" st.fname;
+        finish (conv_expr st e)
+    | Ast.Decl { dty = Ast.Darr _; _ } :: _ ->
+        fail "%s: array declarations are outside the FPCore subset" st.fname
+    | Ast.Decl { name; dty = Ast.Dscalar sc; init = None } :: rest ->
+        Hashtbl.replace st.scalars name sc;
+        Hashtbl.replace st.pending name ();
+        go rest
+    | Ast.Decl { name; dty = Ast.Dscalar sc; init = Some e } :: rest ->
+        let d = conv_expr st e in
+        Hashtbl.replace st.scalars name sc;
+        Hashtbl.remove st.pending name;
+        push (B [ A name; annotate_store st sc d ]);
+        go rest
+    | Ast.Assign (Ast.Lidx _, _) :: _ ->
+        fail "%s: array stores are outside the FPCore subset" st.fname
+    | Ast.Assign (Ast.Lvar v, e) :: rest ->
+        let sc = scalar_of st v in
+        let d = conv_expr st e in
+        Hashtbl.remove st.pending v;
+        push (B [ A v; annotate_store st sc d ]);
+        go rest
+    | Ast.If (c, th, el) :: rest -> (
+        let cd = conv_cond st c in
+        match dedup (assigned_outer th @ assigned_outer el) with
+        | [ v ] ->
+            let sc = scalar_of st v in
+            let br stmts =
+              let st' =
+                {
+                  st with
+                  scalars = Hashtbl.copy st.scalars;
+                  pending = Hashtbl.copy st.pending;
+                }
+              in
+              body_to_doc st' ~in_branch:true ~result:(`Var v) stmts
+            in
+            let th_d = br th in
+            let el_d = br el in
+            Hashtbl.remove st.pending v;
+            push (B [ A v; annotate_store st sc (L [ A "if"; cd; th_d; el_d ]) ]);
+            go rest
+        | [] -> fail "%s: if statement assigns no outer variable" st.fname
+        | vs ->
+            fail
+              "%s: if statement assigns %d variables (%s); only \
+               single-variable branches have an FPCore expression form"
+              st.fname (List.length vs) (String.concat ", " vs))
+    | Ast.For { var; lo; hi; down; body } :: rest ->
+        if in_branch then
+          fail "%s: a loop inside an if branch cannot be exported" st.fname;
+        loop_export ~counter:(Some (var, lo, hi, down)) ~cond:None body rest
+    | Ast.While (c, body) :: rest ->
+        if in_branch then
+          fail "%s: a loop inside an if branch cannot be exported" st.fname;
+        loop_export ~counter:None ~cond:(Some c) body rest
+    | Ast.Call_stmt (f, _) :: _ ->
+        fail "%s: call to %S has no FPCore equivalent" st.fname f
+    | (Ast.Push _ | Ast.Pop _) :: _ ->
+        fail "%s: value-stack operations are outside the FPCore subset"
+          st.fname
+  (* A for/while statement becomes one [(! :cheffp-loop K (while* ...))]
+     binding. Loop variables are the assigned variables in body order;
+     FPCore's loop yields one value, so at most one of them may be
+     needed afterwards. *)
+  and loop_export ~counter ~cond body rest =
+    let targets =
+      List.map
+        (function
+          | Ast.Assign (Ast.Lvar v, e) -> (v, e)
+          | Ast.Assign (Ast.Lidx _, _) ->
+              fail "%s: array store inside an exported loop body" st.fname
+          | Ast.Decl _ ->
+              fail "%s: declarations inside an exported loop body are not \
+                    supported"
+                st.fname
+          | Ast.If _ | Ast.For _ | Ast.While _ ->
+              fail "%s: nested control flow inside an exported loop body is \
+                    not supported"
+                st.fname
+          | Ast.Return _ | Ast.Call_stmt _ | Ast.Push _ | Ast.Pop _ ->
+              fail "%s: unsupported statement inside an exported loop body"
+                st.fname)
+        body
+    in
+    if targets = [] then
+      fail "%s: a loop with an empty body cannot be exported" st.fname;
+    List.iteri
+      (fun i (v, _) ->
+        if List.exists (fun (w, _) -> w = v) (List.filteri (fun j _ -> j < i) targets)
+        then
+          fail "%s: loop body stores %s twice; FPCore loop variables update \
+                once per iteration"
+            st.fname v)
+      targets;
+    List.iter
+      (fun (v, _) ->
+        if not (Hashtbl.mem st.scalars v) then
+          fail "%s: loop variable %s is not declared" st.fname v;
+        if Hashtbl.mem st.pending v then
+          fail "%s: loop variable %s must be initialized before the loop"
+            st.fname v)
+      targets;
+    (* For-loop bounds are evaluated once in MiniFP but the synthesized
+       FPCore condition re-reads them every iteration, so they must not
+       mention the counter or any loop variable. *)
+    (match counter with
+    | Some (cv, lo, hi, _) ->
+        if List.exists (fun (v, _) -> v = cv) targets then
+          fail "%s: loop body assigns the counter %s" st.fname cv;
+        let breads = expr_reads (expr_reads [] lo) hi in
+        if List.mem cv breads then
+          fail "%s: loop bounds read %s, which the counter shadows" st.fname cv;
+        List.iter
+          (fun (v, _) ->
+            if List.mem v breads then
+              fail "%s: loop bounds read loop variable %s" st.fname v)
+          targets
+    | None -> ());
+    let counter_doc =
+      match counter with
+      | Some (cv, lo, hi, down) ->
+          let lo_d = conv_expr st lo and hi_d = conv_expr st hi in
+          Hashtbl.add st.scalars cv Ast.Sint;
+          if down then
+            Some
+              ( L [ A ">="; A cv; lo_d ],
+                "for-down",
+                B [ A cv; L [ A "-"; hi_d; A "1" ]; L [ A "-"; A cv; A "1" ] ]
+              )
+          else
+            Some
+              ( L [ A "<"; A cv; hi_d ],
+                "for",
+                B [ A cv; lo_d; L [ A "+"; A cv; A "1" ] ] )
+      | None -> None
+    in
+    let upd_docs =
+      List.map
+        (fun (v, e) ->
+          let d = conv_expr st e in
+          let d =
+            match scalar_of st v with
+            | Ast.Sint -> L [ A "!"; A ":cheffp-type"; A "int"; d ]
+            | Ast.Sflt _ -> d
+          in
+          B [ A v; A v; d ])
+        targets
+    in
+    let cond_d, kind, counter_binding =
+      match (counter_doc, cond) with
+      | Some (cd, k, cb), None ->
+          Hashtbl.remove st.scalars (match counter with
+            | Some (cv, _, _, _) -> cv
+            | None -> assert false);
+          (cd, k, [ cb ])
+      | None, Some c -> (conv_cond st c, "while", [])
+      | _ -> assert false
+    in
+    let later = stmts_read [] rest in
+    let res =
+      match List.filter (fun (v, _) -> List.mem v later) targets with
+      | [] -> fst (List.hd targets)
+      | [ (v, _) ] -> v
+      | vs ->
+          fail
+            "%s: %d loop variables (%s) are read after the loop; an FPCore \
+             loop yields a single value"
+            st.fname (List.length vs)
+            (String.concat ", " (List.map fst vs))
+    in
+    let wdoc =
+      L [ A "while*"; cond_d; L (counter_binding @ upd_docs); A res ]
+    in
+    push (B [ A res; L [ A "!"; A ":cheffp-loop"; A kind; wdoc ] ]);
+    go rest
+  in
+  go stmts
+
+(* ------------------------------------------------------------------ *)
+(* Functions and programs                                              *)
+
+let func_to_fpcore ?config ~prog ~func () =
+  let f =
+    match Ast.find_func prog func with
+    | Some f -> f
+    | None -> fail "no function named %S in the program" func
+  in
+  let ambient =
+    match f.ret with
+    | Some (Ast.Sflt fmt) -> fmt
+    | Some Ast.Sint ->
+        fail "%s: integer-valued functions cannot be exported" f.fname
+    | None -> fail "%s: void functions cannot be exported" f.fname
+  in
+  let st =
+    {
+      scalars = Hashtbl.create 16;
+      pending = Hashtbl.create 8;
+      fname = f.fname;
+      ambient;
+    }
+  in
+  let arg_docs =
+    List.map
+      (fun (p : Ast.param) ->
+        (match p.pmode with
+        | Ast.In -> ()
+        | Ast.Out ->
+            fail "%s: out parameter %s cannot be exported" f.fname p.pname);
+        match p.pty with
+        | Ast.Tarr _ ->
+            fail "%s: array parameter %s cannot be exported" f.fname p.pname
+        | Ast.Tscalar sc ->
+            Hashtbl.replace st.scalars p.pname sc;
+            (match sc with
+            | Ast.Sint -> L [ A "!"; A ":cheffp-type"; A "int"; A p.pname ]
+            | Ast.Sflt fmt when fmt = ambient -> A p.pname
+            | Ast.Sflt fmt when ambient = Fp.F64 ->
+                L [ A "!"; A ":precision"; A (prec_name fmt); A p.pname ]
+            | Ast.Sflt fmt ->
+                fail
+                  "%s: %s parameter %s under a %s ambient; only binary64 \
+                   functions may mix formats"
+                  f.fname (prec_name fmt) p.pname (prec_name ambient)))
+      f.params
+  in
+  let body = body_to_doc st ~in_branch:false ~result:`Ret f.body in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf "(FPCore %s %s\n" f.fname (inline (L arg_docs)));
+  Buffer.add_string buf (" :precision " ^ prec_name ambient ^ "\n");
+  (match config with
+  | Some cfg when Config.demoted cfg <> [] ->
+      let toks =
+        List.map
+          (fun (v, fmt) -> v ^ ":" ^ Fp.format_to_string fmt)
+          (Config.demoted cfg)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf " :cheffp-config %S\n" (String.concat " " toks))
+  | _ -> ());
+  Buffer.add_string buf (" " ^ render 1 body ^ ")\n");
+  Buffer.contents buf
+
+let program_to_fpcore ?config (prog : Ast.program) =
+  String.concat "\n"
+    (List.map
+       (fun (f : Ast.func) -> func_to_fpcore ?config ~prog ~func:f.fname ())
+       prog.funcs)

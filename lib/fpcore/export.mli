@@ -1,0 +1,39 @@
+(** MiniFP → FPCore exporter.
+
+    Renders straight-line and loop {!Cheffp_ir.Ast} functions as
+    well-formed FPCore 1.x so results are cross-checkable against
+    FPTaylor / Herbie / Daisy, and so {!Import} can reconstruct the
+    function exactly (the round-trip property the fuzz suite gates).
+
+    Mapping (DESIGN.md §15): the ambient [:precision] is the function's
+    return format — binary64 functions may mix formats (narrow stores as
+    [(! :precision P (cast (! :precision binary64 e)))]), while
+    binary32/binary16 functions must be uniformly typed; declarations
+    and assignments become a [let*] chain (integers as
+    [(! :cheffp-type int e)]);
+    single-variable [if] statements become [if] expressions binding
+    that variable; [for]/[while] statements become
+    [(! :cheffp-loop for|for-down|while (while* ...))] whose loop
+    variables are the assigned variables in body order. A
+    mixed-precision configuration rides along as [:cheffp-config]
+    metadata without changing the program text.
+
+    Outside this subset — arrays, [out] parameters, user-function
+    calls, multi-variable branch bodies, loops whose post-loop state
+    needs more than one variable — export fails with a precise error
+    rather than emitting something that means less than the input. *)
+
+open Cheffp_ir
+
+exception Error of string
+
+val func_to_fpcore :
+  ?config:Cheffp_precision.Config.t -> prog:Ast.program -> func:string ->
+  unit -> string
+(** One function as an [(FPCore ...)] form (trailing newline included).
+    @raise Error when the function uses a construct outside the
+    exportable subset, or is not found. *)
+
+val program_to_fpcore :
+  ?config:Cheffp_precision.Config.t -> Ast.program -> string
+(** Every function of the program, concatenated. @raise Error *)

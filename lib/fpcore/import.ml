@@ -1,0 +1,1071 @@
+open Cheffp_ir
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+
+exception Error of string
+
+type core = {
+  name : string;
+  source_name : string option;
+  precision : Fp.format;
+  func : Ast.func;
+  config : Config.t;
+  default_args : Interp.arg list;
+  pre : string option;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+
+let err_at ?file (pos : Sexp.pos) fmt =
+  Format.kasprintf
+    (fun msg ->
+      let where =
+        match file with
+        | Some f -> Printf.sprintf "%s:%d:%d" f pos.Sexp.line pos.Sexp.col
+        | None -> Printf.sprintf "line %d, col %d" pos.Sexp.line pos.Sexp.col
+      in
+      raise (Error (Printf.sprintf "%s: %s" where msg)))
+    fmt
+
+(* ------------------------------------------------------------------ *)
+(* Name sanitization                                                   *)
+
+let minifp_keywords =
+  [
+    "func"; "var"; "if"; "else"; "for"; "in"; "while"; "return"; "out";
+    "reversed"; "push"; "pop"; "void"; "int"; "f16"; "f32"; "f64";
+  ]
+
+let reserved =
+  let t = Hashtbl.create 64 in
+  List.iter (fun k -> Hashtbl.replace t k ()) minifp_keywords;
+  List.iter
+    (fun k -> Hashtbl.replace t k ())
+    (Builtins.names (Builtins.create ()));
+  t
+
+let sanitize s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    s;
+  let s = Buffer.contents b in
+  let s = if s = "" then "v" else s in
+  let s = match s.[0] with '0' .. '9' -> "v" ^ s | _ -> s in
+  if Hashtbl.mem reserved s then s ^ "_" else s
+
+(* ------------------------------------------------------------------ *)
+(* Numbers and named constants                                         *)
+
+let is_digits s = s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') s
+
+(* FPCore numbers: decimal/scientific, hexadecimal floats, and exact
+   rationals [p/q]. *)
+let parse_num (s : string) : float option =
+  match String.index_opt s '/' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+      let p = String.sub s 0 i
+      and q = String.sub s (i + 1) (String.length s - i - 1) in
+      let p' =
+        match p.[0] with
+        | '+' | '-' -> String.sub p 1 (String.length p - 1)
+        | _ -> p
+      in
+      if is_digits p' && is_digits q then
+        (* numerator and denominator are exact binary64 integers in
+           practice and division rounds correctly, so this is
+           round-to-nearest of the rational value *)
+        Some (float_of_string p /. float_of_string q)
+      else None
+  | Some _ -> None
+  | None -> (
+      match float_of_string_opt s with
+      | Some f when s <> "" -> (
+          (* float_of_string accepts forms FPCore does not treat as
+             numbers ("infinity", "nan"); restrict to digit-led ones *)
+          match s.[0] with
+          | '0' .. '9' | '.' -> Some f
+          | '+' | '-' when String.length s > 1 -> (
+              match s.[1] with '0' .. '9' | '.' -> Some f | _ -> None)
+          | _ -> None)
+      | _ -> None)
+
+let named_constants =
+  [
+    ("E", Float.exp 1.0);
+    ("LOG2E", 1.0 /. Float.log 2.0);
+    ("LOG10E", 1.0 /. Float.log 10.0);
+    ("LN2", Float.log 2.0);
+    ("LN10", Float.log 10.0);
+    ("PI", Float.pi);
+    ("PI_2", Float.pi /. 2.0);
+    ("PI_4", Float.pi /. 4.0);
+    ("M_1_PI", 1.0 /. Float.pi);
+    ("M_2_PI", 2.0 /. Float.pi);
+    ("M_2_SQRTPI", 2.0 /. Float.sqrt Float.pi);
+    ("SQRT2", Float.sqrt 2.0);
+    ("SQRT1_2", Float.sqrt 0.5);
+    ("INFINITY", Float.infinity);
+    ("NAN", Float.nan);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Operator tables                                                     *)
+
+let float_unops =
+  [
+    "sqrt"; "fabs"; "sin"; "cos"; "tan"; "exp"; "log"; "log2"; "log10";
+    "tanh"; "atan"; "floor"; "ceil";
+  ]
+
+let float_binops = [ "pow"; "fmin"; "fmax" ]
+
+let arith_ops =
+  [ ("+", Ast.Add); ("-", Ast.Sub); ("*", Ast.Mul); ("/", Ast.Div) ]
+
+let cmp_ops =
+  [
+    ("==", Ast.Eq); ("!=", Ast.Ne); ("<", Ast.Lt); ("<=", Ast.Le);
+    (">", Ast.Gt); (">=", Ast.Ge);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Context and environment                                             *)
+
+type ctx = {
+  file : string option;
+  used : (string, int) Hashtbl.t;  (* MiniFP names taken in this core *)
+  ambient : Fp.format;  (* the core's :precision *)
+}
+
+let errc ctx pos fmt = err_at ?file:ctx.file pos fmt
+
+let fresh ctx base =
+  let base = sanitize base in
+  match Hashtbl.find_opt ctx.used base with
+  | None ->
+      Hashtbl.replace ctx.used base 1;
+      base
+  | Some hint ->
+      let rec go k =
+        let cand = Printf.sprintf "%s__%d" base k in
+        if Hashtbl.mem ctx.used cand then go (k + 1)
+        else (
+          Hashtbl.replace ctx.used base (k + 1);
+          Hashtbl.replace ctx.used cand 1;
+          cand)
+      in
+      go (max 2 (hint + 1))
+
+type binding = { mname : string; sc : Ast.scalar }
+type env = (string * binding) list
+
+(* A lowered expression whose kind may still be open (bare numeric
+   literals adapt to their context). *)
+type texpr = Fe of Ast.expr | Ie of Ast.expr | Num of float
+
+let as_float_err ctx pos = function
+  | Fe e -> e
+  | Num n -> Ast.Fconst n
+  | Ie _ ->
+      errc ctx pos "expected a real-valued expression, got an integer one"
+
+let as_int_err ctx pos = function
+  | Ie e -> e
+  | Num n when Float.is_integer n && Float.abs n < 1e9 ->
+      Ast.Iconst (int_of_float n)
+  | Num _ -> errc ctx pos "expected an integer literal"
+  | Fe _ -> errc ctx pos "expected an integer expression, got a real one"
+
+let scalar_kind = function Ast.Sint -> `I | Ast.Sflt _ -> `F
+
+(* ------------------------------------------------------------------ *)
+(* [!] property annotations                                            *)
+
+type annot = {
+  a_fmt : Fp.format option;
+  a_int : bool;
+  a_loop : [ `For | `ForDown | `While ] option;
+  a_inner : Sexp.t;
+}
+
+let no_annot inner =
+  { a_fmt = None; a_int = false; a_loop = None; a_inner = inner }
+
+let format_of_prec ctx pos = function
+  | "binary64" -> Fp.F64
+  | "binary32" -> Fp.F32
+  | "binary16" -> Fp.F16
+  | p -> errc ctx pos "unsupported precision %S (binary16/32/64 only)" p
+
+(* Parse [(! :prop val ... e)]; only the properties this tool defines a
+   meaning for are accepted inside [!]. *)
+let parse_bang ctx (s : Sexp.t) : annot =
+  match s with
+  | Sexp.List (Sexp.Atom ("!", _) :: rest, pos) ->
+      let rec go acc = function
+        | [ inner ] -> { acc with a_inner = inner }
+        | Sexp.Atom (":precision", _) :: Sexp.Atom (p, ppos) :: tl ->
+            go { acc with a_fmt = Some (format_of_prec ctx ppos p) } tl
+        | Sexp.Atom (":cheffp-type", _) :: Sexp.Atom ("int", _) :: tl ->
+            go { acc with a_int = true } tl
+        | Sexp.Atom (":cheffp-loop", _) :: Sexp.Atom (l, lpos) :: tl ->
+            let l =
+              match l with
+              | "for" -> `For
+              | "for-down" -> `ForDown
+              | "while" -> `While
+              | other -> errc ctx lpos "unknown :cheffp-loop kind %S" other
+            in
+            go { acc with a_loop = Some l } tl
+        | Sexp.Atom (p, ppos) :: _ :: _
+          when String.length p > 0 && p.[0] = ':' ->
+            errc ctx ppos "unsupported property %s in ! annotation" p
+        | _ ->
+            errc ctx pos
+              "malformed ! annotation: expected properties followed by one \
+               expression"
+      in
+      go (no_annot (Sexp.Atom ("", pos))) rest
+  | other -> no_annot other
+
+(* ------------------------------------------------------------------ *)
+(* Expression lowering                                                 *)
+(*                                                                     *)
+(* [acc] collects statements emitted for constructs that have no       *)
+(* MiniFP expression form (let bindings, if/while in operand           *)
+(* position). Emitted statements only ever write fresh variables, so   *)
+(* hoisting them before the enclosing expression preserves meaning.    *)
+
+let rec lower_expr ctx env (acc : Ast.stmt list ref) (s : Sexp.t) : texpr =
+  match s with
+  | Sexp.Str (_, pos) -> errc ctx pos "string literal in expression position"
+  | Sexp.Atom (a, pos) -> (
+      match parse_num a with
+      | Some f -> Num f
+      | None -> (
+          match List.assoc_opt a named_constants with
+          | Some v -> Fe (Ast.Fconst v)
+          | None -> (
+              match List.assoc_opt a env with
+              | Some b -> (
+                  match scalar_kind b.sc with
+                  | `F -> Fe (Ast.Var b.mname)
+                  | `I -> Ie (Ast.Var b.mname))
+              | None when a = "TRUE" || a = "FALSE" ->
+                  errc ctx pos "boolean constant outside a condition"
+              | None -> errc ctx pos "unbound variable %S" a)))
+  | Sexp.List (Sexp.Atom (op, opos) :: args, pos) -> (
+      match (op, args) with
+      | ("+" | "-" | "*" | "/"), _ -> (
+          let bop = List.assoc op arith_ops in
+          match args with
+          | [ a ] when op = "-" -> (
+              match lower_expr ctx env acc a with
+              | Fe e -> Fe (Ast.Unop (Ast.Neg, e))
+              | Ie e -> Ie (Ast.Unop (Ast.Neg, e))
+              | Num n -> Num (-.n))
+          | [ a; b ] ->
+              let ta = lower_expr ctx env acc a
+              and tb = lower_expr ctx env acc b in
+              lower_binop ctx pos bop (ta, Sexp.pos_of a) (tb, Sexp.pos_of b)
+          | _ ->
+              errc ctx opos "operator %s expects %s arguments, got %d" op
+                (if op = "-" then "1 or 2" else "2")
+                (List.length args))
+      | u, [ a ] when List.mem u float_unops ->
+          let x =
+            as_float_err ctx (Sexp.pos_of a) (lower_expr ctx env acc a)
+          in
+          Fe (Ast.Call (u, [ x ]))
+      | u, _ when List.mem u float_unops ->
+          errc ctx opos "%s expects 1 argument, got %d" u (List.length args)
+      | b, [ x; y ] when List.mem b float_binops ->
+          let x' =
+            as_float_err ctx (Sexp.pos_of x) (lower_expr ctx env acc x)
+          and y' =
+            as_float_err ctx (Sexp.pos_of y) (lower_expr ctx env acc y)
+          in
+          Fe (Ast.Call (b, [ x'; y' ]))
+      | b, _ when List.mem b float_binops ->
+          errc ctx opos "%s expects 2 arguments, got %d" b (List.length args)
+      | "fma", [ x; y; z ] ->
+          let f e =
+            as_float_err ctx (Sexp.pos_of e) (lower_expr ctx env acc e)
+          in
+          Fe (Ast.Call ("fma", [ f x; f y; f z ]))
+      | "fma", _ ->
+          errc ctx opos "fma expects 3 arguments, got %d" (List.length args)
+      | "digits", [ m; e; b ] -> Num (lower_digits ctx (m, e, b) pos)
+      | "digits", _ -> errc ctx opos "digits expects 3 arguments"
+      | ("let" | "let*"), [ Sexp.List (bindings, _); body ] ->
+          let env' =
+            lower_bindings ctx env acc ~star:(op = "let*") ~reuse:false
+              bindings
+          in
+          lower_expr ctx env' acc body
+      | ("let" | "let*"), _ ->
+          errc ctx opos "%s expects a binding list and a body" op
+      | "if", [ _; _; _ ] ->
+          let t = lower_rhs_fresh ctx env acc ~base:"t" (no_annot s) pos in
+          Fe (Ast.Var t)
+      | "if", _ -> errc ctx opos "if expects 3 arguments"
+      | ("while" | "while*"), _ ->
+          let t = lower_rhs_fresh ctx env acc ~base:"t" (no_annot s) pos in
+          Fe (Ast.Var t)
+      | "!", _ ->
+          errc ctx opos "! annotation is not supported in this position"
+      | "cast", _ -> errc ctx opos "cast outside a :precision annotation"
+      | ("and" | "or" | "not" | "==" | "!=" | "<" | "<=" | ">" | ">="), _ ->
+          errc ctx opos "boolean expression outside a condition"
+      | other, _ -> errc ctx opos "unsupported FPCore operator %S" other)
+  | Sexp.List (_, pos) -> errc ctx pos "expected an operator application"
+
+and lower_binop ctx pos bop (ta, pa) (tb, pb) : texpr =
+  match (ta, tb) with
+  | Fe x, Fe y -> Fe (Ast.Binop (bop, x, y))
+  | Fe x, Num n -> Fe (Ast.Binop (bop, x, Ast.Fconst n))
+  | Num n, Fe y -> Fe (Ast.Binop (bop, Ast.Fconst n, y))
+  | Ie x, Ie y -> Ie (Ast.Binop (bop, x, y))
+  | Ie x, (Num _ as n) -> Ie (Ast.Binop (bop, x, as_int_err ctx pb n))
+  | (Num _ as n), Ie y -> Ie (Ast.Binop (bop, as_int_err ctx pa n, y))
+  | Num a, Num b -> Fe (Ast.Binop (bop, Ast.Fconst a, Ast.Fconst b))
+  | Fe _, Ie _ | Ie _, Fe _ ->
+      errc ctx pos "mixed integer/real operands (no implicit conversion)"
+
+and lower_digits ctx (m, e, b) pos : float =
+  let int_atom = function
+    | Sexp.Atom (a, _) -> (
+        match int_of_string_opt a with
+        | Some i -> i
+        | None -> errc ctx pos "digits expects integer literals")
+    | _ -> errc ctx pos "digits expects integer literals"
+  in
+  let m = int_atom m and e = int_atom e and b = int_atom b in
+  match b with
+  | 2 -> Float.ldexp (float_of_int m) e
+  | 10 -> float_of_string (Printf.sprintf "%de%d" m e)
+  | _ -> errc ctx pos "digits base %d not supported (2 or 10)" b
+
+(* Conditions are MiniFP integer expressions. [pure] forbids emitted
+   statements (loop conditions are re-evaluated every iteration, so a
+   binding inside one cannot be hoisted). *)
+and lower_cond ctx env acc ?(pure = false) (s : Sexp.t) : Ast.expr =
+  if pure then begin
+    let sub = ref [] in
+    let r = lower_cond_inner ctx env sub s in
+    if !sub <> [] then
+      errc ctx (Sexp.pos_of s)
+        "bindings inside a loop condition are not supported";
+    r
+  end
+  else lower_cond_inner ctx env acc s
+
+and lower_cond_inner ctx env acc (s : Sexp.t) : Ast.expr =
+  match s with
+  | Sexp.Atom ("TRUE", _) -> Ast.Iconst 1
+  | Sexp.Atom ("FALSE", _) -> Ast.Iconst 0
+  | Sexp.List (Sexp.Atom ("and", _) :: args, pos) -> (
+      match List.map (lower_cond_inner ctx env acc) args with
+      | [] -> errc ctx pos "and expects at least one argument"
+      | x :: xs -> List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) x xs)
+  | Sexp.List (Sexp.Atom ("or", _) :: args, pos) -> (
+      match List.map (lower_cond_inner ctx env acc) args with
+      | [] -> errc ctx pos "or expects at least one argument"
+      | x :: xs -> List.fold_left (fun a b -> Ast.Binop (Ast.Or, a, b)) x xs)
+  | Sexp.List ([ Sexp.Atom ("not", _); a ], _) ->
+      Ast.Unop (Ast.Not, lower_cond_inner ctx env acc a)
+  | Sexp.List (Sexp.Atom (cmp, cpos) :: args, pos)
+    when List.mem_assoc cmp cmp_ops -> (
+      let op = List.assoc cmp cmp_ops in
+      if cmp = "!=" && List.length args > 2 then
+        errc ctx cpos
+          "variadic != (pairwise distinct) is not supported; use binary !=";
+      let ts =
+        List.map (fun a -> (lower_expr ctx env acc a, Sexp.pos_of a)) args
+      in
+      let pair (ta, pa) (tb, pb) =
+        match (ta, tb) with
+        | Ie _, _ | _, Ie _ ->
+            Ast.Binop (op, as_int_err ctx pa ta, as_int_err ctx pb tb)
+        | _ ->
+            Ast.Binop (op, as_float_err ctx pa ta, as_float_err ctx pb tb)
+      in
+      let rec chain = function
+        | a :: (b :: _ as rest) -> pair a b :: chain rest
+        | _ -> []
+      in
+      match chain ts with
+      | [] -> errc ctx pos "%s expects at least 2 arguments" cmp
+      | [ one ] -> one
+      | x :: xs -> List.fold_left (fun a b -> Ast.Binop (Ast.And, a, b)) x xs)
+  | Sexp.List ([ Sexp.Atom (("let" | "let*") as l, _); Sexp.List (bs, _); body ], _)
+    ->
+      let env' =
+        lower_bindings ctx env acc ~star:(l = "let*") ~reuse:false bs
+      in
+      lower_cond_inner ctx env' acc body
+  | other ->
+      errc ctx (Sexp.pos_of other) "expected a boolean condition, got %s"
+        (Sexp.describe other)
+
+(* ------------------------------------------------------------------ *)
+(* Binding and statement-position lowering                             *)
+
+(* Strip a binding's store annotation, yielding the declared scalar and
+   the value expression. The convention for rounded stores (DESIGN.md
+   §15) is strict about FPCore property scoping: [(! :precision P
+   (cast X))] computes X *in P*, so a compound X must re-annotate the
+   ambient precision explicitly — [(! :precision P (cast (! :precision
+   binary64 X)))] — or be atomic (a literal or variable, whose value
+   does not depend on the compute precision). Anything else is rejected
+   rather than mistranslated. *)
+and strip_store_annot ctx (ann : annot) pos : Ast.scalar * Sexp.t =
+  if ann.a_int then begin
+    (match ann.a_fmt with
+    | Some _ -> errc ctx pos ":cheffp-type int conflicts with :precision"
+    | None -> ());
+    (Ast.Sint, ann.a_inner)
+  end
+  else
+    match ann.a_fmt with
+    | None -> (Ast.Sflt ctx.ambient, ann.a_inner)
+    | Some f -> (
+        match ann.a_inner with
+        | Sexp.List ([ Sexp.Atom ("cast", _); x ], cpos) -> (
+            match x with
+            | Sexp.Atom _ -> (Ast.Sflt f, x)
+            | Sexp.List (Sexp.Atom ("!", _) :: _, _) -> (
+                let inner_ann = parse_bang ctx x in
+                match inner_ann.a_fmt with
+                | Some q when q = ctx.ambient ->
+                    (Ast.Sflt f, inner_ann.a_inner)
+                | Some _ ->
+                    errc ctx cpos
+                      "cast from a precision other than the ambient one is \
+                       not supported"
+                | None ->
+                    errc ctx cpos
+                      "cast of a compound expression requires an inner \
+                       :precision annotation")
+            | _ ->
+                errc ctx cpos
+                  "cast of a compound expression requires an inner \
+                   :precision annotation (FPCore scopes :precision over the \
+                   cast operand)")
+        | _ ->
+            errc ctx pos
+              ":precision in a binding must annotate a (cast ...) of the \
+               bound value")
+
+(* Lower [value] into destination variable [m] (scalar [sc]; when
+   [decl] is set the variable has not been declared yet). *)
+and lower_rhs_into ctx env acc ~(m : string) ~(sc : Ast.scalar)
+    ~(decl : bool) (value : Sexp.t) : unit =
+  match value with
+  | Sexp.List ([ Sexp.Atom ("if", _); c; th; el ], _) ->
+      let c' = lower_cond ctx env acc c in
+      if decl then
+        acc := Ast.Decl { name = m; dty = Dscalar sc; init = None } :: !acc;
+      let branch e =
+        let sub = ref [] in
+        lower_rhs_into ctx env sub ~m ~sc ~decl:false e;
+        List.rev !sub
+      in
+      acc := Ast.If (c', branch th, branch el) :: !acc
+  | Sexp.List (Sexp.Atom (("while" | "while*") as w, _) :: _, _) ->
+      lower_loop ctx env acc ~star:(w = "while*") ~dst:(m, sc, decl) value
+  | Sexp.List
+      ([ Sexp.Atom (("let" | "let*") as l, _); Sexp.List (bs, _); body ], _)
+    ->
+      (* bindings under a binding RHS or branch never reuse outer
+         storage: the shadowed value must survive the construct *)
+      let env' =
+        lower_bindings ctx env acc ~star:(l = "let*") ~reuse:false bs
+      in
+      lower_rhs_into ctx env' acc ~m ~sc ~decl body
+  | _ ->
+      let t = lower_expr ctx env acc value in
+      let e =
+        match scalar_kind sc with
+        | `F -> as_float_err ctx (Sexp.pos_of value) t
+        | `I -> as_int_err ctx (Sexp.pos_of value) t
+      in
+      if decl then
+        acc := Ast.Decl { name = m; dty = Dscalar sc; init = Some e } :: !acc
+      else acc := Ast.Assign (Ast.Lvar m, e) :: !acc
+
+(* Lower an annotated RHS into a fresh variable; returns its name. *)
+and lower_rhs_fresh ctx env acc ~base (ann : annot) pos : string =
+  let sc, value = strip_store_annot ctx ann pos in
+  match ann.a_loop with
+  | Some _ ->
+      let b =
+        lower_annotated_loop ctx env acc ~ann ~dst:(`New (fresh ctx base, sc))
+          value pos
+      in
+      b.mname
+  | None ->
+      let m = fresh ctx base in
+      lower_rhs_into ctx env acc ~m ~sc ~decl:true value;
+      m
+
+and lower_bindings ctx env acc ~star ~reuse bindings : env =
+  if star then
+    List.fold_left
+      (fun env b ->
+        let sym, bnd = lower_one_binding ctx env acc ~reuse b in
+        (sym, bnd) :: env)
+      env bindings
+  else
+    (* parallel let: every RHS runs against the original environment *)
+    let news =
+      List.map (fun b -> lower_one_binding ctx env acc ~reuse:false b) bindings
+    in
+    List.fold_left (fun env nb -> nb :: env) env news
+
+and lower_one_binding ctx env acc ~reuse (b : Sexp.t) : string * binding =
+  match b with
+  | Sexp.List ([ Sexp.Atom (sym, _); rhs ], bpos) -> (
+      let ann = parse_bang ctx rhs in
+      let sc, value = strip_store_annot ctx ann bpos in
+      match ann.a_loop with
+      | Some _ ->
+          let bnd =
+            lower_annotated_loop ctx env acc ~ann ~dst:(`Bind (sym, sc, reuse))
+              value bpos
+          in
+          (sym, bnd)
+      | None -> (
+          match List.assoc_opt sym env with
+          | Some b0 when reuse && b0.sc = sc ->
+              lower_rhs_into ctx env acc ~m:b0.mname ~sc ~decl:false value;
+              (sym, b0)
+          | _ ->
+              let m = fresh ctx sym in
+              lower_rhs_into ctx env acc ~m ~sc ~decl:true value;
+              (sym, { mname = m; sc })))
+  | other -> errc ctx (Sexp.pos_of other) "malformed binding, expected [x e]"
+
+(* Generic (unannotated) FPCore while/while*. Fresh loop variables are
+   declared and initialized before the loop; [while*] updates assign in
+   place sequentially, [while] updates evaluate into per-iteration
+   temporaries first (parallel semantics). When the loop's result is
+   exactly one of its variables and the destination is fresh, that loop
+   variable takes the destination's name so no copy store is added. *)
+and lower_loop ctx env acc ~star ~dst:(dm, dsc, decl) (s : Sexp.t) : unit =
+  match s with
+  | Sexp.List ([ Sexp.Atom _; cond; Sexp.List (bindings, _); res ], _) ->
+      let parsed =
+        List.map
+          (fun b ->
+            match b with
+            | Sexp.List ([ Sexp.Atom (sym, _); init; upd ], _) ->
+                let iann = parse_bang ctx init in
+                let sc =
+                  if iann.a_int then Ast.Sint else Ast.Sflt ctx.ambient
+                in
+                (sym, sc, iann.a_inner, upd)
+            | other ->
+                errc ctx (Sexp.pos_of other)
+                  "malformed loop binding, expected [x init update]")
+          bindings
+      in
+      (* initializers run against the outer environment *)
+      let inits =
+        List.map
+          (fun (sym, sc, init, _) ->
+            let t = lower_expr ctx env acc init in
+            let e =
+              match scalar_kind sc with
+              | `F -> as_float_err ctx (Sexp.pos_of init) t
+              | `I -> as_int_err ctx (Sexp.pos_of init) t
+            in
+            (sym, sc, e))
+          parsed
+      in
+      let takeover =
+        match res with
+        | Sexp.Atom (r, _)
+          when decl
+               && List.exists (fun (sym, sc, _) -> sym = r && sc = dsc) inits
+          ->
+            Some r
+        | _ -> None
+      in
+      let env' =
+        List.fold_left
+          (fun env' (sym, sc, e) ->
+            let m =
+              if takeover = Some sym then dm else fresh ctx sym
+            in
+            acc := Ast.Decl { name = m; dty = Dscalar sc; init = Some e } :: !acc;
+            (sym, { mname = m; sc }) :: env')
+          env inits
+      in
+      let cond' = lower_cond ctx env' acc ~pure:true cond in
+      let body = ref [] in
+      let lower_upd (sym, _, _, upd) =
+        let b = List.assoc sym env' in
+        let t = lower_expr ctx env' body upd in
+        let e =
+          match scalar_kind b.sc with
+          | `F -> as_float_err ctx (Sexp.pos_of upd) t
+          | `I -> as_int_err ctx (Sexp.pos_of upd) t
+        in
+        (b, e)
+      in
+      if star then
+        List.iter
+          (fun p ->
+            let b, e = lower_upd p in
+            body := Ast.Assign (Ast.Lvar b.mname, e) :: !body)
+          parsed
+      else begin
+        let temps =
+          List.map
+            (fun p ->
+              let b, e = lower_upd p in
+              let t = fresh ctx (b.mname ^ "_next") in
+              body :=
+                Ast.Decl { name = t; dty = Dscalar b.sc; init = Some e }
+                :: !body;
+              (b.mname, t))
+            parsed
+        in
+        List.iter
+          (fun (m, t) ->
+            body := Ast.Assign (Ast.Lvar m, Ast.Var t) :: !body)
+          temps
+      end;
+      acc := Ast.While (cond', List.rev !body) :: !acc;
+      (match takeover with
+      | Some _ -> () (* the result already lives in the destination *)
+      | None ->
+          let t = lower_expr ctx env' acc res in
+          let e =
+            match scalar_kind dsc with
+            | `F -> as_float_err ctx (Sexp.pos_of res) t
+            | `I -> as_int_err ctx (Sexp.pos_of res) t
+          in
+          if decl then
+            acc :=
+              Ast.Decl { name = dm; dty = Dscalar dsc; init = Some e } :: !acc
+          else acc := Ast.Assign (Ast.Lvar dm, e) :: !acc)
+  | other ->
+      errc ctx (Sexp.pos_of other)
+        "malformed while: expected (while cond (bindings...) result)"
+
+(* [:cheffp-loop]-annotated loops written by the exporter: loop
+   variables already exist, bindings have the shape [v v update], and
+   the loop reconstructs the original MiniFP for/while statement
+   exactly (no fresh storage, no copy stores). *)
+and lower_annotated_loop ctx env acc ~(ann : annot) ~dst (s : Sexp.t) pos :
+    binding =
+  let kind = match ann.a_loop with Some k -> k | None -> assert false in
+  match s with
+  | Sexp.List
+      ([ Sexp.Atom ("while*", _); cond; Sexp.List (bindings, bpos); res ], _)
+    -> (
+      let counter, rest_bindings, env_loop, bounds =
+        match kind with
+        | `While -> (None, bindings, env, None)
+        | `For | `ForDown -> (
+            match bindings with
+            | Sexp.List ([ Sexp.Atom (i, _); init; upd ], _) :: rest ->
+                let im = fresh ctx i in
+                let envi = (i, { mname = im; sc = Ast.Sint }) :: env in
+                let step_ok =
+                  match (kind, upd) with
+                  | ( `For,
+                      Sexp.List
+                        ( [ Sexp.Atom ("+", _); Sexp.Atom (i', _);
+                            Sexp.Atom ("1", _) ],
+                          _ ) )
+                    when i' = i ->
+                      true
+                  | ( `ForDown,
+                      Sexp.List
+                        ( [ Sexp.Atom ("-", _); Sexp.Atom (i', _);
+                            Sexp.Atom ("1", _) ],
+                          _ ) )
+                    when i' = i ->
+                      true
+                  | _ -> false
+                in
+                if not step_ok then
+                  errc ctx bpos
+                    "malformed :cheffp-loop for: counter update must be \
+                     (+/- i 1)";
+                let int_of e =
+                  as_int_err ctx (Sexp.pos_of e) (lower_expr ctx env acc e)
+                in
+                let lo, hi =
+                  match (kind, cond, init) with
+                  | ( `For,
+                      Sexp.List
+                        ([ Sexp.Atom ("<", _); Sexp.Atom (i', _); h ], _),
+                      l )
+                    when i' = i ->
+                      (int_of l, int_of h)
+                  | ( `ForDown,
+                      Sexp.List
+                        ([ Sexp.Atom (">=", _); Sexp.Atom (i', _); l ], _),
+                      Sexp.List
+                        ([ Sexp.Atom ("-", _); h; Sexp.Atom ("1", _) ], _) )
+                    when i' = i ->
+                      (int_of l, int_of h)
+                  | _ ->
+                      errc ctx bpos
+                        "malformed :cheffp-loop for: unrecognized bound shape"
+                in
+                (Some im, rest, envi, Some (lo, hi))
+            | _ ->
+                errc ctx bpos "malformed :cheffp-loop for: missing counter")
+      in
+      let body = ref [] in
+      List.iter
+        (fun b ->
+          match b with
+          | Sexp.List ([ Sexp.Atom (v, vpos); init; upd ], _) -> (
+              (match init with
+              | Sexp.Atom (v', _) when v' = v -> ()
+              | _ ->
+                  errc ctx vpos
+                    "malformed :cheffp-loop binding: initializer must be \
+                     the variable itself");
+              match List.assoc_opt v env with
+              | None -> errc ctx vpos "loop variable %S is not bound" v
+              | Some bv ->
+                  let uann = parse_bang ctx upd in
+                  let t = lower_expr ctx env_loop body uann.a_inner in
+                  let e =
+                    match scalar_kind bv.sc with
+                    | `F -> as_float_err ctx (Sexp.pos_of upd) t
+                    | `I -> as_int_err ctx (Sexp.pos_of upd) t
+                  in
+                  body := Ast.Assign (Ast.Lvar bv.mname, e) :: !body)
+          | other ->
+              errc ctx (Sexp.pos_of other)
+                "malformed loop binding, expected [x x update]")
+        rest_bindings;
+      let body = List.rev !body in
+      (match (kind, counter, bounds) with
+      | `While, _, _ ->
+          let cond' = lower_cond ctx env acc ~pure:true cond in
+          acc := Ast.While (cond', body) :: !acc
+      | (`For | `ForDown), Some im, Some (lo, hi) ->
+          acc :=
+            Ast.For { var = im; lo; hi; down = kind = `ForDown; body } :: !acc
+      | _ -> assert false);
+      let rb =
+        match res with
+        | Sexp.Atom (r, rpos) -> (
+            match List.assoc_opt r env with
+            | Some b -> b
+            | None -> errc ctx rpos "loop result %S is not a loop variable" r)
+        | other ->
+            errc ctx (Sexp.pos_of other)
+              "malformed :cheffp-loop: result must be a loop variable"
+      in
+      match dst with
+      | `Bind (sym, sc, reuse) -> (
+          match List.assoc_opt sym env with
+          | Some b0 when reuse && b0.mname = rb.mname -> b0
+          | _ when sc = rb.sc -> rb (* rebind the symbol to the result *)
+          | _ -> errc ctx pos "loop result type does not match the binding")
+      | `New (m, sc) ->
+          if sc = rb.sc then
+            acc :=
+              Ast.Decl
+                { name = m; dty = Dscalar sc; init = Some (Ast.Var rb.mname) }
+              :: !acc
+          else errc ctx pos "loop result type does not match the binding";
+          { mname = m; sc })
+  | other ->
+      errc ctx (Sexp.pos_of other)
+        "malformed :cheffp-loop: expected (while* cond (bindings...) result)"
+
+(* ------------------------------------------------------------------ *)
+(* Function body (tail position)                                       *)
+
+and lower_tail ctx env acc (s : Sexp.t) : unit =
+  match s with
+  | Sexp.List
+      ([ Sexp.Atom (("let" | "let*") as l, _); Sexp.List (bs, _); body ], _)
+    ->
+      let env' =
+        lower_bindings ctx env acc ~star:(l = "let*") ~reuse:(l = "let*") bs
+      in
+      lower_tail ctx env' acc body
+  | Sexp.List ([ Sexp.Atom ("if", _); _; _; _ ], pos)
+  | Sexp.List (Sexp.Atom (("while" | "while*"), _) :: _, pos) ->
+      let t = lower_rhs_fresh ctx env acc ~base:"t" (no_annot s) pos in
+      acc := Ast.Return (Some (Ast.Var t)) :: !acc
+  | Sexp.List (Sexp.Atom ("!", _) :: _, pos) -> (
+      let ann = parse_bang ctx s in
+      match ann.a_loop with
+      | Some _ ->
+          let t = lower_rhs_fresh ctx env acc ~base:"t" ann pos in
+          acc := Ast.Return (Some (Ast.Var t)) :: !acc
+      | None -> errc ctx pos "! annotation is not supported in this position")
+  | _ ->
+      let t = lower_expr ctx env acc s in
+      acc := Ast.Return (Some (as_float_err ctx (Sexp.pos_of s) t)) :: !acc
+
+(* ------------------------------------------------------------------ *)
+(* :pre sample-point derivation                                        *)
+
+let classify_term (s : Sexp.t) =
+  match s with
+  | Sexp.Atom (a, _) -> (
+      match parse_num a with
+      | Some f -> `Num f
+      | None -> (
+          match List.assoc_opt a named_constants with
+          | Some f -> `Num f
+          | None -> `Sym a))
+  | _ -> `Other
+
+let rec collect_ranges (s : Sexp.t) acc =
+  match s with
+  | Sexp.List (Sexp.Atom ("and", _) :: args, _) ->
+      List.fold_left (fun acc a -> collect_ranges a acc) acc args
+  | Sexp.List (Sexp.Atom (("<=" | "<" | ">=" | ">") as cmp, _) :: args, _) ->
+      let le = cmp = "<=" || cmp = "<" in
+      let set_lo acc s v =
+        let lo, hi = Option.value (List.assoc_opt s acc) ~default:(None, None) in
+        (s, (Some (max v (Option.value lo ~default:v)), hi))
+        :: List.remove_assoc s acc
+      and set_hi acc s v =
+        let lo, hi = Option.value (List.assoc_opt s acc) ~default:(None, None) in
+        (s, (lo, Some (min v (Option.value hi ~default:v))))
+        :: List.remove_assoc s acc
+      in
+      let bound acc a b =
+        (* a <= b when le, a >= b otherwise *)
+        match (classify_term a, classify_term b) with
+        | `Num v, `Sym s -> if le then set_lo acc s v else set_hi acc s v
+        | `Sym s, `Num v -> if le then set_hi acc s v else set_lo acc s v
+        | _ -> acc
+      in
+      let rec pairs acc = function
+        | a :: (b :: _ as rest) -> pairs (bound acc a b) rest
+        | _ -> acc
+      in
+      pairs acc args
+  | _ -> acc
+
+let sample_of_range (lo, hi) =
+  match (lo, hi) with
+  | Some lo, Some hi ->
+      let m = (lo +. hi) /. 2.0 in
+      if m <> 0.0 || (lo = 0.0 && hi = 0.0) then m
+      else if hi > 0.0 then hi /. 2.0
+      else lo /. 2.0
+  | Some lo, None -> lo +. 1.0
+  | None, Some hi -> hi -. 1.0
+  | None, None -> 0.5
+
+(* ------------------------------------------------------------------ *)
+(* Toplevel FPCore forms                                               *)
+
+let parse_cheffp_config ?file pos (s : string) : Config.t =
+  let tokens =
+    String.split_on_char ' ' s
+    |> List.concat_map (String.split_on_char ',')
+    |> List.filter (fun t -> t <> "")
+  in
+  List.fold_left
+    (fun cfg tok ->
+      match String.index_opt tok ':' with
+      | Some i ->
+          let v = String.sub tok 0 i
+          and f = String.sub tok (i + 1) (String.length tok - i - 1) in
+          let fmt =
+            match Fp.format_of_string f with
+            | Some fmt -> fmt
+            | None -> err_at ?file pos "bad format %S in :cheffp-config" f
+          in
+          Config.demote cfg v fmt
+      | None ->
+          err_at ?file pos "bad :cheffp-config entry %S (want var:fmt)" tok)
+    Config.double tokens
+
+let parse_core ?file ~(taken : (string, unit) Hashtbl.t) (s : Sexp.t) : core =
+  match s with
+  | Sexp.List (Sexp.Atom ("FPCore", _) :: rest, pos) ->
+      let fp_name, rest =
+        match rest with
+        | Sexp.Atom (n, _) :: tl -> (Some n, tl)
+        | tl -> (None, tl)
+      in
+      let params_s, rest =
+        match rest with
+        | Sexp.List (ps, _) :: tl -> (ps, tl)
+        | _ -> err_at ?file pos "FPCore: expected an argument list"
+      in
+      (* properties: (:key value)* body *)
+      let rec split_props props = function
+        | [ body ] -> (List.rev props, body)
+        | Sexp.Atom (k, kpos) :: v :: tl
+          when String.length k > 0 && k.[0] = ':' ->
+            split_props ((k, kpos, v) :: props) tl
+        | other :: _ ->
+            err_at ?file (Sexp.pos_of other)
+              "expected a :property/value pair or the function body"
+        | [] -> err_at ?file pos "FPCore form has no body"
+      in
+      let props, body = split_props [] rest in
+      let ambient = ref Fp.F64 in
+      let source_name = ref None in
+      let pre = ref None in
+      let config = ref Config.double in
+      List.iter
+        (fun (k, kpos, v) ->
+          match (k, v) with
+          | ":precision", Sexp.Atom (p, ppos) ->
+              ambient :=
+                (match p with
+                | "binary64" -> Fp.F64
+                | "binary32" -> Fp.F32
+                | "binary16" -> Fp.F16
+                | _ ->
+                    err_at ?file ppos
+                      "unsupported precision %S (binary16/32/64 only)" p)
+          | ":precision", other ->
+              err_at ?file (Sexp.pos_of other) "malformed :precision value"
+          | ":name", Sexp.Str (n, _) -> source_name := Some n
+          | ":pre", v -> pre := Some v
+          | ":round", Sexp.Atom ("nearestEven", _) -> ()
+          | ":round", other ->
+              err_at ?file (Sexp.pos_of other)
+                "only :round nearestEven is supported"
+          | ":cheffp-config", Sexp.Str (c, cpos) ->
+              config := parse_cheffp_config ?file cpos c
+          | ":cheffp-config", other ->
+              err_at ?file (Sexp.pos_of other)
+                ":cheffp-config expects a string value"
+          | k, _ when String.length k >= 8 && String.sub k 0 8 = ":cheffp-" ->
+              err_at ?file kpos "unknown tool property %s" k
+          | _ -> () (* other properties are descriptive metadata *))
+        props;
+      let ctx = { file; used = Hashtbl.create 16; ambient = !ambient } in
+      let base_name =
+        match fp_name with
+        | Some n -> sanitize n
+        | None -> (
+            match !source_name with
+            | Some n -> sanitize (String.lowercase_ascii n)
+            | None -> "kernel")
+      in
+      let fname =
+        if not (Hashtbl.mem taken base_name) then base_name
+        else
+          let rec go k =
+            let cand = Printf.sprintf "%s_%d" base_name k in
+            if Hashtbl.mem taken cand then go (k + 1) else cand
+          in
+          go 2
+      in
+      Hashtbl.replace taken fname ();
+      let params =
+        List.map
+          (fun p ->
+            match p with
+            | Sexp.Atom (sym, _) -> (sym, Ast.Sflt !ambient)
+            | Sexp.List (Sexp.Atom ("!", _) :: _, ppos) -> (
+                let ann = parse_bang ctx p in
+                match ann.a_inner with
+                | Sexp.Atom (sym, _) ->
+                    if ann.a_int then (sym, Ast.Sint)
+                    else
+                      (sym, Ast.Sflt (Option.value ann.a_fmt ~default:!ambient))
+                | _ -> err_at ?file ppos "malformed annotated argument")
+            | Sexp.List (_, ppos) ->
+                err_at ?file ppos
+                  "array/tensor arguments are not supported (FPCore 1.x \
+                   scalar subset)"
+            | Sexp.Str (_, ppos) -> err_at ?file ppos "malformed argument")
+          params_s
+      in
+      let env =
+        List.map (fun (sym, sc) -> (sym, { mname = fresh ctx sym; sc })) params
+      in
+      let mparams =
+        List.map2
+          (fun (_, sc) (_, b) ->
+            { Ast.pname = b.mname; pty = Ast.Tscalar sc; pmode = Ast.In })
+          params env
+      in
+      let acc = ref [] in
+      lower_tail ctx env acc body;
+      let func =
+        {
+          Ast.fname;
+          params = mparams;
+          ret = Some (Ast.Sflt !ambient);
+          body = List.rev !acc;
+        }
+      in
+      let ranges =
+        match !pre with Some p -> collect_ranges p [] | None -> []
+      in
+      let default_args =
+        List.map
+          (fun (sym, sc) ->
+            let r = Option.value (List.assoc_opt sym ranges) ~default:(None, None) in
+            let v = sample_of_range r in
+            match sc with
+            | Ast.Sint -> Interp.Aint (int_of_float v)
+            | Ast.Sflt _ -> Interp.Aflt v)
+          params
+      in
+      let pre_text =
+        Option.map
+          (fun p ->
+            let rec render (s : Sexp.t) =
+              match s with
+              | Sexp.Atom (a, _) -> a
+              | Sexp.Str (x, _) -> Printf.sprintf "%S" x
+              | Sexp.List (xs, _) ->
+                  "(" ^ String.concat " " (List.map render xs) ^ ")"
+            in
+            render p)
+          !pre
+      in
+      {
+        name = fname;
+        source_name = !source_name;
+        precision = !ambient;
+        func;
+        config = !config;
+        default_args;
+        pre = pre_text;
+      }
+  | other ->
+      err_at ?file (Sexp.pos_of other) "expected an (FPCore ...) form, got %s"
+        (Sexp.describe other)
+
+let parse_string ?file src =
+  let forms = Sexp.parse_string ?file src in
+  let taken = Hashtbl.create 8 in
+  List.map (parse_core ?file ~taken) forms
+
+let parse_file path =
+  let src =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error msg -> raise (Error msg)
+  in
+  parse_string ~file:path src
+
+let program cores = { Ast.funcs = List.map (fun c -> c.func) cores }
+let find cores name = List.find_opt (fun c -> c.name = name) cores

@@ -1,0 +1,55 @@
+(** FPCore 1.x → MiniFP front-end.
+
+    Translates FPBench-standard kernels into {!Cheffp_ir.Ast} functions
+    so the whole analysis stack — estimate, tune, search, the shadow
+    oracle — runs unchanged over the community corpus. The supported
+    subset (DESIGN.md §15) covers arithmetic [+ - * /], [sqrt fabs fma]
+    and the registered transcendentals, [let]/[let*], [if],
+    [while]/[while*], numeric constants (decimal, rational, hex,
+    [digits], the named constants), and the properties [:name], [:pre],
+    [:precision binary64|binary32|binary16], plus the tool namespace
+    [:cheffp-config] / [:cheffp-type] / [:cheffp-loop] written by
+    {!Export}. Everything outside the subset is rejected with a
+    source-located error — never silently mistranslated.
+
+    Translation is store-faithful where it matters for the error model:
+    [let*] rebindings of an already-bound symbol reuse the same MiniFP
+    variable (one store per binding, same declared format), [if] in
+    binding position lowers to a branch assigning the bound variable
+    (one store per executed branch), and [:cheffp-loop]-annotated loops
+    reconstruct the original [for]/[while] statement exactly. Shadowed
+    or parallel bindings fall back to fresh names, which preserves
+    values and the store sequence bit-for-bit. *)
+
+open Cheffp_ir
+
+exception Error of string
+(** Message includes [file:line:col] (or [line L, col C]) and the
+    offending construct. *)
+
+type core = {
+  name : string;  (** MiniFP function name (sanitized, unique per file) *)
+  source_name : string option;  (** the [:name "..."] property *)
+  precision : Cheffp_precision.Fp.format;
+      (** ambient [:precision] (default binary64) *)
+  func : Ast.func;
+  config : Cheffp_precision.Config.t;
+      (** mixed-precision assignments from [:cheffp-config], if any *)
+  default_args : Interp.arg list;
+      (** a sample point derived from [:pre] interval constraints
+          (midpoints; 0.5 for unconstrained parameters) so the kernel
+          can be analyzed without caller-provided arguments *)
+  pre : string option;  (** raw [:pre] text, for provenance *)
+}
+
+val parse_string : ?file:string -> string -> core list
+(** All [FPCore] forms in the input, in order. @raise Error *)
+
+val parse_file : string -> core list
+(** [parse_string] over the file's contents. @raise Error (also on
+    unreadable files) *)
+
+val program : core list -> Ast.program
+(** The cores as one MiniFP translation unit. *)
+
+val find : core list -> string -> core option

@@ -1,0 +1,171 @@
+type pos = { line : int; col : int }
+
+type t =
+  | Atom of string * pos
+  | Str of string * pos
+  | List of t list * pos
+
+exception Error of string
+
+let pos_of = function Atom (_, p) | Str (_, p) | List (_, p) -> p
+
+let describe = function
+  | Atom (a, _) -> Printf.sprintf "atom %S" a
+  | Str (s, _) -> Printf.sprintf "string %S" s
+  | List (xs, _) -> Printf.sprintf "a list of %d elements" (List.length xs)
+
+let err ?file pos fmt =
+  Format.kasprintf
+    (fun msg ->
+      let where =
+        match file with
+        | Some f -> Printf.sprintf "%s:%d:%d" f pos.line pos.col
+        | None -> Printf.sprintf "line %d, col %d" pos.line pos.col
+      in
+      raise (Error (Printf.sprintf "%s: %s" where msg)))
+    fmt
+
+type lexer = {
+  src : string;
+  file : string option;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek lx = if lx.off >= String.length lx.src then None else Some lx.src.[lx.off]
+
+let advance lx =
+  (match lx.src.[lx.off] with
+  | '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | _ -> lx.col <- lx.col + 1);
+  lx.off <- lx.off + 1
+
+let here lx = { line = lx.line; col = lx.col }
+
+let is_delim = function
+  | ' ' | '\t' | '\r' | '\n' | '(' | ')' | '[' | ']' | ';' | '"' -> true
+  | _ -> false
+
+let rec skip_ws lx =
+  match peek lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws lx
+  | Some ';' ->
+      let rec to_eol () =
+        match peek lx with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance lx;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws lx
+  | Some '#' when lx.off + 1 < String.length lx.src && lx.src.[lx.off + 1] = '|'
+    ->
+      (* scheme-style block comment, seen in some FPBench headers *)
+      let start = here lx in
+      advance lx;
+      advance lx;
+      let rec to_close () =
+        match peek lx with
+        | None -> err ?file:lx.file start "unterminated block comment"
+        | Some '|' when lx.off + 1 < String.length lx.src
+                        && lx.src.[lx.off + 1] = '#' ->
+            advance lx;
+            advance lx
+        | Some _ ->
+            advance lx;
+            to_close ()
+      in
+      to_close ();
+      skip_ws lx
+  | _ -> ()
+
+let read_string lx =
+  let start = here lx in
+  advance lx (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek lx with
+    | None -> err ?file:lx.file start "unterminated string literal"
+    | Some '"' -> advance lx
+    | Some '\\' -> (
+        advance lx;
+        match peek lx with
+        | None -> err ?file:lx.file start "unterminated string literal"
+        | Some c ->
+            Buffer.add_char buf
+              (match c with 'n' -> '\n' | 't' -> '\t' | c -> c);
+            advance lx;
+            go ())
+    | Some c ->
+        Buffer.add_char buf c;
+        advance lx;
+        go ()
+  in
+  go ();
+  Str (Buffer.contents buf, start)
+
+let read_atom lx =
+  let start = here lx in
+  let b = Buffer.create 8 in
+  let rec go () =
+    match peek lx with
+    | Some c when not (is_delim c) ->
+        Buffer.add_char b c;
+        advance lx;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  Atom (Buffer.contents b, start)
+
+(* [close] is the expected closing delimiter of the innermost open
+   list, or '\000' at toplevel. *)
+let rec read_one lx : t =
+  skip_ws lx;
+  match peek lx with
+  | None -> err ?file:lx.file (here lx) "unexpected end of input"
+  | Some '(' -> read_list lx ')'
+  | Some '[' -> read_list lx ']'
+  | Some (')' | ']') ->
+      err ?file:lx.file (here lx) "unexpected closing delimiter"
+  | Some '"' -> read_string lx
+  | Some _ -> read_atom lx
+
+and read_list lx close =
+  let start = here lx in
+  advance lx (* opening delimiter *);
+  let items = ref [] in
+  let rec go () =
+    skip_ws lx;
+    match peek lx with
+    | None ->
+        err ?file:lx.file start "unclosed %s"
+          (if close = ')' then "parenthesis" else "bracket")
+    | Some c when c = close -> advance lx
+    | Some (')' | ']') ->
+        err ?file:lx.file (here lx)
+          "mismatched delimiter: expected %c to close the list opened at \
+           line %d, col %d"
+          close start.line start.col
+    | Some _ ->
+        items := read_one lx :: !items;
+        go ()
+  in
+  go ();
+  List (List.rev !items, start)
+
+let parse_string ?file src =
+  let lx = { src; file; off = 0; line = 1; col = 1 } in
+  let rec go acc =
+    skip_ws lx;
+    match peek lx with
+    | None -> List.rev acc
+    | Some _ -> go (read_one lx :: acc)
+  in
+  go []

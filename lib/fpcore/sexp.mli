@@ -1,0 +1,30 @@
+(** Source-located S-expression reader for FPCore files.
+
+    FPCore (the FPBench interchange format) is a parenthesized prefix
+    syntax; `(` `)` and `[` `]` both delimit lists but must match in
+    kind, `;` starts a line comment, and string literals carry property
+    values such as [:name "Doppler shift"]. The reader keeps the
+    opening position of every node so the importer can reject
+    unsupported constructs with a precise location instead of silently
+    mistranslating them. *)
+
+type pos = { line : int; col : int }
+
+type t =
+  | Atom of string * pos  (** symbol, number, or [:property] keyword *)
+  | Str of string * pos  (** ["..."] string literal, unescaped *)
+  | List of t list * pos  (** position is the opening delimiter's *)
+
+exception Error of string
+(** Lexical or bracketing error; the message already includes
+    [file:line:col] (or [line L, col C] when no file is given). *)
+
+val pos_of : t -> pos
+
+val describe : t -> string
+(** Short human description ("atom \"sqrt\"", "a list of 3 elements",
+    ...) for error messages. *)
+
+val parse_string : ?file:string -> string -> t list
+(** All toplevel S-expressions in the input. @raise Error on malformed
+    input (unbalanced or mismatched delimiters, unterminated string). *)

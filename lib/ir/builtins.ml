@@ -90,6 +90,9 @@ let create () =
   register_float2 t "pow" ( ** );
   register_float2 t "fmin" ~cls:Cost.Basic Float.min;
   register_float2 t "fmax" ~cls:Cost.Basic Float.max;
+  register t "fma"
+    { args = [ Kflt; Kflt; Kflt ]; ret = Kflt; cls = Cost.Basic; approx = false }
+    (fun a -> F (Float.fma (as_float a.(0)) (as_float a.(1)) (as_float a.(2))));
   register t "select"
     { args = [ Kint; Kflt; Kflt ]; ret = Kflt; cls = Cost.Basic; approx = false }
     (fun a -> F (if as_int a.(0) <> 0 then as_float a.(1) else as_float a.(2)));

@@ -27,7 +27,7 @@ type t
 val create : unit -> t
 (** Fresh registry preloaded with the default math intrinsics:
     [sin cos tan exp log log2 log10 sqrt pow fabs floor ceil fmin fmax
-    tanh atan sign select itof ftoi castf32 castf16]. *)
+    fma tanh atan sign select itof ftoi castf32 castf16]. *)
 
 val empty : unit -> t
 

@@ -77,6 +77,7 @@ let default_dd_builtins : (string * dd_impl) list =
     ("ceil", fun a -> Dd.ceil a.(0));
     ("sign", fun a -> Dd.of_float (Dd.sign a.(0)));
     ("pow", dd_pow);
+    ("fma", fun a -> Dd.add (Dd.mul a.(0) a.(1)) a.(2));
     ("fmin", fun a -> if Dd.compare a.(0) a.(1) <= 0 then a.(0) else a.(1));
     ("fmax", fun a -> if Dd.compare a.(0) a.(1) >= 0 then a.(0) else a.(1));
     (* The reference is real-valued execution: explicit narrowing casts

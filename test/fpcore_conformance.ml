@@ -1,0 +1,89 @@
+(* FPCore conformance driver (run via `dune build @fpcore-smoke`).
+
+   Imports every vendored FPBench kernel in examples/fpbench/, then
+   gates three properties per kernel:
+
+   1. the CHEF-FP estimate at the kernel's :pre-derived sample point is
+      finite and non-negative;
+   2. demoting every float variable to binary32 yields a shadow-oracle
+      SOUND verdict at the tuner's margin of 2 (DESIGN.md §10) —
+      kernels whose configured run diverges at a branch are counted as
+      skipped, matching the fuzz harness;
+   3. exporting the imported function and re-importing it reproduces
+      the identical AST and a bit-identical error estimate (the
+      round-trip contract of DESIGN.md §15).
+
+   Exits non-zero, listing every failure, if any gate trips or the
+   corpus has shrunk below 40 kernels. *)
+
+module B = Cheffp_benchmarks
+module E = Cheffp_core.Estimate
+module Tuner = Cheffp_core.Tuner
+module Fp = Cheffp_precision.Fp
+module Config = Cheffp_precision.Config
+module Oracle = Cheffp_shadow.Oracle
+module Import = Cheffp_fpcore.Import
+module Export = Cheffp_fpcore.Export
+module Ast = Cheffp_ir.Ast
+
+let failures = ref 0
+
+let fail name fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr failures;
+      Printf.printf "FAIL %-24s %s\n" name m)
+    fmt
+
+let analyze prog func args =
+  let est = E.estimate_error ~prog ~func () in
+  (E.run est args).E.total_error
+
+let () =
+  let entries = B.Corpus.load () in
+  let n = List.length entries in
+  Printf.printf "fpcore conformance: %d kernels from %s\n" n
+    (match B.Corpus.corpus_dir () with Some d -> d | None -> "?");
+  if n < 40 then fail "corpus" "only %d kernels vendored; expected >= 40" n;
+  let sound = ref 0 and diverged = ref 0 in
+  List.iter
+    (fun (e : B.Corpus.entry) ->
+      let name = Filename.basename e.path in
+      let func = e.core.Import.name in
+      let args = e.core.Import.default_args in
+      try
+        (* 1. finite estimate at the :pre sample point *)
+        let total = analyze e.prog func args in
+        if not (Float.is_finite total) || total < 0.0 then
+          fail name "estimate at default args is %h" total;
+        (* 2. all-float-variables-to-F32 soundness against the oracle *)
+        let f = Ast.func_exn e.prog func in
+        let vars = Tuner.float_variables f in
+        let config = Config.demote_all e.core.Import.config vars Fp.F32 in
+        let v = Oracle.check_estimate ~margin:2.0 ~prog:e.prog ~func ~config args in
+        if v.Oracle.branch_divergence then incr diverged
+        else if not v.Oracle.sound then
+          fail name "UNSOUND: measured %.3e > bound %.3e"
+            v.Oracle.measured_error v.Oracle.bound
+        else incr sound;
+        (* 3. export -> import round trip is exact *)
+        let text = Export.func_to_fpcore ~prog:e.prog ~func () in
+        match Import.parse_string ~file:(name ^ "<roundtrip>") text with
+        | [ c ] ->
+            if c.Import.func <> f then fail name "round-trip AST differs"
+            else
+              let prog' : Ast.program = { funcs = [ c.Import.func ] } in
+              let total' = analyze prog' func args in
+              if not (Float.equal total total') then
+                fail name "round-trip estimate %h <> %h" total' total
+        | cs -> fail name "round-trip produced %d cores" (List.length cs)
+      with
+      | Export.Error m -> fail name "%s" m
+      | Import.Error m -> fail name "reimport: %s" m
+      | exn -> fail name "exception: %s" (Printexc.to_string exn))
+    entries;
+  Printf.printf
+    "fpcore conformance: %d/%d oracle-sound at uniform binary32 (margin 2), \
+     %d branch-divergent skipped, %d failure(s)\n"
+    !sound n !diverged !failures;
+  exit (if !failures > 0 then 1 else 0)

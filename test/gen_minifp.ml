@@ -306,3 +306,140 @@ let arbitrary_mixed_case : (program * (float * float)) QCheck.arbitrary =
     ~print:(fun (p, (x, y)) ->
       Printf.sprintf "x=%.17g y=%.17g\n%s" x y (Pp.program_to_string p))
     (G.pair gen_mixed_program gen_inputs)
+
+(* ------------------------------------------------------------------ *)
+(* FPCore-exportable programs, for the Export -> Import round-trip     *)
+(* fuzz property. Same tame arithmetic, restricted to the subset the   *)
+(* exporter maps exactly (DESIGN.md §15): no arrays, negation only of  *)
+(* variables (the exporter folds negated literals), two-sided ifs      *)
+(* assigning a single variable, and single-accumulator loops with      *)
+(* globally unique counters so reimported counter names can't shift.   *)
+(* ------------------------------------------------------------------ *)
+
+let rec gen_xexpr n : expr G.t =
+  let open G in
+  if n <= 0 then
+    oneof [ map (fun c -> Fconst c) gen_coeff; map (fun v -> Var v) gen_var ]
+  else
+    frequency
+      [
+        (2, map (fun c -> Fconst c) gen_coeff);
+        (3, map (fun v -> Var v) gen_var);
+        ( 4,
+          let* op = oneofl [ Add; Sub; Mul ] in
+          let* a = gen_xexpr (n / 2) in
+          let* b = gen_xexpr (n / 2) in
+          return (Binop (op, a, b)) );
+        ( 1,
+          let* a = gen_xexpr (n / 2) in
+          let* b = gen_xexpr (n / 2) in
+          return
+            (Binop (Div, a, Binop (Add, Fconst 3.0, Call ("tanh", [ b ])))) );
+        ( 2,
+          let* a = gen_xexpr (n - 1) in
+          gen_call1 a );
+        (1, map (fun v -> Unop (Neg, Var v)) gen_var);
+      ]
+
+let gen_xassign_to v : stmt G.t =
+  let open G in
+  let* e = gen_xexpr 4 in
+  let* damp = bool in
+  let rhs =
+    if damp then
+      Binop (Add, Call ("tanh", [ e ]), Binop (Mul, Fconst 0.25, Var v))
+    else e
+  in
+  return (Assign (Lvar v, rhs))
+
+let gen_xassign : stmt G.t = G.(gen_var >>= gen_xassign_to)
+
+let gen_xcond : expr G.t =
+  let open G in
+  let* op = oneofl [ Lt; Le; Gt; Ge ] in
+  let* a = gen_xexpr 2 in
+  let* b = gen_xexpr 2 in
+  return (Binop (op, a, b))
+
+(* One top-level statement; [k] makes loop counter names unique across
+   the function (the importer re-derives them with [fresh], so a
+   colliding name would come back renamed and break AST equality). *)
+let gen_segment k : (stmt * string option) G.t =
+  let open G in
+  frequency
+    [
+      (5, map (fun s -> (s, None)) gen_xassign);
+      ( 2,
+        let* c = gen_xcond in
+        let* v = gen_var in
+        let* t = gen_xassign_to v in
+        let* e = gen_xassign_to v in
+        return (If (c, [ t ], [ e ]), None) );
+      ( 2,
+        let* v = gen_var in
+        let* upd = gen_xassign_to v in
+        let* lo = int_range 0 2 in
+        let* hi = int_range 3 6 in
+        let* use_n = bool in
+        let* down = bool in
+        let hi_expr =
+          if use_n then Binop (Add, Var "n", Iconst (hi - 3)) else Iconst hi
+        in
+        return
+          ( For
+              {
+                var = Printf.sprintf "k%d" k;
+                lo = Iconst lo;
+                hi = hi_expr;
+                down;
+                body = [ upd ];
+              },
+            None ) );
+      ( 1,
+        let* v = gen_var in
+        let* upd = gen_xassign_to v in
+        let w = Printf.sprintf "w%d" k in
+        return
+          ( While
+              ( Binop (Lt, Var w, Iconst 4),
+                [ upd; Assign (Lvar w, Binop (Add, Var w, Iconst 1)) ] ),
+            Some w ) );
+    ]
+
+let gen_export_func : func G.t =
+  let open G in
+  let* nseg = int_range 2 6 in
+  let* segments = flatten_l (List.init nseg gen_segment) in
+  let* ret = gen_xexpr 3 in
+  let counters = List.filter_map snd segments in
+  let prelude =
+    [
+      Decl { name = "a"; dty = Dscalar (Sflt Fp.F64);
+             init = Some (Binop (Mul, Fconst 0.5, Var "x")) };
+      Decl { name = "b"; dty = Dscalar (Sflt Fp.F64);
+             init = Some (Binop (Add, Var "y", Fconst 0.25)) };
+      Decl { name = "c"; dty = Dscalar (Sflt Fp.F64);
+             init = Some (Fconst 1.0) };
+    ]
+    @ List.map
+        (fun w -> Decl { name = w; dty = Dscalar Sint; init = Some (Iconst 0) })
+        counters
+  in
+  return
+    {
+      fname = "fuzz";
+      params =
+        [
+          { pname = "x"; pty = Tscalar (Sflt Fp.F64); pmode = In };
+          { pname = "y"; pty = Tscalar (Sflt Fp.F64); pmode = In };
+          { pname = "n"; pty = Tscalar Sint; pmode = In };
+        ];
+      ret = Some (Sflt Fp.F64);
+      body = prelude @ List.map fst segments @ [ Return (Some ret) ];
+    }
+
+let arbitrary_export_case : (program * (float * float)) QCheck.arbitrary =
+  QCheck.make
+    ~print:(fun (p, (x, y)) ->
+      Printf.sprintf "x=%.17g y=%.17g\n%s" x y (Pp.program_to_string p))
+    (G.pair (G.map (fun f -> { funcs = [ f ] }) gen_export_func) gen_inputs)

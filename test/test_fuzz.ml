@@ -261,6 +261,40 @@ let fuzz_shadow_mixed_decls_lockstep =
           || (v.Oracle.demotion_error = 0.0
              && (v.Oracle.sound || not (Float.is_finite v.Oracle.bound))))
 
+module Fpcore_import = Cheffp_fpcore.Import
+module Fpcore_export = Cheffp_fpcore.Export
+
+(* 16. FPCore interop round trip (DESIGN.md §15): exporting a program
+   from the exportable subset and importing it back must reproduce the
+   identical AST — same variables, formats, loop structure — and hence
+   a bit-identical CHEF-FP analysis; a mixed-precision configuration
+   attached via :cheffp-config must survive unchanged too. *)
+let fuzz_fpcore_roundtrip =
+  QCheck.Test.make ~count:120 ~name:"fuzz: fpcore export/import round trip"
+    Gen_minifp.arbitrary_export_case (fun (prog, xy) ->
+      let args = args_of xy in
+      let config = Config.demote_all Config.double [ "a"; "c" ] Fp.F32 in
+      let text = Fpcore_export.func_to_fpcore ~config ~prog ~func:"fuzz" () in
+      match Fpcore_import.parse_string ~file:"<fuzz>" text with
+      | [ c ] ->
+          let f = Ast.func_exn prog "fuzz" in
+          if c.Fpcore_import.func <> f then false
+          else if
+            Config.demoted c.Fpcore_import.config <> Config.demoted config
+          then false
+          else begin
+            let prog' = { Ast.funcs = [ c.Fpcore_import.func ] } in
+            Typecheck.check_program prog';
+            let total p =
+              let est = Cheffp_core.Estimate.estimate_error ~prog:p ~func:"fuzz" () in
+              (Cheffp_core.Estimate.run est args).Cheffp_core.Estimate.total_error
+            in
+            match total prog with
+            | t -> Float.equal t (total prog')
+            | exception _ -> true (* estimation limits hit both sides alike *)
+          end
+      | _ -> false)
+
 let () =
   Alcotest.run "fuzz"
     [
@@ -282,5 +316,6 @@ let () =
             fuzz_shadow_sound;
             fuzz_shadow_mixed_decls_lockstep;
             fuzz_rewrite;
+            fuzz_fpcore_roundtrip;
           ] );
     ]

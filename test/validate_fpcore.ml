@@ -1,0 +1,343 @@
+(* Independent validator for FPCore text (used by @fpcore-smoke).
+
+   Hand-rolled tokenizer, reader and grammar/scope checker with no
+   dependency on lib/fpcore's lexer or parser, so it can vouch for the
+   exporter's output (and for the vendored corpus files) without
+   trusting the code under test. Checks, per (FPCore ...) form:
+
+   - parenthesis/bracket balance with kind matching;
+   - the FPCore head shape: optional symbol name, parameter list
+     (symbols, optionally under a (! prop... sym) annotation),
+     property/value pairs, exactly one body expression;
+   - :precision is a binary64/32/16, :name / :cheffp-config are
+     strings, :cheffp-type is int, :cheffp-loop is for/for-down/while;
+   - every operator has a known FPCore spelling and its exact arity
+     (and/or/comparisons are variadic >= 2);
+   - let/let*/while*/if/!/cast special forms are well-shaped;
+   - every symbol read is in scope (parameters, let/while* bindings,
+     named constants), with let evaluating bindings in the outer scope
+     and let*/while* sequencing theirs.
+
+   Usage: validate_fpcore [file.fpcore ...]
+   With no arguments it loads the vendored corpus, validates each
+   file's text, then re-exports every imported kernel and validates
+   the exporter's output too. Exits non-zero on the first malformed
+   form, naming the file and construct. *)
+
+let errors = ref 0
+
+let fail where fmt =
+  Printf.ksprintf
+    (fun m ->
+      incr errors;
+      Printf.printf "MALFORMED %s: %s\n" where m)
+    fmt
+
+(* ---------------- tokenizer ---------------- *)
+
+type tok = LP | RP | LB | RB | Str of string | Atom of string
+
+exception Bad of string
+
+let tokenize text =
+  let n = String.length text in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match text.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | ';' ->
+        while !i < n && text.[!i] <> '\n' do
+          incr i
+        done
+    | '(' ->
+        toks := LP :: !toks;
+        incr i
+    | ')' ->
+        toks := RP :: !toks;
+        incr i
+    | '[' ->
+        toks := LB :: !toks;
+        incr i
+    | ']' ->
+        toks := RB :: !toks;
+        incr i
+    | '"' ->
+        let j = ref (!i + 1) in
+        while !j < n && text.[!j] <> '"' do
+          if text.[!j] = '\\' then incr j;
+          incr j
+        done;
+        if !j >= n then raise (Bad "unterminated string literal");
+        toks := Str (String.sub text (!i + 1) (!j - !i - 1)) :: !toks;
+        i := !j + 1
+    | _ ->
+        let j = ref !i in
+        let stop c =
+          match c with
+          | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '[' | ']' | ';' | '"' ->
+              true
+          | _ -> false
+        in
+        while !j < n && not (stop text.[!j]) do
+          incr j
+        done;
+        toks := Atom (String.sub text !i (!j - !i)) :: !toks;
+        i := !j)
+  done;
+  List.rev !toks
+
+(* ---------------- reader ---------------- *)
+
+type form = S of string | Q of string | P of form list | K of form list
+(* symbol / quoted string / (...) / [...] *)
+
+let read_all toks =
+  let rec form = function
+    | [] -> raise (Bad "unexpected end of input")
+    | Str s :: rest -> (Q s, rest)
+    | Atom a :: rest -> (S a, rest)
+    | LP :: rest ->
+        let xs, rest = forms RP [] rest in
+        (P xs, rest)
+    | LB :: rest ->
+        let xs, rest = forms RB [] rest in
+        (K xs, rest)
+    | (RP | RB) :: _ -> raise (Bad "unexpected closing delimiter")
+  and forms close acc = function
+    | [] -> raise (Bad "unclosed delimiter")
+    | t :: rest when t = close -> (List.rev acc, rest)
+    | (RP | RB) :: _ -> raise (Bad "mismatched closing delimiter kind")
+    | toks ->
+        let f, rest = form toks in
+        forms close (f :: acc) rest
+  in
+  let rec top acc = function
+    | [] -> List.rev acc
+    | toks ->
+        let f, rest = form toks in
+        top (f :: acc) rest
+  in
+  top [] toks
+
+(* ---------------- grammar ---------------- *)
+
+let is_number a =
+  let num = Str.regexp {|^[+-]?\([0-9]+\.?[0-9]*\|\.[0-9]+\)\([eE][+-]?[0-9]+\)?$|} in
+  let hex = Str.regexp {|^[+-]?0x[0-9a-fA-F]+\.?[0-9a-fA-F]*\([pP][+-]?[0-9]+\)?$|} in
+  let rat = Str.regexp {|^[+-]?[0-9]+/[0-9]+$|} in
+  Str.string_match num a 0 || Str.string_match hex a 0 || Str.string_match rat a 0
+
+let constants =
+  [ "PI"; "E"; "LOG2E"; "LN2"; "SQRT2"; "NAN"; "INFINITY"; "TRUE"; "FALSE" ]
+
+(* exact arities; None = variadic with at least two operands *)
+let operators =
+  [ ("+", Some 2); ("-", None); ("*", Some 2); ("/", Some 2);
+    ("<", None); ("<=", None); (">", None); (">=", None);
+    ("==", None); ("!=", None); ("and", None); ("or", None); ("not", Some 1);
+    ("sqrt", Some 1); ("fabs", Some 1); ("sin", Some 1); ("cos", Some 1);
+    ("tan", Some 1); ("exp", Some 1); ("log", Some 1); ("log2", Some 1);
+    ("log10", Some 1); ("tanh", Some 1); ("atan", Some 1); ("floor", Some 1);
+    ("ceil", Some 1); ("pow", Some 2); ("fmin", Some 2); ("fmax", Some 2);
+    ("fma", Some 3); ("cast", Some 1) ]
+
+let precisions = [ "binary64"; "binary32"; "binary16" ]
+
+let sym where = function
+  | S a when not (is_number a) -> a
+  | _ -> raise (Bad (where ^ ": expected a symbol"))
+
+let binding_list where = function
+  | P bs | K bs ->
+      List.map
+        (function
+          | P items | K items -> items
+          | _ -> raise (Bad (where ^ ": binding must be a list")))
+        bs
+  | _ -> raise (Bad (where ^ ": expected a binding list"))
+
+(* one property (keyword + value); returns its (name, value) *)
+let check_property key value =
+  match (key, value) with
+  | ":name", Q _ | ":description", Q _ | ":cite", _ | ":pre", _ | ":spec", _
+    ->
+      ()
+  | ":precision", S p when List.mem p precisions -> ()
+  | ":precision", _ -> raise (Bad ":precision must be binary64/32/16")
+  | ":round", S _ -> ()
+  | ":cheffp-config", Q _ -> ()
+  | ":cheffp-config", _ -> raise (Bad ":cheffp-config must be a string")
+  | ":cheffp-type", S "int" -> ()
+  | ":cheffp-type", _ -> raise (Bad ":cheffp-type must be int")
+  | ":cheffp-loop", S ("for" | "for-down" | "while") -> ()
+  | ":cheffp-loop", _ -> raise (Bad ":cheffp-loop must be for/for-down/while")
+  | ":name", _ -> raise (Bad ":name must be a string")
+  | k, _ when String.length k > 0 && k.[0] = ':' -> ()
+  | k, _ -> raise (Bad ("expected a property keyword, got " ^ k))
+
+let rec check_expr env = function
+  | S a when is_number a -> ()
+  | S a when List.mem a constants -> ()
+  | S a ->
+      if not (List.mem a env) then raise (Bad ("unbound symbol " ^ a))
+  | Q _ -> raise (Bad "string literal in expression position")
+  | K _ -> raise (Bad "bracketed list in expression position")
+  | P (S (("let" | "let*") as head) :: rest) -> (
+      match rest with
+      | [ bs; body ] ->
+          let final =
+            List.fold_left
+              (fun env' items ->
+                match items with
+                | [ v; e ] ->
+                    let v = sym (head ^ " binding") v in
+                    (* let evaluates bindings in the outer scope,
+                       let* sequences them *)
+                    check_expr (if head = "let*" then env' else env) e;
+                    v :: env'
+                | _ -> raise (Bad (head ^ " binding must be [name expr]")))
+              env (binding_list head bs)
+          in
+          check_expr final body
+      | _ -> raise (Bad (head ^ " needs a binding list and one body")))
+  | P (S "while*" :: rest) | P (S "while" :: rest) -> (
+      match rest with
+      | [ cond; bs; res ] ->
+          let bindings = binding_list "while*" bs in
+          let names =
+            List.map
+              (function
+                | [ v; _; _ ] -> sym "while* binding" v
+                | _ -> raise (Bad "while* binding must be [name init update]"))
+              bindings
+          in
+          List.iter
+            (function
+              | [ _; init; _ ] -> check_expr env init
+              | _ -> assert false)
+            bindings;
+          let env' = names @ env in
+          check_expr env' cond;
+          List.iter
+            (function
+              | [ _; _; upd ] -> check_expr env' upd
+              | _ -> assert false)
+            bindings;
+          check_expr env' res
+      | _ -> raise (Bad "while* needs condition, bindings and a result"))
+  | P (S "if" :: rest) -> (
+      match rest with
+      | [ c; t; e ] ->
+          check_expr env c;
+          check_expr env t;
+          check_expr env e
+      | _ -> raise (Bad "if needs exactly three operands"))
+  | P (S "!" :: rest) ->
+      let rec props = function
+        | S k :: v :: more when String.length k > 0 && k.[0] = ':' ->
+            check_property k v;
+            props more
+        | [ e ] -> check_expr env e
+        | _ -> raise (Bad "! needs properties then one expression")
+      in
+      props rest
+  | P (S op :: args) when List.mem_assoc op operators -> (
+      (match List.assoc op operators with
+      | Some k when List.length args <> k ->
+          raise
+            (Bad
+               (Printf.sprintf "%s expects %d operand(s), got %d" op k
+                  (List.length args)))
+      | Some _ -> ()
+      | None ->
+          (* [-] is both unary negation and binary subtraction *)
+          let min_args = if op = "-" then 1 else 2 in
+          if List.length args < min_args then
+            raise (Bad (op ^ ": too few operands")));
+      List.iter (check_expr env) args)
+  | P (S op :: _) -> raise (Bad ("unknown operator " ^ op))
+  | P _ -> raise (Bad "expression list must start with an operator symbol")
+
+let check_param env = function
+  | S _ as s -> sym "parameter" s :: env
+  | P (S "!" :: rest) | K (S "!" :: rest) ->
+      let rec props = function
+        | S k :: v :: more when String.length k > 0 && k.[0] = ':' ->
+            check_property k v;
+            props more
+        | [ (S _ as s) ] -> sym "parameter" s :: env
+        | _ -> raise (Bad "annotated parameter must end in a symbol")
+      in
+      props rest
+  | _ -> raise (Bad "parameter must be a symbol or (! props symbol)")
+
+let check_core = function
+  | P (S "FPCore" :: rest) ->
+      let name, rest =
+        match rest with
+        | S a :: more when not (is_number a) -> (Some a, more)
+        | _ -> (None, rest)
+      in
+      ignore name;
+      let params, rest =
+        match rest with
+        | (P ps | K ps) :: more -> (ps, more)
+        | _ -> raise (Bad "FPCore needs a parameter list")
+      in
+      let env = List.fold_left check_param [] params in
+      let rec props seen = function
+        | S k :: v :: more when String.length k > 0 && k.[0] = ':' ->
+            if List.mem k seen then raise (Bad ("duplicate property " ^ k));
+            check_property k v;
+            (match (k, v) with
+            | ":pre", e -> check_expr env e
+            | _ -> ());
+            props (k :: seen) more
+        | [ body ] -> check_expr env body
+        | [] -> raise (Bad "FPCore has no body expression")
+        | _ -> raise (Bad "FPCore must end with exactly one body expression")
+      in
+      props [] rest
+  | _ -> raise (Bad "top-level form must be (FPCore ...)")
+
+let check_text where text =
+  match read_all (tokenize text) with
+  | [] -> fail where "no FPCore forms"
+  | forms -> (
+      try List.iter check_core forms with Bad m -> fail where "%s" m)
+  | exception Bad m -> fail where "%s" m
+
+(* ---------------- drivers ---------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files <> [] then List.iter (fun f -> check_text f (read_file f)) files
+  else begin
+    let entries = Cheffp_benchmarks.Corpus.load () in
+    List.iter
+      (fun (e : Cheffp_benchmarks.Corpus.entry) ->
+        check_text e.path (read_file e.path))
+      entries;
+    (* the exporter's own output must satisfy the same grammar *)
+    List.iter
+      (fun (e : Cheffp_benchmarks.Corpus.entry) ->
+        let func = e.core.Cheffp_fpcore.Import.name in
+        match
+          Cheffp_fpcore.Export.func_to_fpcore ~prog:e.prog ~func ()
+        with
+        | text -> check_text (e.path ^ "<exported>") text
+        | exception Cheffp_fpcore.Export.Error m ->
+            fail (e.path ^ "<exported>") "export failed: %s" m)
+      entries;
+    Printf.printf "validate_fpcore: %d corpus files + exporter output OK\n"
+      (List.length entries)
+  end;
+  exit (if !errors > 0 then 1 else 0)
