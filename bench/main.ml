@@ -10,7 +10,7 @@
      ids: table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9
           ablation-inline ablation-opt ablation-precision ablation-activity
           ablation-search perf-search smoke serve-bench telemetry-bench
-          batch-smoke model-smoke bechamel all *)
+          batch-smoke model-smoke dist-smoke bechamel all *)
 
 let usage () =
   print_endline
@@ -18,7 +18,7 @@ let usage () =
     \                 fig8|fig9|ablation-inline|ablation-opt|ablation-precision|\n\
     \                 ablation-activity|ablation-search|perf-search|smoke|\n\
     \                 serve-bench|telemetry-bench|batch-smoke|model-smoke|\n\
-    \                 bechamel|all]\n\
+    \                 dist-smoke|bechamel|all]\n\
      -j N   worker domains for parallel sweeps / candidate evaluation\n\
     \        (default: Domain.recommended_domain_count () - 1, min 1)";
   exit 1
@@ -100,7 +100,7 @@ let telemetry_bench () =
 let smoke ~jobs () =
   let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
   ignore sweep;
-  let rows, batch, model, soundness, server, telemetry, fpcore =
+  let rows, batch, model, dist, soundness, server, telemetry, fpcore =
     Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
       ~workloads:(Perf.smoke_workloads ()) ~small_soundness:true ()
   in
@@ -125,6 +125,7 @@ let smoke ~jobs () =
         && r.Perf.m_hybrid_execs < r.Perf.m_measured_execs)
       model
   in
+  let dist_ok = List.for_all (fun r -> r.Perf.d_identical) dist in
   let server_ok = serve_block_ok server in
   let telemetry_ok = telemetry_block_ok telemetry in
   let fpcore_ok =
@@ -136,14 +137,15 @@ let smoke ~jobs () =
      workload: %b; traced phases + pool metrics present: %b; \
      disabled-instrumentation overhead < 2%%: %b; estimate sound on every \
      benchmark: %b; hybrid = measured set with fewer executions: %b; \
-     server block gates pass: %b; telemetry block gates pass: %b; fpcore \
-     corpus >= 40 kernels with exact round trips: %b\n"
-    ok batch_ok hits traced overhead_ok sound model_ok server_ok telemetry_ok
-    fpcore_ok;
+     input-sweep samples bit-identical to scalar: %b; server block gates \
+     pass: %b; telemetry block gates pass: %b; fpcore corpus >= 40 kernels \
+     with exact round trips: %b\n"
+    ok batch_ok hits traced overhead_ok sound model_ok dist_ok server_ok
+    telemetry_ok fpcore_ok;
   if
     not
       (ok && batch_ok && hits && traced && overhead_ok && sound && model_ok
-     && server_ok && telemetry_ok && fpcore_ok)
+     && dist_ok && server_ok && telemetry_ok && fpcore_ok)
   then exit 1
 
 (* Batched-search smoke (`dune build @batch-smoke`): tiny batched
@@ -169,6 +171,55 @@ let batch_smoke () =
      batch.lanes gauge: %g\n"
     identical swept lanes_gauge;
   if not (identical && swept && lanes_gauge > 0.) then exit 1
+
+(* Input-sweep sampling smoke (`dune build @dist-smoke`): Monte-Carlo
+   sweeps on the five paper workloads must (a) beat equal-count scalar
+   runs on samples/sec via SoA lane batching alone (jobs=1 — the lane
+   speedup is core-count independent), (b) stay bit-identical to the
+   per-sample scalar runs with every divergence accounted by the
+   fallback (no silent ones — identity is the proof), and (c) make the
+   p99-targeted search choose a different demotion set than single-point
+   tuning on at least one workload, with the chosen configuration SOUND
+   against the shadow oracle at sampled points. The pool axis
+   (sweep chunks over domains) reads host_cores and is only gated on
+   real multi-core hosts, matching the parallel_speedup convention. *)
+let dist_smoke () =
+  let host_cores = Domain.recommended_domain_count () in
+  let jobs = max 2 (min 4 (host_cores - 1)) in
+  let rows =
+    List.map
+      (Perf.measure_dist ~samples:128 ~jobs)
+      (Perf.batch_workloads ~small:true ())
+  in
+  Perf.print_dist_rows rows;
+  let identical = List.for_all (fun r -> r.Perf.d_identical) rows in
+  let sweep_faster =
+    List.for_all (fun r -> Perf.dist_sweep_rate r > Perf.dist_scalar_rate r) rows
+  in
+  let pool_ok =
+    host_cores < 2
+    || List.for_all
+         (fun r -> Perf.dist_pool_rate r >= Perf.dist_sweep_rate r)
+         rows
+  in
+  let sets_differ =
+    List.exists (fun r -> r.Perf.d_point_demoted <> r.Perf.d_quantile_demoted) rows
+  in
+  let sound = List.for_all (fun r -> r.Perf.d_sound) rows in
+  Printf.printf
+    "dist-smoke: per-sample results bit-identical to scalar (all \
+     divergences fell back, none silent): %b; input-sweep > 1x samples/sec \
+     vs scalar on every workload: %b; pool >= single-domain sweep \
+     (multi-core hosts): %b; quantile-targeted set differs from \
+     single-point on >= 1 workload: %b; quantile configs sound vs shadow \
+     oracle at sampled points: %b\n"
+    identical sweep_faster pool_ok sets_differ sound;
+  if host_cores < 2 then
+    Printf.printf
+      "(single-core host: pool-scaling expectation skipped — sweep chunks \
+       time-slice one CPU; the lane speedup gate still applies)\n";
+  if not (identical && sweep_faster && pool_ok && sets_differ && sound) then
+    exit 1
 
 (* Profile-guided-search smoke (`dune build @model-smoke`): on every
    tiny paper workload the hybrid strategy must choose the measured
@@ -265,6 +316,7 @@ let () =
   | "telemetry-bench" -> telemetry_bench ()
   | "batch-smoke" -> batch_smoke ()
   | "model-smoke" -> model_smoke ()
+  | "dist-smoke" -> dist_smoke ()
   | "suite" -> Tables.suite ()
   | "bechamel" -> Micro.run ()
   | _ -> usage ()

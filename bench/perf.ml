@@ -583,6 +583,186 @@ let print_soundness rows =
     (100. *. soundness_coverage rows)
     (soundness_median_tightness rows)
 
+(* ------------------------------------------------------------------ *)
+(* Distribution block (DESIGN.md §16): Monte-Carlo input sweeps at SoA
+   lane speed. Per workload: samples/sec of N sampled evaluations run
+   (a) scalar one-by-one, (b) as SoA input sweeps on one domain,
+   (c) as sweep chunks fanned over the pool — all three bit-identical
+   per sample — plus the quantile-targeted vs single-point search
+   comparison with a shadow-oracle soundness check at sampled points. *)
+
+module Sampling = Cheffp_core.Sampling
+module Quantile = Cheffp_core.Quantile
+
+type dist_row = {
+  dw : workload;
+  d_samples : int;
+  d_sampled_vars : int;  (** plan slots actually drawn (0 = all-int args) *)
+  d_scalar_s : float;  (** per-sample scalar Compile.run loop, warm cache *)
+  d_sweep_s : float;  (** Batch.run_inputs_many, jobs = 1 *)
+  d_pool_s : float;  (** Batch.run_inputs_many, jobs = d_pool_jobs *)
+  d_pool_jobs : int;
+  d_divergences : int;  (** batch.divergence_total delta over the sweeps *)
+  d_identical : bool;  (** every sweep's per-sample results = scalar *)
+  d_point_demoted : string list;  (** single-point Search.tune set *)
+  d_quantile_demoted : string list;  (** quantile-targeted set *)
+  d_point_p99 : float;  (** sampled p99 error of the point-tuned config *)
+  d_quantile_p99 : float;  (** sampled p99 error of the quantile-tuned config *)
+  d_sound : bool;  (** oracle SOUND for the quantile config at sampled points *)
+}
+
+let dist_rate n s = if s > 0. then float_of_int n /. s else 0.
+let dist_scalar_rate r = dist_rate r.d_samples r.d_scalar_s
+let dist_sweep_rate r = dist_rate r.d_samples r.d_sweep_s
+let dist_pool_rate r = dist_rate r.d_samples r.d_pool_s
+
+let deep_copy_args args =
+  List.map
+    (function
+      | Cheffp_ir.Interp.Afarr a -> Cheffp_ir.Interp.Afarr (Array.copy a)
+      | Cheffp_ir.Interp.Aiarr a -> Cheffp_ir.Interp.Aiarr (Array.copy a)
+      | x -> x)
+    args
+
+(* Microsecond kernels (per-option Black-Scholes) make a single pass
+   over the samples too short to time against scheduler noise: repeat
+   the run until the window reaches [min_elapsed] and report the mean.
+   The first pass's result is returned for the identity checks. *)
+let time_stable ?(min_elapsed = 0.05) f =
+  let r, t = Meter.time f in
+  if t >= min_elapsed then (r, t)
+  else begin
+    let reps =
+      max 1 (int_of_float (Float.ceil (min_elapsed /. Float.max 1e-6 t)))
+    in
+    let _, total =
+      Meter.time (fun () ->
+          for _ = 1 to reps do
+            ignore (f ())
+          done)
+    in
+    (r, total /. float_of_int reps)
+  end
+
+let measure_dist ?(samples = 192) ?(lanes = Cheffp_ir.Batch.default_sweep_lanes)
+    ?(jobs = 4) ?(quantile = 0.99) w =
+  let module Batch = Cheffp_ir.Batch in
+  let module Compile = Cheffp_ir.Compile in
+  let func_decl = Cheffp_ir.Ast.func_exn w.prog w.func in
+  let plan = Sampling.plan ~func:func_decl ~args:w.args () in
+  let inputs = Sampling.draw_many plan ~seed:42L samples in
+  (* All three throughput axes evaluate the same demoted configuration —
+     the axis under test is one config x K sampled inputs. *)
+  let config = Config.uniform Fp.F32 in
+  Compile_cache.clear ();
+  (* Warm both artifacts so the timed loops measure execution, not
+     compilation (mirrors the warm-cache row of the search block). *)
+  let scalar_c = Compile.compile ~config ~prog:w.prog ~func:w.func () in
+  let run_scalar () =
+    Array.map
+      (fun args -> Compile.run_float scalar_c (deep_copy_args args))
+      inputs
+  in
+  let run_sweep jobs () =
+    Sampling.sweep ~jobs ~lanes ~prog:w.prog ~func:w.func ~config inputs
+  in
+  (* Identity and divergence accounting on single untimed passes (the
+     timed loops below repeat, which would inflate the counter). *)
+  let scalar_res = run_scalar () in
+  let d0 = Metrics.counter_value batch_divergence_c in
+  let sweep_res = run_sweep 1 () in
+  let pool_res = run_sweep jobs () in
+  let d_divergences = Metrics.counter_value batch_divergence_c - d0 in
+  let d_identical = sweep_res = scalar_res && pool_res = scalar_res in
+  Gc.compact ();
+  let _, d_scalar_s = time_stable run_scalar in
+  Gc.compact ();
+  let _, d_sweep_s = time_stable (run_sweep 1) in
+  Gc.compact ();
+  let _, d_pool_s = time_stable (run_sweep jobs) in
+  (* Quantile-targeted vs single-point tuning: same threshold, but the
+     quantile search judges every candidate by the p-quantile of its
+     measured error over the sampled inputs instead of the midpoint. *)
+  let tune ?sampling () =
+    Search.tune ~jobs:1 ~strategy:`Measured ~batch:lanes ?sampling
+      ~prog:w.prog ~func:w.func ~args:w.args ~threshold:w.threshold ()
+  in
+  let point = tune () in
+  let quantile_o = tune ~sampling:{ Search.inputs; quantile } () in
+  let p99_of config =
+    let s, _ =
+      Sampling.measured_summary ~lanes ~prog:w.prog ~func:w.func ~config
+        inputs
+    in
+    s.Quantile.p99
+  in
+  let d_point_p99 = p99_of point.Search.evaluation.Tuner.config in
+  let quantile_config = quantile_o.Search.evaluation.Tuner.config in
+  let d_quantile_p99 = p99_of quantile_config in
+  (* Oracle gate at sampled points: the quantile-chosen configuration
+     must stay SOUND against the double-double shadow at the inputs the
+     statistics were computed from, not just at the midpoint. Margin 2
+     for the same first-order headroom as the model-soundness gates. *)
+  let d_sound =
+    Array.for_all
+      (fun args ->
+        (Oracle.check_estimate ~margin:2.0 ~prog:w.prog ~func:w.func
+           ~config:quantile_config (deep_copy_args args))
+          .Oracle.sound)
+      (Array.sub inputs 0 (min 3 (Array.length inputs)))
+  in
+  {
+    dw = w;
+    d_samples = samples;
+    d_sampled_vars = List.length (Sampling.sampled_vars plan);
+    d_scalar_s;
+    d_sweep_s;
+    d_pool_s;
+    d_pool_jobs = jobs;
+    d_divergences;
+    d_identical;
+    d_point_demoted = point.Search.demoted;
+    d_quantile_demoted = quantile_o.Search.demoted;
+    d_point_p99;
+    d_quantile_p99;
+    d_sound;
+  }
+
+let print_dist_rows rows =
+  Table.print
+    ~header:
+      [
+        "workload"; "sampled"; "scalar/s"; "sweep/s"; "pool/s"; "sweep x";
+        "diverged"; "identical"; "sets differ"; "sound";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.dw.name;
+           string_of_int r.d_sampled_vars;
+           Printf.sprintf "%.0f" (dist_scalar_rate r);
+           Printf.sprintf "%.0f" (dist_sweep_rate r);
+           Printf.sprintf "%.0f (j=%d)" (dist_pool_rate r) r.d_pool_jobs;
+           Printf.sprintf "%.2fx" (dist_sweep_rate r /. dist_scalar_rate r);
+           string_of_int r.d_divergences;
+           string_of_bool r.d_identical;
+           string_of_bool (r.d_point_demoted <> r.d_quantile_demoted);
+           string_of_bool r.d_sound;
+         ])
+       rows);
+  List.iter
+    (fun r ->
+      if r.d_point_demoted <> r.d_quantile_demoted then
+        Printf.printf
+          "%s: point tuning demotes {%s} (sampled p99 %.3e); p99-targeted \
+           tuning demotes {%s} (sampled p99 %.3e)\n"
+          r.dw.name
+          (String.concat ", " r.d_point_demoted)
+          r.d_point_p99
+          (String.concat ", " r.d_quantile_demoted)
+          r.d_quantile_p99)
+    rows
+
 (* Server block: the paper workloads driven through a live in-process
    [cheffp serve] daemon as search requests over loopback TCP. One cold
    round pays the cross-request compile misses, a warm sequential
@@ -1127,7 +1307,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_json ~path ~soundness ~batch ~model ~server ~telemetry ~fpcore rows =
+let write_json ~path ~soundness ~batch ~model ~dist ~server ~telemetry ~fpcore
+    rows =
   let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
@@ -1242,6 +1423,61 @@ let write_json ~path ~soundness ~batch ~model ~server ~telemetry ~fpcore rows =
       pf "        \"demoted_identical\": %b\n" r.m_demoted_identical;
       pf "      }%s\n" (if i < List.length model - 1 then "," else ""))
     model;
+  pf "    ]\n";
+  pf "  },\n";
+  pf "  \"distribution\": {\n";
+  pf "    \"description\": \"Monte-Carlo input sweeps (DESIGN.md S16): \
+      samples/sec of N sampled evaluations run scalar one-by-one vs as \
+      SoA input sweeps (jobs=1) vs sweep chunks over the pool, all \
+      bit-identical per sample; plus p99-targeted vs single-point \
+      Search.tune demotion sets with an oracle soundness check at \
+      sampled points\",\n";
+  pf "    \"samples\": %d,\n" (match dist with r :: _ -> r.d_samples | [] -> 0);
+  pf "    \"lanes\": %d,\n" Cheffp_ir.Batch.default_sweep_lanes;
+  pf "    \"pool_jobs\": %d,\n"
+    (match dist with r :: _ -> r.d_pool_jobs | [] -> 0);
+  pf "    \"target_quantile\": 0.99,\n";
+  pf "    \"seed\": 42,\n";
+  (if Domain.recommended_domain_count () < 2 then
+     pf
+       "    \"note\": \"single-core host: sweep chunks time-slice one CPU, \
+        so the pool axis measures scheduling overhead, not scaling (see \
+        host_cores above) — the sweep-vs-scalar lane speedup is still \
+        meaningful\",\n");
+  pf "    \"workloads\": [\n";
+  List.iteri
+    (fun i r ->
+      pf "      {\n";
+      pf "        \"name\": \"%s\",\n" (json_escape r.dw.name);
+      pf "        \"sampled_vars\": %d,\n" r.d_sampled_vars;
+      pf "        \"samples_per_sec_scalar\": %.1f,\n" (dist_scalar_rate r);
+      pf "        \"samples_per_sec_sweep\": %.1f,\n" (dist_sweep_rate r);
+      pf "        \"samples_per_sec_sweep_pool\": %.1f,\n" (dist_pool_rate r);
+      pf "        \"sweep_speedup\": %.3f,\n"
+        (if r.d_scalar_s > 0. then dist_sweep_rate r /. dist_scalar_rate r
+         else 1.);
+      pf "        \"pool_speedup\": %.3f,\n"
+        (if r.d_sweep_s > 0. then dist_pool_rate r /. dist_sweep_rate r
+         else 1.);
+      pf "        \"divergences\": %d,\n" r.d_divergences;
+      pf "        \"lanes_identical_to_scalar\": %b,\n" r.d_identical;
+      pf "        \"point_demoted\": [%s],\n"
+        (String.concat ", "
+           (List.map
+              (fun v -> Printf.sprintf "\"%s\"" (json_escape v))
+              r.d_point_demoted));
+      pf "        \"quantile_demoted\": [%s],\n"
+        (String.concat ", "
+           (List.map
+              (fun v -> Printf.sprintf "\"%s\"" (json_escape v))
+              r.d_quantile_demoted));
+      pf "        \"sets_differ\": %b,\n"
+        (r.d_point_demoted <> r.d_quantile_demoted);
+      pf "        \"point_config_sampled_p99\": %.6e,\n" r.d_point_p99;
+      pf "        \"quantile_config_sampled_p99\": %.6e,\n" r.d_quantile_p99;
+      pf "        \"oracle_sound_at_sampled_points\": %b\n" r.d_sound;
+      pf "      }%s\n" (if i < List.length dist - 1 then "," else ""))
+    dist;
   pf "    ]\n";
   pf "  },\n";
   pf "  \"server\": {\n";
@@ -1418,6 +1654,14 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
     List.map measure_model (batch_workloads ~small:small_soundness ())
   in
   print_model_rows model;
+  Printf.printf
+    "\n== Input-sweep sampling: scalar vs SoA sweep vs sweep + pool ==\n";
+  let dist =
+    List.map
+      (measure_dist ~samples:(if small_soundness then 128 else 256) ~jobs)
+      (batch_workloads ~small:small_soundness ())
+  in
+  print_dist_rows dist;
   let soundness = soundness_rows ~small:small_soundness () in
   print_soundness soundness;
   Printf.printf
@@ -1435,6 +1679,7 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
   Printf.printf "\n== FPCore corpus: import, analyze, export round trip ==\n";
   let fpcore = fpcore_bench () in
   print_fpcore fpcore;
-  write_json ~path:out ~soundness ~batch ~model ~server ~telemetry ~fpcore rows;
+  write_json ~path:out ~soundness ~batch ~model ~dist ~server ~telemetry
+    ~fpcore rows;
   Printf.printf "wrote %s\n" out;
-  (rows, batch, model, soundness, server, telemetry, fpcore)
+  (rows, batch, model, dist, soundness, server, telemetry, fpcore)

@@ -191,7 +191,7 @@ let with_obs ~cmd obs body =
 let wrap f = try f (); `Ok () with
   | Failure m | Parser.Error m | Lexer.Error m | Typecheck.Error m
   | Interp.Runtime_error m | Cheffp_core.Estimate.Error m
-  | Cheffp_ad.Reverse.Error m ->
+  | Cheffp_core.Sampling.Spec_error m | Cheffp_ad.Reverse.Error m ->
       `Error (false, m)
   | Cheffp_fpcore.Sexp.Error m
   | Fpcore_import.Error m
@@ -289,6 +289,65 @@ let target_of s =
   | Some f -> f
   | None -> failwith ("unknown format " ^ s)
 
+(* ---------------- Monte-Carlo input sampling ---------------- *)
+
+let samples_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "samples" ] ~docv:"N"
+        ~doc:
+          "Monte-Carlo input sampling: draw $(docv) argument vectors from \
+           per-variable distributions (--dist entries, FPCore [:pre] \
+           ranges, or a default \xc2\xb150% box around the base value) and \
+           report / judge error quantiles over them. 0 (default) keeps the \
+           single-point behaviour.")
+
+let dist_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dist" ] ~docv:"SPEC"
+        ~doc:
+          "Per-variable input distributions, entries separated by spaces or \
+           ';': $(b,name=fixed:v), $(b,name=uniform:lo,hi) or \
+           $(b,name=normal:mu,sigma) — e.g. 'x=uniform:0,1 y=normal:0,2'. \
+           Variables without an entry fall back to their FPCore [:pre] \
+           range, then to the default box.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"S"
+        ~doc:
+          "Sampling seed. Sample i is a pure function of (seed, i): streams \
+           are identical across --jobs values and batch lane widths.")
+
+let target_quantile_arg =
+  Arg.(
+    value & opt float 0.99
+    & info [ "target-quantile" ] ~docv:"Q"
+        ~doc:
+          "With --samples: the error quantile the threshold applies to \
+           (0.99 = p99, 0.5 = median, 1.0 = sampled max). Default 0.99.")
+
+(* Resolve the per-variable sampling plan: explicit --dist entries win,
+   then the kernel's FPCore [:pre] box, then the default box. *)
+let sampling_plan ~dist cores func (f : Ast.func) args =
+  let dists =
+    match dist with
+    | Some s -> Cheffp_core.Sampling.dists_of_string s
+    | None -> []
+  in
+  let ranges =
+    match cores with
+    | Some cs -> (
+        match Fpcore_import.find cs func with
+        | Some c -> c.Fpcore_import.ranges
+        | None -> [])
+    | None -> []
+  in
+  Cheffp_core.Sampling.plan ~dists ~ranges ~func:f ~args ()
+
 (* ---------------- commands ---------------- *)
 
 let check_cmd =
@@ -348,7 +407,7 @@ let gradient_cmd =
     Term.(ret (const run $ file_arg $ func_arg))
 
 let analyze_cmd =
-  let run file func model target show_code format obs raw =
+  let run file func model target show_code format samples dist seed obs raw =
     wrap (fun () ->
         with_obs ~cmd:"analyze" obs @@ fun () ->
         let prog, cores = load_any ~format file in
@@ -372,7 +431,18 @@ let analyze_cmd =
         let args = resolve_args cores func f raw in
         let r = Cheffp_core.Estimate.run est args in
         Printf.printf "model: %s\n" model.Cheffp_core.Model.model_name;
-        print_string (Cheffp_core.Report.estimate r))
+        print_string (Cheffp_core.Report.estimate r);
+        if samples > 0 then begin
+          let plan = sampling_plan ~dist cores func f args in
+          let summary =
+            Cheffp_core.Estimate.run_sampled est ~plan
+              ~seed:(Int64.of_int seed) ~samples
+          in
+          print_string
+            (Cheffp_core.Report.sampled
+               ~plan:(Cheffp_core.Sampling.describe plan)
+               summary)
+        end)
   in
   let show_code =
     Arg.(value & flag & info [ "show-code" ] ~doc:"Print the generated adjoint.")
@@ -382,11 +452,12 @@ let analyze_cmd =
        ~doc:"Estimate the floating-point error of a function (CHEF-FP).")
     Term.(
       ret (const run $ file_arg $ func_arg $ model_arg $ target_arg $ show_code
-           $ format_arg $ obs_term $ rest_args))
+           $ format_arg $ samples_arg $ dist_arg $ seed_arg $ obs_term
+           $ rest_args))
 
 let tune_cmd =
   let run file func threshold target emit profiled format jobs batch no_batch
-      obs raw =
+      samples dist seed obs raw =
     wrap (fun () ->
         with_obs ~cmd:"tune" obs @@ fun () ->
         let prog, cores = load_any ~format file in
@@ -406,6 +477,26 @@ let tune_cmd =
             ~threshold ()
         in
         print_string (Cheffp_core.Report.tuning o);
+        if samples > 0 then begin
+          (* Post-hoc distributional check of the chosen configuration:
+             measured |demoted - double| quantiles over the sampled
+             input box, through the batched input-sweep axis. *)
+          let plan = sampling_plan ~dist cores func f args in
+          let inputs =
+            Cheffp_core.Sampling.draw_many plan ~seed:(Int64.of_int seed)
+              samples
+          in
+          let summary, _ =
+            Cheffp_core.Sampling.measured_summary ~jobs
+              ~builtins:(builtins ()) ~prog ~func
+              ~config:o.Cheffp_core.Tuner.evaluation.Cheffp_core.Tuner.config
+              inputs
+          in
+          print_string
+            (Cheffp_core.Report.sampled
+               ~plan:(Cheffp_core.Sampling.describe plan)
+               summary)
+        end;
         if emit then begin
           print_endline "\n// automatically rewritten mixed-precision source:";
           print_endline
@@ -432,7 +523,8 @@ let tune_cmd =
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
            $ emit_arg $ profiled_arg $ format_arg $ jobs_arg $ batch_arg
-           $ no_batch_arg $ obs_term $ rest_args))
+           $ no_batch_arg $ samples_arg $ dist_arg $ seed_arg $ obs_term
+           $ rest_args))
 
 let copy_args args =
   List.map
@@ -444,7 +536,7 @@ let copy_args args =
 
 let search_cmd =
   let run file func threshold target strategy prune_margin format jobs batch
-      no_batch obs raw =
+      no_batch samples dist seed target_quantile obs raw =
     wrap (fun () ->
         with_obs ~cmd:"search" obs @@ fun () ->
         let prog, cores = load_any ~format file in
@@ -459,11 +551,24 @@ let search_cmd =
             (Cheffp_shadow.Shadow.run ~builtins:(builtins ()) ~config
                ~mode:Config.Source ~prog ~func (copy_args args))
         in
+        let sampling =
+          if samples > 0 then begin
+            let plan = sampling_plan ~dist cores func f args in
+            Some
+              {
+                Cheffp_core.Search.inputs =
+                  Cheffp_core.Sampling.draw_many plan
+                    ~seed:(Int64.of_int seed) samples;
+                quantile = target_quantile;
+              }
+          end
+          else None
+        in
         let o =
           Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~jobs
             ~strategy:(strategy_of strategy) ~prune_margin
-            ?batch:(batch_of ~batch ~no_batch) ~measure ~prog ~func ~args
-            ~threshold ()
+            ?batch:(batch_of ~batch ~no_batch) ?sampling ~measure ~prog ~func
+            ~args ~threshold ()
         in
         print_string (Cheffp_core.Report.search o))
   in
@@ -473,7 +578,8 @@ let search_cmd =
     Term.(
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
            $ strategy_arg $ prune_margin_arg $ format_arg $ jobs_arg
-           $ batch_arg $ no_batch_arg $ obs_term $ rest_args))
+           $ batch_arg $ no_batch_arg $ samples_arg $ dist_arg $ seed_arg
+           $ target_quantile_arg $ obs_term $ rest_args))
 
 let validate_cmd =
   let run file func demote mode margin fuel format obs raw =
@@ -560,7 +666,7 @@ let out_arg =
         ~doc:"Write the result to $(docv) instead of stdout.")
 
 let import_cmd =
-  let run files out =
+  let run files out samples dist seed =
     wrap (fun () ->
         if files = [] then failwith "cheffp import: no input files";
         let buf = Buffer.create 4096 in
@@ -595,6 +701,52 @@ let import_cmd =
         List.iter
           (fun file ->
             let cores = Fpcore_import.parse_file file in
+            (* Distributional annotation (--samples): the modelled
+               estimate at the [:pre] midpoint is one point of a curve;
+               sampling the [:pre] box shows how far the tail sits from
+               it. Built against the file-local translation unit so
+               cross-file name uniquification cannot interfere. *)
+            let fprog =
+              if samples > 0 then Some (Fpcore_import.program cores)
+              else None
+            in
+            let sample_comment (c : Fpcore_import.core) =
+              match fprog with
+              | None -> ()
+              | Some prog ->
+                  let est =
+                    Cheffp_core.Estimate.estimate_error
+                      ~model:(Cheffp_core.Model.adapt ())
+                      ~deriv:(deriv ()) ~builtins:(builtins ()) ~prog
+                      ~func:c.Fpcore_import.name ()
+                  in
+                  let midpoint =
+                    (Cheffp_core.Estimate.run est c.default_args)
+                      .Cheffp_core.Estimate.total_error
+                  in
+                  let dists =
+                    match dist with
+                    | Some s -> Cheffp_core.Sampling.dists_of_string s
+                    | None -> []
+                  in
+                  let plan =
+                    Cheffp_core.Sampling.plan ~dists ~ranges:c.ranges
+                      ~func:c.func ~args:c.default_args ()
+                  in
+                  let s =
+                    Cheffp_core.Estimate.run_sampled est ~plan
+                      ~seed:(Int64.of_int seed) ~samples
+                  in
+                  Buffer.add_string buf
+                    (Printf.sprintf "// midpoint estimate: %.3e\n" midpoint);
+                  Buffer.add_string buf
+                    (Printf.sprintf
+                       "// sampled estimate quantiles (N=%d, seed %d): p50 \
+                        %.3e  p95 %.3e  p99 %.3e  max %.3e\n"
+                       s.Cheffp_core.Quantile.count seed
+                       s.Cheffp_core.Quantile.p50 s.Cheffp_core.Quantile.p95
+                       s.Cheffp_core.Quantile.p99 s.Cheffp_core.Quantile.max)
+            in
             Buffer.add_string buf
               (Printf.sprintf "\n// --- %s ---\n" (Filename.basename file));
             List.iter
@@ -624,6 +776,7 @@ let import_cmd =
                                (fun (v, fmt) ->
                                  v ^ ":" ^ Fp.format_to_string fmt)
                                ds))));
+                sample_comment c;
                 Buffer.add_string buf (Pp.func_to_string f);
                 Buffer.add_char buf '\n')
               cores)
@@ -645,8 +798,13 @@ let import_cmd =
           unit, with each kernel's provenance, [:pre]-derived sample \
           arguments and embedded precision config as comments. \
           Unsupported constructs are rejected with their source location, \
-          never silently mistranslated.")
-    Term.(ret (const run $ files_arg $ out_arg))
+          never silently mistranslated. With --samples, each kernel is \
+          additionally annotated with its modelled-error quantiles over \
+          N inputs drawn from the [:pre] box, next to the midpoint \
+          estimate.")
+    Term.(
+      ret
+        (const run $ files_arg $ out_arg $ samples_arg $ dist_arg $ seed_arg))
 
 let export_cmd =
   let run file func demote format out =
@@ -878,8 +1036,9 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the long-lived analysis server: newline-delimited JSON \
-          requests (analyze, tune, search, validate, ping, metrics, \
-          stats, traces, shutdown) over a Unix or loopback TCP socket, \
+          requests (analyze, tune, search, sample, validate, ping, \
+          metrics, stats, traces, shutdown) over a Unix or loopback TCP \
+          socket, \
           executed concurrently on a shared worker-domain pool with \
           per-request tracing, continuous telemetry (sliding-window \
           stats, tail trace retention, Prometheus exposition) and a \

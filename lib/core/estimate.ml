@@ -538,6 +538,22 @@ let run t args =
       end;
       report)
 
+let run_sampled t ~plan ~seed ~samples =
+  if samples < 1 then invalid_arg "Estimate.run_sampled: samples must be >= 1";
+  Trace.with_span "estimate.run_sampled" (fun () ->
+      if Trace.enabled () then
+        Trace.add_attr "samples" (Trace.Int samples);
+      let q = Quantile.create () in
+      (* Sequential on purpose: the instrumentation registry is shared
+         mutable state reset per [run], so sampled analyses cannot fan
+         out across domains. The batched input-sweep path (Sampling /
+         Search) is where parallel sampling lives. *)
+      for i = 0 to samples - 1 do
+        let args = Sampling.draw plan ~seed i in
+        Quantile.add q (run t args).total_error
+      done;
+      Quantile.summary q)
+
 let run_interpreted t args =
   let inputs = assemble_args t args in
   registry_reset t.registry;

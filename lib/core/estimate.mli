@@ -94,6 +94,17 @@ val run : t -> Interp.arg list -> report
     derivative buffers are allocated to match input lengths). Can be
     called repeatedly; the registry is reset on each call. *)
 
+val run_sampled :
+  t -> plan:Sampling.plan -> seed:int64 -> samples:int -> Quantile.summary
+(** Monte-Carlo view of the {e modelled} estimate: runs the analysis at
+    [samples] input vectors drawn from [plan] (sample [i] from
+    [Rng.substream seed i], same determinism contract as
+    {!Sampling.draw}) and reduces the [total_error] stream to
+    p50/p95/p99/max. Sequential — the instrumentation registry is
+    per-analysis mutable state — so cost is [samples] scalar analysis
+    runs; use {!Sampling.measured_summary} for the batched measured-error
+    path. @raise Invalid_argument when [samples < 1]. *)
+
 val generated : t -> Ast.func
 (** The augmented adjoint, pretty-printable with {!Cheffp_ir.Pp}. *)
 

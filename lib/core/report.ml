@@ -38,6 +38,22 @@ let estimate (r : Estimate.report) =
        (Meter.bytes_pp r.Estimate.stack_peak_bytes));
   Buffer.contents b
 
+let sampled ~plan (s : Quantile.summary) =
+  let b = Buffer.create 256 in
+  buf_add b
+    (Printf.sprintf "error quantiles over %d sampled inputs:\n"
+       s.Quantile.count);
+  List.iter
+    (fun (name, d) ->
+      if d <> "fixed" then buf_add b (Printf.sprintf "  %-12s ~ %s\n" name d))
+    plan;
+  buf_add b
+    (Printf.sprintf
+       "  p50 %.6e   p95 %.6e   p99 %.6e   max %.6e   mean %.6e\n"
+       s.Quantile.p50 s.Quantile.p95 s.Quantile.p99 s.Quantile.max
+       s.Quantile.mean);
+  Buffer.contents b
+
 let tuning (o : Tuner.outcome) =
   let b = Buffer.create 512 in
   buf_add b "per-variable contributions (ascending):\n";
@@ -84,8 +100,17 @@ let search (o : Search.outcome) =
      else "")
     (match o.Search.demoted with [] -> "(nothing)" | l -> String.concat ", " l)
     ev.Tuner.actual_error o.Search.threshold o.Search.modelled_error
-    (match o.Search.measured_error with
-    | Some e ->
-        Printf.sprintf "measured error:   %.6e (shadow double-double)\n" e
-    | None -> "")
+    (String.concat ""
+       [
+         (match o.Search.measured_error with
+         | Some e ->
+             Printf.sprintf "measured error:   %.6e (shadow double-double)\n" e
+         | None -> "");
+         (if o.Search.samples > 0 then
+            Printf.sprintf
+              "candidates judged at the target quantile over %d sampled \
+               inputs\n"
+              o.Search.samples
+          else "");
+       ])
     ev.Tuner.modelled_speedup

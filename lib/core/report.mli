@@ -10,3 +10,9 @@ val tuning : Tuner.outcome -> string
     configuration, and its validation. *)
 
 val search : Search.outcome -> string
+
+val sampled : plan:(string * string) list -> Quantile.summary -> string
+(** Monte-Carlo quantile block: the sampled variables' distributions
+    ([plan] as {!Sampling.describe} rows; fixed slots omitted) and the
+    p50/p95/p99/max/mean line. Shared by [cheffp analyze --samples],
+    [cheffp import --samples] and the tuning commands. *)

@@ -29,7 +29,10 @@ type outcome = {
   modelled_error : float;
   measured_error : float option;
   threshold : float;
+  samples : int;
 }
+
+type sampling = { inputs : Interp.arg list array; quantile : float }
 
 let runs_avoided_c = Metrics.counter "search.runs_avoided"
 
@@ -41,17 +44,29 @@ let copy_args args =
       | (Interp.Aint _ | Interp.Aflt _) as x -> x)
     args
 
-let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure
-    ?(strategy = `Hybrid) ?(prune_margin = 64.) ~prog ~func ~args ~threshold
-    () =
+let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?sampling
+    ?measure ?(strategy = `Hybrid) ?(prune_margin = 64.) ~prog ~func ~args
+    ~threshold () =
   if prune_margin < 1. then
     invalid_arg "Search.tune: prune_margin must be >= 1";
+  (match sampling with
+  | Some s ->
+      if Array.length s.inputs = 0 then
+        invalid_arg "Search.tune: sampling needs at least one input vector";
+      if s.quantile < 0. || s.quantile > 1. then
+        invalid_arg "Search.tune: sampling quantile outside [0, 1]"
+  | None -> ());
   Trace.with_span "search.tune" @@ fun () ->
   if Trace.enabled () then begin
     Trace.add_attr "func" (Trace.Str func);
     Trace.add_attr "threshold" (Trace.Float threshold);
     Trace.add_attr "jobs" (Trace.Int jobs);
     Trace.add_attr "strategy" (Trace.Str (strategy_name strategy));
+    (match sampling with
+    | Some s ->
+        Trace.add_attr "samples" (Trace.Int (Array.length s.inputs));
+        Trace.add_attr "quantile" (Trace.Float s.quantile)
+    | None -> ());
     match batch with
     | Some lanes -> Trace.add_attr "batch" (Trace.Int lanes)
     | None -> ()
@@ -127,8 +142,62 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure
         List.rev chosen
     | (`Measured | `Hybrid) as strategy ->
         let prune = strategy = `Hybrid in
-        let reference =
-          Trace.with_span "search.reference" (fun () -> run Config.double)
+        (* What one candidate configuration's "error" means. Point mode:
+           |y_config - y_double| at the single base args. Sampled mode
+           ([sampling]): a Monte-Carlo input sweep through the batched
+           input-sweep runner — the configuration's error is the chosen
+           quantile (e.g. p99) of |y_config(x_i) - y_double(x_i)| over
+           the sampled inputs, with the double reference sweep computed
+           once and shared across every candidate. In both modes one
+           candidate evaluation counts one [execution] (set units, so
+           the hybrid-vs-measured accounting is mode-independent);
+           sampled evaluations additionally count their lane sweeps in
+           [batched_runs]. *)
+        let point_reference =
+          match sampling with
+          | None ->
+              Some
+                (Trace.with_span "search.reference" (fun () ->
+                     run Config.double))
+          | Some _ -> None
+        in
+        let measure_config =
+          match point_reference with
+          | Some reference ->
+              fun config -> Float.abs (run config -. reference)
+          | None ->
+              let s = Option.get sampling in
+              let nsamp = Array.length s.inputs in
+              let lanes =
+                match batch with
+                | Some l when l > 1 -> l
+                | _ -> Batch.default_lanes
+              in
+              let b =
+                Compile_cache.compile_sweep ?builtins ?mode ~prog ~func ()
+              in
+              let fallback config =
+                Compile_cache.compile ?builtins ?mode ~meter:true ~config
+                  ~prog ~func ()
+              in
+              let sweep config =
+                Atomic.incr executions;
+                ignore
+                  (Atomic.fetch_and_add batched_runs
+                     ((nsamp + lanes - 1) / lanes));
+                Batch.run_inputs_many ~jobs ~lanes ~fallback b ~config
+                  s.inputs
+              in
+              let reference =
+                Trace.with_span "search.reference" (fun () ->
+                    sweep Config.double)
+              in
+              fun config ->
+                let vals = sweep config in
+                let errs =
+                  Array.map2 (fun v r -> Float.abs (v -. r)) vals reference
+                in
+                Quantile.quantile_of_array errs s.quantile
         in
         (* Per-candidate spans carry the probed variable set and its
            observed error; they run inside pool workers and nest under
@@ -138,7 +207,7 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure
           if Trace.enabled () then
             Trace.add_attr "vars" (Trace.Str (String.concat "," vars));
           let config = Config.demote_all Config.double vars target in
-          let e = Float.abs (run config -. reference) in
+          let e = measure_config config in
           if Trace.enabled () then Trace.add_attr "error" (Trace.Float e);
           e
         in
@@ -152,8 +221,14 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure
            Per-set observability drops from spans to events — the sets
            inside one sweep have no meaningful individual duration. *)
         let errors_of_sets sets =
-          match batch with
-          | Some lanes when lanes > 1 && List.length sets > 1 ->
+          match (sampling, batch) with
+          | Some _, _ ->
+              (* Sampled mode: each set is already a [jobs]-wide lane
+                 sweep over the inputs axis, so sets evaluate in
+                 sequence — parallelism lives inside the sweep, not
+                 across sets. *)
+              List.map (fun vars -> error_of vars) sets
+          | None, Some lanes when lanes > 1 && List.length sets > 1 ->
               let n = List.length sets in
               let configs =
                 List.map
@@ -171,6 +246,7 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure
                   ~prog ~func ()
               in
               let vals = Batch.run_many ~jobs ~lanes ~fallback b ~configs args in
+              let reference = Option.get point_reference in
               List.map2
                 (fun vars v ->
                   let e = Float.abs (v -. reference) in
@@ -182,7 +258,7 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure
                       ];
                   e)
                 sets vals
-          | _ -> Pool.parallel_map ~jobs (fun vars -> error_of vars) sets
+          | _, _ -> Pool.parallel_map ~jobs (fun vars -> error_of vars) sets
         in
         (* The all-demoted shortcut costs one run under `Measured.
            When the model rejects the full set with margin to spare,
@@ -358,4 +434,6 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?measure
     modelled_error;
     measured_error;
     threshold;
+    samples =
+      (match sampling with Some s -> Array.length s.inputs | None -> 0);
   }

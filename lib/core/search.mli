@@ -85,7 +85,17 @@ type outcome = {
           [measure] callback (shadow execution against the double-double
           reference), when one was supplied *)
   threshold : float;
+  samples : int;
+      (** Monte-Carlo inputs per candidate evaluation when [sampling]
+          was set; [0] for single-point tuning *)
 }
+
+type sampling = { inputs : Interp.arg list array; quantile : float }
+(** Quantile-targeted tuning: judge each candidate configuration by the
+    [quantile] (e.g. [0.99] for p99) of its measured error over
+    [inputs] — an array of sampled argument vectors, typically
+    {!Sampling.draw_many} over the FPCore [:pre] box — instead of by
+    its error at the single base point. *)
 
 val tune :
   ?target:Fp.format ->
@@ -93,6 +103,7 @@ val tune :
   ?builtins:Builtins.t ->
   ?jobs:int ->
   ?batch:int ->
+  ?sampling:sampling ->
   ?measure:(Config.t -> float) ->
   ?strategy:strategy ->
   ?prune_margin:float ->
@@ -152,6 +163,26 @@ val tune :
     shortcut and the final {!Tuner.evaluate} stay scalar (one or two
     configurations are below the batching break-even). Speculation caps
     compose with batching: a capped round simply sweeps fewer lanes.
+
+    [sampling] (default off) switches [`Measured]/[`Hybrid] candidate
+    judgement from single-point to quantile-targeted: the double
+    reference becomes one input sweep over [sampling.inputs] (computed
+    once, shared across all candidates), and each candidate's error is
+    the [sampling.quantile] of its per-sample |deviation| — evaluated
+    through the batched {e input-sweep} axis
+    ({!Cheffp_ir.Batch.run_inputs_many}, lane width from [batch] when
+    [>= 2], else the default), fanned over [jobs] domains. A
+    configuration that is fine at the box midpoint but violates the
+    threshold in a tail now fails its accept, so the chosen demotion
+    set can legitimately differ from single-point tuning (the
+    [@dist-smoke] bench asserts it does on at least one workload).
+    Accounting stays in set units — one candidate evaluation is one
+    [execution] regardless of sample count, so the
+    [`Hybrid]-vs-[`Measured] invariant is mode-independent, and lane
+    sweeps land in [batched_runs] (⌈samples/lanes⌉ per evaluation).
+    [`Modelled] ignores [sampling] (its scores come from the one
+    profiled point). [Invalid_argument] on an empty [inputs] or a
+    quantile outside [0, 1].
 
     [measure], when given, is called once with the chosen configuration
     (not counted in [executions]); `Cheffp_shadow` lives above this

@@ -12,6 +12,7 @@ type core = {
   config : Config.t;
   default_args : Interp.arg list;
   pre : string option;
+  ranges : (string * (float option * float option)) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -1046,6 +1047,14 @@ let parse_core ?file ~(taken : (string, unit) Hashtbl.t) (s : Sexp.t) : core =
         config = !config;
         default_args;
         pre = pre_text;
+        ranges =
+          (* Re-key the [:pre] intervals by the sanitized MiniFP
+             parameter names, so downstream consumers (the sampling
+             planner) can match them against [func.params] directly. *)
+          List.filter_map
+            (fun (sym, r) ->
+              Option.map (fun b -> (b.mname, r)) (List.assoc_opt sym env))
+            ranges;
       }
   | other ->
       err_at ?file (Sexp.pos_of other) "expected an (FPCore ...) form, got %s"

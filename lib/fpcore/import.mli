@@ -40,6 +40,14 @@ type core = {
           (midpoints; 0.5 for unconstrained parameters) so the kernel
           can be analyzed without caller-provided arguments *)
   pre : string option;  (** raw [:pre] text, for provenance *)
+  ranges : (string * (float option * float option)) list;
+      (** the [(lo, hi)] interval each [:pre] comparison chain bounds,
+          keyed by the {e MiniFP} parameter name (matching
+          [func.params], not the FPCore symbol) — the sampling box
+          [cheffp import --samples] and {!Cheffp_core.Sampling.plan}
+          draw from. Parameters without a recognized constraint are
+          absent; one-sided constraints appear with [None] on the open
+          side. *)
 }
 
 val parse_string : ?file:string -> string -> core list

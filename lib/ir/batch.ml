@@ -11,6 +11,12 @@ let fail fmt = Format.kasprintf (fun s -> raise (Compile.Compile_error s)) fmt
 
 let default_lanes = 8
 
+(* Input sweeps carry one config and per-lane data only, so per-chunk
+   fixed costs (environment build, result assembly) amortize over more
+   lanes before cache pressure bites; config-axis batches stay at
+   [default_lanes] because search phases rarely have more candidates. *)
+let default_sweep_lanes = 64
+
 let lanes_g = Metrics.gauge "batch.lanes"
 let runs_c = Metrics.counter "batch.runs"
 let divergence_c = Metrics.counter "batch.divergence_total"
@@ -103,6 +109,16 @@ let scope_find sc name =
   in
   go sc.frames
 
+let scope_find_opt sc name =
+  let rec go = function
+    | [] -> None
+    | frame :: rest -> (
+        match List.assoc_opt name frame with
+        | Some b -> Some b
+        | None -> go rest)
+  in
+  go sc.frames
+
 let scope_push sc = sc.frames <- [] :: sc.frames
 
 let scope_pop sc =
@@ -153,6 +169,15 @@ type t = {
   arr_specs : (int * Ast.scalar * string) list;
   out_scalars : (string * binding) list;
   param_bindings : (Ast.param * binding) list;
+  fmt_cache :
+    (Config.t * int * (Fp.format array array * Fp.format array array * Fp.format array array))
+    option
+    Atomic.t;
+      (** input sweeps re-resolve the same (config, lanes) format
+          tables for every chunk; the tables are read-only once built,
+          so the last resolution is cached and shared (also across
+          pool domains — chunks of one sweep carry the same physical
+          config) *)
 }
 
 (* ------------------------------------------------------------------ *)
@@ -667,6 +692,37 @@ let compile ?builtins ?(mode = Config.Source) ?(meter = false)
       done
   in
 
+  (* Predicated float-only branches. A data-dependent [if] whose
+     condition is a float comparison of total expressions and whose
+     branches only assign float scalars through total expressions
+     (constants, float variables, negation, +,-,*,/ — pure, no
+     consensus points, IEEE arithmetic never traps) keeps every
+     lane's own outcome: the condition becomes a per-lane 0/1 mask
+     and the branch stores fire only on lanes whose mask matches.
+     Evaluating the not-taken side is invisible because its values
+     are never stored, so there is no consensus point and no
+     divergence — the argmin update in kmeans and the CNDF
+     reflection in Black-Scholes stay at full lane occupancy.
+     Metered artifacts keep the consensus path: predication would
+     charge the not-taken side's operations. *)
+  let rec predicable_fexpr e =
+    match e with
+    | Fconst _ -> true
+    | Var v -> (
+        match scope_find_opt sc v with Some (Bf _) -> true | _ -> false)
+    | Unop (Neg, e) -> predicable_fexpr e
+    | Binop ((Add | Sub | Mul | Div), a, b) ->
+        predicable_fexpr a && predicable_fexpr b
+    | _ -> false
+  in
+  let predicable_stmt = function
+    | Assign (Lvar v, e) -> (
+        match scope_find_opt sc v with
+        | Some (Bf _) -> predicable_fexpr e
+        | _ -> false)
+    | _ -> false
+  in
+
   let rec cstmt s : benv -> unit =
     match s with
     | Decl { name; dty = Dscalar Sint; init } -> (
@@ -718,6 +774,57 @@ let compile ?builtins ?(mode = Config.Source) ?(meter = false)
             let g = ci e in
             fun benv -> benv.ia.(slot).(gi benv) <- g benv
         | Bf _ | Bi _ -> fail "scalar %S indexed" a)
+    | If (Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), a, b), t, e)
+      when (not meter) && predicable_fexpr a && predicable_fexpr b
+           && List.for_all predicable_stmt t
+           && List.for_all predicable_stmt e ->
+        (* predicable operands are float-kinded by construction, so
+           this is exactly the comparison shape that would otherwise
+           be a consensus point *)
+        let xa = cf a and xb = cf b in
+        let si = fresh_iscratch () in
+        let cmp : float -> float -> bool =
+          match op with
+          | Eq -> ( = )
+          | Ne -> ( <> )
+          | Lt -> ( < )
+          | Le -> ( <= )
+          | Gt -> ( > )
+          | Ge -> ( >= )
+          | _ -> assert false
+        in
+        let pred_store sense s =
+          match s with
+          | Assign (Lvar v, e) -> (
+              match scope_find sc v with
+              | Bf slot ->
+                  let x = cf e in
+                  fun benv ->
+                    let src = x.ev benv in
+                    let dst = benv.fl.(slot) in
+                    let fmts = benv.vfmt.(slot) in
+                    let m = benv.iscratch.(si) in
+                    for l = 0 to benv.k - 1 do
+                      if m.(l) = sense then
+                        dst.(l) <-
+                          (match fmts.(l) with
+                          | Fp.F64 -> src.(l)
+                          | Fp.F32 -> r32 src.(l)
+                          | Fp.F16 -> r16 src.(l))
+                    done
+              | _ -> assert false)
+          | _ -> assert false
+        in
+        let gt = List.map (pred_store 1) t
+        and ge = List.map (pred_store 0) e in
+        fun benv ->
+          let va = xa.ev benv and vb = xb.ev benv in
+          let m = benv.iscratch.(si) in
+          for l = 0 to benv.k - 1 do
+            m.(l) <- (if cmp va.(l) vb.(l) then 1 else 0)
+          done;
+          List.iter (fun g -> g benv) gt;
+          List.iter (fun g -> g benv) ge
     | If (c, t, e) ->
         let gc = ci c in
         let gt = cblock t and ge = cblock e in
@@ -886,6 +993,7 @@ let compile ?builtins ?(mode = Config.Source) ?(meter = false)
     arr_specs = !arr_specs;
     out_scalars;
     param_bindings;
+    fmt_cache = Atomic.make None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -901,28 +1009,11 @@ let copy_args args =
       | (Interp.Aint _ | Interp.Aflt _) as x -> x)
     args
 
-let run ?counters ?fallback t ~configs args =
-  let k = Array.length configs in
-  if k = 0 then invalid_arg "Batch.run: empty configuration array";
-  if List.length args <> List.length t.param_bindings then
-    fail "function %S expects %d arguments, got %d" t.cfunc.fname
-      (List.length t.param_bindings)
-      (List.length args);
-  let counters =
-    match counters with
-    | Some cs ->
-        if Array.length cs <> k then
-          invalid_arg "Batch.run: counters/configs length mismatch";
-        cs
-    | None -> Array.init k (fun _ -> Cost.Counter.create Cost.default)
-  in
-  Trace.with_span "batch.run" @@ fun () ->
-  if Trace.enabled () then Trace.add_attr "lanes" (Trace.Int k);
-  Metrics.set_gauge lanes_g (float_of_int k);
-  Metrics.incr runs_c;
-  (* Per-lane storage formats of every float slot, then the format of
-     every float expression node by folding the rule DAG (children were
-     emitted before parents). *)
+(* Per-lane storage formats of every float slot, then the format of
+   every float expression node by folding the rule DAG (children were
+   emitted before parents). [config_of] gives each lane's
+   configuration; the input-sweep axis passes a constant. *)
+let resolve_formats t ~k ~config_of =
   let vfmt = Array.init (max t.nfl 1) (fun _ -> Array.make k Fp.F64) in
   let afmt = Array.init (max t.nfa 1) (fun _ -> Array.make k Fp.F64) in
   let resolve specs table =
@@ -930,7 +1021,7 @@ let run ?counters ?fallback t ~configs args =
       (fun (slot, sca, name) ->
         let row = table.(slot) in
         for l = 0 to k - 1 do
-          row.(l) <- Interp.effective_format configs.(l) sca name
+          row.(l) <- Interp.effective_format (config_of l) sca name
         done)
       specs
   in
@@ -957,6 +1048,9 @@ let run ?counters ?fallback t ~configs args =
             List.fold_left (fun acc i -> wider acc efmt.(i).(l)) Fp.F16 ids
         done
   done;
+  (vfmt, afmt, efmt)
+
+let make_benv t ~k ~counters (vfmt, afmt, efmt) =
   let benv =
     {
       k;
@@ -978,28 +1072,13 @@ let run ?counters ?fallback t ~configs args =
     }
   in
   List.iter (fun (s, x) -> Array.fill benv.scratch.(s) 0 k x) t.consts;
-  (* Load arguments per lane with storage-format rounding. Unlike the
-     scalar runner, caller arrays are never shared: lanes need private
-     copies, and diverged lanes re-run from the pristine originals. *)
-  List.iter2
-    (fun (p, b) arg ->
-      match (b, arg) with
-      | Bf slot, Interp.Aflt x ->
-          let dst = benv.fl.(slot) and fmts = vfmt.(slot) in
-          for l = 0 to k - 1 do
-            dst.(l) <- rnd fmts.(l) x
-          done
-      | Bi slot, Interp.Aint n -> benv.it.(slot) <- n
-      | Bfa slot, Interp.Afarr a ->
-          let lanes = benv.fa.(slot) and fmts = afmt.(slot) in
-          for l = 0 to k - 1 do
-            lanes.(l) <-
-              (if Fp.equal_format fmts.(l) Fp.F64 then Array.copy a
-               else Array.map (rnd fmts.(l)) a)
-          done
-      | Bia slot, Interp.Aiarr a -> benv.ia.(slot) <- Array.copy a
-      | _, _ -> fail "argument kind mismatch for parameter %S" p.pname)
-    t.param_bindings args;
+  benv
+
+(* Execute the compiled body over a loaded environment and assemble the
+   per-lane results. [fallback_run l] re-runs diverged lane [l] scalar
+   from its pristine arguments — the bit-identity contract's definition
+   of correct (its batched state is garbage past the split point). *)
+let execute t benv ~counters ~fallback_run =
   let ret =
     try
       t.run_body benv;
@@ -1034,30 +1113,212 @@ let run ?counters ?fallback t ~configs args =
         (Growable.Float.peak_length benv.fstack.(l) * 8) + (benv.ipeak * 8);
     }
   in
-  let fallback =
-    match fallback with
-    | Some f -> f
-    | None ->
-        fun config ->
-          Compile.compile ?builtins:t.builtins_opt ~config ~mode:t.mode
-            ~meter:t.meter ~optimize:t.optimize ~prog:t.prog
-            ~func:t.func_name ()
-  in
   let results =
-    Array.init k (fun l ->
+    Array.init benv.k (fun l ->
         if benv.active.(l) then lane_result l
         else begin
-          (* Diverged: this lane's batched state is garbage past the
-             split point. Re-run it scalar from scratch — that is the
-             bit-identity contract's definition of correct. *)
           Cost.Counter.reset counters.(l);
-          Compile.run ~counter:counters.(l) (fallback configs.(l))
-            (copy_args args)
+          fallback_run l
         end)
   in
   if benv.dropped > 0 then Metrics.add divergence_c benv.dropped;
   if Trace.enabled () then Trace.add_attr "divergences" (Trace.Int benv.dropped);
   { lanes = results; divergences = benv.dropped }
+
+let default_fallback t =
+  fun config ->
+    Compile.compile ?builtins:t.builtins_opt ~config ~mode:t.mode
+      ~meter:t.meter ~optimize:t.optimize ~prog:t.prog ~func:t.func_name ()
+
+let run ?counters ?fallback t ~configs args =
+  let k = Array.length configs in
+  if k = 0 then invalid_arg "Batch.run: empty configuration array";
+  if List.length args <> List.length t.param_bindings then
+    fail "function %S expects %d arguments, got %d" t.cfunc.fname
+      (List.length t.param_bindings)
+      (List.length args);
+  let counters =
+    match counters with
+    | Some cs ->
+        if Array.length cs <> k then
+          invalid_arg "Batch.run: counters/configs length mismatch";
+        cs
+    | None -> Array.init k (fun _ -> Cost.Counter.create Cost.default)
+  in
+  Trace.with_span "batch.run" @@ fun () ->
+  if Trace.enabled () then Trace.add_attr "lanes" (Trace.Int k);
+  Metrics.set_gauge lanes_g (float_of_int k);
+  Metrics.incr runs_c;
+  let ((vfmt, afmt, _) as fmts) =
+    resolve_formats t ~k ~config_of:(fun l -> configs.(l))
+  in
+  let benv = make_benv t ~k ~counters fmts in
+  (* Load arguments per lane with storage-format rounding. Unlike the
+     scalar runner, caller arrays are never shared: lanes need private
+     copies, and diverged lanes re-run from the pristine originals. *)
+  List.iter2
+    (fun (p, b) arg ->
+      match (b, arg) with
+      | Bf slot, Interp.Aflt x ->
+          let dst = benv.fl.(slot) and fmts = vfmt.(slot) in
+          for l = 0 to k - 1 do
+            dst.(l) <- rnd fmts.(l) x
+          done
+      | Bi slot, Interp.Aint n -> benv.it.(slot) <- n
+      | Bfa slot, Interp.Afarr a ->
+          let lanes = benv.fa.(slot) and fmts = afmt.(slot) in
+          for l = 0 to k - 1 do
+            lanes.(l) <-
+              (if Fp.equal_format fmts.(l) Fp.F64 then Array.copy a
+               else Array.map (rnd fmts.(l)) a)
+          done
+      | Bia slot, Interp.Aiarr a -> benv.ia.(slot) <- Array.copy a
+      | _, _ -> fail "argument kind mismatch for parameter %S" p.pname)
+    t.param_bindings args;
+  let fallback = match fallback with Some f -> f | None -> default_fallback t in
+  execute t benv ~counters ~fallback_run:(fun l ->
+      Compile.run ~counter:counters.(l) (fallback configs.(l)) (copy_args args))
+
+(* ------------------------------------------------------------------ *)
+(* Input-sweep axis: K sampled argument vectors under ONE
+   configuration. The compiled artifact is both configuration- and
+   input-generic, so the very same closures serve this axis; only
+   format resolution (uniform rows) and argument loading (per-lane
+   vectors, integer arguments through consensus) differ. *)
+
+let input_sweeps_c = Metrics.counter "batch.input_sweeps"
+
+let run_inputs ?counters ?fallback t ~config (inputs : Interp.arg list array) =
+  let k = Array.length inputs in
+  if k = 0 then invalid_arg "Batch.run_inputs: empty inputs array";
+  let nparams = List.length t.param_bindings in
+  Array.iter
+    (fun args ->
+      if List.length args <> nparams then
+        fail "function %S expects %d arguments, got %d" t.cfunc.fname nparams
+          (List.length args))
+    inputs;
+  let counters =
+    match counters with
+    | Some cs ->
+        if Array.length cs <> k then
+          invalid_arg "Batch.run_inputs: counters/inputs length mismatch";
+        cs
+    | None -> Array.init k (fun _ -> Cost.Counter.create Cost.default)
+  in
+  Trace.with_span "batch.input_sweep" @@ fun () ->
+  if Trace.enabled () then Trace.add_attr "lanes" (Trace.Int k);
+  Metrics.set_gauge lanes_g (float_of_int k);
+  Metrics.incr input_sweeps_c;
+  (* One sweep's chunks (and one caller's repeated sweeps) share the
+     same physical config, and the resolved tables are read-only once
+     built — so cache the last resolution instead of re-walking the
+     rule DAG and the config's override map for every chunk. The
+     physical-equality key makes a stale hit impossible and keeps the
+     lookup free; a miss just recomputes. *)
+  let ((vfmt, afmt, _) as fmts) =
+    match Atomic.get t.fmt_cache with
+    | Some (c, kk, tabs) when kk = k && c == config -> tabs
+    | _ ->
+        let tabs = resolve_formats t ~k ~config_of:(fun _ -> config) in
+        Atomic.set t.fmt_cache (Some (config, k, tabs));
+        tabs
+  in
+  let benv = make_benv t ~k ~counters fmts in
+  let argv = Array.map Array.of_list inputs in
+  (* Integer arguments feed the shared control flow, so they go through
+     [consensus] exactly like a run-time float->int crossing: dissenting
+     lanes deactivate and re-run scalar. Sampling only perturbs floats,
+     so in practice every lane agrees and nothing is dropped. *)
+  let ivals = Array.make k 0 in
+  List.iteri
+    (fun pi (p, b) ->
+      let kind_fail () = fail "argument kind mismatch for parameter %S" p.pname in
+      match b with
+      | Bf slot ->
+          let dst = benv.fl.(slot) and fmts = vfmt.(slot) in
+          for l = 0 to k - 1 do
+            match argv.(l).(pi) with
+            | Interp.Aflt x -> dst.(l) <- rnd fmts.(l) x
+            | _ -> kind_fail ()
+          done
+      | Bi slot ->
+          for l = 0 to k - 1 do
+            match argv.(l).(pi) with
+            | Interp.Aint n -> ivals.(l) <- n
+            | _ -> kind_fail ()
+          done;
+          benv.it.(slot) <- consensus benv ivals
+      | Bfa slot ->
+          (* Lanes carry private float arrays, but the shared integer
+             control flow assumes one logical extent: lanes whose array
+             length dissents deactivate, and deactivated lanes get a
+             zero-filled placeholder of the consensus length so the
+             batched loops stay in bounds (their values are garbage by
+             construction — the scalar re-run is authoritative). *)
+          for l = 0 to k - 1 do
+            match argv.(l).(pi) with
+            | Interp.Afarr a -> ivals.(l) <- Array.length a
+            | _ -> kind_fail ()
+          done;
+          let len = consensus benv ivals in
+          let lanes = benv.fa.(slot) and fmts = afmt.(slot) in
+          for l = 0 to k - 1 do
+            match argv.(l).(pi) with
+            | Interp.Afarr a ->
+                lanes.(l) <-
+                  (if not benv.active.(l) then Array.make len 0.
+                   else if Fp.equal_format fmts.(l) Fp.F64 then Array.copy a
+                   else Array.map (rnd fmts.(l)) a)
+            | _ -> kind_fail ()
+          done
+      | Bia slot ->
+          (* Integer arrays are uniform state: group the lanes' arrays
+             by structural equality and take the consensus group. *)
+          let distinct = ref [] in
+          for l = 0 to k - 1 do
+            match argv.(l).(pi) with
+            | Interp.Aiarr a ->
+                let rec find i = function
+                  | [] ->
+                      distinct := !distinct @ [ a ];
+                      i
+                  | b :: _ when b = a -> i
+                  | _ :: rest -> find (i + 1) rest
+                in
+                ivals.(l) <- find 0 !distinct
+            | _ -> kind_fail ()
+          done;
+          let id = consensus benv ivals in
+          benv.ia.(slot) <- Array.copy (List.nth !distinct id))
+    t.param_bindings;
+  let fallback = match fallback with Some f -> f | None -> default_fallback t in
+  let scalar = lazy (fallback config) in
+  execute t benv ~counters ~fallback_run:(fun l ->
+      Compile.run ~counter:counters.(l) (Lazy.force scalar)
+        (copy_args inputs.(l)))
+
+let run_inputs_floats ?counters ?fallback t ~config inputs =
+  let r = run_inputs ?counters ?fallback t ~config inputs in
+  Array.map
+    (fun lane ->
+      match lane.Interp.ret with
+      | Some (Builtins.F x) -> x
+      | _ -> fail "function %S did not return a float" t.cfunc.fname)
+    r.lanes
+
+let run_inputs_many ?(jobs = 1) ?(lanes = default_lanes) ?fallback t ~config
+    (inputs : Interp.arg list array) =
+  let lanes = max 1 lanes in
+  let n = Array.length inputs in
+  let nchunks = (n + lanes - 1) / lanes in
+  List.init nchunks (fun c ->
+      Array.sub inputs (c * lanes) (min lanes (n - (c * lanes))))
+  |> Pool.parallel_map ~jobs (fun chunk ->
+         run_inputs_floats ?fallback t ~config chunk)
+  |> List.map Array.to_list
+  |> List.concat
+  |> Array.of_list
 
 let run_floats ?counters ?fallback t ~configs args =
   let r = run ?counters ?fallback t ~configs args in

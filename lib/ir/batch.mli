@@ -1,5 +1,6 @@
-(** Lane-parallel batched execution of one function under K
-    mixed-precision configurations at once.
+(** Lane-parallel batched execution of one function along either of two
+    axes: K mixed-precision configurations on one input ({!run}), or K
+    sampled inputs under one configuration ({!run_inputs}).
 
     A tuning run evaluates many candidate configurations of the {e same}
     function on the {e same} arguments; the scalar path ({!Compile})
@@ -45,6 +46,12 @@ type t
 val default_lanes : int
 (** 8: wide enough to amortize per-node closure dispatch, narrow enough
     that lane chunks still spread across pool domains. *)
+
+val default_sweep_lanes : int
+(** 64: the input-sweep default. One config per sweep means per-chunk
+    fixed costs (format resolution, environment build, result
+    assembly) dominate narrow chunks, and sampled runs routinely have
+    hundreds of inputs to fill wide ones. *)
 
 val compile :
   ?builtins:Builtins.t ->
@@ -108,6 +115,67 @@ val run_floats :
 (** Like {!run} but projects each lane's float return value.
     @raise Compile.Compile_error if the function does not return a
     float. *)
+
+val run_inputs :
+  ?counters:Cheffp_precision.Cost.Counter.t array ->
+  ?fallback:(Cheffp_precision.Config.t -> Compile.t) ->
+  t ->
+  config:Cheffp_precision.Config.t ->
+  Interp.arg list array ->
+  result
+(** The {e input-sweep} axis: run K sampled argument vectors under ONE
+    configuration as a single lane sweep (lane [l] executes
+    [inputs.(l)]). The compiled artifact is configuration- {e and}
+    input-generic, so the very same closures serve both axes; here the
+    per-lane format tables resolve to uniform rows and the arguments
+    load per lane instead of broadcast.
+
+    Integer arguments (and integer arrays, and float-array {e lengths})
+    feed the shared control flow, so they pass through the same
+    consensus machinery as a run-time float→int crossing: if the sampled
+    vectors disagree, the majority stays batched and each dissenting
+    lane is deactivated and transparently re-run scalar under [config].
+    Divergence costs performance, never correctness — every lane's
+    {!Interp.result} is bit-identical to
+    [Compile.run (Compile.compile ~config ...) inputs.(l)] (the fuzz
+    suite asserts this including forced-divergence paths). Caller arrays
+    are never mutated. [fallback] supplies the scalar compilation for
+    diverged lanes (applied to [config], at most once per sweep).
+
+    Each sweep records a ["batch.input_sweep"] span with
+    [lanes]/[divergences] attributes and bumps the
+    [batch.input_sweeps] counter; divergences land in the shared
+    [batch.divergence_total].
+    @raise Invalid_argument on empty [inputs] or a counter length
+    mismatch. @raise Compile.Compile_error on arity/kind mismatches. *)
+
+val run_inputs_floats :
+  ?counters:Cheffp_precision.Cost.Counter.t array ->
+  ?fallback:(Cheffp_precision.Config.t -> Compile.t) ->
+  t ->
+  config:Cheffp_precision.Config.t ->
+  Interp.arg list array ->
+  float array
+(** Like {!run_inputs} but projects each lane's float return value.
+    @raise Compile.Compile_error if the function does not return a
+    float. *)
+
+val run_inputs_many :
+  ?jobs:int ->
+  ?lanes:int ->
+  ?fallback:(Cheffp_precision.Config.t -> Compile.t) ->
+  t ->
+  config:Cheffp_precision.Config.t ->
+  Interp.arg list array ->
+  float array
+(** [run_inputs_many ~jobs ~lanes t ~config inputs] evaluates any
+    number of sampled argument vectors by chunking them into sweeps of
+    at most [lanes] (default {!default_lanes}) and fanning the chunks
+    out over {!Cheffp_util.Pool.parallel_map} with [jobs] domains
+    (default 1). Results preserve [inputs] order. This is the sampling
+    layer's hot path: lane parallelism within a chunk, domain
+    parallelism across chunks — samples/sec is the headline number of
+    the [distribution] bench block. *)
 
 val run_many :
   ?jobs:int ->

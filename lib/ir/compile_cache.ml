@@ -31,7 +31,7 @@ type stats = {
    profiles) can reuse the same LRU machinery for their own expensive
    artifacts without a dependency inversion. *)
 type artifact = ..
-type artifact += Scalar of Compile.t | Batched of Batch.t
+type artifact += Scalar of Compile.t | Batched of Batch.t | Sweep of Batch.t
 
 type entry = {
   key : string;
@@ -201,11 +201,36 @@ let attribute ~hit =
 
 (* Structural key. The program is identified by a digest of its
    pretty-printed source (canonical: printing is deterministic), the
-   configuration by its canonical string (overrides sorted by name). *)
+   configuration by its canonical string (overrides sorted by name).
+
+   Printing + hashing a paper-sized program costs on the order of
+   100us and every lookup — hits included — pays it, which dwarfs a
+   microsecond kernel's whole input sweep. Programs are immutable
+   once parsed, so the digest is memoized by physical identity in a
+   small bounded list (lock-free; a racing insert can drop a peer's
+   entry, which only costs that caller a recompute). *)
+let digest_cache : (Ast.program * string) list Atomic.t = Atomic.make []
+
+let prog_digest prog =
+  let rec find = function
+    | [] -> None
+    | (p, d) :: rest -> if p == prog then Some d else find rest
+  in
+  match find (Atomic.get digest_cache) with
+  | Some d -> d
+  | None ->
+      let d = Digest.to_hex (Digest.string (Pp.program_to_string prog)) in
+      let entries = (prog, d) :: Atomic.get digest_cache in
+      let entries =
+        if List.length entries > 16 then List.filteri (fun i _ -> i < 16) entries
+        else entries
+      in
+      Atomic.set digest_cache entries;
+      d
+
 let key ~prog ~func ~config ~mode ~optimize ~meter =
-  Printf.sprintf "%s|%s|%s|%s|%b|%b"
-    (Digest.to_hex (Digest.string (Pp.program_to_string prog)))
-    func (Config.to_string config)
+  Printf.sprintf "%s|%s|%s|%s|%b|%b" (prog_digest prog) func
+    (Config.to_string config)
     (match mode with Config.Source -> "src" | Config.Extended -> "ext")
     optimize meter
 
@@ -284,9 +309,7 @@ let compile ?builtins ?(config = Config.double) ?(mode = Config.Source)
    config component entirely: one cached artifact serves every lane
    sweep of a (program, func, mode). *)
 let batch_key ~prog ~func ~mode ~optimize ~meter =
-  Printf.sprintf "batch|%s|%s|%s|%b|%b"
-    (Digest.to_hex (Digest.string (Pp.program_to_string prog)))
-    func
+  Printf.sprintf "batch|%s|%s|%s|%b|%b" (prog_digest prog) func
     (match mode with Config.Source -> "src" | Config.Extended -> "ext")
     optimize meter
 
@@ -301,6 +324,33 @@ let compile_batch ?builtins ?(mode = Config.Source) ?(meter = false)
           if Trace.enabled () then begin
             Trace.add_attr "func" (Trace.Str func);
             Trace.add_attr "batch" (Trace.Bool true);
+            Trace.add_attr "optimize" (Trace.Bool optimize);
+            Trace.add_attr "meter" (Trace.Bool meter)
+          end;
+          Batch.compile ?builtins ~mode ~meter ~optimize ~prog ~func ()))
+
+(* An input-sweep compilation is the same configuration- and
+   input-generic artifact as a batch one, but it lives under its own
+   kind-prefixed key: sweep entries have their own recency (a tuning
+   session's config sweeps must not evict a server tenant's long-lived
+   sampling artifact and vice versa) and their own hit/miss attribution
+   in per-tenant accounting. *)
+let sweep_key ~prog ~func ~mode ~optimize ~meter =
+  Printf.sprintf "sweep|%s|%s|%s|%b|%b" (prog_digest prog) func
+    (match mode with Config.Source -> "src" | Config.Extended -> "ext")
+    optimize meter
+
+let compile_sweep ?builtins ?(mode = Config.Source) ?(meter = false)
+    ?(optimize = true) ~prog ~func () =
+  let k = sweep_key ~prog ~func ~mode ~optimize ~meter in
+  lookup_or ~key:k ~label:func ~builtins
+    ~select:(function Sweep t -> Some t | _ -> None)
+    ~inject:(fun t -> Sweep t)
+    ~build:(fun () ->
+      Trace.with_span "compile" (fun () ->
+          if Trace.enabled () then begin
+            Trace.add_attr "func" (Trace.Str func);
+            Trace.add_attr "sweep" (Trace.Bool true);
             Trace.add_attr "optimize" (Trace.Bool optimize);
             Trace.add_attr "meter" (Trace.Bool meter)
           end;

@@ -68,7 +68,7 @@ type artifact = ..
     statistics — add a constructor, pick a kind-prefixed key, call
     {!lookup_or}. *)
 
-type artifact += Scalar of Compile.t | Batched of Batch.t
+type artifact += Scalar of Compile.t | Batched of Batch.t | Sweep of Batch.t
 
 val shards : int
 (** Number of independent shards (8). A key's shard is a hash of the
@@ -127,6 +127,23 @@ val compile_batch :
     what lets a whole tuning search pay a single compilation per
     (program, mode). Entries share the scalar table, its LRU bound and
     its statistics. *)
+
+val compile_sweep :
+  ?builtins:Builtins.t ->
+  ?mode:Cheffp_precision.Config.rounding_mode ->
+  ?meter:bool ->
+  ?optimize:bool ->
+  prog:Ast.program ->
+  func:string ->
+  unit ->
+  Batch.t
+(** Memoized {!Batch.compile} for the {e input-sweep} axis
+    ({!Batch.run_inputs}). The artifact is the same configuration- and
+    input-generic compile as {!compile_batch}'s, but it is cached under
+    its own [sweep|...] kind-prefixed key: a long sampling session (a
+    server tenant streaming [sample] requests) keeps its artifact's
+    recency independent of config-sweep traffic, and per-tenant
+    hit/miss attribution distinguishes the two uses. *)
 
 (** {1 Per-tenant / per-request attribution} *)
 

@@ -8,6 +8,7 @@ type cmd =
   | Analyze
   | Tune
   | Search
+  | Sample
   | Validate
   | Metrics
   | Stats
@@ -19,6 +20,7 @@ let cmd_name = function
   | Analyze -> "analyze"
   | Tune -> "tune"
   | Search -> "search"
+  | Sample -> "sample"
   | Validate -> "validate"
   | Metrics -> "metrics"
   | Stats -> "stats"
@@ -30,6 +32,7 @@ let cmd_of_string = function
   | "analyze" -> Some Analyze
   | "tune" -> Some Tune
   | "search" -> Some Search
+  | "sample" -> Some Sample
   | "validate" -> Some Validate
   | "metrics" -> Some Metrics
   | "stats" -> Some Stats
@@ -66,6 +69,10 @@ type request = {
   trace : bool;
   format : string;  (* metrics exposition: "dump" (default) | "prometheus" *)
   limit : int;  (* traces: max slowest trees returned; 0 = all retained *)
+  samples : int;  (* sample/search: Monte-Carlo input count; 0 = off *)
+  dist : string option;  (* per-variable distribution spec, CLI --dist *)
+  target_quantile : float;  (* search: quantile the threshold applies to *)
+  seed : int;  (* sampling seed *)
 }
 
 let parse_request line =
@@ -107,6 +114,10 @@ let parse_request line =
                   trace = flag "trace" false;
                   format = str "format" "dump";
                   limit = int "limit" 0;
+                  samples = int "samples" 0;
+                  dist = Json.to_string_opt (Json.member "dist" j);
+                  target_quantile = flt "target_quantile" 0.99;
+                  seed = int "seed" 42;
                 }))
 
 (* Responses. [spans] are pre-rendered {!Cheffp_obs.Export} JSON lines

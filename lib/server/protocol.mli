@@ -16,6 +16,9 @@ type cmd =
   | Analyze
   | Tune
   | Search
+  | Sample
+      (** Monte-Carlo error quantiles of a configuration over sampled
+          inputs (batched input sweep; [samples]/[dist]/[seed] fields) *)
   | Validate
   | Metrics  (** cumulative registry exposition ([format]: dump/prometheus) *)
   | Stats  (** windowed telemetry summary ({!Cheffp_obs.Window}) *)
@@ -53,6 +56,16 @@ type request = {
   limit : int;
       (** traces: return at most this many slowest trees (0 = all
           retained) *)
+  samples : int;
+      (** Monte-Carlo input count — required ([>= 1]) by [sample],
+          optional quantile-targeting switch for [search] (0 = off,
+          the default) *)
+  dist : string option;
+      (** per-variable distribution spec, the CLI's [--dist] syntax *)
+  target_quantile : float;
+      (** search with [samples]: the error quantile the threshold
+          applies to (default 0.99) *)
+  seed : int;  (** deterministic sampling seed (default 42) *)
 }
 
 val parse_request : string -> (request, string) result

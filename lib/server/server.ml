@@ -21,6 +21,8 @@ module Report = Cheffp_core.Report
 module Tuner = Cheffp_core.Tuner
 module Search = Cheffp_core.Search
 module Profile = Cheffp_core.Profile
+module Sampling = Cheffp_core.Sampling
+module Quantile = Cheffp_core.Quantile
 module Shadow = Cheffp_shadow.Shadow
 module Oracle = Cheffp_shadow.Oracle
 
@@ -178,6 +180,68 @@ let handle_tune t (req : Protocol.request) =
       ],
     Report.tuning o )
 
+(* The request's sampling plan: explicit [dist] entries win, the rest
+   of the float parameters take the default box around the base args
+   (server programs are MiniFP source, so there is no [:pre] range to
+   fall back on). *)
+let sampling_plan (req : Protocol.request) f args =
+  let dists =
+    match req.dist with
+    | Some s -> Sampling.dists_of_string s
+    | None -> []
+  in
+  Sampling.plan ~dists ~func:f ~args ()
+
+(* Per-request sample attribution: the response carries its own sample
+   count, and tenants accumulate a [server.tenant.<t>.samples] counter
+   next to their compile-cache hit rates. *)
+let attribute_samples (req : Protocol.request) n =
+  if Trace.enabled () then Trace.add_attr "samples" (Trace.Int n);
+  Option.iter
+    (fun tenant ->
+      Metrics.add
+        (Metrics.counter
+           (Printf.sprintf "server.tenant.%s.samples" tenant))
+        n)
+    req.tenant
+
+let handle_sample t (req : Protocol.request) =
+  if req.samples < 1 then failwith "sample: \"samples\" must be >= 1";
+  let prog = load t req.program in
+  let f = Ast.func_exn prog req.func in
+  let args = parse_args f req.args in
+  let config = parse_config req.demote in
+  let plan = sampling_plan req f args in
+  let inputs =
+    Sampling.draw_many plan ~seed:(Int64.of_int req.seed) req.samples
+  in
+  attribute_samples req req.samples;
+  let lanes = batch_of req in
+  let summary, _ =
+    Sampling.measured_summary ~jobs:req.jobs ?lanes ~builtins:t.builtins
+      ~prog ~func:req.func ~config inputs
+  in
+  let described = Sampling.describe plan in
+  ( Json.Obj
+      [
+        ("func", Json.Str req.func);
+        ("config", Json.Str (Config.to_string config));
+        ("samples", Json.Num (float_of_int summary.Quantile.count));
+        ("seed", Json.Num (float_of_int req.seed));
+        ( "plan",
+          Json.List
+            (List.map
+               (fun (v, d) ->
+                 Json.Obj [ ("var", Json.Str v); ("dist", Json.Str d) ])
+               described) );
+        ("p50", Json.Num summary.Quantile.p50);
+        ("p95", Json.Num summary.Quantile.p95);
+        ("p99", Json.Num summary.Quantile.p99);
+        ("max", Json.Num summary.Quantile.max);
+        ("mean", Json.Num summary.Quantile.mean);
+      ],
+    Report.sampled ~plan:described summary )
+
 let handle_search t (req : Protocol.request) =
   let threshold = require_threshold req in
   let prog = load t req.program in
@@ -189,10 +253,24 @@ let handle_search t (req : Protocol.request) =
       (Shadow.run ~builtins:t.builtins ~config ~mode:Config.Source ~prog
          ~func:req.func (copy_args args))
   in
+  let sampling =
+    if req.samples > 0 then begin
+      let plan = sampling_plan req f args in
+      attribute_samples req req.samples;
+      Some
+        {
+          Search.inputs =
+            Sampling.draw_many plan ~seed:(Int64.of_int req.seed) req.samples;
+          quantile = req.target_quantile;
+        }
+    end
+    else None
+  in
   let o =
     Search.tune ~target ~builtins:t.builtins ~jobs:req.jobs
       ~strategy:(strategy_of req.strategy) ~prune_margin:req.prune_margin
-      ?batch:(batch_of req) ~measure ~prog ~func:req.func ~args ~threshold ()
+      ?batch:(batch_of req) ?sampling ~measure ~prog ~func:req.func ~args
+      ~threshold ()
   in
   ( Json.Obj
       [
@@ -200,6 +278,7 @@ let handle_search t (req : Protocol.request) =
         ("executions", Json.Num (float_of_int o.Search.executions));
         ("batched_runs", Json.Num (float_of_int o.Search.batched_runs));
         ("runs_avoided", Json.Num (float_of_int o.Search.runs_avoided));
+        ("samples", Json.Num (float_of_int o.Search.samples));
         ("strategy", Json.Str (Search.strategy_name o.Search.strategy));
         ("modelled_error", Json.Num o.Search.modelled_error);
         ( "measured_error",
@@ -477,6 +556,7 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Analyze -> handle_analyze t req
   | Protocol.Tune -> handle_tune t req
   | Protocol.Search -> handle_search t req
+  | Protocol.Sample -> handle_sample t req
   | Protocol.Validate -> handle_validate t req
 
 (* Same error surface as the CLI's [wrap]. *)
@@ -487,6 +567,7 @@ let error_message = function
   | Typecheck.Error m
   | Interp.Runtime_error m
   | Estimate.Error m
+  | Sampling.Spec_error m
   | Cheffp_ad.Reverse.Error m
   | Invalid_argument m
   | Sys_error m ->

@@ -42,6 +42,23 @@ let split t =
   let seed = next_int64 t in
   create (Int64.logxor seed 0xDEADBEEFCAFEBABEL)
 
+(* The SplitMix64 output finalizer as a pure int64 -> int64 hash. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(* Substream i of a seed: hash (seed, i) twice through the finalizer so
+   nearby indices land on unrelated states (a naive [seed + i*gamma]
+   start would make substream i a shifted copy of substream i+1). The
+   state depends only on (seed, index) — never on draw order — which is
+   what makes per-sample streams invariant to jobs/lanes/chunking. *)
+let substream seed index =
+  let open Int64 in
+  let h = mix64 (add seed (mul (of_int index) 0x9E3779B97F4A7C15L)) in
+  create (mix64 (logxor h 0xA3EC647659359ACDL))
+
 let shuffle t a =
   for i = Array.length a - 1 downto 1 do
     let j = int t (i + 1) in

@@ -30,5 +30,14 @@ val bool : t -> bool
 val split : t -> t
 (** Derive an independent generator; advances [t]. *)
 
+val substream : int64 -> int -> t
+(** [substream seed i] is the [i]-th derived generator of [seed]: a pure
+    function of [(seed, i)] (no generator is advanced), with the pair
+    hashed twice through the SplitMix64 finalizer so adjacent indices
+    start from unrelated states. Because the stream depends only on the
+    pair, drawing sample [i] produces identical values no matter how
+    samples are chunked across lanes, domains or jobs — the determinism
+    contract the input-sweep sampling layer is built on. *)
+
 val shuffle : t -> 'a array -> unit
 (** In-place Fisher-Yates shuffle. *)

@@ -146,6 +146,63 @@ let test_branch_flip () =
   Alcotest.(check int) "one diverged lane" 1 d
 
 (* ------------------------------------------------------------------ *)
+(* Predicated float-only branches: an [if] whose condition is a float
+   comparison and whose bodies only assign float scalars keeps every
+   lane's own outcome — no consensus, no divergence — while staying
+   bit-identical to scalar per lane. Metered artifacts must keep the
+   consensus path (predication would charge the not-taken side). *)
+
+let pred_src =
+  {|func predy(x: f64): f64 {
+  var t: f64 = x;
+  var w: f64 = 1.0;
+  var best: f64 = 1.0e30;
+  if (t >= 1.0) {
+    w = t * 2.0;
+  } else {
+    w = w - t;
+  }
+  if (w < best) {
+    best = w;
+  }
+  return best + w;
+}|}
+
+let test_predicated_branch_no_divergence () =
+  let prog = parse pred_src in
+  (* The f16 lane stores 0.99998 as 1.0 and flips both branches. *)
+  let configs =
+    [| Config.double; Config.demote Config.double "t" Fp.F16 |]
+  in
+  let d = check_lanes ~prog ~func:"predy" configs [ Interp.Aflt 0.99998 ] in
+  Alcotest.(check int) "predicated: no divergence" 0 d;
+  (* The same flip through a metered artifact stays a consensus point. *)
+  let d =
+    check_lanes ~meter:true ~prog ~func:"predy" configs
+      [ Interp.Aflt 0.99998 ]
+  in
+  Alcotest.(check int) "metered: consensus divergence" 1 d
+
+let test_predicated_input_sweep () =
+  let prog = parse pred_src in
+  let config = Config.double in
+  let inputs =
+    Array.map (fun x -> [ Interp.Aflt x ]) [| 0.5; 1.5; 0.25; 2.0; 1.0 |]
+  in
+  let b = Batch.compile ~prog ~func:"predy" () in
+  let r = Batch.run_inputs b ~config inputs in
+  Alcotest.(check int) "no divergence across disagreeing inputs" 0
+    r.Batch.divergences;
+  let c = Compile.compile ~config ~prog ~func:"predy" () in
+  Array.iteri
+    (fun l args ->
+      Alcotest.(check bool)
+        (Printf.sprintf "lane %d bit-identical" l)
+        true
+        (r.Batch.lanes.(l) = Compile.run c args))
+    inputs
+
+(* ------------------------------------------------------------------ *)
 (* Divergence: while-loop trip count.                                 *)
 
 (* x = 0.33329: in f64 the sum crosses 1.0 on the 4th iteration; with s
@@ -362,6 +419,10 @@ let () =
           Alcotest.test_case "uniform lanes, metered" `Quick test_uniform;
           Alcotest.test_case "extended mode" `Quick test_extended_mode;
           Alcotest.test_case "branch flip diverges" `Quick test_branch_flip;
+          Alcotest.test_case "predicated branch, no divergence" `Quick
+            test_predicated_branch_no_divergence;
+          Alcotest.test_case "predicated input sweep" `Quick
+            test_predicated_input_sweep;
           Alcotest.test_case "while trip-count diverges" `Quick
             test_while_trip_count;
           Alcotest.test_case "array writes after split" `Quick
