@@ -10,7 +10,7 @@
      ids: table1 table2 table3 table4 fig4 fig5 fig6 fig7 fig8 fig9
           ablation-inline ablation-opt ablation-precision ablation-activity
           ablation-search perf-search smoke serve-bench telemetry-bench
-          batch-smoke model-smoke dist-smoke bechamel all *)
+          batch-smoke model-smoke dist-smoke range-smoke bechamel all *)
 
 let usage () =
   print_endline
@@ -18,7 +18,7 @@ let usage () =
     \                 fig8|fig9|ablation-inline|ablation-opt|ablation-precision|\n\
     \                 ablation-activity|ablation-search|perf-search|smoke|\n\
     \                 serve-bench|telemetry-bench|batch-smoke|model-smoke|\n\
-    \                 dist-smoke|bechamel|all]\n\
+    \                 dist-smoke|range-smoke|bechamel|all]\n\
      -j N   worker domains for parallel sweeps / candidate evaluation\n\
     \        (default: Domain.recommended_domain_count () - 1, min 1)";
   exit 1
@@ -94,13 +94,79 @@ let telemetry_bench () =
   Perf.print_telemetry tl;
   if not (telemetry_block_ok tl) then exit 1
 
+(* Gates on the BENCH_search.json "range" block (DESIGN.md §17):
+   soundness — zero kernels where a certified bound sits below the
+   sampled demotion error, with the whole 48-kernel corpus analyzed and
+   a meaningful share actually certifying; pruning — in both threshold
+   regimes the rigorous prune_bound never changes the chosen set and
+   never costs executions, every pruned acceptance comes with strictly
+   fewer executions, and in the loose regime (threshold at the certified
+   bound, where certification can fire) at least 3 of the 5 paper
+   workloads prune strictly. *)
+let range_block_ok (rg : Perf.range_block) =
+  let corpus_ok = List.length rg.Perf.rg_sound >= 40 in
+  let unsound = List.length (Perf.range_unsound rg.Perf.rg_sound) in
+  let certified = Perf.range_certified rg.Perf.rg_sound in
+  let identical =
+    List.for_all
+      (fun r -> r.Perf.p_identical && r.Perf.p_loose_identical)
+      rg.Perf.rg_prune
+  in
+  let never_worse =
+    List.for_all
+      (fun r ->
+        r.Perf.p_pruned_execs <= r.Perf.p_baseline_execs
+        && r.Perf.p_loose_pruned_execs <= r.Perf.p_loose_baseline_execs)
+      rg.Perf.rg_prune
+  in
+  let pruned_means_fewer =
+    List.for_all
+      (fun r ->
+        (r.Perf.p_pruned = 0
+        || r.Perf.p_pruned_execs < r.Perf.p_baseline_execs)
+        && (r.Perf.p_loose_pruned = 0
+           || r.Perf.p_loose_pruned_execs < r.Perf.p_loose_baseline_execs))
+      rg.Perf.rg_prune
+  in
+  let strictly_fewer =
+    List.length
+      (List.filter
+         (fun r ->
+           r.Perf.p_pruned_execs < r.Perf.p_baseline_execs
+           || r.Perf.p_loose_pruned_execs < r.Perf.p_loose_baseline_execs)
+         rg.Perf.rg_prune)
+  in
+  Printf.printf
+    "range gates: corpus fully analyzed (>= 40 kernels): %b (%d); zero \
+     UNSOUND bounds: %b (%d certified); pruned sets bit-identical to \
+     hybrid: %b; pruning never costs executions: %b; every pruned accept \
+     saves executions: %b; strictly fewer executions on >= 3 workloads: %b \
+     (%d/%d)\n"
+    corpus_ok
+    (List.length rg.Perf.rg_sound)
+    (unsound = 0) certified identical never_worse pruned_means_fewer
+    (strictly_fewer >= 3) strictly_fewer
+    (List.length rg.Perf.rg_prune);
+  corpus_ok && unsound = 0 && certified > 0 && identical && never_worse
+  && pruned_means_fewer && strictly_fewer >= 3
+
+(* `dune build @range-smoke` runs this: the range bench block itself is
+   a gate, at tiny workload sizes. *)
+let range_smoke () =
+  let rg =
+    Perf.range_bench ~samples:12
+      ~workloads:(Perf.batch_workloads ~small:true ())
+      ()
+  in
+  if not (range_block_ok rg) then exit 1
+
 (* Tiny-size smoke pass (seconds, not minutes): exercises the sweep
    plumbing, the parallel search path and the compile cache so
    `dune build @bench-smoke` gives CI-style coverage of the harness. *)
 let smoke ~jobs () =
   let sweep = Figures.fig4 ~jobs ~sizes:[ 2_000; 5_000 ] () in
   ignore sweep;
-  let rows, batch, model, dist, soundness, server, telemetry, fpcore =
+  let rows, batch, model, dist, soundness, server, telemetry, fpcore, range =
     Perf.search_bench ~jobs:(max jobs 2) ~out:"BENCH_search.smoke.json"
       ~workloads:(Perf.smoke_workloads ()) ~small_soundness:true ()
   in
@@ -131,6 +197,7 @@ let smoke ~jobs () =
   let fpcore_ok =
     fpcore.Perf.fp_kernels >= 40 && fpcore.Perf.fp_roundtrip_exact
   in
+  let range_ok = range_block_ok range in
   Printf.printf
     "smoke: outcomes identical across jobs (incl. instrumented): %b; \
      batched search outcomes identical to scalar: %b; cache hits on every \
@@ -139,13 +206,13 @@ let smoke ~jobs () =
      benchmark: %b; hybrid = measured set with fewer executions: %b; \
      input-sweep samples bit-identical to scalar: %b; server block gates \
      pass: %b; telemetry block gates pass: %b; fpcore corpus >= 40 kernels \
-     with exact round trips: %b\n"
+     with exact round trips: %b; range block gates pass: %b\n"
     ok batch_ok hits traced overhead_ok sound model_ok dist_ok server_ok
-    telemetry_ok fpcore_ok;
+    telemetry_ok fpcore_ok range_ok;
   if
     not
       (ok && batch_ok && hits && traced && overhead_ok && sound && model_ok
-     && dist_ok && server_ok && telemetry_ok && fpcore_ok)
+     && dist_ok && server_ok && telemetry_ok && fpcore_ok && range_ok)
   then exit 1
 
 (* Batched-search smoke (`dune build @batch-smoke`): tiny batched
@@ -317,6 +384,7 @@ let () =
   | "batch-smoke" -> batch_smoke ()
   | "model-smoke" -> model_smoke ()
   | "dist-smoke" -> dist_smoke ()
+  | "range-smoke" -> range_smoke ()
   | "suite" -> Tables.suite ()
   | "bechamel" -> Micro.run ()
   | _ -> usage ()

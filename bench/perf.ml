@@ -425,6 +425,250 @@ let print_model_rows rows =
          ])
        rows)
 
+(* ------------------------------------------------------------------ *)
+(* Rigorous range bounds (DESIGN.md §17). Two claims, separately gated:
+
+   - Soundness: on every FPCore corpus kernel whose analysis certifies a
+     bound, the all-charged-vars-at-f32 bound must dominate the measured
+     demotion error |y_f32config − y_f64| at inputs sampled from the
+     kernel's [:pre] box (the same quantity the shadow oracle reports as
+     [demotion_error]). UNBOUNDED and not-certified verdicts claim
+     nothing and are vacuously sound — what is gated is zero UNSOUND.
+
+   - Pruning: `Hybrid search with the rigorous [prune_bound] must pick
+     the bit-identical demoted set at no more executions on every paper
+     workload, and strictly fewer on the ones where bounds certify. *)
+
+module Range = Cheffp_range.Range
+module Rbox = Cheffp_range.Box
+
+type range_sound_row = {
+  g_name : string;
+  g_verdict : string;  (** BOUNDED | UNBOUNDED | NOT_CERTIFIED *)
+  g_bound : float;  (** certified f32 bound; [nan] when nothing is claimed *)
+  g_sampled_max : float;  (** max measured demotion error over the points *)
+  g_points : int;
+  g_sound : bool;  (** bound >= sampled max; vacuously true without a claim *)
+}
+
+let range_soundness ?(samples = 24) () =
+  let module Import = Cheffp_fpcore.Import in
+  let module Interp = Cheffp_ir.Interp in
+  let module Config = Cheffp_precision.Config in
+  let module Sampling = Cheffp_core.Sampling in
+  let entries = B.Corpus.load () in
+  List.map
+    (fun (e : B.Corpus.entry) ->
+      let func = e.core.Import.name in
+      let f = Cheffp_ir.Ast.func_exn e.prog func in
+      let args = e.core.Import.default_args in
+      let ranges = e.core.Import.ranges in
+      let box = Rbox.of_args ~ranges ~func:f ~args () in
+      let a = Range.analyze ~prog:e.prog ~func ~box () in
+      let vacuous verdict =
+        {
+          g_name = func;
+          g_verdict = verdict;
+          g_bound = Float.nan;
+          g_sampled_max = Float.nan;
+          g_points = 0;
+          g_sound = true;
+        }
+      in
+      match a.Range.verdict with
+      | Range.Unbounded _ -> vacuous "UNBOUNDED"
+      | Range.Bounded -> (
+          let vars = Range.charged_vars a in
+          match Range.score a ~target:Cheffp_precision.Fp.F32 vars with
+          | None -> vacuous "NOT_CERTIFIED"
+          | Some bound ->
+              let config =
+                Config.demote_all Config.double vars Cheffp_precision.Fp.F32
+              in
+              let plan = Sampling.plan ~ranges ~func:f ~args () in
+              let inputs = Sampling.draw_many plan ~seed:42L samples in
+              let demotion_error input =
+                let y config =
+                  Interp.run_float ~config ~prog:e.prog ~func input
+                in
+                Float.abs (y config -. y Config.double)
+              in
+              let worst =
+                Array.fold_left
+                  (fun acc input -> Float.max acc (demotion_error input))
+                  (demotion_error args) inputs
+              in
+              {
+                g_name = func;
+                g_verdict = "BOUNDED";
+                g_bound = bound;
+                g_sampled_max = worst;
+                g_points = Array.length inputs + 1;
+                g_sound = worst <= bound;
+              }))
+    entries
+
+let range_unsound rows = List.filter (fun r -> not r.g_sound) rows
+
+let range_certified rows =
+  List.length (List.filter (fun r -> r.g_verdict = "BOUNDED") rows)
+
+let print_range_soundness rows =
+  Printf.printf
+    "range soundness: %d corpus kernel(s), %d certified bounds, %d \
+     UNBOUNDED/not-certified (vacuous), %d UNSOUND\n"
+    (List.length rows) (range_certified rows)
+    (List.length rows - range_certified rows)
+    (List.length (range_unsound rows));
+  List.iter
+    (fun r ->
+      if not r.g_sound then
+        Printf.printf "  UNSOUND %s: bound %.6e < sampled max %.6e\n" r.g_name
+          r.g_bound r.g_sampled_max)
+    rows;
+  let tight =
+    List.filter_map
+      (fun r ->
+        if r.g_verdict = "BOUNDED" && r.g_sampled_max > 0. then
+          Some (r.g_bound /. r.g_sampled_max)
+        else None)
+      rows
+  in
+  match tight with
+  | [] -> ()
+  | _ ->
+      let sorted = List.sort compare tight in
+      Printf.printf
+        "bound / sampled-max overestimation over %d kernels: median %.1fx\n"
+        (List.length sorted)
+        (List.nth sorted (List.length sorted / 2))
+
+(* Pruning is measured in two threshold regimes per workload, against
+   the same `Hybrid baseline each time:
+
+   - tight: the workload's paper threshold, sitting below the
+     all-demoted error so the search takes its expensive probe + grow
+     path. Rigorous bounds rarely certify here (they over-approximate
+     the measured error by ~an order of magnitude); what is gated is
+     that they never change the chosen set and never cost executions.
+
+   - loose: the threshold is the certified all-candidates bound itself
+     — the "can everything demote?" fast-path question the analysis can
+     answer outright. Here the search must accept without executing a
+     single candidate (strictly fewer executions, same set). Workloads
+     whose analysis is UNBOUNDED fall back to twice the measured
+     all-demoted error, where certification cannot fire and both runs
+     must match exactly. *)
+type range_prune_row = {
+  pw : workload;
+  p_verdict : string;
+  p_analyze_ms : float;  (** one-off cost of the rigorous analysis *)
+  p_baseline_execs : int;  (** tight: `Hybrid, no prune_bound *)
+  p_pruned_execs : int;  (** tight: `Hybrid + rigorous prune_bound *)
+  p_pruned : int;
+  p_identical : bool;
+  p_loose_threshold : float;
+  p_loose_baseline_execs : int;
+  p_loose_pruned_execs : int;
+  p_loose_pruned : int;
+  p_loose_identical : bool;
+}
+
+let measure_range_prune w =
+  let module Config = Cheffp_precision.Config in
+  let module Interp = Cheffp_ir.Interp in
+  let tune ~threshold ?prune_bound () =
+    Gc.compact ();
+    Compile_cache.clear ();
+    Search.tune ~jobs:1 ?prune_bound ~prog:w.prog ~func:w.func ~args:w.args
+      ~threshold ()
+  in
+  let f = Cheffp_ir.Ast.func_exn w.prog w.func in
+  (* Point-mode search measures at the base args, so the certificate
+     only needs the degenerate point box — the tightest the Taylor
+     forms get. *)
+  let box = Rbox.point_of_args ~func:f ~args:w.args () in
+  let a, analyze_s =
+    Meter.time (fun () -> Range.analyze ~prog:w.prog ~func:w.func ~box ())
+  in
+  let prune_bound = Range.pruner a ~target:Cheffp_precision.Fp.F32 in
+  let candidates = Tuner.float_variables f in
+  let loose_threshold =
+    match prune_bound candidates with
+    | Some b -> b
+    | None ->
+        (* Nothing certifies: park the loose regime at twice the
+           measured all-demoted error, where both runs must agree. *)
+        let copy =
+          List.map (function
+            | Interp.Afarr a -> Interp.Afarr (Array.copy a)
+            | Interp.Aiarr a -> Interp.Aiarr (Array.copy a)
+            | x -> x)
+        in
+        let y config =
+          Interp.run_float ~config ~prog:w.prog ~func:w.func (copy w.args)
+        in
+        let demotion =
+          Float.abs
+            (y (Config.demote_all Config.double candidates
+                  Cheffp_precision.Fp.F32)
+            -. y Config.double)
+        in
+        2. *. Float.max demotion 1e-300
+  in
+  let baseline = tune ~threshold:w.threshold () in
+  let pruned = tune ~threshold:w.threshold ~prune_bound () in
+  let loose_baseline = tune ~threshold:loose_threshold () in
+  let loose_pruned = tune ~threshold:loose_threshold ~prune_bound () in
+  {
+    pw = w;
+    p_verdict = Range.verdict_to_string a.Range.verdict;
+    p_analyze_ms = analyze_s *. 1000.;
+    p_baseline_execs = baseline.Search.executions;
+    p_pruned_execs = pruned.Search.executions;
+    p_pruned = pruned.Search.pruned;
+    p_identical = pruned.Search.demoted = baseline.Search.demoted;
+    p_loose_threshold = loose_threshold;
+    p_loose_baseline_execs = loose_baseline.Search.executions;
+    p_loose_pruned_execs = loose_pruned.Search.executions;
+    p_loose_pruned = loose_pruned.Search.pruned;
+    p_loose_identical = loose_pruned.Search.demoted = loose_baseline.Search.demoted;
+  }
+
+let print_range_prune_rows rows =
+  Table.print
+    ~header:
+      [
+        "workload"; "tight"; "+bounds"; "loose"; "+bounds"; "pruned";
+        "verdict"; "analyze"; "identical";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.pw.name;
+           string_of_int r.p_baseline_execs;
+           string_of_int r.p_pruned_execs;
+           string_of_int r.p_loose_baseline_execs;
+           string_of_int r.p_loose_pruned_execs;
+           string_of_int (r.p_pruned + r.p_loose_pruned);
+           r.p_verdict;
+           Printf.sprintf "%.1f ms" r.p_analyze_ms;
+           string_of_bool (r.p_identical && r.p_loose_identical);
+         ])
+       rows)
+
+type range_block = {
+  rg_sound : range_sound_row list;
+  rg_prune : range_prune_row list;
+}
+
+let range_bench ?(samples = 24) ~workloads () =
+  let rg_sound = range_soundness ~samples () in
+  print_range_soundness rg_sound;
+  let rg_prune = List.map measure_range_prune workloads in
+  print_range_prune_rows rg_prune;
+  { rg_sound; rg_prune }
+
 (* Overhead guard: the disabled instrumentation path must be paid-for by
    design, not by measurement luck. We microbenchmark the disabled
    [with_span] (one atomic load + branch + call), assert it allocates
@@ -1308,7 +1552,7 @@ let json_escape s =
   Buffer.contents b
 
 let write_json ~path ~soundness ~batch ~model ~dist ~server ~telemetry ~fpcore
-    rows =
+    ~range rows =
   let probe = probe_disabled_path () in
   let oc = open_out path in
   let pf fmt = Printf.fprintf oc fmt in
@@ -1553,6 +1797,56 @@ let write_json ~path ~soundness ~batch ~model ~dist ~server ~telemetry ~fpcore
   pf "    \"seconds_roundtrip\": %.6f,\n" fpcore.fp_roundtrip_s;
   pf "    \"roundtrip_exact\": %b\n" fpcore.fp_roundtrip_exact;
   pf "  },\n";
+  pf "  \"range\": {\n";
+  pf "    \"description\": \"rigorous interval/Taylor-form bounds \
+      (DESIGN.md S17): certified all-charged-vars-at-f32 demotion-error \
+      bounds vs sampled |y_f32 - y_f64| over each FPCore kernel's :pre \
+      box (zero UNSOUND gated), and Hybrid search with the rigorous \
+      prune_bound vs the plain hybrid baseline (bit-identical sets, \
+      executions saved)\",\n";
+  pf "    \"target\": \"f32\",\n";
+  pf "    \"corpus_kernels\": %d,\n" (List.length range.rg_sound);
+  pf "    \"certified_bounds\": %d,\n" (range_certified range.rg_sound);
+  pf "    \"unsound\": %d,\n" (List.length (range_unsound range.rg_sound));
+  pf "    \"soundness\": [\n";
+  List.iteri
+    (fun i r ->
+      pf
+        "      {\"name\": \"%s\", \"verdict\": \"%s\", \"bound\": %s, \
+         \"sampled_max\": %s, \"points\": %d, \"sound\": %b}%s\n"
+        (json_escape r.g_name) r.g_verdict
+        (if Float.is_finite r.g_bound then Printf.sprintf "%.6e" r.g_bound
+         else "null")
+        (if Float.is_finite r.g_sampled_max then
+           Printf.sprintf "%.6e" r.g_sampled_max
+         else "null")
+        r.g_points r.g_sound
+        (if i < List.length range.rg_sound - 1 then "," else ""))
+    range.rg_sound;
+  pf "    ],\n";
+  pf "    \"pruning\": [\n";
+  List.iteri
+    (fun i r ->
+      pf
+        "      {\"name\": \"%s\", \"verdict\": \"%s\", \"analyze_ms\": \
+         %.3f,\n\
+        \       \"tight\": {\"threshold\": %.17g, \"hybrid_executions\": %d, \
+         \"pruned_executions\": %d, \"pruned\": %d, \"executions_saved\": \
+         %d, \"demoted_identical\": %b},\n\
+        \       \"loose\": {\"threshold\": %.17g, \"hybrid_executions\": %d, \
+         \"pruned_executions\": %d, \"pruned\": %d, \"executions_saved\": \
+         %d, \"demoted_identical\": %b}}%s\n"
+        (json_escape r.pw.name) (json_escape r.p_verdict) r.p_analyze_ms
+        r.pw.threshold r.p_baseline_execs r.p_pruned_execs r.p_pruned
+        (r.p_baseline_execs - r.p_pruned_execs)
+        r.p_identical r.p_loose_threshold r.p_loose_baseline_execs
+        r.p_loose_pruned_execs r.p_loose_pruned
+        (r.p_loose_baseline_execs - r.p_loose_pruned_execs)
+        r.p_loose_identical
+        (if i < List.length range.rg_prune - 1 then "," else ""))
+    range.rg_prune;
+  pf "    ]\n";
+  pf "  },\n";
   pf "  \"soundness\": {\n";
   pf "    \"mode\": \"extended\",\n";
   pf "    \"margin\": 1.0,\n";
@@ -1679,7 +1973,15 @@ let search_bench ?(jobs = 4) ?(out = "BENCH_search.json")
   Printf.printf "\n== FPCore corpus: import, analyze, export round trip ==\n";
   let fpcore = fpcore_bench () in
   print_fpcore fpcore;
+  Printf.printf
+    "\n== Rigorous range bounds: corpus soundness + search pruning ==\n";
+  let range =
+    range_bench
+      ~samples:(if small_soundness then 12 else 24)
+      ~workloads:(batch_workloads ~small:small_soundness ())
+      ()
+  in
   write_json ~path:out ~soundness ~batch ~model ~dist ~server ~telemetry
-    ~fpcore rows;
+    ~fpcore ~range rows;
   Printf.printf "wrote %s\n" out;
-  (rows, batch, model, dist, soundness, server, telemetry, fpcore)
+  (rows, batch, model, dist, soundness, server, telemetry, fpcore, range)

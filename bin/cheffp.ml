@@ -20,6 +20,9 @@ module Cost = Cheffp_precision.Cost
 module Trace = Cheffp_obs.Trace
 module Metrics = Cheffp_obs.Metrics
 module Export = Cheffp_obs.Export
+module Range = Cheffp_range.Range
+module Rbox = Cheffp_range.Box
+module Rinterval = Cheffp_range.Interval
 
 let read_file path =
   let ic = open_in_bin path in
@@ -191,7 +194,8 @@ let with_obs ~cmd obs body =
 let wrap f = try f (); `Ok () with
   | Failure m | Parser.Error m | Lexer.Error m | Typecheck.Error m
   | Interp.Runtime_error m | Cheffp_core.Estimate.Error m
-  | Cheffp_core.Sampling.Spec_error m | Cheffp_ad.Reverse.Error m ->
+  | Cheffp_core.Sampling.Spec_error m | Cheffp_ad.Reverse.Error m
+  | Cheffp_range.Box.Spec_error m ->
       `Error (false, m)
   | Cheffp_fpcore.Sexp.Error m
   | Fpcore_import.Error m
@@ -330,6 +334,17 @@ let target_quantile_arg =
           "With --samples: the error quantile the threshold applies to \
            (0.99 = p99, 0.5 = median, 1.0 = sampled max). Default 0.99.")
 
+(* The kernel's FPCore [:pre] ranges, when the input came through the
+   FPCore front end — consumed by both the sampling plan and the
+   rigorous range box. *)
+let kernel_ranges cores func =
+  match cores with
+  | Some cs -> (
+      match Fpcore_import.find cs func with
+      | Some c -> c.Fpcore_import.ranges
+      | None -> [])
+  | None -> []
+
 (* Resolve the per-variable sampling plan: explicit --dist entries win,
    then the kernel's FPCore [:pre] box, then the default box. *)
 let sampling_plan ~dist cores func (f : Ast.func) args =
@@ -338,15 +353,72 @@ let sampling_plan ~dist cores func (f : Ast.func) args =
     | Some s -> Cheffp_core.Sampling.dists_of_string s
     | None -> []
   in
-  let ranges =
-    match cores with
-    | Some cs -> (
-        match Fpcore_import.find cs func with
-        | Some c -> c.Fpcore_import.ranges
-        | None -> [])
-    | None -> []
-  in
-  Cheffp_core.Sampling.plan ~dists ~ranges ~func:f ~args ()
+  Cheffp_core.Sampling.plan ~dists ~ranges:(kernel_ranges cores func) ~func:f
+    ~args ()
+
+(* ---------------- rigorous range bounds ---------------- *)
+
+(* A sampling plan's support as a range box: [None] when any draw has
+   unbounded support (Normal) — no finite box covers it, so rigorous
+   pruning must stay off. *)
+let box_of_plan plan =
+  let exception Unbounded_support in
+  try
+    Some
+      (Rbox.make
+         (List.map
+            (fun (name, view) ->
+              let dim =
+                match view with
+                | `Fixed a -> Rbox.Dfixed a
+                | `Interval (lo, hi) -> Rbox.Dflt (Rinterval.make lo hi)
+                | `Intervals pairs ->
+                    Rbox.Dfarr
+                      (Array.map (fun (lo, hi) -> Rinterval.make lo hi) pairs)
+                | `Unbounded -> raise Unbounded_support
+              in
+              (name, dim))
+            (Cheffp_core.Sampling.box_view plan)))
+  with Unbounded_support -> None
+
+let range_arg =
+  Arg.(
+    value & flag
+    & info [ "range" ]
+        ~doc:
+          "Rigorous interval/Taylor-form range analysis: certify a sound \
+           upper bound on the mixed-precision error over an input box \
+           (FPCore [:pre] ranges, --box overrides, or the default \xc2\xb150% \
+           box; zero-valued defaults widen to [-1,1]). On $(b,search), use \
+           the certified bounds to accept candidates without executing \
+           them — the chosen set is bit-identical, with strictly fewer \
+           candidate executions whenever a bound fires.")
+
+let box_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "box" ] ~docv:"SPEC"
+        ~doc:
+          "Override range-analysis input intervals: 'x=lo,hi; y=lo,hi' \
+           entries for scalar float parameters (implies nothing for \
+           sampling; see --dist for that).")
+
+let range_backend_arg =
+  Arg.(
+    value & opt string "bb"
+    & info [ "range-backend" ] ~docv:"B"
+        ~doc:
+          "Global-bound backend: $(b,bb) (branch-and-bound box splitting, \
+           default) or $(b,whole) (single evaluation of the whole box).")
+
+(* The analysis box for explicit range analysis: :pre ranges over the
+   default box, --box on top. *)
+let range_box ~boxspec cores func (f : Ast.func) args =
+  let box = Rbox.of_args ~ranges:(kernel_ranges cores func) ~func:f ~args () in
+  match boxspec with
+  | Some spec -> Rbox.apply_override box (Rbox.override_of_string spec)
+  | None -> box
 
 (* ---------------- commands ---------------- *)
 
@@ -407,7 +479,8 @@ let gradient_cmd =
     Term.(ret (const run $ file_arg $ func_arg))
 
 let analyze_cmd =
-  let run file func model target show_code format samples dist seed obs raw =
+  let run file func model target show_code format samples dist seed range
+      boxspec range_backend obs raw =
     wrap (fun () ->
         with_obs ~cmd:"analyze" obs @@ fun () ->
         let prog, cores = load_any ~format file in
@@ -442,6 +515,15 @@ let analyze_cmd =
             (Cheffp_core.Report.sampled
                ~plan:(Cheffp_core.Sampling.describe plan)
                summary)
+        end;
+        if range then begin
+          let box = range_box ~boxspec cores func f args in
+          let a =
+            Trace.with_span "range.analyze" (fun () ->
+                Range.analyze ~backend:range_backend ~builtins:(builtins ())
+                  ~prog ~func ~box ())
+          in
+          print_string (Range.report ~target a)
         end)
   in
   let show_code =
@@ -452,8 +534,8 @@ let analyze_cmd =
        ~doc:"Estimate the floating-point error of a function (CHEF-FP).")
     Term.(
       ret (const run $ file_arg $ func_arg $ model_arg $ target_arg $ show_code
-           $ format_arg $ samples_arg $ dist_arg $ seed_arg $ obs_term
-           $ rest_args))
+           $ format_arg $ samples_arg $ dist_arg $ seed_arg $ range_arg
+           $ box_arg $ range_backend_arg $ obs_term $ rest_args))
 
 let tune_cmd =
   let run file func threshold target emit profiled format jobs batch no_batch
@@ -536,7 +618,7 @@ let copy_args args =
 
 let search_cmd =
   let run file func threshold target strategy prune_margin format jobs batch
-      no_batch samples dist seed target_quantile obs raw =
+      no_batch samples dist seed target_quantile range obs raw =
     wrap (fun () ->
         with_obs ~cmd:"search" obs @@ fun () ->
         let prog, cores = load_any ~format file in
@@ -564,9 +646,33 @@ let search_cmd =
           end
           else None
         in
+        (* Rigorous pruning (--range): certified bounds let the search
+           accept candidates without executing them. Single-point
+           tuning certifies over the degenerate point box (tightest);
+           sampled tuning over the plan's support box — unless a draw
+           has unbounded support (Normal), where no finite box exists
+           and pruning stays off. *)
+        let prune_bound =
+          if not range then None
+          else
+            let box =
+              match sampling with
+              | None -> Some (Rbox.point_of_args ~func:f ~args ())
+              | Some _ -> box_of_plan (sampling_plan ~dist cores func f args)
+            in
+            match box with
+            | None -> None
+            | Some box ->
+                let a =
+                  Trace.with_span "range.analyze" (fun () ->
+                      Range.analyze ~builtins:(builtins ()) ~prog ~func ~box
+                        ())
+                in
+                Some (Range.pruner a ~target)
+        in
         let o =
           Cheffp_core.Search.tune ~target ~builtins:(builtins ()) ~jobs
-            ~strategy:(strategy_of strategy) ~prune_margin
+            ~strategy:(strategy_of strategy) ~prune_margin ?prune_bound
             ?batch:(batch_of ~batch ~no_batch) ?sampling ~measure ~prog ~func
             ~args ~threshold ()
         in
@@ -579,7 +685,7 @@ let search_cmd =
       ret (const run $ file_arg $ func_arg $ threshold_arg $ target_arg
            $ strategy_arg $ prune_margin_arg $ format_arg $ jobs_arg
            $ batch_arg $ no_batch_arg $ samples_arg $ dist_arg $ seed_arg
-           $ target_quantile_arg $ obs_term $ rest_args))
+           $ target_quantile_arg $ range_arg $ obs_term $ rest_args))
 
 let validate_cmd =
   let run file func demote mode margin fuel format obs raw =
@@ -1036,7 +1142,7 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the long-lived analysis server: newline-delimited JSON \
-          requests (analyze, tune, search, sample, validate, ping, \
+          requests (analyze, tune, search, sample, validate, range, ping, \
           metrics, stats, traces, shutdown) over a Unix or loopback TCP \
           socket, \
           executed concurrently on a shared worker-domain pool with \
@@ -1104,6 +1210,15 @@ let top_cmd =
           line "queue wait p50 %s   p95 %s   p99 %s"
             (fmt_ms (mem qw "p50_ms")) (fmt_ms (mem qw "p95_ms"))
             (fmt_ms (mem qw "p99_ms"));
+          (let search = mem r "search" and range = mem r "range" in
+           line
+             "rigorous   pruned %.0f (window %.0f)   range bounds %.0f \
+              (window %.0f)   splits %.0f"
+             (num (mem search "pruned_total"))
+             (num (mem search "pruned_window"))
+             (num (mem range "bounds_total"))
+             (num (mem range "bounds_window"))
+             (num (mem range "splits_total")));
           line "cache      hits %.0f   misses %.0f   size %.0f   window hit rate %s"
             (num (mem cache "hits_total")) (num (mem cache "misses_total"))
             (num (mem cache "size"))

@@ -64,11 +64,15 @@ let dists_of_string spec =
 (* ------------------------------------------------------------------ *)
 (* Sampling plans.                                                     *)
 
-(* The default box around a base value: +/- 50% of its magnitude
-   (+/- 0.5 around zero). Used when neither an explicit distribution
-   nor an FPCore :pre range constrains the variable. *)
+(* The default box around a base value: +/- 50% of its magnitude. At
+   zero a relative box degenerates (+/- 0.5 barely leaves the origin,
+   and scaling it by the base magnitude would collapse it to a point),
+   so zero-valued defaults get the absolute interval [-1, 1] instead —
+   sweeps and range boxes stay non-trivial there. Used when neither an
+   explicit distribution nor an FPCore :pre range constrains the
+   variable; {!Cheffp_range.Box.default_iv} mirrors the same rule. *)
 let default_box v =
-  let d = if v = 0. then 0.5 else 0.5 *. Float.abs v in
+  let d = if v = 0. then 1.0 else 0.5 *. Float.abs v in
   Uniform { lo = v -. d; hi = v +. d }
 
 type slot =
@@ -132,6 +136,34 @@ let describe plan =
               (Array.length a) ))
     plan.slots
 
+(* The plan's per-parameter support, as plain pairs: the bridge the CLI
+   and bench use to hand a sampling plan to the rigorous range analysis
+   (lib/range sits beside lib/core in the dependency order, so neither
+   can see the other's types). Normal draws have unbounded support — no
+   finite box exists, and callers must not prune. *)
+let box_view plan =
+  List.map
+    (fun (name, slot) ->
+      ( name,
+        match slot with
+        | Sfixed a -> `Fixed a
+        | Sscalar (Fixed v) -> `Interval (v, v)
+        | Sscalar (Uniform { lo; hi }) -> `Interval (lo, hi)
+        | Sscalar (Normal _) -> `Unbounded
+        | Sarray (base, `Dist (Fixed v)) ->
+            `Intervals (Array.map (fun _ -> (v, v)) base)
+        | Sarray (base, `Dist (Uniform { lo; hi })) ->
+            `Intervals (Array.map (fun _ -> (lo, hi)) base)
+        | Sarray (_, `Dist (Normal _)) -> `Unbounded
+        | Sarray (base, `Relative f) ->
+            `Intervals
+              (Array.map
+                 (fun e ->
+                   let d = if e = 0. then 1.0 else f *. Float.abs e in
+                   (e -. d, e +. d))
+                 base) ))
+    plan.slots
+
 let sampled_vars plan =
   List.filter_map
     (fun (name, slot) ->
@@ -169,7 +201,9 @@ let draw plan ~seed index =
               Interp.Afarr
                 (Array.map
                    (fun e ->
-                     let d = if e = 0. then f else f *. Float.abs e in
+                     (* same zero-widening as [default_box]: a relative
+                        box around a zero element is degenerate *)
+                     let d = if e = 0. then 1.0 else f *. Float.abs e in
                      Rng.uniform rng ~lo:(e -. d) ~hi:(e +. d))
                    base)
         in

@@ -38,7 +38,10 @@ val dists_of_string : string -> (string * dist) list
 
 val default_box : float -> dist
 (** The fallback distribution around a base value [v]:
-    [Uniform] over [v +/- 0.5*|v|] ([v +/- 0.5] when [v = 0]). *)
+    [Uniform] over [v +/- 0.5*|v|]; at [v = 0] a relative box
+    degenerates, so the absolute interval [[-1, 1]] is used instead
+    (the same rule {!Cheffp_range.Box.default_iv} applies to range
+    boxes). *)
 
 type plan
 (** A resolved sampling plan: one slot per parameter of the target
@@ -66,6 +69,20 @@ val plan :
 val describe : plan -> (string * string) list
 (** Human-readable [(param, distribution)] rows for CLI/server
     output. *)
+
+val box_view :
+  plan ->
+  (string
+  * [ `Fixed of Interp.arg
+    | `Interval of float * float
+    | `Intervals of (float * float) array
+    | `Unbounded ])
+  list
+(** The plan's per-parameter support as plain bounds — the bridge for
+    handing a sampling plan to [Cheffp_range.Box] (the two libraries
+    sit side by side and cannot see each other's types). [`Unbounded]
+    marks Normal draws: their support has no finite box, so rigorous
+    pruning must be disabled for such plans. *)
 
 val sampled_vars : plan -> string list
 (** Parameters the plan actually samples (non-fixed slots). *)

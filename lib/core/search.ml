@@ -24,6 +24,7 @@ type outcome = {
   executions : int;
   batched_runs : int;
   runs_avoided : int;
+  pruned : int;
   strategy : strategy;
   evaluation : Tuner.evaluation;
   modelled_error : float;
@@ -35,6 +36,7 @@ type outcome = {
 type sampling = { inputs : Interp.arg list array; quantile : float }
 
 let runs_avoided_c = Metrics.counter "search.runs_avoided"
+let pruned_c = Metrics.counter "search.pruned_total"
 
 let copy_args args =
   List.map
@@ -45,8 +47,8 @@ let copy_args args =
     args
 
 let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?sampling
-    ?measure ?(strategy = `Hybrid) ?(prune_margin = 64.) ~prog ~func ~args
-    ~threshold () =
+    ?measure ?(strategy = `Hybrid) ?(prune_margin = 64.) ?prune_bound ~prog
+    ~func ~args ~threshold () =
   if prune_margin < 1. then
     invalid_arg "Search.tune: prune_margin must be >= 1";
   (match sampling with
@@ -81,9 +83,28 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?sampling
   let executions = Atomic.make 0 in
   let batched_runs = Atomic.make 0 in
   let avoided = Atomic.make 0 in
+  let pruned = Atomic.make 0 in
   let skip n =
     ignore (Atomic.fetch_and_add avoided n);
     Metrics.add runs_avoided_c n
+  in
+  let prune_skip n =
+    ignore (Atomic.fetch_and_add pruned n);
+    Metrics.add pruned_c n
+  in
+  (* Rigorous acceptance: [prune_bound vars] is a certified upper bound
+     on the measured error of demoting [vars] (None = not certified —
+     see [Cheffp_range.Range.score]). A candidate whose bound clears
+     the threshold would also pass its measured accept, so taking it
+     without executing keeps the chosen set bit-identical; bounds are
+     never used to *reject* (an over-wide bound must cost executions,
+     not correctness), and probes are never pruned (their measured
+     errors are the greedy sort key). *)
+  let certified vars =
+    match prune_bound with
+    | None -> false
+    | Some bound -> (
+        match bound vars with Some b -> b <= threshold | None -> false)
   in
   (* The model rejects a candidate set when its scored error clears the
      threshold with [prune_margin] to spare. The rejection is a
@@ -265,6 +286,17 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?sampling
            `Hybrid skips that certain-to-fail run: on every workload
            where search is non-trivial, one execution saved before any
            probing. *)
+        if certified candidates then begin
+          (* Rigorous all-demoted accept: the bound certifies the most
+             aggressive configuration, so the search is over before its
+             first candidate execution. *)
+          prune_skip 1;
+          Trace.event "search.prune"
+            ~attrs:
+              [ ("phase", Trace.Str "all_demoted"); ("pruned", Trace.Int 1) ];
+          candidates
+        end
+        else
         let all_error =
           if prune && model_rejects candidates then begin
             skip 1;
@@ -331,6 +363,43 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?sampling
               match pending with
               | [] -> chosen
               | _ ->
+                  (* Rigorous prefix accepts: round prefixes are nested,
+                     so certified bounds are monotone — the longest
+                     certified prefix from the round's start is accepted
+                     without executing (each accept is a run `Measured
+                     must perform). The first non-certified candidate
+                     falls through to the measured machinery below,
+                     which decides it exactly as before. *)
+                  let chosen, pending =
+                    if prune_bound = None then (chosen, pending)
+                    else begin
+                      let rec certify acc pend trial k =
+                        match pend with
+                        | (v, _) :: rest ->
+                            let trial = trial @ [ v ] in
+                            if certified trial then
+                              certify (acc @ [ v ]) rest trial (k + 1)
+                            else (acc, pend, k)
+                        | [] -> (acc, [], k)
+                      in
+                      let chosen', pending', k =
+                        certify chosen pending chosen 0
+                      in
+                      if k > 0 then begin
+                        prune_skip k;
+                        Trace.event "search.prune"
+                          ~attrs:
+                            [
+                              ("phase", Trace.Str "grow");
+                              ("pruned", Trace.Int k);
+                            ]
+                      end;
+                      (chosen', pending')
+                    end
+                  in
+                  match pending with
+                  | [] -> chosen
+                  | _ ->
                   let prefixes =
                     List.rev
                       (fst
@@ -422,13 +491,16 @@ let tune ?(target = Fp.F32) ?mode ?builtins ?(jobs = 1) ?batch ?sampling
             e))
       measure
   in
-  if Trace.enabled () then
+  if Trace.enabled () then begin
     Trace.add_attr "runs_avoided" (Trace.Int (Atomic.get avoided));
+    Trace.add_attr "pruned" (Trace.Int (Atomic.get pruned))
+  end;
   {
     demoted = chosen;
     executions = Atomic.get executions;
     batched_runs = Atomic.get batched_runs;
     runs_avoided = Atomic.get avoided;
+    pruned = Atomic.get pruned;
     strategy;
     evaluation;
     modelled_error;

@@ -73,6 +73,14 @@ type outcome = {
           have executed, as long as the all-demoted shortcut's margin
           holds. Also accumulated in the [search.runs_avoided]
           counter. *)
+  pruned : int;
+      (** candidate executions replaced by rigorous certificates from
+          the [prune_bound] callback ([0] without one). Each pruned
+          run is an {e accept} the measured search must also reach, so
+          the invariant extends to
+          [executions + runs_avoided + pruned] equals the [`Measured]
+          total. Also accumulated in the [search.pruned_total]
+          counter. *)
   strategy : strategy;  (** the strategy that produced this outcome *)
   evaluation : Tuner.evaluation;
   modelled_error : float;
@@ -107,6 +115,7 @@ val tune :
   ?measure:(Config.t -> float) ->
   ?strategy:strategy ->
   ?prune_margin:float ->
+  ?prune_bound:(string list -> float option) ->
   prog:Ast.program ->
   func:string ->
   args:Interp.arg list ->
@@ -151,6 +160,22 @@ val tune :
     measured error without bound (exactly-representable stores,
     self-correcting iterations like HPCCG's CG loop — DESIGN.md §12),
     so no margin both fires and stays safe.
+
+    [prune_bound], when given, must return a {e certified} upper bound
+    on the measured error of demoting exactly the given variable list
+    to [target] (or [None] when it cannot vouch for that set) —
+    [Cheffp_range.Range.pruner] is the intended implementation, passed
+    from above because the rigorous-range library sits higher in the
+    dependency order (exactly like [measure]). It is only ever used to
+    {e accept} without executing, at the two sites where a certified
+    accept is a decision the measured search must reach anyway: the
+    all-demoted shortcut (bound below [threshold] — search over,
+    zero candidate executions) and the longest certified prefix of each
+    greedy round (prefixes are nested, so certified bounds are
+    monotone). Rejections always stay measured, so an over-wide bound
+    costs nothing and a tight one only removes runs whose outcome is
+    forced: the chosen set stays bit-identical for any callback, and
+    each certificate counts in [pruned] (see DESIGN.md §17).
 
     [batch] (default off; [Some k] with [k >= 2] enables) evaluates the
     probe and growth candidates through {!Cheffp_ir.Batch}: the n

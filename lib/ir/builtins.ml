@@ -17,10 +17,14 @@ type value = I of int | F of float
 
 type impl = value array -> value
 
+type iv = float * float
+
 type t = {
   entries : (string, signature * impl) Hashtbl.t;
   fast1s : (string, float -> float) Hashtbl.t;
   fast2s : (string, float -> float -> float) Hashtbl.t;
+  interval1s : (string, iv -> iv) Hashtbl.t;
+  interval2s : (string, iv -> iv -> iv) Hashtbl.t;
 }
 
 let empty () : t =
@@ -28,17 +32,30 @@ let empty () : t =
     entries = Hashtbl.create 64;
     fast1s = Hashtbl.create 32;
     fast2s = Hashtbl.create 8;
+    interval1s = Hashtbl.create 32;
+    interval2s = Hashtbl.create 8;
   }
 
+(* Re-registering an intrinsic clears its interval hook: a replacement
+   implementation (e.g. a FastApprox polynomial over the libm default)
+   makes the old enclosure unsound, and a missing hook degrades range
+   analysis to an `Unbounded` verdict instead of a wrong number. *)
 let register t name signature impl =
   Hashtbl.remove t.fast1s name;
   Hashtbl.remove t.fast2s name;
+  Hashtbl.remove t.interval1s name;
+  Hashtbl.remove t.interval2s name;
   Hashtbl.replace t.entries name (signature, impl)
 
 let find t name = Hashtbl.find_opt t.entries name
 let mem t name = Hashtbl.mem t.entries name
 let fast1 t name = Hashtbl.find_opt t.fast1s name
 let fast2 t name = Hashtbl.find_opt t.fast2s name
+let interval1 t name = Hashtbl.find_opt t.interval1s name
+let interval2 t name = Hashtbl.find_opt t.interval2s name
+
+let register_interval1 t name f = Hashtbl.replace t.interval1s name f
+let register_interval2 t name f = Hashtbl.replace t.interval2s name f
 
 let signature t name =
   match find t name with Some (s, _) -> Some s | None -> None
@@ -68,6 +85,123 @@ let register_float2 t name ?(cls = Cost.Transcendental) ?(approx = false) f =
   Hashtbl.replace t.fast2s name f
 
 let sign x = if x > 0. then 1. else if x < 0. then -1. else 0.
+
+(* ------------------------------------------------------------------ *)
+(* Interval enclosures for the default intrinsics (consumed by the
+   range analysis in lib/range). A hook receives [lo, hi] with
+   [lo <= hi] enclosing an argument and must return an interval
+   enclosing every binary64 value the registered implementation can
+   produce on it. Endpoint evaluations are widened outward by a few
+   ulps: glibc's worst cases for these entry points are under 2 ulps,
+   so a 4-ulp slop (8 for [pow], which composes two calls) covers the
+   libm-vs-math gap; everything else relies only on mathematical
+   monotonicity or exact extremal values. Hooks signal "no finite
+   enclosure" with an infinite endpoint; the analysis turns that into
+   an [Unbounded] verdict rather than a number. *)
+
+let rec succ_n n x = if n = 0 then x else succ_n (n - 1) (Float.succ x)
+let rec pred_n n x = if n = 0 then x else pred_n (n - 1) (Float.pred x)
+let out n (lo, hi) = (pred_n n lo, succ_n n hi)
+let mono1 f (lo, hi) = out 4 (f lo, f hi)
+
+(* Trig: below this width an interval cannot wrap a full period, so the
+   extrema inside it are exactly the critical points we enumerate. *)
+let trig_whole (lo, hi) = hi -. lo >= 6.2 || Float.abs lo > 1e15 || Float.abs hi > 1e15
+
+(* Extrema of sin at pi/2 + k*pi (value +1 for even k), of cos at k*pi
+   (value +1 for even k). Critical points are located with a relative
+   slop much larger than the error of computing them in binary64, so a
+   point actually inside the interval is never missed — extra inclusions
+   only widen the result. *)
+let sin_iv (lo, hi) =
+  if trig_whole (lo, hi) then (-1., 1.)
+  else begin
+    let vlo = sin lo and vhi = sin hi in
+    let mn = ref (Float.min vlo vhi) and mx = ref (Float.max vlo vhi) in
+    let k0 = int_of_float (Float.floor ((lo /. Float.pi) -. 0.5)) - 1
+    and k1 = int_of_float (Float.ceil ((hi /. Float.pi) -. 0.5)) + 1 in
+    for k = k0 to k1 do
+      let c = (float_of_int k +. 0.5) *. Float.pi in
+      let slop = 1e-9 *. (1. +. Float.abs c) in
+      if c >= lo -. slop && c <= hi +. slop then
+        if k land 1 = 0 then mx := 1. else mn := -1.
+    done;
+    out 4 (!mn, !mx)
+  end
+
+let cos_iv (lo, hi) =
+  if trig_whole (lo, hi) then (-1., 1.)
+  else begin
+    let vlo = cos lo and vhi = cos hi in
+    let mn = ref (Float.min vlo vhi) and mx = ref (Float.max vlo vhi) in
+    let k0 = int_of_float (Float.floor (lo /. Float.pi)) - 1
+    and k1 = int_of_float (Float.ceil (hi /. Float.pi)) + 1 in
+    for k = k0 to k1 do
+      let c = float_of_int k *. Float.pi in
+      let slop = 1e-9 *. (1. +. Float.abs c) in
+      if c >= lo -. slop && c <= hi +. slop then
+        if k land 1 = 0 then mx := 1. else mn := -1.
+    done;
+    out 4 (!mn, !mx)
+  end
+
+let tan_iv (lo, hi) =
+  if trig_whole (lo, hi) then (neg_infinity, infinity)
+  else begin
+    let k0 = int_of_float (Float.floor ((lo /. Float.pi) -. 0.5)) - 1
+    and k1 = int_of_float (Float.ceil ((hi /. Float.pi) -. 0.5)) + 1 in
+    let pole = ref false in
+    for k = k0 to k1 do
+      let c = (float_of_int k +. 0.5) *. Float.pi in
+      let slop = 1e-9 *. (1. +. Float.abs c) in
+      if c >= lo -. slop && c <= hi +. slop then pole := true
+    done;
+    if !pole then (neg_infinity, infinity) else out 4 (tan lo, tan hi)
+  end
+
+let pow_iv (alo, ahi) (blo, bhi) =
+  (* x^y = exp(y ln x): over a rectangle with x > 0 the exponent
+     y*ln(x) is bilinear, so its extrema sit at the corners. *)
+  if not (alo > 0.) then (neg_infinity, infinity)
+  else begin
+    let cs = [ alo ** blo; alo ** bhi; ahi ** blo; ahi ** bhi ] in
+    let mn = List.fold_left Float.min infinity cs
+    and mx = List.fold_left Float.max neg_infinity cs in
+    out 8 (mn, mx)
+  end
+
+let register_default_intervals t =
+  register_interval1 t "sin" sin_iv;
+  register_interval1 t "cos" cos_iv;
+  register_interval1 t "tan" tan_iv;
+  register_interval1 t "exp" (mono1 exp);
+  register_interval1 t "log" (fun (lo, hi) ->
+      if lo > 0. then mono1 log (lo, hi) else (neg_infinity, infinity));
+  register_interval1 t "log2" (fun (lo, hi) ->
+      if lo > 0. then mono1 (fun x -> log x /. log 2.) (lo, hi)
+      else (neg_infinity, infinity));
+  register_interval1 t "log10" (fun (lo, hi) ->
+      if lo > 0. then mono1 log10 (lo, hi) else (neg_infinity, infinity));
+  register_interval1 t "sqrt" (fun (lo, hi) ->
+      if lo >= 0. then mono1 sqrt (lo, hi) else (neg_infinity, infinity));
+  register_interval1 t "tanh" (mono1 tanh);
+  register_interval1 t "atan" (mono1 atan);
+  register_interval1 t "fabs" (fun (lo, hi) ->
+      if lo >= 0. then (lo, hi)
+      else if hi <= 0. then (-.hi, -.lo)
+      else (0., Float.max (-.lo) hi));
+  register_interval1 t "floor" (fun (lo, hi) -> (Float.floor lo, Float.floor hi));
+  register_interval1 t "ceil" (fun (lo, hi) -> (Float.ceil lo, Float.ceil hi));
+  register_interval1 t "sign" (fun (lo, hi) -> (sign lo, sign hi));
+  register_interval1 t "castf32" (fun (lo, hi) ->
+      (Fp.round Fp.F32 lo, Fp.round Fp.F32 hi));
+  register_interval1 t "castf16" (fun (lo, hi) ->
+      (Fp.round Fp.F16 lo, Fp.round Fp.F16 hi));
+  register_interval2 t "pow" pow_iv;
+  register_interval2 t "fmin" (fun (alo, ahi) (blo, bhi) ->
+      (Float.min alo blo, Float.min ahi bhi));
+  register_interval2 t "fmax" (fun (alo, ahi) (blo, bhi) ->
+      (Float.max alo blo, Float.max ahi bhi))
 
 let create () =
   let t = empty () in
@@ -102,4 +236,7 @@ let create () =
   register t "ftoi"
     { args = [ Kflt ]; ret = Kint; cls = Cost.Basic; approx = false }
     (fun a -> I (int_of_float (as_float a.(0))));
+  (* After the registrations above: [register] clears interval hooks so
+     replacements can't inherit a stale enclosure. *)
+  register_default_intervals t;
   t

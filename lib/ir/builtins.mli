@@ -58,3 +58,24 @@ val fast1 : t -> string -> (float -> float) option
     (used by the closure compiler to avoid boxing). *)
 
 val fast2 : t -> string -> (float -> float -> float) option
+
+(** {2 Interval enclosures}
+
+    Hooks for the range analysis (lib/range): a hook maps intervals
+    enclosing the arguments to an interval enclosing every binary64
+    value the registered implementation can return on them (endpoint
+    libm evaluations are widened outward by a few ulps; an infinite
+    endpoint means "no finite enclosure"). {!create} preloads hooks for
+    the default float intrinsics. {!register} {e clears} any hook for
+    the name being (re)registered — a replacement implementation (e.g.
+    a FastApprox polynomial) silently inheriting the libm enclosure
+    would be unsound, and a missing hook merely degrades the range
+    analysis to an [Unbounded] verdict. *)
+
+type iv = float * float
+
+val interval1 : t -> string -> (iv -> iv) option
+val interval2 : t -> string -> (iv -> iv -> iv) option
+
+val register_interval1 : t -> string -> (iv -> iv) -> unit
+val register_interval2 : t -> string -> (iv -> iv -> iv) -> unit

@@ -1,0 +1,166 @@
+(* Global-bound backends behind a pluggable seam.
+
+   A backend maximizes an objective (the per-box rigorous error bound)
+   over an input box. The branch-and-bound backend mirrors the
+   optimizer parameter/result shape of FPTaylor's [opt_common]: a split
+   budget, absolute/relative stopping tolerances and a time budget in;
+   the certified bound, the witness sub-box where it is attained and
+   the work performed out.
+
+   Splitting is sound by construction: the global bound is the maximum
+   of the per-leaf bounds, and each leaf bound is rigorous on its own
+   sub-box. An objective that raises {!Interval.Unbounded} on a leaf
+   marks it infinite; splitting may still rescue it (e.g. a denominator
+   interval straddling zero only near one corner), and whatever stays
+   infinite when the budget runs out makes the verdict [Unbounded]. *)
+
+type pars = {
+  max_splits : int;  (* box bisections before giving up on tightening *)
+  f_abs_tol : float;  (* stop splitting a leaf when the children improve *)
+  f_rel_tol : float;  (* on it by less than abs_tol + rel_tol * |bound| *)
+  timeout_ms : int;  (* wall budget; 0 = unlimited *)
+}
+
+let default_pars =
+  { max_splits = 64; f_abs_tol = 0.; f_rel_tol = 0.05; timeout_ms = 200 }
+
+type 'a result = {
+  bound : float;  (* max over leaves; [infinity] = not boundable *)
+  lower_witness : Box.t;  (* the leaf where [bound] is attained *)
+  witness_value : 'a option;  (* objective payload on the witness leaf *)
+  splits : int;
+  evals : int;
+  elapsed_ms : float;
+  leaves : (float * Box.t * 'a option) list;
+      (* every leaf with its certified bound — per-configuration scoring
+         must maximize over all of them, not just the witness *)
+}
+
+module type BACKEND = sig
+  val name : string
+
+  val maximize : pars -> (Box.t -> float * 'a) -> Box.t -> 'a result
+  (** [maximize pars f box]: [f] returns a rigorous bound valid on the
+      sub-box it is given, plus a payload for score-time use; it may
+      raise {!Interval.Unbounded}. *)
+end
+
+let clock_ms () = Sys.time () *. 1000.
+
+let eval_leaf f box =
+  match f box with
+  | b, payload -> (b, Some payload)
+  | exception Interval.Unbounded _ -> (infinity, None)
+
+(* Evaluate the whole box once — no splitting. *)
+module Whole : BACKEND = struct
+  let name = "whole"
+
+  let maximize _pars f box =
+    let t0 = clock_ms () in
+    let bound, payload = eval_leaf f box in
+    {
+      bound;
+      lower_witness = box;
+      witness_value = payload;
+      splits = 0;
+      evals = 1;
+      elapsed_ms = clock_ms () -. t0;
+      leaves = [ (bound, box, payload) ];
+    }
+end
+
+module Branch_bound : BACKEND = struct
+  let name = "bb"
+
+  (* Work list kept sorted by decreasing bound: always split the worst
+     leaf, so the budget goes where the bound is loose. Split counts
+     stay small (tens), so a sorted list beats a heap on clarity. *)
+  let insert leaf live =
+    let b0 (b, _, _, _) = b in
+    let rec go = function
+      | [] -> [ leaf ]
+      | l :: rest when b0 l >= b0 leaf -> l :: go rest
+      | rest -> leaf :: rest
+    in
+    go live
+
+  let maximize pars f box =
+    let t0 = clock_ms () in
+    let evals = ref 0 in
+    let eval b =
+      incr evals;
+      eval_leaf f b
+    in
+    let expired () =
+      pars.timeout_ms > 0 && clock_ms () -. t0 > float_of_int pars.timeout_ms
+    in
+    let bound0, payload0 = eval box in
+    let live = ref [ (bound0, box, payload0, true) ] in
+    let frozen = ref [] in
+    let splits = ref 0 in
+    let freeze leaf = frozen := leaf :: !frozen in
+    while
+      !splits < pars.max_splits && !live <> [] && not (expired ())
+    do
+      match !live with
+      | [] -> ()
+      | ((b, leaf_box, _, splittable) as leaf) :: rest ->
+          live := rest;
+          if not splittable then freeze leaf
+          else begin
+            match Box.split leaf_box with
+            | None -> freeze leaf
+            | Some (l, r) ->
+                incr splits;
+                let bl, pl = eval l and br, pr = eval r in
+                let improved =
+                  b -. Float.max bl br
+                  > pars.f_abs_tol +. (pars.f_rel_tol *. Float.abs b)
+                in
+                (* children are rigorous on their halves regardless;
+                   [improved] only decides whether to keep splitting *)
+                let child cb cbox cp = (cb, cbox, cp, improved) in
+                live := insert (child bl l pl) (insert (child br r pr) !live)
+          end
+    done;
+    let leaves =
+      List.rev_append !frozen !live
+      |> List.map (fun (b, bx, p, _) -> (b, bx, p))
+    in
+    let worst =
+      List.fold_left
+        (fun acc ((b, _, _) as leaf) ->
+          match acc with
+          | Some (b0, _, _) when b0 >= b -> acc
+          | _ -> Some leaf)
+        None leaves
+    in
+    match worst with
+    | None ->
+        (* unreachable: the initial leaf is always present *)
+        {
+          bound = bound0;
+          lower_witness = box;
+          witness_value = payload0;
+          splits = !splits;
+          evals = !evals;
+          elapsed_ms = clock_ms () -. t0;
+          leaves = [ (bound0, box, payload0) ];
+        }
+    | Some (bound, wbox, wpayload) ->
+        {
+          bound;
+          lower_witness = wbox;
+          witness_value = wpayload;
+          splits = !splits;
+          evals = !evals;
+          elapsed_ms = clock_ms () -. t0;
+          leaves;
+        }
+end
+
+let of_name = function
+  | "whole" -> Some (module Whole : BACKEND)
+  | "bb" | "branch-bound" -> Some (module Branch_bound : BACKEND)
+  | _ -> None

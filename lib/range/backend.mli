@@ -1,0 +1,47 @@
+(** Global-bound backends (the pluggable optimizer seam).
+
+    Parameter/result records follow the shape of FPTaylor's
+    [opt_common]: split budget + stopping tolerances + time budget in;
+    certified bound, witness box and work counters out. *)
+
+type pars = {
+  max_splits : int;
+  f_abs_tol : float;
+  f_rel_tol : float;
+  timeout_ms : int;  (** 0 = unlimited *)
+}
+
+val default_pars : pars
+
+type 'a result = {
+  bound : float;  (** max over leaves; [infinity] when not boundable *)
+  lower_witness : Box.t;  (** leaf sub-box where [bound] is attained *)
+  witness_value : 'a option;
+  splits : int;
+  evals : int;
+  elapsed_ms : float;
+  leaves : (float * Box.t * 'a option) list;
+      (** every leaf with its certified bound; a per-configuration score
+          must maximize over all leaves *)
+}
+
+module type BACKEND = sig
+  val name : string
+
+  val maximize : pars -> (Box.t -> float * 'a) -> Box.t -> 'a result
+  (** The objective returns a bound rigorous on the sub-box it is
+      handed (plus a payload kept for score time); it may raise
+      {!Interval.Unbounded} — such leaves read as [infinity] and may be
+      rescued by further splitting. *)
+end
+
+module Whole : BACKEND
+(** Evaluates the whole box once; never splits. *)
+
+module Branch_bound : BACKEND
+(** Bisects the loosest leaf first until the split budget, tolerance or
+    time budget is reached. Sound for any split depth: the global bound
+    is the max of rigorous per-leaf bounds. *)
+
+val of_name : string -> (module BACKEND) option
+(** ["whole"] | ["bb"]. *)

@@ -1,0 +1,94 @@
+(* Outward-rounded interval arithmetic over binary64.
+
+   Every arithmetic endpoint is computed in binary64 and then stepped
+   one ulp outward ([Float.pred] / [Float.succ]), so the result interval
+   encloses both the real-valued result set and the set of binary64
+   values a correctly-rounded double computation can produce on points
+   of the operand intervals. That single property is what the Taylor
+   evaluator leans on: its intervals enclose the all-F64 reference run.
+
+   Anything that cannot be enclosed finitely (NaN, overflow to
+   infinity, division by an interval containing zero) raises
+   {!Unbounded}; the analysis layer catches it and reports a verdict
+   instead of a number. *)
+
+exception Unbounded of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Unbounded s)) fmt
+
+type t = { lo : float; hi : float }
+
+let check ~ctx lo hi =
+  if Float.is_nan lo || Float.is_nan hi then fail "%s: NaN endpoint" ctx
+  else if lo = neg_infinity || lo = infinity || hi = infinity
+          || hi = neg_infinity
+  then fail "%s: infinite endpoint" ctx
+  else if lo > hi then fail "%s: inverted interval [%g, %g]" ctx lo hi
+  else { lo; hi }
+
+let make lo hi = check ~ctx:"make" lo hi
+let point x = check ~ctx:"point" x x
+let of_pair (lo, hi) = check ~ctx:"builtin" lo hi
+let to_pair { lo; hi } = (lo, hi)
+let lo t = t.lo
+let hi t = t.hi
+
+let mag { lo; hi } = Float.max (Float.abs lo) (Float.abs hi)
+
+(* Smallest |x| over the interval: 0 when it straddles zero. *)
+let mig { lo; hi } =
+  if lo <= 0. && hi >= 0. then 0. else Float.min (Float.abs lo) (Float.abs hi)
+
+let width { lo; hi } = hi -. lo
+let mid { lo; hi } = lo +. ((hi -. lo) /. 2.)
+let contains { lo; hi } x = lo <= x && x <= hi
+let is_point { lo; hi } = lo = hi
+
+let hull a b = { lo = Float.min a.lo b.lo; hi = Float.max a.hi b.hi }
+
+let out lo hi ~ctx = check ~ctx (Float.pred lo) (Float.succ hi)
+
+(* Widen both endpoints outward by an absolute amount (e.g. to absorb a
+   rounding slack). *)
+let widen t d =
+  if d < 0. || Float.is_nan d then fail "widen: bad slack %g" d
+  else if d = 0. then t
+  else out (t.lo -. d) (t.hi +. d) ~ctx:"widen"
+
+let neg { lo; hi } = { lo = -.hi; hi = -.lo }
+let add a b = out (a.lo +. b.lo) (a.hi +. b.hi) ~ctx:"add"
+let sub a b = out (a.lo -. b.hi) (a.hi -. b.lo) ~ctx:"sub"
+
+let mul a b =
+  let p1 = a.lo *. b.lo and p2 = a.lo *. b.hi
+  and p3 = a.hi *. b.lo and p4 = a.hi *. b.hi in
+  out
+    (Float.min (Float.min p1 p2) (Float.min p3 p4))
+    (Float.max (Float.max p1 p2) (Float.max p3 p4))
+    ~ctx:"mul"
+
+let div a b =
+  if b.lo <= 0. && b.hi >= 0. then
+    fail "div: denominator interval [%g, %g] contains zero" b.lo b.hi
+  else
+    let q1 = a.lo /. b.lo and q2 = a.lo /. b.hi
+    and q3 = a.hi /. b.lo and q4 = a.hi /. b.hi in
+    out
+      (Float.min (Float.min q1 q2) (Float.min q3 q4))
+      (Float.max (Float.max q1 q2) (Float.max q3 q4))
+      ~ctx:"div"
+
+let abs t =
+  if t.lo >= 0. then t
+  else if t.hi <= 0. then neg t
+  else { lo = 0.; hi = Float.max (-.t.lo) t.hi }
+
+(* Monotone rounding to a storage format maps endpoints to endpoints;
+   an endpoint that overflows the target raises. *)
+let round fmt t =
+  let module Fp = Cheffp_precision.Fp in
+  check ~ctx:"round" (Fp.round fmt t.lo) (Fp.round fmt t.hi)
+
+let to_string { lo; hi } =
+  if lo = hi then Printf.sprintf "[%.17g]" lo
+  else Printf.sprintf "[%.17g, %.17g]" lo hi

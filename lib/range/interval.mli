@@ -1,0 +1,54 @@
+(** Outward-rounded interval arithmetic over binary64.
+
+    Every arithmetic endpoint is computed in binary64 and stepped one
+    ulp outward, so results enclose both the real-valued result set and
+    the binary64 values a correctly-rounded double computation can
+    produce on operand points. Operations that admit no finite
+    enclosure (NaN, overflow, division by an interval containing zero)
+    raise {!Unbounded}; {!Range.analyze} catches it and reports a
+    verdict instead of an unsound number. *)
+
+exception Unbounded of string
+
+type t
+
+val make : float -> float -> t
+(** @raise Unbounded on NaN / infinite / inverted endpoints. *)
+
+val point : float -> t
+val of_pair : float * float -> t
+val to_pair : t -> float * float
+val lo : t -> float
+val hi : t -> float
+
+val mag : t -> float
+(** Largest absolute value over the interval. *)
+
+val mig : t -> float
+(** Smallest absolute value over the interval ([0.] when it straddles
+    zero). *)
+
+val width : t -> float
+val mid : t -> float
+val contains : t -> float -> bool
+val is_point : t -> bool
+
+val hull : t -> t -> t
+(** Smallest interval containing both. *)
+
+val widen : t -> float -> t
+(** [widen t d] grows both endpoints outward by the absolute slack [d]
+    (plus one ulp). *)
+
+val neg : t -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val abs : t -> t
+
+val round : Cheffp_precision.Fp.format -> t -> t
+(** Endpoint-wise storage rounding (monotone, hence an enclosure of the
+    rounded value set). *)
+
+val to_string : t -> string

@@ -1,0 +1,71 @@
+(** First-order Taylor-form evaluator over MiniFP straight-line regions
+    (with joins at branches and unrolling of counted loops).
+
+    One abstract execution over an input {!Box} yields an interval
+    enclosing the reference run (the [Config.double] execution that
+    {!Cheffp_core.Search} measures against) and a configuration-symbolic
+    affine error form
+
+    {v |ret_config - ret_reference| <= const + SUM_v coeff_v * u(fmt_config(v)) v}
+
+    with [u F64 = 0] — every rounding event a demoted run can perform is
+    charged to the variable (or a representative of the variable set)
+    whose demotion enables it, at a magnitude bounded over the whole box
+    with worst-case (F16) slack. Scoring a configuration afterwards is
+    O(#vars), like a {!Cheffp_core.Profile} score, but the result is a
+    sound upper bound rather than a first-order estimate.
+
+    Whatever cannot be bounded — input-dependent [while] loops,
+    discontinuous intrinsics fed error-carrying values, denominators a
+    demotion could drive to zero, overflowing intervals — raises
+    {!Interval.Unbounded} instead of returning an optimistic number. *)
+
+open Cheffp_ir
+module SM : Map.S with type key = string
+module SS : Set.S with type elt = string
+
+type form = { fconst : float; coeffs : float SM.t }
+(** Affine error bound: [fconst + SUM_v coeffs(v) * u(fmt_config(v))],
+    all terms non-negative. *)
+
+val is_zero : form -> bool
+
+val slack : form -> float
+(** The form evaluated at the worst configuration (everything F16). *)
+
+type dep = Top | Vars of SS.t
+(** When the config run carries the value in a narrow format: [Top] —
+    never; [Vars s] — exactly when every member of [s] is demoted
+    ([Vars SS.empty]: always, from declared-narrow storage). *)
+
+type av = {
+  iv : Interval.t;  (** encloses the reference run's value *)
+  rfmt : Cheffp_precision.Fp.format;
+      (** format the reference run carries the value in *)
+  dep : dep;
+  form : form;  (** bounds [|config - reference|] *)
+}
+
+type result = {
+  ret : av;
+  peaks : float SM.t;
+      (** per-variable maximum magnitude (with config slack) a demoted
+          run can store there — for overflow vetoes at score time *)
+  narrow : SS.t;
+      (** declared-narrow variables encountered; the form assumes their
+          formats are fixed, so overriding them voids the bound *)
+}
+
+val eval_func :
+  ?builtins:Builtins.t ->
+  ?mode:Cheffp_precision.Config.rounding_mode ->
+  ?fuel:int ->
+  prog:Ast.program ->
+  func:string ->
+  box:Box.t ->
+  unit ->
+  result
+(** Abstractly executes [func] over [box]. [fuel] caps total abstract
+    steps (loop unrolling included).
+    @raise Interval.Unbounded when no finite bound exists for this box
+    (the message says why). *)

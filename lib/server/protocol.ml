@@ -10,6 +10,7 @@ type cmd =
   | Search
   | Sample
   | Validate
+  | Range
   | Metrics
   | Stats
   | Traces
@@ -22,6 +23,7 @@ let cmd_name = function
   | Search -> "search"
   | Sample -> "sample"
   | Validate -> "validate"
+  | Range -> "range"
   | Metrics -> "metrics"
   | Stats -> "stats"
   | Traces -> "traces"
@@ -34,6 +36,7 @@ let cmd_of_string = function
   | "search" -> Some Search
   | "sample" -> Some Sample
   | "validate" -> Some Validate
+  | "range" -> Some Range
   | "metrics" -> Some Metrics
   | "stats" -> Some Stats
   | "traces" -> Some Traces
@@ -73,6 +76,8 @@ type request = {
   dist : string option;  (* per-variable distribution spec, CLI --dist *)
   target_quantile : float;  (* search: quantile the threshold applies to *)
   seed : int;  (* sampling seed *)
+  box : string option;  (* range: box override spec, CLI --box *)
+  range_backend : string;  (* range: "bb" (default) | "whole" *)
 }
 
 let parse_request line =
@@ -118,6 +123,8 @@ let parse_request line =
                   dist = Json.to_string_opt (Json.member "dist" j);
                   target_quantile = flt "target_quantile" 0.99;
                   seed = int "seed" 42;
+                  box = Json.to_string_opt (Json.member "box" j);
+                  range_backend = str "range_backend" "bb";
                 }))
 
 (* Responses. [spans] are pre-rendered {!Cheffp_obs.Export} JSON lines

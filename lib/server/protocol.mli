@@ -20,6 +20,9 @@ type cmd =
       (** Monte-Carlo error quantiles of a configuration over sampled
           inputs (batched input sweep; [samples]/[dist]/[seed] fields) *)
   | Validate
+  | Range
+      (** rigorous interval/Taylor-form error bound over an input box
+          ([box]/[range_backend] fields; DESIGN.md §17) *)
   | Metrics  (** cumulative registry exposition ([format]: dump/prometheus) *)
   | Stats  (** windowed telemetry summary ({!Cheffp_obs.Window}) *)
   | Traces  (** tail-retained slow/error trees ({!Cheffp_obs.Tail}) *)
@@ -66,6 +69,12 @@ type request = {
       (** search with [samples]: the error quantile the threshold
           applies to (default 0.99) *)
   seed : int;  (** deterministic sampling seed (default 42) *)
+  box : string option;
+      (** range: box override, the CLI's [--box] syntax
+          ([var=lo:hi,...]) *)
+  range_backend : string;
+      (** range: global-bound backend, "bb" (branch-and-bound, the
+          default) or "whole" (single interval pass) *)
 }
 
 val parse_request : string -> (request, string) result

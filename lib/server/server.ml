@@ -25,6 +25,9 @@ module Sampling = Cheffp_core.Sampling
 module Quantile = Cheffp_core.Quantile
 module Shadow = Cheffp_shadow.Shadow
 module Oracle = Cheffp_shadow.Oracle
+module Range = Cheffp_range.Range
+module Rbox = Cheffp_range.Box
+module Rinterval = Cheffp_range.Interval
 
 type listen = Unix_socket of string | Tcp of int
 
@@ -321,6 +324,69 @@ let handle_validate t (req : Protocol.request) =
       ],
     Oracle.render v )
 
+(* Rigorous range bounds (DESIGN.md §17). Server programs are MiniFP
+   source, so the analysis box is the default box around the base args
+   with the request's [box] override on top — exactly the CLI's
+   [analyze --range --box SPEC] path. [range.bound] counts certified
+   analyses, [range.split] the branch-and-bound boxes they cost. *)
+
+let range_bound_c = Metrics.counter "range.bound"
+let range_split_c = Metrics.counter "range.split"
+
+let handle_range t (req : Protocol.request) =
+  let prog = load t req.program in
+  let f = Ast.func_exn prog req.func in
+  let args = parse_args f req.args in
+  let target = target_of req.target in
+  let box = Rbox.of_args ~func:f ~args () in
+  let box =
+    match req.box with
+    | Some spec -> Rbox.apply_override box (Rbox.override_of_string spec)
+    | None -> box
+  in
+  let a =
+    Trace.with_span "range.analyze" (fun () ->
+        Range.analyze ~backend:req.range_backend ~builtins:t.builtins ~prog
+          ~func:req.func ~box ())
+  in
+  Metrics.incr range_bound_c;
+  Metrics.add range_split_c a.Range.splits;
+  if Trace.enabled () then begin
+    Trace.add_attr "range.splits" (Trace.Int a.Range.splits);
+    Trace.add_attr "range.evals" (Trace.Int a.Range.evals);
+    Trace.add_attr "range.verdict"
+      (Trace.Str (Range.verdict_to_string a.Range.verdict))
+  end;
+  let vars = Range.charged_vars a in
+  ( Json.Obj
+      [
+        ("func", Json.Str req.func);
+        ("backend", Json.Str a.Range.backend);
+        ("verdict", Json.Str (Range.verdict_to_string a.Range.verdict));
+        ( "bound",
+          if Float.is_finite a.Range.worst_bound then
+            Json.Num a.Range.worst_bound
+          else Json.Null );
+        ( "bound_at_target",
+          match Range.score a ~target vars with
+          | Some b -> Json.Num b
+          | None -> Json.Null );
+        ("target", Json.Str (Fp.format_to_string target));
+        ("charged_vars", strings vars);
+        ( "value",
+          match a.Range.value with
+          | Some iv ->
+              let lo, hi = Rinterval.to_pair iv in
+              Json.List [ Json.Num lo; Json.Num hi ]
+          | None -> Json.Null );
+        ("box", Json.Str (Rbox.to_string a.Range.box));
+        ("witness", Json.Str (Rbox.to_string a.Range.witness));
+        ("splits", Json.Num (float_of_int a.Range.splits));
+        ("evals", Json.Num (float_of_int a.Range.evals));
+        ("elapsed_ms", Json.Num a.Range.elapsed_ms);
+      ],
+    Range.report ~target a )
+
 let request_stop t = Atomic.set t.stop_requested true
 
 (* ------------------------------------------------------------------ *)
@@ -414,6 +480,8 @@ let handle_stats t (req : Protocol.request) =
   in
   let req_delta, req_rate = wcounter "server.requests" in
   let err_delta, _ = wcounter "server.errors" in
+  let pruned_delta, _ = wcounter "search.pruned_total" in
+  let bounds_delta, _ = wcounter "range.bound" in
   let pool_done_delta, pool_done_rate = wcounter "pool.shared.completed" in
   let steals_delta, _ = wcounter "pool.shared.steals" in
   let whits, _ = wcounter "compile_cache.hits" in
@@ -483,6 +551,19 @@ let handle_stats t (req : Protocol.request) =
             ] );
         ("latency", hist_json lat);
         ("queue_wait", hist_json (whist "server.queue_wait_seconds"));
+        ( "search",
+          Json.Obj
+            [
+              ("pruned_total", Json.Num (cum "search.pruned_total"));
+              ("pruned_window", Json.Num pruned_delta);
+            ] );
+        ( "range",
+          Json.Obj
+            [
+              ("bounds_total", Json.Num (cum "range.bound"));
+              ("bounds_window", Json.Num bounds_delta);
+              ("splits_total", Json.Num (cum "range.split"));
+            ] );
         ( "pool",
           Json.Obj
             [
@@ -558,6 +639,7 @@ let dispatch t (req : Protocol.request) =
   | Protocol.Search -> handle_search t req
   | Protocol.Sample -> handle_sample t req
   | Protocol.Validate -> handle_validate t req
+  | Protocol.Range -> handle_range t req
 
 (* Same error surface as the CLI's [wrap]. *)
 let error_message = function
@@ -568,6 +650,7 @@ let error_message = function
   | Interp.Runtime_error m
   | Estimate.Error m
   | Sampling.Spec_error m
+  | Rbox.Spec_error m
   | Cheffp_ad.Reverse.Error m
   | Invalid_argument m
   | Sys_error m ->

@@ -261,6 +261,31 @@ let () =
     "serve_smoke: warm cross-request search: %d cache hits, %d misses\n%!"
     hits misses;
 
+  (* Rigorous range bound over an explicit box (DESIGN.md §17): the
+     response must certify a finite worst-config bound and carry the
+     witness sub-box. *)
+  let rresp =
+    Client.rpc c
+      (Client.request ~id:503 ~cmd:"range"
+         [ ("program", Json.Str obs_smoke); ("func", Json.Str "looped");
+           ("args", Json.List [ Json.Str "1.3"; Json.Str "50" ]);
+           ("box", Json.Str "x=1,2") ])
+  in
+  let _, _, _, rreport = check_ok "range" rresp in
+  let rres = Json.member "result" rresp in
+  (match Json.to_string_opt (Json.member "verdict" rres) with
+  | Some "BOUNDED" -> ()
+  | v ->
+      fail "range: expected BOUNDED verdict, got %s"
+        (Option.value ~default:"(missing)" v));
+  (match Json.to_float_opt (Json.member "bound" rres) with
+  | Some b when b > 0. && Float.is_finite b -> ()
+  | _ -> fail "range: bound missing or not a positive finite number");
+  ignore (to_str "range" "witness" rres);
+  (try ignore (Str.search_forward (Str.regexp_string "rigorous range analysis") rreport 0)
+   with Not_found -> fail "range report missing its header:\n%s" rreport);
+  print_endline "serve_smoke: range request certified a finite bound";
+
   (* Malformed requests still get responses on the same connection. *)
   let _, err = check_err "badcmd"
       (Client.rpc c (Client.request ~id:501 ~cmd:"frobnicate" []))
@@ -343,6 +368,7 @@ let () =
       "server.requests"; "server.queue_depth"; "pool.shared.submitted";
       "pool.shared.completed"; "compile_cache.hits";
       "compile_cache.tenant.conn0.hits"; "compile_cache.tenant.warm.hits";
+      "range.bound"; "range.split";
     ];
   let stop = Client.rpc c (Client.request ~id:701 ~cmd:"shutdown" []) in
   ignore (check_ok "shutdown" stop);
